@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the numerical kernels every experiment rests on:
+//! matrix multiplication, direct and im2col convolution, and pooling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlsplit_tensor::{conv2d, conv2d_im2col, max_pool2d, Conv2dSpec, StdRng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from(1);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.matmul(&b).expect("square matmul"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = StdRng::seed_from(2);
+    let spec = Conv2dSpec::new(16, 32, 3).with_padding(1);
+    let input = Tensor::randn(&[4, 16, 24, 24], 0.0, 1.0, &mut rng);
+    let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.2, &mut rng);
+    let bias = Tensor::zeros(&[32]);
+    group.bench_function("direct", |bencher| {
+        bencher.iter(|| conv2d(&input, &weight, Some(&bias), &spec).expect("conv"));
+    });
+    group.bench_function("im2col", |bencher| {
+        bencher.iter(|| conv2d_im2col(&input, &weight, Some(&bias), &spec).expect("conv"));
+    });
+    let depthwise = Conv2dSpec::new(32, 32, 3).with_padding(1).with_groups(32);
+    let dw_input = Tensor::randn(&[4, 32, 24, 24], 0.0, 1.0, &mut rng);
+    let dw_weight = Tensor::randn(&depthwise.weight_dims(), 0.0, 0.2, &mut rng);
+    group.bench_function("depthwise", |bencher| {
+        bencher.iter(|| conv2d(&dw_input, &dw_weight, None, &depthwise).expect("conv"));
+    });
+    group.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from(3);
+    let input = Tensor::randn(&[8, 32, 24, 24], 0.0, 1.0, &mut rng);
+    c.bench_function("max_pool2d_2x2", |bencher| {
+        bencher.iter(|| max_pool2d(&input, 2, 2).expect("pool"));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_pooling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the split-computing machinery: `Z_b`
+//! serialization at both precisions and the end-to-end edge→channel→server
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind, TaskHead};
+use mtlsplit_split::{ChannelModel, Precision, SplitPipeline, TensorCodec};
+use mtlsplit_tensor::{StdRng, Tensor};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zb_codec");
+    let mut rng = StdRng::seed_from(1);
+    let zb = Tensor::randn(&[32, 64], 0.0, 1.0, &mut rng);
+    for (label, precision) in [("f32", Precision::Float32), ("quant8", Precision::Quant8)] {
+        let codec = TensorCodec::new(precision);
+        group.bench_function(format!("encode_{label}"), |bencher| {
+            bencher.iter(|| codec.encode(&zb));
+        });
+        let payload = codec.encode(&zb);
+        group.bench_function(format!("decode_{label}"), |bencher| {
+            bencher.iter(|| codec.decode(&payload).expect("decode"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_pipeline");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from(2);
+    let mut backbone = Backbone::new(
+        BackboneConfig::new(BackboneKind::MobileStyle, 3, 24),
+        &mut rng,
+    )
+    .expect("build backbone");
+    let mut head_a =
+        TaskHead::new("object_size", backbone.feature_dim(), 32, 8, &mut rng).expect("head");
+    let mut head_b =
+        TaskHead::new("object_type", backbone.feature_dim(), 32, 4, &mut rng).expect("head");
+    let pipeline = SplitPipeline::new(ChannelModel::gigabit());
+    let input = Tensor::randn(&[4, 3, 24, 24], 0.5, 0.2, &mut rng);
+    group.bench_function("edge_transfer_remote", |bencher| {
+        bencher.iter(|| {
+            pipeline
+                .run(&mut backbone, &mut [&mut head_a, &mut head_b], &input)
+                .expect("pipeline run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the training step: one MTL-Split joint step
+//! (backbone + N heads) against N single-task steps — the computational
+//! saving the paper attributes to sharing the backbone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtlsplit_core::MtlSplitModel;
+use mtlsplit_data::TaskSpec;
+use mtlsplit_models::BackboneKind;
+use mtlsplit_nn::Sgd;
+use mtlsplit_tensor::{StdRng, Tensor};
+
+fn tasks() -> Vec<TaskSpec> {
+    vec![
+        TaskSpec::new("object_size", 8),
+        TaskSpec::new("object_type", 4),
+    ]
+}
+
+fn batch(rng: &mut StdRng) -> (Tensor, Vec<Vec<usize>>) {
+    let images = Tensor::randn(&[16, 3, 20, 20], 0.5, 0.2, rng);
+    let labels = vec![
+        (0..16).map(|i| i % 8).collect::<Vec<_>>(),
+        (0..16).map(|i| i % 4).collect::<Vec<_>>(),
+    ];
+    (images, labels)
+}
+
+fn bench_mtl_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from(1);
+    let (images, labels) = batch(&mut rng);
+
+    // One joint multi-task step: shared backbone evaluated once.
+    let mut mtl =
+        MtlSplitModel::new(BackboneKind::MobileStyle, 3, 20, &tasks(), 32, &mut rng).expect("model");
+    let mut opt = Sgd::new(0.01);
+    group.bench_function("mtl_joint", |bencher| {
+        bencher.iter(|| {
+            mtl.train_batch(&images, &labels, &mut opt)
+                .expect("train batch")
+        });
+    });
+
+    // The STL equivalent: one full backbone per task, stepped separately.
+    let mut stl_models: Vec<MtlSplitModel> = tasks()
+        .iter()
+        .map(|task| {
+            MtlSplitModel::new(
+                BackboneKind::MobileStyle,
+                3,
+                20,
+                std::slice::from_ref(task),
+                32,
+                &mut rng,
+            )
+            .expect("model")
+        })
+        .collect();
+    let mut stl_opts: Vec<Sgd> = stl_models.iter().map(|_| Sgd::new(0.01)).collect();
+    group.bench_function("stl_per_task", |bencher| {
+        bencher.iter(|| {
+            for (task_index, (model, opt)) in
+                stl_models.iter_mut().zip(stl_opts.iter_mut()).enumerate()
+            {
+                model
+                    .train_batch(&images, &labels[task_index..=task_index], opt)
+                    .expect("train batch");
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mtl_step);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Error type for the core MTL-Split crate.
+
+use std::fmt;
+
+use mtlsplit_data::DataError;
+use mtlsplit_nn::NnError;
+use mtlsplit_split::SplitError;
+use mtlsplit_tensor::TensorError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by model composition, training and experiment runners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A network-level operation failed.
+    Network(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// A split-computing operation failed.
+    Split(SplitError),
+    /// The model and dataset disagree (task counts, class counts, image
+    /// shapes).
+    Incompatible {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// An invalid training or experiment configuration.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(err) => write!(f, "tensor operation failed: {err}"),
+            CoreError::Network(err) => write!(f, "network operation failed: {err}"),
+            CoreError::Data(err) => write!(f, "dataset operation failed: {err}"),
+            CoreError::Split(err) => write!(f, "split-computing operation failed: {err}"),
+            CoreError::Incompatible { reason } => write!(f, "incompatible configuration: {reason}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(err) => Some(err),
+            CoreError::Network(err) => Some(err),
+            CoreError::Data(err) => Some(err),
+            CoreError::Split(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(err: TensorError) -> Self {
+        CoreError::Tensor(err)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(err: NnError) -> Self {
+        CoreError::Network(err)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(err: DataError) -> Self {
+        CoreError::Data(err)
+    }
+}
+
+impl From<SplitError> for CoreError {
+    fn from(err: SplitError) -> Self {
+        CoreError::Split(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer_of_the_stack() {
+        let t: CoreError = TensorError::EmptyTensor { op: "max" }.into();
+        assert!(matches!(t, CoreError::Tensor(_)));
+        let n: CoreError = NnError::MissingForwardCache { layer: "Linear" }.into();
+        assert!(matches!(n, CoreError::Network(_)));
+        let d: CoreError = DataError::Empty { what: "subset" }.into();
+        assert!(matches!(d, CoreError::Data(_)));
+        let s: CoreError = SplitError::InvalidConfig {
+            reason: "x".to_string(),
+        }
+        .into();
+        assert!(matches!(s, CoreError::Split(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn display_mentions_the_failing_layer() {
+        let err = CoreError::Incompatible {
+            reason: "model expects 2 tasks, dataset has 3".to_string(),
+        };
+        assert!(err.to_string().contains("2 tasks"));
+    }
+}

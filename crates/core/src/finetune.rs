@@ -1,0 +1,238 @@
+//! The fine-tuning strategy of Section 3.3 (Eqs. 5–7).
+//!
+//! During fine-tuning the task heads adapt with learning rate `alpha`
+//! (Eq. 5) while the shared backbone is kept "relatively fixed": it either
+//! updates with a much smaller rate `eta` (Eq. 6) or stays frozen. The paper
+//! uses this protocol for the FACES experiment (Table 3), starting from a
+//! backbone pre-trained on another corpus.
+
+use mtlsplit_data::MultiTaskDataset;
+use mtlsplit_models::BackboneKind;
+use mtlsplit_tensor::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::model::MtlSplitModel;
+use crate::trainer::{train_mtl, train_model, TrainConfig, TrainOutcome};
+
+/// Hyper-parameters of a pre-train → fine-tune experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneConfig {
+    /// Configuration of the pre-training phase (on the source corpus).
+    pub pretrain: TrainConfig,
+    /// Configuration of the fine-tuning phase (on the target corpus). The
+    /// learning rate plays the role of `alpha` in Eq. 5.
+    pub finetune: TrainConfig,
+    /// Ratio `eta / alpha` applied to the backbone during fine-tuning
+    /// (Eq. 6). Zero freezes the backbone.
+    pub backbone_ratio: f32,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        Self {
+            pretrain: TrainConfig::default(),
+            finetune: TrainConfig {
+                learning_rate: 1e-3,
+                ..TrainConfig::default()
+            },
+            backbone_ratio: 0.1,
+        }
+    }
+}
+
+impl FineTuneConfig {
+    /// A fast preset for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            pretrain: TrainConfig::quick(),
+            finetune: TrainConfig::quick(),
+            backbone_ratio: 0.1,
+        }
+    }
+
+    /// Validates both phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either phase is invalid or the ratio is negative
+    /// or above one.
+    pub fn validate(&self) -> Result<()> {
+        self.pretrain.validate()?;
+        self.finetune.validate()?;
+        if !(0.0..=1.0).contains(&self.backbone_ratio) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "backbone ratio {} must be in [0, 1] (eta must not exceed alpha)",
+                    self.backbone_ratio
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Pre-trains a backbone on `source` (jointly over all its tasks), then
+/// fine-tunes it on `target_train`/`target_test` with fresh heads and the
+/// Eq. 5–6 learning-rate split. Returns the fine-tuned outcome.
+///
+/// # Errors
+///
+/// Returns an error if either dataset is incompatible or a configuration is
+/// invalid.
+pub fn pretrain_and_finetune(
+    kind: BackboneKind,
+    source: &MultiTaskDataset,
+    target_train: &MultiTaskDataset,
+    target_test: &MultiTaskDataset,
+    config: &FineTuneConfig,
+) -> Result<TrainOutcome> {
+    config.validate()?;
+    let (source_train, source_val) = source.split(0.9, config.pretrain.seed)?;
+    let pretrained = train_mtl(kind, &source_train, &source_val, &config.pretrain)?;
+    finetune_from(pretrained.model, target_train, target_test, config)
+}
+
+/// Fine-tunes an existing model's backbone on a new task set.
+///
+/// New heads are created for the target tasks; the backbone is carried over
+/// and updated with `eta = alpha * backbone_ratio`.
+///
+/// # Errors
+///
+/// Returns an error if shapes are incompatible or a configuration is invalid.
+pub fn finetune_from(
+    pretrained: MtlSplitModel,
+    target_train: &MultiTaskDataset,
+    target_test: &MultiTaskDataset,
+    config: &FineTuneConfig,
+) -> Result<TrainOutcome> {
+    config.validate()?;
+    let (channels, height, _width) = target_train.image_shape();
+    let backbone = pretrained.into_backbone();
+    if backbone.in_channels() != channels || backbone.input_size() != height {
+        return Err(CoreError::Incompatible {
+            reason: format!(
+                "pre-trained backbone expects {}x{} inputs with {} channels, target dataset provides {}x{} with {}",
+                backbone.input_size(),
+                backbone.input_size(),
+                backbone.in_channels(),
+                height,
+                height,
+                channels
+            ),
+        });
+    }
+    let mut rng = StdRng::seed_from(config.finetune.seed.wrapping_add(1));
+    let model = MtlSplitModel::with_backbone(
+        backbone,
+        target_train.tasks(),
+        config.finetune.head_hidden,
+        &mut rng,
+    )?;
+    let finetune_config = TrainConfig {
+        backbone_lr_scale: config.backbone_ratio,
+        ..config.finetune.clone()
+    };
+    train_model(model, target_train, target_test, &finetune_config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_data::faces::FacesConfig;
+    use mtlsplit_data::shapes::ShapesConfig;
+
+    fn quick_config() -> FineTuneConfig {
+        FineTuneConfig {
+            pretrain: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                learning_rate: 3e-3,
+                head_hidden: 16,
+                seed: 1,
+                backbone_lr_scale: 1.0,
+            },
+            finetune: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                learning_rate: 2e-3,
+                head_hidden: 16,
+                seed: 2,
+                backbone_lr_scale: 1.0,
+            },
+            backbone_ratio: 0.1,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_ratios() {
+        let mut config = FineTuneConfig::quick();
+        config.backbone_ratio = 1.5;
+        assert!(config.validate().is_err());
+        config.backbone_ratio = -0.1;
+        assert!(config.validate().is_err());
+        config.backbone_ratio = 0.0;
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn pretrain_then_finetune_runs_end_to_end() {
+        let size = 16;
+        let source = ShapesConfig {
+            samples: 120,
+            image_size: size,
+            noise_fraction: 0.1,
+        }
+        .generate_table1_tasks(21)
+        .unwrap();
+        let faces = FacesConfig {
+            samples: 120,
+            image_size: size,
+            pixel_noise: 0.05,
+        }
+        .generate(22)
+        .unwrap();
+        let (target_train, target_test) = faces.split(0.75, 22).unwrap();
+        let outcome = pretrain_and_finetune(
+            BackboneKind::MobileStyle,
+            &source,
+            &target_train,
+            &target_test,
+            &quick_config(),
+        )
+        .unwrap();
+        // Fine-tuned model solves the three FACES tasks.
+        assert_eq!(outcome.accuracies.len(), 3);
+        assert_eq!(outcome.model.task_count(), 3);
+    }
+
+    #[test]
+    fn finetune_rejects_mismatched_input_shapes() {
+        let source = ShapesConfig {
+            samples: 80,
+            image_size: 16,
+            noise_fraction: 0.1,
+        }
+        .generate_table1_tasks(31)
+        .unwrap();
+        let (src_train, src_test) = source.split(0.8, 31).unwrap();
+        let pretrained = train_mtl(
+            BackboneKind::MobileStyle,
+            &src_train,
+            &src_test,
+            &quick_config().pretrain,
+        )
+        .unwrap();
+        // Target images are a different resolution.
+        let faces = FacesConfig {
+            samples: 60,
+            image_size: 20,
+            pixel_noise: 0.05,
+        }
+        .generate(32)
+        .unwrap();
+        let (t_train, t_test) = faces.split(0.75, 32).unwrap();
+        assert!(finetune_from(pretrained.model, &t_train, &t_test, &quick_config()).is_err());
+    }
+}

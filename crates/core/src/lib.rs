@@ -1,0 +1,53 @@
+//! MTL-Split: multi-task learning for edge devices using split computing.
+//!
+//! This is the core crate of the reproduction of Capogrosso et al.,
+//! *"MTL-Split: Multi-Task Learning for Edge Devices using Split Computing"*
+//! (DAC 2024). It composes the substrates built in the companion crates into
+//! the system the paper proposes:
+//!
+//! * [`MtlSplitModel`] — a shared backbone `M_b(x; psi)` (deployed on the
+//!   edge device) feeding `N` task-solving heads `H_j(Z_b; theta_j)`
+//!   (deployed remotely), exactly the architecture of Figure 1.
+//! * [`trainer`] — joint multi-task training with
+//!   `L_total = sum_j L_j(y_i, y_hat_j)` (Eq. 4) and the single-task-learning
+//!   baseline the paper compares against.
+//! * [`finetune`] — the fine-tuning strategy of Eqs. 5–7: heads update with
+//!   learning rate `alpha` while the shared backbone updates conservatively
+//!   with `eta << alpha` (or stays frozen).
+//! * [`experiment`] — runners that regenerate every table of the paper's
+//!   evaluation (Tables 1–3 accuracy comparisons, Table 4 size analysis, and
+//!   the Section 4.2 LoC/RoC/SC deployment analysis).
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use mtlsplit_core::{MtlSplitModel, TrainConfig, trainer};
+//! use mtlsplit_data::shapes::ShapesConfig;
+//! use mtlsplit_models::BackboneKind;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let dataset = ShapesConfig { samples: 120, image_size: 16, noise_fraction: 0.1 }
+//!     .generate_table1_tasks(1)?;
+//! let (train, test) = dataset.split(0.8, 1)?;
+//! let config = TrainConfig::quick();
+//! let outcome = trainer::train_mtl(BackboneKind::MobileStyle, &train, &test, &config)?;
+//! assert_eq!(outcome.accuracies.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+pub mod experiment;
+pub mod finetune;
+mod metrics;
+mod model;
+pub mod trainer;
+
+pub use error::{CoreError, Result};
+pub use metrics::{accuracy, ComparisonRow, TaskAccuracy};
+pub use model::MtlSplitModel;
+pub use trainer::{TrainConfig, TrainOutcome};

@@ -1,0 +1,154 @@
+//! Evaluation metrics and the STL-vs-MTL comparison rows the tables report.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions that match their targets.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Example
+///
+/// ```
+/// use mtlsplit_core::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+/// ```
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f32 {
+    if predictions.is_empty() || predictions.len() != targets.len() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f32 / predictions.len() as f32
+}
+
+/// Accuracy of one task under one training regime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskAccuracy {
+    /// Task name.
+    pub task: String,
+    /// Test-set accuracy in `[0, 1]`.
+    pub accuracy: f32,
+}
+
+impl TaskAccuracy {
+    /// Creates a task-accuracy record.
+    pub fn new(task: impl Into<String>, accuracy: f32) -> Self {
+        Self {
+            task: task.into(),
+            accuracy,
+        }
+    }
+
+    /// Accuracy as a percentage, the unit the paper's tables use.
+    pub fn percent(&self) -> f32 {
+        self.accuracy * 100.0
+    }
+}
+
+/// One row of a Table 1/2/3-style comparison: the same backbone evaluated
+/// under single-task and multi-task training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Backbone display name.
+    pub model: String,
+    /// Label of the task combination (e.g. `"T1+T2"`).
+    pub combination: String,
+    /// Per-task single-task-learning accuracies.
+    pub stl: Vec<TaskAccuracy>,
+    /// Per-task multi-task-learning accuracies.
+    pub mtl: Vec<TaskAccuracy>,
+}
+
+impl ComparisonRow {
+    /// Per-task accuracy deltas (MTL − STL) in percentage points, the
+    /// parenthesised numbers of the paper's tables.
+    pub fn deltas_percent(&self) -> Vec<f32> {
+        self.stl
+            .iter()
+            .zip(&self.mtl)
+            .map(|(s, m)| m.percent() - s.percent())
+            .collect()
+    }
+
+    /// Number of tasks on which MTL is at least as good as STL.
+    pub fn tasks_not_worse(&self) -> usize {
+        self.deltas_percent().iter().filter(|&&d| d >= -1e-3).count()
+    }
+
+    /// Mean delta across tasks in percentage points.
+    pub fn mean_delta_percent(&self) -> f32 {
+        let deltas = self.deltas_percent();
+        if deltas.is_empty() {
+            0.0
+        } else {
+            deltas.iter().sum::<f32>() / deltas.len() as f32
+        }
+    }
+
+    /// Renders the row in the `acc (+delta)` style of the paper's tables.
+    pub fn format_row(&self) -> String {
+        let mut parts = vec![self.model.clone(), self.combination.clone()];
+        for (s, m) in self.stl.iter().zip(&self.mtl) {
+            parts.push(format!("{}: STL {:.2}%", s.task, s.percent()));
+            parts.push(format!(
+                "MTL {:.2}% ({:+.2})",
+                m.percent(),
+                m.percent() - s.percent()
+            ));
+        }
+        parts.join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_handles_edge_cases() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1, 2]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[0, 1], &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn percent_scales_by_100() {
+        assert_eq!(TaskAccuracy::new("t", 0.515).percent(), 51.5);
+    }
+
+    fn row() -> ComparisonRow {
+        ComparisonRow {
+            model: "MobileNetV3".to_string(),
+            combination: "T1+T2".to_string(),
+            stl: vec![TaskAccuracy::new("a", 0.70), TaskAccuracy::new("b", 0.90)],
+            mtl: vec![TaskAccuracy::new("a", 0.75), TaskAccuracy::new("b", 0.89)],
+        }
+    }
+
+    #[test]
+    fn deltas_are_in_percentage_points() {
+        let deltas = row().deltas_percent();
+        assert!((deltas[0] - 5.0).abs() < 1e-4);
+        assert!((deltas[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let r = row();
+        assert_eq!(r.tasks_not_worse(), 1);
+        assert!((r.mean_delta_percent() - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn formatted_row_contains_model_and_deltas() {
+        let text = row().format_row();
+        assert!(text.contains("MobileNetV3"));
+        assert!(text.contains("+5.00"));
+        assert!(text.contains("-1.00"));
+    }
+}

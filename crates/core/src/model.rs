@@ -1,0 +1,409 @@
+//! The MTL-Split model: shared backbone plus `N` task-solving heads.
+
+use mtlsplit_data::TaskSpec;
+use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind, TaskHead};
+use mtlsplit_nn::{CrossEntropyLoss, Layer, Optimizer, Parameter};
+use mtlsplit_tensor::{StdRng, Tensor};
+
+use crate::error::{CoreError, Result};
+
+/// The architecture of Figure 1: a shared backbone `M_b(x; psi)` whose
+/// flattened output `Z_b` feeds `N` task-solving heads `H_j(Z_b; theta_j)`.
+///
+/// The backbone is the edge-resident half of the deployment; the heads run on
+/// the remote server. Training jointly optimises all parameters against
+/// `L_total = sum_j L_j` (Eq. 4); the per-task gradients that reach `Z_b` are
+/// summed before flowing back into the shared backbone, which is exactly how
+/// the shared representation learns from every task at once.
+pub struct MtlSplitModel {
+    backbone: Backbone,
+    heads: Vec<TaskHead>,
+    loss: CrossEntropyLoss,
+    task_names: Vec<String>,
+}
+
+impl std::fmt::Debug for MtlSplitModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MtlSplitModel")
+            .field("backbone", &self.backbone)
+            .field("tasks", &self.task_names)
+            .finish()
+    }
+}
+
+impl MtlSplitModel {
+    /// Builds a model for the given backbone family and task list.
+    ///
+    /// `head_hidden` is the width of the hidden layer in each task head (the
+    /// paper uses a two-layer MLP per head).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the task list is empty or any dimension is
+    /// invalid.
+    pub fn new(
+        kind: BackboneKind,
+        in_channels: usize,
+        input_size: usize,
+        tasks: &[TaskSpec],
+        head_hidden: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
+        if tasks.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "at least one task is required".to_string(),
+            });
+        }
+        let backbone = Backbone::new(BackboneConfig::new(kind, in_channels, input_size), rng)?;
+        Self::with_backbone(backbone, tasks, head_hidden, rng)
+    }
+
+    /// Builds a model around an existing (possibly pre-trained) backbone.
+    ///
+    /// This is the entry point for the fine-tuning workflow: the backbone is
+    /// reused, new heads are attached for the new task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the task list is empty or a head cannot be built.
+    pub fn with_backbone(
+        backbone: Backbone,
+        tasks: &[TaskSpec],
+        head_hidden: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
+        if tasks.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "at least one task is required".to_string(),
+            });
+        }
+        let mut heads = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            heads.push(TaskHead::new(
+                task.name.clone(),
+                backbone.feature_dim(),
+                head_hidden,
+                task.classes,
+                rng,
+            )?);
+        }
+        Ok(Self {
+            backbone,
+            heads,
+            loss: CrossEntropyLoss::new(),
+            task_names: tasks.iter().map(|t| t.name.clone()).collect(),
+        })
+    }
+
+    /// Number of tasks the model solves.
+    pub fn task_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The task names, in head order.
+    pub fn task_names(&self) -> &[String] {
+        &self.task_names
+    }
+
+    /// The shared backbone.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Mutable access to the shared backbone (e.g. for use inside a
+    /// [`mtlsplit_split::SplitPipeline`]).
+    pub fn backbone_mut(&mut self) -> &mut Backbone {
+        &mut self.backbone
+    }
+
+    /// The task heads.
+    pub fn heads(&self) -> &[TaskHead] {
+        &self.heads
+    }
+
+    /// Mutable access to the task heads.
+    pub fn heads_mut(&mut self) -> &mut [TaskHead] {
+        &mut self.heads
+    }
+
+    /// Consumes the model and returns its backbone (used to transfer a
+    /// pre-trained backbone into a fine-tuning run).
+    pub fn into_backbone(self) -> Backbone {
+        self.backbone
+    }
+
+    /// Total number of trainable parameters (backbone + all heads).
+    pub fn parameter_count(&self) -> usize {
+        self.backbone.parameter_count()
+            + self.heads.iter().map(|h| h.parameter_count()).sum::<usize>()
+    }
+
+    /// All trainable parameters in a stable order (backbone first, then each
+    /// head).
+    pub fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut params = self.backbone.parameters_mut();
+        for head in &mut self.heads {
+            params.extend(head.parameters_mut());
+        }
+        params
+    }
+
+    /// Resets every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Applies the fine-tuning learning-rate split of Eqs. 5–6: heads keep
+    /// the optimizer's rate `alpha`, the backbone uses `eta = alpha * scale`.
+    /// A scale of zero freezes the backbone entirely.
+    pub fn set_backbone_lr_scale(&mut self, scale: f32) {
+        if scale <= 0.0 {
+            for p in self.backbone.parameters_mut() {
+                p.set_frozen(true);
+            }
+        } else {
+            for p in self.backbone.parameters_mut() {
+                p.set_frozen(false);
+                p.set_lr_scale(scale);
+            }
+        }
+    }
+
+    /// Runs the full model, returning the shared representation and one
+    /// logits tensor per task.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the backbone.
+    pub fn forward(&mut self, images: &Tensor, training: bool) -> Result<(Tensor, Vec<Tensor>)> {
+        let features = self.backbone.forward(images, training)?;
+        let mut outputs = Vec::with_capacity(self.heads.len());
+        for head in &mut self.heads {
+            outputs.push(head.forward(&features, training)?);
+        }
+        Ok((features, outputs))
+    }
+
+    /// One joint training step on a batch: forward, `L_total = sum_j L_j`,
+    /// backward through every head into the shared backbone, optimizer step.
+    ///
+    /// Returns the per-task loss values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the label vectors do not match the model's tasks
+    /// or the batch size.
+    pub fn train_batch(
+        &mut self,
+        images: &Tensor,
+        labels: &[Vec<usize>],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<Vec<f32>> {
+        if labels.len() != self.heads.len() {
+            return Err(CoreError::Incompatible {
+                reason: format!(
+                    "model has {} heads but {} label vectors were provided",
+                    self.heads.len(),
+                    labels.len()
+                ),
+            });
+        }
+        self.zero_grad();
+        let (features, outputs) = self.forward(images, true)?;
+        let mut losses = Vec::with_capacity(self.heads.len());
+        // Gradient of L_total with respect to the shared representation Z_b is
+        // the sum of each task's contribution.
+        let mut grad_features = Tensor::zeros(features.dims());
+        for (head_idx, (head, logits)) in self.heads.iter_mut().zip(&outputs).enumerate() {
+            let (loss_value, grad_logits) = self.loss.forward_backward(logits, &labels[head_idx])?;
+            losses.push(loss_value);
+            let grad = head.backward(&grad_logits)?;
+            grad_features.add_scaled_inplace(&grad, 1.0)?;
+        }
+        self.backbone.backward(&grad_features)?;
+        optimizer.step(&mut self.parameters_mut())?;
+        Ok(losses)
+    }
+
+    /// Per-task predicted class indices for a batch (inference mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the backbone.
+    pub fn predict(&mut self, images: &Tensor) -> Result<Vec<Vec<usize>>> {
+        let (_, outputs) = self.forward(images, false)?;
+        outputs
+            .iter()
+            .map(|logits| logits.argmax_rows().map_err(Into::into))
+            .collect()
+    }
+
+    /// Per-task `(correct, total)` counts on a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the labels do not match the model's tasks.
+    pub fn evaluate_batch(
+        &mut self,
+        images: &Tensor,
+        labels: &[Vec<usize>],
+    ) -> Result<Vec<(usize, usize)>> {
+        if labels.len() != self.heads.len() {
+            return Err(CoreError::Incompatible {
+                reason: format!(
+                    "model has {} heads but {} label vectors were provided",
+                    self.heads.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let predictions = self.predict(images)?;
+        Ok(predictions
+            .iter()
+            .zip(labels)
+            .map(|(pred, truth)| {
+                let correct = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+                (correct, truth.len())
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_nn::Sgd;
+
+    fn tasks() -> Vec<TaskSpec> {
+        vec![TaskSpec::new("size", 4), TaskSpec::new("kind", 3)]
+    }
+
+    fn tiny_model() -> MtlSplitModel {
+        let mut rng = StdRng::seed_from(1);
+        MtlSplitModel::new(BackboneKind::MobileStyle, 3, 16, &tasks(), 16, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_produces_one_logit_tensor_per_task() {
+        let mut model = tiny_model();
+        let x = Tensor::zeros(&[4, 3, 16, 16]);
+        let (features, outputs) = model.forward(&x, false).unwrap();
+        assert_eq!(features.dims()[0], 4);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].dims(), &[4, 4]);
+        assert_eq!(outputs[1].dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn train_batch_returns_per_task_losses_and_updates_parameters() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from(2);
+        let x = Tensor::randn(&[8, 3, 16, 16], 0.5, 0.2, &mut rng);
+        let labels = vec![vec![0, 1, 2, 3, 0, 1, 2, 3], vec![0, 1, 2, 0, 1, 2, 0, 1]];
+        let before: f32 = model
+            .parameters_mut()
+            .iter()
+            .map(|p| p.value().squared_norm())
+            .sum();
+        let mut opt = Sgd::new(0.05);
+        let losses = model.train_batch(&x, &labels, &mut opt).unwrap();
+        assert_eq!(losses.len(), 2);
+        assert!(losses.iter().all(|l| l.is_finite() && *l > 0.0));
+        let after: f32 = model
+            .parameters_mut()
+            .iter()
+            .map(|p| p.value().squared_norm())
+            .sum();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn repeated_training_on_one_batch_reduces_total_loss() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from(3);
+        let x = Tensor::randn(&[8, 3, 16, 16], 0.5, 0.2, &mut rng);
+        let labels = vec![vec![0, 1, 2, 3, 0, 1, 2, 3], vec![0, 1, 2, 0, 1, 2, 0, 1]];
+        let mut opt = Sgd::new(0.1);
+        let first: f32 = model.train_batch(&x, &labels, &mut opt).unwrap().iter().sum();
+        let mut last = first;
+        for _ in 0..15 {
+            last = model.train_batch(&x, &labels, &mut opt).unwrap().iter().sum();
+        }
+        assert!(
+            last < first,
+            "joint loss should fall when overfitting one batch: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn train_batch_rejects_wrong_label_count() {
+        let mut model = tiny_model();
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let mut opt = Sgd::new(0.1);
+        assert!(model.train_batch(&x, &[vec![0, 1]], &mut opt).is_err());
+    }
+
+    #[test]
+    fn evaluate_batch_counts_correct_predictions() {
+        let mut model = tiny_model();
+        let x = Tensor::zeros(&[4, 3, 16, 16]);
+        let predictions = model.predict(&x).unwrap();
+        let labels = vec![predictions[0].clone(), vec![9 % 3; 4]];
+        let counts = model.evaluate_batch(&x, &labels).unwrap();
+        assert_eq!(counts[0], (4, 4));
+        assert_eq!(counts[0].1, 4);
+    }
+
+    #[test]
+    fn backbone_freeze_prevents_backbone_updates_but_not_head_updates() {
+        let mut model = tiny_model();
+        model.set_backbone_lr_scale(0.0);
+        let mut rng = StdRng::seed_from(4);
+        let x = Tensor::randn(&[4, 3, 16, 16], 0.5, 0.2, &mut rng);
+        let labels = vec![vec![0, 1, 2, 3], vec![0, 1, 2, 0]];
+        let backbone_before: f32 = model
+            .backbone()
+            .parameters()
+            .iter()
+            .map(|p| p.value().squared_norm())
+            .sum();
+        let head_before: f32 = model.heads()[0]
+            .parameters()
+            .iter()
+            .map(|p| p.value().squared_norm())
+            .sum();
+        let mut opt = Sgd::new(0.1);
+        model.train_batch(&x, &labels, &mut opt).unwrap();
+        let backbone_after: f32 = model
+            .backbone()
+            .parameters()
+            .iter()
+            .map(|p| p.value().squared_norm())
+            .sum();
+        let head_after: f32 = model.heads()[0]
+            .parameters()
+            .iter()
+            .map(|p| p.value().squared_norm())
+            .sum();
+        assert_eq!(backbone_before, backbone_after);
+        assert_ne!(head_before, head_after);
+    }
+
+    #[test]
+    fn rejects_empty_task_lists() {
+        let mut rng = StdRng::seed_from(5);
+        assert!(MtlSplitModel::new(BackboneKind::VggStyle, 3, 16, &[], 8, &mut rng).is_err());
+    }
+
+    #[test]
+    fn parameter_count_includes_backbone_and_heads() {
+        let model = tiny_model();
+        let heads: usize = model.heads().iter().map(|h| h.parameter_count()).sum();
+        assert_eq!(
+            model.parameter_count(),
+            model.backbone().parameter_count() + heads
+        );
+    }
+}

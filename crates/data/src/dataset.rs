@@ -1,0 +1,330 @@
+//! The in-memory multi-task dataset container.
+
+use mtlsplit_tensor::{StdRng, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, Result};
+
+/// Description of one classification task attached to a dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Human-readable task name (e.g. `"object_size"`).
+    pub name: String,
+    /// Number of classes the task distinguishes.
+    pub classes: usize,
+}
+
+impl TaskSpec {
+    /// Creates a task specification.
+    pub fn new(name: impl Into<String>, classes: usize) -> Self {
+        Self {
+            name: name.into(),
+            classes,
+        }
+    }
+}
+
+/// An in-memory labelled image dataset with one label vector per task.
+///
+/// This mirrors the paper's dataset definition (Eq. 1): `K` images, each
+/// paired with `N` labels — one per task. Images are stored as a single NCHW
+/// tensor, labels as one `Vec<usize>` per task.
+#[derive(Debug, Clone)]
+pub struct MultiTaskDataset {
+    images: Tensor,
+    labels: Vec<Vec<usize>>,
+    tasks: Vec<TaskSpec>,
+}
+
+impl MultiTaskDataset {
+    /// Builds a dataset from an image tensor, per-task labels and task specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image tensor is not rank 4, label vectors do
+    /// not match the image count, label/task counts differ, or any label is
+    /// out of range for its task.
+    pub fn new(images: Tensor, labels: Vec<Vec<usize>>, tasks: Vec<TaskSpec>) -> Result<Self> {
+        if images.rank() != 4 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("images must be [n, c, h, w], got {:?}", images.dims()),
+            });
+        }
+        let count = images.dims()[0];
+        if labels.len() != tasks.len() {
+            return Err(DataError::InvalidConfig {
+                reason: format!(
+                    "{} label vectors provided for {} tasks",
+                    labels.len(),
+                    tasks.len()
+                ),
+            });
+        }
+        for (task, task_labels) in tasks.iter().zip(&labels) {
+            if task_labels.len() != count {
+                return Err(DataError::LabelMismatch {
+                    images: count,
+                    labels: task_labels.len(),
+                });
+            }
+            if let Some(&bad) = task_labels.iter().find(|&&l| l >= task.classes) {
+                return Err(DataError::InvalidConfig {
+                    reason: format!(
+                        "label {bad} out of range for task '{}' with {} classes",
+                        task.name, task.classes
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            images,
+            labels,
+            tasks,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.dims()[0]
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The image tensor (`[n, c, h, w]`).
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The image dimensions of a single sample as `(channels, height, width)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        let d = self.images.dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// The task specifications.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Labels for task `task_index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownTask`] if the index is out of range.
+    pub fn labels(&self, task_index: usize) -> Result<&[usize]> {
+        self.labels
+            .get(task_index)
+            .map(Vec::as_slice)
+            .ok_or(DataError::UnknownTask {
+                index: task_index,
+                tasks: self.tasks.len(),
+            })
+    }
+
+    /// Returns a new dataset that keeps only the given tasks (in the given
+    /// order). Used to build the task subsets of Table 3 (T1+T3, T2+T3, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range or the list is empty.
+    pub fn select_tasks(&self, task_indices: &[usize]) -> Result<Self> {
+        if task_indices.is_empty() {
+            return Err(DataError::Empty {
+                what: "task selection",
+            });
+        }
+        let mut labels = Vec::with_capacity(task_indices.len());
+        let mut tasks = Vec::with_capacity(task_indices.len());
+        for &idx in task_indices {
+            labels.push(self.labels(idx)?.to_vec());
+            tasks.push(
+                self.tasks
+                    .get(idx)
+                    .cloned()
+                    .ok_or(DataError::UnknownTask {
+                        index: idx,
+                        tasks: self.tasks.len(),
+                    })?,
+            );
+        }
+        Ok(Self {
+            images: self.images.clone(),
+            labels,
+            tasks,
+        })
+    }
+
+    /// Gathers the samples at `indices` into a new dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range or the list is empty.
+    pub fn subset(&self, indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(DataError::Empty { what: "subset" });
+        }
+        let images = self.images.gather_batch(indices)?;
+        let labels = self
+            .labels
+            .iter()
+            .map(|task_labels| indices.iter().map(|&i| task_labels[i]).collect())
+            .collect();
+        Ok(Self {
+            images,
+            labels,
+            tasks: self.tasks.clone(),
+        })
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of the samples in
+    /// the training partition, after a deterministic shuffle with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < train_fraction < 1` and both partitions
+    /// end up non-empty.
+    pub fn split(&self, train_fraction: f32, seed: u64) -> Result<(Self, Self)> {
+        if !(0.0..1.0).contains(&train_fraction) || train_fraction == 0.0 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("train fraction {train_fraction} must be in (0, 1)"),
+            });
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from(seed);
+        rng.shuffle(&mut indices);
+        let cut = ((self.len() as f32) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        if cut == 0 || cut >= self.len() {
+            return Err(DataError::Empty { what: "split partition" });
+        }
+        let train = self.subset(&indices[..cut])?;
+        let test = self.subset(&indices[cut..])?;
+        Ok((train, test))
+    }
+
+    /// Class-frequency histogram for one task, useful for checking that the
+    /// generators produce roughly balanced labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownTask`] if the index is out of range.
+    pub fn class_histogram(&self, task_index: usize) -> Result<Vec<usize>> {
+        let task = self
+            .tasks
+            .get(task_index)
+            .ok_or(DataError::UnknownTask {
+                index: task_index,
+                tasks: self.tasks.len(),
+            })?;
+        let mut histogram = vec![0usize; task.classes];
+        for &label in self.labels(task_index)? {
+            histogram[label] += 1;
+        }
+        Ok(histogram)
+    }
+
+    /// The size of one raw input image in bytes, assuming `f32` pixels.
+    ///
+    /// This is the quantity the paper's Remote-only-Computing analysis
+    /// transfers over the network for every inference.
+    pub fn raw_input_bytes(&self) -> usize {
+        let (c, h, w) = self.image_shape();
+        c * h * w * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> MultiTaskDataset {
+        let images = Tensor::zeros(&[n, 1, 2, 2]);
+        let labels = vec![
+            (0..n).map(|i| i % 3).collect::<Vec<_>>(),
+            (0..n).map(|i| i % 2).collect::<Vec<_>>(),
+        ];
+        let tasks = vec![TaskSpec::new("a", 3), TaskSpec::new("b", 2)];
+        MultiTaskDataset::new(images, labels, tasks).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_label_counts_and_ranges() {
+        let images = Tensor::zeros(&[4, 1, 2, 2]);
+        let tasks = vec![TaskSpec::new("a", 2)];
+        assert!(MultiTaskDataset::new(images.clone(), vec![vec![0, 1, 0]], tasks.clone()).is_err());
+        assert!(
+            MultiTaskDataset::new(images.clone(), vec![vec![0, 1, 0, 2]], tasks.clone()).is_err()
+        );
+        assert!(MultiTaskDataset::new(images, vec![vec![0, 1, 0, 1]], tasks).is_ok());
+    }
+
+    #[test]
+    fn construction_rejects_non_nchw_images() {
+        let tasks = vec![TaskSpec::new("a", 2)];
+        assert!(MultiTaskDataset::new(Tensor::zeros(&[4, 4]), vec![vec![0; 4]], tasks).is_err());
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy_dataset(20);
+        let (train, test) = ds.split(0.75, 1).unwrap();
+        assert_eq!(train.len() + test.len(), 20);
+        assert_eq!(train.len(), 15);
+        assert_eq!(train.task_count(), 2);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let ds = toy_dataset(10);
+        assert!(ds.split(0.0, 1).is_err());
+        assert!(ds.split(1.5, 1).is_err());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = toy_dataset(30);
+        let (a_train, _) = ds.split(0.5, 42).unwrap();
+        let (b_train, _) = ds.split(0.5, 42).unwrap();
+        assert_eq!(a_train.labels(0).unwrap(), b_train.labels(0).unwrap());
+    }
+
+    #[test]
+    fn select_tasks_reorders_and_drops() {
+        let ds = toy_dataset(6);
+        let only_b = ds.select_tasks(&[1]).unwrap();
+        assert_eq!(only_b.task_count(), 1);
+        assert_eq!(only_b.tasks()[0].name, "b");
+        assert_eq!(only_b.len(), 6);
+        assert!(ds.select_tasks(&[2]).is_err());
+        assert!(ds.select_tasks(&[]).is_err());
+    }
+
+    #[test]
+    fn subset_gathers_requested_rows() {
+        let ds = toy_dataset(10);
+        let sub = ds.subset(&[0, 5, 9]).unwrap();
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.labels(0).unwrap(), &[0, 2, 0]);
+    }
+
+    #[test]
+    fn class_histogram_counts_labels() {
+        let ds = toy_dataset(9);
+        assert_eq!(ds.class_histogram(0).unwrap(), vec![3, 3, 3]);
+        assert!(ds.class_histogram(5).is_err());
+    }
+
+    #[test]
+    fn raw_input_bytes_matches_image_shape() {
+        let ds = toy_dataset(2);
+        assert_eq!(ds.raw_input_bytes(), 1 * 2 * 2 * 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for dataset generation and loading.
+
+use std::fmt;
+
+use mtlsplit_tensor::TensorError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors raised by dataset generators, splits and loaders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// The dataset or a derived view would be empty.
+    Empty {
+        /// Description of what was empty.
+        what: &'static str,
+    },
+    /// Label and image counts disagree.
+    LabelMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels provided for some task.
+        labels: usize,
+    },
+    /// A requested task index does not exist.
+    UnknownTask {
+        /// The offending task index.
+        index: usize,
+        /// Number of tasks in the dataset.
+        tasks: usize,
+    },
+    /// An invalid configuration value (fraction outside `[0, 1]`, zero
+    /// classes, zero image size, ...).
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(err) => write!(f, "tensor operation failed: {err}"),
+            DataError::Empty { what } => write!(f, "{what} is empty"),
+            DataError::LabelMismatch { images, labels } => {
+                write!(f, "label count {labels} does not match image count {images}")
+            }
+            DataError::UnknownTask { index, tasks } => {
+                write!(f, "task index {index} out of range for {tasks} tasks")
+            }
+            DataError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(err: TensorError) -> Self {
+        DataError::Tensor(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DataError::LabelMismatch {
+            images: 10,
+            labels: 9,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains('9'));
+    }
+
+    #[test]
+    fn wraps_tensor_errors() {
+        let err: DataError = TensorError::EmptyTensor { op: "max" }.into();
+        assert!(matches!(err, DataError::Tensor(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Mini-batch iteration over a [`MultiTaskDataset`].
+
+use mtlsplit_tensor::{StdRng, Tensor};
+
+use crate::dataset::MultiTaskDataset;
+use crate::error::Result;
+
+/// One mini-batch: an image tensor plus one label vector per task.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images in `[batch, c, h, w]` layout.
+    pub images: Tensor,
+    /// Per-task integer labels, indexed `labels[task][sample]`.
+    pub labels: Vec<Vec<usize>>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.images.dims()[0]
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterates over a dataset in mini-batches, optionally reshuffling at the
+/// start of every epoch.
+///
+/// The loader borrows the dataset immutably, so several loaders (e.g. one per
+/// single-task baseline) can share the same underlying data.
+#[derive(Debug)]
+pub struct DataLoader<'a> {
+    dataset: &'a MultiTaskDataset,
+    batch_size: usize,
+    shuffle: bool,
+    rng: StdRng,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl<'a> DataLoader<'a> {
+    /// Creates a loader over `dataset` with the given batch size.
+    ///
+    /// A `batch_size` of zero is treated as one.
+    pub fn new(dataset: &'a MultiTaskDataset, batch_size: usize, shuffle: bool, seed: u64) -> Self {
+        let mut loader = Self {
+            dataset,
+            batch_size: batch_size.max(1),
+            shuffle,
+            rng: StdRng::seed_from(seed),
+            order: (0..dataset.len()).collect(),
+            cursor: 0,
+        };
+        loader.reset();
+        loader
+    }
+
+    /// Number of batches per epoch (the final partial batch counts).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.dataset.len().div_ceil(self.batch_size)
+    }
+
+    /// Restarts the epoch, reshuffling if configured.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        if self.shuffle {
+            self.rng.shuffle(&mut self.order);
+        }
+    }
+
+    /// Returns the next batch, or `None` when the epoch is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the underlying gather fails, which indicates
+    /// an internal inconsistency.
+    pub fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.cursor >= self.order.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let indices = &self.order[self.cursor..end];
+        self.cursor = end;
+        let images = self.dataset.images().gather_batch(indices)?;
+        let labels = (0..self.dataset.task_count())
+            .map(|task| {
+                let all = self
+                    .dataset
+                    .labels(task)
+                    .expect("task index below task_count");
+                indices.iter().map(|&i| all[i]).collect()
+            })
+            .collect();
+        Ok(Some(Batch { images, labels }))
+    }
+
+    /// Collects every batch of one epoch (convenience for tests and the
+    /// evaluation loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`DataLoader::next_batch`].
+    pub fn epoch(&mut self) -> Result<Vec<Batch>> {
+        self.reset();
+        let mut batches = Vec::with_capacity(self.batches_per_epoch());
+        while let Some(batch) = self.next_batch()? {
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskSpec;
+
+    fn toy_dataset(n: usize) -> MultiTaskDataset {
+        let mut images = Tensor::zeros(&[n, 1, 2, 2]);
+        // Encode the sample index in the first pixel so we can track shuffling.
+        for i in 0..n {
+            images.as_mut_slice()[i * 4] = i as f32;
+        }
+        let labels = vec![(0..n).map(|i| i % 4).collect::<Vec<_>>()];
+        MultiTaskDataset::new(images, labels, vec![TaskSpec::new("t", 4)]).unwrap()
+    }
+
+    #[test]
+    fn covers_every_sample_exactly_once_per_epoch() {
+        let ds = toy_dataset(23);
+        let mut loader = DataLoader::new(&ds, 5, true, 1);
+        let batches = loader.epoch().unwrap();
+        assert_eq!(batches.len(), 5);
+        let mut seen: Vec<usize> = batches
+            .iter()
+            .flat_map(|b| {
+                (0..b.len()).map(|i| b.images.as_slice()[i * 4] as usize).collect::<Vec<_>>()
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn final_batch_may_be_partial() {
+        let ds = toy_dataset(10);
+        let mut loader = DataLoader::new(&ds, 4, false, 1);
+        let batches = loader.epoch().unwrap();
+        assert_eq!(batches.iter().map(Batch::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn unshuffled_loader_preserves_order() {
+        let ds = toy_dataset(6);
+        let mut loader = DataLoader::new(&ds, 3, false, 1);
+        let first = loader.next_batch().unwrap().unwrap();
+        assert_eq!(first.images.as_slice()[0], 0.0);
+        assert_eq!(first.images.as_slice()[4], 1.0);
+        assert_eq!(first.labels[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shuffled_loader_changes_order_but_not_label_pairing() {
+        let ds = toy_dataset(32);
+        let mut loader = DataLoader::new(&ds, 32, true, 7);
+        let batch = loader.next_batch().unwrap().unwrap();
+        // Image payload encodes the original index; labels must still be i % 4.
+        let mut shuffled = false;
+        for i in 0..32 {
+            let original = batch.images.as_slice()[i * 4] as usize;
+            assert_eq!(batch.labels[0][i], original % 4);
+            if original != i {
+                shuffled = true;
+            }
+        }
+        assert!(shuffled, "seed 7 should permute at least one element");
+    }
+
+    #[test]
+    fn exhausted_loader_returns_none_until_reset() {
+        let ds = toy_dataset(4);
+        let mut loader = DataLoader::new(&ds, 4, false, 1);
+        assert!(loader.next_batch().unwrap().is_some());
+        assert!(loader.next_batch().unwrap().is_none());
+        loader.reset();
+        assert!(loader.next_batch().unwrap().is_some());
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_to_one() {
+        let ds = toy_dataset(3);
+        let loader = DataLoader::new(&ds, 0, false, 1);
+        assert_eq!(loader.batches_per_epoch(), 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! A MEDIC-like synthetic "incident imagery" corpus.
+//!
+//! MEDIC is a large, noisy, real-world social-media dataset where even strong
+//! backbones plateau between roughly 50 % and 65 % accuracy on the damage
+//! severity (3 classes) and disaster type (4 classes) tasks, and where
+//! multi-task learning yields small but consistent gains (Table 2). This
+//! generator reproduces that regime: the two labels are drawn from a joint
+//! distribution (correlated but not redundant), the rendered appearance has
+//! heavy intra-class variation, and a configurable fraction of the labels is
+//! deliberately corrupted so the Bayes-optimal accuracy sits well below
+//! 100 %.
+
+use mtlsplit_tensor::{StdRng, Tensor};
+
+use crate::dataset::{MultiTaskDataset, TaskSpec};
+use crate::error::{DataError, Result};
+use crate::noise::{add_gaussian_noise, add_salt_and_pepper};
+
+/// Number of damage-severity classes (task `T1` of Table 2).
+pub const SEVERITY_CLASSES: usize = 3;
+/// Number of disaster-type classes (task `T2` of Table 2).
+pub const DISASTER_CLASSES: usize = 4;
+
+/// Configuration of the incident-imagery generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MedicConfig {
+    /// Number of images to generate.
+    pub samples: usize,
+    /// Square image side length in pixels.
+    pub image_size: usize,
+    /// Fraction of labels replaced by a random class (per task).
+    pub label_noise: f32,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub pixel_noise: f32,
+}
+
+impl Default for MedicConfig {
+    fn default() -> Self {
+        Self {
+            samples: 2_400,
+            image_size: 28,
+            label_noise: 0.25,
+            pixel_noise: 0.25,
+        }
+    }
+}
+
+impl MedicConfig {
+    /// A small preset for unit tests and quick runs.
+    pub fn small() -> Self {
+        Self {
+            samples: 480,
+            image_size: 20,
+            label_noise: 0.25,
+            pixel_noise: 0.25,
+        }
+    }
+
+    /// Generates the two-task dataset (damage severity, disaster type).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate configurations (zero samples, image
+    /// smaller than 8×8, label-noise fraction outside `[0, 1)`).
+    pub fn generate(&self, seed: u64) -> Result<MultiTaskDataset> {
+        if self.samples == 0 {
+            return Err(DataError::InvalidConfig {
+                reason: "samples must be positive".to_string(),
+            });
+        }
+        if self.image_size < 8 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("image size {} too small (minimum 8)", self.image_size),
+            });
+        }
+        if !(0.0..1.0).contains(&self.label_noise) {
+            return Err(DataError::InvalidConfig {
+                reason: format!("label noise {} must be in [0, 1)", self.label_noise),
+            });
+        }
+        let mut rng = StdRng::seed_from(seed);
+        let size = self.image_size;
+        let plane = size * size;
+        let mut pixels = vec![0.0f32; self.samples * 3 * plane];
+        let mut severity_labels = Vec::with_capacity(self.samples);
+        let mut disaster_labels = Vec::with_capacity(self.samples);
+
+        for sample in 0..self.samples {
+            let disaster = rng.below(DISASTER_CLASSES);
+            // Severity is correlated with the disaster type (some disasters
+            // skew more severe) but keeps every class reachable.
+            let severity = sample_severity(disaster, &mut rng);
+            let image = &mut pixels[sample * 3 * plane..(sample + 1) * 3 * plane];
+            render_incident(image, size, disaster, severity, &mut rng);
+
+            // Label corruption caps the achievable accuracy, mimicking the
+            // annotation noise of crowd-sourced crisis imagery.
+            severity_labels.push(if rng.chance(self.label_noise) {
+                rng.below(SEVERITY_CLASSES)
+            } else {
+                severity
+            });
+            disaster_labels.push(if rng.chance(self.label_noise) {
+                rng.below(DISASTER_CLASSES)
+            } else {
+                disaster
+            });
+        }
+
+        let images = Tensor::from_vec(pixels, &[self.samples, 3, size, size])?;
+        let images = add_gaussian_noise(&images, self.pixel_noise, &mut rng);
+        let images = add_salt_and_pepper(&images, 0.05, &mut rng);
+        MultiTaskDataset::new(
+            images,
+            vec![severity_labels, disaster_labels],
+            vec![
+                TaskSpec::new("damage_severity", SEVERITY_CLASSES),
+                TaskSpec::new("disaster_type", DISASTER_CLASSES),
+            ],
+        )
+    }
+}
+
+fn sample_severity(disaster: usize, rng: &mut StdRng) -> usize {
+    // Per-disaster severity distribution: each row sums to 1.
+    const TABLE: [[f32; SEVERITY_CLASSES]; DISASTER_CLASSES] = [
+        [0.55, 0.30, 0.15], // fire: mostly mild
+        [0.25, 0.45, 0.30], // flood
+        [0.15, 0.35, 0.50], // earthquake: mostly severe
+        [0.34, 0.33, 0.33], // hurricane: uniform
+    ];
+    let draw = rng.uniform();
+    let mut cumulative = 0.0;
+    for (class, &p) in TABLE[disaster].iter().enumerate() {
+        cumulative += p;
+        if draw < cumulative {
+            return class;
+        }
+    }
+    SEVERITY_CLASSES - 1
+}
+
+/// Paints one incident scene. The disaster type picks the dominant colour
+/// structure; the severity modulates how much of the scene is covered by
+/// "damage" texture.
+fn render_incident(image: &mut [f32], size: usize, disaster: usize, severity: usize, rng: &mut StdRng) {
+    let plane = size * size;
+    // Base palettes per disaster type (sky-ish background, damage colour).
+    let (background, damage) = match disaster {
+        0 => ([0.45, 0.35, 0.30], [0.95, 0.35, 0.05]), // fire: orange flames
+        1 => ([0.55, 0.60, 0.70], [0.10, 0.30, 0.80]), // flood: blue water
+        2 => ([0.60, 0.58, 0.55], [0.35, 0.32, 0.30]), // earthquake: grey rubble
+        _ => ([0.50, 0.60, 0.65], [0.75, 0.75, 0.78]), // hurricane: pale debris
+    };
+    for y in 0..size {
+        for x in 0..size {
+            for ch in 0..3 {
+                // Slight vertical gradient so images are not flat colour.
+                let shade = 0.85 + 0.15 * (y as f32 / size as f32);
+                image[ch * plane + y * size + x] = (background[ch] * shade).clamp(0.0, 1.0);
+            }
+        }
+    }
+    // Damage blobs: the count grows with severity, positions are random, so
+    // intra-class appearance varies a lot.
+    let blobs = 2 + severity * 3 + rng.below(3);
+    for _ in 0..blobs {
+        let cy = rng.below(size) as isize;
+        let cx = rng.below(size) as isize;
+        let radius = (1 + rng.below(size / 4 + 1)) as isize;
+        for y in (cy - radius).max(0)..(cy + radius).min(size as isize) {
+            for x in (cx - radius).max(0)..(cx + radius).min(size as isize) {
+                let dy = y - cy;
+                let dx = x - cx;
+                if dx * dx + dy * dy <= radius * radius {
+                    for ch in 0..3 {
+                        image[ch * plane + y as usize * size + x as usize] = damage[ch];
+                    }
+                }
+            }
+        }
+    }
+    // Flood scenes additionally get horizontal water bands whose height grows
+    // with severity, giving the severity task a visual cue tied to structure.
+    if disaster == 1 {
+        let water_rows = size * (severity + 1) / 6;
+        for y in size - water_rows..size {
+            for x in 0..size {
+                for ch in 0..3 {
+                    image[ch * plane + y * size + x] = damage[ch];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_two_tasks() {
+        let ds = MedicConfig::small().generate(1).unwrap();
+        assert_eq!(ds.len(), 480);
+        assert_eq!(ds.task_count(), 2);
+        assert_eq!(ds.tasks()[0].classes, SEVERITY_CLASSES);
+        assert_eq!(ds.tasks()[1].classes, DISASTER_CLASSES);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = MedicConfig {
+            samples: 60,
+            image_size: 16,
+            label_noise: 0.2,
+            pixel_noise: 0.2,
+        };
+        assert_eq!(cfg.generate(5).unwrap().images(), cfg.generate(5).unwrap().images());
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_range() {
+        let ds = MedicConfig::small().generate(2).unwrap();
+        assert!(ds
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn every_class_of_both_tasks_appears() {
+        let ds = MedicConfig {
+            samples: 800,
+            image_size: 12,
+            label_noise: 0.2,
+            pixel_noise: 0.1,
+        }
+        .generate(3)
+        .unwrap();
+        assert!(ds.class_histogram(0).unwrap().iter().all(|&c| c > 0));
+        assert!(ds.class_histogram(1).unwrap().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn severity_and_disaster_are_correlated_but_not_identical() {
+        let mut rng = StdRng::seed_from(11);
+        let mut earthquake_severe = 0;
+        let mut fire_severe = 0;
+        let n = 4000;
+        for _ in 0..n {
+            if sample_severity(2, &mut rng) == 2 {
+                earthquake_severe += 1;
+            }
+            if sample_severity(0, &mut rng) == 2 {
+                fire_severe += 1;
+            }
+        }
+        // Earthquakes are much more often "severe" than fires, but neither is
+        // deterministic.
+        assert!(earthquake_severe > fire_severe * 2);
+        assert!(fire_severe > 0);
+        assert!(earthquake_severe < n);
+    }
+
+    #[test]
+    fn disaster_types_have_distinct_appearance() {
+        let mut rng = StdRng::seed_from(7);
+        let size = 20;
+        let mut fire = vec![0.0f32; 3 * size * size];
+        let mut flood = vec![0.0f32; 3 * size * size];
+        render_incident(&mut fire, size, 0, 1, &mut rng);
+        render_incident(&mut flood, size, 1, 1, &mut rng);
+        // Fire scenes are redder on average; flood scenes are bluer.
+        let mean_channel = |img: &[f32], ch: usize| {
+            img[ch * size * size..(ch + 1) * size * size].iter().sum::<f32>() / (size * size) as f32
+        };
+        assert!(mean_channel(&fire, 0) > mean_channel(&flood, 0));
+        assert!(mean_channel(&flood, 2) > mean_channel(&fire, 2));
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        let bad_noise = MedicConfig {
+            label_noise: 1.0,
+            ..MedicConfig::small()
+        };
+        assert!(bad_noise.generate(1).is_err());
+        let bad_size = MedicConfig {
+            image_size: 4,
+            ..MedicConfig::small()
+        };
+        assert!(bad_size.generate(1).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Image corruption utilities.
+//!
+//! The paper adds "salt-and-pepper noise of 15 % of the image pixels" to
+//! 3D Shapes to make the object-size and object-type tasks challenging;
+//! these helpers implement that corruption plus additive Gaussian noise used
+//! by the harder generators.
+
+use mtlsplit_tensor::{StdRng, Tensor};
+
+/// Replaces `fraction` of each image's pixels with pure black or white.
+///
+/// The input is interpreted as `[n, c, h, w]`; the same spatial positions are
+/// corrupted across channels so the noise looks like dead/saturated pixels
+/// rather than chromatic speckle. Values outside `[0, 1]` for `fraction` are
+/// clamped.
+pub fn add_salt_and_pepper(images: &Tensor, fraction: f32, rng: &mut StdRng) -> Tensor {
+    let fraction = fraction.clamp(0.0, 1.0);
+    if images.rank() != 4 || fraction == 0.0 {
+        return images.clone();
+    }
+    let [n, c, h, w] = [
+        images.dims()[0],
+        images.dims()[1],
+        images.dims()[2],
+        images.dims()[3],
+    ];
+    let mut out = images.clone();
+    let data = out.as_mut_slice();
+    let pixels_per_image = h * w;
+    let corrupted = ((pixels_per_image as f32) * fraction).round() as usize;
+    for img in 0..n {
+        for _ in 0..corrupted {
+            let y = rng.below(h.max(1));
+            let x = rng.below(w.max(1));
+            let value = if rng.chance(0.5) { 1.0 } else { 0.0 };
+            for ch in 0..c {
+                data[((img * c + ch) * h + y) * w + x] = value;
+            }
+        }
+    }
+    out
+}
+
+/// Adds zero-mean Gaussian noise with the given standard deviation, clamping
+/// the result back to `[0, 1]`.
+pub fn add_gaussian_noise(images: &Tensor, std_dev: f32, rng: &mut StdRng) -> Tensor {
+    if std_dev <= 0.0 {
+        return images.clone();
+    }
+    let mut out = images.clone();
+    for v in out.as_mut_slice() {
+        *v = (*v + rng.normal_with(0.0, std_dev)).clamp(0.0, 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salt_and_pepper_corrupts_roughly_the_requested_fraction() {
+        let mut rng = StdRng::seed_from(1);
+        let images = Tensor::full(&[4, 3, 16, 16], 0.5);
+        let noisy = add_salt_and_pepper(&images, 0.15, &mut rng);
+        let changed = noisy
+            .as_slice()
+            .iter()
+            .filter(|&&v| v != 0.5)
+            .count() as f32
+            / noisy.len() as f32;
+        // Corruption may hit the same pixel twice, so the realised fraction is
+        // at most 15 % and not far below it.
+        assert!(changed > 0.10 && changed <= 0.16, "changed fraction {changed}");
+    }
+
+    #[test]
+    fn salt_and_pepper_only_writes_extremes() {
+        let mut rng = StdRng::seed_from(2);
+        let images = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let noisy = add_salt_and_pepper(&images, 0.5, &mut rng);
+        for &v in noisy.as_slice() {
+            assert!(v == 0.0 || v == 0.5 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let mut rng = StdRng::seed_from(3);
+        let images = Tensor::full(&[1, 1, 4, 4], 0.3);
+        assert_eq!(add_salt_and_pepper(&images, 0.0, &mut rng), images);
+    }
+
+    #[test]
+    fn gaussian_noise_stays_in_unit_range() {
+        let mut rng = StdRng::seed_from(4);
+        let images = Tensor::full(&[2, 1, 8, 8], 0.9);
+        let noisy = add_gaussian_noise(&images, 0.3, &mut rng);
+        assert!(noisy.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_ne!(noisy, images);
+    }
+
+    #[test]
+    fn gaussian_noise_with_zero_std_is_identity() {
+        let mut rng = StdRng::seed_from(5);
+        let images = Tensor::full(&[1, 1, 4, 4], 0.2);
+        assert_eq!(add_gaussian_noise(&images, 0.0, &mut rng), images);
+    }
+}

@@ -1,0 +1,188 @@
+//! Static model analysis: the quantities reported in the paper's Table 4.
+//!
+//! Table 4 lists, per backbone: the number of parameters, the size of those
+//! parameters in megabytes, the forward/backward activation footprint, the
+//! estimated total model size, and the element count and size of the shared
+//! representation `Z_b`. All of those are functions of the architecture and
+//! the input resolution, so they can be computed without training.
+
+use serde::{Deserialize, Serialize};
+
+use crate::backbone::Backbone;
+
+/// Size of one `f32` activation or weight, in bytes.
+pub const BYTES_PER_VALUE: usize = std::mem::size_of::<f32>();
+
+/// Static size report for one backbone at one input resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// Human-readable model name.
+    pub model: String,
+    /// Input resolution the activations were computed for (square side).
+    pub input_size: usize,
+    /// Number of trainable parameters in the backbone.
+    pub parameters: usize,
+    /// Size of the parameters in bytes.
+    pub parameter_bytes: usize,
+    /// Forward + backward activation footprint in bytes (one sample).
+    pub forward_backward_bytes: usize,
+    /// Estimated total size: parameters + activations.
+    pub estimated_total_bytes: usize,
+    /// Number of elements in the transmitted representation `Z_b`.
+    pub zb_elements: usize,
+    /// Size of `Z_b` in bytes.
+    pub zb_bytes: usize,
+}
+
+impl ModelReport {
+    /// Parameter size in megabytes.
+    pub fn parameter_mb(&self) -> f64 {
+        to_mb(self.parameter_bytes)
+    }
+
+    /// Forward/backward footprint in megabytes.
+    pub fn forward_backward_mb(&self) -> f64 {
+        to_mb(self.forward_backward_bytes)
+    }
+
+    /// Estimated total size in megabytes.
+    pub fn estimated_total_mb(&self) -> f64 {
+        to_mb(self.estimated_total_bytes)
+    }
+
+    /// `Z_b` size in megabytes.
+    pub fn zb_mb(&self) -> f64 {
+        to_mb(self.zb_bytes)
+    }
+}
+
+/// Converts bytes to megabytes (10^6 bytes, as the paper does).
+pub fn to_mb(bytes: usize) -> f64 {
+    bytes as f64 / 1_000_000.0
+}
+
+/// Analyses a backbone at the resolution it was built for.
+///
+/// The forward/backward footprint follows the convention of the summary
+/// tools the paper used: every stage's output activation is stored once for
+/// the forward pass and once for the backward pass.
+pub fn analyze_backbone(backbone: &Backbone) -> ModelReport {
+    analyze_backbone_at(backbone, backbone.input_size())
+}
+
+/// Analyses a backbone with its activations re-scaled to a different square
+/// input resolution.
+///
+/// Parameter counts are resolution-independent (all layers are convolutional
+/// or global-pooling), while activation footprints grow with the squared
+/// resolution ratio — which is how the scaled-down models are extrapolated to
+/// the paper's 224×224 inputs for Table 4.
+pub fn analyze_backbone_at(backbone: &Backbone, input_size: usize) -> ModelReport {
+    use mtlsplit_nn::Layer as _;
+
+    let parameters = backbone.parameter_count();
+    let parameter_bytes = parameters * BYTES_PER_VALUE;
+    let base = backbone.input_size() as f64;
+    let ratio = (input_size as f64 / base).powi(2);
+    // Z_b comes after global average pooling, so its size does not scale with
+    // the input resolution; every other stage does.
+    let zb_elements = backbone.feature_dim();
+    let spatial_elements: usize = backbone
+        .stage_footprint()
+        .iter()
+        .take(backbone.stage_footprint().len().saturating_sub(1))
+        .map(|(_, n)| n)
+        .sum();
+    let scaled_spatial = (spatial_elements as f64 * ratio).round() as usize;
+    let activation_elements = scaled_spatial + zb_elements;
+    let forward_backward_bytes = 2 * activation_elements * BYTES_PER_VALUE;
+    ModelReport {
+        model: backbone.kind().display_name().to_string(),
+        input_size,
+        parameters,
+        parameter_bytes,
+        forward_backward_bytes,
+        estimated_total_bytes: parameter_bytes + forward_backward_bytes,
+        zb_elements,
+        zb_bytes: zb_elements * BYTES_PER_VALUE,
+    }
+}
+
+/// The raw input size in bytes for an RGB image of the given resolution —
+/// the per-inference network payload of the Remote-only-Computing baseline.
+pub fn raw_input_bytes(channels: usize, height: usize, width: usize) -> usize {
+    channels * height * width * BYTES_PER_VALUE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::{BackboneConfig, BackboneKind};
+    use mtlsplit_nn::Layer as _;
+    use mtlsplit_tensor::StdRng;
+
+    fn build(kind: BackboneKind) -> Backbone {
+        let mut rng = StdRng::seed_from(1);
+        Backbone::new(BackboneConfig::new(kind, 3, 24), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let backbone = build(BackboneKind::MobileStyle);
+        let report = analyze_backbone(&backbone);
+        assert_eq!(report.parameters, backbone.parameter_count());
+        assert_eq!(report.parameter_bytes, report.parameters * 4);
+        assert_eq!(
+            report.estimated_total_bytes,
+            report.parameter_bytes + report.forward_backward_bytes
+        );
+        assert_eq!(report.zb_elements, backbone.feature_dim());
+        assert_eq!(report.zb_bytes, report.zb_elements * 4);
+    }
+
+    #[test]
+    fn activations_dominate_parameters_at_high_resolution() {
+        // At the paper's 224x224 resolution the forward/backward footprint is
+        // orders of magnitude larger than the parameter size (724 MB vs
+        // 3.58 MB for MobileNetV3 in Table 4).
+        let backbone = build(BackboneKind::MobileStyle);
+        let report = analyze_backbone_at(&backbone, 224);
+        assert!(report.forward_backward_bytes > 20 * report.parameter_bytes);
+    }
+
+    #[test]
+    fn zb_does_not_grow_with_resolution() {
+        let backbone = build(BackboneKind::EfficientStyle);
+        let small = analyze_backbone_at(&backbone, 24);
+        let large = analyze_backbone_at(&backbone, 224);
+        assert_eq!(small.zb_bytes, large.zb_bytes);
+        assert!(large.forward_backward_bytes > small.forward_backward_bytes * 50);
+    }
+
+    #[test]
+    fn zb_is_much_smaller_than_the_raw_input() {
+        // The core split-computing claim: transmitting Z_b beats transmitting x.
+        for kind in BackboneKind::ALL {
+            let backbone = build(kind);
+            let report = analyze_backbone_at(&backbone, 224);
+            let input = raw_input_bytes(3, 224, 224);
+            assert!(report.zb_bytes * 100 < input, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parameter_ordering_matches_table4() {
+        let mobile = analyze_backbone(&build(BackboneKind::MobileStyle));
+        let efficient = analyze_backbone(&build(BackboneKind::EfficientStyle));
+        assert!(efficient.parameters > mobile.parameters);
+        assert!(efficient.zb_elements > mobile.zb_elements);
+    }
+
+    #[test]
+    fn megabyte_helpers_divide_by_a_million() {
+        assert!((to_mb(2_000_000) - 2.0).abs() < 1e-9);
+        let backbone = build(BackboneKind::VggStyle);
+        let report = analyze_backbone(&backbone);
+        assert!((report.parameter_mb() - to_mb(report.parameter_bytes)).abs() < 1e-12);
+    }
+}

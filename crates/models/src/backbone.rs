@@ -1,0 +1,433 @@
+//! The three backbone families and their construction.
+
+use mtlsplit_nn::{
+    BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool2d, HardSwish, Layer, MaxPool2d,
+    NnError, Parameter, PointwiseConv2d, Relu, Result, Sequential,
+};
+use mtlsplit_tensor::{StdRng, Tensor};
+
+use crate::blocks::MbConvBlock;
+
+/// The backbone family, mirroring the paper's three model choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackboneKind {
+    /// Plain 3×3 convolution stacks with max pooling (VGG16 analogue).
+    VggStyle,
+    /// Depthwise-separable convolutions with hard-swish (MobileNetV3 analogue).
+    MobileStyle,
+    /// Inverted-residual MBConv blocks with squeeze-excite (EfficientNet analogue).
+    EfficientStyle,
+}
+
+impl BackboneKind {
+    /// All three families, in the order the paper's tables list them.
+    pub const ALL: [BackboneKind; 3] = [
+        BackboneKind::VggStyle,
+        BackboneKind::MobileStyle,
+        BackboneKind::EfficientStyle,
+    ];
+
+    /// The display name used in regenerated tables.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            BackboneKind::VggStyle => "VGG16 (VggStyle)",
+            BackboneKind::MobileStyle => "MobileNetV3 (MobileStyle)",
+            BackboneKind::EfficientStyle => "EfficientNet (EfficientStyle)",
+        }
+    }
+}
+
+impl std::fmt::Display for BackboneKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Configuration for building a backbone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackboneConfig {
+    /// Which family to build.
+    pub kind: BackboneKind,
+    /// Number of input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Square input side length in pixels.
+    pub input_size: usize,
+    /// Multiplier applied to every channel width (1.0 = the default width).
+    pub width_multiplier: f32,
+}
+
+impl BackboneConfig {
+    /// Creates a configuration with the default width multiplier.
+    pub fn new(kind: BackboneKind, in_channels: usize, input_size: usize) -> Self {
+        Self {
+            kind,
+            in_channels,
+            input_size,
+            width_multiplier: 1.0,
+        }
+    }
+
+    /// Sets the width multiplier, returning the updated configuration.
+    pub fn with_width_multiplier(mut self, multiplier: f32) -> Self {
+        self.width_multiplier = multiplier;
+        self
+    }
+
+    fn width(&self, base: usize) -> usize {
+        ((base as f32 * self.width_multiplier).round() as usize).max(1)
+    }
+}
+
+/// A shared backbone `M_b(x; psi)`: the edge-resident half of MTL-Split.
+///
+/// The backbone maps an NCHW image batch to a flat feature matrix
+/// `Z_b in [batch, feature_dim]`. It also records the activation footprint of
+/// every stage so the Table 4 memory analysis can be computed without
+/// re-running a forward pass.
+pub struct Backbone {
+    kind: BackboneKind,
+    net: Sequential,
+    feature_dim: usize,
+    input_size: usize,
+    in_channels: usize,
+    stage_footprint: Vec<(String, usize)>,
+}
+
+impl std::fmt::Debug for Backbone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backbone")
+            .field("kind", &self.kind)
+            .field("feature_dim", &self.feature_dim)
+            .field("parameters", &self.parameter_count())
+            .finish()
+    }
+}
+
+/// Running shape tracker used while assembling a backbone.
+struct StageTracker {
+    channels: usize,
+    size: usize,
+    footprint: Vec<(String, usize)>,
+}
+
+impl StageTracker {
+    fn new(channels: usize, size: usize) -> Self {
+        Self {
+            channels,
+            size,
+            footprint: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, label: &str) {
+        self.footprint
+            .push((label.to_string(), self.channels * self.size * self.size));
+    }
+
+    fn after_conv(&mut self, out_channels: usize, stride: usize, label: &str) {
+        self.channels = out_channels;
+        self.size = (self.size + stride - 1) / stride;
+        self.record(label);
+    }
+
+    fn after_pool(&mut self, window: usize, label: &str) {
+        self.size = (self.size / window).max(1);
+        self.record(label);
+    }
+}
+
+impl Backbone {
+    /// Builds a backbone of the configured family.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is too small for the family's stride
+    /// pattern (each family needs at least a 12-pixel input so its deepest
+    /// stage keeps a positive spatial extent).
+    pub fn new(config: BackboneConfig, rng: &mut StdRng) -> Result<Self> {
+        if config.input_size < 12 {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "input size {} too small for {:?} (minimum 12)",
+                    config.input_size, config.kind
+                ),
+            });
+        }
+        if config.in_channels == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "in_channels must be positive".to_string(),
+            });
+        }
+        let (net, feature_dim, footprint) = match config.kind {
+            BackboneKind::VggStyle => build_vgg(&config, rng),
+            BackboneKind::MobileStyle => build_mobile(&config, rng),
+            BackboneKind::EfficientStyle => build_efficient(&config, rng),
+        };
+        Ok(Self {
+            kind: config.kind,
+            net,
+            feature_dim,
+            input_size: config.input_size,
+            in_channels: config.in_channels,
+            stage_footprint: footprint,
+        })
+    }
+
+    /// The backbone family.
+    pub fn kind(&self) -> BackboneKind {
+        self.kind
+    }
+
+    /// Length of the flattened shared representation `Z_b` per sample.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The square input size the backbone was built for.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Number of input channels the backbone was built for.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Per-stage activation element counts (per sample), in execution order.
+    pub fn stage_footprint(&self) -> &[(String, usize)] {
+        &self.stage_footprint
+    }
+
+    /// Total activation elements per sample across all stages.
+    pub fn activation_elements(&self) -> usize {
+        self.stage_footprint.iter().map(|(_, n)| n).sum()
+    }
+}
+
+impl Layer for Backbone {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        self.net.forward(input, training)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.net.backward(grad_output)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        self.net.parameters_mut()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        self.net.parameters()
+    }
+
+    fn name(&self) -> &'static str {
+        "Backbone"
+    }
+}
+
+fn build_vgg(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, Vec<(String, usize)>) {
+    let c1 = config.width(16);
+    let c2 = config.width(32);
+    let c3 = config.width(64);
+    let mut tracker = StageTracker::new(config.in_channels, config.input_size);
+    let mut net = Sequential::new()
+        .push(Conv2d::new(config.in_channels, c1, 3, 1, 1, rng))
+        .push(Relu::new());
+    tracker.after_conv(c1, 1, "conv1_1");
+    net = net.push(Conv2d::new(c1, c1, 3, 1, 1, rng)).push(Relu::new());
+    tracker.after_conv(c1, 1, "conv1_2");
+    net = net.push(MaxPool2d::new(2, 2));
+    tracker.after_pool(2, "pool1");
+
+    net = net.push(Conv2d::new(c1, c2, 3, 1, 1, rng)).push(Relu::new());
+    tracker.after_conv(c2, 1, "conv2_1");
+    net = net.push(Conv2d::new(c2, c2, 3, 1, 1, rng)).push(Relu::new());
+    tracker.after_conv(c2, 1, "conv2_2");
+    net = net.push(MaxPool2d::new(2, 2));
+    tracker.after_pool(2, "pool2");
+
+    net = net.push(Conv2d::new(c2, c3, 3, 1, 1, rng)).push(Relu::new());
+    tracker.after_conv(c3, 1, "conv3_1");
+    net = net.push(Conv2d::new(c3, c3, 3, 1, 1, rng)).push(Relu::new());
+    tracker.after_conv(c3, 1, "conv3_2");
+    net = net.push(MaxPool2d::new(2, 2));
+    tracker.after_pool(2, "pool3");
+
+    net = net.push(GlobalAvgPool2d::new()).push(Flatten::new());
+    tracker.footprint.push(("gap".to_string(), c3));
+    (net, c3, tracker.footprint)
+}
+
+fn build_mobile(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, Vec<(String, usize)>) {
+    let c_stem = config.width(8);
+    let c1 = config.width(16);
+    let c2 = config.width(24);
+    let c3 = config.width(32);
+    let mut tracker = StageTracker::new(config.in_channels, config.input_size);
+
+    let mut net = Sequential::new()
+        .push(Conv2d::new(config.in_channels, c_stem, 3, 2, 1, rng))
+        .push(BatchNorm2d::new(c_stem))
+        .push(HardSwish::new());
+    tracker.after_conv(c_stem, 2, "stem");
+
+    let separable = |net: Sequential,
+                         tracker: &mut StageTracker,
+                         in_c: usize,
+                         out_c: usize,
+                         stride: usize,
+                         label: &str,
+                         rng: &mut StdRng| {
+        let net = net
+            .push(DepthwiseConv2d::new(in_c, 3, stride, 1, rng))
+            .push(BatchNorm2d::new(in_c))
+            .push(HardSwish::new())
+            .push(PointwiseConv2d::new(in_c, out_c, rng))
+            .push(BatchNorm2d::new(out_c))
+            .push(HardSwish::new());
+        tracker.after_conv(out_c, stride, label);
+        net
+    };
+
+    net = separable(net, &mut tracker, c_stem, c1, 1, "sep1", rng);
+    net = separable(net, &mut tracker, c1, c2, 2, "sep2", rng);
+    net = separable(net, &mut tracker, c2, c3, 1, "sep3", rng);
+
+    net = net.push(GlobalAvgPool2d::new()).push(Flatten::new());
+    tracker.footprint.push(("gap".to_string(), c3));
+    (net, c3, tracker.footprint)
+}
+
+fn build_efficient(
+    config: &BackboneConfig,
+    rng: &mut StdRng,
+) -> (Sequential, usize, Vec<(String, usize)>) {
+    let c_stem = config.width(12);
+    let c1 = config.width(16);
+    let c2 = config.width(24);
+    let c3 = config.width(40);
+    let mut tracker = StageTracker::new(config.in_channels, config.input_size);
+
+    let mut net = Sequential::new()
+        .push(Conv2d::new(config.in_channels, c_stem, 3, 2, 1, rng))
+        .push(BatchNorm2d::new(c_stem))
+        .push(HardSwish::new());
+    tracker.after_conv(c_stem, 2, "stem");
+
+    net = net.push(MbConvBlock::new(c_stem, c1, 2, 1, rng));
+    tracker.after_conv(c1, 1, "mbconv1");
+    net = net.push(MbConvBlock::new(c1, c2, 3, 2, rng));
+    tracker.after_conv(c2, 2, "mbconv2");
+    net = net.push(MbConvBlock::new(c2, c2, 3, 1, rng));
+    tracker.after_conv(c2, 1, "mbconv3");
+    net = net.push(MbConvBlock::new(c2, c3, 3, 2, rng));
+    tracker.after_conv(c3, 2, "mbconv4");
+
+    net = net.push(GlobalAvgPool2d::new()).push(Flatten::new());
+    tracker.footprint.push(("gap".to_string(), c3));
+    (net, c3, tracker.footprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(kind: BackboneKind, size: usize) -> Backbone {
+        let mut rng = StdRng::seed_from(1);
+        Backbone::new(BackboneConfig::new(kind, 3, size), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn every_family_produces_flat_features() {
+        for kind in BackboneKind::ALL {
+            let mut backbone = build(kind, 24);
+            let x = Tensor::zeros(&[2, 3, 24, 24]);
+            let z = backbone.forward(&x, true).unwrap();
+            assert_eq!(z.dims(), &[2, backbone.feature_dim()], "{kind}");
+        }
+    }
+
+    #[test]
+    fn parameter_count_ordering_matches_the_paper() {
+        // VGG is the heaviest, MobileNet the lightest, EfficientNet in between.
+        let vgg = build(BackboneKind::VggStyle, 24).parameter_count();
+        let mobile = build(BackboneKind::MobileStyle, 24).parameter_count();
+        let efficient = build(BackboneKind::EfficientStyle, 24).parameter_count();
+        assert!(vgg > efficient, "vgg {vgg} vs efficient {efficient}");
+        assert!(efficient > mobile, "efficient {efficient} vs mobile {mobile}");
+    }
+
+    #[test]
+    fn backward_flows_through_every_family() {
+        for kind in BackboneKind::ALL {
+            let mut backbone = build(kind, 20);
+            let mut rng = StdRng::seed_from(2);
+            let x = Tensor::randn(&[2, 3, 20, 20], 0.0, 1.0, &mut rng);
+            let z = backbone.forward(&x, true).unwrap();
+            let grad = backbone.backward(&Tensor::ones(z.dims())).unwrap();
+            assert_eq!(grad.dims(), x.dims());
+            let nonzero = backbone
+                .parameters()
+                .iter()
+                .filter(|p| p.grad().squared_norm() > 0.0)
+                .count();
+            assert!(nonzero > 0, "{kind} produced no parameter gradients");
+        }
+    }
+
+    #[test]
+    fn width_multiplier_scales_parameters() {
+        let mut rng = StdRng::seed_from(3);
+        let narrow = Backbone::new(
+            BackboneConfig::new(BackboneKind::VggStyle, 3, 24).with_width_multiplier(0.5),
+            &mut rng,
+        )
+        .unwrap();
+        let wide = Backbone::new(
+            BackboneConfig::new(BackboneKind::VggStyle, 3, 24).with_width_multiplier(2.0),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(wide.parameter_count() > narrow.parameter_count() * 4);
+    }
+
+    #[test]
+    fn feature_dim_is_much_smaller_than_input() {
+        // The whole point of the split: Z_b is far smaller than the raw image.
+        for kind in BackboneKind::ALL {
+            let backbone = build(kind, 28);
+            assert!(backbone.feature_dim() * 8 < 3 * 28 * 28, "{kind}");
+        }
+    }
+
+    #[test]
+    fn stage_footprint_is_recorded() {
+        let backbone = build(BackboneKind::MobileStyle, 24);
+        assert!(!backbone.stage_footprint().is_empty());
+        assert!(backbone.activation_elements() > backbone.feature_dim());
+        // The last recorded stage is the pooled feature vector.
+        assert_eq!(
+            backbone.stage_footprint().last().unwrap().1,
+            backbone.feature_dim()
+        );
+    }
+
+    #[test]
+    fn rejects_too_small_inputs() {
+        let mut rng = StdRng::seed_from(4);
+        assert!(Backbone::new(
+            BackboneConfig::new(BackboneKind::EfficientStyle, 3, 8),
+            &mut rng
+        )
+        .is_err());
+        assert!(Backbone::new(BackboneConfig::new(BackboneKind::VggStyle, 0, 24), &mut rng).is_err());
+    }
+
+    #[test]
+    fn display_names_mention_the_paper_models() {
+        assert!(BackboneKind::VggStyle.to_string().contains("VGG16"));
+        assert!(BackboneKind::MobileStyle.to_string().contains("MobileNetV3"));
+        assert!(BackboneKind::EfficientStyle.to_string().contains("EfficientNet"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Backbone and task-head model zoo for the MTL-Split reproduction.
+//!
+//! The paper evaluates three backbone families — VGG16, MobileNetV3 and
+//! EfficientNet — with small MLP task heads on top. This crate provides
+//! structurally analogous, CPU-scale versions of those families:
+//!
+//! * [`BackboneKind::VggStyle`] — plain 3×3 convolution stacks with max
+//!   pooling, the "large, well-established" family.
+//! * [`BackboneKind::MobileStyle`] — depthwise-separable convolutions with
+//!   hard-swish activations, the lightweight embedded family.
+//! * [`BackboneKind::EfficientStyle`] — inverted-residual (MBConv-like)
+//!   blocks with squeeze-and-excitation, the compound-scaled family.
+//!
+//! Every backbone ends in global average pooling followed by a flatten, so
+//! its output is the compact shared representation `Z_b` that MTL-Split
+//! transmits from the edge device to the task heads on the server.
+//!
+//! The [`analysis`] module computes the quantities of the paper's Table 4
+//! (parameter counts, parameter bytes, forward/backward activation footprint
+//! and the size of `Z_b`), both for the scaled models that actually train in
+//! this repository and extrapolated to the paper's 224×224 input resolution.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+mod backbone;
+mod blocks;
+mod head;
+
+pub use backbone::{Backbone, BackboneConfig, BackboneKind};
+pub use blocks::{MbConvBlock, SqueezeExcite};
+pub use head::TaskHead;

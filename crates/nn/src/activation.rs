@@ -1,0 +1,224 @@
+//! Point-wise activation layers: ReLU, sigmoid, and the hard variants used by
+//! MobileNetV3-style networks.
+
+use mtlsplit_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::param::Parameter;
+use crate::Layer;
+
+macro_rules! pointwise_activation {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $label:literal, $forward:expr, $derivative:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            cached_input: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self { cached_input: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+                self.cached_input = Some(input.clone());
+                let f: fn(f32) -> f32 = $forward;
+                Ok(input.map(f))
+            }
+
+            fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+                let input = self
+                    .cached_input
+                    .as_ref()
+                    .ok_or(NnError::MissingForwardCache { layer: $label })?;
+                let d: fn(f32) -> f32 = $derivative;
+                let local = input.map(d);
+                Ok(grad_output.mul(&local)?)
+            }
+
+            fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+                Vec::new()
+            }
+
+            fn parameters(&self) -> Vec<&Parameter> {
+                Vec::new()
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn hard_sigmoid(x: f32) -> f32 {
+    ((x + 3.0) / 6.0).clamp(0.0, 1.0)
+}
+
+pointwise_activation!(
+    /// Rectified linear unit: `max(0, x)`.
+    ///
+    /// The paper's task-solving heads are "two linear layers activated by the
+    /// Rectified Linear Activation Unit".
+    Relu,
+    "Relu",
+    |x| x.max(0.0),
+    |x| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+pointwise_activation!(
+    /// Logistic sigmoid activation.
+    Sigmoid,
+    "Sigmoid",
+    sigmoid,
+    |x| {
+        let s = sigmoid(x);
+        s * (1.0 - s)
+    }
+);
+
+pointwise_activation!(
+    /// Hard sigmoid: `clamp((x + 3) / 6, 0, 1)` — the cheap sigmoid
+    /// approximation used inside MobileNetV3 squeeze-excite blocks.
+    HardSigmoid,
+    "HardSigmoid",
+    hard_sigmoid,
+    |x| if x > -3.0 && x < 3.0 { 1.0 / 6.0 } else { 0.0 }
+);
+
+pointwise_activation!(
+    /// Hard swish: `x * hard_sigmoid(x)` — MobileNetV3's main activation.
+    HardSwish,
+    "HardSwish",
+    |x| x * hard_sigmoid(x),
+    |x| {
+        if x <= -3.0 {
+            0.0
+        } else if x >= 3.0 {
+            1.0
+        } else {
+            (2.0 * x + 3.0) / 6.0
+        }
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_tensor::StdRng;
+
+    fn finite_difference<L: Layer>(layer: &mut L, seed: u64) {
+        let mut rng = StdRng::seed_from(seed);
+        let x = Tensor::randn(&[4, 5], 0.0, 1.5, &mut rng);
+        let probe = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        layer.forward(&x, true).unwrap();
+        let grad = layer.backward(&probe).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 7, 19] {
+            // Skip points too close to activation kinks where the numerical
+            // derivative is ill-defined.
+            if matches!(layer.name(), "Relu") && x.as_slice()[idx].abs() < 1e-2 {
+                continue;
+            }
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let up = layer.forward(&plus, true).unwrap().mul(&probe).unwrap().sum();
+            let down = layer
+                .forward(&minus, true)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
+            let num = (up - down) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[idx]).abs() < 1e-2,
+                "{}: numerical {num} vs analytical {}",
+                layer.name(),
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative_values() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]).unwrap();
+        let y = relu.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negative_inputs() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[1, 2]).unwrap();
+        relu.forward(&x, true).unwrap();
+        let grad = relu.backward(&Tensor::ones(&[1, 2])).unwrap();
+        assert_eq!(grad.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotonic() {
+        let mut layer = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[1, 3]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        assert!(y.as_slice()[0] < 0.01);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 0.99);
+    }
+
+    #[test]
+    fn hard_swish_matches_definition_at_key_points() {
+        let mut layer = HardSwish::new();
+        let x = Tensor::from_vec(vec![-4.0, -3.0, 0.0, 3.0, 4.0], &[1, 5]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert_eq!(y.as_slice()[1], 0.0);
+        assert_eq!(y.as_slice()[2], 0.0);
+        assert_eq!(y.as_slice()[3], 3.0);
+        assert_eq!(y.as_slice()[4], 4.0);
+    }
+
+    #[test]
+    fn activations_have_no_parameters() {
+        assert_eq!(Relu::new().parameter_count(), 0);
+        assert_eq!(HardSwish::new().parameter_count(), 0);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut layer = HardSigmoid::new();
+        assert!(layer.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn relu_gradient_matches_finite_differences() {
+        finite_difference(&mut Relu::new(), 31);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_differences() {
+        finite_difference(&mut Sigmoid::new(), 32);
+    }
+
+    #[test]
+    fn hard_swish_gradient_matches_finite_differences() {
+        finite_difference(&mut HardSwish::new(), 33);
+    }
+
+    #[test]
+    fn hard_sigmoid_gradient_matches_finite_differences() {
+        finite_difference(&mut HardSigmoid::new(), 34);
+    }
+}

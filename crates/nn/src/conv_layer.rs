@@ -1,0 +1,257 @@
+//! Convolutional layers: dense, depthwise and pointwise (1×1) convolutions.
+
+use mtlsplit_tensor::{conv2d, conv2d_backward, Conv2dSpec, StdRng, Tensor};
+
+use crate::error::{NnError, Result};
+use crate::init::kaiming_normal;
+use crate::param::Parameter;
+use crate::Layer;
+
+/// A 2-D convolution layer with trainable weight and bias.
+///
+/// The three backbone families in the paper are built from this layer:
+/// plain 3×3 stacks (VGG-style), depthwise-separable pairs
+/// ([`DepthwiseConv2d`] + [`PointwiseConv2d`], MobileNet-style) and inverted
+/// residual blocks (EfficientNet-style).
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{Conv2d, Layer};
+/// use mtlsplit_tensor::{StdRng, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut rng = StdRng::seed_from(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+/// let y = conv.forward(&x, true)?;
+/// assert_eq!(y.dims(), &[2, 8, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    weight: Parameter,
+    bias: Parameter,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a dense convolution: `in_channels → out_channels`, square
+    /// `kernel`, given `stride` and `padding`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::with_spec(
+            Conv2dSpec::new(in_channels, out_channels, kernel)
+                .with_stride(stride)
+                .with_padding(padding),
+            rng,
+        )
+    }
+
+    /// Creates a convolution layer from an explicit [`Conv2dSpec`].
+    pub fn with_spec(spec: Conv2dSpec, rng: &mut StdRng) -> Self {
+        let weight_dims = spec.weight_dims();
+        let fan_in = weight_dims[1] * weight_dims[2] * weight_dims[3];
+        let weight = kaiming_normal(&weight_dims, fan_in, rng);
+        Self {
+            spec,
+            weight: Parameter::new(weight),
+            bias: Parameter::new(Tensor::zeros(&[spec.out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// The convolution's static specification.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        Ok(conv2d(
+            input,
+            self.weight.value(),
+            Some(self.bias.value()),
+            &self.spec,
+        )?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
+        let (grad_input, grad_weight, grad_bias) =
+            conv2d_backward(input, self.weight.value(), grad_output, &self.spec)?;
+        self.weight.accumulate_grad(&grad_weight)?;
+        self.bias.accumulate_grad(&grad_bias)?;
+        Ok(grad_input)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// A depthwise convolution: each channel is convolved independently
+/// (`groups == channels`). The spatial mixing half of a depthwise-separable
+/// convolution.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    inner: Conv2d,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution over `channels` channels.
+    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut StdRng) -> Self {
+        let spec = Conv2dSpec::new(channels, channels, kernel)
+            .with_stride(stride)
+            .with_padding(padding)
+            .with_groups(channels);
+        Self {
+            inner: Conv2d::with_spec(spec, rng),
+        }
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        self.inner.forward(input, training)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.inner.backward(grad_output)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        self.inner.parameters_mut()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        self.inner.parameters()
+    }
+
+    fn name(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+}
+
+/// A pointwise (1×1) convolution: the channel-mixing half of a
+/// depthwise-separable convolution.
+#[derive(Debug)]
+pub struct PointwiseConv2d {
+    inner: Conv2d,
+}
+
+impl PointwiseConv2d {
+    /// Creates a 1×1 convolution mapping `in_channels` to `out_channels`.
+    pub fn new(in_channels: usize, out_channels: usize, rng: &mut StdRng) -> Self {
+        Self {
+            inner: Conv2d::new(in_channels, out_channels, 1, 1, 0, rng),
+        }
+    }
+}
+
+impl Layer for PointwiseConv2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        self.inner.forward(input, training)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.inner.backward(grad_output)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        self.inner.parameters_mut()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        self.inner.parameters()
+    }
+
+    fn name(&self) -> &'static str {
+        "PointwiseConv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape_follows_spec() {
+        let mut rng = StdRng::seed_from(1);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_preserves_channel_count_and_uses_few_parameters() {
+        let mut rng = StdRng::seed_from(2);
+        let mut dw = DepthwiseConv2d::new(8, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 8, 6, 6]);
+        let y = dw.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 6, 6]);
+        // 8 channels * 1 * 3 * 3 weights + 8 biases — far fewer than a dense conv.
+        assert_eq!(dw.parameter_count(), 8 * 9 + 8);
+    }
+
+    #[test]
+    fn pointwise_changes_channel_count_only() {
+        let mut rng = StdRng::seed_from(3);
+        let mut pw = PointwiseConv2d::new(8, 16, &mut rng);
+        let x = Tensor::zeros(&[1, 8, 5, 5]);
+        let y = pw.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 16, 5, 5]);
+    }
+
+    #[test]
+    fn backward_accumulates_parameter_gradients() {
+        let mut rng = StdRng::seed_from(4);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        let grad = Tensor::ones(y.dims());
+        let grad_input = conv.backward(&grad).unwrap();
+        assert_eq!(grad_input.dims(), x.dims());
+        assert!(conv.parameters()[0].grad().squared_norm() > 0.0);
+        assert!(conv.parameters()[1].grad().squared_norm() > 0.0);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from(5);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        assert!(conv.backward(&Tensor::zeros(&[1, 1, 5, 5])).is_err());
+    }
+
+    #[test]
+    fn depthwise_plus_pointwise_is_cheaper_than_dense() {
+        let mut rng = StdRng::seed_from(6);
+        let dense = Conv2d::new(32, 64, 3, 1, 1, &mut rng);
+        let dw = DepthwiseConv2d::new(32, 3, 1, 1, &mut rng);
+        let pw = PointwiseConv2d::new(32, 64, &mut rng);
+        assert!(dw.parameter_count() + pw.parameter_count() < dense.parameter_count() / 3);
+    }
+}

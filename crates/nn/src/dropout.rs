@@ -1,0 +1,134 @@
+//! Inverted dropout regularisation.
+
+use mtlsplit_tensor::{StdRng, Tensor};
+
+use crate::error::{NnError, Result};
+use crate::param::Parameter;
+use crate::Layer;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1 / (1 - p)`, so the
+/// expected activation is unchanged and inference needs no rescaling.
+///
+/// The layer owns its own RNG (seeded at construction) so training runs stay
+/// reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "dropout probability",
+                value: p,
+            });
+        }
+        Ok(Self {
+            p,
+            rng: StdRng::seed_from(seed),
+            mask: None,
+        })
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        if !training || self.p == 0.0 {
+            self.mask = Some(Tensor::ones(input.dims()));
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(input.dims());
+        for value in mask.as_mut_slice() {
+            *value = if self.rng.chance(keep) { scale } else { 0.0 };
+        }
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Dropout" })?;
+        Ok(grad_output.mul(mask)?)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.5, 0).is_ok());
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let mut dropout = Dropout::new(0.8, 1).unwrap();
+        let x = Tensor::ones(&[4, 4]);
+        let y = dropout.forward(&x, false).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction_and_rescales() {
+        let mut dropout = Dropout::new(0.5, 2).unwrap();
+        let x = Tensor::ones(&[100, 100]);
+        let y = dropout.forward(&x, true).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let ratio = zeros as f32 / y.len() as f32;
+        assert!((ratio - 0.5).abs() < 0.05, "dropped fraction {ratio}");
+        // Survivors are scaled so the expectation is preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_applies_the_same_mask() {
+        let mut dropout = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[10, 10]);
+        let y = dropout.forward(&x, true).unwrap();
+        let grad = dropout.backward(&Tensor::ones(&[10, 10])).unwrap();
+        // Exactly the positions that survived forward propagate gradient.
+        for (a, b) in y.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut dropout = Dropout::new(0.3, 4).unwrap();
+        assert!(dropout.backward(&Tensor::zeros(&[2, 2])).is_err());
+    }
+}

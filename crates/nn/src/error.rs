@@ -1,0 +1,125 @@
+//! Error type for network construction, forward/backward passes and
+//! optimisation.
+
+use std::fmt;
+
+use mtlsplit_tensor::TensorError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// Errors raised by layers, losses and optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed (shape mismatch, invalid window, ...).
+    Tensor(TensorError),
+    /// `backward` was called before `forward` populated the layer cache.
+    MissingForwardCache {
+        /// The layer that was asked to run backward.
+        layer: &'static str,
+    },
+    /// The provided targets do not match the batch produced by the network.
+    TargetMismatch {
+        /// Number of predictions in the batch.
+        predictions: usize,
+        /// Number of targets supplied.
+        targets: usize,
+    },
+    /// A target class index is outside the valid range for the logits.
+    InvalidClass {
+        /// The offending class index.
+        class: usize,
+        /// The number of classes the logits cover.
+        classes: usize,
+    },
+    /// The optimizer was configured with an invalid hyper-parameter.
+    InvalidHyperParameter {
+        /// Name of the hyper-parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f32,
+    },
+    /// A layer was constructed with an invalid configuration.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(err) => write!(f, "tensor operation failed: {err}"),
+            NnError::MissingForwardCache { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::TargetMismatch {
+                predictions,
+                targets,
+            } => write!(
+                f,
+                "target count {targets} does not match prediction count {predictions}"
+            ),
+            NnError::InvalidClass { class, classes } => {
+                write!(f, "class index {class} out of range for {classes} classes")
+            }
+            NnError::InvalidHyperParameter { name, value } => {
+                write!(f, "invalid value {value} for hyper-parameter {name}")
+            }
+            NnError::InvalidConfig { reason } => write!(f, "invalid layer configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(err: TensorError) -> Self {
+        NnError::Tensor(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_errors() {
+        let err: NnError = TensorError::EmptyTensor { op: "max" }.into();
+        assert!(matches!(err, NnError::Tensor(_)));
+        assert!(err.to_string().contains("max"));
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = NnError::MissingForwardCache { layer: "Linear" };
+        assert_eq!(err.to_string(), "Linear: backward called before forward");
+        let err = NnError::InvalidClass {
+            class: 7,
+            classes: 3,
+        };
+        assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn source_exposes_inner_tensor_error() {
+        use std::error::Error as _;
+        let err: NnError = TensorError::EmptyTensor { op: "max" }.into();
+        assert!(err.source().is_some());
+        let err = NnError::MissingForwardCache { layer: "Relu" };
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Weight-initialisation schemes.
+
+use mtlsplit_tensor::{StdRng, Tensor};
+
+/// Kaiming (He) normal initialisation for layers followed by a ReLU-family
+/// activation.
+///
+/// Samples from `N(0, sqrt(2 / fan_in))`, which keeps activation variance
+/// roughly constant through deep ReLU stacks.
+///
+/// # Example
+///
+/// ```
+/// use mtlsplit_nn::kaiming_normal;
+/// use mtlsplit_tensor::StdRng;
+///
+/// let mut rng = StdRng::seed_from(0);
+/// let w = kaiming_normal(&[64, 32], 32, &mut rng);
+/// assert_eq!(w.dims(), &[64, 32]);
+/// ```
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(dims, 0.0, std_dev, rng)
+}
+
+/// Xavier (Glorot) uniform initialisation for layers followed by symmetric
+/// activations.
+///
+/// Samples uniformly from `[-limit, limit]` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(dims, -limit, limit, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_variance_tracks_fan_in() {
+        let mut rng = StdRng::seed_from(1);
+        let fan_in = 128;
+        let w = kaiming_normal(&[256, fan_in], fan_in, &mut rng);
+        let mean = w.mean();
+        let var = w.map(|x| (x - mean).powi(2)).mean();
+        let expected = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.02);
+        assert!((var - expected).abs() < expected * 0.25, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from(2);
+        let w = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+        // Values should span a good part of the range, not collapse to zero.
+        assert!(w.max().unwrap() > limit * 0.5);
+        assert!(w.min().unwrap() < -limit * 0.5);
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from(3);
+        let mut b = StdRng::seed_from(3);
+        assert_eq!(
+            kaiming_normal(&[8, 8], 8, &mut a),
+            kaiming_normal(&[8, 8], 8, &mut b)
+        );
+    }
+}

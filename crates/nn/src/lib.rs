@@ -1,0 +1,118 @@
+//! Neural-network building blocks for the MTL-Split reproduction.
+//!
+//! This crate layers a small but complete deep-learning toolkit on top of
+//! [`mtlsplit_tensor`]: trainable [`Parameter`]s, a [`Layer`] trait with
+//! explicit forward/backward passes, the concrete layers needed by the
+//! paper's three backbone families (dense and depthwise convolutions, batch
+//! normalisation, ReLU/hard-swish activations, pooling, dropout, linear
+//! layers), classification and regression losses, and the SGD and AdamW
+//! optimizers used for training and fine-tuning.
+//!
+//! Differentiation is *layer-wise reverse mode*: each layer caches whatever
+//! it needs during `forward` and produces the input gradient (plus its own
+//! parameter gradients) during `backward`. A [`Sequential`] container chains
+//! layers; the multi-head topology of MTL-Split is composed in
+//! `mtlsplit-core` by fanning one backbone output into several sequential
+//! heads and summing the gradients that come back.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use mtlsplit_nn::{Layer, Linear, Relu, Sequential, CrossEntropyLoss, Sgd, Optimizer};
+//! use mtlsplit_tensor::{StdRng, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let mut rng = StdRng::seed_from(0);
+//! let mut net = Sequential::new()
+//!     .push(Linear::new(4, 16, &mut rng))
+//!     .push(Relu::new())
+//!     .push(Linear::new(16, 3, &mut rng));
+//! let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut rng);
+//! let targets = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+//!
+//! let logits = net.forward(&x, true)?;
+//! let loss = CrossEntropyLoss::new();
+//! let (value, grad) = loss.forward_backward(&logits, &targets)?;
+//! net.backward(&grad)?;
+//! Sgd::new(0.1).step(&mut net.parameters_mut())?;
+//! assert!(value.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod activation;
+mod conv_layer;
+mod dropout;
+mod error;
+mod init;
+mod linear;
+mod loss;
+mod norm;
+mod optim;
+mod param;
+mod pool_layer;
+mod sequential;
+
+pub use activation::{HardSigmoid, HardSwish, Relu, Sigmoid};
+pub use conv_layer::{Conv2d, DepthwiseConv2d, PointwiseConv2d};
+pub use dropout::Dropout;
+pub use error::{NnError, Result};
+pub use init::{kaiming_normal, xavier_uniform};
+pub use linear::{Flatten, Linear};
+pub use loss::{CrossEntropyLoss, MseLoss};
+pub use norm::BatchNorm2d;
+pub use optim::{AdamW, LrSchedule, Optimizer, Sgd};
+pub use param::Parameter;
+pub use pool_layer::{AvgPool2d, GlobalAvgPool2d, MaxPool2d};
+pub use sequential::Sequential;
+
+use mtlsplit_tensor::Tensor;
+
+/// A differentiable network component.
+///
+/// Layers own their [`Parameter`]s, cache whatever activations they need
+/// during [`Layer::forward`], and consume that cache in [`Layer::backward`]
+/// to produce the gradient with respect to their input while accumulating
+/// gradients into their parameters.
+///
+/// The trait is object-safe so heterogeneous layers can be stored in a
+/// [`Sequential`] container.
+pub trait Layer: Send {
+    /// Runs the layer on `input`.
+    ///
+    /// `training` selects training-time behaviour (dropout active, batch
+    /// statistics updated) versus inference behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor>;
+
+    /// Propagates `grad_output` backwards through the layer, returning the
+    /// gradient with respect to the layer input and accumulating parameter
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward` or with a gradient whose
+    /// shape does not match the cached activation.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Mutable references to the layer's trainable parameters.
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter>;
+
+    /// Immutable references to the layer's trainable parameters.
+    fn parameters(&self) -> Vec<&Parameter>;
+
+    /// Total number of trainable scalar parameters.
+    fn parameter_count(&self) -> usize {
+        self.parameters().iter().map(|p| p.value().len()).sum()
+    }
+
+    /// A short human-readable description used in summaries.
+    fn name(&self) -> &'static str;
+}

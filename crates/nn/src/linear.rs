@@ -1,0 +1,254 @@
+//! Fully-connected layers and the flattening adapter between convolutional
+//! feature maps and dense heads.
+
+use mtlsplit_tensor::{StdRng, Tensor};
+
+use crate::error::{NnError, Result};
+use crate::init::kaiming_normal;
+use crate::param::Parameter;
+use crate::Layer;
+
+/// A fully-connected (affine) layer: `y = x W^T + b`.
+///
+/// The weight is stored as `[out_features, in_features]`, matching the usual
+/// deep-learning convention; the paper's task-solving heads are two stacked
+/// `Linear` layers with a ReLU in between.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{Layer, Linear};
+/// use mtlsplit_tensor::{StdRng, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut rng = StdRng::seed_from(0);
+/// let mut layer = Linear::new(8, 4, &mut rng);
+/// let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
+/// let y = layer.forward(&x, true)?;
+/// assert_eq!(y.dims(), &[2, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-initialised weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let weight = kaiming_normal(&[out_features, in_features], in_features, rng);
+        Self {
+            weight: Parameter::new(weight),
+            bias: Parameter::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "Linear({}, {}) received input of shape {:?}",
+                    self.in_features,
+                    self.out_features,
+                    input.dims()
+                ),
+            });
+        }
+        self.cached_input = Some(input.clone());
+        let out = input
+            .matmul(&self.weight.value().transpose()?)?
+            .add_row_broadcast(self.bias.value())?;
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
+        // dL/dW = grad_output^T · input, dL/db = column sums, dL/dx = grad_output · W.
+        let grad_weight = grad_output.transpose()?.matmul(input)?;
+        let grad_bias = grad_output.sum_axis0()?;
+        let grad_input = grad_output.matmul(self.weight.value())?;
+        self.weight.accumulate_grad(&grad_weight)?;
+        self.bias.accumulate_grad(&grad_bias)?;
+        Ok(grad_input)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+/// Flattens a `[batch, ...]` tensor to `[batch, features]`, remembering the
+/// original shape so the gradient can be folded back.
+///
+/// This is the operation the paper applies to the backbone output `Z_b`
+/// before it is transmitted: "the output is typically a tensor, which, in our
+/// approach, is flattened before being sent through the network".
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(input.flatten_batch()?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Flatten" })?;
+        Ok(grad_output.reshape(dims)?)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine_map() {
+        let mut rng = StdRng::seed_from(1);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        // Overwrite with known weights.
+        *layer.weight.value_mut() =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        *layer.bias.value_mut() = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        // y = [1*1+1*2+0.5, 1*3+1*4-0.5] = [3.5, 6.5]
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_feature_count() {
+        let mut rng = StdRng::seed_from(2);
+        let mut layer = Linear::new(4, 2, &mut rng);
+        assert!(layer.forward(&Tensor::zeros(&[1, 3]), true).is_err());
+        assert!(layer.forward(&Tensor::zeros(&[4]), true).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut rng = StdRng::seed_from(3);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        assert!(matches!(
+            layer.backward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::MissingForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from(4);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let probe = Tensor::randn(&[4, 2], 0.0, 1.0, &mut rng);
+
+        let y = layer.forward(&x, true).unwrap();
+        let _ = y;
+        let grad_input = layer.backward(&probe).unwrap();
+
+        // loss(x, w) = sum(probe * (x W^T + b))
+        let eps = 1e-2;
+        let loss = |layer: &mut Linear, x: &Tensor| {
+            layer.forward(x, true).unwrap().mul(&probe).unwrap().sum()
+        };
+        // Check input gradient at a few coordinates.
+        for idx in [0usize, 5, 11] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut layer, &plus) - loss(&mut layer, &minus)) / (2.0 * eps);
+            assert!((num - grad_input.as_slice()[idx]).abs() < 1e-2);
+        }
+        // Check weight gradient at a few coordinates.
+        let grad_w = layer.weight.grad().clone();
+        for idx in [0usize, 3, 5] {
+            let original = layer.weight.value().as_slice()[idx];
+            layer.weight.value_mut().as_mut_slice()[idx] = original + eps;
+            let up = loss(&mut layer, &x);
+            layer.weight.value_mut().as_mut_slice()[idx] = original - eps;
+            let down = loss(&mut layer, &x);
+            layer.weight.value_mut().as_mut_slice()[idx] = original;
+            let num = (up - down) / (2.0 * eps);
+            assert!((num - grad_w.as_slice()[idx]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn parameter_count_includes_weight_and_bias() {
+        let mut rng = StdRng::seed_from(5);
+        let layer = Linear::new(10, 4, &mut rng);
+        assert_eq!(layer.parameter_count(), 10 * 4 + 4);
+    }
+
+    #[test]
+    fn flatten_round_trips_shapes() {
+        let mut flatten = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = flatten.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let grad = flatten.backward(&Tensor::ones(&[2, 48])).unwrap();
+        assert_eq!(grad.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn flatten_backward_requires_forward() {
+        let mut flatten = Flatten::new();
+        assert!(flatten.backward(&Tensor::zeros(&[1, 4])).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Loss functions: softmax cross-entropy for the classification tasks the
+//! paper evaluates, and mean-squared error for regression-style tasks
+//! (bounding boxes in the automotive motivating example).
+
+use mtlsplit_tensor::{log_softmax_rows, softmax_rows, Tensor};
+
+use crate::error::{NnError, Result};
+
+/// Softmax cross-entropy over integer class targets.
+///
+/// This is the per-task loss `L_j(y_i, y_hat_j)` of Eq. 4; the MTL trainer in
+/// `mtlsplit-core` sums one of these per task to form `L_total`.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::CrossEntropyLoss;
+/// use mtlsplit_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let loss = CrossEntropyLoss::new();
+/// // Perfectly confident, correct logits give (near) zero loss.
+/// let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 20.0], &[2, 2])?;
+/// let (value, _grad) = loss.forward_backward(&logits, &[0, 1])?;
+/// assert!(value < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss {
+    label_smoothing: f32,
+}
+
+impl CrossEntropyLoss {
+    /// Creates a cross-entropy loss without label smoothing.
+    pub fn new() -> Self {
+        Self {
+            label_smoothing: 0.0,
+        }
+    }
+
+    /// Creates a cross-entropy loss with label smoothing `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 <= epsilon < 1`.
+    pub fn with_label_smoothing(epsilon: f32) -> Result<Self> {
+        if !(0.0..1.0).contains(&epsilon) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "label smoothing",
+                value: epsilon,
+            });
+        }
+        Ok(Self {
+            label_smoothing: epsilon,
+        })
+    }
+
+    fn check(&self, logits: &Tensor, targets: &[usize]) -> Result<(usize, usize)> {
+        if logits.rank() != 2 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("cross-entropy expects [batch, classes] logits, got {:?}", logits.dims()),
+            });
+        }
+        let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+        if targets.len() != batch {
+            return Err(NnError::TargetMismatch {
+                predictions: batch,
+                targets: targets.len(),
+            });
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
+            return Err(NnError::InvalidClass {
+                class: bad,
+                classes,
+            });
+        }
+        Ok((batch, classes))
+    }
+
+    /// Computes the mean loss over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed logits or out-of-range targets.
+    pub fn forward(&self, logits: &Tensor, targets: &[usize]) -> Result<f32> {
+        let (batch, classes) = self.check(logits, targets)?;
+        let log_probs = log_softmax_rows(logits)?;
+        let lp = log_probs.as_slice();
+        let eps = self.label_smoothing;
+        let mut total = 0.0f32;
+        for (row, &target) in targets.iter().enumerate() {
+            let row_slice = &lp[row * classes..(row + 1) * classes];
+            if eps == 0.0 {
+                total -= row_slice[target];
+            } else {
+                // Smoothed target distribution: (1 - eps) on the true class,
+                // eps / classes spread uniformly.
+                let uniform: f32 = row_slice.iter().sum::<f32>() / classes as f32;
+                total -= (1.0 - eps) * row_slice[target] + eps * uniform;
+            }
+        }
+        Ok(total / batch.max(1) as f32)
+    }
+
+    /// Computes the mean loss and the gradient with respect to the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed logits or out-of-range targets.
+    pub fn forward_backward(&self, logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)> {
+        let (batch, classes) = self.check(logits, targets)?;
+        let value = self.forward(logits, targets)?;
+        let probs = softmax_rows(logits)?;
+        let mut grad = probs;
+        let eps = self.label_smoothing;
+        let scale = 1.0 / batch.max(1) as f32;
+        {
+            let g = grad.as_mut_slice();
+            for (row, &target) in targets.iter().enumerate() {
+                let row_slice = &mut g[row * classes..(row + 1) * classes];
+                for (c, v) in row_slice.iter_mut().enumerate() {
+                    let target_prob = if c == target {
+                        1.0 - eps + eps / classes as f32
+                    } else {
+                        eps / classes as f32
+                    };
+                    *v = (*v - target_prob) * scale;
+                }
+            }
+        }
+        Ok((value, grad))
+    }
+}
+
+/// Mean-squared-error loss between a prediction matrix and a same-shaped
+/// target matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates an MSE loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the mean squared error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn forward(&self, predictions: &Tensor, targets: &Tensor) -> Result<f32> {
+        let diff = predictions.sub(targets)?;
+        Ok(diff.squared_norm() / predictions.len().max(1) as f32)
+    }
+
+    /// Computes the loss and its gradient with respect to the predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn forward_backward(&self, predictions: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
+        let value = self.forward(predictions, targets)?;
+        let n = predictions.len().max(1) as f32;
+        let grad = predictions.sub(targets)?.scale(2.0 / n);
+        Ok((value, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_tensor::StdRng;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[4, 5]);
+        let value = loss.forward(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((value - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![15.0, 0.0, 0.0, 0.0, 15.0, 0.0], &[2, 3]).unwrap();
+        assert!(loss.forward(&logits, &[0, 1]).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_high_loss() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![15.0, 0.0, 0.0], &[1, 3]).unwrap();
+        assert!(loss.forward(&logits, &[2]).unwrap() > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let loss = CrossEntropyLoss::new();
+        let mut rng = StdRng::seed_from(1);
+        let logits = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let targets = [2usize, 0, 3];
+        let (_, grad) = loss.forward_backward(&logits, &targets).unwrap();
+        let eps = 1e-2;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num =
+                (loss.forward(&plus, &targets).unwrap() - loss.forward(&minus, &targets).unwrap())
+                    / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[idx]).abs() < 1e-3,
+                "idx {idx}: numerical {num} vs analytical {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let loss = CrossEntropyLoss::new();
+        let mut rng = StdRng::seed_from(2);
+        let logits = Tensor::randn(&[5, 7], 0.0, 2.0, &mut rng);
+        let targets = [0usize, 1, 2, 3, 4];
+        let (_, grad) = loss.forward_backward(&logits, &targets).unwrap();
+        for r in 0..5 {
+            let row_sum: f32 = grad.row(r).unwrap().as_slice().iter().sum();
+            assert!(row_sum.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            loss.forward(&logits, &[0]),
+            Err(NnError::TargetMismatch { .. })
+        ));
+        assert!(matches!(
+            loss.forward(&logits, &[0, 3]),
+            Err(NnError::InvalidClass { .. })
+        ));
+    }
+
+    #[test]
+    fn label_smoothing_increases_loss_of_confident_predictions() {
+        let plain = CrossEntropyLoss::new();
+        let smoothed = CrossEntropyLoss::with_label_smoothing(0.1).unwrap();
+        let logits = Tensor::from_vec(vec![10.0, 0.0], &[1, 2]).unwrap();
+        assert!(smoothed.forward(&logits, &[0]).unwrap() > plain.forward(&logits, &[0]).unwrap());
+        assert!(CrossEntropyLoss::with_label_smoothing(1.5).is_err());
+    }
+
+    #[test]
+    fn mse_of_identical_tensors_is_zero() {
+        let loss = MseLoss::new();
+        let x = Tensor::ones(&[3, 2]);
+        assert_eq!(loss.forward(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let loss = MseLoss::new();
+        let mut rng = StdRng::seed_from(3);
+        let pred = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let target = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let (_, grad) = loss.forward_backward(&pred, &target).unwrap();
+        let eps = 1e-3;
+        for idx in 0..pred.len() {
+            let mut plus = pred.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = pred.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss.forward(&plus, &target).unwrap()
+                - loss.forward(&minus, &target).unwrap())
+                / (2.0 * eps);
+            assert!((num - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_rejects_shape_mismatch() {
+        let loss = MseLoss::new();
+        assert!(loss.forward(&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[4])).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Batch normalisation over NCHW feature maps.
+
+use mtlsplit_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::param::Parameter;
+use crate::Layer;
+
+/// Per-channel batch normalisation for `[batch, channels, h, w]` tensors.
+///
+/// During training the layer normalises with the batch statistics and keeps
+/// exponential running averages; during inference it uses the running
+/// averages, so a trained backbone behaves deterministically on the edge
+/// device regardless of batch size.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{BatchNorm2d, Layer};
+/// use mtlsplit_tensor::{StdRng, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut rng = StdRng::seed_from(0);
+/// let mut bn = BatchNorm2d::new(4);
+/// let x = Tensor::randn(&[8, 4, 3, 3], 5.0, 2.0, &mut rng);
+/// let y = bn.forward(&x, true)?;
+/// // The normalised output is centred near zero.
+/// assert!(y.mean().abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    epsilon: f32,
+    channels: usize,
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug)]
+struct NormCache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+    input_dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels with unit scale
+    /// and zero shift.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Parameter::new(Tensor::ones(&[channels])),
+            beta: Parameter::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            epsilon: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// Running per-channel means (used at inference time).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running per-channel variances (used at inference time).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("BatchNorm2d expects rank-4 input, got {:?}", input.dims()),
+            });
+        }
+        if input.dims()[1] != self.channels {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "BatchNorm2d({}) received {} channels",
+                    self.channels,
+                    input.dims()[1]
+                ),
+            });
+        }
+        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let (batch, height, width) = self.check_input(input)?;
+        let plane = height * width;
+        let count = (batch * plane).max(1) as f32;
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        let mut normalized = vec![0.0f32; src.len()];
+        let mut std_inv = vec![0.0f32; self.channels];
+
+        for c in 0..self.channels {
+            let (mean, var) = if training {
+                let mut mean = 0.0f32;
+                for b in 0..batch {
+                    let base = (b * self.channels + c) * plane;
+                    mean += src[base..base + plane].iter().sum::<f32>();
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for b in 0..batch {
+                    let base = (b * self.channels + c) * plane;
+                    var += src[base..base + plane]
+                        .iter()
+                        .map(|&x| (x - mean).powi(2))
+                        .sum::<f32>();
+                }
+                var /= count;
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[c], self.running_var[c])
+            };
+            let inv = 1.0 / (var + self.epsilon).sqrt();
+            std_inv[c] = inv;
+            let g = self.gamma.value().as_slice()[c];
+            let b_shift = self.beta.value().as_slice()[c];
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    let n = (src[base + i] - mean) * inv;
+                    normalized[base + i] = n;
+                    out[base + i] = g * n + b_shift;
+                }
+            }
+        }
+
+        self.cache = Some(NormCache {
+            normalized: Tensor::from_vec(normalized, input.dims())?,
+            std_inv,
+            input_dims: input.dims().to_vec(),
+        });
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "BatchNorm2d" })?;
+        if grad_output.dims() != cache.input_dims.as_slice() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "BatchNorm2d backward received {:?}, expected {:?}",
+                    grad_output.dims(),
+                    cache.input_dims
+                ),
+            });
+        }
+        let dims = &cache.input_dims;
+        let (batch, height, width) = (dims[0], dims[2], dims[3]);
+        let plane = height * width;
+        let count = (batch * plane).max(1) as f32;
+        let go = grad_output.as_slice();
+        let norm = cache.normalized.as_slice();
+        let mut grad_input = vec![0.0f32; go.len()];
+        let mut grad_gamma = vec![0.0f32; self.channels];
+        let mut grad_beta = vec![0.0f32; self.channels];
+
+        for c in 0..self.channels {
+            let g = self.gamma.value().as_slice()[c];
+            let inv = cache.std_inv[c];
+            // Channel-level sums needed by the batch-norm gradient formula.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_x = 0.0f32;
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    let dy = go[base + i];
+                    sum_dy += dy;
+                    sum_dy_x += dy * norm[base + i];
+                }
+            }
+            grad_gamma[c] = sum_dy_x;
+            grad_beta[c] = sum_dy;
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    let dy = go[base + i];
+                    // dL/dx = gamma * inv / N * (N*dy - sum(dy) - x_hat * sum(dy*x_hat))
+                    grad_input[base + i] =
+                        g * inv / count * (count * dy - sum_dy - norm[base + i] * sum_dy_x);
+                }
+            }
+        }
+
+        self.gamma
+            .accumulate_grad(&Tensor::from_vec(grad_gamma, &[self.channels])?)?;
+        self.beta
+            .accumulate_grad(&Tensor::from_vec(grad_beta, &[self.channels])?)?;
+        Ok(Tensor::from_vec(grad_input, dims)?)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_tensor::StdRng;
+
+    #[test]
+    fn training_forward_normalises_each_channel() {
+        let mut rng = StdRng::seed_from(1);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[16, 3, 4, 4], 10.0, 3.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        // Per-channel mean ~0 and variance ~1 after normalisation.
+        let plane = 16 * 16;
+        for c in 0..3 {
+            let mut values = Vec::with_capacity(plane);
+            for b in 0..16 {
+                for i in 0..16 {
+                    values.push(y.as_slice()[(b * 3 + c) * 16 + i]);
+                }
+            }
+            let mean: f32 = values.iter().sum::<f32>() / values.len() as f32;
+            let var: f32 =
+                values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len() as f32;
+            assert!(mean.abs() < 1e-3);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_statistics() {
+        let mut rng = StdRng::seed_from(2);
+        let mut bn = BatchNorm2d::new(2);
+        // Train on data with mean 4 so the running mean moves towards 4.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[8, 2, 2, 2], 4.0, 1.0, &mut rng);
+            bn.forward(&x, true).unwrap();
+        }
+        assert!((bn.running_mean()[0] - 4.0).abs() < 0.5);
+        // At inference, a constant input equal to the running mean maps near beta (0).
+        let x = Tensor::full(&[1, 2, 2, 2], 4.0);
+        let y = bn.forward(&x, false).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.7));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from(3);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], 1.0, 2.0, &mut rng);
+        let probe = Tensor::randn(x.dims(), 0.0, 1.0, &mut rng);
+        bn.forward(&x, true).unwrap();
+        let grad = bn.backward(&probe).unwrap();
+        let eps = 1e-2;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
+            bn.forward(x, true).unwrap().mul(&probe).unwrap().sum()
+        };
+        for idx in [0usize, 17, 71] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut bn, &plus) - loss(&mut bn, &minus)) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "numerical {num} vs analytical {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut rng = StdRng::seed_from(4);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        bn.forward(&x, true).unwrap();
+        bn.backward(&Tensor::ones(x.dims())).unwrap();
+        // Beta gradient is the sum of the output gradient per channel.
+        assert_eq!(bn.parameters()[1].grad().as_slice(), &[8.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count_and_rank() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), true).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[1, 3, 4]), true).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(bn.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

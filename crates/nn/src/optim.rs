@@ -1,0 +1,445 @@
+//! Optimizers (SGD with momentum, AdamW) and learning-rate schedules.
+
+use mtlsplit_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::param::Parameter;
+
+/// A gradient-based parameter update rule.
+///
+/// Optimizers keep per-parameter state (momentum buffers, Adam moments)
+/// keyed by the position of the parameter in the slice passed to
+/// [`Optimizer::step`]. Callers must therefore pass the parameters in a
+/// stable order — which is what [`crate::Sequential::parameters_mut`]
+/// guarantees for a fixed architecture.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// the parameters. Frozen parameters are skipped; each parameter's
+    /// [`Parameter::lr_scale`] multiplies the optimizer's learning rate,
+    /// which is how the fine-tuning rule of Eqs. 5–6 (head rate `alpha`,
+    /// backbone rate `eta`) is expressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the internal state has become inconsistent with
+    /// the supplied parameters.
+    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()>;
+
+    /// The current base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the base learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+fn check_lr(lr: f32) -> Result<()> {
+    if !(lr.is_finite() && lr > 0.0) {
+        return Err(NnError::InvalidHyperParameter {
+            name: "learning rate",
+            value: lr,
+        });
+    }
+    Ok(())
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{Optimizer, Parameter, Sgd};
+/// use mtlsplit_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut p = Parameter::new(Tensor::from_vec(vec![1.0], &[1])?);
+/// p.accumulate_grad(&Tensor::from_vec(vec![0.5], &[1])?)?;
+/// Sgd::new(0.1).step(&mut [&mut p])?;
+/// assert!((p.value().as_slice()[0] - 0.95).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not a positive finite number; use
+    /// [`Sgd::with_options`] for fallible construction.
+    pub fn new(lr: f32) -> Self {
+        Self::with_options(lr, 0.0, 0.0).expect("learning rate must be positive and finite")
+    }
+
+    /// Creates SGD with momentum and decoupled weight decay.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lr` is not positive and finite, or if `momentum`
+    /// or `weight_decay` are negative.
+    pub fn with_options(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
+        check_lr(lr)?;
+        if momentum < 0.0 || momentum >= 1.0 {
+            return Err(NnError::InvalidHyperParameter {
+                name: "momentum",
+                value: momentum,
+            });
+        }
+        if weight_decay < 0.0 {
+            return Err(NnError::InvalidHyperParameter {
+                name: "weight decay",
+                value: weight_decay,
+            });
+        }
+        Ok(Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
+        if self.velocity.len() < params.len() {
+            for p in params[self.velocity.len()..].iter() {
+                self.velocity.push(Tensor::zeros(p.value().dims()));
+            }
+        }
+        for (idx, p) in params.iter_mut().enumerate() {
+            if p.is_frozen() {
+                continue;
+            }
+            let lr = self.lr * p.lr_scale();
+            let grad = p.grad().clone();
+            if self.weight_decay > 0.0 {
+                let decay = p.value().scale(self.weight_decay * lr);
+                p.value_mut().add_scaled_inplace(&decay, -1.0)?;
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[idx];
+                if v.dims() != grad.dims() {
+                    *v = Tensor::zeros(grad.dims());
+                }
+                let mut new_v = v.scale(self.momentum);
+                new_v.add_scaled_inplace(&grad, 1.0)?;
+                p.value_mut().add_scaled_inplace(&new_v, -lr)?;
+                *v = new_v;
+            } else {
+                p.value_mut().add_scaled_inplace(&grad, -lr)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// AdamW: Adam with decoupled weight decay, the optimizer used for every
+/// experiment in the paper.
+#[derive(Debug)]
+pub struct AdamW {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    weight_decay: f32,
+    step_count: u64,
+    first_moment: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+}
+
+impl AdamW {
+    /// Creates AdamW with the paper's defaults (`beta1 = 0.9`, `beta2 =
+    /// 0.999`, `eps = 1e-8`, `weight_decay = 0.01`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Result<Self> {
+        Self::with_options(lr, 0.9, 0.999, 1e-8, 0.01)
+    }
+
+    /// Creates AdamW with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive learning rates, betas outside
+    /// `[0, 1)` or negative weight decay.
+    pub fn with_options(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        epsilon: f32,
+        weight_decay: f32,
+    ) -> Result<Self> {
+        check_lr(lr)?;
+        for (name, value) in [("beta1", beta1), ("beta2", beta2)] {
+            if !(0.0..1.0).contains(&value) {
+                return Err(NnError::InvalidHyperParameter { name, value });
+            }
+        }
+        if weight_decay < 0.0 {
+            return Err(NnError::InvalidHyperParameter {
+                name: "weight decay",
+                value: weight_decay,
+            });
+        }
+        Ok(Self {
+            lr,
+            beta1,
+            beta2,
+            epsilon,
+            weight_decay,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
+        while self.first_moment.len() < params.len() {
+            let dims = params[self.first_moment.len()].value().dims().to_vec();
+            self.first_moment.push(Tensor::zeros(&dims));
+            self.second_moment.push(Tensor::zeros(&dims));
+        }
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+
+        for (idx, p) in params.iter_mut().enumerate() {
+            if p.is_frozen() {
+                continue;
+            }
+            let lr = self.lr * p.lr_scale();
+            let grad = p.grad();
+            let m = &mut self.first_moment[idx];
+            let v = &mut self.second_moment[idx];
+            if m.dims() != grad.dims() {
+                *m = Tensor::zeros(grad.dims());
+                *v = Tensor::zeros(grad.dims());
+            }
+            // m = beta1 * m + (1 - beta1) * g ; v = beta2 * v + (1 - beta2) * g^2
+            let mut new_m = m.scale(self.beta1);
+            new_m.add_scaled_inplace(grad, 1.0 - self.beta1)?;
+            let grad_sq = grad.mul(grad)?;
+            let mut new_v = v.scale(self.beta2);
+            new_v.add_scaled_inplace(&grad_sq, 1.0 - self.beta2)?;
+
+            // Decoupled weight decay.
+            if self.weight_decay > 0.0 {
+                let decay = p.value().scale(self.weight_decay * lr);
+                p.value_mut().add_scaled_inplace(&decay, -1.0)?;
+            }
+            // Parameter update with bias-corrected moments.
+            let eps = self.epsilon;
+            let update = new_m
+                .zip(&new_v, move |m_i, v_i| {
+                    (m_i / bias1) / ((v_i / bias2).sqrt() + eps)
+                })?;
+            p.value_mut().add_scaled_inplace(&update, -lr)?;
+            *m = new_m;
+            *v = new_v;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Learning-rate schedules applied between epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Keep the initial rate for the whole run.
+    Constant,
+    /// Multiply the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Multiplicative factor applied at each decay point.
+        factor: f32,
+        /// Number of epochs between decays.
+        every: usize,
+    },
+    /// Cosine annealing from the initial rate towards `min_lr` over
+    /// `total_epochs`.
+    Cosine {
+        /// Final learning rate.
+        min_lr: f32,
+        /// Length of the schedule in epochs.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate to use at `epoch` (0-based) given the initial rate.
+    pub fn rate_at(&self, initial_lr: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => initial_lr,
+            LrSchedule::StepDecay { factor, every } => {
+                let decays = if every == 0 { 0 } else { epoch / every };
+                initial_lr * factor.powi(decays as i32)
+            }
+            LrSchedule::Cosine {
+                min_lr,
+                total_epochs,
+            } => {
+                if total_epochs == 0 {
+                    return initial_lr;
+                }
+                let progress = (epoch.min(total_epochs)) as f32 / total_epochs as f32;
+                min_lr
+                    + 0.5 * (initial_lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param_with_grad(value: f32, grad: f32) -> Parameter {
+        let mut p = Parameter::new(Tensor::from_vec(vec![value], &[1]).unwrap());
+        p.accumulate_grad(&Tensor::from_vec(vec![grad], &[1]).unwrap())
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn sgd_moves_against_the_gradient() {
+        let mut p = param_with_grad(1.0, 2.0);
+        Sgd::new(0.1).step(&mut [&mut p]).unwrap();
+        assert!((p.value().as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates_velocity() {
+        let mut opt = Sgd::with_options(0.1, 0.9, 0.0).unwrap();
+        let mut p = param_with_grad(0.0, 1.0);
+        opt.step(&mut [&mut p]).unwrap();
+        let after_first = p.value().as_slice()[0];
+        // Same gradient again: the momentum term makes the second step larger.
+        opt.step(&mut [&mut p]).unwrap();
+        let second_delta = p.value().as_slice()[0] - after_first;
+        assert!(second_delta.abs() > after_first.abs());
+    }
+
+    #[test]
+    fn frozen_parameters_are_not_updated() {
+        let mut p = param_with_grad(1.0, 5.0);
+        p.set_frozen(true);
+        Sgd::new(0.5).step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value().as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn lr_scale_reduces_the_step() {
+        let mut fast = param_with_grad(1.0, 1.0);
+        let mut slow = param_with_grad(1.0, 1.0);
+        slow.set_lr_scale(0.1);
+        Sgd::new(0.1).step(&mut [&mut fast, &mut slow]).unwrap();
+        let fast_step = (1.0 - fast.value().as_slice()[0]).abs();
+        let slow_step = (1.0 - slow.value().as_slice()[0]).abs();
+        assert!((fast_step - 10.0 * slow_step).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adamw_converges_on_a_quadratic() {
+        // Minimise f(x) = (x - 3)^2 starting from 0.
+        let mut p = Parameter::new(Tensor::from_vec(vec![0.0], &[1]).unwrap());
+        let mut opt = AdamW::with_options(0.1, 0.9, 0.999, 1e-8, 0.0).unwrap();
+        for _ in 0..500 {
+            p.zero_grad();
+            let x = p.value().as_slice()[0];
+            let grad = 2.0 * (x - 3.0);
+            p.accumulate_grad(&Tensor::from_vec(vec![grad], &[1]).unwrap())
+                .unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!((p.value().as_slice()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_parameters_without_gradient() {
+        let mut p = Parameter::new(Tensor::from_vec(vec![10.0], &[1]).unwrap());
+        let mut opt = AdamW::with_options(0.1, 0.9, 0.999, 1e-8, 0.5).unwrap();
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!(p.value().as_slice()[0] < 10.0);
+    }
+
+    #[test]
+    fn invalid_hyper_parameters_are_rejected() {
+        assert!(Sgd::with_options(0.0, 0.0, 0.0).is_err());
+        assert!(Sgd::with_options(0.1, 1.5, 0.0).is_err());
+        assert!(AdamW::with_options(0.1, 1.2, 0.999, 1e-8, 0.0).is_err());
+        assert!(AdamW::new(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn sgd_with_momentum_outperforms_nothing_on_quadratic() {
+        // Sanity: SGD also converges on the quadratic.
+        let mut p = Parameter::new(Tensor::from_vec(vec![0.0], &[1]).unwrap());
+        let mut opt = Sgd::with_options(0.05, 0.9, 0.0).unwrap();
+        for _ in 0..200 {
+            p.zero_grad();
+            let x = p.value().as_slice()[0];
+            p.accumulate_grad(&Tensor::from_vec(vec![2.0 * (x - 3.0)], &[1]).unwrap())
+                .unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!((p.value().as_slice()[0] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        assert_eq!(LrSchedule::Constant.rate_at(0.1, 99), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_at_intervals() {
+        let s = LrSchedule::StepDecay {
+            factor: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 10), 0.5);
+        assert_eq!(s.rate_at(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn cosine_schedule_decays_towards_min() {
+        let s = LrSchedule::Cosine {
+            min_lr: 0.01,
+            total_epochs: 100,
+        };
+        assert!((s.rate_at(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((s.rate_at(1.0, 100) - 0.01).abs() < 1e-6);
+        assert!(s.rate_at(1.0, 50) < 1.0);
+        assert!(s.rate_at(1.0, 50) > 0.01);
+    }
+}

@@ -1,0 +1,148 @@
+//! Trainable parameters: a value tensor paired with an accumulated gradient.
+
+use mtlsplit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+
+/// A trainable tensor together with its accumulated gradient.
+///
+/// Layers accumulate into [`Parameter::grad`] during their backward pass;
+/// optimizers consume the gradient in [`crate::Optimizer::step`] and callers
+/// reset it between iterations with [`Parameter::zero_grad`].
+///
+/// A parameter can be *frozen*, in which case optimizers skip it. Freezing is
+/// how the paper's fine-tuning strategy (Eq. 6) keeps the shared backbone
+/// "relatively fixed" while heads adapt: the backbone parameters either get a
+/// much smaller learning rate or are frozen entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Parameter {
+    value: Tensor,
+    grad: Tensor,
+    frozen: bool,
+    /// Per-parameter learning-rate multiplier (1.0 = use the optimizer's rate).
+    lr_scale: f32,
+}
+
+impl Parameter {
+    /// Wraps a tensor as a trainable parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self {
+            value,
+            grad,
+            frozen: false,
+            lr_scale: 1.0,
+        }
+    }
+
+    /// The current parameter value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the parameter value (used by optimizers).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.dims());
+    }
+
+    /// Adds `delta` into the accumulated gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `delta` has a different shape than the parameter.
+    pub fn accumulate_grad(&mut self, delta: &Tensor) -> Result<()> {
+        self.grad.add_scaled_inplace(delta, 1.0)?;
+        Ok(())
+    }
+
+    /// Whether optimizers should skip this parameter.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Freezes or unfreezes the parameter.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Per-parameter learning-rate multiplier.
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Sets the per-parameter learning-rate multiplier.
+    ///
+    /// The paper's fine-tuning phase uses a small backbone rate `eta` and a
+    /// larger head rate `alpha` (Eqs. 5–6); the trainer implements that by
+    /// scaling the backbone parameters' rate down.
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.lr_scale = scale;
+    }
+
+    /// Number of scalar values in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+impl From<Tensor> for Parameter {
+    fn from(value: Tensor) -> Self {
+        Parameter::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_parameter_has_zero_grad() {
+        let p = Parameter::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad().sum(), 0.0);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_frozen());
+    }
+
+    #[test]
+    fn accumulate_and_zero_grad() {
+        let mut p = Parameter::new(Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap())
+            .unwrap();
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]).unwrap())
+            .unwrap();
+        assert_eq!(p.grad().as_slice(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad().sum(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut p = Parameter::new(Tensor::zeros(&[2]));
+        assert!(p.accumulate_grad(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn freeze_and_lr_scale_round_trip() {
+        let mut p = Parameter::new(Tensor::zeros(&[1]));
+        p.set_frozen(true);
+        assert!(p.is_frozen());
+        p.set_lr_scale(0.01);
+        assert_eq!(p.lr_scale(), 0.01);
+    }
+}

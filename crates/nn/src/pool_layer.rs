@@ -1,0 +1,244 @@
+//! Pooling layers wrapping the tensor-level pooling kernels.
+
+use mtlsplit_tensor::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward, Tensor,
+};
+
+use crate::error::{NnError, Result};
+use crate::param::Parameter;
+use crate::Layer;
+
+/// Max pooling with a square window.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given window and stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let (out, indices) = max_pool2d(input, self.window, self.stride)?;
+        self.cache = Some((indices, input.dims().to_vec()));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (indices, dims) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "MaxPool2d" })?;
+        Ok(max_pool2d_backward(grad_output, indices, dims)?)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling with a square window.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with the given window and stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(avg_pool2d(input, self.window, self.stride)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "AvgPool2d" })?;
+        Ok(avg_pool2d_backward(grad_output, dims, self.window, self.stride)?)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[batch, channels, h, w] → [batch, channels]`.
+///
+/// Used as the final spatial reduction of the MobileNet- and
+/// EfficientNet-style backbones, and it is also what keeps the transmitted
+/// representation `Z_b` small in the split-computing deployment.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool2d {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool2d {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self { cached_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(global_avg_pool2d(input)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache {
+                layer: "GlobalAvgPool2d",
+            })?;
+        let (batch, channels, height, width) = (dims[0], dims[1], dims[2], dims[3]);
+        if grad_output.dims() != [batch, channels] {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "GlobalAvgPool2d backward received {:?}, expected [{batch}, {channels}]",
+                    grad_output.dims()
+                ),
+            });
+        }
+        let norm = 1.0 / (height * width).max(1) as f32;
+        let go = grad_output.as_slice();
+        let mut grad_input = Tensor::zeros(dims);
+        let gi = grad_input.as_mut_slice();
+        for b in 0..batch {
+            for c in 0..channels {
+                let g = go[b * channels + c] * norm;
+                let base = (b * channels + c) * height * width;
+                for v in &mut gi[base..base + height * width] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_tensor::StdRng;
+
+    #[test]
+    fn max_pool_layer_round_trip() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let grad = pool.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(grad.dims(), x.dims());
+        assert_eq!(grad.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_layer_gradient_is_uniform() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        pool.forward(&x, true).unwrap();
+        let grad = pool.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        assert!(grad.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_and_restores_shape() {
+        let mut rng = StdRng::seed_from(1);
+        let mut pool = GlobalAvgPool2d::new();
+        let x = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let grad = pool.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(grad.dims(), &[2, 3, 4, 4]);
+        // Gradient of the mean spreads 1/16 to each spatial location.
+        assert!((grad.at(&[0, 0, 0, 0]).unwrap() - 1.0 / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from(2);
+        let mut pool = GlobalAvgPool2d::new();
+        let x = Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let probe = Tensor::randn(&[1, 2], 0.0, 1.0, &mut rng);
+        pool.forward(&x, true).unwrap();
+        let grad = pool.backward(&probe).unwrap();
+        let eps = 1e-2;
+        for idx in [0usize, 9, 17] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let up = pool.forward(&plus, true).unwrap().mul(&probe).unwrap().sum();
+            let down = pool.forward(&minus, true).unwrap().mul(&probe).unwrap().sum();
+            let num = (up - down) / (2.0 * eps);
+            assert!((num - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(MaxPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(AvgPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(GlobalAvgPool2d::new().backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn pooling_layers_have_no_parameters() {
+        assert_eq!(MaxPool2d::new(2, 2).parameter_count(), 0);
+        assert_eq!(AvgPool2d::new(2, 2).parameter_count(), 0);
+        assert_eq!(GlobalAvgPool2d::new().parameter_count(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! A sequential container chaining heterogeneous layers.
+
+use mtlsplit_tensor::Tensor;
+
+use crate::error::Result;
+use crate::param::Parameter;
+use crate::Layer;
+
+/// An ordered stack of layers applied one after another.
+///
+/// `Sequential` is itself a [`Layer`], so stacks can be nested (a backbone
+/// stage inside a backbone, a head appended to a backbone for the
+/// local-only-computing baseline, and so on).
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{Layer, Linear, Relu, Sequential};
+/// use mtlsplit_tensor::{StdRng, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut rng = StdRng::seed_from(0);
+/// let mut mlp = Sequential::new()
+///     .push(Linear::new(4, 8, &mut rng))
+///     .push(Relu::new())
+///     .push(Linear::new(8, 2, &mut rng));
+/// let y = mlp.forward(&Tensor::zeros(&[1, 4]), false)?;
+/// assert_eq!(y.dims(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer, returning the stack for chaining.
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in order, useful for printing a model summary.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Freezes (or unfreezes) every parameter in the stack.
+    ///
+    /// Freezing the shared backbone while leaving the task heads trainable is
+    /// one of the fine-tuning configurations studied in the paper (Eq. 6 with
+    /// `eta = 0`).
+    pub fn set_frozen(&mut self, frozen: bool) {
+        for p in self.parameters_mut() {
+            p.set_frozen(frozen);
+        }
+    }
+
+    /// Sets the learning-rate multiplier of every parameter in the stack.
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        for p in self.parameters_mut() {
+            p.set_lr_scale(scale);
+        }
+    }
+
+    /// Resets the gradient of every parameter in the stack.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layer_names())
+            .field("parameters", &self.parameter_count())
+            .finish()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, training)?;
+        }
+        Ok(current)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut current = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            current = layer.backward(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters_mut())
+            .collect()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use mtlsplit_tensor::StdRng;
+
+    fn tiny_mlp(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from(seed);
+        Sequential::new()
+            .push(Linear::new(3, 8, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(8, 2, &mut rng))
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut seq = Sequential::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        assert_eq!(seq.forward(&x, true).unwrap(), x);
+        assert_eq!(seq.backward(&x).unwrap(), x);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn forward_chains_layers_in_order() {
+        let mut seq = tiny_mlp(1);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.layer_names(), vec!["Linear", "Relu", "Linear"]);
+        let y = seq.forward(&Tensor::zeros(&[4, 3]), true).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn backward_produces_input_shaped_gradient() {
+        let mut seq = tiny_mlp(2);
+        let mut rng = StdRng::seed_from(3);
+        let x = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let y = seq.forward(&x, true).unwrap();
+        let grad = seq.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(grad.dims(), x.dims());
+    }
+
+    #[test]
+    fn parameter_count_sums_over_layers() {
+        let seq = tiny_mlp(4);
+        assert_eq!(seq.parameter_count(), 3 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn zero_grad_clears_all_gradients() {
+        let mut seq = tiny_mlp(5);
+        let mut rng = StdRng::seed_from(6);
+        let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let y = seq.forward(&x, true).unwrap();
+        seq.backward(&Tensor::ones(y.dims())).unwrap();
+        assert!(seq.parameters().iter().any(|p| p.grad().squared_norm() > 0.0));
+        seq.zero_grad();
+        assert!(seq.parameters().iter().all(|p| p.grad().squared_norm() == 0.0));
+    }
+
+    #[test]
+    fn set_frozen_and_lr_scale_apply_to_every_parameter() {
+        let mut seq = tiny_mlp(7);
+        seq.set_frozen(true);
+        assert!(seq.parameters().iter().all(|p| p.is_frozen()));
+        seq.set_lr_scale(0.1);
+        assert!(seq.parameters().iter().all(|p| p.lr_scale() == 0.1));
+    }
+
+    #[test]
+    fn nested_sequential_works_as_a_layer() {
+        let mut rng = StdRng::seed_from(8);
+        let inner = Sequential::new()
+            .push(Linear::new(3, 4, &mut rng))
+            .push(Relu::new());
+        let mut outer = Sequential::new()
+            .push(inner)
+            .push(Linear::new(4, 2, &mut rng));
+        let y = outer.forward(&Tensor::zeros(&[1, 3]), true).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(outer.parameter_count(), 3 * 4 + 4 + 4 * 2 + 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! The communication channel between the edge device and the remote server.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SplitError};
+
+/// An analytical model of the edge↔server network link.
+///
+/// Transfer time for a payload of `b` bytes is
+/// `propagation_delay + b * 8 / (bandwidth * (1 - degradation))`, i.e. a
+/// fixed per-message latency plus a serialisation term over the effective
+/// bandwidth. `degradation` captures the "degraded channel conditions" the
+/// paper motivates split computing with: a congested or lossy link retains
+/// only part of its nominal bandwidth (retransmissions, contention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Nominal bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation / protocol delay per message, in seconds.
+    pub propagation_delay_s: f64,
+    /// Fraction of the nominal bandwidth lost to degradation, in `[0, 1)`.
+    pub degradation: f64,
+}
+
+impl ChannelModel {
+    /// Creates a channel model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bandwidth is not positive, the delay is
+    /// negative, or the degradation is outside `[0, 1)`.
+    pub fn new(bandwidth_bps: f64, propagation_delay_s: f64, degradation: f64) -> Result<Self> {
+        if !(bandwidth_bps.is_finite() && bandwidth_bps > 0.0) {
+            return Err(SplitError::InvalidConfig {
+                reason: format!("bandwidth {bandwidth_bps} must be positive"),
+            });
+        }
+        if !(propagation_delay_s.is_finite() && propagation_delay_s >= 0.0) {
+            return Err(SplitError::InvalidConfig {
+                reason: format!("propagation delay {propagation_delay_s} must be non-negative"),
+            });
+        }
+        if !(0.0..1.0).contains(&degradation) {
+            return Err(SplitError::InvalidConfig {
+                reason: format!("degradation {degradation} must be in [0, 1)"),
+            });
+        }
+        Ok(Self {
+            bandwidth_bps,
+            propagation_delay_s,
+            degradation,
+        })
+    }
+
+    /// The gigabit Ethernet link assumed by the paper's RoC analysis.
+    pub fn gigabit() -> Self {
+        Self {
+            bandwidth_bps: 1e9,
+            propagation_delay_s: 1e-3,
+            degradation: 0.0,
+        }
+    }
+
+    /// A typical 802.11n-class wireless link.
+    pub fn wifi() -> Self {
+        Self {
+            bandwidth_bps: 100e6,
+            propagation_delay_s: 5e-3,
+            degradation: 0.1,
+        }
+    }
+
+    /// A 4G/LTE-class uplink, the kind of constrained mobile channel where
+    /// transmitting raw frames is clearly infeasible.
+    pub fn lte_uplink() -> Self {
+        Self {
+            bandwidth_bps: 20e6,
+            propagation_delay_s: 30e-3,
+            degradation: 0.2,
+        }
+    }
+
+    /// Returns this channel with the given degradation fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `degradation` is outside `[0, 1)`.
+    pub fn with_degradation(&self, degradation: f64) -> Result<Self> {
+        Self::new(self.bandwidth_bps, self.propagation_delay_s, degradation)
+    }
+
+    /// Effective bandwidth in bits per second after degradation.
+    pub fn effective_bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps * (1.0 - self.degradation)
+    }
+
+    /// Time in seconds to transfer a single payload of `bytes` bytes.
+    pub fn transfer_time_bytes(&self, bytes: usize) -> f64 {
+        self.propagation_delay_s + (bytes as f64 * 8.0) / self.effective_bandwidth_bps()
+    }
+
+    /// Simulates transferring `count` payloads of `bytes_each` bytes
+    /// back-to-back and returns the aggregate report.
+    pub fn transfer_batch(&self, bytes_each: usize, count: usize) -> TransferReport {
+        let per_payload = self.transfer_time_bytes(bytes_each);
+        TransferReport {
+            payloads: count,
+            bytes_total: bytes_each * count,
+            seconds_total: per_payload * count as f64,
+            seconds_per_payload: per_payload,
+        }
+    }
+}
+
+/// Aggregate result of transferring a batch of payloads over a channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Number of payloads transferred.
+    pub payloads: usize,
+    /// Total bytes moved.
+    pub bytes_total: usize,
+    /// Total wall-clock seconds.
+    pub seconds_total: f64,
+    /// Seconds per payload.
+    pub seconds_per_payload: f64,
+}
+
+impl TransferReport {
+    /// Achieved goodput in megabytes per second.
+    pub fn goodput_mb_per_s(&self) -> f64 {
+        if self.seconds_total <= 0.0 {
+            0.0
+        } else {
+            self.bytes_total as f64 / 1_000_000.0 / self.seconds_total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_roc_numbers_are_reproduced() {
+        // 100 raw inputs of ~115 MB over gigabit: ~98 s (Section 4.2).
+        let channel = ChannelModel::gigabit();
+        let raw = channel.transfer_batch(115_000_000, 100);
+        assert!(raw.seconds_total > 88.0 && raw.seconds_total < 105.0,
+            "raw transfer took {}", raw.seconds_total);
+        // 100 Z_b payloads of ~1.5 MB: ~12 s in the paper.
+        let zb = channel.transfer_batch(1_500_000, 100);
+        assert!(zb.seconds_total > 1.0 && zb.seconds_total < 15.0);
+        // The relative saving is the claim that matters: ~87 %.
+        let saving = 1.0 - zb.seconds_total / raw.seconds_total;
+        assert!(saving > 0.85, "saving {saving}");
+    }
+
+    #[test]
+    fn degradation_reduces_effective_bandwidth() {
+        let clean = ChannelModel::gigabit();
+        let degraded = clean.with_degradation(0.5).unwrap();
+        assert!(degraded.effective_bandwidth_bps() < clean.effective_bandwidth_bps());
+        assert!(degraded.transfer_time_bytes(1_000_000) > clean.transfer_time_bytes(1_000_000));
+    }
+
+    #[test]
+    fn transfer_time_includes_propagation_delay() {
+        let channel = ChannelModel::new(1e9, 0.5, 0.0).unwrap();
+        // Even a zero-byte message pays the propagation delay.
+        assert!((channel.transfer_time_bytes(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(ChannelModel::new(0.0, 0.0, 0.0).is_err());
+        assert!(ChannelModel::new(1e6, -1.0, 0.0).is_err());
+        assert!(ChannelModel::new(1e6, 0.0, 1.0).is_err());
+        assert!(ChannelModel::gigabit().with_degradation(1.5).is_err());
+    }
+
+    #[test]
+    fn goodput_reflects_payload_size() {
+        let channel = ChannelModel::wifi();
+        let big = channel.transfer_batch(10_000_000, 10);
+        let small = channel.transfer_batch(1_000, 10);
+        // Large payloads amortise the per-message delay, so goodput is higher.
+        assert!(big.goodput_mb_per_s() > small.goodput_mb_per_s());
+    }
+
+    #[test]
+    fn presets_are_ordered_by_capacity() {
+        assert!(ChannelModel::gigabit().effective_bandwidth_bps()
+            > ChannelModel::wifi().effective_bandwidth_bps());
+        assert!(ChannelModel::wifi().effective_bandwidth_bps()
+            > ChannelModel::lte_uplink().effective_bandwidth_bps());
+    }
+}

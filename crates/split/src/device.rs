@@ -1,0 +1,174 @@
+//! Analytical edge-device model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SplitError};
+
+/// Broad class of a compute node in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// A resource-constrained edge board (Jetson-Nano-like).
+    Edge,
+    /// A workstation or datacentre server (RTX-3090-class).
+    Server,
+}
+
+/// An analytical model of a compute node: how much model state it can hold
+/// and how fast it executes multiply-accumulate work.
+///
+/// The paper's LoC feasibility argument is purely a memory argument ("the
+/// only feasible implementation on the Jetson Nano is restricted to
+/// MobileNetV3"), so memory capacity is the primary attribute; the FLOP rate
+/// supports coarse compute-latency estimates for end-to-end comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeDevice {
+    /// Human-readable device name.
+    pub name: String,
+    /// Device class.
+    pub class: DeviceClass,
+    /// Usable memory in bytes.
+    pub memory_bytes: usize,
+    /// Sustained throughput in floating-point operations per second.
+    pub flops_per_second: f64,
+}
+
+impl EdgeDevice {
+    /// Creates a device model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if memory or throughput is zero/non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        class: DeviceClass,
+        memory_bytes: usize,
+        flops_per_second: f64,
+    ) -> Result<Self> {
+        if memory_bytes == 0 {
+            return Err(SplitError::InvalidConfig {
+                reason: "device memory must be positive".to_string(),
+            });
+        }
+        if !(flops_per_second.is_finite() && flops_per_second > 0.0) {
+            return Err(SplitError::InvalidConfig {
+                reason: format!("flops/s {flops_per_second} must be positive"),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            class,
+            memory_bytes,
+            flops_per_second,
+        })
+    }
+
+    /// The NVIDIA Jetson Nano (4 GB) the paper deploys on.
+    ///
+    /// The usable memory is set below the nominal 4 GB because the OS and
+    /// runtime reserve a share of the unified memory.
+    pub fn jetson_nano() -> Self {
+        Self {
+            name: "NVIDIA Jetson Nano (4 GB)".to_string(),
+            class: DeviceClass::Edge,
+            memory_bytes: 4_000_000_000,
+            flops_per_second: 4.7e11, // ~470 GFLOPS FP16-ish envelope
+        }
+    }
+
+    /// An RTX-3090-class training/inference server.
+    pub fn workstation_server() -> Self {
+        Self {
+            name: "RTX 3090 server".to_string(),
+            class: DeviceClass::Server,
+            memory_bytes: 24_000_000_000,
+            flops_per_second: 3.5e13,
+        }
+    }
+
+    /// Whether a deployment needing `required_bytes` of model + activation
+    /// state fits on this device.
+    pub fn fits(&self, required_bytes: usize) -> bool {
+        required_bytes <= self.memory_bytes
+    }
+
+    /// Checks that a deployment fits, returning a descriptive error if not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitError::InsufficientMemory`] when the requirement
+    /// exceeds the device capacity.
+    pub fn check_fits(&self, required_bytes: usize) -> Result<()> {
+        if self.fits(required_bytes) {
+            Ok(())
+        } else {
+            Err(SplitError::InsufficientMemory {
+                required: required_bytes,
+                available: self.memory_bytes,
+            })
+        }
+    }
+
+    /// Estimated time in seconds to execute `flops` floating-point operations.
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops.max(0.0) / self.flops_per_second
+    }
+
+    /// Fraction of device memory a deployment would occupy.
+    pub fn utilisation(&self, required_bytes: usize) -> f64 {
+        required_bytes as f64 / self.memory_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_nano_has_four_gigabytes() {
+        let nano = EdgeDevice::jetson_nano();
+        assert_eq!(nano.memory_bytes, 4_000_000_000);
+        assert_eq!(nano.class, DeviceClass::Edge);
+    }
+
+    #[test]
+    fn fits_compares_against_capacity() {
+        let nano = EdgeDevice::jetson_nano();
+        // The paper's LoC estimate for EfficientNet on a 2-task workload is
+        // ~6.9 GB, which does not fit; MobileNetV3's ~1.5 GB does.
+        assert!(!nano.fits(6_900_000_000));
+        assert!(nano.fits(1_500_000_000));
+        assert!(nano.check_fits(6_900_000_000).is_err());
+        assert!(nano.check_fits(1_500_000_000).is_ok());
+    }
+
+    #[test]
+    fn server_is_bigger_and_faster_than_edge() {
+        let nano = EdgeDevice::jetson_nano();
+        let server = EdgeDevice::workstation_server();
+        assert!(server.memory_bytes > nano.memory_bytes);
+        assert!(server.flops_per_second > nano.flops_per_second);
+        assert!(server.compute_time(1e12) < nano.compute_time(1e12));
+    }
+
+    #[test]
+    fn utilisation_is_a_fraction_of_capacity() {
+        let nano = EdgeDevice::jetson_nano();
+        assert!((nano.utilisation(2_000_000_000) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_devices_are_rejected() {
+        assert!(EdgeDevice::new("x", DeviceClass::Edge, 0, 1.0).is_err());
+        assert!(EdgeDevice::new("x", DeviceClass::Edge, 100, 0.0).is_err());
+        assert!(EdgeDevice::new("x", DeviceClass::Edge, 100, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let nano = EdgeDevice::jetson_nano();
+        let t1 = nano.compute_time(1e9);
+        let t2 = nano.compute_time(2e9);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+        assert_eq!(nano.compute_time(-5.0), 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Deployment-paradigm accounting: Local-only, Remote-only and Split
+//! Computing, as compared in Section 4.2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{ChannelModel, TransferReport};
+use crate::device::EdgeDevice;
+use crate::error::{Result, SplitError};
+
+/// The three distributed-deep-learning paradigms the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentParadigm {
+    /// Everything runs on the edge device (`LoC`): one full network per task.
+    LocalOnly,
+    /// Everything runs on the server (`RoC`): the raw input crosses the
+    /// network for every inference.
+    RemoteOnly,
+    /// MTL-Split (`SC`): the shared backbone runs on the edge, the flattened
+    /// representation `Z_b` crosses the network, the task heads run remotely.
+    Split,
+}
+
+impl DeploymentParadigm {
+    /// All paradigms in presentation order.
+    pub const ALL: [DeploymentParadigm; 3] = [
+        DeploymentParadigm::LocalOnly,
+        DeploymentParadigm::RemoteOnly,
+        DeploymentParadigm::Split,
+    ];
+
+    /// Short label used in regenerated tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeploymentParadigm::LocalOnly => "LoC",
+            DeploymentParadigm::RemoteOnly => "RoC",
+            DeploymentParadigm::Split => "SC (MTL-Split)",
+        }
+    }
+}
+
+/// Memory placed on each side of the network by a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Bytes of model + activation state held on the edge device.
+    pub edge_bytes: usize,
+    /// Bytes of model + activation state held on the server.
+    pub server_bytes: usize,
+}
+
+/// Everything needed to analyse one model/dataset combination under all
+/// three paradigms. The byte figures come from
+/// `mtlsplit_models::analysis::ModelReport` plus the dataset's raw input
+/// size; keeping them as plain numbers keeps this crate independent of the
+/// model zoo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Human-readable model name.
+    pub model_name: String,
+    /// Number of tasks to solve (`N`).
+    pub task_count: usize,
+    /// Estimated bytes of one full backbone (parameters + activations).
+    pub backbone_bytes: usize,
+    /// Estimated bytes of one task head.
+    pub head_bytes: usize,
+    /// Bytes of one raw input image.
+    pub raw_input_bytes: usize,
+    /// Bytes of one transmitted `Z_b` payload.
+    pub zb_bytes: usize,
+    /// Number of inferences in the latency experiment (the paper uses 100).
+    pub inference_count: usize,
+}
+
+/// Result of analysing one paradigm for a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentAnalysis {
+    /// The paradigm analysed.
+    pub paradigm: DeploymentParadigm,
+    /// Memory placed on each side.
+    pub memory: MemoryFootprint,
+    /// Bytes that cross the network per inference.
+    pub network_bytes_per_inference: usize,
+    /// Aggregate transfer report for `inference_count` inferences.
+    pub transfer: TransferReport,
+    /// Whether the edge-side footprint fits the given device.
+    pub fits_on_edge: bool,
+    /// Fraction of the edge device's memory used.
+    pub edge_utilisation: f64,
+}
+
+impl WorkloadProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the task count or inference count is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.task_count == 0 {
+            return Err(SplitError::InvalidConfig {
+                reason: "task count must be positive".to_string(),
+            });
+        }
+        if self.inference_count == 0 {
+            return Err(SplitError::InvalidConfig {
+                reason: "inference count must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Edge/server memory footprint of a paradigm.
+    pub fn memory_footprint(&self, paradigm: DeploymentParadigm) -> MemoryFootprint {
+        match paradigm {
+            // LoC: single-task networks, one complete backbone + head per task,
+            // all resident on the edge device.
+            DeploymentParadigm::LocalOnly => MemoryFootprint {
+                edge_bytes: self.task_count * (self.backbone_bytes + self.head_bytes),
+                server_bytes: 0,
+            },
+            // RoC: the edge device only senses; the server holds one shared
+            // backbone plus every head (it can use MTL remotely too).
+            DeploymentParadigm::RemoteOnly => MemoryFootprint {
+                edge_bytes: 0,
+                server_bytes: self.backbone_bytes + self.task_count * self.head_bytes,
+            },
+            // SC: the shared backbone sits on the edge, the heads on the server.
+            DeploymentParadigm::Split => MemoryFootprint {
+                edge_bytes: self.backbone_bytes,
+                server_bytes: self.task_count * self.head_bytes,
+            },
+        }
+    }
+
+    /// Bytes that must cross the network for one inference under a paradigm.
+    pub fn network_bytes_per_inference(&self, paradigm: DeploymentParadigm) -> usize {
+        match paradigm {
+            DeploymentParadigm::LocalOnly => 0,
+            DeploymentParadigm::RemoteOnly => self.raw_input_bytes,
+            DeploymentParadigm::Split => self.zb_bytes,
+        }
+    }
+
+    /// Analyses one paradigm against a channel and an edge device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the profile is invalid.
+    pub fn analyze(
+        &self,
+        paradigm: DeploymentParadigm,
+        channel: &ChannelModel,
+        device: &EdgeDevice,
+    ) -> Result<DeploymentAnalysis> {
+        self.validate()?;
+        let memory = self.memory_footprint(paradigm);
+        let per_inference = self.network_bytes_per_inference(paradigm);
+        let transfer = channel.transfer_batch(per_inference, self.inference_count);
+        Ok(DeploymentAnalysis {
+            paradigm,
+            memory,
+            network_bytes_per_inference: per_inference,
+            transfer,
+            fits_on_edge: device.fits(memory.edge_bytes),
+            edge_utilisation: device.utilisation(memory.edge_bytes),
+        })
+    }
+
+    /// Analyses all three paradigms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the profile is invalid.
+    pub fn analyze_all(
+        &self,
+        channel: &ChannelModel,
+        device: &EdgeDevice,
+    ) -> Result<Vec<DeploymentAnalysis>> {
+        DeploymentParadigm::ALL
+            .iter()
+            .map(|&p| self.analyze(p, channel, device))
+            .collect()
+    }
+
+    /// Edge-memory saving of Split Computing relative to Local-only
+    /// Computing (the paper reports ≈38 % for two tasks and ≈57 % for three
+    /// tasks with EfficientNet).
+    pub fn memory_saving_vs_loc(&self) -> f64 {
+        let loc = self.memory_footprint(DeploymentParadigm::LocalOnly).edge_bytes;
+        let sc = self.memory_footprint(DeploymentParadigm::Split).edge_bytes;
+        if loc == 0 {
+            0.0
+        } else {
+            1.0 - sc as f64 / loc as f64
+        }
+    }
+
+    /// Transfer-latency saving of Split Computing relative to Remote-only
+    /// Computing over the given channel (the paper reports ≈87 %).
+    pub fn latency_saving_vs_roc(&self, channel: &ChannelModel) -> f64 {
+        let roc = channel
+            .transfer_batch(self.raw_input_bytes, self.inference_count)
+            .seconds_total;
+        let sc = channel
+            .transfer_batch(self.zb_bytes, self.inference_count)
+            .seconds_total;
+        if roc <= 0.0 {
+            0.0
+        } else {
+            1.0 - sc / roc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A profile mirroring the paper's FACES + EfficientNet numbers:
+    /// ~3.45 GB per full network, ~115 MB raw inputs, ~1.5 MB Z_b, 3 tasks.
+    fn paper_like_profile(tasks: usize) -> WorkloadProfile {
+        WorkloadProfile {
+            model_name: "EfficientNet".to_string(),
+            task_count: tasks,
+            backbone_bytes: 3_450_000_000,
+            head_bytes: 20_000_000,
+            raw_input_bytes: 115_000_000,
+            zb_bytes: 1_500_000,
+            inference_count: 100,
+        }
+    }
+
+    #[test]
+    fn loc_memory_grows_linearly_with_tasks_and_sc_does_not() {
+        let two = paper_like_profile(2);
+        let three = paper_like_profile(3);
+        let loc2 = two.memory_footprint(DeploymentParadigm::LocalOnly).edge_bytes;
+        let loc3 = three.memory_footprint(DeploymentParadigm::LocalOnly).edge_bytes;
+        let sc2 = two.memory_footprint(DeploymentParadigm::Split).edge_bytes;
+        let sc3 = three.memory_footprint(DeploymentParadigm::Split).edge_bytes;
+        assert!(loc3 > loc2);
+        assert_eq!(sc2, sc3, "the shared backbone does not grow with the task count");
+    }
+
+    #[test]
+    fn memory_savings_match_the_papers_band() {
+        // ~38-50 % for two tasks, ~57-67 % for three tasks.
+        let two = paper_like_profile(2);
+        let three = paper_like_profile(3);
+        assert!(two.memory_saving_vs_loc() > 0.35, "{}", two.memory_saving_vs_loc());
+        assert!(three.memory_saving_vs_loc() > 0.55, "{}", three.memory_saving_vs_loc());
+        assert!(three.memory_saving_vs_loc() > two.memory_saving_vs_loc());
+    }
+
+    #[test]
+    fn latency_saving_vs_roc_is_about_87_percent() {
+        let profile = paper_like_profile(3);
+        let saving = profile.latency_saving_vs_roc(&ChannelModel::gigabit());
+        assert!(saving > 0.85 && saving < 0.995, "saving {saving}");
+    }
+
+    #[test]
+    fn split_fits_the_jetson_when_loc_does_not() {
+        let profile = paper_like_profile(2);
+        let nano = EdgeDevice::jetson_nano();
+        let channel = ChannelModel::gigabit();
+        let loc = profile
+            .analyze(DeploymentParadigm::LocalOnly, &channel, &nano)
+            .unwrap();
+        let sc = profile
+            .analyze(DeploymentParadigm::Split, &channel, &nano)
+            .unwrap();
+        assert!(!loc.fits_on_edge, "6.9 GB LoC deployment must not fit 4 GB");
+        assert!(sc.fits_on_edge);
+        assert!(sc.edge_utilisation < 1.0);
+    }
+
+    #[test]
+    fn network_payloads_follow_the_paradigm() {
+        let profile = paper_like_profile(2);
+        assert_eq!(
+            profile.network_bytes_per_inference(DeploymentParadigm::LocalOnly),
+            0
+        );
+        assert_eq!(
+            profile.network_bytes_per_inference(DeploymentParadigm::RemoteOnly),
+            115_000_000
+        );
+        assert_eq!(
+            profile.network_bytes_per_inference(DeploymentParadigm::Split),
+            1_500_000
+        );
+    }
+
+    #[test]
+    fn analyze_all_returns_every_paradigm() {
+        let profile = paper_like_profile(2);
+        let all = profile
+            .analyze_all(&ChannelModel::gigabit(), &EdgeDevice::jetson_nano())
+            .unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].paradigm, DeploymentParadigm::LocalOnly);
+        assert_eq!(all[2].paradigm, DeploymentParadigm::Split);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut profile = paper_like_profile(2);
+        profile.task_count = 0;
+        assert!(profile
+            .analyze(
+                DeploymentParadigm::Split,
+                &ChannelModel::gigabit(),
+                &EdgeDevice::jetson_nano()
+            )
+            .is_err());
+        let mut profile = paper_like_profile(2);
+        profile.inference_count = 0;
+        assert!(profile.validate().is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DeploymentParadigm::LocalOnly.label(), "LoC");
+        assert_eq!(DeploymentParadigm::RemoteOnly.label(), "RoC");
+        assert!(DeploymentParadigm::Split.label().contains("SC"));
+    }
+}

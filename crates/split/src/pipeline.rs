@@ -1,0 +1,223 @@
+//! A functional end-to-end run of the split deployment (Figure 1).
+//!
+//! [`SplitPipeline`] takes a backbone (executing on the "edge"), serializes
+//! its output `Z_b`, simulates the transfer over a [`ChannelModel`], and then
+//! runs each task head (executing on the "server") on the decoded
+//! representation. This is the inference path a deployed MTL-Split system
+//! would follow, and it is what the quickstart example and the integration
+//! tests exercise.
+
+use mtlsplit_nn::Layer;
+use mtlsplit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::ChannelModel;
+use crate::error::Result;
+use crate::serialize::{Precision, TensorCodec, WirePayload};
+
+/// Timing and size record of one pipeline invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTiming {
+    /// Number of samples in the batch.
+    pub batch: usize,
+    /// Bytes of the raw input batch.
+    pub input_bytes: usize,
+    /// Bytes of the transmitted `Z_b` payload (including header).
+    pub zb_wire_bytes: usize,
+    /// Simulated transfer time of the `Z_b` payload in seconds.
+    pub transfer_seconds: f64,
+    /// Simulated transfer time the raw input would have needed (RoC), for
+    /// comparison.
+    pub roc_transfer_seconds: f64,
+}
+
+impl PipelineTiming {
+    /// Compression ratio achieved by splitting at the backbone output:
+    /// raw input bytes divided by transmitted bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.zb_wire_bytes == 0 {
+            0.0
+        } else {
+            self.input_bytes as f64 / self.zb_wire_bytes as f64
+        }
+    }
+}
+
+/// The edge→channel→server execution harness.
+#[derive(Debug, Clone)]
+pub struct SplitPipeline {
+    channel: ChannelModel,
+    codec: TensorCodec,
+}
+
+impl SplitPipeline {
+    /// Creates a pipeline over the given channel using lossless `f32`
+    /// payloads.
+    pub fn new(channel: ChannelModel) -> Self {
+        Self {
+            channel,
+            codec: TensorCodec::new(Precision::Float32),
+        }
+    }
+
+    /// Creates a pipeline with an explicit wire precision.
+    pub fn with_precision(channel: ChannelModel, precision: Precision) -> Self {
+        Self {
+            channel,
+            codec: TensorCodec::new(precision),
+        }
+    }
+
+    /// The channel model used for transfer simulation.
+    pub fn channel(&self) -> &ChannelModel {
+        &self.channel
+    }
+
+    /// Runs the edge half: backbone forward pass plus serialization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from the backbone forward pass.
+    pub fn edge_forward(
+        &self,
+        backbone: &mut dyn Layer,
+        input: &Tensor,
+    ) -> Result<(WirePayload, Tensor)> {
+        let features = backbone.forward(input, false)?;
+        let payload = self.codec.encode(&features);
+        Ok((payload, features))
+    }
+
+    /// Runs the server half: decodes `Z_b` and evaluates every head.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the payload is malformed or a head rejects the
+    /// decoded representation.
+    pub fn remote_forward(
+        &self,
+        heads: &mut [&mut dyn Layer],
+        payload: &WirePayload,
+    ) -> Result<Vec<Tensor>> {
+        let features = self.codec.decode(payload)?;
+        heads
+            .iter_mut()
+            .map(|head| head.forward(&features, false).map_err(Into::into))
+            .collect()
+    }
+
+    /// Runs the full pipeline: edge forward, simulated transfer, remote
+    /// heads. Returns the per-task outputs and the timing record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and payload errors.
+    pub fn run(
+        &self,
+        backbone: &mut dyn Layer,
+        heads: &mut [&mut dyn Layer],
+        input: &Tensor,
+    ) -> Result<(Vec<Tensor>, PipelineTiming)> {
+        let (payload, _features) = self.edge_forward(backbone, input)?;
+        let zb_wire_bytes = payload.wire_bytes();
+        let input_bytes = input.len() * std::mem::size_of::<f32>();
+        let timing = PipelineTiming {
+            batch: input.dims().first().copied().unwrap_or(0),
+            input_bytes,
+            zb_wire_bytes,
+            transfer_seconds: self.channel.transfer_time_bytes(zb_wire_bytes),
+            roc_transfer_seconds: self.channel.transfer_time_bytes(input_bytes),
+        };
+        let outputs = self.remote_forward(heads, &payload)?;
+        Ok((outputs, timing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_nn::{Flatten, Linear, Relu, Sequential};
+    use mtlsplit_tensor::StdRng;
+
+    fn toy_backbone(rng: &mut StdRng) -> Sequential {
+        Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(3 * 8 * 8, 16, rng))
+            .push(Relu::new())
+    }
+
+    fn toy_head(classes: usize, rng: &mut StdRng) -> Sequential {
+        Sequential::new().push(Linear::new(16, classes, rng))
+    }
+
+    #[test]
+    fn full_pipeline_produces_one_output_per_head() {
+        let mut rng = StdRng::seed_from(1);
+        let mut backbone = toy_backbone(&mut rng);
+        let mut head_a = toy_head(3, &mut rng);
+        let mut head_b = toy_head(5, &mut rng);
+        let pipeline = SplitPipeline::new(ChannelModel::gigabit());
+        let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (outputs, timing) = pipeline
+            .run(&mut backbone, &mut [&mut head_a, &mut head_b], &x)
+            .unwrap();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].dims(), &[4, 3]);
+        assert_eq!(outputs[1].dims(), &[4, 5]);
+        assert_eq!(timing.batch, 4);
+    }
+
+    #[test]
+    fn split_outputs_match_a_monolithic_run() {
+        // Splitting with a lossless codec must not change the predictions.
+        let mut rng = StdRng::seed_from(2);
+        let mut backbone = toy_backbone(&mut rng);
+        let mut head = toy_head(4, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+
+        let features = backbone.forward(&x, false).unwrap();
+        let direct = head.forward(&features, false).unwrap();
+
+        let pipeline = SplitPipeline::new(ChannelModel::gigabit());
+        let (outputs, _) = pipeline.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        assert!(outputs[0].allclose(&direct, 1e-6));
+    }
+
+    #[test]
+    fn transmitted_payload_is_smaller_than_the_input() {
+        let mut rng = StdRng::seed_from(3);
+        let mut backbone = toy_backbone(&mut rng);
+        let mut head = toy_head(2, &mut rng);
+        let pipeline = SplitPipeline::new(ChannelModel::gigabit());
+        let x = Tensor::randn(&[8, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (_, timing) = pipeline.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        assert!(timing.compression_ratio() > 2.0);
+        assert!(timing.transfer_seconds < timing.roc_transfer_seconds);
+    }
+
+    #[test]
+    fn quantised_pipeline_shrinks_the_payload_further() {
+        let mut rng = StdRng::seed_from(4);
+        let mut backbone = toy_backbone(&mut rng);
+        let mut head = toy_head(2, &mut rng);
+        let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let full = SplitPipeline::new(ChannelModel::gigabit());
+        let (_, t_full) = full.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        let quant = SplitPipeline::with_precision(ChannelModel::gigabit(), Precision::Quant8);
+        let (_, t_quant) = quant.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        assert!(t_quant.zb_wire_bytes < t_full.zb_wire_bytes);
+    }
+
+    #[test]
+    fn edge_and_remote_halves_can_run_separately() {
+        let mut rng = StdRng::seed_from(5);
+        let mut backbone = toy_backbone(&mut rng);
+        let mut head = toy_head(3, &mut rng);
+        let pipeline = SplitPipeline::new(ChannelModel::wifi());
+        let x = Tensor::randn(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (payload, features) = pipeline.edge_forward(&mut backbone, &x).unwrap();
+        assert_eq!(features.dims(), &[1, 16]);
+        let outputs = pipeline.remote_forward(&mut [&mut head], &payload).unwrap();
+        assert_eq!(outputs[0].dims(), &[1, 3]);
+    }
+}

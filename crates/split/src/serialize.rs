@@ -1,0 +1,236 @@
+//! Serialization of the shared representation `Z_b` for transmission.
+//!
+//! The flattened backbone output must cross the network between the edge
+//! device and the server. [`TensorCodec`] turns a tensor into a
+//! [`WirePayload`] — either full `f32` precision or 8-bit min/max quantised,
+//! the standard cheap compression used by split-computing systems — and back.
+
+use mtlsplit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SplitError};
+
+/// Wire precision for transmitted activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4 bytes per element, lossless.
+    Float32,
+    /// 1 byte per element, min/max affine quantisation.
+    Quant8,
+}
+
+impl Precision {
+    /// Bytes used per tensor element on the wire.
+    pub fn bytes_per_element(&self) -> usize {
+        match self {
+            Precision::Float32 => 4,
+            Precision::Quant8 => 1,
+        }
+    }
+}
+
+/// A serialized tensor ready to be "sent" over the simulated channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirePayload {
+    /// The original tensor dimensions.
+    pub dims: Vec<usize>,
+    /// Wire precision.
+    pub precision: Precision,
+    /// Quantisation minimum (unused for `Float32`).
+    pub q_min: f32,
+    /// Quantisation scale (unused for `Float32`).
+    pub q_scale: f32,
+    /// The encoded bytes.
+    pub data: Vec<u8>,
+}
+
+impl WirePayload {
+    /// Total size of the payload on the wire, including the small header.
+    pub fn wire_bytes(&self) -> usize {
+        // dims (8 bytes each) + precision tag + two f32 quantisation fields.
+        self.data.len() + self.dims.len() * 8 + 1 + 8
+    }
+}
+
+/// Encoder/decoder for transmitted tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TensorCodec {
+    precision: Precision,
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision::Float32
+    }
+}
+
+impl TensorCodec {
+    /// Creates a codec with the given wire precision.
+    pub fn new(precision: Precision) -> Self {
+        Self { precision }
+    }
+
+    /// The codec's wire precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Encodes a tensor into a wire payload.
+    pub fn encode(&self, tensor: &Tensor) -> WirePayload {
+        match self.precision {
+            Precision::Float32 => {
+                let mut data = Vec::with_capacity(tensor.len() * 4);
+                for &v in tensor.as_slice() {
+                    data.extend_from_slice(&v.to_le_bytes());
+                }
+                WirePayload {
+                    dims: tensor.dims().to_vec(),
+                    precision: Precision::Float32,
+                    q_min: 0.0,
+                    q_scale: 1.0,
+                    data,
+                }
+            }
+            Precision::Quant8 => {
+                let min = tensor.min().unwrap_or(0.0);
+                let max = tensor.max().unwrap_or(0.0);
+                let scale = if (max - min).abs() < f32::EPSILON {
+                    1.0
+                } else {
+                    (max - min) / 255.0
+                };
+                let data = tensor
+                    .as_slice()
+                    .iter()
+                    .map(|&v| (((v - min) / scale).round().clamp(0.0, 255.0)) as u8)
+                    .collect();
+                WirePayload {
+                    dims: tensor.dims().to_vec(),
+                    precision: Precision::Quant8,
+                    q_min: min,
+                    q_scale: scale,
+                    data,
+                }
+            }
+        }
+    }
+
+    /// Decodes a wire payload back into a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitError::MalformedPayload`] if the byte count does not
+    /// match the declared dimensions.
+    pub fn decode(&self, payload: &WirePayload) -> Result<Tensor> {
+        let elements: usize = payload.dims.iter().product();
+        match payload.precision {
+            Precision::Float32 => {
+                if payload.data.len() != elements * 4 {
+                    return Err(SplitError::MalformedPayload {
+                        reason: format!(
+                            "expected {} bytes for {:?}, got {}",
+                            elements * 4,
+                            payload.dims,
+                            payload.data.len()
+                        ),
+                    });
+                }
+                let values: Vec<f32> = payload
+                    .data
+                    .chunks_exact(4)
+                    .map(|chunk| f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+                    .collect();
+                Ok(Tensor::from_vec(values, &payload.dims)?)
+            }
+            Precision::Quant8 => {
+                if payload.data.len() != elements {
+                    return Err(SplitError::MalformedPayload {
+                        reason: format!(
+                            "expected {} bytes for {:?}, got {}",
+                            elements,
+                            payload.dims,
+                            payload.data.len()
+                        ),
+                    });
+                }
+                let values: Vec<f32> = payload
+                    .data
+                    .iter()
+                    .map(|&b| payload.q_min + b as f32 * payload.q_scale)
+                    .collect();
+                Ok(Tensor::from_vec(values, &payload.dims)?)
+            }
+        }
+    }
+
+    /// The wire size in bytes of a tensor with `elements` elements under this
+    /// codec, without actually encoding it.
+    pub fn wire_bytes_for(&self, elements: usize, rank: usize) -> usize {
+        elements * self.precision.bytes_per_element() + rank * 8 + 1 + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_tensor::StdRng;
+
+    #[test]
+    fn float32_round_trip_is_exact() {
+        let mut rng = StdRng::seed_from(1);
+        let z = Tensor::randn(&[4, 32], 0.0, 2.0, &mut rng);
+        let codec = TensorCodec::new(Precision::Float32);
+        let payload = codec.encode(&z);
+        let decoded = codec.decode(&payload).unwrap();
+        assert_eq!(decoded, z);
+    }
+
+    #[test]
+    fn quant8_round_trip_is_close_and_four_times_smaller() {
+        let mut rng = StdRng::seed_from(2);
+        let z = Tensor::randn(&[8, 64], 0.0, 1.0, &mut rng);
+        let full = TensorCodec::new(Precision::Float32).encode(&z);
+        let codec = TensorCodec::new(Precision::Quant8);
+        let payload = codec.encode(&z);
+        assert!(payload.data.len() * 4 == full.data.len());
+        let decoded = codec.decode(&payload).unwrap();
+        let range = z.max().unwrap() - z.min().unwrap();
+        // Quantisation error bounded by one step.
+        assert!(decoded.allclose(&z, range / 255.0 + 1e-6));
+    }
+
+    #[test]
+    fn quant8_handles_constant_tensors() {
+        let z = Tensor::full(&[3, 3], 0.7);
+        let codec = TensorCodec::new(Precision::Quant8);
+        let decoded = codec.decode(&codec.encode(&z)).unwrap();
+        assert!(decoded.allclose(&z, 1e-6));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payloads() {
+        let z = Tensor::ones(&[2, 2]);
+        let codec = TensorCodec::new(Precision::Float32);
+        let mut payload = codec.encode(&z);
+        payload.data.pop();
+        assert!(matches!(
+            codec.decode(&payload),
+            Err(SplitError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_bytes_estimate_matches_actual_payload() {
+        let z = Tensor::ones(&[5, 7]);
+        for precision in [Precision::Float32, Precision::Quant8] {
+            let codec = TensorCodec::new(precision);
+            let payload = codec.encode(&z);
+            assert_eq!(payload.wire_bytes(), codec.wire_bytes_for(35, 2));
+        }
+    }
+
+    #[test]
+    fn default_codec_is_lossless() {
+        assert_eq!(TensorCodec::default().precision(), Precision::Float32);
+    }
+}

@@ -1,0 +1,701 @@
+//! 2-D convolution kernels (forward and backward) in NCHW layout.
+//!
+//! The forward pass uses an im2col + matrix-multiplication formulation, which
+//! is the standard CPU strategy and doubles as the kernel measured by the
+//! Criterion benchmarks. The backward pass uses a direct accumulation loop,
+//! which is easier to audit for correctness and is exercised against
+//! numerical gradients in the test-suite.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Static description of a 2-D convolution.
+///
+/// Grouped convolution is supported; `groups == in_channels` with
+/// `out_channels == in_channels` yields a depthwise convolution, the building
+/// block of the MobileNet-style backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding added to both sides of both spatial axes.
+    pub padding: usize,
+    /// Number of channel groups (1 for a dense convolution).
+    pub groups: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a dense (ungrouped) convolution specification.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        }
+    }
+
+    /// Sets the stride, returning the updated spec.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding, returning the updated spec.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Sets the group count, returning the updated spec.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Spatial output size for the given input size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel does not fit the padded input or the
+    /// configuration is internally inconsistent (zero stride, channel counts
+    /// not divisible by `groups`).
+    pub fn output_size(&self, height: usize, width: usize) -> Result<(usize, usize)> {
+        self.validate()?;
+        let padded_h = height + 2 * self.padding;
+        let padded_w = width + 2 * self.padding;
+        if self.kernel > padded_h || self.kernel > padded_w {
+            return Err(TensorError::InvalidWindow {
+                reason: format!(
+                    "kernel {} does not fit padded input {}x{}",
+                    self.kernel, padded_h, padded_w
+                ),
+            });
+        }
+        Ok((
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+        ))
+    }
+
+    /// Expected weight tensor dimensions: `[out, in/groups, k, k]`.
+    pub fn weight_dims(&self) -> [usize; 4] {
+        [
+            self.out_channels,
+            self.in_channels / self.groups.max(1),
+            self.kernel,
+            self.kernel,
+        ]
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.stride == 0 || self.kernel == 0 || self.groups == 0 {
+            return Err(TensorError::InvalidWindow {
+                reason: "kernel, stride and groups must be positive".to_string(),
+            });
+        }
+        if self.in_channels % self.groups != 0 || self.out_channels % self.groups != 0 {
+            return Err(TensorError::InvalidWindow {
+                reason: format!(
+                    "channels ({} in, {} out) must be divisible by groups ({})",
+                    self.in_channels, self.out_channels, self.groups
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn check_input(input: &Tensor, spec: &Conv2dSpec) -> Result<(usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let dims = input.dims();
+    if dims[1] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: dims.to_vec(),
+            rhs: spec.weight_dims().to_vec(),
+        });
+    }
+    Ok((dims[0], dims[2], dims[3]))
+}
+
+fn check_weight(weight: &Tensor, spec: &Conv2dSpec) -> Result<()> {
+    if weight.dims() != spec.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: weight.dims().to_vec(),
+            rhs: spec.weight_dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Unfolds `input` (`[batch, channels, h, w]`) into a matrix of sliding
+/// windows with shape `[batch * out_h * out_w, channels * k * k]`.
+///
+/// The `spec` only uses `kernel`, `stride` and `padding`; channel counts are
+/// taken from the input.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the window does not fit.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let [batch, channels, height, width] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let probe = Conv2dSpec {
+        in_channels: channels,
+        out_channels: channels,
+        ..*spec
+    };
+    let (out_h, out_w) = probe.output_size(height, width)?;
+    let k = spec.kernel;
+    let cols_per_row = channels * k * k;
+    let mut out = vec![0.0f32; batch * out_h * out_w * cols_per_row];
+    let src = input.as_slice();
+    let pad = spec.padding as isize;
+    for b in 0..batch {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row_base = ((b * out_h + oy) * out_w + ox) * cols_per_row;
+                for c in 0..channels {
+                    for ky in 0..k {
+                        let in_y = (oy * spec.stride + ky) as isize - pad;
+                        for kx in 0..k {
+                            let in_x = (ox * spec.stride + kx) as isize - pad;
+                            let col = (c * k + ky) * k + kx;
+                            let value = if in_y >= 0
+                                && in_y < height as isize
+                                && in_x >= 0
+                                && in_x < width as isize
+                            {
+                                src[((b * channels + c) * height + in_y as usize) * width
+                                    + in_x as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row_base + col] = value;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch * out_h * out_w, cols_per_row])
+}
+
+/// Folds an im2col matrix back into an image, accumulating overlapping
+/// windows. This is the adjoint of [`im2col`] and is used by the
+/// convolution backward pass with respect to the input.
+///
+/// # Errors
+///
+/// Returns an error if `cols` does not have the shape produced by [`im2col`]
+/// for the given `image_dims` (`[batch, channels, h, w]`) and `spec`.
+pub fn col2im(cols: &Tensor, image_dims: &[usize; 4], spec: &Conv2dSpec) -> Result<Tensor> {
+    let [batch, channels, height, width] = *image_dims;
+    let probe = Conv2dSpec {
+        in_channels: channels,
+        out_channels: channels,
+        ..*spec
+    };
+    let (out_h, out_w) = probe.output_size(height, width)?;
+    let k = spec.kernel;
+    let cols_per_row = channels * k * k;
+    let expected = [batch * out_h * out_w, cols_per_row];
+    if cols.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: expected.to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; batch * channels * height * width];
+    let src = cols.as_slice();
+    let pad = spec.padding as isize;
+    for b in 0..batch {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row_base = ((b * out_h + oy) * out_w + ox) * cols_per_row;
+                for c in 0..channels {
+                    for ky in 0..k {
+                        let in_y = (oy * spec.stride + ky) as isize - pad;
+                        for kx in 0..k {
+                            let in_x = (ox * spec.stride + kx) as isize - pad;
+                            if in_y >= 0
+                                && in_y < height as isize
+                                && in_x >= 0
+                                && in_x < width as isize
+                            {
+                                let col = (c * k + ky) * k + kx;
+                                out[((b * channels + c) * height + in_y as usize) * width
+                                    + in_x as usize] += src[row_base + col];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, channels, height, width])
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input` — `[batch, in_channels, h, w]`
+/// * `weight` — `[out_channels, in_channels / groups, k, k]`
+/// * `bias` — optional `[out_channels]`
+///
+/// Returns `[batch, out_channels, out_h, out_w]`.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with `spec` or the kernel does
+/// not fit the padded input.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_tensor::{conv2d, Conv2dSpec, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let spec = Conv2dSpec::new(1, 1, 3).with_padding(1);
+/// let input = Tensor::ones(&[1, 1, 4, 4]);
+/// let weight = Tensor::ones(&[1, 1, 3, 3]);
+/// let out = conv2d(&input, &weight, None, &spec)?;
+/// assert_eq!(out.dims(), &[1, 1, 4, 4]);
+/// // The centre pixels see the full 3x3 window of ones.
+/// assert_eq!(out.at(&[0, 0, 1, 1])?, 9.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    let (batch, height, width) = check_input(input, spec)?;
+    check_weight(weight, spec)?;
+    if let Some(b) = bias {
+        if b.len() != spec.out_channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: b.dims().to_vec(),
+                rhs: vec![spec.out_channels],
+            });
+        }
+    }
+    let (out_h, out_w) = spec.output_size(height, width)?;
+    let groups = spec.groups;
+    let cin_g = spec.in_channels / groups;
+    let cout_g = spec.out_channels / groups;
+    let k = spec.kernel;
+    let mut out = vec![0.0f32; batch * spec.out_channels * out_h * out_w];
+    let src = input.as_slice();
+    let w = weight.as_slice();
+    let pad = spec.padding as isize;
+
+    for b in 0..batch {
+        for g in 0..groups {
+            for oc_local in 0..cout_g {
+                let oc = g * cout_g + oc_local;
+                let bias_val = bias.map_or(0.0, |t| t.as_slice()[oc]);
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let mut acc = bias_val;
+                        for ic_local in 0..cin_g {
+                            let ic = g * cin_g + ic_local;
+                            let w_base = ((oc * cin_g + ic_local) * k) * k;
+                            let in_base = (b * spec.in_channels + ic) * height * width;
+                            for ky in 0..k {
+                                let in_y = (oy * spec.stride + ky) as isize - pad;
+                                if in_y < 0 || in_y >= height as isize {
+                                    continue;
+                                }
+                                let row_base = in_base + in_y as usize * width;
+                                let w_row = w_base + ky * k;
+                                for kx in 0..k {
+                                    let in_x = (ox * spec.stride + kx) as isize - pad;
+                                    if in_x < 0 || in_x >= width as isize {
+                                        continue;
+                                    }
+                                    acc += src[row_base + in_x as usize] * w[w_row + kx];
+                                }
+                            }
+                        }
+                        out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
+        .expect("conv2d output buffer matches computed shape"))
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Given the forward inputs and `grad_output` (`[batch, out_channels, out_h,
+/// out_w]`), returns `(grad_input, grad_weight, grad_bias)` with the same
+/// shapes as `input`, `weight` and `[out_channels]` respectively.
+///
+/// # Errors
+///
+/// Returns an error if any shape disagrees with `spec`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (batch, height, width) = check_input(input, spec)?;
+    check_weight(weight, spec)?;
+    let (out_h, out_w) = spec.output_size(height, width)?;
+    let expected = [batch, spec.out_channels, out_h, out_w];
+    if grad_output.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: expected.to_vec(),
+        });
+    }
+    let groups = spec.groups;
+    let cin_g = spec.in_channels / groups;
+    let cout_g = spec.out_channels / groups;
+    let k = spec.kernel;
+    let pad = spec.padding as isize;
+
+    let src = input.as_slice();
+    let w = weight.as_slice();
+    let go = grad_output.as_slice();
+
+    let mut grad_input = vec![0.0f32; src.len()];
+    let mut grad_weight = vec![0.0f32; w.len()];
+    let mut grad_bias = vec![0.0f32; spec.out_channels];
+
+    for b in 0..batch {
+        for g in 0..groups {
+            for oc_local in 0..cout_g {
+                let oc = g * cout_g + oc_local;
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let grad =
+                            go[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox];
+                        if grad == 0.0 {
+                            continue;
+                        }
+                        grad_bias[oc] += grad;
+                        for ic_local in 0..cin_g {
+                            let ic = g * cin_g + ic_local;
+                            let w_base = ((oc * cin_g + ic_local) * k) * k;
+                            let in_base = (b * spec.in_channels + ic) * height * width;
+                            for ky in 0..k {
+                                let in_y = (oy * spec.stride + ky) as isize - pad;
+                                if in_y < 0 || in_y >= height as isize {
+                                    continue;
+                                }
+                                let row_base = in_base + in_y as usize * width;
+                                let w_row = w_base + ky * k;
+                                for kx in 0..k {
+                                    let in_x = (ox * spec.stride + kx) as isize - pad;
+                                    if in_x < 0 || in_x >= width as isize {
+                                        continue;
+                                    }
+                                    let idx = row_base + in_x as usize;
+                                    grad_input[idx] += grad * w[w_row + kx];
+                                    grad_weight[w_row + kx] += grad * src[idx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok((
+        Tensor::from_vec(grad_input, input.dims())?,
+        Tensor::from_vec(grad_weight, weight.dims())?,
+        Tensor::from_vec(grad_bias, &[spec.out_channels])?,
+    ))
+}
+
+/// Convolution forward pass computed through [`im2col`] and matrix
+/// multiplication. Only dense (`groups == 1`) convolutions are supported;
+/// used as a cross-check for [`conv2d`] and as the benchmark kernel.
+///
+/// # Errors
+///
+/// Returns an error for grouped specifications or inconsistent shapes.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    if spec.groups != 1 {
+        return Err(TensorError::InvalidWindow {
+            reason: "conv2d_im2col supports only groups == 1".to_string(),
+        });
+    }
+    let (batch, height, width) = check_input(input, spec)?;
+    check_weight(weight, spec)?;
+    let (out_h, out_w) = spec.output_size(height, width)?;
+    let cols = im2col(input, spec)?;
+    let k = spec.kernel;
+    let w_mat = weight.reshape(&[spec.out_channels, spec.in_channels * k * k])?;
+    // [batch*out_h*out_w, cin*k*k] x [cin*k*k, cout]
+    let mut out_mat = cols.matmul(&w_mat.transpose()?)?;
+    if let Some(b) = bias {
+        out_mat = out_mat.add_row_broadcast(b)?;
+    }
+    // Reorder [batch, out_h, out_w, cout] -> [batch, cout, out_h, out_w].
+    let flat = out_mat.as_slice();
+    let mut out = vec![0.0f32; batch * spec.out_channels * out_h * out_w];
+    for b in 0..batch {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row = ((b * out_h + oy) * out_w + ox) * spec.out_channels;
+                for oc in 0..spec.out_channels {
+                    out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] =
+                        flat[row + oc];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    fn finite_difference_check(
+        spec: Conv2dSpec,
+        input_dims: [usize; 4],
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from(seed);
+        let input = Tensor::randn(&input_dims, 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn(&[spec.out_channels], 0.0, 0.5, &mut rng);
+        let out = conv2d(&input, &weight, Some(&bias), &spec).unwrap();
+        // Scalar loss: sum of outputs weighted by a fixed random tensor.
+        let weights = Tensor::randn(out.dims(), 0.0, 1.0, &mut rng);
+        let grad_output = weights.clone();
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, &grad_output, &spec).unwrap();
+
+        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(inp, w, Some(b), &spec)
+                .unwrap()
+                .mul(&weights)
+                .unwrap()
+                .sum()
+        };
+
+        let eps = 1e-2;
+        // Spot-check a handful of coordinates in each gradient tensor.
+        for idx in [0usize, input.len() / 2, input.len() - 1] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
+            let ana = gi.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "grad_input[{idx}]: numerical {num} vs analytical {ana}"
+            );
+        }
+        for idx in [0usize, weight.len() / 2, weight.len() - 1] {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias)) / (2.0 * eps);
+            let ana = gw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "grad_weight[{idx}]: numerical {num} vs analytical {ana}"
+            );
+        }
+        for idx in 0..spec.out_channels {
+            let mut plus = bias.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = bias.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &weight, &plus) - loss(&input, &weight, &minus)) / (2.0 * eps);
+            let ana = gb.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "grad_bias[{idx}]: numerical {num} vs analytical {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_size_accounts_for_stride_and_padding() {
+        let spec = Conv2dSpec::new(3, 8, 3).with_stride(2).with_padding(1);
+        assert_eq!(spec.output_size(8, 8).unwrap(), (4, 4));
+        let spec = Conv2dSpec::new(3, 8, 3);
+        assert_eq!(spec.output_size(8, 8).unwrap(), (6, 6));
+    }
+
+    #[test]
+    fn output_size_rejects_oversized_kernel() {
+        let spec = Conv2dSpec::new(1, 1, 5);
+        assert!(spec.output_size(3, 3).is_err());
+    }
+
+    #[test]
+    fn spec_rejects_bad_groups() {
+        let spec = Conv2dSpec::new(3, 8, 3).with_groups(2);
+        assert!(spec.output_size(8, 8).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // A 1x1 kernel with weight 1 is the identity for a single channel.
+        let spec = Conv2dSpec::new(1, 1, 1);
+        let mut rng = StdRng::seed_from(1);
+        let input = Tensor::randn(&[2, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let out = conv2d(&input, &weight, None, &spec).unwrap();
+        assert!(out.allclose(&input, 1e-6));
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let spec = Conv2dSpec::new(1, 1, 3);
+        // 4x4 input of increasing values, 3x3 averaging-like kernel of ones.
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let out = conv2d(&input, &weight, None, &spec).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        // Top-left window: rows 0..3, cols 0..3 = 0+1+2+4+5+6+8+9+10 = 45.
+        assert_eq!(out.at(&[0, 0, 0, 0]).unwrap(), 45.0);
+        assert_eq!(out.at(&[0, 0, 1, 1]).unwrap(), 45.0 + 9.0 * 5.0);
+    }
+
+    #[test]
+    fn bias_is_added_to_every_output_position() {
+        let spec = Conv2dSpec::new(1, 2, 1);
+        let input = Tensor::zeros(&[1, 1, 3, 3]);
+        let weight = Tensor::zeros(&[2, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), &spec).unwrap();
+        assert_eq!(out.at(&[0, 0, 1, 1]).unwrap(), 1.5);
+        assert_eq!(out.at(&[0, 1, 2, 2]).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn depthwise_convolution_keeps_channels_separate() {
+        // groups == channels: each output channel only sees its own input channel.
+        let spec = Conv2dSpec::new(2, 2, 1).with_groups(2);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
+        let weight = Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1]).unwrap();
+        let out = conv2d(&input, &weight, None, &spec).unwrap();
+        assert_eq!(out.at(&[0, 0, 0, 0]).unwrap(), 2.0);
+        assert_eq!(out.at(&[0, 1, 0, 0]).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn im2col_matmul_matches_direct_convolution() {
+        let spec = Conv2dSpec::new(3, 5, 3).with_padding(1).with_stride(2);
+        let mut rng = StdRng::seed_from(3);
+        let input = Tensor::randn(&[2, 3, 9, 9], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn(&[5], 0.0, 0.5, &mut rng);
+        let direct = conv2d(&input, &weight, Some(&bias), &spec).unwrap();
+        let via_cols = conv2d_im2col(&input, &weight, Some(&bias), &spec).unwrap();
+        assert!(direct.allclose(&via_cols, 1e-4));
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for any x, y — the defining property
+        // of the adjoint, which is what the backward pass relies on.
+        let spec = Conv2dSpec::new(2, 2, 3).with_padding(1);
+        let dims = [1usize, 2, 5, 5];
+        let mut rng = StdRng::seed_from(4);
+        let x = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::randn(cols.dims(), 0.0, 1.0, &mut rng);
+        let lhs = cols.dot(&y).unwrap();
+        let folded = col2im(&y, &dims, &spec).unwrap();
+        let rhs = x.dot(&folded).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_dense() {
+        finite_difference_check(
+            Conv2dSpec::new(2, 3, 3).with_padding(1),
+            [1, 2, 5, 5],
+            10,
+        );
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_strided() {
+        finite_difference_check(
+            Conv2dSpec::new(3, 4, 3).with_padding(1).with_stride(2),
+            [2, 3, 6, 6],
+            11,
+        );
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_depthwise() {
+        finite_difference_check(
+            Conv2dSpec::new(4, 4, 3).with_padding(1).with_groups(4),
+            [1, 4, 5, 5],
+            12,
+        );
+    }
+
+    #[test]
+    fn backward_rejects_wrong_grad_output_shape() {
+        let spec = Conv2dSpec::new(1, 1, 3);
+        let input = Tensor::zeros(&[1, 1, 5, 5]);
+        let weight = Tensor::zeros(&[1, 1, 3, 3]);
+        let wrong = Tensor::zeros(&[1, 1, 5, 5]);
+        assert!(conv2d_backward(&input, &weight, &wrong, &spec).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let spec = Conv2dSpec::new(3, 4, 3);
+        let input = Tensor::zeros(&[1, 2, 5, 5]);
+        let weight = Tensor::zeros(&spec.weight_dims());
+        assert!(conv2d(&input, &weight, None, &spec).is_err());
+    }
+}

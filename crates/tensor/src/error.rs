@@ -1,0 +1,127 @@
+//! Error type shared by every fallible tensor operation.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors raised by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the requested shape does not match
+    /// the length of the provided data buffer.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The tensor does not have the rank required by the operation.
+    RankMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor that was provided.
+        actual: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A convolution or pooling window does not fit the input dimensions.
+    InvalidWindow {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An empty shape or zero-sized dimension where one is not allowed.
+    EmptyTensor {
+        /// Human-readable name of the operation.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor with {from} elements into shape with {to} elements"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidWindow { reason } => write!(f, "invalid window: {reason}"),
+            TensorError::EmptyTensor { op } => write!(f, "{op}: tensor has no elements"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            err.to_string(),
+            "data length 3 does not match shape element count 4"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch_names_operation() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+        assert!(text.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

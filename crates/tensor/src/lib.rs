@@ -1,0 +1,47 @@
+//! Dense tensor primitives for the MTL-Split reproduction.
+//!
+//! This crate provides the numerical substrate used by every other crate in
+//! the workspace: a row-major, heap-allocated `f32` [`Tensor`] with the
+//! operations a small convolutional multi-task network needs — element-wise
+//! arithmetic, broadcasting over the leading (batch) axis, matrix
+//! multiplication, im2col-based 2-D convolution, pooling and reductions.
+//!
+//! The design goal is *clarity and determinism* rather than peak throughput:
+//! the paper's claims are about relative accuracy between single-task and
+//! multi-task training and about the structural sizes of the split network,
+//! so a straightforward, well-tested CPU implementation is the right
+//! substrate.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use mtlsplit_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod conv;
+mod error;
+mod ops;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, conv2d_im2col, im2col, Conv2dSpec};
+pub use error::{Result, TensorError};
+pub use ops::{softmax_rows, log_softmax_rows};
+pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward};
+pub use rng::StdRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

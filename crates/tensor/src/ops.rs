@@ -1,0 +1,115 @@
+//! Free-standing numerical operations on matrices: row-wise softmax and
+//! log-softmax used by classification losses.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of a `[batch, classes]` matrix.
+///
+/// Each row is shifted by its maximum before exponentiation, so the result is
+/// numerically stable even for large logits.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not a rank-2 tensor or has zero columns.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_tensor::{softmax_rows, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let logits = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[2, 2])?;
+/// let probs = softmax_rows(&logits)?;
+/// assert!((probs.as_slice()[0] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let log_probs = log_softmax_rows(logits)?;
+    Ok(log_probs.map(f32::exp))
+}
+
+/// Row-wise log-softmax of a `[batch, classes]` matrix.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not a rank-2 tensor or has zero columns.
+pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "log_softmax_rows",
+            expected: 2,
+            actual: logits.rank(),
+        });
+    }
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    if cols == 0 {
+        return Err(TensorError::EmptyTensor {
+            op: "log_softmax_rows",
+        });
+    }
+    let mut out = logits.clone();
+    let data = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v -= max;
+            sum += v.exp();
+        }
+        let log_sum = sum.ln();
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 3.0, 3.0, 3.0], &[2, 3]).unwrap();
+        let probs = softmax_rows(&logits).unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = probs.row(r).unwrap().as_slice().iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let probs = softmax_rows(&logits).unwrap();
+        assert!(probs.as_slice().iter().all(|p| p.is_finite()));
+        assert!(probs.as_slice()[1] > probs.as_slice()[0]);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = Tensor::from_vec(vec![0.2, 0.8, -0.3, 1.5], &[2, 2]).unwrap();
+        let a = log_softmax_rows(&logits).unwrap();
+        let b = softmax_rows(&logits).unwrap().map(f32::ln);
+        assert!(a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probabilities() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let probs = softmax_rows(&logits).unwrap();
+        for &p in probs.as_slice() {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_non_matrix_input() {
+        assert!(softmax_rows(&Tensor::zeros(&[4])).is_err());
+        assert!(log_softmax_rows(&Tensor::zeros(&[2, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! 2-D pooling operators (max, average, global average) in NCHW layout.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+fn check_rank4(input: &Tensor, op: &'static str) -> Result<[usize; 4]> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let d = input.dims();
+    Ok([d[0], d[1], d[2], d[3]])
+}
+
+fn pooled_size(size: usize, window: usize, stride: usize, op: &'static str) -> Result<usize> {
+    if window == 0 || stride == 0 {
+        return Err(TensorError::InvalidWindow {
+            reason: format!("{op}: window and stride must be positive"),
+        });
+    }
+    if window > size {
+        return Err(TensorError::InvalidWindow {
+            reason: format!("{op}: window {window} larger than input {size}"),
+        });
+    }
+    Ok((size - window) / stride + 1)
+}
+
+/// Max pooling with a square window.
+///
+/// Returns the pooled tensor and the flat index of the winning element for
+/// each output position (needed by [`max_pool2d_backward`]).
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the window does not fit.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_tensor::{max_pool2d, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4])?;
+/// let (pooled, _indices) = max_pool2d(&x, 2, 2)?;
+/// assert_eq!(pooled.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<(Tensor, Vec<usize>)> {
+    let [batch, channels, height, width] = check_rank4(input, "max_pool2d")?;
+    let out_h = pooled_size(height, window, stride, "max_pool2d")?;
+    let out_w = pooled_size(width, window, stride, "max_pool2d")?;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; batch * channels * out_h * out_w];
+    let mut indices = vec![0usize; out.len()];
+    for b in 0..batch {
+        for c in 0..channels {
+            let plane = (b * channels + c) * height * width;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut best_idx = plane + (oy * stride) * width + ox * stride;
+                    let mut best = src[best_idx];
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let idx = plane + (oy * stride + ky) * width + ox * stride + kx;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((b * channels + c) * out_h + oy) * out_w + ox;
+                    out[o] = best;
+                    indices[o] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((
+        Tensor::from_vec(out, &[batch, channels, out_h, out_w])?,
+        indices,
+    ))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// element that produced the maximum.
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` and `indices` disagree in length.
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    indices: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_output.len() != indices.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: indices.len(),
+            actual: grad_output.len(),
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gi = grad_input.as_mut_slice();
+    for (&idx, &g) in indices.iter().zip(grad_output.as_slice()) {
+        gi[idx] += g;
+    }
+    Ok(grad_input)
+}
+
+/// Average pooling with a square window.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the window does not fit.
+pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let [batch, channels, height, width] = check_rank4(input, "avg_pool2d")?;
+    let out_h = pooled_size(height, window, stride, "avg_pool2d")?;
+    let out_w = pooled_size(width, window, stride, "avg_pool2d")?;
+    let src = input.as_slice();
+    let norm = 1.0 / (window * window) as f32;
+    let mut out = vec![0.0f32; batch * channels * out_h * out_w];
+    for b in 0..batch {
+        for c in 0..channels {
+            let plane = (b * channels + c) * height * width;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc = 0.0f32;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            acc += src[plane + (oy * stride + ky) * width + ox * stride + kx];
+                        }
+                    }
+                    out[((b * channels + c) * out_h + oy) * out_w + ox] = acc * norm;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, channels, out_h, out_w])
+}
+
+/// Backward pass of [`avg_pool2d`]: distributes each output gradient evenly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` is not rank 4 or inconsistent with the
+/// original input dimensions.
+pub fn avg_pool2d_backward(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    window: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    let [batch, channels, out_h, out_w] = check_rank4(grad_output, "avg_pool2d_backward")?;
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "avg_pool2d_backward",
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (height, width) = (input_dims[2], input_dims[3]);
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gi = grad_input.as_mut_slice();
+    let go = grad_output.as_slice();
+    let norm = 1.0 / (window * window) as f32;
+    for b in 0..batch {
+        for c in 0..channels {
+            let plane = (b * channels + c) * height * width;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let g = go[((b * channels + c) * out_h + oy) * out_w + ox] * norm;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            gi[plane + (oy * stride + ky) * width + ox * stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+/// Global average pooling: reduces `[batch, channels, h, w]` to
+/// `[batch, channels]` by averaging every spatial position.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4.
+pub fn global_avg_pool2d(input: &Tensor) -> Result<Tensor> {
+    let [batch, channels, height, width] = check_rank4(input, "global_avg_pool2d")?;
+    let src = input.as_slice();
+    let norm = 1.0 / (height * width).max(1) as f32;
+    let mut out = vec![0.0f32; batch * channels];
+    for b in 0..batch {
+        for c in 0..channels {
+            let plane = (b * channels + c) * height * width;
+            out[b * channels + c] = src[plane..plane + height * width].iter().sum::<f32>() * norm;
+        }
+    }
+    Tensor::from_vec(out, &[batch, channels])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let (pooled, indices) = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(pooled.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(indices, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_gradient_to_maximum() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let (pooled, indices) = max_pool2d(&x, 2, 2).unwrap();
+        let grad = Tensor::ones(pooled.dims());
+        let gi = max_pool2d_backward(&grad, &indices, x.dims()).unwrap();
+        assert_eq!(gi.sum(), 4.0);
+        assert_eq!(gi.at(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(gi.at(&[0, 0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn avg_pool_averages_each_window() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let pooled = avg_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(pooled.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_is_uniform_within_window() {
+        let dims = [1usize, 1, 4, 4];
+        let grad = Tensor::ones(&[1, 1, 2, 2]);
+        let gi = avg_pool2d_backward(&grad, &dims, 2, 2).unwrap();
+        assert!(gi.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+        assert!((gi.sum() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn avg_pool_backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from(21);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let weights = Tensor::randn(&[1, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let loss = |t: &Tensor| avg_pool2d(t, 2, 2).unwrap().mul(&weights).unwrap().sum();
+        let gi = avg_pool2d_backward(&weights, x.dims(), 2, 2).unwrap();
+        let eps = 1e-2;
+        for idx in [0usize, 10, 31] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((num - gi.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial_dims() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let pooled = global_avg_pool2d(&x).unwrap();
+        assert_eq!(pooled.dims(), &[1, 2]);
+        assert_eq!(pooled.as_slice(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn pooling_rejects_bad_windows() {
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(max_pool2d(&x, 4, 1).is_err());
+        assert!(max_pool2d(&x, 2, 0).is_err());
+        assert!(avg_pool2d(&x, 0, 1).is_err());
+    }
+
+    #[test]
+    fn pooling_rejects_non_rank4_inputs() {
+        let x = Tensor::zeros(&[3, 3]);
+        assert!(max_pool2d(&x, 2, 2).is_err());
+        assert!(avg_pool2d(&x, 2, 2).is_err());
+        assert!(global_avg_pool2d(&x).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Shape bookkeeping: dimension lists, element counts and index arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// A `Shape` is a thin wrapper over a `Vec<usize>` that centralises the index
+/// arithmetic every operation needs (element counts, row-major strides,
+/// flat-index computation) and keeps validation in one place.
+///
+/// # Example
+///
+/// ```
+/// use mtlsplit_tensor::Shape;
+///
+/// let shape = Shape::new(&[2, 3, 4]);
+/// assert_eq!(shape.len(), 24);
+/// assert_eq!(shape.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Creates the shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Self { dims: Vec::new() }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Returns the size of the given axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Flattens a multi-dimensional index into a row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the index has the wrong rank,
+    /// or [`TensorError::AxisOutOfRange`] if any coordinate exceeds its axis.
+    pub fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "flat_index",
+                expected: self.rank(),
+                actual: index.len(),
+            });
+        }
+        let mut offset = 0;
+        let strides = self.strides();
+        for (axis, (&coord, &stride)) in index.iter().zip(strides.iter()).enumerate() {
+            if coord >= self.dims[axis] {
+                return Err(TensorError::AxisOutOfRange {
+                    axis: coord,
+                    rank: self.dims[axis],
+                });
+            }
+            offset += coord * stride;
+        }
+        Ok(offset)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[5]).len(), 5);
+        assert_eq!(Shape::scalar().len(), 1);
+    }
+
+    #[test]
+    fn zero_dim_makes_shape_empty() {
+        assert!(Shape::new(&[2, 0, 3]).is_empty());
+        assert!(!Shape::new(&[2, 3]).is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn flat_index_matches_manual_computation() {
+        let shape = Shape::new(&[2, 3, 4]);
+        assert_eq!(shape.flat_index(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(shape.flat_index(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(shape.flat_index(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn flat_index_rejects_out_of_range_coordinates() {
+        let shape = Shape::new(&[2, 3]);
+        assert!(shape.flat_index(&[2, 0]).is_err());
+        assert!(shape.flat_index(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn dim_accessor_checks_bounds() {
+        let shape = Shape::new(&[4, 5]);
+        assert_eq!(shape.dim(1).unwrap(), 5);
+        assert!(shape.dim(2).is_err());
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+}

@@ -1,0 +1,939 @@
+//! The dense `f32` tensor type and its core operations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+use crate::rng::StdRng;
+use crate::shape::Shape;
+
+/// A dense, row-major, heap-allocated `f32` tensor.
+///
+/// `Tensor` is the single numeric container used throughout the workspace:
+/// network inputs, weights, activations, gradients and the transmitted split
+/// representation `Z_b` are all `Tensor`s. Data is always stored contiguously
+/// in row-major order, which keeps the implementation simple and makes
+/// serialization for the simulated network channel trivial.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// let sums = x.sum_axis0()?;
+/// assert_eq!(sums.as_slice(), &[5.0, 7.0, 9.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the element count implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.len() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor with samples from a normal distribution.
+    pub fn randn(dims: &[usize], mean: f32, std_dev: f32, rng: &mut StdRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len())
+            .map(|_| rng.normal_with(mean, std_dev))
+            .collect();
+        Self { shape, data }
+    }
+
+    /// Creates a tensor with samples drawn uniformly from `[low, high)`.
+    pub fn rand_uniform(dims: &[usize], low: f32, high: f32, rng: &mut StdRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len())
+            .map(|_| rng.uniform_range(low, high))
+            .collect();
+        Self { shape, data }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads a single element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index has the wrong rank or is out of bounds.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.flat_index(index)?])
+    }
+
+    /// Writes a single element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index has the wrong rank or is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.shape.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the tensor has more than
+    /// one element.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: self.data.len(),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.data.len(),
+                to: shape.len(),
+            });
+        }
+        Ok(Self {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Flattens to `[batch, features]`, keeping the leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn flatten_batch(&self) -> Result<Self> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "flatten_batch",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let batch = self.dims()[0];
+        let features = if batch == 0 { 0 } else { self.len() / batch };
+        self.reshape(&[batch, features])
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Self> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = Self::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts row `index` from a rank-2 tensor as a `[cols]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or out-of-range rows.
+    pub fn row(&self, index: usize) -> Result<Self> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if index >= rows {
+            return Err(TensorError::AxisOutOfRange {
+                axis: index,
+                rank: rows,
+            });
+        }
+        Ok(Self {
+            shape: Shape::new(&[cols]),
+            data: self.data[index * cols..(index + 1) * cols].to_vec(),
+        })
+    }
+
+    /// Selects a contiguous range of entries along the leading (batch) axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range exceeds the leading dimension or the
+    /// tensor is rank 0.
+    pub fn slice_batch(&self, start: usize, end: usize) -> Result<Self> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "slice_batch",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let batch = self.dims()[0];
+        if start > end || end > batch {
+            return Err(TensorError::InvalidWindow {
+                reason: format!("batch slice {start}..{end} out of range for batch {batch}"),
+            });
+        }
+        let per_item = if batch == 0 { 0 } else { self.len() / batch };
+        let mut dims = self.dims().to_vec();
+        dims[0] = end - start;
+        Ok(Self {
+            shape: Shape::new(&dims),
+            data: self.data[start * per_item..end * per_item].to_vec(),
+        })
+    }
+
+    /// Gathers the given indices along the leading (batch) axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range or the tensor is rank 0.
+    pub fn gather_batch(&self, indices: &[usize]) -> Result<Self> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "gather_batch",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let batch = self.dims()[0];
+        let per_item = if batch == 0 { 0 } else { self.len() / batch };
+        let mut data = Vec::with_capacity(indices.len() * per_item);
+        for &i in indices {
+            if i >= batch {
+                return Err(TensorError::AxisOutOfRange {
+                    axis: i,
+                    rank: batch,
+                });
+            }
+            data.extend_from_slice(&self.data[i * per_item..(i + 1) * per_item]);
+        }
+        let mut dims = self.dims().to_vec();
+        dims[0] = indices.len();
+        Ok(Self {
+            shape: Shape::new(&dims),
+            data,
+        })
+    }
+
+    /// Concatenates tensors along the leading (batch) axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or trailing dimensions differ.
+    pub fn concat_batch(parts: &[&Tensor]) -> Result<Self> {
+        let first = parts.first().ok_or(TensorError::EmptyTensor {
+            op: "concat_batch",
+        })?;
+        let trailing = &first.dims()[1..];
+        let mut batch = 0;
+        let mut data = Vec::new();
+        for part in parts {
+            if part.rank() == 0 || &part.dims()[1..] != trailing {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_batch",
+                    lhs: first.dims().to_vec(),
+                    rhs: part.dims().to_vec(),
+                });
+            }
+            batch += part.dims()[0];
+            data.extend_from_slice(&part.data);
+        }
+        let mut dims = first.dims().to_vec();
+        dims[0] = batch;
+        Ok(Self {
+            shape: Shape::new(&dims),
+            data,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise operations
+    // ------------------------------------------------------------------
+
+    /// Applies a function to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise product (Hadamard product).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Element-wise quotient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f32) -> Self {
+        self.map(|x| x * factor)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, value: f32) -> Self {
+        self.map(|x| x + value)
+    }
+
+    /// Accumulates `other * factor` into `self` (AXPY), in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled_inplace(&mut self, other: &Tensor, factor: f32) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_scaled_inplace",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += factor * b;
+        }
+        Ok(())
+    }
+
+    /// Adds a `[features]` vector to every row of a `[batch, features]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a matrix or the vector length does
+    /// not match the number of columns.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Result<Self> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "add_row_broadcast",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if row.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.dims().to_vec(),
+                rhs: row.dims().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[r * cols + c] += row.data[c];
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix multiplication of two rank-2 tensors.
+    ///
+    /// Computes `self [m, k] × other [k, n] -> [m, n]` with a cache-friendly
+    /// i-k-j loop ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either operand is not a matrix or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Self> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Ok(Self {
+            shape: Shape::new(&[m, n]),
+            data: out,
+        })
+    }
+
+    /// Dot product of two equally-sized tensors, treated as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for empty tensors.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+            .ok_or(TensorError::EmptyTensor { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for empty tensors.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            })
+            .ok_or(TensorError::EmptyTensor { op: "min" })
+    }
+
+    /// Sum of the squares of all elements (squared L2 norm).
+    pub fn squared_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Column-wise sum of a `[rows, cols]` matrix, producing `[cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_axis0(&self) -> Result<Self> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "sum_axis0",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c] += self.data[r * cols + c];
+            }
+        }
+        Ok(Self {
+            shape: Shape::new(&[cols]),
+            data: out,
+        })
+    }
+
+    /// Column-wise mean of a `[rows, cols]` matrix, producing `[cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn mean_axis0(&self) -> Result<Self> {
+        let rows = self.dims().first().copied().unwrap_or(0).max(1) as f32;
+        Ok(self.sum_axis0()?.scale(1.0 / rows))
+    }
+
+    /// Index of the maximum element in each row of a `[rows, cols]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or matrices with zero columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "argmax_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if cols == 0 {
+            return Err(TensorError::EmptyTensor { op: "argmax_rows" });
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (c, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` when every element differs from `other` by at most
+    /// `tolerance`.
+    pub fn allclose(&self, other: &Tensor, tolerance: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tolerance)
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} {:?}", self.shape, &self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 2]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[3], 2.5).sum(), 7.5);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let id = Tensor::eye(3);
+        let y = x.matmul(&id).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn matmul_matches_manual_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_rejects_non_matrices() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = a.reshape(&[4]).unwrap();
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn flatten_batch_keeps_leading_axis() {
+        let a = Tensor::zeros(&[4, 3, 2, 2]);
+        let f = a.flatten_batch().unwrap();
+        assert_eq!(f.dims(), &[4, 12]);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_ops_reject_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn add_scaled_inplace_is_axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        a.add_scaled_inplace(&b, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_every_row() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let y = x.add_row_broadcast(&bias).unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(x.sum(), 6.0);
+        assert_eq!(x.mean(), 1.5);
+        assert_eq!(x.max().unwrap(), 4.0);
+        assert_eq!(x.min().unwrap(), -2.0);
+        assert_eq!(x.squared_norm(), 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn axis0_reductions() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(x.sum_axis0().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(x.mean_axis0().unwrap().as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn argmax_rows_finds_per_row_maximum() {
+        let x = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
+        assert_eq!(x.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn row_and_slice_batch() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        assert_eq!(x.row(1).unwrap().as_slice(), &[3.0, 4.0]);
+        let s = x.slice_batch(1, 3).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+        assert!(x.slice_batch(2, 4).is_err());
+    }
+
+    #[test]
+    fn gather_batch_reorders_rows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        let g = x.gather_batch(&[2, 0]).unwrap();
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+        assert!(x.gather_batch(&[3]).is_err());
+    }
+
+    #[test]
+    fn concat_batch_stacks_along_leading_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = Tensor::concat_batch(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_batch_rejects_mismatched_trailing_dims() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[1, 3]);
+        assert!(Tensor::concat_batch(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn at_and_set_round_trip() {
+        let mut x = Tensor::zeros(&[2, 3]);
+        x.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(x.at(&[1, 2]).unwrap(), 7.0);
+        assert!(x.at(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn item_requires_single_element() {
+        assert_eq!(Tensor::scalar(3.0).item().unwrap(), 3.0);
+        assert!(Tensor::zeros(&[2]).item().is_err());
+    }
+
+    #[test]
+    fn randn_is_deterministic_for_a_seed() {
+        let mut rng1 = StdRng::seed_from(11);
+        let mut rng2 = StdRng::seed_from(11);
+        let a = Tensor::randn(&[4, 4], 0.0, 1.0, &mut rng1);
+        let b = Tensor::randn(&[4, 4], 0.0, 1.0, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_differences() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0005, 1.9995], &[2]).unwrap();
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&b, 1e-5));
+    }
+}

@@ -1,0 +1,76 @@
+//! Fine-tuning workflow (Section 3.3 / Table 3): pre-train a backbone on an
+//! abundant source corpus (shapes), then adapt it to a scarce target corpus
+//! (portraits) by training new task heads with learning rate `alpha` while
+//! the shared backbone moves conservatively with `eta << alpha`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p mtlsplit-core --example finetune_new_task
+//! ```
+
+use std::error::Error;
+
+use mtlsplit_core::finetune::{pretrain_and_finetune, FineTuneConfig};
+use mtlsplit_core::TrainConfig;
+use mtlsplit_data::faces::FacesConfig;
+use mtlsplit_data::shapes::ShapesConfig;
+use mtlsplit_models::BackboneKind;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let image_size = 20;
+    // Abundant source corpus.
+    let source = ShapesConfig {
+        samples: 600,
+        image_size,
+        noise_fraction: 0.15,
+    }
+    .generate_table1_tasks(3)?;
+    // Scarce target corpus: ~360 portraits, three attributes.
+    let faces = FacesConfig {
+        samples: 360,
+        image_size,
+        pixel_noise: 0.08,
+    }
+    .generate(4)?;
+    let (target_train, target_test) = faces.split(0.8, 4)?;
+
+    let base = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        head_hidden: 32,
+        seed: 4,
+        backbone_lr_scale: 1.0,
+    };
+
+    for (label, ratio) in [("frozen backbone (eta = 0)", 0.0), ("eta = alpha / 10", 0.1)] {
+        let config = FineTuneConfig {
+            pretrain: base.clone(),
+            finetune: TrainConfig {
+                learning_rate: 2e-3,
+                ..base.clone()
+            },
+            backbone_ratio: ratio,
+        };
+        let outcome = pretrain_and_finetune(
+            BackboneKind::MobileStyle,
+            &source,
+            &target_train,
+            &target_test,
+            &config,
+        )?;
+        println!("\nfine-tuning with {label}:");
+        for acc in &outcome.accuracies {
+            println!("  task {:<12} accuracy {:.2}%", acc.task, acc.percent());
+        }
+        println!(
+            "  final joint training loss: {:.3}",
+            outcome.loss_history.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+    println!(
+        "\nThe backbone pre-trained on shapes transfers to the portrait tasks; letting it move\n\
+         slowly (eta << alpha) usually edges out freezing it completely, matching Eq. 6."
+    );
+    Ok(())
+}

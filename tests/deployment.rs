@@ -1,0 +1,115 @@
+//! Integration tests of the deployment analysis: the qualitative claims of
+//! Section 4.2 and Table 4 must hold for every backbone and every channel.
+
+use mtlsplit_core::experiment::{run_paradigm_analysis, run_table4};
+use mtlsplit_models::analysis::{analyze_backbone_at, raw_input_bytes};
+use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
+use mtlsplit_split::{ChannelModel, DeploymentParadigm, EdgeDevice, WorkloadProfile};
+use mtlsplit_tensor::StdRng;
+
+#[test]
+fn table4_orderings_hold() {
+    let reports = run_table4(224, 24).expect("table4");
+    let mobile = &reports[0];
+    let efficient = &reports[1];
+    // EfficientNet-style is the larger model in every column, as in Table 4.
+    assert!(efficient.parameters > mobile.parameters);
+    assert!(efficient.forward_backward_bytes > mobile.forward_backward_bytes);
+    assert!(efficient.zb_bytes > mobile.zb_bytes);
+    // Z_b stays tiny compared with a raw 224x224 RGB frame for both models.
+    let frame = raw_input_bytes(3, 224, 224);
+    assert!(efficient.zb_bytes * 50 < frame);
+    assert!(mobile.zb_bytes * 50 < frame);
+}
+
+#[test]
+fn split_paradigm_dominates_loc_memory_and_roc_latency_everywhere() {
+    for channel in [
+        ChannelModel::gigabit(),
+        ChannelModel::wifi(),
+        ChannelModel::lte_uplink(),
+    ] {
+        let rows = run_paradigm_analysis(
+            &[2, 3, 4],
+            224,
+            2835,
+            100,
+            &channel,
+            &EdgeDevice::jetson_nano(),
+        )
+        .expect("analysis");
+        for row in rows {
+            let by_paradigm = |p: DeploymentParadigm| {
+                row.analyses
+                    .iter()
+                    .find(|a| a.paradigm == p)
+                    .expect("paradigm present")
+                    .clone()
+            };
+            let loc = by_paradigm(DeploymentParadigm::LocalOnly);
+            let roc = by_paradigm(DeploymentParadigm::RemoteOnly);
+            let sc = by_paradigm(DeploymentParadigm::Split);
+            // SC needs no more edge memory than LoC and no more network than RoC.
+            assert!(sc.memory.edge_bytes <= loc.memory.edge_bytes);
+            assert!(sc.network_bytes_per_inference <= roc.network_bytes_per_inference);
+            assert!(sc.transfer.seconds_total <= roc.transfer.seconds_total);
+            // LoC never touches the network.
+            assert_eq!(loc.network_bytes_per_inference, 0);
+        }
+    }
+}
+
+#[test]
+fn loc_memory_saving_grows_with_the_number_of_tasks() {
+    let mut rng = StdRng::seed_from(5);
+    let backbone = Backbone::new(
+        BackboneConfig::new(BackboneKind::EfficientStyle, 3, 24),
+        &mut rng,
+    )
+    .expect("backbone");
+    let report = analyze_backbone_at(&backbone, 224);
+    let mut previous = 0.0f64;
+    for tasks in 2..=6 {
+        let profile = WorkloadProfile {
+            model_name: report.model.clone(),
+            task_count: tasks,
+            backbone_bytes: report.estimated_total_bytes,
+            head_bytes: report.zb_bytes * 64,
+            raw_input_bytes: raw_input_bytes(3, 224, 224),
+            zb_bytes: report.zb_bytes,
+            inference_count: 100,
+        };
+        let saving = profile.memory_saving_vs_loc();
+        assert!(
+            saving > previous,
+            "saving should grow with task count: {saving} after {previous}"
+        );
+        previous = saving;
+    }
+    // With many tasks the saving approaches the paper's 57 %+ regime.
+    assert!(previous > 0.55, "saving for 6 tasks was only {previous}");
+}
+
+#[test]
+fn degraded_channels_increase_transfer_time_but_not_the_relative_saving_direction() {
+    let profile = WorkloadProfile {
+        model_name: "probe".to_string(),
+        task_count: 3,
+        backbone_bytes: 3_450_000_000,
+        head_bytes: 20_000_000,
+        raw_input_bytes: 115_000_000,
+        zb_bytes: 1_500_000,
+        inference_count: 100,
+    };
+    let clean = ChannelModel::gigabit();
+    let degraded = clean.with_degradation(0.75).expect("degradation");
+    let clean_sc = profile
+        .analyze(DeploymentParadigm::Split, &clean, &EdgeDevice::jetson_nano())
+        .expect("analysis");
+    let degraded_sc = profile
+        .analyze(DeploymentParadigm::Split, &degraded, &EdgeDevice::jetson_nano())
+        .expect("analysis");
+    assert!(degraded_sc.transfer.seconds_total > clean_sc.transfer.seconds_total);
+    // The saving over RoC persists on the degraded channel.
+    assert!(profile.latency_saving_vs_roc(&degraded) > 0.85);
+}
