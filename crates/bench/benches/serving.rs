@@ -1,0 +1,103 @@
+//! Serving-throughput benchmark: requests/sec and tail latency of the
+//! `InferenceServer` over the hermetic `LoopbackTransport`, at micro-batch
+//! limits 1, 8 and 32.
+//!
+//! Four concurrent edge clients each push requests through their own
+//! loopback transport into one shared server, so the batching worker sees
+//! real contention and can coalesce. Besides the criterion timings, the
+//! bench prints a `serving max_batch=N` summary line per configuration with
+//! requests/sec, p95 latency and the achieved mean batch size.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlsplit_nn::{Flatten, Layer, Linear, Relu, Sequential};
+use mtlsplit_serve::{EdgeClient, InferenceServer, LoopbackTransport, ServerConfig};
+use mtlsplit_split::{Precision, TensorCodec};
+use mtlsplit_tensor::{StdRng, Tensor};
+
+const FEATURES: usize = 64;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 16;
+
+fn backbone(rng: &mut StdRng) -> Box<dyn Layer + Send> {
+    Box::new(
+        Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(3 * 8 * 8, FEATURES, rng))
+            .push(Relu::new()),
+    )
+}
+
+fn heads(rng: &mut StdRng) -> Vec<Box<dyn Layer + Send>> {
+    vec![
+        Box::new(Sequential::new().push(Linear::new(FEATURES, 8, rng))),
+        Box::new(Sequential::new().push(Linear::new(FEATURES, 4, rng))),
+    ]
+}
+
+/// Runs one full serving session and returns (requests, elapsed seconds).
+fn drive(max_batch: usize) -> (u64, f64, f64, f64) {
+    let mut rng = StdRng::seed_from(1);
+    let server = Arc::new(InferenceServer::start(
+        heads(&mut rng),
+        ServerConfig::default().with_max_batch(max_batch),
+    ));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client_idx| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from(100 + client_idx as u64);
+                let mut client = EdgeClient::new(
+                    backbone(&mut rng),
+                    TensorCodec::new(Precision::Float32),
+                    Box::new(LoopbackTransport::new(server)),
+                );
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let x = Tensor::randn(&[1, 3, 8, 8], 0.5, 0.2, &mut rng);
+                    client.infer(&x).expect("serve request");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    assert_eq!(metrics.errors, 0, "bench requests must not error");
+    (
+        metrics.requests,
+        elapsed,
+        metrics.p95_latency_s,
+        metrics.mean_batch_size,
+    )
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_loopback");
+    group.sample_size(10);
+    for &max_batch in &[1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("max_batch", max_batch),
+            &max_batch,
+            |bencher, &mb| {
+                bencher.iter(|| drive(mb));
+            },
+        );
+        // One clean measured run for the human-readable summary.
+        let (requests, elapsed, p95, mean_batch) = drive(max_batch);
+        println!(
+            "serving max_batch={max_batch}: {:.0} req/s, p95 {:.3} ms, mean batch {:.2} ({requests} requests)",
+            requests as f64 / elapsed,
+            p95 * 1e3,
+            mean_batch
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -32,8 +32,8 @@ fn bench_mtl_step(c: &mut Criterion) {
     let (images, labels) = batch(&mut rng);
 
     // One joint multi-task step: shared backbone evaluated once.
-    let mut mtl =
-        MtlSplitModel::new(BackboneKind::MobileStyle, 3, 20, &tasks(), 32, &mut rng).expect("model");
+    let mut mtl = MtlSplitModel::new(BackboneKind::MobileStyle, 3, 20, &tasks(), 32, &mut rng)
+        .expect("model");
     let mut opt = Sgd::new(0.01);
     group.bench_function("mtl_joint", |bencher| {
         bencher.iter(|| {

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p mtlsplit-bench --bin loc_analysis -- [--json PATH]`
 
-use mtlsplit_bench::{maybe_write_json, print_paradigm_rows, CliOptions};
+use mtlsplit_bench::{maybe_write_rows, print_paradigm_rows, CliOptions};
 use mtlsplit_core::experiment::run_paradigm_analysis;
 use mtlsplit_split::{ChannelModel, DeploymentParadigm, EdgeDevice, WorkloadProfile};
 
@@ -60,7 +60,7 @@ fn main() {
                 "\nPaper reference points: ~38% memory saving for 2 tasks and ~57% for 3 tasks\n\
                  with EfficientNet; only MobileNetV3 fits the Jetson Nano under LoC."
             );
-            maybe_write_json(&options.json_path, &rows);
+            maybe_write_rows(&options.json_path, &rows);
         }
         Err(err) => {
             eprintln!("loc_analysis failed: {err}");

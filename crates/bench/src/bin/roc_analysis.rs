@@ -5,11 +5,10 @@
 //!
 //! Usage: `cargo run --release -p mtlsplit-bench --bin roc_analysis -- [--json PATH]`
 
-use mtlsplit_bench::{maybe_write_json, CliOptions};
+use mtlsplit_bench::{maybe_write_rows, CliOptions};
 use mtlsplit_split::ChannelModel;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct RocRow {
     channel: String,
     degradation: f64,
@@ -65,5 +64,5 @@ fn main() {
          saving reported by the split pipeline itself is even larger; this sweep uses the\n\
          paper's own payload sizes to make the numbers directly comparable."
     );
-    maybe_write_json(&options.json_path, &rows);
+    maybe_write_rows(&options.json_path, &rows);
 }

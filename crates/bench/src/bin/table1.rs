@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p mtlsplit-bench --bin table1 -- [--quick|--full] [--seed N] [--json PATH]`
 
-use mtlsplit_bench::{maybe_write_json, print_comparison, CliOptions};
+use mtlsplit_bench::{maybe_write_rows, print_comparison, CliOptions};
 use mtlsplit_core::experiment::run_table1;
 use mtlsplit_models::BackboneKind;
 
@@ -16,8 +16,11 @@ fn main() {
     );
     match run_table1(&BackboneKind::ALL, options.preset, options.seed) {
         Ok(rows) => {
-            print_comparison("Table 1: STL vs MTL on the shapes corpus (T1 = object size, T2 = object type)", &rows);
-            maybe_write_json(&options.json_path, &rows);
+            print_comparison(
+                "Table 1: STL vs MTL on the shapes corpus (T1 = object size, T2 = object type)",
+                &rows,
+            );
+            maybe_write_rows(&options.json_path, &rows);
         }
         Err(err) => {
             eprintln!("table1 failed: {err}");

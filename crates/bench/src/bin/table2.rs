@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p mtlsplit-bench --bin table2 -- [--quick|--full] [--seed N] [--json PATH]`
 
-use mtlsplit_bench::{maybe_write_json, print_comparison, CliOptions};
+use mtlsplit_bench::{maybe_write_rows, print_comparison, CliOptions};
 use mtlsplit_core::experiment::run_table2;
 use mtlsplit_models::BackboneKind;
 
@@ -19,7 +19,7 @@ fn main() {
                 "Table 2: STL vs MTL on the incident corpus (T1 = damage severity, T2 = disaster type)",
                 &rows,
             );
-            maybe_write_json(&options.json_path, &rows);
+            maybe_write_rows(&options.json_path, &rows);
         }
         Err(err) => {
             eprintln!("table2 failed: {err}");

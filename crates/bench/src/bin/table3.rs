@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p mtlsplit-bench --bin table3 -- [--quick|--full] [--seed N] [--json PATH]`
 
-use mtlsplit_bench::{maybe_write_json, print_comparison, CliOptions};
+use mtlsplit_bench::{maybe_write_rows, print_comparison, CliOptions};
 use mtlsplit_core::experiment::run_table3;
 use mtlsplit_models::BackboneKind;
 
@@ -20,7 +20,7 @@ fn main() {
                 "Table 3: STL vs MTL with fine-tuning (T1 = age, T2 = gender, T3 = expression)",
                 &rows,
             );
-            maybe_write_json(&options.json_path, &rows);
+            maybe_write_rows(&options.json_path, &rows);
         }
         Err(err) => {
             eprintln!("table3 failed: {err}");

@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run --release -p mtlsplit-bench --bin table4 -- [--native] [--json PATH]`
 
-use mtlsplit_bench::{maybe_write_json, print_model_reports, CliOptions};
+use mtlsplit_bench::{maybe_write_rows, print_model_reports, CliOptions};
 use mtlsplit_core::experiment::run_table4;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
                 "\nNote: absolute sizes are for the CPU-scale analogues; the ordering and the\n\
                  activation-vs-parameter ratio are the quantities compared against the paper."
             );
-            maybe_write_json(&options.json_path, &reports);
+            maybe_write_rows(&options.json_path, &reports);
         }
         Err(err) => {
             eprintln!("table4 failed: {err}");

@@ -13,7 +13,6 @@
 use mtlsplit_core::experiment::{ParadigmRow, Preset};
 use mtlsplit_core::ComparisonRow;
 use mtlsplit_models::analysis::ModelReport;
-use serde::Serialize;
 
 /// Command-line options shared by every table binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,8 +39,9 @@ impl CliOptions {
     /// Parses options from an argument iterator (excluding the program name).
     ///
     /// Recognised flags: `--quick` (default), `--full`, `--seed <n>`,
-    /// `--json <path>`. Unknown flags are ignored so the binaries stay
-    /// forwards-compatible.
+    /// `--json <path>` (writes the raw rows in pretty Rust debug notation —
+    /// no JSON serialiser is available offline). Unknown flags are ignored
+    /// so the binaries stay forwards-compatible.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut options = Self::default();
         let mut iter = args.into_iter();
@@ -126,18 +126,20 @@ pub fn print_paradigm_rows(title: &str, rows: &[ParadigmRow]) {
     }
 }
 
-/// Serialises rows to pretty JSON and writes them to `path` if provided.
-pub fn maybe_write_json<T: Serialize>(path: &Option<String>, rows: &T) {
+/// Dumps rows in pretty `Debug` form and writes them to `path` if provided
+/// (the `--json` flag's target).
+///
+/// The offline build has no JSON serialiser available, so the raw rows are
+/// recorded in Rust debug notation rather than JSON — still machine-diffable
+/// and stable across runs with the same seed. The flag name is kept for
+/// command-line compatibility; the format caveat is documented on the flag in
+/// [`CliOptions::parse`].
+pub fn maybe_write_rows<T: std::fmt::Debug>(path: &Option<String>, rows: &T) {
     if let Some(path) = path {
-        match serde_json::to_string_pretty(rows) {
-            Ok(json) => {
-                if let Err(err) = std::fs::write(path, json) {
-                    eprintln!("warning: could not write {path}: {err}");
-                } else {
-                    println!("(raw rows written to {path})");
-                }
-            }
-            Err(err) => eprintln!("warning: could not serialise rows: {err}"),
+        if let Err(err) = std::fs::write(path, format!("{rows:#?}\n")) {
+            eprintln!("warning: could not write {path}: {err}");
+        } else {
+            println!("(raw rows written to {path})");
         }
     }
 }

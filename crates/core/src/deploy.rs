@@ -1,0 +1,154 @@
+//! Deployment export: split a trained [`MtlSplitModel`] into the two halves
+//! a real serving system runs.
+//!
+//! The paper's Figure 1 deployment puts the shared backbone `M_b` on the
+//! edge device and the task heads `H_j` on the server. [`split_for_serving`]
+//! performs exactly that cut on a trained model: the parameters *move* into
+//! an [`EdgeHalf`] and a [`ServerHalf`] (no copies), so the deployed system
+//! produces bit-identical outputs to the monolithic model it came from.
+//!
+//! The halves are expressed as boxed [`Layer`]s, which is the currency of
+//! `mtlsplit-serve`: `EdgeHalf::into_layer` feeds an `EdgeClient`,
+//! `ServerHalf::into_layers` feeds an `InferenceServer`.
+
+use mtlsplit_models::{Backbone, TaskHead};
+use mtlsplit_nn::Layer;
+
+use crate::model::MtlSplitModel;
+
+/// The edge-resident half of a deployment: the shared backbone.
+pub struct EdgeHalf {
+    backbone: Backbone,
+}
+
+impl std::fmt::Debug for EdgeHalf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeHalf")
+            .field("backbone", &self.backbone)
+            .finish()
+    }
+}
+
+impl EdgeHalf {
+    /// Length of the flattened shared representation `Z_b` per sample.
+    pub fn feature_dim(&self) -> usize {
+        self.backbone.feature_dim()
+    }
+
+    /// Total trainable parameters resident on the edge device.
+    pub fn parameter_count(&self) -> usize {
+        self.backbone.parameter_count()
+    }
+
+    /// The backbone itself.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Boxes the backbone for an `mtlsplit_serve::EdgeClient`.
+    pub fn into_layer(self) -> Box<dyn Layer + Send> {
+        Box::new(self.backbone)
+    }
+}
+
+/// The server-resident half of a deployment: the task heads, in task order.
+pub struct ServerHalf {
+    heads: Vec<TaskHead>,
+    task_names: Vec<String>,
+}
+
+impl std::fmt::Debug for ServerHalf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHalf")
+            .field("tasks", &self.task_names)
+            .finish()
+    }
+}
+
+impl ServerHalf {
+    /// The task names, in head order.
+    pub fn task_names(&self) -> &[String] {
+        &self.task_names
+    }
+
+    /// Number of task heads.
+    pub fn task_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Total trainable parameters resident on the server.
+    pub fn parameter_count(&self) -> usize {
+        self.heads.iter().map(|h| h.parameter_count()).sum()
+    }
+
+    /// Boxes the heads for an `mtlsplit_serve::InferenceServer`.
+    pub fn into_layers(self) -> Vec<Box<dyn Layer + Send>> {
+        self.heads
+            .into_iter()
+            .map(|head| Box::new(head) as Box<dyn Layer + Send>)
+            .collect()
+    }
+}
+
+/// Splits a trained model into its edge and server deployment halves.
+pub fn split_for_serving(model: MtlSplitModel) -> (EdgeHalf, ServerHalf) {
+    let task_names = model.task_names().to_vec();
+    let (backbone, heads) = model.into_parts();
+    (EdgeHalf { backbone }, ServerHalf { heads, task_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_data::TaskSpec;
+    use mtlsplit_models::BackboneKind;
+    use mtlsplit_tensor::{StdRng, Tensor};
+
+    fn model() -> MtlSplitModel {
+        let mut rng = StdRng::seed_from(21);
+        MtlSplitModel::new(
+            BackboneKind::MobileStyle,
+            3,
+            16,
+            &[TaskSpec::new("size", 4), TaskSpec::new("kind", 3)],
+            16,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn halves_preserve_the_monolithic_outputs_exactly() {
+        let mut monolithic = model();
+        let mut rng = StdRng::seed_from(22);
+        let x = Tensor::randn(&[3, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let (_, direct) = monolithic.forward(&x, false).unwrap();
+
+        let (edge, server) = split_for_serving(monolithic);
+        let mut backbone = edge.into_layer();
+        let features = backbone.forward(&x, false).unwrap();
+        for (head, expected) in server.into_layers().iter_mut().zip(&direct) {
+            let output = head.forward(&features, false).unwrap();
+            assert!(output.allclose(expected, 1e-7));
+        }
+    }
+
+    #[test]
+    fn halves_partition_the_parameters() {
+        let monolithic = model();
+        let total = monolithic.parameter_count();
+        let (edge, server) = split_for_serving(monolithic);
+        assert_eq!(edge.parameter_count() + server.parameter_count(), total);
+        assert!(edge.feature_dim() > 0);
+    }
+
+    #[test]
+    fn task_names_survive_the_split_in_order() {
+        let (_, server) = split_for_serving(model());
+        assert_eq!(
+            server.task_names(),
+            &["size".to_string(), "kind".to_string()]
+        );
+        assert_eq!(server.task_count(), 2);
+    }
+}

@@ -15,7 +15,6 @@ use mtlsplit_models::analysis::{analyze_backbone_at, raw_input_bytes, ModelRepor
 use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
 use mtlsplit_split::{ChannelModel, DeploymentAnalysis, EdgeDevice, WorkloadProfile};
 use mtlsplit_tensor::StdRng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::finetune::{pretrain_and_finetune, FineTuneConfig};
@@ -23,7 +22,7 @@ use crate::metrics::{ComparisonRow, TaskAccuracy};
 use crate::trainer::{train_mtl, train_stl, TrainConfig};
 
 /// Experiment scale preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Preset {
     /// Small corpora and few epochs: minutes of CPU time, used in CI/tests.
     Quick,
@@ -86,7 +85,7 @@ impl Preset {
     pub fn train_config(&self, seed: u64) -> TrainConfig {
         match self {
             Preset::Quick => TrainConfig {
-                epochs: 3,
+                epochs: 4,
                 batch_size: 32,
                 learning_rate: 3e-3,
                 head_hidden: 32,
@@ -169,7 +168,11 @@ pub fn run_stl_vs_mtl(
 /// # Errors
 ///
 /// Returns an error if generation or training fails.
-pub fn run_table1(backbones: &[BackboneKind], preset: Preset, seed: u64) -> Result<Vec<ComparisonRow>> {
+pub fn run_table1(
+    backbones: &[BackboneKind],
+    preset: Preset,
+    seed: u64,
+) -> Result<Vec<ComparisonRow>> {
     let dataset = preset.shapes_config().generate_table1_tasks(seed)?;
     run_stl_vs_mtl(backbones, &dataset, "T1+T2", &preset.train_config(seed))
 }
@@ -180,7 +183,11 @@ pub fn run_table1(backbones: &[BackboneKind], preset: Preset, seed: u64) -> Resu
 /// # Errors
 ///
 /// Returns an error if generation or training fails.
-pub fn run_table2(backbones: &[BackboneKind], preset: Preset, seed: u64) -> Result<Vec<ComparisonRow>> {
+pub fn run_table2(
+    backbones: &[BackboneKind],
+    preset: Preset,
+    seed: u64,
+) -> Result<Vec<ComparisonRow>> {
     let dataset = preset.medic_config().generate(seed)?;
     run_stl_vs_mtl(backbones, &dataset, "T1+T2", &preset.train_config(seed))
 }
@@ -200,7 +207,11 @@ pub const TABLE3_SUBSETS: [(&str, &[usize]); 3] = [
 /// # Errors
 ///
 /// Returns an error if generation or training fails.
-pub fn run_table3(backbones: &[BackboneKind], preset: Preset, seed: u64) -> Result<Vec<ComparisonRow>> {
+pub fn run_table3(
+    backbones: &[BackboneKind],
+    preset: Preset,
+    seed: u64,
+) -> Result<Vec<ComparisonRow>> {
     let faces_cfg = preset.faces_config();
     // The pre-training corpus must match the target resolution.
     let mut shapes_cfg = preset.shapes_config();
@@ -224,10 +235,7 @@ pub fn run_table3(backbones: &[BackboneKind], preset: Preset, seed: u64) -> Resu
             let subset = faces.select_tasks(indices)?;
             let (train, test) = subset.split(0.8, seed)?;
             let outcome = pretrain_and_finetune(kind, &source, &train, &test, &config)?;
-            let stl: Vec<TaskAccuracy> = indices
-                .iter()
-                .map(|&i| stl_all[i].clone())
-                .collect();
+            let stl: Vec<TaskAccuracy> = indices.iter().map(|&i| stl_all[i].clone()).collect();
             rows.push(ComparisonRow {
                 model: kind.display_name().to_string(),
                 combination: label.to_string(),
@@ -253,7 +261,7 @@ pub fn run_table4(input_size: usize, base_size: usize) -> Result<Vec<ModelReport
 }
 
 /// One row of the LoC/RoC/SC deployment comparison of Section 4.2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParadigmRow {
     /// Backbone display name.
     pub model: String,
@@ -354,7 +362,11 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for row in &rows {
             // SC always ships far less data than RoC.
-            assert!(row.latency_saving_vs_roc > 0.9, "{}", row.latency_saving_vs_roc);
+            assert!(
+                row.latency_saving_vs_roc > 0.9,
+                "{}",
+                row.latency_saving_vs_roc
+            );
             // SC never needs more edge memory than LoC.
             assert!(row.memory_saving_vs_loc > 0.0);
             let sc = row

@@ -9,14 +9,13 @@
 use mtlsplit_data::MultiTaskDataset;
 use mtlsplit_models::BackboneKind;
 use mtlsplit_tensor::StdRng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
 use crate::model::MtlSplitModel;
-use crate::trainer::{train_mtl, train_model, TrainConfig, TrainOutcome};
+use crate::trainer::{train_model, train_mtl, TrainConfig, TrainOutcome};
 
 /// Hyper-parameters of a pre-train → fine-tune experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FineTuneConfig {
     /// Configuration of the pre-training phase (on the source corpus).
     pub pretrain: TrainConfig,

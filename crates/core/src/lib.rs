@@ -17,6 +17,8 @@
 //! * [`experiment`] — runners that regenerate every table of the paper's
 //!   evaluation (Tables 1–3 accuracy comparisons, Table 4 size analysis, and
 //!   the Section 4.2 LoC/RoC/SC deployment analysis).
+//! * [`deploy`] — exports a trained model into its edge/server halves for
+//!   the real serving subsystem in `mtlsplit-serve`.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod deploy;
 mod error;
 pub mod experiment;
 pub mod finetune;
@@ -47,6 +50,7 @@ mod metrics;
 mod model;
 pub mod trainer;
 
+pub use deploy::{split_for_serving, EdgeHalf, ServerHalf};
 pub use error::{CoreError, Result};
 pub use metrics::{accuracy, ComparisonRow, TaskAccuracy};
 pub use model::MtlSplitModel;

@@ -1,7 +1,5 @@
 //! Evaluation metrics and the STL-vs-MTL comparison rows the tables report.
 
-use serde::{Deserialize, Serialize};
-
 /// Fraction of predictions that match their targets.
 ///
 /// Returns 0 for empty inputs.
@@ -26,7 +24,7 @@ pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f32 {
 }
 
 /// Accuracy of one task under one training regime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskAccuracy {
     /// Task name.
     pub task: String,
@@ -51,7 +49,7 @@ impl TaskAccuracy {
 
 /// One row of a Table 1/2/3-style comparison: the same backbone evaluated
 /// under single-task and multi-task training.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
     /// Backbone display name.
     pub model: String,
@@ -76,7 +74,10 @@ impl ComparisonRow {
 
     /// Number of tasks on which MTL is at least as good as STL.
     pub fn tasks_not_worse(&self) -> usize {
-        self.deltas_percent().iter().filter(|&&d| d >= -1e-3).count()
+        self.deltas_percent()
+            .iter()
+            .filter(|&&d| d >= -1e-3)
+            .count()
     }
 
     /// Mean delta across tasks in percentage points.

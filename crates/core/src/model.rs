@@ -132,10 +132,22 @@ impl MtlSplitModel {
         self.backbone
     }
 
+    /// Consumes the model and returns its two deployment halves: the
+    /// edge-resident backbone and the server-resident task heads (in task
+    /// order). The parameters move — nothing is copied — so the halves
+    /// produce bit-identical outputs to the intact model.
+    pub fn into_parts(self) -> (Backbone, Vec<TaskHead>) {
+        (self.backbone, self.heads)
+    }
+
     /// Total number of trainable parameters (backbone + all heads).
     pub fn parameter_count(&self) -> usize {
         self.backbone.parameter_count()
-            + self.heads.iter().map(|h| h.parameter_count()).sum::<usize>()
+            + self
+                .heads
+                .iter()
+                .map(|h| h.parameter_count())
+                .sum::<usize>()
     }
 
     /// All trainable parameters in a stable order (backbone first, then each
@@ -217,7 +229,8 @@ impl MtlSplitModel {
         // the sum of each task's contribution.
         let mut grad_features = Tensor::zeros(features.dims());
         for (head_idx, (head, logits)) in self.heads.iter_mut().zip(&outputs).enumerate() {
-            let (loss_value, grad_logits) = self.loss.forward_backward(logits, &labels[head_idx])?;
+            let (loss_value, grad_logits) =
+                self.loss.forward_backward(logits, &labels[head_idx])?;
             losses.push(loss_value);
             let grad = head.backward(&grad_logits)?;
             grad_features.add_scaled_inplace(&grad, 1.0)?;
@@ -326,10 +339,18 @@ mod tests {
         let x = Tensor::randn(&[8, 3, 16, 16], 0.5, 0.2, &mut rng);
         let labels = vec![vec![0, 1, 2, 3, 0, 1, 2, 3], vec![0, 1, 2, 0, 1, 2, 0, 1]];
         let mut opt = Sgd::new(0.1);
-        let first: f32 = model.train_batch(&x, &labels, &mut opt).unwrap().iter().sum();
+        let first: f32 = model
+            .train_batch(&x, &labels, &mut opt)
+            .unwrap()
+            .iter()
+            .sum();
         let mut last = first;
         for _ in 0..15 {
-            last = model.train_batch(&x, &labels, &mut opt).unwrap().iter().sum();
+            last = model
+                .train_batch(&x, &labels, &mut opt)
+                .unwrap()
+                .iter()
+                .sum();
         }
         assert!(
             last < first,

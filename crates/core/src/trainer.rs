@@ -4,14 +4,13 @@ use mtlsplit_data::{DataLoader, MultiTaskDataset};
 use mtlsplit_models::BackboneKind;
 use mtlsplit_nn::AdamW;
 use mtlsplit_tensor::StdRng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
 use crate::metrics::TaskAccuracy;
 use crate::model::MtlSplitModel;
 
 /// Hyper-parameters for one training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -251,14 +250,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut config = TrainConfig::default();
-        config.epochs = 0;
+        let config = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
         assert!(config.validate().is_err());
-        let mut config = TrainConfig::default();
-        config.learning_rate = -1.0;
+        let config = TrainConfig {
+            learning_rate: -1.0,
+            ..TrainConfig::default()
+        };
         assert!(config.validate().is_err());
-        let mut config = TrainConfig::default();
-        config.backbone_lr_scale = -0.5;
+        let config = TrainConfig {
+            backbone_lr_scale: -0.5,
+            ..TrainConfig::default()
+        };
         assert!(config.validate().is_err());
     }
 
@@ -308,7 +313,7 @@ mod tests {
             BackboneKind::MobileStyle,
             3,
             16,
-            &train.tasks()[..1].to_vec(),
+            &train.tasks()[..1],
             16,
             &mut rng,
         )
@@ -330,6 +335,9 @@ mod tests {
         let outcome = train_mtl(BackboneKind::MobileStyle, &train, &test, &config).unwrap();
         let first = outcome.loss_history.first().copied().unwrap();
         let last = outcome.loss_history.last().copied().unwrap();
-        assert!(last <= first * 1.05, "loss should not blow up: {first} -> {last}");
+        assert!(
+            last <= first * 1.05,
+            "loss should not blow up: {first} -> {last}"
+        );
     }
 }

@@ -1,12 +1,11 @@
 //! The in-memory multi-task dataset container.
 
 use mtlsplit_tensor::{StdRng, Tensor};
-use serde::{Deserialize, Serialize};
 
 use crate::error::{DataError, Result};
 
 /// Description of one classification task attached to a dataset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Human-readable task name (e.g. `"object_size"`).
     pub name: String,
@@ -145,15 +144,10 @@ impl MultiTaskDataset {
         let mut tasks = Vec::with_capacity(task_indices.len());
         for &idx in task_indices {
             labels.push(self.labels(idx)?.to_vec());
-            tasks.push(
-                self.tasks
-                    .get(idx)
-                    .cloned()
-                    .ok_or(DataError::UnknownTask {
-                        index: idx,
-                        tasks: self.tasks.len(),
-                    })?,
-            );
+            tasks.push(self.tasks.get(idx).cloned().ok_or(DataError::UnknownTask {
+                index: idx,
+                tasks: self.tasks.len(),
+            })?);
         }
         Ok(Self {
             images: self.images.clone(),
@@ -203,7 +197,9 @@ impl MultiTaskDataset {
         let cut = ((self.len() as f32) * train_fraction).round() as usize;
         let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
         if cut == 0 || cut >= self.len() {
-            return Err(DataError::Empty { what: "split partition" });
+            return Err(DataError::Empty {
+                what: "split partition",
+            });
         }
         let train = self.subset(&indices[..cut])?;
         let test = self.subset(&indices[cut..])?;
@@ -217,13 +213,10 @@ impl MultiTaskDataset {
     ///
     /// Returns [`DataError::UnknownTask`] if the index is out of range.
     pub fn class_histogram(&self, task_index: usize) -> Result<Vec<usize>> {
-        let task = self
-            .tasks
-            .get(task_index)
-            .ok_or(DataError::UnknownTask {
-                index: task_index,
-                tasks: self.tasks.len(),
-            })?;
+        let task = self.tasks.get(task_index).ok_or(DataError::UnknownTask {
+            index: task_index,
+            tasks: self.tasks.len(),
+        })?;
         let mut histogram = vec![0usize; task.classes];
         for &label in self.labels(task_index)? {
             histogram[label] += 1;
@@ -325,6 +318,6 @@ mod tests {
     #[test]
     fn raw_input_bytes_matches_image_shape() {
         let ds = toy_dataset(2);
-        assert_eq!(ds.raw_input_bytes(), 1 * 2 * 2 * 4);
+        assert_eq!(ds.raw_input_bytes(), 2 * 2 * 4);
     }
 }

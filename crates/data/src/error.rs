@@ -45,7 +45,10 @@ impl fmt::Display for DataError {
             DataError::Tensor(err) => write!(f, "tensor operation failed: {err}"),
             DataError::Empty { what } => write!(f, "{what} is empty"),
             DataError::LabelMismatch { images, labels } => {
-                write!(f, "label count {labels} does not match image count {images}")
+                write!(
+                    f,
+                    "label count {labels} does not match image count {images}"
+                )
             }
             DataError::UnknownTask { index, tasks } => {
                 write!(f, "task index {index} out of range for {tasks} tasks")

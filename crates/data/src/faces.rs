@@ -195,9 +195,9 @@ fn render_portrait(
     for dx in -mouth_half..=mouth_half {
         let t = dx as f32 / mouth_half.max(1) as f32;
         let curve = match expression {
-            0 => (t * t - 0.5) * 3.0,  // smile: corners up (ends higher)
-            1 => 0.0,                  // neutral: straight line
-            _ => (0.5 - t * t) * 3.0,  // frown: corners down
+            0 => (t * t - 0.5) * 3.0, // smile: corners up (ends higher)
+            1 => 0.0,                 // neutral: straight line
+            _ => (0.5 - t * t) * 3.0, // frown: corners down
         };
         let y = (mouth_y + curve.round() as isize).clamp(0, size as isize - 1) as usize;
         let x = (center as isize + dx).clamp(0, size as isize - 1) as usize;
@@ -233,8 +233,14 @@ mod tests {
             image_size: 16,
             pixel_noise: 0.05,
         };
-        assert_eq!(cfg.generate(3).unwrap().images(), cfg.generate(3).unwrap().images());
-        assert_ne!(cfg.generate(3).unwrap().images(), cfg.generate(4).unwrap().images());
+        assert_eq!(
+            cfg.generate(3).unwrap().images(),
+            cfg.generate(3).unwrap().images()
+        );
+        assert_ne!(
+            cfg.generate(3).unwrap().images(),
+            cfg.generate(4).unwrap().images()
+        );
     }
 
     #[test]
@@ -285,9 +291,8 @@ mod tests {
         render_portrait(&mut short_hair, size, 1, 1, 1, &mut rng_b);
         // Row at 1/4 height is hair-dark for class 0 and face/background for class 1.
         let row = size / 4;
-        let mean = |img: &[f32]| {
-            img[row * size..(row + 1) * size].iter().sum::<f32>() / size as f32
-        };
+        let mean =
+            |img: &[f32]| img[row * size..(row + 1) * size].iter().sum::<f32>() / size as f32;
         assert!(mean(&long_hair) < mean(&short_hair));
     }
 

@@ -137,7 +137,9 @@ mod tests {
         let mut seen: Vec<usize> = batches
             .iter()
             .flat_map(|b| {
-                (0..b.len()).map(|i| b.images.as_slice()[i * 4] as usize).collect::<Vec<_>>()
+                (0..b.len())
+                    .map(|i| b.images.as_slice()[i * 4] as usize)
+                    .collect::<Vec<_>>()
             })
             .collect();
         seen.sort_unstable();
@@ -149,7 +151,10 @@ mod tests {
         let ds = toy_dataset(10);
         let mut loader = DataLoader::new(&ds, 4, false, 1);
         let batches = loader.epoch().unwrap();
-        assert_eq!(batches.iter().map(Batch::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(
+            batches.iter().map(Batch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
     }
 
     #[test]

@@ -143,7 +143,13 @@ fn sample_severity(disaster: usize, rng: &mut StdRng) -> usize {
 /// Paints one incident scene. The disaster type picks the dominant colour
 /// structure; the severity modulates how much of the scene is covered by
 /// "damage" texture.
-fn render_incident(image: &mut [f32], size: usize, disaster: usize, severity: usize, rng: &mut StdRng) {
+fn render_incident(
+    image: &mut [f32],
+    size: usize,
+    disaster: usize,
+    severity: usize,
+    rng: &mut StdRng,
+) {
     let plane = size * size;
     // Base palettes per disaster type (sky-ish background, damage colour).
     let (background, damage) = match disaster {
@@ -215,7 +221,10 @@ mod tests {
             label_noise: 0.2,
             pixel_noise: 0.2,
         };
-        assert_eq!(cfg.generate(5).unwrap().images(), cfg.generate(5).unwrap().images());
+        assert_eq!(
+            cfg.generate(5).unwrap().images(),
+            cfg.generate(5).unwrap().images()
+        );
     }
 
     #[test]
@@ -273,7 +282,10 @@ mod tests {
         render_incident(&mut flood, size, 1, 1, &mut rng);
         // Fire scenes are redder on average; flood scenes are bluer.
         let mean_channel = |img: &[f32], ch: usize| {
-            img[ch * size * size..(ch + 1) * size * size].iter().sum::<f32>() / (size * size) as f32
+            img[ch * size * size..(ch + 1) * size * size]
+                .iter()
+                .sum::<f32>()
+                / (size * size) as f32
         };
         assert!(mean_channel(&fire, 0) > mean_channel(&flood, 0));
         assert!(mean_channel(&flood, 2) > mean_channel(&fire, 2));

@@ -63,15 +63,14 @@ mod tests {
         let mut rng = StdRng::seed_from(1);
         let images = Tensor::full(&[4, 3, 16, 16], 0.5);
         let noisy = add_salt_and_pepper(&images, 0.15, &mut rng);
-        let changed = noisy
-            .as_slice()
-            .iter()
-            .filter(|&&v| v != 0.5)
-            .count() as f32
-            / noisy.len() as f32;
+        let changed =
+            noisy.as_slice().iter().filter(|&&v| v != 0.5).count() as f32 / noisy.len() as f32;
         // Corruption may hit the same pixel twice, so the realised fraction is
         // at most 15 % and not far below it.
-        assert!(changed > 0.10 && changed <= 0.16, "changed fraction {changed}");
+        assert!(
+            changed > 0.10 && changed <= 0.16,
+            "changed fraction {changed}"
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl ShapesConfig {
             SHAPE_CLASSES,
             ORIENTATION_CLASSES,
         ];
-        let mut labels: Vec<Vec<usize>> = class_counts.iter().map(|_| Vec::with_capacity(self.samples)).collect();
+        let mut labels: Vec<Vec<usize>> = class_counts
+            .iter()
+            .map(|_| Vec::with_capacity(self.samples))
+            .collect();
 
         for sample in 0..self.samples {
             let factors: Vec<usize> = class_counts.iter().map(|&c| rng.below(c)).collect();
@@ -173,13 +176,12 @@ fn render_scene(image: &mut [f32], size: usize, factors: &[usize]) {
     // shifts the object horizontally across the scene.
     let min_half = (size as f32 * 0.08).max(1.0);
     let max_half = size as f32 * 0.30;
-    let half = min_half
-        + (max_half - min_half) * scale as f32 / (SCALE_CLASSES - 1).max(1) as f32;
+    let half = min_half + (max_half - min_half) * scale as f32 / (SCALE_CLASSES - 1).max(1) as f32;
     let half = half.round() as isize;
     let center_y = horizon as isize;
     let span = (size as f32 * 0.5) as isize;
-    let offset = -span / 2
-        + (span * orientation as isize) / (ORIENTATION_CLASSES - 1).max(1) as isize;
+    let offset =
+        -span / 2 + (span * orientation as isize) / (ORIENTATION_CLASSES - 1).max(1) as isize;
     let center_x = size as isize / 2 + offset;
 
     for y in 0..size as isize {
@@ -294,9 +296,7 @@ mod tests {
         let plane = size * size;
         let count = |img: &[f32]| {
             (0..plane)
-                .filter(|&i| {
-                    (0..3).all(|ch| (img[ch * plane + i] - object[ch]).abs() < 1e-6)
-                })
+                .filter(|&i| (0..3).all(|ch| (img[ch * plane + i] - object[ch]).abs() < 1e-6))
                 .count()
         };
         assert!(count(&large_img) > count(&small_img) * 2);

@@ -6,15 +6,13 @@
 //! representation `Z_b`. All of those are functions of the architecture and
 //! the input resolution, so they can be computed without training.
 
-use serde::{Deserialize, Serialize};
-
 use crate::backbone::Backbone;
 
 /// Size of one `f32` activation or weight, in bytes.
 pub const BYTES_PER_VALUE: usize = std::mem::size_of::<f32>();
 
 /// Static size report for one backbone at one input resolution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelReport {
     /// Human-readable model name.
     pub model: String,

@@ -126,7 +126,7 @@ impl StageTracker {
 
     fn after_conv(&mut self, out_channels: usize, stride: usize, label: &str) {
         self.channels = out_channels;
-        self.size = (self.size + stride - 1) / stride;
+        self.size = self.size.div_ceil(stride);
         self.record(label);
     }
 
@@ -226,7 +226,10 @@ impl Layer for Backbone {
     }
 }
 
-fn build_vgg(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, Vec<(String, usize)>) {
+fn build_vgg(
+    config: &BackboneConfig,
+    rng: &mut StdRng,
+) -> (Sequential, usize, Vec<(String, usize)>) {
     let c1 = config.width(16);
     let c2 = config.width(32);
     let c3 = config.width(64);
@@ -235,21 +238,31 @@ fn build_vgg(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, V
         .push(Conv2d::new(config.in_channels, c1, 3, 1, 1, rng))
         .push(Relu::new());
     tracker.after_conv(c1, 1, "conv1_1");
-    net = net.push(Conv2d::new(c1, c1, 3, 1, 1, rng)).push(Relu::new());
+    net = net
+        .push(Conv2d::new(c1, c1, 3, 1, 1, rng))
+        .push(Relu::new());
     tracker.after_conv(c1, 1, "conv1_2");
     net = net.push(MaxPool2d::new(2, 2));
     tracker.after_pool(2, "pool1");
 
-    net = net.push(Conv2d::new(c1, c2, 3, 1, 1, rng)).push(Relu::new());
+    net = net
+        .push(Conv2d::new(c1, c2, 3, 1, 1, rng))
+        .push(Relu::new());
     tracker.after_conv(c2, 1, "conv2_1");
-    net = net.push(Conv2d::new(c2, c2, 3, 1, 1, rng)).push(Relu::new());
+    net = net
+        .push(Conv2d::new(c2, c2, 3, 1, 1, rng))
+        .push(Relu::new());
     tracker.after_conv(c2, 1, "conv2_2");
     net = net.push(MaxPool2d::new(2, 2));
     tracker.after_pool(2, "pool2");
 
-    net = net.push(Conv2d::new(c2, c3, 3, 1, 1, rng)).push(Relu::new());
+    net = net
+        .push(Conv2d::new(c2, c3, 3, 1, 1, rng))
+        .push(Relu::new());
     tracker.after_conv(c3, 1, "conv3_1");
-    net = net.push(Conv2d::new(c3, c3, 3, 1, 1, rng)).push(Relu::new());
+    net = net
+        .push(Conv2d::new(c3, c3, 3, 1, 1, rng))
+        .push(Relu::new());
     tracker.after_conv(c3, 1, "conv3_2");
     net = net.push(MaxPool2d::new(2, 2));
     tracker.after_pool(2, "pool3");
@@ -259,7 +272,10 @@ fn build_vgg(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, V
     (net, c3, tracker.footprint)
 }
 
-fn build_mobile(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, Vec<(String, usize)>) {
+fn build_mobile(
+    config: &BackboneConfig,
+    rng: &mut StdRng,
+) -> (Sequential, usize, Vec<(String, usize)>) {
     let c_stem = config.width(8);
     let c1 = config.width(16);
     let c2 = config.width(24);
@@ -273,12 +289,12 @@ fn build_mobile(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize
     tracker.after_conv(c_stem, 2, "stem");
 
     let separable = |net: Sequential,
-                         tracker: &mut StageTracker,
-                         in_c: usize,
-                         out_c: usize,
-                         stride: usize,
-                         label: &str,
-                         rng: &mut StdRng| {
+                     tracker: &mut StageTracker,
+                     in_c: usize,
+                     out_c: usize,
+                     stride: usize,
+                     label: &str,
+                     rng: &mut StdRng| {
         let net = net
             .push(DepthwiseConv2d::new(in_c, 3, stride, 1, rng))
             .push(BatchNorm2d::new(in_c))
@@ -355,7 +371,10 @@ mod tests {
         let mobile = build(BackboneKind::MobileStyle, 24).parameter_count();
         let efficient = build(BackboneKind::EfficientStyle, 24).parameter_count();
         assert!(vgg > efficient, "vgg {vgg} vs efficient {efficient}");
-        assert!(efficient > mobile, "efficient {efficient} vs mobile {mobile}");
+        assert!(
+            efficient > mobile,
+            "efficient {efficient} vs mobile {mobile}"
+        );
     }
 
     #[test]
@@ -421,13 +440,19 @@ mod tests {
             &mut rng
         )
         .is_err());
-        assert!(Backbone::new(BackboneConfig::new(BackboneKind::VggStyle, 0, 24), &mut rng).is_err());
+        assert!(
+            Backbone::new(BackboneConfig::new(BackboneKind::VggStyle, 0, 24), &mut rng).is_err()
+        );
     }
 
     #[test]
     fn display_names_mention_the_paper_models() {
         assert!(BackboneKind::VggStyle.to_string().contains("VGG16"));
-        assert!(BackboneKind::MobileStyle.to_string().contains("MobileNetV3"));
-        assert!(BackboneKind::EfficientStyle.to_string().contains("EfficientNet"));
+        assert!(BackboneKind::MobileStyle
+            .to_string()
+            .contains("MobileNetV3"));
+        assert!(BackboneKind::EfficientStyle
+            .to_string()
+            .contains("EfficientNet"));
     }
 }

@@ -86,9 +86,8 @@ impl Layer for SqueezeExcite {
         for b in 0..batch {
             for c in 0..channels {
                 let base = (b * channels + c) * plane;
-                grad_scale[b * channels + c] = (0..plane)
-                    .map(|i| go[base + i] * x[base + i])
-                    .sum::<f32>();
+                grad_scale[b * channels + c] =
+                    (0..plane).map(|i| go[base + i] * x[base + i]).sum::<f32>();
             }
         }
         let grad_pooled = self
@@ -214,7 +213,9 @@ impl Layer for MbConvBlock {
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         if self.cached_input_dims.is_none() {
-            return Err(NnError::MissingForwardCache { layer: "MbConvBlock" });
+            return Err(NnError::MissingForwardCache {
+                layer: "MbConvBlock",
+            });
         }
         let grad_body = self.body.backward(grad_output)?;
         if self.use_skip {
@@ -316,7 +317,10 @@ mod tests {
         let y = block.forward(&x, true).unwrap();
         let grad = block.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(grad.dims(), x.dims());
-        assert!(block.parameters().iter().any(|p| p.grad().squared_norm() > 0.0));
+        assert!(block
+            .parameters()
+            .iter()
+            .any(|p| p.grad().squared_norm() > 0.0));
     }
 
     #[test]

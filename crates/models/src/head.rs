@@ -151,10 +151,12 @@ mod tests {
         // The paper notes the heads are individually smaller than the backbone.
         let mut rng = StdRng::seed_from(4);
         for kind in BackboneKind::ALL {
-            let backbone =
-                Backbone::new(BackboneConfig::new(kind, 3, 24), &mut rng).unwrap();
+            let backbone = Backbone::new(BackboneConfig::new(kind, 3, 24), &mut rng).unwrap();
             let head = TaskHead::new("t", backbone.feature_dim(), 32, 10, &mut rng).unwrap();
-            assert!(head.parameter_count() < backbone.parameter_count(), "{kind}");
+            assert!(
+                head.parameter_count() < backbone.parameter_count(),
+                "{kind}"
+            );
         }
     }
 

@@ -134,7 +134,12 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let up = layer.forward(&plus, true).unwrap().mul(&probe).unwrap().sum();
+            let up = layer
+                .forward(&plus, true)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
             let down = layer
                 .forward(&minus, true)
                 .unwrap()

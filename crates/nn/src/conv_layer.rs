@@ -122,7 +122,13 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a depthwise convolution over `channels` channels.
-    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let spec = Conv2dSpec::new(channels, channels, kernel)
             .with_stride(stride)
             .with_padding(padding)

@@ -46,7 +46,10 @@ mod tests {
         let var = w.map(|x| (x - mean).powi(2)).mean();
         let expected = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.02);
-        assert!((var - expected).abs() < expected * 0.25, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.25,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -163,8 +163,7 @@ mod tests {
         let mut rng = StdRng::seed_from(1);
         let mut layer = Linear::new(2, 2, &mut rng);
         // Overwrite with known weights.
-        *layer.weight.value_mut() =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        *layer.weight.value_mut() = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         *layer.bias.value_mut() = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
         let y = layer.forward(&x, true).unwrap();

@@ -60,7 +60,10 @@ impl CrossEntropyLoss {
     fn check(&self, logits: &Tensor, targets: &[usize]) -> Result<(usize, usize)> {
         if logits.rank() != 2 {
             return Err(NnError::InvalidConfig {
-                reason: format!("cross-entropy expects [batch, classes] logits, got {:?}", logits.dims()),
+                reason: format!(
+                    "cross-entropy expects [batch, classes] logits, got {:?}",
+                    logits.dims()
+                ),
             });
         }
         let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
@@ -160,7 +163,11 @@ impl MseLoss {
     /// # Errors
     ///
     /// Returns an error if the shapes differ.
-    pub fn forward_backward(&self, predictions: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
+    pub fn forward_backward(
+        &self,
+        predictions: &Tensor,
+        targets: &Tensor,
+    ) -> Result<(f32, Tensor)> {
         let value = self.forward(predictions, targets)?;
         let n = predictions.len().max(1) as f32;
         let grad = predictions.sub(targets)?.scale(2.0 / n);
@@ -208,9 +215,9 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = logits.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let num =
-                (loss.forward(&plus, &targets).unwrap() - loss.forward(&minus, &targets).unwrap())
-                    / (2.0 * eps);
+            let num = (loss.forward(&plus, &targets).unwrap()
+                - loss.forward(&minus, &targets).unwrap())
+                / (2.0 * eps);
             assert!(
                 (num - grad.as_slice()[idx]).abs() < 1e-3,
                 "idx {idx}: numerical {num} vs analytical {}",
@@ -285,6 +292,8 @@ mod tests {
     #[test]
     fn mse_rejects_shape_mismatch() {
         let loss = MseLoss::new();
-        assert!(loss.forward(&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[4])).is_err());
+        assert!(loss
+            .forward(&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[4]))
+            .is_err());
     }
 }

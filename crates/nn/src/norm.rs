@@ -104,7 +104,7 @@ impl Layer for BatchNorm2d {
         let mut normalized = vec![0.0f32; src.len()];
         let mut std_inv = vec![0.0f32; self.channels];
 
-        for c in 0..self.channels {
+        for (c, std_inv_slot) in std_inv.iter_mut().enumerate() {
             let (mean, var) = if training {
                 let mut mean = 0.0f32;
                 for b in 0..batch {
@@ -130,7 +130,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[c], self.running_var[c])
             };
             let inv = 1.0 / (var + self.epsilon).sqrt();
-            std_inv[c] = inv;
+            *std_inv_slot = inv;
             let g = self.gamma.value().as_slice()[c];
             let b_shift = self.beta.value().as_slice()[c];
             for b in 0..batch {
@@ -152,10 +152,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::MissingForwardCache { layer: "BatchNorm2d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
         if grad_output.dims() != cache.input_dims.as_slice() {
             return Err(NnError::InvalidConfig {
                 reason: format!(

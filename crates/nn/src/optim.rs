@@ -86,7 +86,7 @@ impl Sgd {
     /// or `weight_decay` are negative.
     pub fn with_options(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
         check_lr(lr)?;
-        if momentum < 0.0 || momentum >= 1.0 {
+        if !(0.0..1.0).contains(&momentum) {
             return Err(NnError::InvalidHyperParameter {
                 name: "momentum",
                 value: momentum,
@@ -250,10 +250,9 @@ impl Optimizer for AdamW {
             }
             // Parameter update with bias-corrected moments.
             let eps = self.epsilon;
-            let update = new_m
-                .zip(&new_v, move |m_i, v_i| {
-                    (m_i / bias1) / ((v_i / bias2).sqrt() + eps)
-                })?;
+            let update = new_m.zip(&new_v, move |m_i, v_i| {
+                (m_i / bias1) / ((v_i / bias2).sqrt() + eps)
+            })?;
             p.value_mut().add_scaled_inplace(&update, -lr)?;
             *m = new_m;
             *v = new_v;
@@ -298,7 +297,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => initial_lr,
             LrSchedule::StepDecay { factor, every } => {
-                let decays = if every == 0 { 0 } else { epoch / every };
+                let decays = epoch.checked_div(every).unwrap_or(0);
                 initial_lr * factor.powi(decays as i32)
             }
             LrSchedule::Cosine {

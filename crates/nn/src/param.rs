@@ -1,7 +1,6 @@
 //! Trainable parameters: a value tensor paired with an accumulated gradient.
 
 use mtlsplit_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 
@@ -15,7 +14,7 @@ use crate::error::Result;
 /// how the paper's fine-tuning strategy (Eq. 6) keeps the shared backbone
 /// "relatively fixed" while heads adapt: the backbone parameters either get a
 /// much smaller learning rate or are frozen entirely.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Parameter {
     value: Tensor,
     grad: Tensor,

@@ -85,7 +85,12 @@ impl Layer for AvgPool2d {
             .cached_dims
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "AvgPool2d" })?;
-        Ok(avg_pool2d_backward(grad_output, dims, self.window, self.stride)?)
+        Ok(avg_pool2d_backward(
+            grad_output,
+            dims,
+            self.window,
+            self.stride,
+        )?)
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -221,8 +226,18 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let up = pool.forward(&plus, true).unwrap().mul(&probe).unwrap().sum();
-            let down = pool.forward(&minus, true).unwrap().mul(&probe).unwrap().sum();
+            let up = pool
+                .forward(&plus, true)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
+            let down = pool
+                .forward(&minus, true)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
             let num = (up - down) / (2.0 * eps);
             assert!((num - grad.as_slice()[idx]).abs() < 1e-3);
         }
@@ -230,9 +245,15 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
-        assert!(MaxPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
-        assert!(AvgPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
-        assert!(GlobalAvgPool2d::new().backward(&Tensor::zeros(&[1, 2])).is_err());
+        assert!(MaxPool2d::new(2, 2)
+            .backward(&Tensor::zeros(&[1, 1, 2, 2]))
+            .is_err());
+        assert!(AvgPool2d::new(2, 2)
+            .backward(&Tensor::zeros(&[1, 1, 2, 2]))
+            .is_err());
+        assert!(GlobalAvgPool2d::new()
+            .backward(&Tensor::zeros(&[1, 2]))
+            .is_err());
     }
 
     #[test]

@@ -191,9 +191,15 @@ mod tests {
         let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
         let y = seq.forward(&x, true).unwrap();
         seq.backward(&Tensor::ones(y.dims())).unwrap();
-        assert!(seq.parameters().iter().any(|p| p.grad().squared_norm() > 0.0));
+        assert!(seq
+            .parameters()
+            .iter()
+            .any(|p| p.grad().squared_norm() > 0.0));
         seq.zero_grad();
-        assert!(seq.parameters().iter().all(|p| p.grad().squared_norm() == 0.0));
+        assert!(seq
+            .parameters()
+            .iter()
+            .all(|p| p.grad().squared_norm() == 0.0));
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! The edge half of the deployment: backbone on-device, heads behind a
+//! [`Transport`].
+
+use mtlsplit_nn::Layer;
+use mtlsplit_split::{TensorCodec, WirePayload};
+use mtlsplit_tensor::Tensor;
+
+use crate::error::{Result, ServeError};
+use crate::frame::{Frame, OpCode};
+use crate::transport::Transport;
+use crate::wire::decode_response;
+
+/// The edge client: runs the shared backbone locally, ships the encoded
+/// `Z_b` through a [`Transport`], and decodes the per-task outputs that come
+/// back.
+pub struct EdgeClient {
+    backbone: Box<dyn Layer + Send>,
+    codec: TensorCodec,
+    transport: Box<dyn Transport>,
+    next_request_id: u64,
+}
+
+impl std::fmt::Debug for EdgeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeClient")
+            .field("codec", &self.codec)
+            .field("next_request_id", &self.next_request_id)
+            .finish()
+    }
+}
+
+impl EdgeClient {
+    /// Creates a client from the edge-resident backbone, the uplink codec
+    /// and a transport to the server.
+    pub fn new(
+        backbone: Box<dyn Layer + Send>,
+        codec: TensorCodec,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        Self {
+            backbone,
+            codec,
+            transport,
+            next_request_id: 1,
+        }
+    }
+
+    /// Runs the backbone on `input` and round-trips the shared
+    /// representation to the server, returning one output tensor per task
+    /// head (in the server's head order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backbone failures, transport failures and server-reported
+    /// errors ([`ServeError::Remote`]).
+    pub fn infer(&mut self, input: &Tensor) -> Result<Vec<Tensor>> {
+        let features = self
+            .backbone
+            .forward(input, false)
+            .map_err(mtlsplit_split::SplitError::from)?;
+        let outputs = self.infer_features(&features)?;
+        Ok(outputs)
+    }
+
+    /// Ships an already-computed shared representation `Z_b` to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and server-reported errors.
+    pub fn infer_features(&mut self, features: &Tensor) -> Result<Vec<Tensor>> {
+        let payload = self.codec.encode(features);
+        let outputs = self.roundtrip_payload(&payload)?;
+        outputs
+            .iter()
+            .map(|p| self.codec.decode(p).map_err(ServeError::from))
+            .collect()
+    }
+
+    /// Sends one encoded payload and returns the raw per-task payloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and server-reported errors.
+    pub fn roundtrip_payload(&mut self, payload: &WirePayload) -> Result<Vec<WirePayload>> {
+        let id = self.take_request_id();
+        let frame = Frame::new(OpCode::InferRequest, id, payload.encode());
+        let response = self.transport.request(&frame)?;
+        if response.request_id != id {
+            return Err(ServeError::MismatchedResponse {
+                sent: id,
+                received: response.request_id,
+            });
+        }
+        match response.op {
+            OpCode::InferResponse => decode_response(&response.body),
+            OpCode::Error => Err(ServeError::Remote {
+                message: String::from_utf8_lossy(&response.body).into_owned(),
+            }),
+            other => Err(ServeError::UnexpectedFrame {
+                expected: "an InferResponse frame",
+                got: other,
+            }),
+        }
+    }
+
+    /// Checks server liveness with a ping round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; an unexpected answer becomes
+    /// [`ServeError::UnexpectedFrame`].
+    pub fn ping(&mut self) -> Result<()> {
+        let id = self.take_request_id();
+        let response = self
+            .transport
+            .request(&Frame::new(OpCode::Ping, id, Vec::new()))?;
+        match response.op {
+            OpCode::Pong => Ok(()),
+            other => Err(ServeError::UnexpectedFrame {
+                expected: "a Pong frame",
+                got: other,
+            }),
+        }
+    }
+
+    /// The uplink codec in use.
+    pub fn codec(&self) -> TensorCodec {
+        self.codec
+    }
+
+    /// Gives back the transport, e.g. to read loopback statistics.
+    pub fn into_transport(self) -> Box<dyn Transport> {
+        self.transport
+    }
+
+    fn take_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{InferenceServer, ServerConfig, TcpServer};
+    use crate::transport::{LoopbackTransport, TcpTransport};
+    use mtlsplit_nn::{Flatten, Linear, Relu, Sequential};
+    use mtlsplit_split::Precision;
+    use mtlsplit_tensor::StdRng;
+    use std::sync::Arc;
+
+    /// Builds a backbone and two heads twice from one seed: a monolithic
+    /// reference copy and a served copy with identical weights.
+    fn split_fixture() -> (
+        Sequential,
+        Vec<Sequential>,
+        Arc<InferenceServer>,
+        Sequential,
+    ) {
+        let build = || {
+            let mut rng = StdRng::seed_from(11);
+            let backbone = Sequential::new()
+                .push(Flatten::new())
+                .push(Linear::new(3 * 6 * 6, 16, &mut rng))
+                .push(Relu::new());
+            let heads = vec![
+                Sequential::new().push(Linear::new(16, 4, &mut rng)),
+                Sequential::new().push(Linear::new(16, 3, &mut rng)),
+            ];
+            (backbone, heads)
+        };
+        let (reference_backbone, reference_heads) = build();
+        let (served_backbone, served_heads) = build();
+        let boxed: Vec<Box<dyn Layer + Send>> = served_heads
+            .into_iter()
+            .map(|h| Box::new(h) as Box<dyn Layer + Send>)
+            .collect();
+        let server = Arc::new(InferenceServer::start(boxed, ServerConfig::default()));
+        (reference_backbone, reference_heads, server, served_backbone)
+    }
+
+    #[test]
+    fn loopback_inference_matches_monolithic_forward_exactly() {
+        let (mut ref_backbone, mut ref_heads, server, served_backbone) = split_fixture();
+        let mut client = EdgeClient::new(
+            Box::new(served_backbone),
+            TensorCodec::new(Precision::Float32),
+            Box::new(LoopbackTransport::new(server)),
+        );
+        let mut rng = StdRng::seed_from(12);
+        let x = Tensor::randn(&[4, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let served = client.infer(&x).unwrap();
+        let features = ref_backbone.forward(&x, false).unwrap();
+        for (head, output) in ref_heads.iter_mut().zip(&served) {
+            let direct = head.forward(&features, false).unwrap();
+            assert!(output.allclose(&direct, 1e-6));
+        }
+    }
+
+    #[test]
+    fn quant8_uplink_stays_within_one_quantisation_step() {
+        // Property test: for many random feature tensors, the decoded
+        // representation the server sees is within one quantisation step of
+        // the true Z_b, so head outputs stay close too.
+        let (_, _, server, _) = split_fixture();
+        let codec = TensorCodec::new(Precision::Quant8);
+        let mut rng = StdRng::seed_from(13);
+        for case in 0..32 {
+            let rows = 1 + rng.below(4);
+            let z = Tensor::randn(&[rows, 16], 0.0, 2.0, &mut rng);
+            let step = (z.max().unwrap() - z.min().unwrap()) / 255.0 + 1e-6;
+            let decoded = codec.decode(&codec.encode(&z)).unwrap();
+            assert!(
+                decoded.allclose(&z, step),
+                "case {case}: quantisation error above one step"
+            );
+            // The server still serves the quantised payload.
+            let mut client = EdgeClient::new(
+                Box::new(Sequential::new()),
+                codec,
+                Box::new(LoopbackTransport::new(Arc::clone(&server))),
+            );
+            let outputs = client.infer_features(&z).unwrap();
+            assert_eq!(outputs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_loopback() {
+        let (mut ref_backbone, mut ref_heads, server, served_backbone) = split_fixture();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = TcpServer::spawn(Arc::clone(&server), listener).unwrap();
+        let transport = TcpTransport::connect(tcp.local_addr()).unwrap();
+        let mut client = EdgeClient::new(
+            Box::new(served_backbone),
+            TensorCodec::new(Precision::Float32),
+            Box::new(transport),
+        );
+        client.ping().unwrap();
+        let mut rng = StdRng::seed_from(14);
+        let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let served = client.infer(&x).unwrap();
+        let features = ref_backbone.forward(&x, false).unwrap();
+        for (head, output) in ref_heads.iter_mut().zip(&served) {
+            let direct = head.forward(&features, false).unwrap();
+            assert!(output.allclose(&direct, 1e-6));
+        }
+        drop(client);
+        tcp.stop();
+    }
+
+    #[test]
+    fn tcp_stop_returns_even_with_a_client_still_connected() {
+        let (_, _, server, _) = split_fixture();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = TcpServer::spawn(Arc::clone(&server), listener).unwrap();
+        let transport = TcpTransport::connect(tcp.local_addr()).unwrap();
+        let mut client = EdgeClient::new(Box::new(Sequential::new()), TensorCodec::default(), {
+            Box::new(transport)
+        });
+        client.ping().unwrap();
+        // Stop without dropping the client: the server severs the socket
+        // instead of waiting for a disconnect that never comes.
+        tcp.stop();
+        assert!(client.ping().is_err(), "socket must be closed after stop");
+    }
+
+    #[test]
+    fn server_errors_surface_as_remote_errors() {
+        let (_, _, server, _) = split_fixture();
+        let mut client = EdgeClient::new(
+            Box::new(Sequential::new()),
+            TensorCodec::default(),
+            Box::new(LoopbackTransport::new(server)),
+        );
+        // 5 features instead of 16: the heads must reject it.
+        let bad = Tensor::ones(&[1, 5]);
+        assert!(matches!(
+            client.infer_features(&bad),
+            Err(ServeError::Remote { .. })
+        ));
+    }
+}

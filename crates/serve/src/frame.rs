@@ -1,0 +1,334 @@
+//! The length-prefixed binary frame that crosses the edge↔server link.
+//!
+//! Every message — in both directions — is one [`Frame`]:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic 0x4D544C53 ("MTLS"), little-endian
+//! 4       1     protocol version (currently 1)
+//! 5       1     op code
+//! 6       8     request id, u64 little-endian
+//! 14      4     body length n, u32 little-endian
+//! 18      n     body
+//! ```
+//!
+//! The body of an [`OpCode::InferRequest`] is exactly one
+//! [`mtlsplit_split::WirePayload`] in its binary form; the body of an
+//! [`OpCode::InferResponse`] is the task-output list encoded by
+//! [`crate::wire`]. [`OpCode::Error`] carries a UTF-8 message. Frames are
+//! self-delimiting, so a stream of them needs no extra framing.
+
+use std::io::{Read, Write};
+
+use crate::error::{Result, ServeError};
+
+/// Protocol magic: `b"MTLS"` read as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"MTLS");
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_BYTES: usize = 4 + 1 + 1 + 8 + 4;
+
+/// Default cap on a frame body, protecting servers from corrupt or hostile
+/// length prefixes (64 MiB).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Message kind carried by a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Edge → server: one encoded `Z_b` payload to run through the heads.
+    InferRequest = 1,
+    /// Server → edge: one output payload per task head.
+    InferResponse = 2,
+    /// Edge → server: liveness probe.
+    Ping = 3,
+    /// Server → edge: liveness answer.
+    Pong = 4,
+    /// Server → edge: the request failed; body is a UTF-8 message.
+    Error = 5,
+}
+
+impl OpCode {
+    /// Parses an op code byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownOpCode`] for bytes outside the protocol.
+    pub fn from_byte(code: u8) -> Result<Self> {
+        match code {
+            1 => Ok(OpCode::InferRequest),
+            2 => Ok(OpCode::InferResponse),
+            3 => Ok(OpCode::Ping),
+            4 => Ok(OpCode::Pong),
+            5 => Ok(OpCode::Error),
+            _ => Err(ServeError::UnknownOpCode { code }),
+        }
+    }
+}
+
+/// One protocol message: header plus opaque body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen id echoed back by the server, correlating requests with
+    /// responses.
+    pub request_id: u64,
+    /// Message kind.
+    pub op: OpCode,
+    /// Message body; its meaning depends on `op`.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(op: OpCode, request_id: u64, body: Vec<u8>) -> Self {
+        Self {
+            request_id,
+            op,
+            body,
+        }
+    }
+
+    /// Creates an [`OpCode::Error`] frame carrying `message`.
+    pub fn error(request_id: u64, message: &str) -> Self {
+        Self::new(OpCode::Error, request_id, message.as_bytes().to_vec())
+    }
+
+    /// Exact size of the encoded frame in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + self.body.len()
+    }
+
+    /// Encodes the frame into its binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(self.op as u8);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decodes a frame from a buffer that must contain exactly one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServeError`] on truncation, bad magic, an unknown
+    /// version or op code, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(ServeError::Truncated {
+                needed: HEADER_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(ServeError::BadMagic { found: magic });
+        }
+        let version = bytes[4];
+        if version != VERSION {
+            return Err(ServeError::UnsupportedVersion { found: version });
+        }
+        let op = OpCode::from_byte(bytes[5])?;
+        let request_id = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+        let body_len = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
+        let total = HEADER_BYTES + body_len;
+        if bytes.len() != total {
+            return Err(ServeError::Truncated {
+                needed: total,
+                got: bytes.len(),
+            });
+        }
+        Ok(Self {
+            request_id,
+            op,
+            body: bytes[HEADER_BYTES..].to_vec(),
+        })
+    }
+
+    /// Writes the encoded frame to `writer` and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<()> {
+        writer.write_all(&self.encode())?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame from `reader`, enforcing `max_body` on the declared
+    /// body length before allocating.
+    ///
+    /// Returns `Ok(None)` if the stream is cleanly closed before the first
+    /// header byte — the peer hung up between frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServeError`] on protocol violations and
+    /// [`ServeError::Io`] on socket failures, including streams cut mid-frame.
+    pub fn read_from<R: Read>(reader: &mut R, max_body: usize) -> Result<Option<Self>> {
+        let mut header = [0u8; HEADER_BYTES];
+        let mut filled = 0usize;
+        while filled < HEADER_BYTES {
+            let n = reader.read(&mut header[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(ServeError::Truncated {
+                    needed: HEADER_BYTES,
+                    got: filled,
+                });
+            }
+            filled += n;
+        }
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(ServeError::BadMagic { found: magic });
+        }
+        if header[4] != VERSION {
+            return Err(ServeError::UnsupportedVersion { found: header[4] });
+        }
+        let op = OpCode::from_byte(header[5])?;
+        let request_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+        let body_len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+        if body_len > max_body {
+            return Err(ServeError::Oversized {
+                len: body_len,
+                max: max_body,
+            });
+        }
+        let mut body = vec![0u8; body_len];
+        reader.read_exact(&mut body)?;
+        Ok(Some(Self {
+            request_id,
+            op,
+            body,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(OpCode::InferRequest, 42, vec![1, 2, 3, 4, 5])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in [
+            OpCode::InferRequest,
+            OpCode::InferResponse,
+            OpCode::Ping,
+            OpCode::Pong,
+            OpCode::Error,
+        ] {
+            let frame = Frame::new(op, u64::MAX - 3, vec![9; 17]);
+            let decoded = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let frame = sample();
+        assert_eq!(frame.encode().len(), frame.encoded_len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_corruption() {
+        let good = sample().encode();
+        for cut in [0, 4, HEADER_BYTES - 1, good.len() - 1] {
+            assert!(matches!(
+                Frame::decode(&good[..cut]),
+                Err(ServeError::Truncated { .. })
+            ));
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            Frame::decode(&trailing),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bad_magic),
+            Err(ServeError::BadMagic { .. })
+        ));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            Frame::decode(&bad_version),
+            Err(ServeError::UnsupportedVersion { found: 9 })
+        ));
+        let mut bad_op = good;
+        bad_op[5] = 200;
+        assert!(matches!(
+            Frame::decode(&bad_op),
+            Err(ServeError::UnknownOpCode { code: 200 })
+        ));
+    }
+
+    #[test]
+    fn stream_round_trip_and_clean_eof() {
+        let mut buffer = Vec::new();
+        sample().write_to(&mut buffer).unwrap();
+        Frame::new(OpCode::Ping, 7, Vec::new())
+            .write_to(&mut buffer)
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(buffer);
+        let first = Frame::read_from(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(first, sample());
+        let second = Frame::read_from(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.op, OpCode::Ping);
+        // Clean end-of-stream between frames is not an error.
+        assert!(Frame::read_from(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn read_rejects_oversized_bodies_before_allocating() {
+        let mut bytes = sample().encode();
+        // Rewrite the length prefix to claim a 1 GiB body.
+        bytes[14..18].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            Frame::read_from(&mut cursor, 1024),
+            Err(ServeError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn read_reports_streams_cut_mid_frame() {
+        let bytes = sample().encode();
+        let mut cursor = std::io::Cursor::new(bytes[..HEADER_BYTES + 2].to_vec());
+        assert!(matches!(
+            Frame::read_from(&mut cursor, DEFAULT_MAX_BODY_BYTES),
+            Err(ServeError::Io(_))
+        ));
+        let mut header_cut = std::io::Cursor::new(bytes[..7].to_vec());
+        assert!(matches!(
+            Frame::read_from(&mut header_cut, DEFAULT_MAX_BODY_BYTES),
+            Err(ServeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_spells_mtls() {
+        assert_eq!(&MAGIC.to_le_bytes(), b"MTLS");
+    }
+}

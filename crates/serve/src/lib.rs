@@ -1,0 +1,82 @@
+//! `mtlsplit-serve`: the deployable edge↔server serving subsystem for
+//! MTL-Split.
+//!
+//! Where [`mtlsplit_split::SplitPipeline`] *simulates* the split deployment
+//! with an analytical channel model, this crate actually runs it: an
+//! [`EdgeClient`] executes the shared backbone on-device, encodes the
+//! compact representation `Z_b` with the existing
+//! [`mtlsplit_split::TensorCodec`], and ships it through a pluggable
+//! [`Transport`] to an [`InferenceServer`] that owns the task heads,
+//! coalesces concurrent requests into batched forward passes and streams the
+//! per-task outputs back.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`frame`] — the length-prefixed binary wire protocol. One [`Frame`] =
+//!   magic, version, op code, request id, body. Request bodies carry the
+//!   exact [`mtlsplit_split::WirePayload`] encoding, so the simulator's byte
+//!   accounting and the real socket agree bit for bit.
+//! * [`Transport`] — one synchronous round-trip. [`TcpTransport`] speaks to
+//!   a real socket; [`LoopbackTransport`] calls the server in-process and
+//!   charges a [`mtlsplit_split::ChannelModel`] for every frame, keeping
+//!   tests and benches hermetic and deterministic.
+//! * [`InferenceServer`] — task heads behind a bounded queue with adaptive
+//!   micro-batching, plus [`ServeMetrics`] (throughput, p50/p95/p99 latency,
+//!   wire bytes). [`TcpServer`] is its thread-per-connection TCP front-end.
+//! * [`EdgeClient`] — the on-device half.
+//!
+//! See the repository's top-level `README.md` for the crate map, an
+//! edge↔server architecture sketch and a copy-paste quickstart for the
+//! `serve_demo` example, which runs a real client/server round-trip over TCP
+//! on localhost.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mtlsplit_nn::{Layer, Linear, Sequential};
+//! use mtlsplit_serve::{EdgeClient, InferenceServer, LoopbackTransport, ServerConfig};
+//! use mtlsplit_split::{Precision, TensorCodec};
+//! use mtlsplit_tensor::{StdRng, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from(0);
+//! // Server side: one task head behind the batching queue.
+//! let head: Box<dyn Layer + Send> =
+//!     Box::new(Sequential::new().push(Linear::new(16, 4, &mut rng)));
+//! let server = Arc::new(InferenceServer::start(vec![head], ServerConfig::default()));
+//!
+//! // Edge side: a backbone plus a hermetic in-process transport.
+//! let backbone: Box<dyn Layer + Send> =
+//!     Box::new(Sequential::new().push(Linear::new(8, 16, &mut rng)));
+//! let mut client = EdgeClient::new(
+//!     backbone,
+//!     TensorCodec::new(Precision::Float32),
+//!     Box::new(LoopbackTransport::new(Arc::clone(&server))),
+//! );
+//!
+//! let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
+//! let outputs = client.infer(&x)?;
+//! assert_eq!(outputs[0].dims(), &[2, 4]);
+//! println!("{}", server.metrics().summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod client;
+mod error;
+pub mod frame;
+mod metrics;
+mod server;
+mod transport;
+pub mod wire;
+
+pub use client::EdgeClient;
+pub use error::{Result, ServeError};
+pub use frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES, HEADER_BYTES, MAGIC, VERSION};
+pub use metrics::ServeMetrics;
+pub use server::{InferenceServer, ServerConfig, TcpServer};
+pub use transport::{LoopbackTransport, TcpTransport, Transport};

@@ -1,0 +1,211 @@
+//! Per-request serving metrics: throughput, latency percentiles, wire bytes.
+
+use std::time::Instant;
+
+/// Running metric accumulator owned by the server (behind a mutex).
+///
+/// The recorder is `Clone` so a caller can copy it out under the lock and
+/// compute the (sorting) snapshot without blocking the serving worker.
+#[derive(Debug, Clone)]
+pub(crate) struct MetricsRecorder {
+    started: Instant,
+    requests: u64,
+    errors: u64,
+    batches: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    /// Sliding window of per-request service latencies in seconds (enqueue →
+    /// response encoded): a ring buffer of the most recent [`MAX_SAMPLES`],
+    /// so percentiles track current traffic, not startup traffic.
+    latencies: Vec<f64>,
+    next_slot: usize,
+}
+
+/// Cap on retained latency samples so a long-lived server stays bounded.
+const MAX_SAMPLES: usize = 100_000;
+
+impl MetricsRecorder {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: 0,
+            errors: 0,
+            batches: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            latencies: Vec::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// One head forward pass executed (over however many coalesced requests).
+    pub(crate) fn record_forward(&mut self) {
+        self.batches += 1;
+    }
+
+    /// One request answered (successfully or not).
+    pub(crate) fn record_request(&mut self, latency_s: f64, bytes_in: usize, bytes_out: usize) {
+        self.requests += 1;
+        self.bytes_in += bytes_in as u64;
+        self.bytes_out += bytes_out as u64;
+        if self.latencies.len() < MAX_SAMPLES {
+            self.latencies.push(latency_s);
+        } else {
+            // Overwrite the oldest sample: the window slides.
+            self.latencies[self.next_slot] = latency_s;
+        }
+        self.next_slot = (self.next_slot + 1) % MAX_SAMPLES;
+    }
+
+    pub(crate) fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeMetrics {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let percentile = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        let wall = self.started.elapsed().as_secs_f64();
+        ServeMetrics {
+            requests: self.requests,
+            errors: self.errors,
+            batches: self.batches,
+            bytes_in: self.bytes_in,
+            bytes_out: self.bytes_out,
+            wall_seconds: wall,
+            requests_per_second: if wall > 0.0 {
+                self.requests as f64 / wall
+            } else {
+                0.0
+            },
+            mean_batch_size: if self.batches == 0 {
+                0.0
+            } else {
+                self.requests as f64 / self.batches as f64
+            },
+            p50_latency_s: percentile(0.50),
+            p95_latency_s: percentile(0.95),
+            p99_latency_s: percentile(0.99),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's serving metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Requests answered (including errored ones).
+    pub requests: u64,
+    /// Requests that ended in an application error.
+    pub errors: u64,
+    /// Head forward passes executed; `requests / batches` is the achieved
+    /// coalescing factor.
+    pub batches: u64,
+    /// Payload bytes received from clients.
+    pub bytes_in: u64,
+    /// Payload bytes sent back to clients.
+    pub bytes_out: u64,
+    /// Seconds since the server started.
+    pub wall_seconds: f64,
+    /// Requests per wall-clock second since startup.
+    pub requests_per_second: f64,
+    /// Mean number of requests coalesced into one head forward pass.
+    pub mean_batch_size: f64,
+    /// Median service latency in seconds (enqueue → response encoded).
+    pub p50_latency_s: f64,
+    /// 95th-percentile service latency in seconds.
+    pub p95_latency_s: f64,
+    /// 99th-percentile service latency in seconds.
+    pub p99_latency_s: f64,
+}
+
+impl ServeMetrics {
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} req in {:.2}s ({:.0} req/s), {} batches (mean {:.2} req/batch), \
+             p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, {} B in / {} B out, {} errors",
+            self.requests,
+            self.wall_seconds,
+            self.requests_per_second,
+            self.batches,
+            self.mean_batch_size,
+            self.p50_latency_s * 1e3,
+            self.p95_latency_s * 1e3,
+            self.p99_latency_s * 1e3,
+            self.bytes_in,
+            self.bytes_out,
+            self.errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_come_from_the_sorted_samples() {
+        let mut recorder = MetricsRecorder::new();
+        recorder.record_forward();
+        for i in 0..100 {
+            recorder.record_request((i + 1) as f64 / 1000.0, 10, 20);
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.requests, 100);
+        assert_eq!(snapshot.batches, 1);
+        assert_eq!(snapshot.bytes_in, 1000);
+        assert_eq!(snapshot.bytes_out, 2000);
+        assert!((snapshot.p50_latency_s - 0.050).abs() < 0.002);
+        assert!((snapshot.p95_latency_s - 0.095).abs() < 0.002);
+        assert!(snapshot.p99_latency_s >= snapshot.p95_latency_s);
+        assert!(snapshot.p95_latency_s >= snapshot.p50_latency_s);
+    }
+
+    #[test]
+    fn empty_recorder_reports_zeros() {
+        let snapshot = MetricsRecorder::new().snapshot();
+        assert_eq!(snapshot.requests, 0);
+        assert_eq!(snapshot.p95_latency_s, 0.0);
+        assert_eq!(snapshot.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn mean_batch_size_reflects_coalescing() {
+        let mut recorder = MetricsRecorder::new();
+        recorder.record_forward();
+        recorder.record_forward();
+        for _ in 0..12 {
+            recorder.record_request(0.001, 1, 1);
+        }
+        assert!((recorder.snapshot().mean_batch_size - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_is_printable() {
+        let summary = MetricsRecorder::new().snapshot().summary();
+        assert!(summary.contains("req/s"));
+    }
+
+    #[test]
+    fn latency_window_slides_past_the_sample_cap() {
+        let mut recorder = MetricsRecorder::new();
+        // Fill the whole window with fast requests, then overwrite it with
+        // slow ones: the percentiles must follow the recent traffic.
+        for _ in 0..MAX_SAMPLES {
+            recorder.record_request(0.001, 1, 1);
+        }
+        assert!((recorder.snapshot().p95_latency_s - 0.001).abs() < 1e-9);
+        for _ in 0..MAX_SAMPLES {
+            recorder.record_request(0.5, 1, 1);
+        }
+        let snapshot = recorder.snapshot();
+        assert!((snapshot.p50_latency_s - 0.5).abs() < 1e-9);
+        assert_eq!(snapshot.requests, 2 * MAX_SAMPLES as u64);
+    }
+}

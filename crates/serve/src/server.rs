@@ -1,0 +1,636 @@
+//! The server half of the deployment: task heads behind a bounded request
+//! queue with adaptive micro-batching.
+//!
+//! An [`InferenceServer`] owns the task heads on a dedicated worker thread.
+//! Requests enter through a bounded queue (backpressure: submitters block
+//! when it is full); the worker drains up to
+//! [`ServerConfig::max_batch`] pending requests at once, coalesces the
+//! decoded `Z_b` tensors that share a feature shape into one batched forward
+//! pass per head, then splits the outputs back out per request. Under light
+//! load a request is served alone (no added latency); under bursts the
+//! backbone of each head runs once per batch instead of once per request —
+//! the classic adaptive micro-batching trade.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mtlsplit_nn::Layer;
+use mtlsplit_split::{Precision, TensorCodec, WirePayload};
+use mtlsplit_tensor::Tensor;
+
+use crate::error::{Result, ServeError};
+use crate::frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES};
+use crate::metrics::{MetricsRecorder, ServeMetrics};
+use crate::wire::encode_response;
+
+/// Configuration of an [`InferenceServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Maximum number of pending requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Capacity of the bounded request queue; submitters block when full.
+    pub queue_depth: usize,
+    /// Maximum accepted frame body, guarding against corrupt length prefixes.
+    pub max_body_bytes: usize,
+    /// Wire precision of response payloads. `Float32` keeps server outputs
+    /// bit-exact with a monolithic forward pass.
+    pub response_precision: Precision,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            queue_depth: 256,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            response_precision: Precision::Float32,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Returns this configuration with the given batching limit.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+}
+
+/// Requests that share a per-sample feature shape, keyed by that shape.
+type ShapeGroup = (Vec<usize>, Vec<(Request, Tensor)>);
+
+/// One queued inference request.
+struct Request {
+    payload: WirePayload,
+    enqueued: Instant,
+    responder: Sender<std::result::Result<Vec<WirePayload>, String>>,
+}
+
+/// The server half of an MTL-Split deployment: task heads plus the batching
+/// worker that drives them.
+///
+/// The server is transport-agnostic: [`InferenceServer::process`] maps one
+/// request [`Frame`] to one response [`Frame`], and both the TCP listener and
+/// the in-process loopback transport call exactly that method — so a
+/// simulated deployment and a socket deployment execute identical code.
+pub struct InferenceServer {
+    tx: Mutex<Option<SyncSender<Request>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    metrics: Arc<Mutex<MetricsRecorder>>,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for InferenceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceServer")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl InferenceServer {
+    /// Starts a server over the given task heads.
+    ///
+    /// The heads move to a dedicated worker thread; they run in inference
+    /// mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 255 heads are supplied — the wire protocol's
+    /// response body carries the task count in one byte.
+    pub fn start(heads: Vec<Box<dyn Layer + Send>>, config: ServerConfig) -> Self {
+        assert!(
+            heads.len() <= u8::MAX as usize,
+            "the wire protocol supports at most 255 task heads, got {}",
+            heads.len()
+        );
+        let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth.max(1));
+        let metrics = Arc::new(Mutex::new(MetricsRecorder::new()));
+        let worker_metrics = Arc::clone(&metrics);
+        let max_batch = config.max_batch.max(1);
+        let response_precision = config.response_precision;
+        let worker = std::thread::Builder::new()
+            .name("mtlsplit-serve-worker".to_string())
+            .spawn(move || worker_loop(rx, heads, max_batch, response_precision, worker_metrics))
+            .expect("spawn server worker thread");
+        Self {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            metrics,
+            config,
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A point-in-time snapshot of the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        // Copy the recorder out under the lock; the percentile sort then
+        // runs without blocking the serving worker.
+        let recorder = self.metrics.lock().expect("metrics lock").clone();
+        recorder.snapshot()
+    }
+
+    /// Submits one decoded payload and blocks until the worker responds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ServerUnavailable`] if the server has shut down,
+    /// [`ServeError::Remote`] if the heads rejected the payload.
+    pub fn infer(&self, payload: WirePayload) -> Result<Vec<WirePayload>> {
+        let sender = {
+            let guard = self.tx.lock().expect("queue lock");
+            guard.clone().ok_or(ServeError::ServerUnavailable)?
+        };
+        let (rtx, rrx) = mpsc::channel();
+        let request = Request {
+            payload,
+            enqueued: Instant::now(),
+            responder: rtx,
+        };
+        sender
+            .send(request)
+            .map_err(|_| ServeError::ServerUnavailable)?;
+        match rrx.recv() {
+            Ok(Ok(outputs)) => Ok(outputs),
+            Ok(Err(message)) => Err(ServeError::Remote { message }),
+            Err(_) => Err(ServeError::ServerUnavailable),
+        }
+    }
+
+    /// Maps one request frame to one response frame.
+    ///
+    /// This is the single entry point shared by every transport. It never
+    /// fails: protocol or inference problems come back as [`OpCode::Error`]
+    /// frames carrying a message, mirroring what a remote client would see.
+    pub fn process(&self, frame: &Frame) -> Frame {
+        match frame.op {
+            OpCode::Ping => Frame::new(OpCode::Pong, frame.request_id, Vec::new()),
+            OpCode::InferRequest => self.process_infer(frame),
+            other => {
+                self.metrics.lock().expect("metrics lock").record_error();
+                Frame::error(
+                    frame.request_id,
+                    &format!("server cannot handle a {other:?} frame"),
+                )
+            }
+        }
+    }
+
+    fn process_infer(&self, frame: &Frame) -> Frame {
+        let payload = match WirePayload::decode(&frame.body) {
+            Ok(payload) => payload,
+            Err(err) => {
+                self.metrics.lock().expect("metrics lock").record_error();
+                return Frame::error(frame.request_id, &err.to_string());
+            }
+        };
+        match self.infer(payload) {
+            Ok(outputs) => Frame::new(
+                OpCode::InferResponse,
+                frame.request_id,
+                encode_response(&outputs),
+            ),
+            Err(err) => Frame::error(frame.request_id, &err.to_string()),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue and joins the worker.
+    pub fn shutdown(&self) {
+        // Dropping the only sender ends the worker's recv loop.
+        self.tx.lock().expect("queue lock").take();
+        if let Some(worker) = self.worker.lock().expect("worker lock").take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Drains the queue and serves batches until every sender is gone.
+fn worker_loop(
+    rx: Receiver<Request>,
+    mut heads: Vec<Box<dyn Layer + Send>>,
+    max_batch: usize,
+    response_precision: Precision,
+    metrics: Arc<Mutex<MetricsRecorder>>,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(request) => batch.push(request),
+                Err(_) => break,
+            }
+        }
+        serve_batch(&mut heads, batch, response_precision, &metrics);
+    }
+}
+
+/// Decodes a drained batch, coalesces compatible payloads, runs the heads
+/// and answers every request.
+fn serve_batch(
+    heads: &mut [Box<dyn Layer + Send>],
+    batch: Vec<Request>,
+    response_precision: Precision,
+    metrics: &Arc<Mutex<MetricsRecorder>>,
+) {
+    let codec = TensorCodec::default();
+    // Decode every payload; answer undecodable ones immediately.
+    let mut decoded: Vec<(Request, Tensor)> = Vec::with_capacity(batch.len());
+    for request in batch {
+        match codec.decode(&request.payload) {
+            Ok(tensor) => decoded.push((request, tensor)),
+            Err(err) => {
+                let mut guard = metrics.lock().expect("metrics lock");
+                guard.record_error();
+                guard.record_request(
+                    request.enqueued.elapsed().as_secs_f64(),
+                    request.payload.wire_bytes(),
+                    0,
+                );
+                let _ = request.responder.send(Err(format!("bad payload: {err}")));
+            }
+        }
+    }
+    // Coalesce requests whose Z_b share the per-sample feature shape; a
+    // request with a different shape (or a rank-<2 tensor) forms its own
+    // group, preserving arrival order within each group.
+    let mut groups: Vec<ShapeGroup> = Vec::new();
+    for (request, tensor) in decoded {
+        let key: Vec<usize> = if tensor.rank() >= 2 {
+            tensor.dims()[1..].to_vec()
+        } else {
+            Vec::new()
+        };
+        let batchable = tensor.rank() >= 2;
+        match groups
+            .iter_mut()
+            .find(|(k, _)| batchable && !k.is_empty() && *k == key)
+        {
+            Some((_, members)) => members.push((request, tensor)),
+            None => groups.push((key, vec![(request, tensor)])),
+        }
+    }
+    for (_, members) in groups {
+        serve_group(heads, members, response_precision, metrics);
+    }
+}
+
+/// Runs one coalesced forward pass and distributes the outputs.
+fn serve_group(
+    heads: &mut [Box<dyn Layer + Send>],
+    members: Vec<(Request, Tensor)>,
+    response_precision: Precision,
+    metrics: &Arc<Mutex<MetricsRecorder>>,
+) {
+    let response_codec = TensorCodec::new(response_precision);
+    let rows: Vec<usize> = members
+        .iter()
+        .map(|(_, t)| t.dims().first().copied().unwrap_or(1))
+        .collect();
+    let outcome = (|| -> std::result::Result<Vec<Vec<WirePayload>>, String> {
+        let tensors: Vec<&Tensor> = members.iter().map(|(_, t)| t).collect();
+        let stacked;
+        let input: &Tensor = if tensors.len() == 1 {
+            tensors[0]
+        } else {
+            stacked = Tensor::concat_batch(&tensors).map_err(|e| e.to_string())?;
+            &stacked
+        };
+        // One forward pass per head over the whole group.
+        let mut head_outputs = Vec::with_capacity(heads.len());
+        for head in heads.iter_mut() {
+            head_outputs.push(head.forward(input, false).map_err(|e| e.to_string())?);
+        }
+        metrics.lock().expect("metrics lock").record_forward();
+        // Split each head's stacked output back into per-request payloads.
+        let mut per_request: Vec<Vec<WirePayload>> = vec![Vec::new(); members.len()];
+        let mut offset = 0usize;
+        for (index, &request_rows) in rows.iter().enumerate() {
+            for output in &head_outputs {
+                let slice = if members.len() == 1 {
+                    output.clone()
+                } else {
+                    output
+                        .slice_batch(offset, offset + request_rows)
+                        .map_err(|e| e.to_string())?
+                };
+                per_request[index].push(response_codec.encode(&slice));
+            }
+            offset += request_rows;
+        }
+        Ok(per_request)
+    })();
+    match outcome {
+        Ok(per_request) => {
+            for ((request, _), outputs) in members.into_iter().zip(per_request) {
+                let bytes_out: usize = outputs.iter().map(WirePayload::wire_bytes).sum();
+                metrics.lock().expect("metrics lock").record_request(
+                    request.enqueued.elapsed().as_secs_f64(),
+                    request.payload.wire_bytes(),
+                    bytes_out,
+                );
+                let _ = request.responder.send(Ok(outputs));
+            }
+        }
+        Err(message) => {
+            for (request, _) in members {
+                let mut guard = metrics.lock().expect("metrics lock");
+                guard.record_error();
+                guard.record_request(
+                    request.enqueued.elapsed().as_secs_f64(),
+                    request.payload.wire_bytes(),
+                    0,
+                );
+                let _ = request.responder.send(Err(message.clone()));
+            }
+        }
+    }
+}
+
+/// A background TCP front-end for an [`InferenceServer`].
+///
+/// Each accepted connection gets its own thread that reads frames, calls
+/// [`InferenceServer::process`] and writes the responses back — a classic
+/// thread-per-connection design that needs no async runtime.
+pub struct TcpServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+/// A live connection: its worker thread plus a stream handle that `halt`
+/// can shut down to unblock the thread's read.
+struct Connection {
+    thread: JoinHandle<()>,
+    stream: Option<std::net::TcpStream>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl TcpServer {
+    /// Serves `server` on `listener` until [`TcpServer::stop`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener's local address cannot be read.
+    pub fn spawn(server: Arc<InferenceServer>, listener: std::net::TcpListener) -> Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("mtlsplit-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_server = Arc::clone(&server);
+                    let max_body = conn_server.config().max_body_bytes;
+                    let shutdown_handle = stream.try_clone().ok();
+                    let thread = std::thread::Builder::new()
+                        .name("mtlsplit-serve-conn".to_string())
+                        .spawn(move || serve_connection(stream, conn_server, max_body))
+                        .expect("spawn connection thread");
+                    let mut guard = accept_connections.lock().expect("conn lock");
+                    // Reap finished connections so a long-lived server does
+                    // not accumulate one JoinHandle per past client.
+                    guard.retain(|c: &Connection| !c.thread.is_finished());
+                    guard.push(Connection {
+                        thread,
+                        stream: shutdown_handle,
+                    });
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(Self {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections, severs any connections still open and
+    /// joins every connection thread. Clients that are mid-conversation see
+    /// their socket close, exactly as on a server restart.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = std::net::TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        let connections: Vec<Connection> =
+            std::mem::take(&mut *self.connections.lock().expect("conn lock"));
+        for connection in connections {
+            // Force any blocked read to return so the join cannot hang on a
+            // client that never disconnects.
+            if let Some(stream) = &connection.stream {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = connection.thread.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.halt();
+        }
+    }
+}
+
+/// Frame loop for one accepted connection.
+fn serve_connection(stream: std::net::TcpStream, server: Arc<InferenceServer>, max_body: usize) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    // A clean disconnect (`Ok(None)`), protocol garbage or a dead socket
+    // all end the connection; the server itself keeps running.
+    while let Ok(Some(frame)) = Frame::read_from(&mut reader, max_body) {
+        let response = server.process(&frame);
+        if response.write_to(&mut writer).is_err() {
+            break;
+        }
+    }
+}
+
+/// Returns a queue-full error when `sender` cannot take another request
+/// without blocking. Currently unused by [`InferenceServer::infer`] (which
+/// prefers backpressure) but kept for non-blocking front-ends.
+#[allow(dead_code)]
+fn try_submit(sender: &SyncSender<Request>, request: Request) -> Result<()> {
+    sender.try_send(request).map_err(|err| match err {
+        TrySendError::Full(_) => ServeError::QueueFull,
+        TrySendError::Disconnected(_) => ServeError::ServerUnavailable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_nn::{Linear, Sequential};
+    use mtlsplit_tensor::StdRng;
+
+    fn head(features: usize, classes: usize, rng: &mut StdRng) -> Box<dyn Layer + Send> {
+        Box::new(Sequential::new().push(Linear::new(features, classes, rng)))
+    }
+
+    fn payload(rows: usize, features: usize, rng: &mut StdRng) -> WirePayload {
+        TensorCodec::default().encode(&Tensor::randn(&[rows, features], 0.0, 1.0, rng))
+    }
+
+    #[test]
+    fn serves_one_request_through_the_queue() {
+        let mut rng = StdRng::seed_from(1);
+        let server = InferenceServer::start(
+            vec![head(16, 4, &mut rng), head(16, 3, &mut rng)],
+            ServerConfig::default(),
+        );
+        let outputs = server.infer(payload(2, 16, &mut rng)).unwrap();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].dims, vec![2, 4]);
+        assert_eq!(outputs[1].dims, vec![2, 3]);
+        let metrics = server.metrics();
+        assert_eq!(metrics.requests, 1);
+        assert_eq!(metrics.batches, 1);
+    }
+
+    #[test]
+    fn batched_outputs_match_individual_forward_passes() {
+        let mut rng = StdRng::seed_from(2);
+        let mut reference = Sequential::new().push(Linear::new(8, 5, &mut rng));
+        let mut clone_rng = StdRng::seed_from(2);
+        let server = InferenceServer::start(
+            vec![head(8, 5, &mut clone_rng)],
+            ServerConfig::default().with_max_batch(4),
+        );
+        let codec = TensorCodec::default();
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng))
+            .collect();
+        // The server head was built from the same seed, so weights agree.
+        for input in &inputs {
+            let direct = reference.forward(input, false).unwrap();
+            let outputs = server.infer(codec.encode(input)).unwrap();
+            let served = codec.decode(&outputs[0]).unwrap();
+            assert!(served.allclose(&direct, 1e-6));
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_are_coalesced() {
+        let mut rng = StdRng::seed_from(3);
+        let server = Arc::new(InferenceServer::start(
+            vec![head(8, 2, &mut rng)],
+            ServerConfig::default().with_max_batch(32),
+        ));
+        let clients: Vec<_> = (0..16)
+            .map(|seed| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from(100 + seed);
+                    let codec = TensorCodec::default();
+                    for _ in 0..8 {
+                        let z = Tensor::randn(&[1, 8], 0.0, 1.0, &mut rng);
+                        let outputs = server.infer(codec.encode(&z)).unwrap();
+                        assert_eq!(outputs[0].dims, vec![1, 2]);
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().unwrap();
+        }
+        let metrics = server.metrics();
+        assert_eq!(metrics.requests, 128);
+        assert_eq!(metrics.errors, 0);
+        // With 16 concurrent producers at least some coalescing must happen.
+        assert!(
+            metrics.batches < metrics.requests,
+            "no batching at all: {} batches for {} requests",
+            metrics.batches,
+            metrics.requests
+        );
+    }
+
+    #[test]
+    fn mismatched_feature_widths_are_not_coalesced_but_still_served() {
+        let mut rng = StdRng::seed_from(4);
+        // Head expects 8 features; a 7-feature request must fail alone
+        // without poisoning the 8-feature requests sharing its drain.
+        let server = Arc::new(InferenceServer::start(
+            vec![head(8, 2, &mut rng)],
+            ServerConfig::default().with_max_batch(8),
+        ));
+        let good = server.infer(payload(1, 8, &mut rng));
+        let bad = server.infer(payload(1, 7, &mut rng));
+        assert!(good.is_ok());
+        assert!(matches!(bad, Err(ServeError::Remote { .. })));
+        assert_eq!(server.metrics().errors, 1);
+    }
+
+    #[test]
+    fn process_maps_protocol_errors_to_error_frames() {
+        let mut rng = StdRng::seed_from(5);
+        let server = InferenceServer::start(vec![head(4, 2, &mut rng)], ServerConfig::default());
+        // Garbage body.
+        let garbage = Frame::new(OpCode::InferRequest, 9, vec![1, 2, 3]);
+        let response = server.process(&garbage);
+        assert_eq!(response.op, OpCode::Error);
+        assert_eq!(response.request_id, 9);
+        // Wrong direction op code.
+        let backwards = Frame::new(OpCode::InferResponse, 10, Vec::new());
+        assert_eq!(server.process(&backwards).op, OpCode::Error);
+        // Ping still works.
+        let pong = server.process(&Frame::new(OpCode::Ping, 11, Vec::new()));
+        assert_eq!(pong.op, OpCode::Pong);
+    }
+
+    #[test]
+    fn shutdown_rejects_further_requests() {
+        let mut rng = StdRng::seed_from(6);
+        let server = InferenceServer::start(vec![head(4, 2, &mut rng)], ServerConfig::default());
+        server.shutdown();
+        assert!(matches!(
+            server.infer(payload(1, 4, &mut rng)),
+            Err(ServeError::ServerUnavailable)
+        ));
+        let response = server.process(&Frame::new(OpCode::InferRequest, 1, Vec::new()));
+        assert_eq!(response.op, OpCode::Error);
+    }
+}

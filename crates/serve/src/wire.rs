@@ -1,0 +1,128 @@
+//! Body encodings layered on top of [`crate::frame::Frame`].
+//!
+//! An infer request body is exactly one [`WirePayload`] in the binary form
+//! defined in `mtlsplit-split`. An infer response body is the per-task output
+//! list:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     task count t
+//! then, t times:
+//!         4     payload length m, u32 little-endian
+//!         m     one WirePayload in binary form
+//! ```
+
+use mtlsplit_split::WirePayload;
+
+use crate::error::{Result, ServeError};
+
+/// Encodes the per-task output payloads of one response.
+///
+/// The task count travels as one byte; `InferenceServer::start` enforces
+/// the matching ≤ 255 head limit at construction time.
+pub fn encode_response(outputs: &[WirePayload]) -> Vec<u8> {
+    debug_assert!(
+        outputs.len() <= u8::MAX as usize,
+        "response task count must fit in one byte"
+    );
+    let total: usize = outputs.iter().map(|p| 4 + p.wire_bytes()).sum();
+    let mut body = Vec::with_capacity(1 + total);
+    body.push(outputs.len() as u8);
+    for payload in outputs {
+        let encoded = payload.encode();
+        body.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        body.extend_from_slice(&encoded);
+    }
+    body
+}
+
+/// Decodes the per-task output payloads of one response body.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Truncated`] if the body ends early and
+/// [`ServeError::Split`] if an embedded payload is malformed.
+pub fn decode_response(body: &[u8]) -> Result<Vec<WirePayload>> {
+    if body.is_empty() {
+        return Err(ServeError::Truncated { needed: 1, got: 0 });
+    }
+    let count = body[0] as usize;
+    let mut outputs = Vec::with_capacity(count);
+    let mut offset = 1usize;
+    for _ in 0..count {
+        if body.len() < offset + 4 {
+            return Err(ServeError::Truncated {
+                needed: offset + 4,
+                got: body.len(),
+            });
+        }
+        let len =
+            u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        offset += 4;
+        if body.len() < offset + len {
+            return Err(ServeError::Truncated {
+                needed: offset + len,
+                got: body.len(),
+            });
+        }
+        outputs.push(WirePayload::decode(&body[offset..offset + len])?);
+        offset += len;
+    }
+    if offset != body.len() {
+        return Err(ServeError::Truncated {
+            needed: offset,
+            got: body.len(),
+        });
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_split::{Precision, TensorCodec};
+    use mtlsplit_tensor::{StdRng, Tensor};
+
+    #[test]
+    fn response_round_trip() {
+        let mut rng = StdRng::seed_from(1);
+        let codec = TensorCodec::new(Precision::Float32);
+        let outputs: Vec<WirePayload> = (0..3)
+            .map(|i| codec.encode(&Tensor::randn(&[2, 3 + i], 0.0, 1.0, &mut rng)))
+            .collect();
+        let body = encode_response(&outputs);
+        assert_eq!(decode_response(&body).unwrap(), outputs);
+    }
+
+    #[test]
+    fn empty_response_round_trip() {
+        let body = encode_response(&[]);
+        assert!(decode_response(&body).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_bodies_are_rejected_with_typed_errors() {
+        let codec = TensorCodec::new(Precision::Quant8);
+        let body = encode_response(&[codec.encode(&Tensor::ones(&[2, 2]))]);
+        assert!(matches!(
+            decode_response(&[]),
+            Err(ServeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_response(&body[..body.len() - 1]),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_response(&trailing),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut corrupt = body;
+        corrupt[5] = 99; // precision tag of the embedded payload
+        assert!(matches!(
+            decode_response(&corrupt),
+            Err(ServeError::Split(_))
+        ));
+    }
+}

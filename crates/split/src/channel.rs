@@ -1,7 +1,5 @@
 //! The communication channel between the edge device and the remote server.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, SplitError};
 
 /// An analytical model of the edge↔server network link.
@@ -12,7 +10,7 @@ use crate::error::{Result, SplitError};
 /// bandwidth. `degradation` captures the "degraded channel conditions" the
 /// paper motivates split computing with: a congested or lossy link retains
 /// only part of its nominal bandwidth (retransmissions, contention).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelModel {
     /// Nominal bandwidth in bits per second.
     pub bandwidth_bps: f64,
@@ -113,7 +111,7 @@ impl ChannelModel {
 }
 
 /// Aggregate result of transferring a batch of payloads over a channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferReport {
     /// Number of payloads transferred.
     pub payloads: usize,
@@ -145,8 +143,11 @@ mod tests {
         // 100 raw inputs of ~115 MB over gigabit: ~98 s (Section 4.2).
         let channel = ChannelModel::gigabit();
         let raw = channel.transfer_batch(115_000_000, 100);
-        assert!(raw.seconds_total > 88.0 && raw.seconds_total < 105.0,
-            "raw transfer took {}", raw.seconds_total);
+        assert!(
+            raw.seconds_total > 88.0 && raw.seconds_total < 105.0,
+            "raw transfer took {}",
+            raw.seconds_total
+        );
         // 100 Z_b payloads of ~1.5 MB: ~12 s in the paper.
         let zb = channel.transfer_batch(1_500_000, 100);
         assert!(zb.seconds_total > 1.0 && zb.seconds_total < 15.0);
@@ -189,9 +190,13 @@ mod tests {
 
     #[test]
     fn presets_are_ordered_by_capacity() {
-        assert!(ChannelModel::gigabit().effective_bandwidth_bps()
-            > ChannelModel::wifi().effective_bandwidth_bps());
-        assert!(ChannelModel::wifi().effective_bandwidth_bps()
-            > ChannelModel::lte_uplink().effective_bandwidth_bps());
+        assert!(
+            ChannelModel::gigabit().effective_bandwidth_bps()
+                > ChannelModel::wifi().effective_bandwidth_bps()
+        );
+        assert!(
+            ChannelModel::wifi().effective_bandwidth_bps()
+                > ChannelModel::lte_uplink().effective_bandwidth_bps()
+        );
     }
 }

@@ -1,11 +1,9 @@
 //! Analytical edge-device model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, SplitError};
 
 /// Broad class of a compute node in the deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// A resource-constrained edge board (Jetson-Nano-like).
     Edge,
@@ -20,7 +18,7 @@ pub enum DeviceClass {
 /// only feasible implementation on the Jetson Nano is restricted to
 /// MobileNetV3"), so memory capacity is the primary attribute; the FLOP rate
 /// supports coarse compute-latency estimates for end-to-end comparisons.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeDevice {
     /// Human-readable device name.
     pub name: String,

@@ -1,14 +1,12 @@
 //! Deployment-paradigm accounting: Local-only, Remote-only and Split
 //! Computing, as compared in Section 4.2 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::channel::{ChannelModel, TransferReport};
 use crate::device::EdgeDevice;
 use crate::error::{Result, SplitError};
 
 /// The three distributed-deep-learning paradigms the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeploymentParadigm {
     /// Everything runs on the edge device (`LoC`): one full network per task.
     LocalOnly,
@@ -39,7 +37,7 @@ impl DeploymentParadigm {
 }
 
 /// Memory placed on each side of the network by a deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryFootprint {
     /// Bytes of model + activation state held on the edge device.
     pub edge_bytes: usize,
@@ -52,7 +50,7 @@ pub struct MemoryFootprint {
 /// `mtlsplit_models::analysis::ModelReport` plus the dataset's raw input
 /// size; keeping them as plain numbers keeps this crate independent of the
 /// model zoo.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Human-readable model name.
     pub model_name: String,
@@ -71,7 +69,7 @@ pub struct WorkloadProfile {
 }
 
 /// Result of analysing one paradigm for a workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentAnalysis {
     /// The paradigm analysed.
     pub paradigm: DeploymentParadigm,
@@ -184,7 +182,9 @@ impl WorkloadProfile {
     /// Computing (the paper reports ≈38 % for two tasks and ≈57 % for three
     /// tasks with EfficientNet).
     pub fn memory_saving_vs_loc(&self) -> f64 {
-        let loc = self.memory_footprint(DeploymentParadigm::LocalOnly).edge_bytes;
+        let loc = self
+            .memory_footprint(DeploymentParadigm::LocalOnly)
+            .edge_bytes;
         let sc = self.memory_footprint(DeploymentParadigm::Split).edge_bytes;
         if loc == 0 {
             0.0
@@ -232,12 +232,19 @@ mod tests {
     fn loc_memory_grows_linearly_with_tasks_and_sc_does_not() {
         let two = paper_like_profile(2);
         let three = paper_like_profile(3);
-        let loc2 = two.memory_footprint(DeploymentParadigm::LocalOnly).edge_bytes;
-        let loc3 = three.memory_footprint(DeploymentParadigm::LocalOnly).edge_bytes;
+        let loc2 = two
+            .memory_footprint(DeploymentParadigm::LocalOnly)
+            .edge_bytes;
+        let loc3 = three
+            .memory_footprint(DeploymentParadigm::LocalOnly)
+            .edge_bytes;
         let sc2 = two.memory_footprint(DeploymentParadigm::Split).edge_bytes;
         let sc3 = three.memory_footprint(DeploymentParadigm::Split).edge_bytes;
         assert!(loc3 > loc2);
-        assert_eq!(sc2, sc3, "the shared backbone does not grow with the task count");
+        assert_eq!(
+            sc2, sc3,
+            "the shared backbone does not grow with the task count"
+        );
     }
 
     #[test]
@@ -245,8 +252,16 @@ mod tests {
         // ~38-50 % for two tasks, ~57-67 % for three tasks.
         let two = paper_like_profile(2);
         let three = paper_like_profile(3);
-        assert!(two.memory_saving_vs_loc() > 0.35, "{}", two.memory_saving_vs_loc());
-        assert!(three.memory_saving_vs_loc() > 0.55, "{}", three.memory_saving_vs_loc());
+        assert!(
+            two.memory_saving_vs_loc() > 0.35,
+            "{}",
+            two.memory_saving_vs_loc()
+        );
+        assert!(
+            three.memory_saving_vs_loc() > 0.55,
+            "{}",
+            three.memory_saving_vs_loc()
+        );
         assert!(three.memory_saving_vs_loc() > two.memory_saving_vs_loc());
     }
 

@@ -9,14 +9,13 @@
 
 use mtlsplit_nn::Layer;
 use mtlsplit_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 use crate::channel::ChannelModel;
 use crate::error::Result;
 use crate::serialize::{Precision, TensorCodec, WirePayload};
 
 /// Timing and size record of one pipeline invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineTiming {
     /// Number of samples in the batch.
     pub batch: usize,

@@ -6,14 +6,14 @@
 //! the standard cheap compression used by split-computing systems — and back.
 
 use mtlsplit_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SplitError};
 
 /// Wire precision for transmitted activations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Precision {
     /// 4 bytes per element, lossless.
+    #[default]
     Float32,
     /// 1 byte per element, min/max affine quantisation.
     Quant8,
@@ -29,8 +29,27 @@ impl Precision {
     }
 }
 
-/// A serialized tensor ready to be "sent" over the simulated channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A serialized tensor ready to be sent over the channel.
+///
+/// The payload has an exact, versionless binary form shared by the
+/// analytical channel simulator and the real wire protocol in
+/// `mtlsplit-serve`:
+///
+/// ```text
+/// offset        size      field
+/// 0             1         precision tag (0 = Float32, 1 = Quant8)
+/// 1             1         rank r (at most MAX_RANK)
+/// 2             4         q_min,   f32 little-endian
+/// 6             4         q_scale, f32 little-endian
+/// 10            8 * r     dims, u64 little-endian each
+/// 10 + 8r       8         data length n, u64 little-endian
+/// 18 + 8r       n         element data
+/// ```
+///
+/// [`WirePayload::wire_bytes`] is therefore not an estimate: it equals
+/// `WirePayload::encode().len()` exactly, so simulator accounting and the
+/// framed transport agree byte for byte.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WirePayload {
     /// The original tensor dimensions.
     pub dims: Vec<usize>,
@@ -44,11 +63,126 @@ pub struct WirePayload {
     pub data: Vec<u8>,
 }
 
+/// Fixed header bytes before the per-dimension fields: precision tag, rank,
+/// `q_min`, `q_scale` and the trailing 8-byte data length.
+const PAYLOAD_FIXED_BYTES: usize = 1 + 1 + 4 + 4 + 8;
+
 impl WirePayload {
-    /// Total size of the payload on the wire, including the small header.
+    /// Maximum tensor rank the wire format can carry.
+    pub const MAX_RANK: usize = 8;
+
+    /// Exact total size of the payload on the wire, including the header.
+    ///
+    /// Always equals `self.encode().len()`.
     pub fn wire_bytes(&self) -> usize {
-        // dims (8 bytes each) + precision tag + two f32 quantisation fields.
-        self.data.len() + self.dims.len() * 8 + 1 + 8
+        PAYLOAD_FIXED_BYTES + self.dims.len() * 8 + self.data.len()
+    }
+
+    /// Encodes the payload into its exact binary wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the binary wire form to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            self.dims.len() <= Self::MAX_RANK,
+            "rank exceeds wire format"
+        );
+        out.push(match self.precision {
+            Precision::Float32 => 0,
+            Precision::Quant8 => 1,
+        });
+        out.push(self.dims.len() as u8);
+        out.extend_from_slice(&self.q_min.to_le_bytes());
+        out.extend_from_slice(&self.q_scale.to_le_bytes());
+        for &d in &self.dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.data);
+    }
+
+    /// Decodes a payload from its exact binary wire form.
+    ///
+    /// The whole buffer must be consumed: trailing bytes are rejected, so a
+    /// framing layer can hand over a message body verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitError::MalformedPayload`] on truncated buffers, unknown
+    /// precision tags, excessive rank, or data lengths that disagree with the
+    /// declared dimensions.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let malformed = |reason: String| SplitError::MalformedPayload { reason };
+        if bytes.len() < PAYLOAD_FIXED_BYTES {
+            return Err(malformed(format!(
+                "payload header needs at least {PAYLOAD_FIXED_BYTES} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let precision = match bytes[0] {
+            0 => Precision::Float32,
+            1 => Precision::Quant8,
+            tag => return Err(malformed(format!("unknown precision tag {tag}"))),
+        };
+        let rank = bytes[1] as usize;
+        if rank > Self::MAX_RANK {
+            return Err(malformed(format!(
+                "rank {rank} exceeds the wire maximum {}",
+                Self::MAX_RANK
+            )));
+        }
+        let q_min = f32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+        let q_scale = f32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+        let dims_end = 10 + rank * 8;
+        if bytes.len() < dims_end + 8 {
+            return Err(malformed(format!(
+                "payload truncated inside the header: rank {rank} needs {} bytes, got {}",
+                dims_end + 8,
+                bytes.len()
+            )));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut elements: usize = 1;
+        for i in 0..rank {
+            let start = 10 + i * 8;
+            let raw = u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"));
+            let dim = usize::try_from(raw)
+                .map_err(|_| malformed(format!("dimension {raw} does not fit in usize")))?;
+            elements = elements
+                .checked_mul(dim)
+                .ok_or_else(|| malformed(format!("element count overflows with dims {dims:?}")))?;
+            dims.push(dim);
+        }
+        let data_len_raw =
+            u64::from_le_bytes(bytes[dims_end..dims_end + 8].try_into().expect("8 bytes"));
+        let data_len = usize::try_from(data_len_raw)
+            .map_err(|_| malformed(format!("data length {data_len_raw} does not fit in usize")))?;
+        let expected = elements
+            .checked_mul(precision.bytes_per_element())
+            .ok_or_else(|| malformed(format!("byte count overflows for dims {dims:?}")))?;
+        if data_len != expected {
+            return Err(malformed(format!(
+                "declared data length {data_len} disagrees with dims {dims:?} at {precision:?} (expected {expected})"
+            )));
+        }
+        let body = &bytes[dims_end + 8..];
+        if body.len() != data_len {
+            return Err(malformed(format!(
+                "payload body has {} bytes, header declares {data_len}",
+                body.len()
+            )));
+        }
+        Ok(Self {
+            dims,
+            precision,
+            q_min,
+            q_scale,
+            data: body.to_vec(),
+        })
     }
 }
 
@@ -56,12 +190,6 @@ impl WirePayload {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TensorCodec {
     precision: Precision,
-}
-
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::Float32
-    }
 }
 
 impl TensorCodec {
@@ -163,10 +291,10 @@ impl TensorCodec {
         }
     }
 
-    /// The wire size in bytes of a tensor with `elements` elements under this
-    /// codec, without actually encoding it.
+    /// The exact wire size in bytes of a tensor with `elements` elements and
+    /// the given rank under this codec, without actually encoding it.
     pub fn wire_bytes_for(&self, elements: usize, rank: usize) -> usize {
-        elements * self.precision.bytes_per_element() + rank * 8 + 1 + 8
+        elements * self.precision.bytes_per_element() + PAYLOAD_FIXED_BYTES + rank * 8
     }
 }
 
@@ -232,5 +360,92 @@ mod tests {
     #[test]
     fn default_codec_is_lossless() {
         assert_eq!(TensorCodec::default().precision(), Precision::Float32);
+    }
+
+    #[test]
+    fn encoded_length_is_exactly_wire_bytes() {
+        let mut rng = StdRng::seed_from(6);
+        let z = Tensor::randn(&[3, 4, 5], 0.0, 1.0, &mut rng);
+        for precision in [Precision::Float32, Precision::Quant8] {
+            let payload = TensorCodec::new(precision).encode(&z);
+            let encoded = payload.encode();
+            assert_eq!(payload.wire_bytes(), encoded.len(), "{precision:?}");
+        }
+    }
+
+    #[test]
+    fn byte_level_round_trip_preserves_the_payload() {
+        let mut rng = StdRng::seed_from(7);
+        let z = Tensor::randn(&[2, 9], -1.0, 2.0, &mut rng);
+        for precision in [Precision::Float32, Precision::Quant8] {
+            let codec = TensorCodec::new(precision);
+            let payload = codec.encode(&z);
+            let restored = WirePayload::decode(&payload.encode()).unwrap();
+            assert_eq!(restored, payload);
+            let decoded = codec.decode(&restored).unwrap();
+            let step = match precision {
+                Precision::Float32 => 1e-7,
+                Precision::Quant8 => (z.max().unwrap() - z.min().unwrap()) / 255.0 + 1e-6,
+            };
+            assert!(decoded.allclose(&z, step));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_and_truncated_buffers() {
+        let payload = TensorCodec::new(Precision::Quant8).encode(&Tensor::ones(&[2, 3]));
+        let good = payload.encode();
+        assert!(WirePayload::decode(&good).is_ok());
+
+        // Empty and short buffers.
+        for cut in [0, 1, 9, good.len() - 1] {
+            assert!(
+                matches!(
+                    WirePayload::decode(&good[..cut]),
+                    Err(SplitError::MalformedPayload { .. })
+                ),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(matches!(
+            WirePayload::decode(&long),
+            Err(SplitError::MalformedPayload { .. })
+        ));
+        // Unknown precision tag.
+        let mut bad_tag = good.clone();
+        bad_tag[0] = 7;
+        assert!(matches!(
+            WirePayload::decode(&bad_tag),
+            Err(SplitError::MalformedPayload { .. })
+        ));
+        // Rank beyond the wire maximum.
+        let mut bad_rank = good.clone();
+        bad_rank[1] = WirePayload::MAX_RANK as u8 + 1;
+        assert!(matches!(
+            WirePayload::decode(&bad_rank),
+            Err(SplitError::MalformedPayload { .. })
+        ));
+        // Data length that disagrees with the dims.
+        let mut bad_len = good.clone();
+        let len_offset = 10 + 2 * 8;
+        bad_len[len_offset] ^= 0xFF;
+        assert!(matches!(
+            WirePayload::decode(&bad_len),
+            Err(SplitError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes() {
+        // A cheap fuzz pass: random buffers must produce errors, not panics.
+        let mut rng = StdRng::seed_from(8);
+        for _ in 0..500 {
+            let len = rng.below(64);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            let _ = WirePayload::decode(&bytes);
+        }
     }
 }

@@ -102,7 +102,9 @@ impl Conv2dSpec {
                 reason: "kernel, stride and groups must be positive".to_string(),
             });
         }
-        if self.in_channels % self.groups != 0 || self.out_channels % self.groups != 0 {
+        if !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
             return Err(TensorError::InvalidWindow {
                 reason: format!(
                     "channels ({} in, {} out) must be divisible by groups ({})",
@@ -355,8 +357,10 @@ pub fn conv2d(
             }
         }
     }
-    Ok(Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
-        .expect("conv2d output buffer matches computed shape"))
+    Ok(
+        Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
+            .expect("conv2d output buffer matches computed shape"),
+    )
 }
 
 /// Gradients of a 2-D convolution.
@@ -405,8 +409,7 @@ pub fn conv2d_backward(
                 let oc = g * cout_g + oc_local;
                 for oy in 0..out_h {
                     for ox in 0..out_w {
-                        let grad =
-                            go[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox];
+                        let grad = go[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox];
                         if grad == 0.0 {
                             continue;
                         }
@@ -483,8 +486,7 @@ pub fn conv2d_im2col(
             for ox in 0..out_w {
                 let row = ((b * out_h + oy) * out_w + ox) * spec.out_channels;
                 for oc in 0..spec.out_channels {
-                    out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] =
-                        flat[row + oc];
+                    out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] = flat[row + oc];
                 }
             }
         }
@@ -497,11 +499,7 @@ mod tests {
     use super::*;
     use crate::rng::StdRng;
 
-    fn finite_difference_check(
-        spec: Conv2dSpec,
-        input_dims: [usize; 4],
-        seed: u64,
-    ) {
+    fn finite_difference_check(spec: Conv2dSpec, input_dims: [usize; 4], seed: u64) {
         let mut rng = StdRng::seed_from(seed);
         let input = Tensor::randn(&input_dims, 0.0, 1.0, &mut rng);
         let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
@@ -619,8 +617,11 @@ mod tests {
     fn depthwise_convolution_keeps_channels_separate() {
         // groups == channels: each output channel only sees its own input channel.
         let spec = Conv2dSpec::new(2, 2, 1).with_groups(2);
-        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let weight = Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1]).unwrap();
         let out = conv2d(&input, &weight, None, &spec).unwrap();
         assert_eq!(out.at(&[0, 0, 0, 0]).unwrap(), 2.0);
@@ -657,11 +658,7 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_differences_dense() {
-        finite_difference_check(
-            Conv2dSpec::new(2, 3, 3).with_padding(1),
-            [1, 2, 5, 5],
-            10,
-        );
+        finite_difference_check(Conv2dSpec::new(2, 3, 3).with_padding(1), [1, 2, 5, 5], 10);
     }
 
     #[test]

@@ -40,8 +40,10 @@ mod tensor;
 
 pub use conv::{col2im, conv2d, conv2d_backward, conv2d_im2col, im2col, Conv2dSpec};
 pub use error::{Result, TensorError};
-pub use ops::{softmax_rows, log_softmax_rows};
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward};
+pub use ops::{log_softmax_rows, softmax_rows};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward,
+};
 pub use rng::StdRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,15 +1,15 @@
 //! Deterministic random number generation used for weight initialisation and
 //! synthetic data generation.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
 /// A seedable, reproducible random number generator.
 ///
 /// Every stochastic component in the workspace (weight initialisation, data
 /// generation, data-loader shuffling, channel noise) draws from an `StdRng`
 /// so experiments are exactly repeatable from a single seed — a requirement
 /// for regenerating the paper's tables deterministically.
+///
+/// Internally this is xoshiro256++ seeded through SplitMix64 — implemented
+/// locally so the workspace builds with no external crates.
 ///
 /// # Example
 ///
@@ -22,14 +22,24 @@ use rand_chacha::ChaCha8Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct StdRng {
-    inner: ChaCha8Rng,
+    state: [u64; 4],
 }
 
 impl StdRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro256++ state, the
+        // initialisation recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         Self {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
         }
     }
 
@@ -43,17 +53,30 @@ impl StdRng {
 
     /// Next raw 32-bit value.
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.gen()
+        (self.next_u64() >> 32) as u32
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        // xoshiro256++ step.
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Uniform `f32` in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Use the top 24 bits so every value is exactly representable.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[low, high)`.
@@ -81,7 +104,15 @@ impl StdRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Rejection sampling over the largest multiple of `bound` to avoid
+        // modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound as u64 + 1) % bound as u64;
+        loop {
+            let draw = self.next_u64();
+            if draw <= zone {
+                return (draw % bound as u64) as usize;
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p` of returning `true`.

@@ -1,7 +1,5 @@
 //! Shape bookkeeping: dimension lists, element counts and index arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, TensorError};
 
 /// The dimensions of a [`crate::Tensor`], stored outermost-first.
@@ -19,7 +17,7 @@ use crate::error::{Result, TensorError};
 /// assert_eq!(shape.len(), 24);
 /// assert_eq!(shape.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
     dims: Vec<usize>,
 }

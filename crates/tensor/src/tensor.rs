@@ -1,7 +1,5 @@
 //! The dense `f32` tensor type and its core operations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, TensorError};
 use crate::rng::StdRng;
 use crate::shape::Shape;
@@ -27,7 +25,7 @@ use crate::shape::Shape;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -226,7 +224,7 @@ impl Tensor {
             });
         }
         let batch = self.dims()[0];
-        let features = if batch == 0 { 0 } else { self.len() / batch };
+        let features = self.len().checked_div(batch).unwrap_or(0);
         self.reshape(&[batch, features])
     }
 
@@ -299,7 +297,7 @@ impl Tensor {
                 reason: format!("batch slice {start}..{end} out of range for batch {batch}"),
             });
         }
-        let per_item = if batch == 0 { 0 } else { self.len() / batch };
+        let per_item = self.len().checked_div(batch).unwrap_or(0);
         let mut dims = self.dims().to_vec();
         dims[0] = end - start;
         Ok(Self {
@@ -322,7 +320,7 @@ impl Tensor {
             });
         }
         let batch = self.dims()[0];
-        let per_item = if batch == 0 { 0 } else { self.len() / batch };
+        let per_item = self.len().checked_div(batch).unwrap_or(0);
         let mut data = Vec::with_capacity(indices.len() * per_item);
         for &i in indices {
             if i >= batch {
@@ -347,9 +345,9 @@ impl Tensor {
     ///
     /// Returns an error if the list is empty or trailing dimensions differ.
     pub fn concat_batch(parts: &[&Tensor]) -> Result<Self> {
-        let first = parts.first().ok_or(TensorError::EmptyTensor {
-            op: "concat_batch",
-        })?;
+        let first = parts
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "concat_batch" })?;
         let trailing = &first.dims()[1..];
         let mut batch = 0;
         let mut data = Vec::new();
@@ -655,8 +653,8 @@ impl Tensor {
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot += self.data[r * cols + c];
             }
         }
         Ok(Self {

@@ -10,7 +10,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p mtlsplit-core --example automotive_multitask
+//! cargo run --release -p mtlsplit --example automotive_multitask
 //! ```
 
 use std::error::Error;
@@ -77,7 +77,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             "  {:<16} edge memory {:>9.1} MB ({:<12}) uplink {:>9.2} MB total, {:>8.1} s transfer",
             analysis.paradigm.label(),
             analysis.memory.edge_bytes as f64 / 1e6,
-            if analysis.fits_on_edge { "fits" } else { "does not fit" },
+            if analysis.fits_on_edge {
+                "fits"
+            } else {
+                "does not fit"
+            },
             analysis.transfer.bytes_total as f64 / 1e6,
             analysis.transfer.seconds_total,
         );

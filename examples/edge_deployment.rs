@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p mtlsplit-core --example edge_deployment
+//! cargo run --release -p mtlsplit --example edge_deployment
 //! ```
 
 use std::error::Error;
@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     for device in &devices {
         for (channel_name, channel) in &channels {
-            println!("\n##### device: {} | channel: {channel_name} #####", device.name);
+            println!(
+                "\n##### device: {} | channel: {channel_name} #####",
+                device.name
+            );
             let rows = run_paradigm_analysis(&[2, 3], 224, 2835, 100, channel, device)?;
             for row in rows {
                 println!(
@@ -45,7 +48,11 @@ fn main() -> Result<(), Box<dyn Error>> {
                         "    {:<16} edge {:>9.1} MB ({:<12}) transfer {:>9.2} s / 100 inferences",
                         analysis.paradigm.label(),
                         analysis.memory.edge_bytes as f64 / 1e6,
-                        if analysis.fits_on_edge { "fits" } else { "does not fit" },
+                        if analysis.fits_on_edge {
+                            "fits"
+                        } else {
+                            "does not fit"
+                        },
                         analysis.transfer.seconds_total
                     );
                 }

@@ -5,7 +5,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p mtlsplit-core --example finetune_new_task
+//! cargo run --release -p mtlsplit --example finetune_new_task
 //! ```
 
 use std::error::Error;
@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         backbone_lr_scale: 1.0,
     };
 
-    for (label, ratio) in [("frozen backbone (eta = 0)", 0.0), ("eta = alpha / 10", 0.1)] {
+    for (label, ratio) in [
+        ("frozen backbone (eta = 0)", 0.0),
+        ("eta = alpha / 10", 0.1),
+    ] {
         let config = FineTuneConfig {
             pretrain: base.clone(),
             finetune: TrainConfig {

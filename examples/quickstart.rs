@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p mtlsplit-core --example quickstart
+//! cargo run --release -p mtlsplit --example quickstart
 //! ```
 
 use std::error::Error;
@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "dataset: {} train / {} test samples, tasks: {:?}",
         train.len(),
         test.len(),
-        train.tasks().iter().map(|t| t.name.as_str()).collect::<Vec<_>>()
+        train
+            .tasks()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // 2. Joint multi-task training of one shared backbone + two heads.

@@ -1,0 +1,17 @@
+//! Workspace facade for the MTL-Split reproduction.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories have a package to attach to; it simply re-exports the
+//! workspace crates under their habitual names. Depend on the individual
+//! `mtlsplit-*` crates directly for library use.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use mtlsplit_core as core;
+pub use mtlsplit_data as data;
+pub use mtlsplit_models as models;
+pub use mtlsplit_nn as nn;
+pub use mtlsplit_serve as serve;
+pub use mtlsplit_split as split;
+pub use mtlsplit_tensor as tensor;

@@ -104,10 +104,18 @@ fn degraded_channels_increase_transfer_time_but_not_the_relative_saving_directio
     let clean = ChannelModel::gigabit();
     let degraded = clean.with_degradation(0.75).expect("degradation");
     let clean_sc = profile
-        .analyze(DeploymentParadigm::Split, &clean, &EdgeDevice::jetson_nano())
+        .analyze(
+            DeploymentParadigm::Split,
+            &clean,
+            &EdgeDevice::jetson_nano(),
+        )
         .expect("analysis");
     let degraded_sc = profile
-        .analyze(DeploymentParadigm::Split, &degraded, &EdgeDevice::jetson_nano())
+        .analyze(
+            DeploymentParadigm::Split,
+            &degraded,
+            &EdgeDevice::jetson_nano(),
+        )
         .expect("analysis");
     assert!(degraded_sc.transfer.seconds_total > clean_sc.transfer.seconds_total);
     // The saving over RoC persists on the degraded channel.

@@ -56,7 +56,10 @@ fn mtl_training_then_split_inference_matches_monolithic_inference() {
         .map(|logits| logits.argmax_rows().expect("argmax"))
         .collect();
 
-    assert_eq!(direct, split_predictions, "splitting must not change predictions");
+    assert_eq!(
+        direct, split_predictions,
+        "splitting must not change predictions"
+    );
     // The transmitted payload is much smaller than the raw input.
     assert!(payload.wire_bytes() * 4 < sample.len() * 4);
 }

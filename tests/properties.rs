@@ -1,75 +1,120 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: tensor algebra, the wire codec, the data loader and the
-//! deployment accounting.
+//! Property-based tests on the core data structures and invariants: tensor
+//! algebra, the wire codec, the data loader and the deployment accounting.
+//!
+//! The offline build cannot fetch `proptest`, so these are hand-rolled
+//! property loops: each test draws 64 random cases from a seeded [`StdRng`]
+//! and asserts the invariant on every case, printing the offending case on
+//! failure so it can be replayed from the seed.
 
 use mtlsplit_data::{MultiTaskDataset, TaskSpec};
 use mtlsplit_split::{DeploymentParadigm, Precision, TensorCodec, WorkloadProfile};
 use mtlsplit_tensor::{softmax_rows, StdRng, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Matrix multiplication distributes over addition: (A + B) C = AC + BC.
-    #[test]
-    fn matmul_distributes_over_addition(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
-        let mut rng = StdRng::seed_from(seed);
+/// Draws a dimension in `[1, bound)`.
+fn dim(rng: &mut StdRng, bound: usize) -> usize {
+    1 + rng.below(bound - 1)
+}
+
+/// Matrix multiplication distributes over addition: (A + B) C = AC + BC.
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut rng = StdRng::seed_from(101);
+    for case in 0..CASES {
+        let (m, k, n) = (dim(&mut rng, 6), dim(&mut rng, 6), dim(&mut rng, 6));
         let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
         let b = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
         let c = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
         let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
         let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
+        assert!(lhs.allclose(&rhs, 1e-3), "case {case}: {m}x{k} * {k}x{n}");
     }
+}
 
-    /// Transposition reverses the order of matrix products: (AB)^T = B^T A^T.
-    #[test]
-    fn transpose_of_product(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
-        let mut rng = StdRng::seed_from(seed);
+/// Transposition reverses the order of matrix products: (AB)^T = B^T A^T.
+#[test]
+fn transpose_of_product() {
+    let mut rng = StdRng::seed_from(102);
+    for case in 0..CASES {
+        let (m, k, n) = (dim(&mut rng, 5), dim(&mut rng, 5), dim(&mut rng, 5));
         let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
         let lhs = a.matmul(&b).unwrap().transpose().unwrap();
-        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
+        let rhs = b
+            .transpose()
+            .unwrap()
+            .matmul(&a.transpose().unwrap())
+            .unwrap();
+        assert!(lhs.allclose(&rhs, 1e-3), "case {case}: {m}x{k} * {k}x{n}");
     }
+}
 
-    /// Softmax rows always form a probability distribution, whatever the logits.
-    #[test]
-    fn softmax_rows_are_distributions(seed in 0u64..1000, rows in 1usize..6, cols in 1usize..8, scale in 0.1f32..50.0) {
-        let mut rng = StdRng::seed_from(seed);
+/// Softmax rows always form a probability distribution, whatever the logits.
+#[test]
+fn softmax_rows_are_distributions() {
+    let mut rng = StdRng::seed_from(103);
+    for case in 0..CASES {
+        let rows = dim(&mut rng, 6);
+        let cols = dim(&mut rng, 8);
+        let scale = rng.uniform_range(0.1, 50.0);
         let logits = Tensor::randn(&[rows, cols], 0.0, scale, &mut rng);
         let probs = softmax_rows(&logits).unwrap();
         for r in 0..rows {
             let row = probs.row(r).unwrap();
             let sum: f32 = row.as_slice().iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(row.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-4, "case {case} row {r}: sum {sum}");
+            assert!(
+                row.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)),
+                "case {case} row {r}: probability outside [0, 1]"
+            );
         }
     }
+}
 
-    /// The f32 wire codec is lossless and the quantised codec is bounded by
-    /// one quantisation step, for any tensor contents.
-    #[test]
-    fn codec_round_trip(seed in 0u64..1000, rows in 1usize..8, cols in 1usize..32) {
-        let mut rng = StdRng::seed_from(seed);
+/// The f32 wire codec is lossless and the quantised codec is bounded by one
+/// quantisation step, for any tensor contents.
+#[test]
+fn codec_round_trip() {
+    let mut rng = StdRng::seed_from(104);
+    for case in 0..CASES {
+        let rows = dim(&mut rng, 8);
+        let cols = dim(&mut rng, 32);
         let z = Tensor::randn(&[rows, cols], 0.0, 3.0, &mut rng);
         let lossless = TensorCodec::new(Precision::Float32);
-        prop_assert_eq!(lossless.decode(&lossless.encode(&z)).unwrap(), z.clone());
+        assert_eq!(
+            lossless.decode(&lossless.encode(&z)).unwrap(),
+            z,
+            "case {case}: f32 round trip not exact"
+        );
         let quant = TensorCodec::new(Precision::Quant8);
         let decoded = quant.decode(&quant.encode(&z)).unwrap();
         let step = (z.max().unwrap() - z.min().unwrap()) / 255.0 + 1e-6;
-        prop_assert!(decoded.allclose(&z, step));
+        assert!(
+            decoded.allclose(&z, step),
+            "case {case}: quant8 error exceeds one step"
+        );
     }
+}
 
-    /// Every dataset split partitions the samples: sizes add up and every
-    /// class histogram is preserved in total.
-    #[test]
-    fn dataset_split_partitions_samples(seed in 0u64..1000, n in 10usize..80, frac in 0.2f32..0.8) {
+/// Every dataset split partitions the samples: sizes add up and every class
+/// histogram is preserved in total.
+#[test]
+fn dataset_split_partitions_samples() {
+    let mut rng = StdRng::seed_from(105);
+    for case in 0..CASES {
+        let n = 10 + rng.below(70);
+        let frac = rng.uniform_range(0.2, 0.8);
+        let seed = rng.next_u64() % 1000;
         let images = Tensor::zeros(&[n, 1, 4, 4]);
         let labels = vec![(0..n).map(|i| i % 3).collect::<Vec<_>>()];
         let dataset = MultiTaskDataset::new(images, labels, vec![TaskSpec::new("t", 3)]).unwrap();
         let (train, test) = dataset.split(frac, seed).unwrap();
-        prop_assert_eq!(train.len() + test.len(), n);
+        assert_eq!(
+            train.len() + test.len(),
+            n,
+            "case {case}: split lost samples"
+        );
         let full = dataset.class_histogram(0).unwrap();
         let combined: Vec<usize> = train
             .class_histogram(0)
@@ -78,38 +123,41 @@ proptest! {
             .zip(test.class_histogram(0).unwrap())
             .map(|(a, b)| a + b)
             .collect();
-        prop_assert_eq!(full, combined);
+        assert_eq!(full, combined, "case {case}: class histogram not preserved");
     }
+}
 
-    /// Split computing never needs more edge memory than local-only computing
-    /// and never ships more bytes than remote-only computing, for any
-    /// workload profile.
-    #[test]
-    fn split_is_never_worse_on_its_two_axes(
-        tasks in 1usize..8,
-        backbone_mb in 1usize..4000,
-        head_mb in 1usize..100,
-        input_kb in 1usize..200_000,
-        zb_kb in 1usize..2_000,
-    ) {
+/// Split computing never needs more edge memory than local-only computing and
+/// never ships more bytes than remote-only computing, for any workload
+/// profile.
+#[test]
+fn split_is_never_worse_on_its_two_axes() {
+    let mut rng = StdRng::seed_from(106);
+    for case in 0..CASES {
         let profile = WorkloadProfile {
             model_name: "prop".to_string(),
-            task_count: tasks,
-            backbone_bytes: backbone_mb * 1_000_000,
-            head_bytes: head_mb * 1_000_000,
-            raw_input_bytes: input_kb * 1_000,
-            zb_bytes: zb_kb * 1_000,
+            task_count: dim(&mut rng, 8),
+            backbone_bytes: dim(&mut rng, 4000) * 1_000_000,
+            head_bytes: dim(&mut rng, 100) * 1_000_000,
+            raw_input_bytes: dim(&mut rng, 200_000) * 1_000,
+            zb_bytes: dim(&mut rng, 2_000) * 1_000,
             inference_count: 10,
         };
         let loc = profile.memory_footprint(DeploymentParadigm::LocalOnly);
         let sc = profile.memory_footprint(DeploymentParadigm::Split);
-        prop_assert!(sc.edge_bytes <= loc.edge_bytes);
+        assert!(
+            sc.edge_bytes <= loc.edge_bytes,
+            "case {case}: SC edge memory exceeds LoC for {profile:?}"
+        );
         let roc_bytes = profile.network_bytes_per_inference(DeploymentParadigm::RemoteOnly);
         let sc_bytes = profile.network_bytes_per_inference(DeploymentParadigm::Split);
         // Whenever Z_b is smaller than the raw input (the split-computing
         // premise), SC ships less data.
         if profile.zb_bytes <= profile.raw_input_bytes {
-            prop_assert!(sc_bytes <= roc_bytes);
+            assert!(
+                sc_bytes <= roc_bytes,
+                "case {case}: SC ships more than RoC for {profile:?}"
+            );
         }
     }
 }

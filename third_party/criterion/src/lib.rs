@@ -1,0 +1,256 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `criterion` crate cannot be fetched. This shim implements the small
+//! slice of its API that the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-measure loop that reports mean and best iteration time.
+//!
+//! Measurement policy: one warmup iteration, then iterations until either
+//! the configured sample size is reached or a 200 ms budget per benchmark is
+//! exhausted (so `cargo test`, which also builds and runs bench targets,
+//! stays fast). Set `MTLSPLIT_BENCH_MS` to raise the budget for real runs.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default per-benchmark time budget in milliseconds.
+const DEFAULT_BUDGET_MS: u64 = 200;
+
+fn budget() -> Duration {
+    let ms = std::env::var("MTLSPLIT_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_BUDGET_MS);
+    Duration::from_millis(ms)
+}
+
+/// Identifier for a parameterised benchmark, mirroring criterion's type.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+}
+
+impl Bencher {
+    fn new(max_samples: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            max_samples,
+        }
+    }
+
+    /// Runs `routine` repeatedly, timing each invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup draw, untimed.
+        black_box(routine());
+        let deadline = Instant::now() + budget();
+        while self.samples.len() < self.max_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {group}{name}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let best = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {group}{name}: mean {:>12.3?}  best {:>12.3?}  ({} iters)",
+        mean,
+        best,
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        report(&format!("{}/", self.name), &name.into(), &bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        report(
+            &format!("{}/", self.name),
+            &id.to_string(),
+            &bencher.samples,
+        );
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The benchmark driver, mirroring criterion's entry type.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with criterion-like defaults.
+    pub fn new() -> Self {
+        Self {
+            default_sample_size: 50,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_sample_size();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.effective_sample_size());
+        routine(&mut bencher);
+        report("", &name.into(), &bencher.samples);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.default_sample_size == 0 {
+            50
+        } else {
+            self.default_sample_size
+        }
+    }
+}
+
+/// Declares a function that runs the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut bencher = Bencher::new(5);
+        let mut count = 0u64;
+        bencher.iter(|| count += 1);
+        assert!(!bencher.samples.is_empty());
+        assert!(bencher.samples.len() <= 5);
+        // Warmup plus measured iterations all ran.
+        assert_eq!(count, bencher.samples.len() as u64 + 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("matmul", 64).to_string(), "matmul/64");
+        assert_eq!(BenchmarkId::from_parameter("vgg").to_string(), "vgg");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion::new();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| {});
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
