@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
-use mtlsplit_nn::Layer;
+use mtlsplit_nn::{Layer, RunMode};
 use mtlsplit_tensor::{StdRng, Tensor};
 
 fn bench_backbone_forward(c: &mut Criterion) {
@@ -11,14 +11,14 @@ fn bench_backbone_forward(c: &mut Criterion) {
     group.sample_size(20);
     for kind in BackboneKind::ALL {
         let mut rng = StdRng::seed_from(1);
-        let mut backbone =
+        let backbone =
             Backbone::new(BackboneConfig::new(kind, 3, 24), &mut rng).expect("build backbone");
         let input = Tensor::randn(&[4, 3, 24, 24], 0.5, 0.2, &mut rng);
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.display_name()),
             &kind,
             |bencher, _| {
-                bencher.iter(|| backbone.forward(&input, false).expect("forward"));
+                bencher.iter(|| backbone.infer(&input).expect("infer"));
             },
         );
     }
@@ -38,7 +38,9 @@ fn bench_backbone_backward(c: &mut Criterion) {
             &kind,
             |bencher, _| {
                 bencher.iter(|| {
-                    let features = backbone.forward(&input, true).expect("forward");
+                    let features = backbone
+                        .forward(&input, RunMode::train(&mut rng))
+                        .expect("forward");
                     backbone
                         .backward(&Tensor::ones(features.dims()))
                         .expect("backward")

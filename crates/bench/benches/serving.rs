@@ -1,13 +1,16 @@
 //! Serving-throughput benchmark: requests/sec and tail latency of the
-//! `InferenceServer` over the hermetic `LoopbackTransport`, at micro-batch
-//! limits 1, 8 and 32.
+//! `InferenceServer` over the hermetic `LoopbackTransport`, across the
+//! worker-pool × micro-batch grid (workers ∈ {1, 2, 4} × max_batch ∈ {1, 8}).
 //!
-//! Four concurrent edge clients each push requests through their own
-//! loopback transport into one shared server, so the batching worker sees
-//! real contention and can coalesce. Besides the criterion timings, the
-//! bench prints a `serving max_batch=N` summary line per configuration with
-//! requests/sec, p95 latency and the achieved mean batch size.
+//! Eight concurrent edge clients each push requests through their own
+//! loopback transport into one shared server, so the worker pool sees real
+//! contention, can coalesce, and (with workers > 1) overlaps head forward
+//! passes on separate cores. Besides the criterion timings, the bench
+//! prints a `serving workers=W max_batch=N` summary line per configuration
+//! and dumps the whole grid to `BENCH_serving.json` at the repository root,
+//! so the serving-performance trajectory is tracked from PR to PR.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,11 +20,17 @@ use mtlsplit_serve::{EdgeClient, InferenceServer, LoopbackTransport, ServerConfi
 use mtlsplit_split::{Precision, TensorCodec};
 use mtlsplit_tensor::{StdRng, Tensor};
 
-const FEATURES: usize = 64;
-const CLIENTS: usize = 4;
-const REQUESTS_PER_CLIENT: usize = 16;
+const FEATURES: usize = 128;
+/// Samples per request: edge devices commonly ship small frame bursts.
+const ROWS_PER_REQUEST: usize = 4;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 32;
 
-fn backbone(rng: &mut StdRng) -> Box<dyn Layer + Send> {
+/// The benchmarked grid: every worker count × micro-batch limit.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const MAX_BATCHES: [usize; 2] = [1, 8];
+
+fn backbone(rng: &mut StdRng) -> Box<dyn Layer> {
     Box::new(
         Sequential::new()
             .push(Flatten::new())
@@ -30,22 +39,51 @@ fn backbone(rng: &mut StdRng) -> Box<dyn Layer + Send> {
     )
 }
 
-fn heads(rng: &mut StdRng) -> Vec<Box<dyn Layer + Send>> {
+/// Two MLP heads sized so the server-side forward is real work (hundreds of
+/// thousands of MACs), not just queue overhead — that is the regime the
+/// worker pool exists for.
+fn heads(rng: &mut StdRng) -> Vec<Box<dyn Layer>> {
     vec![
-        Box::new(Sequential::new().push(Linear::new(FEATURES, 8, rng))),
-        Box::new(Sequential::new().push(Linear::new(FEATURES, 4, rng))),
+        Box::new(
+            Sequential::new()
+                .push(Linear::new(FEATURES, 512, rng))
+                .push(Relu::new())
+                .push(Linear::new(512, 8, rng)),
+        ),
+        Box::new(
+            Sequential::new()
+                .push(Linear::new(FEATURES, 256, rng))
+                .push(Relu::new())
+                .push(Linear::new(256, 4, rng)),
+        ),
     ]
 }
 
-/// Runs one full serving session and returns (requests, elapsed seconds).
-fn drive(max_batch: usize) -> (u64, f64, f64, f64) {
+/// One measured serving session.
+struct DriveOutcome {
+    requests: u64,
+    elapsed_s: f64,
+    p95_latency_s: f64,
+    mean_batch_size: f64,
+}
+
+impl DriveOutcome {
+    fn requests_per_second(&self) -> f64 {
+        self.requests as f64 / self.elapsed_s.max(1e-12)
+    }
+}
+
+/// Runs one full serving session on a fresh server.
+fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
     let mut rng = StdRng::seed_from(1);
     let server = Arc::new(InferenceServer::start(
         heads(&mut rng),
-        ServerConfig::default().with_max_batch(max_batch),
+        ServerConfig::default()
+            .with_max_batch(max_batch)
+            .with_workers(workers),
     ));
     let start = Instant::now();
-    let workers: Vec<_> = (0..CLIENTS)
+    let drivers: Vec<_> = (0..CLIENTS)
         .map(|client_idx| {
             let server = Arc::clone(&server);
             std::thread::spawn(move || {
@@ -56,47 +94,90 @@ fn drive(max_batch: usize) -> (u64, f64, f64, f64) {
                     Box::new(LoopbackTransport::new(server)),
                 );
                 for _ in 0..REQUESTS_PER_CLIENT {
-                    let x = Tensor::randn(&[1, 3, 8, 8], 0.5, 0.2, &mut rng);
+                    let x = Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng);
                     client.infer(&x).expect("serve request");
                 }
             })
         })
         .collect();
-    for worker in workers {
-        worker.join().expect("client thread");
+    for driver in drivers {
+        driver.join().expect("client thread");
     }
-    let elapsed = start.elapsed().as_secs_f64();
+    let elapsed_s = start.elapsed().as_secs_f64();
     let metrics = server.metrics();
     assert_eq!(metrics.errors, 0, "bench requests must not error");
-    (
-        metrics.requests,
-        elapsed,
-        metrics.p95_latency_s,
-        metrics.mean_batch_size,
-    )
+    DriveOutcome {
+        requests: metrics.requests,
+        elapsed_s,
+        p95_latency_s: metrics.p95_latency_s,
+        mean_batch_size: metrics.mean_batch_size,
+    }
+}
+
+/// Writes the measured grid to `BENCH_serving.json` at the repository root
+/// (hand-rolled JSON — the workspace has no serde).
+fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
+    // Record the host's core count: on a single-core machine the worker
+    // pool can only reach parity with one worker (there is no parallelism
+    // to exploit), so absolute multi-worker wins are only expected when
+    // available_parallelism > 1.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n  \"benchmark\": \"serving_loopback\",\n");
+    json.push_str(&format!(
+        "  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+         \"rows_per_request\": {ROWS_PER_REQUEST},\n  \"available_parallelism\": {cores},\n"
+    ));
+    json.push_str("  \"grid\": [\n");
+    for (index, (workers, max_batch, outcome)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"max_batch\": {max_batch}, \
+             \"requests\": {}, \"requests_per_second\": {:.1}, \
+             \"p95_latency_ms\": {:.4}, \"mean_batch_size\": {:.3}}}{}\n",
+            outcome.requests,
+            outcome.requests_per_second(),
+            outcome.p95_latency_s * 1e3,
+            outcome.mean_batch_size,
+            if index + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
 }
 
 fn bench_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_loopback");
     group.sample_size(10);
-    for &max_batch in &[1usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("max_batch", max_batch),
-            &max_batch,
-            |bencher, &mb| {
-                bencher.iter(|| drive(mb));
-            },
-        );
-        // One clean measured run for the human-readable summary.
-        let (requests, elapsed, p95, mean_batch) = drive(max_batch);
-        println!(
-            "serving max_batch={max_batch}: {:.0} req/s, p95 {:.3} ms, mean batch {:.2} ({requests} requests)",
-            requests as f64 / elapsed,
-            p95 * 1e3,
-            mean_batch
-        );
+    let mut rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        for &max_batch in &MAX_BATCHES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers_{workers}"), max_batch),
+                &(workers, max_batch),
+                |bencher, &(w, mb)| {
+                    bencher.iter(|| drive(w, mb));
+                },
+            );
+            // One clean measured run for the summary line and the JSON dump.
+            let outcome = drive(workers, max_batch);
+            println!(
+                "serving workers={workers} max_batch={max_batch}: {:.0} req/s, p95 {:.3} ms, \
+                 mean batch {:.2} ({} requests)",
+                outcome.requests_per_second(),
+                outcome.p95_latency_s * 1e3,
+                outcome.mean_batch_size,
+                outcome.requests
+            );
+            rows.push((workers, max_batch, outcome));
+        }
     }
     group.finish();
+    dump_json(&rows);
 }
 
 criterion_group!(benches, bench_serving);

@@ -28,21 +28,21 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("split_pipeline");
     group.sample_size(20);
     let mut rng = StdRng::seed_from(2);
-    let mut backbone = Backbone::new(
+    let backbone = Backbone::new(
         BackboneConfig::new(BackboneKind::MobileStyle, 3, 24),
         &mut rng,
     )
     .expect("build backbone");
-    let mut head_a =
+    let head_a =
         TaskHead::new("object_size", backbone.feature_dim(), 32, 8, &mut rng).expect("head");
-    let mut head_b =
+    let head_b =
         TaskHead::new("object_type", backbone.feature_dim(), 32, 4, &mut rng).expect("head");
     let pipeline = SplitPipeline::new(ChannelModel::gigabit());
     let input = Tensor::randn(&[4, 3, 24, 24], 0.5, 0.2, &mut rng);
     group.bench_function("edge_transfer_remote", |bencher| {
         bencher.iter(|| {
             pipeline
-                .run(&mut backbone, &mut [&mut head_a, &mut head_b], &input)
+                .run(&backbone, &[&head_a, &head_b], &input)
                 .expect("pipeline run")
         });
     });

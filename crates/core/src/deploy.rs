@@ -46,7 +46,10 @@ impl EdgeHalf {
     }
 
     /// Boxes the backbone for an `mtlsplit_serve::EdgeClient`.
-    pub fn into_layer(self) -> Box<dyn Layer + Send> {
+    ///
+    /// The box is `Send + Sync` (every [`Layer`] is), so the edge half can
+    /// also be shared behind an `Arc` and run via [`Layer::infer`].
+    pub fn into_layer(self) -> Box<dyn Layer> {
         Box::new(self.backbone)
     }
 }
@@ -82,10 +85,13 @@ impl ServerHalf {
     }
 
     /// Boxes the heads for an `mtlsplit_serve::InferenceServer`.
-    pub fn into_layers(self) -> Vec<Box<dyn Layer + Send>> {
+    ///
+    /// The boxes are `Send + Sync`, so the server can hold them in an `Arc`
+    /// shared by several worker threads, each running [`Layer::infer`].
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
         self.heads
             .into_iter()
-            .map(|head| Box::new(head) as Box<dyn Layer + Send>)
+            .map(|head| Box::new(head) as Box<dyn Layer>)
             .collect()
     }
 }
@@ -119,16 +125,16 @@ mod tests {
 
     #[test]
     fn halves_preserve_the_monolithic_outputs_exactly() {
-        let mut monolithic = model();
+        let monolithic = model();
         let mut rng = StdRng::seed_from(22);
         let x = Tensor::randn(&[3, 3, 16, 16], 0.0, 1.0, &mut rng);
-        let (_, direct) = monolithic.forward(&x, false).unwrap();
+        let (_, direct) = monolithic.infer_forward(&x).unwrap();
 
         let (edge, server) = split_for_serving(monolithic);
-        let mut backbone = edge.into_layer();
-        let features = backbone.forward(&x, false).unwrap();
-        for (head, expected) in server.into_layers().iter_mut().zip(&direct) {
-            let output = head.forward(&features, false).unwrap();
+        let backbone = edge.into_layer();
+        let features = backbone.infer(&x).unwrap();
+        for (head, expected) in server.into_layers().iter().zip(&direct) {
+            let output = head.infer(&features).unwrap();
             assert!(output.allclose(expected, 1e-7));
         }
     }

@@ -2,7 +2,7 @@
 
 use mtlsplit_data::TaskSpec;
 use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind, TaskHead};
-use mtlsplit_nn::{CrossEntropyLoss, Layer, Optimizer, Parameter};
+use mtlsplit_nn::{CrossEntropyLoss, Layer, Optimizer, Parameter, RunMode};
 use mtlsplit_tensor::{StdRng, Tensor};
 
 use crate::error::{CoreError, Result};
@@ -20,6 +20,10 @@ pub struct MtlSplitModel {
     heads: Vec<TaskHead>,
     loss: CrossEntropyLoss,
     task_names: Vec<String>,
+    /// RNG that [`RunMode::Train`] passes draw from (dropout masks and any
+    /// other stochastic training-time behaviour). Forked from the
+    /// construction RNG so a single seed reproduces a whole run.
+    train_rng: StdRng,
 }
 
 impl std::fmt::Debug for MtlSplitModel {
@@ -92,6 +96,7 @@ impl MtlSplitModel {
             heads,
             loss: CrossEntropyLoss::new(),
             task_names: tasks.iter().map(|t| t.name.clone()).collect(),
+            train_rng: rng.fork(),
         })
     }
 
@@ -183,18 +188,49 @@ impl MtlSplitModel {
         }
     }
 
-    /// Runs the full model, returning the shared representation and one
-    /// logits tensor per task.
+    /// Runs the full model in training mode ([`RunMode::Train`], drawing
+    /// from the model's own training RNG), returning the shared
+    /// representation and one logits tensor per task with every layer cache
+    /// primed for a backward pass.
     ///
     /// # Errors
     ///
     /// Returns an error if the input is incompatible with the backbone.
-    pub fn forward(&mut self, images: &Tensor, training: bool) -> Result<(Tensor, Vec<Tensor>)> {
-        let features = self.backbone.forward(images, training)?;
+    pub fn train_forward(&mut self, images: &Tensor) -> Result<(Tensor, Vec<Tensor>)> {
+        let features = self.backbone.forward(
+            images,
+            RunMode::Train {
+                rng: &mut self.train_rng,
+            },
+        )?;
         let mut outputs = Vec::with_capacity(self.heads.len());
         for head in &mut self.heads {
-            outputs.push(head.forward(&features, training)?);
+            outputs.push(head.forward(
+                &features,
+                RunMode::Train {
+                    rng: &mut self.train_rng,
+                },
+            )?);
         }
+        Ok((features, outputs))
+    }
+
+    /// Runs the full model in inference mode through `&self`, returning the
+    /// shared representation and one logits tensor per task.
+    ///
+    /// Nothing is mutated — no caches, no batch statistics — so a frozen
+    /// model can serve concurrent callers from shared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the backbone.
+    pub fn infer_forward(&self, images: &Tensor) -> Result<(Tensor, Vec<Tensor>)> {
+        let features = self.backbone.infer(images)?;
+        let outputs = self
+            .heads
+            .iter()
+            .map(|head| head.infer(&features).map_err(Into::into))
+            .collect::<Result<Vec<_>>>()?;
         Ok((features, outputs))
     }
 
@@ -223,7 +259,7 @@ impl MtlSplitModel {
             });
         }
         self.zero_grad();
-        let (features, outputs) = self.forward(images, true)?;
+        let (features, outputs) = self.train_forward(images)?;
         let mut losses = Vec::with_capacity(self.heads.len());
         // Gradient of L_total with respect to the shared representation Z_b is
         // the sum of each task's contribution.
@@ -240,26 +276,28 @@ impl MtlSplitModel {
         Ok(losses)
     }
 
-    /// Per-task predicted class indices for a batch (inference mode).
+    /// Per-task predicted class indices for a batch (inference mode,
+    /// `&self` — safe to call concurrently on a shared model).
     ///
     /// # Errors
     ///
     /// Returns an error if the input is incompatible with the backbone.
-    pub fn predict(&mut self, images: &Tensor) -> Result<Vec<Vec<usize>>> {
-        let (_, outputs) = self.forward(images, false)?;
+    pub fn predict(&self, images: &Tensor) -> Result<Vec<Vec<usize>>> {
+        let (_, outputs) = self.infer_forward(images)?;
         outputs
             .iter()
             .map(|logits| logits.argmax_rows().map_err(Into::into))
             .collect()
     }
 
-    /// Per-task `(correct, total)` counts on a batch.
+    /// Per-task `(correct, total)` counts on a batch (inference mode,
+    /// `&self`).
     ///
     /// # Errors
     ///
     /// Returns an error if the labels do not match the model's tasks.
     pub fn evaluate_batch(
-        &mut self,
+        &self,
         images: &Tensor,
         labels: &[Vec<usize>],
     ) -> Result<Vec<(usize, usize)>> {
@@ -300,13 +338,30 @@ mod tests {
 
     #[test]
     fn forward_produces_one_logit_tensor_per_task() {
-        let mut model = tiny_model();
+        let model = tiny_model();
         let x = Tensor::zeros(&[4, 3, 16, 16]);
-        let (features, outputs) = model.forward(&x, false).unwrap();
+        // Inference runs through &self.
+        let (features, outputs) = model.infer_forward(&x).unwrap();
         assert_eq!(features.dims()[0], 4);
         assert_eq!(outputs.len(), 2);
         assert_eq!(outputs[0].dims(), &[4, 4]);
         assert_eq!(outputs[1].dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn infer_forward_is_repeatable_and_mutation_free() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from(17);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.5, 0.2, &mut rng);
+        let (_, first) = model.infer_forward(&x).unwrap();
+        let (_, second) = model.infer_forward(&x).unwrap();
+        // &self inference cannot change the model, so outputs are identical.
+        assert_eq!(first, second);
+        // A training pass does mutate state (batch-norm running statistics),
+        // so inference afterwards legitimately differs.
+        model.train_forward(&x).unwrap();
+        let (_, third) = model.infer_forward(&x).unwrap();
+        assert_ne!(first, third);
     }
 
     #[test]
@@ -368,7 +423,7 @@ mod tests {
 
     #[test]
     fn evaluate_batch_counts_correct_predictions() {
-        let mut model = tiny_model();
+        let model = tiny_model();
         let x = Tensor::zeros(&[4, 3, 16, 16]);
         let predictions = model.predict(&x).unwrap();
         let labels = vec![predictions[0].clone(), vec![9 % 3; 4]];

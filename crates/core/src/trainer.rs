@@ -127,7 +127,7 @@ pub fn train_model(
         loss_history.push(epoch_loss / batches.max(1) as f32);
     }
 
-    let accuracies = evaluate(&mut model, test, config.batch_size)?;
+    let accuracies = evaluate(&model, test, config.batch_size)?;
     Ok(TrainOutcome {
         model,
         accuracies,
@@ -195,11 +195,14 @@ pub fn train_stl(
 
 /// Evaluates a model on a dataset, returning per-task accuracies.
 ///
+/// Evaluation runs the `&self` inference path, so it never mutates the
+/// model and can be called on a shared reference.
+///
 /// # Errors
 ///
 /// Returns an error if the dataset is incompatible with the model.
 pub fn evaluate(
-    model: &mut MtlSplitModel,
+    model: &MtlSplitModel,
     dataset: &MultiTaskDataset,
     batch_size: usize,
 ) -> Result<Vec<TaskAccuracy>> {

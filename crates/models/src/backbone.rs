@@ -2,7 +2,7 @@
 
 use mtlsplit_nn::{
     BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool2d, HardSwish, Layer, MaxPool2d,
-    NnError, Parameter, PointwiseConv2d, Relu, Result, Sequential,
+    NnError, Parameter, PointwiseConv2d, Relu, Result, RunMode, Sequential,
 };
 use mtlsplit_tensor::{StdRng, Tensor};
 
@@ -205,8 +205,12 @@ impl Backbone {
 }
 
 impl Layer for Backbone {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
-        self.net.forward(input, training)
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        self.net.forward(input, mode)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.net.infer(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -358,9 +362,12 @@ mod tests {
     fn every_family_produces_flat_features() {
         for kind in BackboneKind::ALL {
             let mut backbone = build(kind, 24);
+            let mut rng = StdRng::seed_from(9);
             let x = Tensor::zeros(&[2, 3, 24, 24]);
-            let z = backbone.forward(&x, true).unwrap();
+            let z = backbone.forward(&x, RunMode::train(&mut rng)).unwrap();
             assert_eq!(z.dims(), &[2, backbone.feature_dim()], "{kind}");
+            // The &self inference path produces the same shape.
+            assert_eq!(backbone.infer(&x).unwrap().dims(), z.dims(), "{kind}");
         }
     }
 
@@ -383,7 +390,7 @@ mod tests {
             let mut backbone = build(kind, 20);
             let mut rng = StdRng::seed_from(2);
             let x = Tensor::randn(&[2, 3, 20, 20], 0.0, 1.0, &mut rng);
-            let z = backbone.forward(&x, true).unwrap();
+            let z = backbone.forward(&x, RunMode::train(&mut rng)).unwrap();
             let grad = backbone.backward(&Tensor::ones(z.dims())).unwrap();
             assert_eq!(grad.dims(), x.dims());
             let nonzero = backbone

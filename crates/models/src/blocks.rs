@@ -3,7 +3,7 @@
 
 use mtlsplit_nn::{
     BatchNorm2d, DepthwiseConv2d, HardSigmoid, HardSwish, Layer, Linear, NnError, Parameter,
-    PointwiseConv2d, Relu, Result, Sequential,
+    PointwiseConv2d, Relu, Result, RunMode, Sequential,
 };
 use mtlsplit_tensor::{global_avg_pool2d, StdRng, Tensor};
 
@@ -39,6 +39,19 @@ impl SqueezeExcite {
             cache: None,
         }
     }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.rank() != 4 || input.dims()[1] != self.channels {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "SqueezeExcite({}) received input {:?}",
+                    self.channels,
+                    input.dims()
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for SqueezeExcite {
@@ -50,24 +63,26 @@ impl std::fmt::Debug for SqueezeExcite {
 }
 
 impl Layer for SqueezeExcite {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
-        if input.rank() != 4 || input.dims()[1] != self.channels {
-            return Err(NnError::InvalidConfig {
-                reason: format!(
-                    "SqueezeExcite({}) received input {:?}",
-                    self.channels,
-                    input.dims()
-                ),
-            });
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer(input);
         }
+        self.check_input(input)?;
         let pooled = global_avg_pool2d(input)?; // [batch, channels]
-        let scale = self.gate.forward(&pooled, training)?; // [batch, channels]
+        let scale = self.gate.forward(&pooled, mode)?; // [batch, channels]
         let output = scale_channels(input, &scale);
         self.cache = Some(SeCache {
             input: input.clone(),
             scale,
         });
         Ok(output)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let pooled = global_avg_pool2d(input)?;
+        let scale = self.gate.infer(&pooled)?;
+        Ok(scale_channels(input, &scale))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -201,9 +216,21 @@ impl std::fmt::Debug for MbConvBlock {
 }
 
 impl Layer for MbConvBlock {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer(input);
+        }
         self.cached_input_dims = Some(input.dims().to_vec());
-        let out = self.body.forward(input, training)?;
+        let out = self.body.forward(input, mode)?;
+        if self.use_skip {
+            Ok(out.add(input)?)
+        } else {
+            Ok(out)
+        }
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let out = self.body.infer(input)?;
         if self.use_skip {
             Ok(out.add(input)?)
         } else {
@@ -249,7 +276,9 @@ mod tests {
         let mut rng = StdRng::seed_from(1);
         let mut se = SqueezeExcite::new(8, 4, &mut rng);
         let x = Tensor::randn(&[2, 8, 5, 5], 0.0, 1.0, &mut rng);
-        let y = se.forward(&x, true).unwrap();
+        let y = se.forward(&x, RunMode::train(&mut rng)).unwrap();
+        // The pure inference path computes the same re-weighting.
+        assert_eq!(se.infer(&x).unwrap(), y);
         assert_eq!(y.dims(), x.dims());
         // The gate is a hard sigmoid, so |y| <= |x| element-wise.
         for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
@@ -263,7 +292,7 @@ mod tests {
         let mut se = SqueezeExcite::new(4, 2, &mut rng);
         let x = Tensor::randn(&[1, 4, 4, 4], 0.0, 1.0, &mut rng);
         let probe = Tensor::randn(x.dims(), 0.0, 1.0, &mut rng);
-        se.forward(&x, true).unwrap();
+        se.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = se.backward(&probe).unwrap();
         let eps = 1e-2;
         for idx in [0usize, 21, 63] {
@@ -271,8 +300,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let up = se.forward(&plus, true).unwrap().mul(&probe).unwrap().sum();
-            let down = se.forward(&minus, true).unwrap().mul(&probe).unwrap().sum();
+            let up = se.infer(&plus).unwrap().mul(&probe).unwrap().sum();
+            let down = se.infer(&minus).unwrap().mul(&probe).unwrap().sum();
             let num = (up - down) / (2.0 * eps);
             assert!(
                 (num - grad.as_slice()[idx]).abs() < 0.05 * (1.0 + num.abs()),
@@ -285,8 +314,8 @@ mod tests {
     #[test]
     fn squeeze_excite_rejects_wrong_channel_count() {
         let mut rng = StdRng::seed_from(3);
-        let mut se = SqueezeExcite::new(8, 4, &mut rng);
-        assert!(se.forward(&Tensor::zeros(&[1, 4, 3, 3]), true).is_err());
+        let se = SqueezeExcite::new(8, 4, &mut rng);
+        assert!(se.infer(&Tensor::zeros(&[1, 4, 3, 3])).is_err());
     }
 
     #[test]
@@ -302,10 +331,12 @@ mod tests {
     fn mbconv_forward_shapes() {
         let mut rng = StdRng::seed_from(5);
         let mut same = MbConvBlock::new(8, 8, 2, 1, &mut rng);
-        let y = same.forward(&Tensor::zeros(&[2, 8, 8, 8]), true).unwrap();
+        let y = same
+            .forward(&Tensor::zeros(&[2, 8, 8, 8]), RunMode::train(&mut rng))
+            .unwrap();
         assert_eq!(y.dims(), &[2, 8, 8, 8]);
-        let mut down = MbConvBlock::new(8, 16, 2, 2, &mut rng);
-        let y = down.forward(&Tensor::zeros(&[2, 8, 8, 8]), true).unwrap();
+        let down = MbConvBlock::new(8, 16, 2, 2, &mut rng);
+        let y = down.infer(&Tensor::zeros(&[2, 8, 8, 8])).unwrap();
         assert_eq!(y.dims(), &[2, 16, 4, 4]);
     }
 
@@ -314,7 +345,7 @@ mod tests {
         let mut rng = StdRng::seed_from(6);
         let mut block = MbConvBlock::new(4, 4, 2, 1, &mut rng);
         let x = Tensor::randn(&[1, 4, 6, 6], 0.0, 1.0, &mut rng);
-        let y = block.forward(&x, true).unwrap();
+        let y = block.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = block.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(grad.dims(), x.dims());
         assert!(block

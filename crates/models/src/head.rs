@@ -1,6 +1,6 @@
 //! Task-solving heads: the small MLPs deployed on the remote server.
 
-use mtlsplit_nn::{Layer, Linear, NnError, Parameter, Relu, Result, Sequential};
+use mtlsplit_nn::{Layer, Linear, NnError, Parameter, Relu, Result, RunMode, Sequential};
 use mtlsplit_tensor::{StdRng, Tensor};
 
 /// A task-solving head `H_j(Z_b; theta_j)`.
@@ -20,9 +20,9 @@ use mtlsplit_tensor::{StdRng, Tensor};
 ///
 /// # fn main() -> Result<(), Box<dyn Error>> {
 /// let mut rng = StdRng::seed_from(0);
-/// let mut head = TaskHead::new("object_type", 64, 32, 4, &mut rng)?;
+/// let head = TaskHead::new("object_type", 64, 32, 4, &mut rng)?;
 /// let z = Tensor::zeros(&[8, 64]);
-/// let logits = head.forward(&z, true)?;
+/// let logits = head.infer(&z)?;
 /// assert_eq!(logits.dims(), &[8, 4]);
 /// # Ok(())
 /// # }
@@ -94,8 +94,12 @@ impl TaskHead {
 }
 
 impl Layer for TaskHead {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
-        self.net.forward(input, training)
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        self.net.forward(input, mode)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.net.infer(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -123,9 +127,9 @@ mod tests {
     #[test]
     fn head_maps_features_to_logits() {
         let mut rng = StdRng::seed_from(1);
-        let mut head = TaskHead::new("severity", 32, 16, 3, &mut rng).unwrap();
+        let head = TaskHead::new("severity", 32, 16, 3, &mut rng).unwrap();
         let z = Tensor::zeros(&[4, 32]);
-        let logits = head.forward(&z, true).unwrap();
+        let logits = head.infer(&z).unwrap();
         assert_eq!(logits.dims(), &[4, 3]);
         assert_eq!(head.classes(), 3);
         assert_eq!(head.task_name(), "severity");
@@ -165,7 +169,7 @@ mod tests {
         let mut rng = StdRng::seed_from(5);
         let mut head = TaskHead::new("t", 8, 4, 2, &mut rng).unwrap();
         let z = Tensor::randn(&[3, 8], 0.0, 1.0, &mut rng);
-        let logits = head.forward(&z, true).unwrap();
+        let logits = head.forward(&z, RunMode::train(&mut rng)).unwrap();
         let grad = head.backward(&Tensor::ones(logits.dims())).unwrap();
         assert_eq!(grad.dims(), z.dims());
     }

@@ -5,7 +5,7 @@ use mtlsplit_tensor::Tensor;
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 macro_rules! pointwise_activation {
     (
@@ -26,8 +26,14 @@ macro_rules! pointwise_activation {
         }
 
         impl Layer for $name {
-            fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
-                self.cached_input = Some(input.clone());
+            fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+                if mode.is_train() {
+                    self.cached_input = Some(input.clone());
+                }
+                self.infer(input)
+            }
+
+            fn infer(&self, input: &Tensor) -> Result<Tensor> {
                 let f: fn(f32) -> f32 = $forward;
                 Ok(input.map(f))
             }
@@ -121,7 +127,7 @@ mod tests {
         let mut rng = StdRng::seed_from(seed);
         let x = Tensor::randn(&[4, 5], 0.0, 1.5, &mut rng);
         let probe = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
-        layer.forward(&x, true).unwrap();
+        layer.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = layer.backward(&probe).unwrap();
         let eps = 1e-3;
         for idx in [0usize, 7, 19] {
@@ -134,18 +140,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let up = layer
-                .forward(&plus, true)
-                .unwrap()
-                .mul(&probe)
-                .unwrap()
-                .sum();
-            let down = layer
-                .forward(&minus, true)
-                .unwrap()
-                .mul(&probe)
-                .unwrap()
-                .sum();
+            let up = layer.infer(&plus).unwrap().mul(&probe).unwrap().sum();
+            let down = layer.infer(&minus).unwrap().mul(&probe).unwrap().sum();
             let num = (up - down) / (2.0 * eps);
             assert!(
                 (num - grad.as_slice()[idx]).abs() < 1e-2,
@@ -158,26 +154,36 @@ mod tests {
 
     #[test]
     fn relu_clamps_negative_values() {
-        let mut relu = Relu::new();
+        let relu = Relu::new();
         let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]).unwrap();
-        let y = relu.forward(&x, true).unwrap();
+        let y = relu.infer(&x).unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
     }
 
     #[test]
     fn relu_gradient_masks_negative_inputs() {
         let mut relu = Relu::new();
+        let mut rng = StdRng::seed_from(0);
         let x = Tensor::from_vec(vec![-1.0, 3.0], &[1, 2]).unwrap();
-        relu.forward(&x, true).unwrap();
+        relu.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = relu.backward(&Tensor::ones(&[1, 2])).unwrap();
         assert_eq!(grad.as_slice(), &[0.0, 1.0]);
     }
 
     #[test]
+    fn infer_mode_forward_writes_no_cache() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[1, 2]).unwrap();
+        relu.forward(&x, RunMode::Infer).unwrap();
+        // No cache was written, so backward still reports the missing pass.
+        assert!(relu.backward(&Tensor::ones(&[1, 2])).is_err());
+    }
+
+    #[test]
     fn sigmoid_is_bounded_and_monotonic() {
-        let mut layer = Sigmoid::new();
+        let layer = Sigmoid::new();
         let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[1, 3]).unwrap();
-        let y = layer.forward(&x, true).unwrap();
+        let y = layer.infer(&x).unwrap();
         assert!(y.as_slice()[0] < 0.01);
         assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
         assert!(y.as_slice()[2] > 0.99);
@@ -185,9 +191,9 @@ mod tests {
 
     #[test]
     fn hard_swish_matches_definition_at_key_points() {
-        let mut layer = HardSwish::new();
+        let layer = HardSwish::new();
         let x = Tensor::from_vec(vec![-4.0, -3.0, 0.0, 3.0, 4.0], &[1, 5]).unwrap();
-        let y = layer.forward(&x, true).unwrap();
+        let y = layer.infer(&x).unwrap();
         assert_eq!(y.as_slice()[0], 0.0);
         assert_eq!(y.as_slice()[1], 0.0);
         assert_eq!(y.as_slice()[2], 0.0);

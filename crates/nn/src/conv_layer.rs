@@ -5,7 +5,7 @@ use mtlsplit_tensor::{conv2d, conv2d_backward, Conv2dSpec, StdRng, Tensor};
 use crate::error::{NnError, Result};
 use crate::init::kaiming_normal;
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// A 2-D convolution layer with trainable weight and bias.
 ///
@@ -23,9 +23,9 @@ use crate::Layer;
 ///
 /// # fn main() -> Result<(), Box<dyn Error>> {
 /// let mut rng = StdRng::seed_from(0);
-/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
 /// let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
-/// let y = conv.forward(&x, true)?;
+/// let y = conv.infer(&x)?;
 /// assert_eq!(y.dims(), &[2, 8, 8, 8]);
 /// # Ok(())
 /// # }
@@ -77,8 +77,15 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        let out = self.infer(input)?;
+        if mode.is_train() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(conv2d(
             input,
             self.weight.value(),
@@ -140,8 +147,12 @@ impl DepthwiseConv2d {
 }
 
 impl Layer for DepthwiseConv2d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
-        self.inner.forward(input, training)
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        self.inner.forward(input, mode)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.inner.infer(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -178,8 +189,12 @@ impl PointwiseConv2d {
 }
 
 impl Layer for PointwiseConv2d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
-        self.inner.forward(input, training)
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        self.inner.forward(input, mode)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.inner.infer(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -206,18 +221,18 @@ mod tests {
     #[test]
     fn conv_output_shape_follows_spec() {
         let mut rng = StdRng::seed_from(1);
-        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
         let x = Tensor::zeros(&[2, 3, 8, 8]);
-        let y = conv.forward(&x, true).unwrap();
+        let y = conv.infer(&x).unwrap();
         assert_eq!(y.dims(), &[2, 8, 4, 4]);
     }
 
     #[test]
     fn depthwise_preserves_channel_count_and_uses_few_parameters() {
         let mut rng = StdRng::seed_from(2);
-        let mut dw = DepthwiseConv2d::new(8, 3, 1, 1, &mut rng);
+        let dw = DepthwiseConv2d::new(8, 3, 1, 1, &mut rng);
         let x = Tensor::zeros(&[1, 8, 6, 6]);
-        let y = dw.forward(&x, true).unwrap();
+        let y = dw.infer(&x).unwrap();
         assert_eq!(y.dims(), &[1, 8, 6, 6]);
         // 8 channels * 1 * 3 * 3 weights + 8 biases — far fewer than a dense conv.
         assert_eq!(dw.parameter_count(), 8 * 9 + 8);
@@ -226,9 +241,9 @@ mod tests {
     #[test]
     fn pointwise_changes_channel_count_only() {
         let mut rng = StdRng::seed_from(3);
-        let mut pw = PointwiseConv2d::new(8, 16, &mut rng);
+        let pw = PointwiseConv2d::new(8, 16, &mut rng);
         let x = Tensor::zeros(&[1, 8, 5, 5]);
-        let y = pw.forward(&x, true).unwrap();
+        let y = pw.infer(&x).unwrap();
         assert_eq!(y.dims(), &[1, 16, 5, 5]);
     }
 
@@ -237,7 +252,7 @@ mod tests {
         let mut rng = StdRng::seed_from(4);
         let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
         let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
-        let y = conv.forward(&x, true).unwrap();
+        let y = conv.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = Tensor::ones(y.dims());
         let grad_input = conv.backward(&grad).unwrap();
         assert_eq!(grad_input.dims(), x.dims());

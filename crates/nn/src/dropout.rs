@@ -1,21 +1,22 @@
 //! Inverted dropout regularisation.
 
-use mtlsplit_tensor::{StdRng, Tensor};
+use mtlsplit_tensor::Tensor;
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and the survivors are scaled by `1 / (1 - p)`, so the
 /// expected activation is unchanged and inference needs no rescaling.
 ///
-/// The layer owns its own RNG (seeded at construction) so training runs stay
-/// reproducible.
+/// The layer holds no RNG of its own: the mask is drawn from the RNG carried
+/// by [`RunMode::Train`], so the same training seed reproduces the same
+/// masks and a frozen layer has no stochastic state left to mutate —
+/// [`Layer::infer`] is the identity.
 #[derive(Debug)]
 pub struct Dropout {
     p: f32,
-    rng: StdRng,
     mask: Option<Tensor>,
 }
 
@@ -25,18 +26,14 @@ impl Dropout {
     /// # Errors
     ///
     /// Returns an error unless `0 <= p < 1`.
-    pub fn new(p: f32, seed: u64) -> Result<Self> {
+    pub fn new(p: f32) -> Result<Self> {
         if !(0.0..1.0).contains(&p) {
             return Err(NnError::InvalidHyperParameter {
                 name: "dropout probability",
                 value: p,
             });
         }
-        Ok(Self {
-            p,
-            rng: StdRng::seed_from(seed),
-            mask: None,
-        })
+        Ok(Self { p, mask: None })
     }
 
     /// The configured drop probability.
@@ -46,8 +43,11 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
-        if !training || self.p == 0.0 {
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        let RunMode::Train { rng } = mode else {
+            return self.infer(input);
+        };
+        if self.p == 0.0 {
             self.mask = Some(Tensor::ones(input.dims()));
             return Ok(input.clone());
         }
@@ -55,11 +55,15 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut mask = Tensor::zeros(input.dims());
         for value in mask.as_mut_slice() {
-            *value = if self.rng.chance(keep) { scale } else { 0.0 };
+            *value = if rng.chance(keep) { scale } else { 0.0 };
         }
         let out = input.mul(&mask)?;
         self.mask = Some(mask);
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.clone())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -86,27 +90,29 @@ impl Layer for Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mtlsplit_tensor::StdRng;
 
     #[test]
     fn rejects_invalid_probability() {
-        assert!(Dropout::new(1.0, 0).is_err());
-        assert!(Dropout::new(-0.1, 0).is_err());
-        assert!(Dropout::new(0.5, 0).is_ok());
+        assert!(Dropout::new(1.0).is_err());
+        assert!(Dropout::new(-0.1).is_err());
+        assert!(Dropout::new(0.5).is_ok());
     }
 
     #[test]
     fn inference_is_identity() {
-        let mut dropout = Dropout::new(0.8, 1).unwrap();
+        let dropout = Dropout::new(0.8).unwrap();
         let x = Tensor::ones(&[4, 4]);
-        let y = dropout.forward(&x, false).unwrap();
+        let y = dropout.infer(&x).unwrap();
         assert_eq!(x, y);
     }
 
     #[test]
     fn training_zeroes_roughly_p_fraction_and_rescales() {
-        let mut dropout = Dropout::new(0.5, 2).unwrap();
+        let mut rng = StdRng::seed_from(2);
+        let mut dropout = Dropout::new(0.5).unwrap();
         let x = Tensor::ones(&[100, 100]);
-        let y = dropout.forward(&x, true).unwrap();
+        let y = dropout.forward(&x, RunMode::train(&mut rng)).unwrap();
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
         let ratio = zeros as f32 / y.len() as f32;
         assert!((ratio - 0.5).abs() < 0.05, "dropped fraction {ratio}");
@@ -115,10 +121,22 @@ mod tests {
     }
 
     #[test]
+    fn masks_are_reproducible_from_the_run_mode_rng() {
+        let x = Tensor::ones(&[16, 16]);
+        let draw = || {
+            let mut rng = StdRng::seed_from(7);
+            let mut dropout = Dropout::new(0.3).unwrap();
+            dropout.forward(&x, RunMode::train(&mut rng)).unwrap()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
     fn backward_applies_the_same_mask() {
-        let mut dropout = Dropout::new(0.5, 3).unwrap();
+        let mut rng = StdRng::seed_from(3);
+        let mut dropout = Dropout::new(0.5).unwrap();
         let x = Tensor::ones(&[10, 10]);
-        let y = dropout.forward(&x, true).unwrap();
+        let y = dropout.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = dropout.backward(&Tensor::ones(&[10, 10])).unwrap();
         // Exactly the positions that survived forward propagate gradient.
         for (a, b) in y.as_slice().iter().zip(grad.as_slice()) {
@@ -128,7 +146,12 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
-        let mut dropout = Dropout::new(0.3, 4).unwrap();
+        let mut dropout = Dropout::new(0.3).unwrap();
+        assert!(dropout.backward(&Tensor::zeros(&[2, 2])).is_err());
+        // An infer-mode forward must not satisfy the cache requirement either.
+        dropout
+            .forward(&Tensor::zeros(&[2, 2]), RunMode::Infer)
+            .unwrap();
         assert!(dropout.backward(&Tensor::zeros(&[2, 2])).is_err());
     }
 }

@@ -15,11 +15,18 @@
 //! `mtlsplit-core` by fanning one backbone output into several sequential
 //! heads and summing the gradients that come back.
 //!
+//! Forward passes are driven by a typed [`RunMode`] instead of a boolean
+//! flag: [`RunMode::Train`] carries the RNG that stochastic layers (dropout)
+//! draw from and runs through `&mut self` so layers can cache activations
+//! for [`Layer::backward`]; inference goes through [`Layer::infer`], which
+//! takes `&self`, never mutates, and therefore lets a frozen model be shared
+//! across threads behind an `Arc`.
+//!
 //! # Example
 //!
 //! ```
 //! # use std::error::Error;
-//! use mtlsplit_nn::{Layer, Linear, Relu, Sequential, CrossEntropyLoss, Sgd, Optimizer};
+//! use mtlsplit_nn::{Layer, Linear, Relu, RunMode, Sequential, CrossEntropyLoss, Sgd, Optimizer};
 //! use mtlsplit_tensor::{StdRng, Tensor};
 //!
 //! # fn main() -> Result<(), Box<dyn Error>> {
@@ -31,12 +38,18 @@
 //! let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut rng);
 //! let targets = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
 //!
-//! let logits = net.forward(&x, true)?;
+//! let mut train_rng = StdRng::seed_from(1);
+//! let logits = net.forward(&x, RunMode::train(&mut train_rng))?;
 //! let loss = CrossEntropyLoss::new();
 //! let (value, grad) = loss.forward_backward(&logits, &targets)?;
 //! net.backward(&grad)?;
 //! Sgd::new(0.1).step(&mut net.parameters_mut())?;
 //! assert!(value.is_finite());
+//!
+//! // Inference is immutable: `infer` takes `&self`.
+//! let frozen = &net;
+//! let predictions = frozen.infer(&x)?;
+//! assert_eq!(predictions.dims(), &[8, 3]);
 //! # Ok(())
 //! # }
 //! ```
@@ -70,7 +83,50 @@ pub use param::Parameter;
 pub use pool_layer::{AvgPool2d, GlobalAvgPool2d, MaxPool2d};
 pub use sequential::Sequential;
 
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{StdRng, Tensor};
+
+/// The typed run mode of a forward pass, replacing the old `training: bool`
+/// flag.
+///
+/// [`RunMode::Train`] carries the RNG that stochastic layers draw from, so
+/// layers themselves hold no RNG state and two training runs driven by the
+/// same seed are exactly reproducible. [`RunMode::Infer`] runs the pure
+/// inference path (dropout is the identity, batch norm reads its running
+/// statistics) and writes no caches.
+#[derive(Debug)]
+pub enum RunMode<'a> {
+    /// Training-time behaviour: dropout active (drawing from `rng`), batch
+    /// statistics computed and running averages updated, activations cached
+    /// for [`Layer::backward`].
+    Train {
+        /// The RNG stochastic layers draw from during this pass.
+        rng: &'a mut StdRng,
+    },
+    /// Inference behaviour: deterministic, cache-free, mutation-free — the
+    /// same computation [`Layer::infer`] performs through `&self`.
+    Infer,
+}
+
+impl<'a> RunMode<'a> {
+    /// Shorthand for [`RunMode::Train`] borrowing `rng`.
+    pub fn train(rng: &'a mut StdRng) -> Self {
+        RunMode::Train { rng }
+    }
+
+    /// Whether this is the training mode.
+    pub fn is_train(&self) -> bool {
+        matches!(self, RunMode::Train { .. })
+    }
+
+    /// Reborrows the mode so a container can hand it to each child layer in
+    /// turn without giving up ownership.
+    pub fn reborrow(&mut self) -> RunMode<'_> {
+        match self {
+            RunMode::Train { rng } => RunMode::Train { rng },
+            RunMode::Infer => RunMode::Infer,
+        }
+    }
+}
 
 /// A differentiable network component.
 ///
@@ -79,18 +135,41 @@ use mtlsplit_tensor::Tensor;
 /// to produce the gradient with respect to their input while accumulating
 /// gradients into their parameters.
 ///
+/// Training and inference are separate paths:
+///
+/// * [`Layer::forward`] takes `&mut self` plus a [`RunMode`]. In
+///   [`RunMode::Train`] it caches activations for the subsequent backward
+///   pass; in [`RunMode::Infer`] it behaves exactly like [`Layer::infer`]
+///   (useful when the caller only holds a `&mut` handle mid-training).
+/// * [`Layer::infer`] takes `&self` and never mutates: no cache writes, no
+///   dropout state, batch norm reads its running statistics. A frozen model
+///   can therefore serve concurrent inference from shared (`Arc`) state,
+///   which is what the multi-worker `InferenceServer` in `mtlsplit-serve`
+///   relies on. The trait requires `Sync` for exactly that reason.
+///
 /// The trait is object-safe so heterogeneous layers can be stored in a
 /// [`Sequential`] container.
-pub trait Layer: Send {
-    /// Runs the layer on `input`.
+pub trait Layer: Send + Sync {
+    /// Runs the layer on `input` under the given [`RunMode`].
     ///
-    /// `training` selects training-time behaviour (dropout active, batch
-    /// statistics updated) versus inference behaviour.
+    /// In [`RunMode::Train`] the layer caches whatever [`Layer::backward`]
+    /// will need; in [`RunMode::Infer`] it must produce the same output as
+    /// [`Layer::infer`] and leave every cache untouched.
     ///
     /// # Errors
     ///
     /// Returns an error if the input shape is incompatible with the layer.
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor>;
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor>;
+
+    /// Runs the layer on `input` in inference mode through `&self`.
+    ///
+    /// Implementations must not mutate any state (the signature enforces it
+    /// short of interior mutability, which layers must not use).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn infer(&self, input: &Tensor) -> Result<Tensor>;
 
     /// Propagates `grad_output` backwards through the layer, returning the
     /// gradient with respect to the layer input and accumulating parameter
@@ -115,4 +194,29 @@ pub trait Layer: Send {
 
     /// A short human-readable description used in summaries.
     fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod run_mode_tests {
+    use super::*;
+
+    #[test]
+    fn run_mode_reborrow_preserves_the_variant() {
+        let mut rng = StdRng::seed_from(0);
+        let mut train = RunMode::train(&mut rng);
+        assert!(train.is_train());
+        assert!(train.reborrow().is_train());
+        // The original mode is still usable after the reborrow ends.
+        assert!(train.is_train());
+        let mut infer = RunMode::Infer;
+        assert!(!infer.is_train());
+        assert!(!infer.reborrow().is_train());
+    }
+
+    #[test]
+    fn boxed_layers_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Layer>();
+        assert_send_sync::<Box<dyn Layer>>();
+    }
 }

@@ -6,7 +6,7 @@ use mtlsplit_tensor::{StdRng, Tensor};
 use crate::error::{NnError, Result};
 use crate::init::kaiming_normal;
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// A fully-connected (affine) layer: `y = x W^T + b`.
 ///
@@ -23,9 +23,9 @@ use crate::Layer;
 ///
 /// # fn main() -> Result<(), Box<dyn Error>> {
 /// let mut rng = StdRng::seed_from(0);
-/// let mut layer = Linear::new(8, 4, &mut rng);
+/// let layer = Linear::new(8, 4, &mut rng);
 /// let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
-/// let y = layer.forward(&x, true)?;
+/// let y = layer.infer(&x)?;
 /// assert_eq!(y.dims(), &[2, 4]);
 /// # Ok(())
 /// # }
@@ -64,7 +64,15 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        let out = self.infer(input)?;
+        if mode.is_train() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         if input.rank() != 2 || input.dims()[1] != self.in_features {
             return Err(NnError::InvalidConfig {
                 reason: format!(
@@ -75,7 +83,6 @@ impl Layer for Linear {
                 ),
             });
         }
-        self.cached_input = Some(input.clone());
         let out = input
             .matmul(&self.weight.value().transpose()?)?
             .add_row_broadcast(self.bias.value())?;
@@ -128,8 +135,14 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
-        self.cached_dims = Some(input.dims().to_vec());
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if mode.is_train() {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(input.flatten_batch()?)
     }
 
@@ -166,7 +179,7 @@ mod tests {
         *layer.weight.value_mut() = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         *layer.bias.value_mut() = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
-        let y = layer.forward(&x, true).unwrap();
+        let y = layer.infer(&x).unwrap();
         // y = [1*1+1*2+0.5, 1*3+1*4-0.5] = [3.5, 6.5]
         assert_eq!(y.as_slice(), &[3.5, 6.5]);
     }
@@ -174,9 +187,9 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_feature_count() {
         let mut rng = StdRng::seed_from(2);
-        let mut layer = Linear::new(4, 2, &mut rng);
-        assert!(layer.forward(&Tensor::zeros(&[1, 3]), true).is_err());
-        assert!(layer.forward(&Tensor::zeros(&[4]), true).is_err());
+        let layer = Linear::new(4, 2, &mut rng);
+        assert!(layer.infer(&Tensor::zeros(&[1, 3])).is_err());
+        assert!(layer.infer(&Tensor::zeros(&[4])).is_err());
     }
 
     #[test]
@@ -196,15 +209,14 @@ mod tests {
         let x = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
         let probe = Tensor::randn(&[4, 2], 0.0, 1.0, &mut rng);
 
-        let y = layer.forward(&x, true).unwrap();
+        let y = layer.forward(&x, RunMode::train(&mut rng)).unwrap();
         let _ = y;
         let grad_input = layer.backward(&probe).unwrap();
 
         // loss(x, w) = sum(probe * (x W^T + b))
         let eps = 1e-2;
-        let loss = |layer: &mut Linear, x: &Tensor| {
-            layer.forward(x, true).unwrap().mul(&probe).unwrap().sum()
-        };
+        let loss =
+            |layer: &mut Linear, x: &Tensor| layer.infer(x).unwrap().mul(&probe).unwrap().sum();
         // Check input gradient at a few coordinates.
         for idx in [0usize, 5, 11] {
             let mut plus = x.clone();
@@ -237,9 +249,10 @@ mod tests {
 
     #[test]
     fn flatten_round_trips_shapes() {
+        let mut rng = StdRng::seed_from(9);
         let mut flatten = Flatten::new();
         let x = Tensor::zeros(&[2, 3, 4, 4]);
-        let y = flatten.forward(&x, true).unwrap();
+        let y = flatten.forward(&x, RunMode::train(&mut rng)).unwrap();
         assert_eq!(y.dims(), &[2, 48]);
         let grad = flatten.backward(&Tensor::ones(&[2, 48])).unwrap();
         assert_eq!(grad.dims(), &[2, 3, 4, 4]);

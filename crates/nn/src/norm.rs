@@ -4,7 +4,7 @@ use mtlsplit_tensor::Tensor;
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// Per-channel batch normalisation for `[batch, channels, h, w]` tensors.
 ///
@@ -17,14 +17,14 @@ use crate::Layer;
 ///
 /// ```
 /// # use std::error::Error;
-/// use mtlsplit_nn::{BatchNorm2d, Layer};
+/// use mtlsplit_nn::{BatchNorm2d, Layer, RunMode};
 /// use mtlsplit_tensor::{StdRng, Tensor};
 ///
 /// # fn main() -> Result<(), Box<dyn Error>> {
 /// let mut rng = StdRng::seed_from(0);
 /// let mut bn = BatchNorm2d::new(4);
 /// let x = Tensor::randn(&[8, 4, 3, 3], 5.0, 2.0, &mut rng);
-/// let y = bn.forward(&x, true)?;
+/// let y = bn.forward(&x, RunMode::train(&mut rng))?;
 /// // The normalised output is centred near zero.
 /// assert!(y.mean().abs() < 0.1);
 /// # Ok(())
@@ -95,7 +95,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer(input);
+        }
         let (batch, height, width) = self.check_input(input)?;
         let plane = height * width;
         let count = (batch * plane).max(1) as f32;
@@ -105,30 +108,24 @@ impl Layer for BatchNorm2d {
         let mut std_inv = vec![0.0f32; self.channels];
 
         for (c, std_inv_slot) in std_inv.iter_mut().enumerate() {
-            let (mean, var) = if training {
-                let mut mean = 0.0f32;
-                for b in 0..batch {
-                    let base = (b * self.channels + c) * plane;
-                    mean += src[base..base + plane].iter().sum::<f32>();
-                }
-                mean /= count;
-                let mut var = 0.0f32;
-                for b in 0..batch {
-                    let base = (b * self.channels + c) * plane;
-                    var += src[base..base + plane]
-                        .iter()
-                        .map(|&x| (x - mean).powi(2))
-                        .sum::<f32>();
-                }
-                var /= count;
-                self.running_mean[c] =
-                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
-                self.running_var[c] =
-                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
-                (mean, var)
-            } else {
-                (self.running_mean[c], self.running_var[c])
-            };
+            let mut mean = 0.0f32;
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                mean += src[base..base + plane].iter().sum::<f32>();
+            }
+            mean /= count;
+            let mut var = 0.0f32;
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                var += src[base..base + plane]
+                    .iter()
+                    .map(|&x| (x - mean).powi(2))
+                    .sum::<f32>();
+            }
+            var /= count;
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
+            self.running_var[c] = (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
             let inv = 1.0 / (var + self.epsilon).sqrt();
             *std_inv_slot = inv;
             let g = self.gamma.value().as_slice()[c];
@@ -148,6 +145,26 @@ impl Layer for BatchNorm2d {
             std_inv,
             input_dims: input.dims().to_vec(),
         });
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let (batch, height, width) = self.check_input(input)?;
+        let plane = height * width;
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for c in 0..self.channels {
+            let mean = self.running_mean[c];
+            let inv = 1.0 / (self.running_var[c] + self.epsilon).sqrt();
+            let g = self.gamma.value().as_slice()[c];
+            let b_shift = self.beta.value().as_slice()[c];
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    out[base + i] = g * (src[base + i] - mean) * inv + b_shift;
+                }
+            }
+        }
         Ok(Tensor::from_vec(out, input.dims())?)
     }
 
@@ -231,7 +248,7 @@ mod tests {
         let mut rng = StdRng::seed_from(1);
         let mut bn = BatchNorm2d::new(3);
         let x = Tensor::randn(&[16, 3, 4, 4], 10.0, 3.0, &mut rng);
-        let y = bn.forward(&x, true).unwrap();
+        let y = bn.forward(&x, RunMode::train(&mut rng)).unwrap();
         // Per-channel mean ~0 and variance ~1 after normalisation.
         let plane = 16 * 16;
         for c in 0..3 {
@@ -256,13 +273,29 @@ mod tests {
         // Train on data with mean 4 so the running mean moves towards 4.
         for _ in 0..200 {
             let x = Tensor::randn(&[8, 2, 2, 2], 4.0, 1.0, &mut rng);
-            bn.forward(&x, true).unwrap();
+            bn.forward(&x, RunMode::train(&mut rng)).unwrap();
         }
         assert!((bn.running_mean()[0] - 4.0).abs() < 0.5);
         // At inference, a constant input equal to the running mean maps near beta (0).
         let x = Tensor::full(&[1, 2, 2, 2], 4.0);
-        let y = bn.forward(&x, false).unwrap();
+        let y = bn.infer(&x).unwrap();
         assert!(y.as_slice().iter().all(|v| v.abs() < 0.7));
+    }
+
+    #[test]
+    fn infer_leaves_running_statistics_untouched() {
+        let mut rng = StdRng::seed_from(7);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], 2.0, 1.0, &mut rng);
+        bn.forward(&x, RunMode::train(&mut rng)).unwrap();
+        let mean_before = bn.running_mean().to_vec();
+        let var_before = bn.running_var().to_vec();
+        // Inference through &self cannot mutate, and an infer-mode forward
+        // through &mut self must not either.
+        bn.infer(&x).unwrap();
+        bn.forward(&x, RunMode::Infer).unwrap();
+        assert_eq!(bn.running_mean(), mean_before.as_slice());
+        assert_eq!(bn.running_var(), var_before.as_slice());
     }
 
     #[test]
@@ -271,11 +304,16 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         let x = Tensor::randn(&[4, 2, 3, 3], 1.0, 2.0, &mut rng);
         let probe = Tensor::randn(x.dims(), 0.0, 1.0, &mut rng);
-        bn.forward(&x, true).unwrap();
+        bn.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = bn.backward(&probe).unwrap();
         let eps = 1e-2;
-        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
-            bn.forward(x, true).unwrap().mul(&probe).unwrap().sum()
+        let mut loss_rng = StdRng::seed_from(30);
+        let mut loss = |bn: &mut BatchNorm2d, x: &Tensor| {
+            bn.forward(x, RunMode::train(&mut loss_rng))
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum()
         };
         for idx in [0usize, 17, 71] {
             let mut plus = x.clone();
@@ -296,7 +334,7 @@ mod tests {
         let mut rng = StdRng::seed_from(4);
         let mut bn = BatchNorm2d::new(2);
         let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.0, &mut rng);
-        bn.forward(&x, true).unwrap();
+        bn.forward(&x, RunMode::train(&mut rng)).unwrap();
         bn.backward(&Tensor::ones(x.dims())).unwrap();
         // Beta gradient is the sum of the output gradient per channel.
         assert_eq!(bn.parameters()[1].grad().as_slice(), &[8.0, 8.0]);
@@ -304,9 +342,9 @@ mod tests {
 
     #[test]
     fn rejects_wrong_channel_count_and_rank() {
-        let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), true).is_err());
-        assert!(bn.forward(&Tensor::zeros(&[1, 3, 4]), true).is_err());
+        let bn = BatchNorm2d::new(3);
+        assert!(bn.infer(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+        assert!(bn.infer(&Tensor::zeros(&[1, 3, 4])).is_err());
     }
 
     #[test]

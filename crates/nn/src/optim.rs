@@ -10,8 +10,8 @@ use crate::param::Parameter;
 /// Optimizers keep per-parameter state (momentum buffers, Adam moments)
 /// keyed by the position of the parameter in the slice passed to
 /// [`Optimizer::step`]. Callers must therefore pass the parameters in a
-/// stable order — which is what [`crate::Sequential::parameters_mut`]
-/// guarantees for a fixed architecture.
+/// stable order — which is what [`Layer::parameters_mut`](crate::Layer::parameters_mut)
+/// on a [`crate::Sequential`] guarantees for a fixed architecture.
 pub trait Optimizer {
     /// Applies one update step using the gradients currently accumulated in
     /// the parameters. Frozen parameters are skipped; each parameter's

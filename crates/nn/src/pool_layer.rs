@@ -1,12 +1,13 @@
 //! Pooling layers wrapping the tensor-level pooling kernels.
 
 use mtlsplit_tensor::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward, Tensor,
+    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward,
+    max_pool2d_infer, Tensor,
 };
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// Max pooling with a square window.
 #[derive(Debug)]
@@ -28,10 +29,17 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
         let (out, indices) = max_pool2d(input, self.window, self.stride)?;
-        self.cache = Some((indices, input.dims().to_vec()));
+        if mode.is_train() {
+            self.cache = Some((indices, input.dims().to_vec()));
+        }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        // Index-free kernel: the argmax indices exist only for backward.
+        Ok(max_pool2d_infer(input, self.window, self.stride)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -75,8 +83,14 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
-        self.cached_dims = Some(input.dims().to_vec());
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if mode.is_train() {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(avg_pool2d(input, self.window, self.stride)?)
     }
 
@@ -124,8 +138,14 @@ impl GlobalAvgPool2d {
 }
 
 impl Layer for GlobalAvgPool2d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
-        self.cached_dims = Some(input.dims().to_vec());
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if mode.is_train() {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(global_avg_pool2d(input)?)
     }
 
@@ -181,10 +201,13 @@ mod tests {
 
     #[test]
     fn max_pool_layer_round_trip() {
+        let mut rng = StdRng::seed_from(10);
         let mut pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
-        let y = pool.forward(&x, true).unwrap();
+        let y = pool.forward(&x, RunMode::train(&mut rng)).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        // The &self path produces the same pooled values.
+        assert_eq!(pool.infer(&x).unwrap(), y);
         let grad = pool.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(grad.dims(), x.dims());
         assert_eq!(grad.sum(), 4.0);
@@ -192,9 +215,10 @@ mod tests {
 
     #[test]
     fn avg_pool_layer_gradient_is_uniform() {
+        let mut rng = StdRng::seed_from(11);
         let mut pool = AvgPool2d::new(2, 2);
         let x = Tensor::ones(&[1, 1, 4, 4]);
-        pool.forward(&x, true).unwrap();
+        pool.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = pool.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
         assert!(grad.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
     }
@@ -204,7 +228,7 @@ mod tests {
         let mut rng = StdRng::seed_from(1);
         let mut pool = GlobalAvgPool2d::new();
         let x = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
-        let y = pool.forward(&x, true).unwrap();
+        let y = pool.forward(&x, RunMode::train(&mut rng)).unwrap();
         assert_eq!(y.dims(), &[2, 3]);
         let grad = pool.backward(&Tensor::ones(&[2, 3])).unwrap();
         assert_eq!(grad.dims(), &[2, 3, 4, 4]);
@@ -218,7 +242,7 @@ mod tests {
         let mut pool = GlobalAvgPool2d::new();
         let x = Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, &mut rng);
         let probe = Tensor::randn(&[1, 2], 0.0, 1.0, &mut rng);
-        pool.forward(&x, true).unwrap();
+        pool.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = pool.backward(&probe).unwrap();
         let eps = 1e-2;
         for idx in [0usize, 9, 17] {
@@ -226,18 +250,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let up = pool
-                .forward(&plus, true)
-                .unwrap()
-                .mul(&probe)
-                .unwrap()
-                .sum();
-            let down = pool
-                .forward(&minus, true)
-                .unwrap()
-                .mul(&probe)
-                .unwrap()
-                .sum();
+            let up = pool.infer(&plus).unwrap().mul(&probe).unwrap().sum();
+            let down = pool.infer(&minus).unwrap().mul(&probe).unwrap().sum();
             let num = (up - down) / (2.0 * eps);
             assert!((num - grad.as_slice()[idx]).abs() < 1e-3);
         }

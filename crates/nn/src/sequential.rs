@@ -4,7 +4,7 @@ use mtlsplit_tensor::Tensor;
 
 use crate::error::Result;
 use crate::param::Parameter;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// An ordered stack of layers applied one after another.
 ///
@@ -21,11 +21,11 @@ use crate::Layer;
 ///
 /// # fn main() -> Result<(), Box<dyn Error>> {
 /// let mut rng = StdRng::seed_from(0);
-/// let mut mlp = Sequential::new()
+/// let mlp = Sequential::new()
 ///     .push(Linear::new(4, 8, &mut rng))
 ///     .push(Relu::new())
 ///     .push(Linear::new(8, 2, &mut rng));
-/// let y = mlp.forward(&Tensor::zeros(&[1, 4]), false)?;
+/// let y = mlp.infer(&Tensor::zeros(&[1, 4]))?;
 /// assert_eq!(y.dims(), &[1, 2]);
 /// # Ok(())
 /// # }
@@ -103,10 +103,18 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mut mode: RunMode<'_>) -> Result<Tensor> {
         let mut current = input.clone();
         for layer in &mut self.layers {
-            current = layer.forward(&current, training)?;
+            current = layer.forward(&current, mode.reborrow())?;
+        }
+        Ok(current)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = layer.infer(&current)?;
         }
         Ok(current)
     }
@@ -153,19 +161,30 @@ mod tests {
     #[test]
     fn empty_sequential_is_identity() {
         let mut seq = Sequential::new();
+        let mut rng = StdRng::seed_from(0);
         let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
-        assert_eq!(seq.forward(&x, true).unwrap(), x);
+        assert_eq!(seq.forward(&x, RunMode::train(&mut rng)).unwrap(), x);
+        assert_eq!(seq.infer(&x).unwrap(), x);
         assert_eq!(seq.backward(&x).unwrap(), x);
         assert!(seq.is_empty());
     }
 
     #[test]
     fn forward_chains_layers_in_order() {
-        let mut seq = tiny_mlp(1);
+        let seq = tiny_mlp(1);
         assert_eq!(seq.len(), 3);
         assert_eq!(seq.layer_names(), vec!["Linear", "Relu", "Linear"]);
-        let y = seq.forward(&Tensor::zeros(&[4, 3]), true).unwrap();
+        let y = seq.infer(&Tensor::zeros(&[4, 3])).unwrap();
         assert_eq!(y.dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn train_and_infer_paths_agree_for_deterministic_layers() {
+        let mut seq = tiny_mlp(9);
+        let mut rng = StdRng::seed_from(10);
+        let x = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let trained = seq.forward(&x, RunMode::train(&mut rng)).unwrap();
+        assert_eq!(seq.infer(&x).unwrap(), trained);
     }
 
     #[test]
@@ -173,7 +192,7 @@ mod tests {
         let mut seq = tiny_mlp(2);
         let mut rng = StdRng::seed_from(3);
         let x = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
-        let y = seq.forward(&x, true).unwrap();
+        let y = seq.forward(&x, RunMode::train(&mut rng)).unwrap();
         let grad = seq.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(grad.dims(), x.dims());
     }
@@ -189,7 +208,7 @@ mod tests {
         let mut seq = tiny_mlp(5);
         let mut rng = StdRng::seed_from(6);
         let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
-        let y = seq.forward(&x, true).unwrap();
+        let y = seq.forward(&x, RunMode::train(&mut rng)).unwrap();
         seq.backward(&Tensor::ones(y.dims())).unwrap();
         assert!(seq
             .parameters()
@@ -220,7 +239,9 @@ mod tests {
         let mut outer = Sequential::new()
             .push(inner)
             .push(Linear::new(4, 2, &mut rng));
-        let y = outer.forward(&Tensor::zeros(&[1, 3]), true).unwrap();
+        let y = outer
+            .forward(&Tensor::zeros(&[1, 3]), RunMode::train(&mut rng))
+            .unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(outer.parameter_count(), 3 * 4 + 4 + 4 * 2 + 2);
     }

@@ -10,11 +10,11 @@ use crate::frame::{Frame, OpCode};
 use crate::transport::Transport;
 use crate::wire::decode_response;
 
-/// The edge client: runs the shared backbone locally, ships the encoded
-/// `Z_b` through a [`Transport`], and decodes the per-task outputs that come
-/// back.
+/// The edge client: runs the shared backbone locally through the immutable
+/// [`Layer::infer`] path, ships the encoded `Z_b` through a [`Transport`],
+/// and decodes the per-task outputs that come back.
 pub struct EdgeClient {
-    backbone: Box<dyn Layer + Send>,
+    backbone: Box<dyn Layer>,
     codec: TensorCodec,
     transport: Box<dyn Transport>,
     next_request_id: u64,
@@ -33,7 +33,7 @@ impl EdgeClient {
     /// Creates a client from the edge-resident backbone, the uplink codec
     /// and a transport to the server.
     pub fn new(
-        backbone: Box<dyn Layer + Send>,
+        backbone: Box<dyn Layer>,
         codec: TensorCodec,
         transport: Box<dyn Transport>,
     ) -> Self {
@@ -45,9 +45,9 @@ impl EdgeClient {
         }
     }
 
-    /// Runs the backbone on `input` and round-trips the shared
-    /// representation to the server, returning one output tensor per task
-    /// head (in the server's head order).
+    /// Runs the backbone on `input` (immutable `&self` inference) and
+    /// round-trips the shared representation to the server, returning one
+    /// output tensor per task head (in the server's head order).
     ///
     /// # Errors
     ///
@@ -56,7 +56,7 @@ impl EdgeClient {
     pub fn infer(&mut self, input: &Tensor) -> Result<Vec<Tensor>> {
         let features = self
             .backbone
-            .forward(input, false)
+            .infer(input)
             .map_err(mtlsplit_split::SplitError::from)?;
         let outputs = self.infer_features(&features)?;
         Ok(outputs)
@@ -172,9 +172,9 @@ mod tests {
         };
         let (reference_backbone, reference_heads) = build();
         let (served_backbone, served_heads) = build();
-        let boxed: Vec<Box<dyn Layer + Send>> = served_heads
+        let boxed: Vec<Box<dyn Layer>> = served_heads
             .into_iter()
-            .map(|h| Box::new(h) as Box<dyn Layer + Send>)
+            .map(|h| Box::new(h) as Box<dyn Layer>)
             .collect();
         let server = Arc::new(InferenceServer::start(boxed, ServerConfig::default()));
         (reference_backbone, reference_heads, server, served_backbone)
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn loopback_inference_matches_monolithic_forward_exactly() {
-        let (mut ref_backbone, mut ref_heads, server, served_backbone) = split_fixture();
+        let (ref_backbone, ref_heads, server, served_backbone) = split_fixture();
         let mut client = EdgeClient::new(
             Box::new(served_backbone),
             TensorCodec::new(Precision::Float32),
@@ -191,9 +191,9 @@ mod tests {
         let mut rng = StdRng::seed_from(12);
         let x = Tensor::randn(&[4, 3, 6, 6], 0.0, 1.0, &mut rng);
         let served = client.infer(&x).unwrap();
-        let features = ref_backbone.forward(&x, false).unwrap();
-        for (head, output) in ref_heads.iter_mut().zip(&served) {
-            let direct = head.forward(&features, false).unwrap();
+        let features = ref_backbone.infer(&x).unwrap();
+        for (head, output) in ref_heads.iter().zip(&served) {
+            let direct = head.infer(&features).unwrap();
             assert!(output.allclose(&direct, 1e-6));
         }
     }
@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn tcp_round_trip_matches_loopback() {
-        let (mut ref_backbone, mut ref_heads, server, served_backbone) = split_fixture();
+        let (ref_backbone, ref_heads, server, served_backbone) = split_fixture();
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let tcp = TcpServer::spawn(Arc::clone(&server), listener).unwrap();
         let transport = TcpTransport::connect(tcp.local_addr()).unwrap();
@@ -241,9 +241,9 @@ mod tests {
         let mut rng = StdRng::seed_from(14);
         let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
         let served = client.infer(&x).unwrap();
-        let features = ref_backbone.forward(&x, false).unwrap();
-        for (head, output) in ref_heads.iter_mut().zip(&served) {
-            let direct = head.forward(&features, false).unwrap();
+        let features = ref_backbone.infer(&x).unwrap();
+        for (head, output) in ref_heads.iter().zip(&served) {
+            let direct = head.infer(&features).unwrap();
             assert!(output.allclose(&direct, 1e-6));
         }
         drop(client);

@@ -41,6 +41,15 @@ pub enum ServeError {
         /// Configured maximum body length in bytes.
         max: usize,
     },
+    /// The frame's CRC-32 did not match its contents — the frame was
+    /// corrupted in transit (any single flipped byte triggers this unless a
+    /// more specific magic/version/length error catches it first).
+    ChecksumMismatch {
+        /// The checksum the frame declared.
+        declared: u32,
+        /// The checksum computed over the received bytes.
+        actual: u32,
+    },
     /// A frame arrived with an op code the caller did not expect.
     UnexpectedFrame {
         /// What the caller was waiting for.
@@ -85,6 +94,12 @@ impl fmt::Display for ServeError {
             ServeError::UnknownOpCode { code } => write!(f, "unknown op code {code}"),
             ServeError::Oversized { len, max } => {
                 write!(f, "frame body of {len} bytes exceeds the maximum {max}")
+            }
+            ServeError::ChecksumMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: declared {declared:#010x}, computed {actual:#010x}"
+                )
             }
             ServeError::UnexpectedFrame { expected, got } => {
                 write!(f, "expected {expected}, got a {got:?} frame")

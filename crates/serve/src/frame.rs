@@ -5,11 +5,12 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic 0x4D544C53 ("MTLS"), little-endian
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (currently 2)
 //! 5       1     op code
 //! 6       8     request id, u64 little-endian
 //! 14      4     body length n, u32 little-endian
-//! 18      n     body
+//! 18      4     CRC-32 (IEEE) over bytes [4, 18) and the body, little-endian
+//! 22      n     body
 //! ```
 //!
 //! The body of an [`OpCode::InferRequest`] is exactly one
@@ -17,6 +18,12 @@
 //! [`OpCode::InferResponse`] is the task-output list encoded by
 //! [`crate::wire`]. [`OpCode::Error`] carries a UTF-8 message. Frames are
 //! self-delimiting, so a stream of them needs no extra framing.
+//!
+//! Protocol version 2 added the CRC-32 checksum: it covers everything after
+//! the magic/version prefix (op code, request id, length and body), so *any*
+//! single corrupted byte in a frame is rejected with a typed error — a
+//! flipped bit in a request id or a payload byte can no longer silently
+//! deliver a wrong answer.
 
 use std::io::{Read, Write};
 
@@ -26,14 +33,51 @@ use crate::error::{Result, ServeError};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MTLS");
 
 /// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Size of the fixed frame header in bytes.
-pub const HEADER_BYTES: usize = 4 + 1 + 1 + 8 + 4;
+pub const HEADER_BYTES: usize = 4 + 1 + 1 + 8 + 4 + 4;
+
+/// Byte offset of the CRC-32 field inside the header.
+const CRC_OFFSET: usize = 18;
 
 /// Default cap on a frame body, protecting servers from corrupt or hostile
 /// length prefixes (64 MiB).
 pub const DEFAULT_MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// generated at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) over a sequence of byte slices, as if concatenated.
+fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &byte in *part {
+            let index = ((crc ^ byte as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ CRC32_TABLE[index];
+        }
+    }
+    !crc
+}
 
 /// Message kind carried by a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,6 +110,57 @@ impl OpCode {
             5 => Ok(OpCode::Error),
             _ => Err(ServeError::UnknownOpCode { code }),
         }
+    }
+}
+
+/// Header fields parsed from the wire but not yet checksum-verified or
+/// op-code-validated — the single definition of the v2 header layout shared
+/// by [`Frame::decode`] and [`Frame::read_from`].
+struct RawHeader {
+    op_byte: u8,
+    request_id: u64,
+    body_len: usize,
+    declared_crc: u32,
+}
+
+impl RawHeader {
+    /// Validates magic and version, then splits the fixed header fields out.
+    fn parse(header: &[u8; HEADER_BYTES]) -> Result<Self> {
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(ServeError::BadMagic { found: magic });
+        }
+        if header[4] != VERSION {
+            return Err(ServeError::UnsupportedVersion { found: header[4] });
+        }
+        Ok(Self {
+            op_byte: header[5],
+            request_id: u64::from_le_bytes(header[6..14].try_into().expect("8 bytes")),
+            body_len: u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize,
+            declared_crc: u32::from_le_bytes(
+                header[CRC_OFFSET..CRC_OFFSET + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            ),
+        })
+    }
+
+    /// Verifies the declared CRC-32 against the checksummed region
+    /// (version..length inside `header`, then `body`) and finishes building
+    /// the frame, validating the op code last.
+    fn into_frame(self, header: &[u8; HEADER_BYTES], body: Vec<u8>) -> Result<Frame> {
+        let actual = crc32(&[&header[4..CRC_OFFSET], &body]);
+        if self.declared_crc != actual {
+            return Err(ServeError::ChecksumMismatch {
+                declared: self.declared_crc,
+                actual,
+            });
+        }
+        Ok(Frame {
+            request_id: self.request_id,
+            op: OpCode::from_byte(self.op_byte)?,
+            body,
+        })
     }
 }
 
@@ -102,6 +197,10 @@ impl Frame {
     }
 
     /// Encodes the frame into its binary form.
+    ///
+    /// The CRC-32 is computed over exactly the header bytes emitted after
+    /// the magic (version, op, request id, body length) plus the body — the
+    /// same region [`RawHeader::into_frame`] verifies on receipt.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -109,6 +208,8 @@ impl Frame {
         out.push(self.op as u8);
         out.extend_from_slice(&self.request_id.to_le_bytes());
         out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        let crc = crc32(&[&out[4..CRC_OFFSET], &self.body]);
+        out.extend_from_slice(&crc.to_le_bytes());
         out.extend_from_slice(&self.body);
         out
     }
@@ -118,7 +219,12 @@ impl Frame {
     /// # Errors
     ///
     /// Returns a typed [`ServeError`] on truncation, bad magic, an unknown
-    /// version or op code, or trailing bytes.
+    /// version or op code, a checksum mismatch, or trailing bytes. Every
+    /// single-byte corruption of a valid frame is rejected: corruption of
+    /// the magic or version prefix hits [`ServeError::BadMagic`] /
+    /// [`ServeError::UnsupportedVersion`], corruption of the length field
+    /// hits [`ServeError::Truncated`], and everything else is caught by the
+    /// CRC-32 as [`ServeError::ChecksumMismatch`].
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < HEADER_BYTES {
             return Err(ServeError::Truncated {
@@ -126,29 +232,16 @@ impl Frame {
                 got: bytes.len(),
             });
         }
-        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
-        if magic != MAGIC {
-            return Err(ServeError::BadMagic { found: magic });
-        }
-        let version = bytes[4];
-        if version != VERSION {
-            return Err(ServeError::UnsupportedVersion { found: version });
-        }
-        let op = OpCode::from_byte(bytes[5])?;
-        let request_id = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
-        let body_len = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
-        let total = HEADER_BYTES + body_len;
+        let header: &[u8; HEADER_BYTES] = bytes[..HEADER_BYTES].try_into().expect("header");
+        let raw = RawHeader::parse(header)?;
+        let total = HEADER_BYTES.saturating_add(raw.body_len);
         if bytes.len() != total {
             return Err(ServeError::Truncated {
                 needed: total,
                 got: bytes.len(),
             });
         }
-        Ok(Self {
-            request_id,
-            op,
-            body: bytes[HEADER_BYTES..].to_vec(),
-        })
+        raw.into_frame(header, bytes[HEADER_BYTES..].to_vec())
     }
 
     /// Writes the encoded frame to `writer` and flushes it.
@@ -163,14 +256,16 @@ impl Frame {
     }
 
     /// Reads one frame from `reader`, enforcing `max_body` on the declared
-    /// body length before allocating.
+    /// body length before allocating and verifying the checksum once the
+    /// body has arrived.
     ///
     /// Returns `Ok(None)` if the stream is cleanly closed before the first
     /// header byte — the peer hung up between frames.
     ///
     /// # Errors
     ///
-    /// Returns a typed [`ServeError`] on protocol violations and
+    /// Returns a typed [`ServeError`] on protocol violations (including
+    /// [`ServeError::ChecksumMismatch`] for corrupted frames) and
     /// [`ServeError::Io`] on socket failures, including streams cut mid-frame.
     pub fn read_from<R: Read>(reader: &mut R, max_body: usize) -> Result<Option<Self>> {
         let mut header = [0u8; HEADER_BYTES];
@@ -188,29 +283,16 @@ impl Frame {
             }
             filled += n;
         }
-        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        if magic != MAGIC {
-            return Err(ServeError::BadMagic { found: magic });
-        }
-        if header[4] != VERSION {
-            return Err(ServeError::UnsupportedVersion { found: header[4] });
-        }
-        let op = OpCode::from_byte(header[5])?;
-        let request_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
-        let body_len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
-        if body_len > max_body {
+        let raw = RawHeader::parse(&header)?;
+        if raw.body_len > max_body {
             return Err(ServeError::Oversized {
-                len: body_len,
+                len: raw.body_len,
                 max: max_body,
             });
         }
-        let mut body = vec![0u8; body_len];
+        let mut body = vec![0u8; raw.body_len];
         reader.read_exact(&mut body)?;
-        Ok(Some(Self {
-            request_id,
-            op,
-            body,
-        }))
+        raw.into_frame(&header, body).map(Some)
     }
 }
 
@@ -244,6 +326,14 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_reference_check_value() {
+        // The standard CRC-32 check value: crc32(b"123456789") = 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
     fn decode_rejects_truncation_and_corruption() {
         let good = sample().encode();
         for cut in [0, 4, HEADER_BYTES - 1, good.len() - 1] {
@@ -270,10 +360,45 @@ mod tests {
             Frame::decode(&bad_version),
             Err(ServeError::UnsupportedVersion { found: 9 })
         ));
-        let mut bad_op = good;
+        // A corrupted op code no longer parses as an op at all — the
+        // checksum covers it and fails first.
+        let mut bad_op = good.clone();
         bad_op[5] = 200;
         assert!(matches!(
             Frame::decode(&bad_op),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        // A flipped body byte is caught by the checksum.
+        let mut bad_body = good.clone();
+        let last = bad_body.len() - 1;
+        bad_body[last] ^= 0x01;
+        assert!(matches!(
+            Frame::decode(&bad_body),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        // A flipped request-id byte is caught by the checksum too.
+        let mut bad_id = good;
+        bad_id[6] ^= 0x80;
+        assert!(matches!(
+            Frame::decode(&bad_id),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_op_with_a_valid_checksum_is_still_rejected() {
+        // Hand-build a frame whose op byte is outside the protocol but whose
+        // checksum is consistent, to reach the UnknownOpCode path.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(VERSION);
+        bytes.push(200);
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&[&bytes[4..18]]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
             Err(ServeError::UnknownOpCode { code: 200 })
         ));
     }
@@ -309,6 +434,18 @@ mod tests {
         assert!(matches!(
             Frame::read_from(&mut cursor, 1024),
             Err(ServeError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_corrupted_frames_with_a_checksum_error() {
+        let mut bytes = sample().encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            Frame::read_from(&mut cursor, DEFAULT_MAX_BODY_BYTES),
+            Err(ServeError::ChecksumMismatch { .. })
         ));
     }
 

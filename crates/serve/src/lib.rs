@@ -13,15 +13,19 @@
 //! The pieces, bottom-up:
 //!
 //! * [`frame`] — the length-prefixed binary wire protocol. One [`Frame`] =
-//!   magic, version, op code, request id, body. Request bodies carry the
-//!   exact [`mtlsplit_split::WirePayload`] encoding, so the simulator's byte
-//!   accounting and the real socket agree bit for bit.
+//!   magic, version, op code, request id, body length, CRC-32, body.
+//!   Request bodies carry the exact [`mtlsplit_split::WirePayload`]
+//!   encoding, so the simulator's byte accounting and the real socket agree
+//!   bit for bit, and the checksum rejects any corrupted frame with a typed
+//!   error.
 //! * [`Transport`] — one synchronous round-trip. [`TcpTransport`] speaks to
 //!   a real socket; [`LoopbackTransport`] calls the server in-process and
 //!   charges a [`mtlsplit_split::ChannelModel`] for every frame, keeping
 //!   tests and benches hermetic and deterministic.
-//! * [`InferenceServer`] — task heads behind a bounded queue with adaptive
-//!   micro-batching, plus [`ServeMetrics`] (throughput, p50/p95/p99 latency,
+//! * [`InferenceServer`] — frozen task heads held in an `Arc` and shared by
+//!   [`ServerConfig::workers`] worker threads, each running the immutable
+//!   `Layer::infer` path; a bounded queue with adaptive micro-batching
+//!   feeds them, plus [`ServeMetrics`] (throughput, p50/p95/p99 latency,
 //!   wire bytes). [`TcpServer`] is its thread-per-connection TCP front-end.
 //! * [`EdgeClient`] — the on-device half.
 //!
@@ -41,13 +45,17 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = StdRng::seed_from(0);
-//! // Server side: one task head behind the batching queue.
-//! let head: Box<dyn Layer + Send> =
+//! // Server side: one frozen task head served by two worker threads via
+//! // &self inference from Arc-shared state.
+//! let head: Box<dyn Layer> =
 //!     Box::new(Sequential::new().push(Linear::new(16, 4, &mut rng)));
-//! let server = Arc::new(InferenceServer::start(vec![head], ServerConfig::default()));
+//! let server = Arc::new(InferenceServer::start(
+//!     vec![head],
+//!     ServerConfig::default().with_workers(2),
+//! ));
 //!
 //! // Edge side: a backbone plus a hermetic in-process transport.
-//! let backbone: Box<dyn Layer + Send> =
+//! let backbone: Box<dyn Layer> =
 //!     Box::new(Sequential::new().push(Linear::new(8, 16, &mut rng)));
 //! let mut client = EdgeClient::new(
 //!     backbone,

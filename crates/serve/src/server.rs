@@ -1,15 +1,21 @@
-//! The server half of the deployment: task heads behind a bounded request
-//! queue with adaptive micro-batching.
+//! The server half of the deployment: frozen task heads shared by a pool of
+//! worker threads behind a bounded request queue with adaptive
+//! micro-batching.
 //!
-//! An [`InferenceServer`] owns the task heads on a dedicated worker thread.
-//! Requests enter through a bounded queue (backpressure: submitters block
-//! when it is full); the worker drains up to
-//! [`ServerConfig::max_batch`] pending requests at once, coalesces the
-//! decoded `Z_b` tensors that share a feature shape into one batched forward
-//! pass per head, then splits the outputs back out per request. Under light
-//! load a request is served alone (no added latency); under bursts the
-//! backbone of each head runs once per batch instead of once per request —
-//! the classic adaptive micro-batching trade.
+//! An [`InferenceServer`] holds the task heads in an `Arc` — they are frozen
+//! at [`InferenceServer::start`] and only ever run through the immutable
+//! [`Layer::infer`] path, so [`ServerConfig::workers`] threads serve from
+//! the *same* head instances with no copies and no locks around the model.
+//! Requests enter through one bounded queue (backpressure: submitters block
+//! when it is full); whichever worker is idle steals the next request off
+//! the queue, drains up to [`ServerConfig::max_batch`] more that are already
+//! pending, coalesces the decoded `Z_b` tensors that share a feature shape
+//! into one batched forward pass per head, then splits the outputs back out
+//! per request. Under light load a request is served alone (no added
+//! latency); under bursts each head runs once per micro-batch instead of
+//! once per request, and independent micro-batches run on different cores
+//! concurrently. The only mutable shared state is the metrics recorder,
+//! behind its own mutex.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
@@ -38,6 +44,12 @@ pub struct ServerConfig {
     /// Wire precision of response payloads. `Float32` keeps server outputs
     /// bit-exact with a monolithic forward pass.
     pub response_precision: Precision,
+    /// Number of worker threads serving the shared heads concurrently.
+    ///
+    /// Every worker runs the same `Arc`-shared frozen heads through
+    /// [`Layer::infer`], so outputs are identical whatever the worker count;
+    /// more workers only add throughput on multi-core hosts.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +59,7 @@ impl Default for ServerConfig {
             queue_depth: 256,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             response_precision: Precision::Float32,
+            workers: 1,
         }
     }
 }
@@ -55,6 +68,12 @@ impl ServerConfig {
     /// Returns this configuration with the given batching limit.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Returns this configuration with the given worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -69,8 +88,8 @@ struct Request {
     responder: Sender<std::result::Result<Vec<WirePayload>, String>>,
 }
 
-/// The server half of an MTL-Split deployment: task heads plus the batching
-/// worker that drives them.
+/// The server half of an MTL-Split deployment: frozen task heads plus the
+/// worker pool that drives them.
 ///
 /// The server is transport-agnostic: [`InferenceServer::process`] maps one
 /// request [`Frame`] to one response [`Frame`], and both the TCP listener and
@@ -78,7 +97,8 @@ struct Request {
 /// simulated deployment and a socket deployment execute identical code.
 pub struct InferenceServer {
     tx: Mutex<Option<SyncSender<Request>>>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    heads: Arc<Vec<Box<dyn Layer>>>,
     metrics: Arc<Mutex<MetricsRecorder>>,
     config: ServerConfig,
 }
@@ -94,31 +114,52 @@ impl std::fmt::Debug for InferenceServer {
 impl InferenceServer {
     /// Starts a server over the given task heads.
     ///
-    /// The heads move to a dedicated worker thread; they run in inference
-    /// mode only.
+    /// The heads are frozen into an `Arc` shared by
+    /// [`ServerConfig::workers`] worker threads; they run exclusively
+    /// through the immutable [`Layer::infer`] path.
     ///
     /// # Panics
     ///
     /// Panics if more than 255 heads are supplied — the wire protocol's
     /// response body carries the task count in one byte.
-    pub fn start(heads: Vec<Box<dyn Layer + Send>>, config: ServerConfig) -> Self {
+    pub fn start(heads: Vec<Box<dyn Layer>>, config: ServerConfig) -> Self {
         assert!(
             heads.len() <= u8::MAX as usize,
             "the wire protocol supports at most 255 task heads, got {}",
             heads.len()
         );
         let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth.max(1));
+        let heads = Arc::new(heads);
         let metrics = Arc::new(Mutex::new(MetricsRecorder::new()));
-        let worker_metrics = Arc::clone(&metrics);
         let max_batch = config.max_batch.max(1);
         let response_precision = config.response_precision;
-        let worker = std::thread::Builder::new()
-            .name("mtlsplit-serve-worker".to_string())
-            .spawn(move || worker_loop(rx, heads, max_batch, response_precision, worker_metrics))
-            .expect("spawn server worker thread");
+        // All workers steal off one shared receiver: whichever worker is
+        // idle takes the lock, grabs up to `max_batch` pending requests, and
+        // releases the lock before running the heads.
+        let shared_rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let worker_rx = Arc::clone(&shared_rx);
+                let worker_heads = Arc::clone(&heads);
+                let worker_metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("mtlsplit-serve-worker-{index}"))
+                    .spawn(move || {
+                        worker_loop(
+                            &worker_rx,
+                            &worker_heads,
+                            max_batch,
+                            response_precision,
+                            &worker_metrics,
+                        )
+                    })
+                    .expect("spawn server worker thread")
+            })
+            .collect();
         Self {
             tx: Mutex::new(Some(tx)),
-            worker: Mutex::new(Some(worker)),
+            workers: Mutex::new(workers),
+            heads,
             metrics,
             config,
         }
@@ -129,15 +170,20 @@ impl InferenceServer {
         &self.config
     }
 
+    /// Number of task heads being served.
+    pub fn head_count(&self) -> usize {
+        self.heads.len()
+    }
+
     /// A point-in-time snapshot of the serving metrics.
     pub fn metrics(&self) -> ServeMetrics {
         // Copy the recorder out under the lock; the percentile sort then
-        // runs without blocking the serving worker.
+        // runs without blocking the serving workers.
         let recorder = self.metrics.lock().expect("metrics lock").clone();
         recorder.snapshot()
     }
 
-    /// Submits one decoded payload and blocks until the worker responds.
+    /// Submits one decoded payload and blocks until a worker responds.
     ///
     /// # Errors
     ///
@@ -201,11 +247,13 @@ impl InferenceServer {
         }
     }
 
-    /// Stops accepting requests, drains the queue and joins the worker.
+    /// Stops accepting requests, drains the queue and joins every worker.
     pub fn shutdown(&self) {
-        // Dropping the only sender ends the worker's recv loop.
+        // Dropping the only sender ends the workers' recv loops.
         self.tx.lock().expect("queue lock").take();
-        if let Some(worker) = self.worker.lock().expect("worker lock").take() {
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker lock"));
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -217,30 +265,41 @@ impl Drop for InferenceServer {
     }
 }
 
-/// Drains the queue and serves batches until every sender is gone.
+/// One worker: steal a batch off the shared queue, serve it, repeat until
+/// every sender is gone.
 fn worker_loop(
-    rx: Receiver<Request>,
-    mut heads: Vec<Box<dyn Layer + Send>>,
+    rx: &Mutex<Receiver<Request>>,
+    heads: &[Box<dyn Layer>],
     max_batch: usize,
     response_precision: Precision,
-    metrics: Arc<Mutex<MetricsRecorder>>,
+    metrics: &Arc<Mutex<MetricsRecorder>>,
 ) {
-    while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while batch.len() < max_batch {
-            match rx.try_recv() {
-                Ok(request) => batch.push(request),
+    loop {
+        // Hold the receiver lock only while draining the queue, never while
+        // running the heads — that is what lets N workers overlap compute.
+        let batch = {
+            let guard = rx.lock().expect("receiver lock");
+            let first = match guard.recv() {
+                Ok(request) => request,
                 Err(_) => break,
+            };
+            let mut batch = vec![first];
+            while batch.len() < max_batch {
+                match guard.try_recv() {
+                    Ok(request) => batch.push(request),
+                    Err(_) => break,
+                }
             }
-        }
-        serve_batch(&mut heads, batch, response_precision, &metrics);
+            batch
+        };
+        serve_batch(heads, batch, response_precision, metrics);
     }
 }
 
 /// Decodes a drained batch, coalesces compatible payloads, runs the heads
 /// and answers every request.
 fn serve_batch(
-    heads: &mut [Box<dyn Layer + Send>],
+    heads: &[Box<dyn Layer>],
     batch: Vec<Request>,
     response_precision: Precision,
     metrics: &Arc<Mutex<MetricsRecorder>>,
@@ -287,9 +346,9 @@ fn serve_batch(
     }
 }
 
-/// Runs one coalesced forward pass and distributes the outputs.
+/// Runs one coalesced `&self` inference pass and distributes the outputs.
 fn serve_group(
-    heads: &mut [Box<dyn Layer + Send>],
+    heads: &[Box<dyn Layer>],
     members: Vec<(Request, Tensor)>,
     response_precision: Precision,
     metrics: &Arc<Mutex<MetricsRecorder>>,
@@ -308,10 +367,10 @@ fn serve_group(
             stacked = Tensor::concat_batch(&tensors).map_err(|e| e.to_string())?;
             &stacked
         };
-        // One forward pass per head over the whole group.
+        // One immutable inference pass per head over the whole group.
         let mut head_outputs = Vec::with_capacity(heads.len());
-        for head in heads.iter_mut() {
-            head_outputs.push(head.forward(input, false).map_err(|e| e.to_string())?);
+        for head in heads.iter() {
+            head_outputs.push(head.infer(input).map_err(|e| e.to_string())?);
         }
         metrics.lock().expect("metrics lock").record_forward();
         // Split each head's stacked output back into per-request payloads.
@@ -487,6 +546,10 @@ fn serve_connection(stream: std::net::TcpStream, server: Arc<InferenceServer>, m
             break;
         }
     }
+    // Sever the socket explicitly: the accept loop retains a clone of this
+    // stream (for forced shutdown on `TcpServer::stop`), so dropping our
+    // handles alone would leave the peer half-open until the next reap.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
 }
 
 /// Returns a queue-full error when `sender` cannot take another request
@@ -506,7 +569,7 @@ mod tests {
     use mtlsplit_nn::{Linear, Sequential};
     use mtlsplit_tensor::StdRng;
 
-    fn head(features: usize, classes: usize, rng: &mut StdRng) -> Box<dyn Layer + Send> {
+    fn head(features: usize, classes: usize, rng: &mut StdRng) -> Box<dyn Layer> {
         Box::new(Sequential::new().push(Linear::new(features, classes, rng)))
     }
 
@@ -521,6 +584,7 @@ mod tests {
             vec![head(16, 4, &mut rng), head(16, 3, &mut rng)],
             ServerConfig::default(),
         );
+        assert_eq!(server.head_count(), 2);
         let outputs = server.infer(payload(2, 16, &mut rng)).unwrap();
         assert_eq!(outputs.len(), 2);
         assert_eq!(outputs[0].dims, vec![2, 4]);
@@ -533,7 +597,7 @@ mod tests {
     #[test]
     fn batched_outputs_match_individual_forward_passes() {
         let mut rng = StdRng::seed_from(2);
-        let mut reference = Sequential::new().push(Linear::new(8, 5, &mut rng));
+        let reference = Sequential::new().push(Linear::new(8, 5, &mut rng));
         let mut clone_rng = StdRng::seed_from(2);
         let server = InferenceServer::start(
             vec![head(8, 5, &mut clone_rng)],
@@ -545,7 +609,7 @@ mod tests {
             .collect();
         // The server head was built from the same seed, so weights agree.
         for input in &inputs {
-            let direct = reference.forward(input, false).unwrap();
+            let direct = reference.infer(input).unwrap();
             let outputs = server.infer(codec.encode(input)).unwrap();
             let served = codec.decode(&outputs[0]).unwrap();
             assert!(served.allclose(&direct, 1e-6));
@@ -589,6 +653,44 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_server_answers_every_request_correctly() {
+        // Four workers share one Arc'd head through &self inference; every
+        // response must still be exactly the single-model answer.
+        let mut rng = StdRng::seed_from(7);
+        let reference = Sequential::new().push(Linear::new(8, 3, &mut rng));
+        let mut clone_rng = StdRng::seed_from(7);
+        let server = Arc::new(InferenceServer::start(
+            vec![head(8, 3, &mut clone_rng)],
+            ServerConfig::default().with_max_batch(4).with_workers(4),
+        ));
+        let clients: Vec<_> = (0..8)
+            .map(|seed| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from(500 + seed);
+                    let codec = TensorCodec::default();
+                    let mut cases = Vec::new();
+                    for _ in 0..16 {
+                        let z = Tensor::randn(&[1, 8], 0.0, 1.0, &mut rng);
+                        let outputs = server.infer(codec.encode(&z)).unwrap();
+                        cases.push((z, codec.decode(&outputs[0]).unwrap()));
+                    }
+                    cases
+                })
+            })
+            .collect();
+        for client in clients {
+            for (z, served) in client.join().unwrap() {
+                let direct = reference.infer(&z).unwrap();
+                assert_eq!(served, direct, "multi-worker output diverged");
+            }
+        }
+        let metrics = server.metrics();
+        assert_eq!(metrics.requests, 128);
+        assert_eq!(metrics.errors, 0);
+    }
+
+    #[test]
     fn mismatched_feature_widths_are_not_coalesced_but_still_served() {
         let mut rng = StdRng::seed_from(4);
         // Head expects 8 features; a 7-feature request must fail alone
@@ -624,7 +726,10 @@ mod tests {
     #[test]
     fn shutdown_rejects_further_requests() {
         let mut rng = StdRng::seed_from(6);
-        let server = InferenceServer::start(vec![head(4, 2, &mut rng)], ServerConfig::default());
+        let server = InferenceServer::start(
+            vec![head(4, 2, &mut rng)],
+            ServerConfig::default().with_workers(2),
+        );
         server.shutdown();
         assert!(matches!(
             server.infer(payload(1, 4, &mut rng)),

@@ -165,7 +165,7 @@ mod tests {
 
     fn test_server() -> Arc<InferenceServer> {
         let mut rng = StdRng::seed_from(1);
-        let heads: Vec<Box<dyn Layer + Send>> = vec![Box::new(
+        let heads: Vec<Box<dyn Layer>> = vec![Box::new(
             Sequential::new().push(Linear::new(8, 3, &mut rng)),
         )];
         Arc::new(InferenceServer::start(heads, ServerConfig::default()))

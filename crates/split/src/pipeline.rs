@@ -6,6 +6,10 @@
 //! representation. This is the inference path a deployed MTL-Split system
 //! would follow, and it is what the quickstart example and the integration
 //! tests exercise.
+//!
+//! Every model reference is `&` — the pipeline drives the pure
+//! [`Layer::infer`] path, so the same frozen backbone and heads can be run
+//! from several pipelines (or threads) at once.
 
 use mtlsplit_nn::Layer;
 use mtlsplit_tensor::Tensor;
@@ -72,22 +76,24 @@ impl SplitPipeline {
         &self.channel
     }
 
-    /// Runs the edge half: backbone forward pass plus serialization.
+    /// Runs the edge half: an immutable backbone inference pass plus
+    /// serialization.
     ///
     /// # Errors
     ///
-    /// Propagates any error from the backbone forward pass.
+    /// Propagates any error from the backbone inference pass.
     pub fn edge_forward(
         &self,
-        backbone: &mut dyn Layer,
+        backbone: &dyn Layer,
         input: &Tensor,
     ) -> Result<(WirePayload, Tensor)> {
-        let features = backbone.forward(input, false)?;
+        let features = backbone.infer(input)?;
         let payload = self.codec.encode(&features);
         Ok((payload, features))
     }
 
-    /// Runs the server half: decodes `Z_b` and evaluates every head.
+    /// Runs the server half: decodes `Z_b` and evaluates every head through
+    /// `&self` inference.
     ///
     /// # Errors
     ///
@@ -95,13 +101,13 @@ impl SplitPipeline {
     /// decoded representation.
     pub fn remote_forward(
         &self,
-        heads: &mut [&mut dyn Layer],
+        heads: &[&dyn Layer],
         payload: &WirePayload,
     ) -> Result<Vec<Tensor>> {
         let features = self.codec.decode(payload)?;
         heads
-            .iter_mut()
-            .map(|head| head.forward(&features, false).map_err(Into::into))
+            .iter()
+            .map(|head| head.infer(&features).map_err(Into::into))
             .collect()
     }
 
@@ -113,8 +119,8 @@ impl SplitPipeline {
     /// Propagates model and payload errors.
     pub fn run(
         &self,
-        backbone: &mut dyn Layer,
-        heads: &mut [&mut dyn Layer],
+        backbone: &dyn Layer,
+        heads: &[&dyn Layer],
         input: &Tensor,
     ) -> Result<(Vec<Tensor>, PipelineTiming)> {
         let (payload, _features) = self.edge_forward(backbone, input)?;
@@ -152,14 +158,12 @@ mod tests {
     #[test]
     fn full_pipeline_produces_one_output_per_head() {
         let mut rng = StdRng::seed_from(1);
-        let mut backbone = toy_backbone(&mut rng);
-        let mut head_a = toy_head(3, &mut rng);
-        let mut head_b = toy_head(5, &mut rng);
+        let backbone = toy_backbone(&mut rng);
+        let head_a = toy_head(3, &mut rng);
+        let head_b = toy_head(5, &mut rng);
         let pipeline = SplitPipeline::new(ChannelModel::gigabit());
         let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
-        let (outputs, timing) = pipeline
-            .run(&mut backbone, &mut [&mut head_a, &mut head_b], &x)
-            .unwrap();
+        let (outputs, timing) = pipeline.run(&backbone, &[&head_a, &head_b], &x).unwrap();
         assert_eq!(outputs.len(), 2);
         assert_eq!(outputs[0].dims(), &[4, 3]);
         assert_eq!(outputs[1].dims(), &[4, 5]);
@@ -170,26 +174,26 @@ mod tests {
     fn split_outputs_match_a_monolithic_run() {
         // Splitting with a lossless codec must not change the predictions.
         let mut rng = StdRng::seed_from(2);
-        let mut backbone = toy_backbone(&mut rng);
-        let mut head = toy_head(4, &mut rng);
+        let backbone = toy_backbone(&mut rng);
+        let head = toy_head(4, &mut rng);
         let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
 
-        let features = backbone.forward(&x, false).unwrap();
-        let direct = head.forward(&features, false).unwrap();
+        let features = backbone.infer(&x).unwrap();
+        let direct = head.infer(&features).unwrap();
 
         let pipeline = SplitPipeline::new(ChannelModel::gigabit());
-        let (outputs, _) = pipeline.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        let (outputs, _) = pipeline.run(&backbone, &[&head], &x).unwrap();
         assert!(outputs[0].allclose(&direct, 1e-6));
     }
 
     #[test]
     fn transmitted_payload_is_smaller_than_the_input() {
         let mut rng = StdRng::seed_from(3);
-        let mut backbone = toy_backbone(&mut rng);
-        let mut head = toy_head(2, &mut rng);
+        let backbone = toy_backbone(&mut rng);
+        let head = toy_head(2, &mut rng);
         let pipeline = SplitPipeline::new(ChannelModel::gigabit());
         let x = Tensor::randn(&[8, 3, 8, 8], 0.0, 1.0, &mut rng);
-        let (_, timing) = pipeline.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        let (_, timing) = pipeline.run(&backbone, &[&head], &x).unwrap();
         assert!(timing.compression_ratio() > 2.0);
         assert!(timing.transfer_seconds < timing.roc_transfer_seconds);
     }
@@ -197,26 +201,61 @@ mod tests {
     #[test]
     fn quantised_pipeline_shrinks_the_payload_further() {
         let mut rng = StdRng::seed_from(4);
-        let mut backbone = toy_backbone(&mut rng);
-        let mut head = toy_head(2, &mut rng);
+        let backbone = toy_backbone(&mut rng);
+        let head = toy_head(2, &mut rng);
         let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
         let full = SplitPipeline::new(ChannelModel::gigabit());
-        let (_, t_full) = full.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        let (_, t_full) = full.run(&backbone, &[&head], &x).unwrap();
         let quant = SplitPipeline::with_precision(ChannelModel::gigabit(), Precision::Quant8);
-        let (_, t_quant) = quant.run(&mut backbone, &mut [&mut head], &x).unwrap();
+        let (_, t_quant) = quant.run(&backbone, &[&head], &x).unwrap();
         assert!(t_quant.zb_wire_bytes < t_full.zb_wire_bytes);
     }
 
     #[test]
     fn edge_and_remote_halves_can_run_separately() {
         let mut rng = StdRng::seed_from(5);
-        let mut backbone = toy_backbone(&mut rng);
-        let mut head = toy_head(3, &mut rng);
+        let backbone = toy_backbone(&mut rng);
+        let head = toy_head(3, &mut rng);
         let pipeline = SplitPipeline::new(ChannelModel::wifi());
         let x = Tensor::randn(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
-        let (payload, features) = pipeline.edge_forward(&mut backbone, &x).unwrap();
+        let (payload, features) = pipeline.edge_forward(&backbone, &x).unwrap();
         assert_eq!(features.dims(), &[1, 16]);
-        let outputs = pipeline.remote_forward(&mut [&mut head], &payload).unwrap();
+        let outputs = pipeline.remote_forward(&[&head], &payload).unwrap();
         assert_eq!(outputs[0].dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn a_shared_frozen_model_serves_two_pipelines_concurrently() {
+        // The &self inference path lets one frozen backbone/head pair be
+        // driven from several threads at once with no locking.
+        let mut rng = StdRng::seed_from(6);
+        let backbone = std::sync::Arc::new(toy_backbone(&mut rng));
+        let head = std::sync::Arc::new(toy_head(3, &mut rng));
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let reference = {
+            let pipeline = SplitPipeline::new(ChannelModel::gigabit());
+            let (outputs, _) = pipeline
+                .run(backbone.as_ref(), &[head.as_ref()], &x)
+                .unwrap();
+            outputs
+        };
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let backbone = std::sync::Arc::clone(&backbone);
+                let head = std::sync::Arc::clone(&head);
+                let x = x.clone();
+                let expected = reference.clone();
+                std::thread::spawn(move || {
+                    let pipeline = SplitPipeline::new(ChannelModel::gigabit());
+                    let (outputs, _) = pipeline
+                        .run(backbone.as_ref(), &[head.as_ref()], &x)
+                        .unwrap();
+                    assert_eq!(outputs, expected);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
     }
 }

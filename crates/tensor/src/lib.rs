@@ -43,6 +43,7 @@ pub use error::{Result, TensorError};
 pub use ops::{log_softmax_rows, softmax_rows};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward,
+    max_pool2d_infer,
 };
 pub use rng::StdRng;
 pub use shape::Shape;

@@ -87,6 +87,42 @@ pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<(Tenso
     ))
 }
 
+/// Index-free max pooling for the inference hot path: identical output to
+/// [`max_pool2d`] without allocating or filling the argmax-indices buffer
+/// (which only the backward pass needs).
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a window/stride that does not
+/// tile the spatial extent.
+pub fn max_pool2d_infer(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let [batch, channels, height, width] = check_rank4(input, "max_pool2d")?;
+    let out_h = pooled_size(height, window, stride, "max_pool2d")?;
+    let out_w = pooled_size(width, window, stride, "max_pool2d")?;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; batch * channels * out_h * out_w];
+    for b in 0..batch {
+        for c in 0..channels {
+            let plane = (b * channels + c) * height * width;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut best = src[plane + (oy * stride) * width + ox * stride];
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let idx = plane + (oy * stride + ky) * width + ox * stride + kx;
+                            if src[idx] > best {
+                                best = src[idx];
+                            }
+                        }
+                    }
+                    out[((b * channels + c) * out_h + oy) * out_w + ox] = best;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, channels, out_h, out_w])
+}
+
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the input
 /// element that produced the maximum.
 ///
@@ -218,6 +254,17 @@ mod tests {
         let (pooled, indices) = max_pool2d(&x, 2, 2).unwrap();
         assert_eq!(pooled.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
         assert_eq!(indices, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_infer_matches_the_indexed_kernel() {
+        let mut rng = StdRng::seed_from(9);
+        for (window, stride) in [(2, 2), (3, 1), (2, 1)] {
+            let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+            let (indexed, _) = max_pool2d(&x, window, stride).unwrap();
+            assert_eq!(max_pool2d_infer(&x, window, stride).unwrap(), indexed);
+        }
+        assert!(max_pool2d_infer(&Tensor::zeros(&[2, 4]), 2, 2).is_err());
     }
 
     #[test]

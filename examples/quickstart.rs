@@ -51,24 +51,21 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 3. Deploy: backbone on the "edge", heads on the "server", with the
     //    flattened representation Z_b crossing a simulated gigabit channel.
-    let mut model = outcome.model;
+    //    Inference is immutable (&self), so the trained model needs no `mut`.
+    let model = outcome.model;
     let pipeline = SplitPipeline::new(ChannelModel::gigabit());
     let sample = test.images().slice_batch(0, 8)?;
     let feature_dim = model.backbone().feature_dim();
 
-    let (payload, _features) = pipeline.edge_forward(model.backbone_mut(), &sample)?;
+    let (payload, _features) = pipeline.edge_forward(model.backbone(), &sample)?;
     println!(
         "edge: produced Z_b of {} features/sample, payload {} bytes for 8 samples",
         feature_dim,
         payload.wire_bytes()
     );
 
-    let mut heads: Vec<&mut dyn Layer> = model
-        .heads_mut()
-        .iter_mut()
-        .map(|h| h as &mut dyn Layer)
-        .collect();
-    let outputs = pipeline.remote_forward(&mut heads, &payload)?;
+    let heads: Vec<&dyn Layer> = model.heads().iter().map(|h| h as &dyn Layer).collect();
+    let outputs = pipeline.remote_forward(&heads, &payload)?;
     for (task, logits) in outputs.iter().enumerate() {
         let predictions = logits.argmax_rows()?;
         println!("server: task {task} predictions for 8 samples: {predictions:?}");

@@ -46,11 +46,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         train.len()
     );
     let outcome = trainer::train_mtl(BackboneKind::MobileStyle, &train, &test, &config)?;
-    let mut model = outcome.model;
+    let model = outcome.model;
 
-    // 2. Monolithic reference: run the intact model on a held-out batch.
+    // 2. Monolithic reference: run the intact model on a held-out batch
+    //    through the immutable &self inference path.
     let sample = test.images().slice_batch(0, 8)?;
-    let (_, reference) = model.forward(&sample, false)?;
+    let (_, reference) = model.infer_forward(&sample)?;
     let task_names = model.task_names().to_vec();
 
     // 3. Split the trained model into its deployment halves. The parameters
@@ -63,15 +64,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         server_half.parameter_count()
     );
 
-    // 4. Server side: heads behind a batching queue, fronted by real TCP.
+    // 4. Server side: the frozen heads go into an Arc shared by four worker
+    //    threads, every worker running &self inference — fronted by real TCP.
     let server = Arc::new(InferenceServer::start(
         server_half.into_layers(),
-        ServerConfig::default().with_max_batch(8),
+        ServerConfig::default().with_max_batch(8).with_workers(4),
     ));
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let tcp = TcpServer::spawn(Arc::clone(&server), listener)?;
     let addr = tcp.local_addr();
-    println!("inference server listening on {addr}");
+    println!(
+        "inference server listening on {addr} with {} workers",
+        server.config().workers
+    );
 
     // 5. Edge side, in its own thread: backbone + codec + TCP transport.
     let client_thread = std::thread::spawn(move || -> Result<Vec<Tensor>, String> {

@@ -1,11 +1,18 @@
 //! Integration tests of the deployment analysis: the qualitative claims of
-//! Section 4.2 and Table 4 must hold for every backbone and every channel.
+//! Section 4.2 and Table 4 must hold for every backbone and every channel —
+//! plus the serving-equivalence guarantee: a multi-worker `InferenceServer`
+//! must be bit-identical to a single worker and to a monolithic forward.
+
+use std::sync::Arc;
 
 use mtlsplit_core::experiment::{run_paradigm_analysis, run_table4};
+use mtlsplit_core::{deploy, MtlSplitModel};
+use mtlsplit_data::TaskSpec;
 use mtlsplit_models::analysis::{analyze_backbone_at, raw_input_bytes};
 use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
-use mtlsplit_split::{ChannelModel, DeploymentParadigm, EdgeDevice, WorkloadProfile};
-use mtlsplit_tensor::StdRng;
+use mtlsplit_serve::{InferenceServer, ServerConfig};
+use mtlsplit_split::{ChannelModel, DeploymentParadigm, EdgeDevice, TensorCodec, WorkloadProfile};
+use mtlsplit_tensor::{StdRng, Tensor};
 
 #[test]
 fn table4_orderings_hold() {
@@ -88,6 +95,101 @@ fn loc_memory_saving_grows_with_the_number_of_tasks() {
     }
     // With many tasks the saving approaches the paper's 57 %+ regime.
     assert!(previous > 0.55, "saving for 6 tasks was only {previous}");
+}
+
+/// Builds the same two-task model from one seed (construction is fully
+/// deterministic, so every call yields identical weights).
+fn fixture_model() -> MtlSplitModel {
+    let mut rng = StdRng::seed_from(77);
+    MtlSplitModel::new(
+        BackboneKind::MobileStyle,
+        3,
+        16,
+        &[TaskSpec::new("size", 4), TaskSpec::new("kind", 3)],
+        16,
+        &mut rng,
+    )
+    .expect("build model")
+}
+
+#[test]
+fn multi_worker_server_is_bit_identical_to_single_worker_and_monolithic() {
+    // Monolithic reference: the intact model, &self inference.
+    let monolithic = fixture_model();
+    let mut rng = StdRng::seed_from(78);
+    let codec = TensorCodec::default();
+    let inputs: Vec<Tensor> = (0..24)
+        .map(|_| Tensor::randn(&[1, 3, 16, 16], 0.5, 0.2, &mut rng))
+        .collect();
+    let references: Vec<Vec<Tensor>> = inputs
+        .iter()
+        .map(|x| monolithic.infer_forward(x).expect("monolithic forward").1)
+        .collect();
+
+    // Two servers over identically-built split halves: one worker vs four.
+    let serve_all = |workers: usize| -> Vec<Vec<Tensor>> {
+        let (edge, server_half) = deploy::split_for_serving(fixture_model());
+        let backbone = edge.into_layer();
+        let server = Arc::new(InferenceServer::start(
+            server_half.into_layers(),
+            ServerConfig::default()
+                .with_max_batch(8)
+                .with_workers(workers),
+        ));
+        // Drive from several threads so the worker pool actually interleaves
+        // and micro-batching can coalesce unrelated requests.
+        let chunk = inputs.len() / 4;
+        let mut answers: Vec<Option<Vec<Tensor>>> = vec![None; inputs.len()];
+        std::thread::scope(|scope| {
+            let mut pending = Vec::new();
+            for (start, slice) in inputs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, s)| (i * chunk, s))
+            {
+                let server = Arc::clone(&server);
+                let backbone = &backbone;
+                pending.push((
+                    start,
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|x| {
+                                let z = backbone.infer(x).expect("edge forward");
+                                let outputs =
+                                    server.infer(codec.encode(&z)).expect("served request");
+                                outputs
+                                    .iter()
+                                    .map(|p| codec.decode(p).expect("decode output"))
+                                    .collect::<Vec<Tensor>>()
+                            })
+                            .collect::<Vec<Vec<Tensor>>>()
+                    }),
+                ));
+            }
+            for (start, handle) in pending {
+                for (offset, outputs) in handle
+                    .join()
+                    .expect("client thread")
+                    .into_iter()
+                    .enumerate()
+                {
+                    answers[start + offset] = Some(outputs);
+                }
+            }
+        });
+        answers.into_iter().map(|a| a.expect("answered")).collect()
+    };
+
+    let single = serve_all(1);
+    let multi = serve_all(4);
+    for ((reference, one), four) in references.iter().zip(&single).zip(&multi) {
+        // Bit-identical across all three execution modes: the f32 codec is
+        // lossless and batched &self inference computes rows independently.
+        assert_eq!(one, reference, "single-worker output diverged");
+        assert_eq!(four, reference, "multi-worker output diverged");
+        assert_eq!(one, four);
+    }
 }
 
 #[test]

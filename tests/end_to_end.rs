@@ -32,24 +32,20 @@ fn mtl_training_then_split_inference_matches_monolithic_inference() {
 
     let outcome = trainer::train_mtl(BackboneKind::MobileStyle, &train, &test, &quick_config(41))
         .expect("train");
-    let mut model = outcome.model;
+    let model = outcome.model;
 
     let sample = test.images().slice_batch(0, 6).expect("slice batch");
-    // Monolithic predictions (no network in the middle).
+    // Monolithic predictions (no network in the middle); &self inference.
     let direct = model.predict(&sample).expect("predict");
 
     // Split predictions: backbone on the edge, heads behind the channel.
     let pipeline = SplitPipeline::new(ChannelModel::gigabit());
     let (payload, _) = pipeline
-        .edge_forward(model.backbone_mut(), &sample)
+        .edge_forward(model.backbone(), &sample)
         .expect("edge forward");
-    let mut heads: Vec<&mut dyn Layer> = model
-        .heads_mut()
-        .iter_mut()
-        .map(|h| h as &mut dyn Layer)
-        .collect();
+    let heads: Vec<&dyn Layer> = model.heads().iter().map(|h| h as &dyn Layer).collect();
     let outputs = pipeline
-        .remote_forward(&mut heads, &payload)
+        .remote_forward(&heads, &payload)
         .expect("remote forward");
     let split_predictions: Vec<Vec<usize>> = outputs
         .iter()
@@ -76,21 +72,17 @@ fn quantised_split_rarely_changes_predictions_and_shrinks_payload() {
     let (train, test) = dataset.split(0.8, 42).expect("split dataset");
     let outcome = trainer::train_mtl(BackboneKind::MobileStyle, &train, &test, &quick_config(42))
         .expect("train");
-    let mut model = outcome.model;
+    let model = outcome.model;
     let sample = test.images().slice_batch(0, 10).expect("slice batch");
     let direct = model.predict(&sample).expect("predict");
 
     let pipeline = SplitPipeline::with_precision(ChannelModel::gigabit(), Precision::Quant8);
     let (payload, _) = pipeline
-        .edge_forward(model.backbone_mut(), &sample)
+        .edge_forward(model.backbone(), &sample)
         .expect("edge forward");
-    let mut heads: Vec<&mut dyn Layer> = model
-        .heads_mut()
-        .iter_mut()
-        .map(|h| h as &mut dyn Layer)
-        .collect();
+    let heads: Vec<&dyn Layer> = model.heads().iter().map(|h| h as &dyn Layer).collect();
     let outputs = pipeline
-        .remote_forward(&mut heads, &payload)
+        .remote_forward(&heads, &payload)
         .expect("remote forward");
 
     // 8-bit quantisation of Z_b shrinks the payload ~4x...

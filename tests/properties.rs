@@ -7,6 +7,7 @@
 //! failure so it can be replayed from the seed.
 
 use mtlsplit_data::{MultiTaskDataset, TaskSpec};
+use mtlsplit_serve::{Frame, OpCode};
 use mtlsplit_split::{DeploymentParadigm, Precision, TensorCodec, WorkloadProfile};
 use mtlsplit_tensor::{softmax_rows, StdRng, Tensor};
 
@@ -124,6 +125,54 @@ fn dataset_split_partitions_samples() {
             .map(|(a, b)| a + b)
             .collect();
         assert_eq!(full, combined, "case {case}: class histogram not preserved");
+    }
+}
+
+/// `Frame::decode` rejects every truncated prefix and every single-byte
+/// corruption of a valid encoded frame with a typed error — never a panic,
+/// never a silently different frame. The CRC-32 in protocol v2 is what
+/// closes the request-id/body gap that a header-only validation would leave.
+#[test]
+fn frame_decode_rejects_truncation_and_single_byte_corruption() {
+    let mut rng = StdRng::seed_from(107);
+    let ops = [
+        OpCode::InferRequest,
+        OpCode::InferResponse,
+        OpCode::Ping,
+        OpCode::Pong,
+        OpCode::Error,
+    ];
+    for case in 0..CASES {
+        let op = ops[rng.below(ops.len())];
+        let request_id = rng.next_u64();
+        let body_len = rng.below(48);
+        let body: Vec<u8> = (0..body_len)
+            .map(|_| (rng.next_u32() & 0xFF) as u8)
+            .collect();
+        let frame = Frame::new(op, request_id, body);
+        let encoded = frame.encode();
+        // Sanity: the untouched encoding round-trips.
+        assert_eq!(Frame::decode(&encoded).unwrap(), frame, "case {case}");
+
+        // Every strict prefix is rejected with a typed error.
+        for cut in 0..encoded.len() {
+            assert!(
+                Frame::decode(&encoded[..cut]).is_err(),
+                "case {case}: prefix of {cut} bytes was accepted"
+            );
+        }
+
+        // Every single-byte corruption (a random non-zero XOR at every
+        // position) is rejected with a typed error.
+        for position in 0..encoded.len() {
+            let flip = 1 + (rng.next_u32() & 0xFF) as u8 % 255;
+            let mut corrupted = encoded.clone();
+            corrupted[position] ^= flip;
+            assert!(
+                Frame::decode(&corrupted).is_err(),
+                "case {case}: corruption at byte {position} (xor {flip:#04x}) was accepted"
+            );
+        }
     }
 }
 
