@@ -1,13 +1,310 @@
-//! Criterion benchmarks of the numerical kernels every experiment rests on:
-//! matrix multiplication, direct and im2col convolution, and pooling.
+//! Compute-kernel benchmarks: the packed blocked GEMM and the grouped
+//! im2col convolution against the seed's naive kernels.
+//!
+//! Besides the criterion timings, this bench measures a fixed
+//! GEMM-vs-seed-naive and conv-vs-seed-direct grid with a manual best-of-N
+//! loop and dumps it to `BENCH_kernels.json` at the repository root (same
+//! style as `BENCH_serving.json`, recording `available_parallelism`), so the
+//! kernel-performance trajectory is tracked from PR to PR. Set
+//! `MTLSPLIT_BENCH_QUICK=1` to run a reduced grid — that is what the CI
+//! smoke step uses to keep the bench compiling and the JSON schema honest.
+//!
+//! The seed kernels are reproduced verbatim below (naive i-k-j matmul with
+//! its sparsity skip, direct 7-deep convolution loop): they are the fixed
+//! baseline every future kernel change is measured against, compiled with
+//! exactly the same flags as the production kernels.
+
+use std::path::Path;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mtlsplit_tensor::{conv2d, conv2d_im2col, max_pool2d, Conv2dSpec, StdRng, Tensor};
+use mtlsplit_tensor::{conv2d, max_pool2d, sgemm, Conv2dSpec, Parallelism, StdRng, Tensor};
+
+/// `1` when `MTLSPLIT_BENCH_QUICK` asks for the reduced CI grid.
+fn quick_mode() -> bool {
+    std::env::var("MTLSPLIT_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+// ---------------------------------------------------------------------------
+// Seed baselines (v0 kernels, kept only as the measured reference)
+// ---------------------------------------------------------------------------
+
+/// The seed's `Tensor::matmul`: single-threaded i-k-j loop with the
+/// `a == 0.0` sparsity skip it shipped with.
+fn seed_naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let a = a.as_slice();
+    let b = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's direct 7-deep convolution loop (dense, grouped, depthwise).
+fn seed_direct_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Vec<f32> {
+    let dims = input.dims();
+    let (batch, height, width) = (dims[0], dims[2], dims[3]);
+    let (out_h, out_w) = spec.output_size(height, width).expect("bench spec fits");
+    let groups = spec.groups;
+    let cin_g = spec.in_channels / groups;
+    let cout_g = spec.out_channels / groups;
+    let k = spec.kernel;
+    let mut out = vec![0.0f32; batch * spec.out_channels * out_h * out_w];
+    let src = input.as_slice();
+    let w = weight.as_slice();
+    let pad = spec.padding as isize;
+    for b in 0..batch {
+        for g in 0..groups {
+            for oc_local in 0..cout_g {
+                let oc = g * cout_g + oc_local;
+                let bias_val = bias.map_or(0.0, |t| t.as_slice()[oc]);
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let mut acc = bias_val;
+                        for ic_local in 0..cin_g {
+                            let ic = g * cin_g + ic_local;
+                            let w_base = ((oc * cin_g + ic_local) * k) * k;
+                            let in_base = (b * spec.in_channels + ic) * height * width;
+                            for ky in 0..k {
+                                let in_y = (oy * spec.stride + ky) as isize - pad;
+                                if in_y < 0 || in_y >= height as isize {
+                                    continue;
+                                }
+                                let row_base = in_base + in_y as usize * width;
+                                let w_row = w_base + ky * k;
+                                for kx in 0..k {
+                                    let in_x = (ox * spec.stride + kx) as isize - pad;
+                                    if in_x < 0 || in_x >= width as isize {
+                                        continue;
+                                    }
+                                    acc += src[row_base + in_x as usize] * w[w_row + kx];
+                                }
+                            }
+                        }
+                        out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The measured grid dumped to BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+struct MatmulRow {
+    n: usize,
+    seed_naive_ms: f64,
+    /// Blocked GEMM time per thread count, `(threads, ms)`.
+    gemm_ms: Vec<(usize, f64)>,
+}
+
+struct ConvRow {
+    case: &'static str,
+    seed_direct_ms: f64,
+    im2col_gemm_ms: f64,
+}
+
+fn measure_matmul_grid(reps: usize, sizes: &[usize]) -> Vec<MatmulRow> {
+    let mut rng = StdRng::seed_from(1);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let seed_naive_ms = best_ms(reps, || {
+            criterion::black_box(seed_naive_matmul(&a, &b));
+        });
+        let mut gemm_ms = Vec::new();
+        let mut c = vec![0.0f32; n * n];
+        for threads in [1usize, 2, 4] {
+            let ms = best_ms(reps, || {
+                sgemm(
+                    false,
+                    false,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    b.as_slice(),
+                    0.0,
+                    &mut c,
+                    Parallelism::fixed(threads),
+                );
+            });
+            gemm_ms.push((threads, ms));
+        }
+        rows.push(MatmulRow {
+            n,
+            seed_naive_ms,
+            gemm_ms,
+        });
+    }
+    rows
+}
+
+fn measure_conv_grid(reps: usize) -> Vec<ConvRow> {
+    let mut rng = StdRng::seed_from(2);
+    let cases: Vec<(&'static str, Conv2dSpec, [usize; 4])> = vec![
+        (
+            "dense_16to32_k3_24x24",
+            Conv2dSpec::new(16, 32, 3).with_padding(1),
+            [4, 16, 24, 24],
+        ),
+        (
+            "depthwise_32_k3_24x24",
+            Conv2dSpec::new(32, 32, 3).with_padding(1).with_groups(32),
+            [4, 32, 24, 24],
+        ),
+        (
+            "grouped_32to32_g4_k3_16x16",
+            Conv2dSpec::new(32, 32, 3).with_padding(1).with_groups(4),
+            [4, 32, 16, 16],
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(case, spec, dims)| {
+            let input = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+            let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.2, &mut rng);
+            let bias = Tensor::zeros(&[spec.out_channels]);
+            let seed_direct_ms = best_ms(reps, || {
+                criterion::black_box(seed_direct_conv2d(&input, &weight, Some(&bias), &spec));
+            });
+            let im2col_gemm_ms = best_ms(reps, || {
+                criterion::black_box(conv2d(&input, &weight, Some(&bias), &spec).expect("conv"));
+            });
+            ConvRow {
+                case,
+                seed_direct_ms,
+                im2col_gemm_ms,
+            }
+        })
+        .collect()
+}
+
+/// Writes the grid to `BENCH_kernels.json` at the repository root
+/// (hand-rolled JSON — the workspace has no serde).
+fn dump_json(matmul: &[MatmulRow], conv: &[ConvRow], quick: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n  \"benchmark\": \"kernels\",\n");
+    json.push_str(&format!(
+        "  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n"
+    ));
+    json.push_str("  \"matmul\": [\n");
+    for (index, row) in matmul.iter().enumerate() {
+        let single_thread = row.gemm_ms[0].1;
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"seed_naive_ms\": {:.4}, ",
+            row.n, row.seed_naive_ms
+        ));
+        for &(threads, ms) in &row.gemm_ms {
+            json.push_str(&format!("\"gemm_{threads}t_ms\": {ms:.4}, "));
+        }
+        json.push_str(&format!(
+            "\"speedup_1t\": {:.2}}}{}\n",
+            row.seed_naive_ms / single_thread,
+            if index + 1 == matmul.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"conv\": [\n");
+    for (index, row) in conv.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"seed_direct_ms\": {:.4}, \"im2col_gemm_ms\": {:.4}, \
+             \"speedup\": {:.2}}}{}\n",
+            row.case,
+            row.seed_direct_ms,
+            row.im2col_gemm_ms,
+            row.seed_direct_ms / row.im2col_gemm_ms,
+            if index + 1 == conv.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
+fn bench_kernel_grid(_c: &mut Criterion) {
+    let quick = quick_mode();
+    let reps = if quick { 3 } else { 9 };
+    let sizes: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 384]
+    };
+    let matmul = measure_matmul_grid(reps, sizes);
+    for row in &matmul {
+        let single = row.gemm_ms[0].1;
+        println!(
+            "matmul n={}: seed naive {:.3} ms | blocked gemm {:.3} ms (1 thread) | {:.2}x",
+            row.n,
+            row.seed_naive_ms,
+            single,
+            row.seed_naive_ms / single
+        );
+    }
+    let conv = measure_conv_grid(reps);
+    for row in &conv {
+        println!(
+            "conv {}: seed direct {:.3} ms | im2col+gemm {:.3} ms | {:.2}x",
+            row.case,
+            row.seed_direct_ms,
+            row.im2col_gemm_ms,
+            row.seed_direct_ms / row.im2col_gemm_ms
+        );
+    }
+    dump_json(&matmul, &conv, quick);
+}
+
+// ---------------------------------------------------------------------------
+// Criterion timings (kept for local comparison runs)
+// ---------------------------------------------------------------------------
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     let mut rng = StdRng::seed_from(1);
-    for &n in &[32usize, 64, 128] {
+    let sizes: &[usize] = if quick_mode() {
+        &[64]
+    } else {
+        &[32, 64, 128, 256]
+    };
+    for &n in sizes {
         let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
@@ -24,11 +321,11 @@ fn bench_conv2d(c: &mut Criterion) {
     let input = Tensor::randn(&[4, 16, 24, 24], 0.0, 1.0, &mut rng);
     let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.2, &mut rng);
     let bias = Tensor::zeros(&[32]);
-    group.bench_function("direct", |bencher| {
-        bencher.iter(|| conv2d(&input, &weight, Some(&bias), &spec).expect("conv"));
+    group.bench_function("seed_direct", |bencher| {
+        bencher.iter(|| seed_direct_conv2d(&input, &weight, Some(&bias), &spec));
     });
-    group.bench_function("im2col", |bencher| {
-        bencher.iter(|| conv2d_im2col(&input, &weight, Some(&bias), &spec).expect("conv"));
+    group.bench_function("im2col_gemm", |bencher| {
+        bencher.iter(|| conv2d(&input, &weight, Some(&bias), &spec).expect("conv"));
     });
     let depthwise = Conv2dSpec::new(32, 32, 3).with_padding(1).with_groups(32);
     let dw_input = Tensor::randn(&[4, 32, 24, 24], 0.0, 1.0, &mut rng);
@@ -47,5 +344,11 @@ fn bench_pooling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_conv2d, bench_pooling);
+criterion_group!(
+    benches,
+    bench_kernel_grid,
+    bench_matmul,
+    bench_conv2d,
+    bench_pooling
+);
 criterion_main!(benches);

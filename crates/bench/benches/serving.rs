@@ -106,6 +106,10 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
     let elapsed_s = start.elapsed().as_secs_f64();
     let metrics = server.metrics();
     assert_eq!(metrics.errors, 0, "bench requests must not error");
+    assert_eq!(
+        metrics.workers, workers,
+        "metrics must record the pool size"
+    );
     DriveOutcome {
         requests: metrics.requests,
         elapsed_s,
@@ -124,10 +128,14 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The effective out-of-the-box pool size on this host (the grid below
+    // still sweeps explicit worker counts).
+    let default_workers = ServerConfig::default_workers();
     let mut json = String::from("{\n  \"benchmark\": \"serving_loopback\",\n");
     json.push_str(&format!(
         "  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
-         \"rows_per_request\": {ROWS_PER_REQUEST},\n  \"available_parallelism\": {cores},\n"
+         \"rows_per_request\": {ROWS_PER_REQUEST},\n  \"available_parallelism\": {cores},\n  \
+         \"default_workers\": {default_workers},\n"
     ));
     json.push_str("  \"grid\": [\n");
     for (index, (workers, max_batch, outcome)) in rows.iter().enumerate() {

@@ -90,7 +90,7 @@ impl Preset {
                 learning_rate: 3e-3,
                 head_hidden: 32,
                 seed,
-                backbone_lr_scale: 1.0,
+                ..TrainConfig::default()
             },
             Preset::Full => TrainConfig {
                 epochs: 10,
@@ -98,7 +98,7 @@ impl Preset {
                 learning_rate: 2e-3,
                 head_hidden: 64,
                 seed,
-                backbone_lr_scale: 1.0,
+                ..TrainConfig::default()
             },
         }
     }

@@ -150,7 +150,7 @@ mod tests {
                 learning_rate: 3e-3,
                 head_hidden: 16,
                 seed: 1,
-                backbone_lr_scale: 1.0,
+                ..TrainConfig::default()
             },
             finetune: TrainConfig {
                 epochs: 1,
@@ -158,7 +158,7 @@ mod tests {
                 learning_rate: 2e-3,
                 head_hidden: 16,
                 seed: 2,
-                backbone_lr_scale: 1.0,
+                ..TrainConfig::default()
             },
             backbone_ratio: 0.1,
         }

@@ -3,7 +3,7 @@
 use mtlsplit_data::{DataLoader, MultiTaskDataset};
 use mtlsplit_models::BackboneKind;
 use mtlsplit_nn::AdamW;
-use mtlsplit_tensor::StdRng;
+use mtlsplit_tensor::{Parallelism, StdRng};
 
 use crate::error::{CoreError, Result};
 use crate::metrics::TaskAccuracy;
@@ -26,6 +26,10 @@ pub struct TrainConfig {
     /// Learning-rate multiplier applied to backbone parameters
     /// (1.0 = train jointly; values `< 1` are used during fine-tuning).
     pub backbone_lr_scale: f32,
+    /// Thread budget for the compute kernels during this run (installed as
+    /// the training thread's ambient [`Parallelism`]). Results are
+    /// bit-identical whatever the value; it only changes wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -37,6 +41,7 @@ impl Default for TrainConfig {
             head_hidden: 48,
             seed: 7,
             backbone_lr_scale: 1.0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -101,6 +106,17 @@ pub fn train_model(
     config: &TrainConfig,
 ) -> Result<TrainOutcome> {
     config.validate()?;
+    // Install the run's thread budget for every kernel under this loop
+    // (evaluation included) and restore the caller's ambient setting on
+    // every exit path, so training leaves no lasting thread-local change.
+    struct RestoreParallelism(Parallelism);
+    impl Drop for RestoreParallelism {
+        fn drop(&mut self) {
+            self.0.make_current();
+        }
+    }
+    let _restore = RestoreParallelism(Parallelism::current());
+    config.parallelism.make_current();
     if train.task_count() != model.task_count() {
         return Err(CoreError::Incompatible {
             reason: format!(
@@ -279,7 +295,7 @@ mod tests {
             learning_rate: 3e-3,
             head_hidden: 24,
             seed: 3,
-            backbone_lr_scale: 1.0,
+            ..TrainConfig::default()
         };
         let outcome = train_mtl(BackboneKind::MobileStyle, &train, &test, &config).unwrap();
         assert_eq!(outcome.accuracies.len(), 2);
@@ -299,7 +315,7 @@ mod tests {
             learning_rate: 3e-3,
             head_hidden: 24,
             seed: 4,
-            backbone_lr_scale: 1.0,
+            ..TrainConfig::default()
         };
         let accuracies = train_stl(BackboneKind::MobileStyle, &train, &test, &config).unwrap();
         assert_eq!(accuracies.len(), 2);
@@ -333,7 +349,7 @@ mod tests {
             learning_rate: 3e-3,
             head_hidden: 24,
             seed: 6,
-            backbone_lr_scale: 1.0,
+            ..TrainConfig::default()
         };
         let outcome = train_mtl(BackboneKind::MobileStyle, &train, &test, &config).unwrap();
         let first = outcome.loss_history.first().copied().unwrap();

@@ -1,7 +1,7 @@
 //! Fully-connected layers and the flattening adapter between convolutional
 //! feature maps and dense heads.
 
-use mtlsplit_tensor::{StdRng, Tensor};
+use mtlsplit_tensor::{sgemm, Parallelism, StdRng, Tensor};
 
 use crate::error::{NnError, Result};
 use crate::init::kaiming_normal;
@@ -12,7 +12,9 @@ use crate::{Layer, RunMode};
 ///
 /// The weight is stored as `[out_features, in_features]`, matching the usual
 /// deep-learning convention; the paper's task-solving heads are two stacked
-/// `Linear` layers with a ReLU in between.
+/// `Linear` layers with a ReLU in between. Forward and backward both run on
+/// the blocked [`sgemm`] kernel with transpose flags, so no pass ever
+/// materialises a transposed weight or gradient copy.
 ///
 /// # Example
 ///
@@ -83,10 +85,28 @@ impl Layer for Linear {
                 ),
             });
         }
-        let out = input
-            .matmul(&self.weight.value().transpose()?)?
-            .add_row_broadcast(self.bias.value())?;
-        Ok(out)
+        let batch = input.dims()[0];
+        // Pre-fill every output row with the bias, then accumulate
+        // x * Wᵀ onto it through the GEMM's beta = 1 path — one pass over
+        // the output, no transposed weight copy.
+        let mut out = Vec::with_capacity(batch * self.out_features);
+        for _ in 0..batch {
+            out.extend_from_slice(self.bias.value().as_slice());
+        }
+        sgemm(
+            false,
+            true,
+            batch,
+            self.out_features,
+            self.in_features,
+            1.0,
+            input.as_slice(),
+            self.weight.value().as_slice(),
+            1.0,
+            &mut out,
+            Parallelism::current(),
+        );
+        Ok(Tensor::from_vec(out, &[batch, self.out_features])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -94,10 +114,52 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
-        // dL/dW = grad_output^T · input, dL/db = column sums, dL/dx = grad_output · W.
-        let grad_weight = grad_output.transpose()?.matmul(input)?;
+        if grad_output.rank() != 2 || grad_output.dims() != [input.dims()[0], self.out_features] {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "Linear({}, {}) backward received grad_output of shape {:?} for input {:?}",
+                    self.in_features,
+                    self.out_features,
+                    grad_output.dims(),
+                    input.dims()
+                ),
+            });
+        }
+        // dL/dW = grad_outputᵀ · input, dL/db = column sums, dL/dx =
+        // grad_output · W — the transposes are GEMM flags, not copies.
+        let batch = grad_output.dims()[0];
+        let par = Parallelism::current();
+        let mut grad_weight = vec![0.0f32; self.out_features * self.in_features];
+        sgemm(
+            true,
+            false,
+            self.out_features,
+            self.in_features,
+            batch,
+            1.0,
+            grad_output.as_slice(),
+            input.as_slice(),
+            0.0,
+            &mut grad_weight,
+            par,
+        );
+        let grad_weight = Tensor::from_vec(grad_weight, &[self.out_features, self.in_features])?;
         let grad_bias = grad_output.sum_axis0()?;
-        let grad_input = grad_output.matmul(self.weight.value())?;
+        let mut grad_input = vec![0.0f32; batch * self.in_features];
+        sgemm(
+            false,
+            false,
+            batch,
+            self.in_features,
+            self.out_features,
+            1.0,
+            grad_output.as_slice(),
+            self.weight.value().as_slice(),
+            0.0,
+            &mut grad_input,
+            par,
+        );
+        let grad_input = Tensor::from_vec(grad_input, &[batch, self.in_features])?;
         self.weight.accumulate_grad(&grad_weight)?;
         self.bias.accumulate_grad(&grad_bias)?;
         Ok(grad_input)

@@ -30,10 +30,12 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
-        let (out, indices) = max_pool2d(input, self.window, self.stride)?;
-        if mode.is_train() {
-            self.cache = Some((indices, input.dims().to_vec()));
+        if !mode.is_train() {
+            // No backward will follow: skip the argmax-index bookkeeping.
+            return self.infer(input);
         }
+        let (out, indices) = max_pool2d(input, self.window, self.stride)?;
+        self.cache = Some((indices, input.dims().to_vec()));
         Ok(out)
     }
 

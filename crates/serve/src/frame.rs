@@ -200,7 +200,8 @@ impl Frame {
     ///
     /// The CRC-32 is computed over exactly the header bytes emitted after
     /// the magic (version, op, request id, body length) plus the body — the
-    /// same region [`RawHeader::into_frame`] verifies on receipt.
+    /// same region the (internal) `RawHeader::into_frame` verifies on
+    /// receipt.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&MAGIC.to_le_bytes());

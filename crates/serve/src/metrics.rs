@@ -73,6 +73,9 @@ impl MetricsRecorder {
         };
         let wall = self.started.elapsed().as_secs_f64();
         ServeMetrics {
+            // The recorder cannot know the pool size; the server overwrites
+            // this with its effective worker count.
+            workers: 0,
             requests: self.requests,
             errors: self.errors,
             batches: self.batches,
@@ -99,6 +102,9 @@ impl MetricsRecorder {
 /// A point-in-time snapshot of a server's serving metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeMetrics {
+    /// Effective worker-thread count of the serving pool (0 when the
+    /// snapshot did not come from a server).
+    pub workers: usize,
     /// Requests answered (including errored ones).
     pub requests: u64,
     /// Requests that ended in an application error.
@@ -128,11 +134,12 @@ impl ServeMetrics {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} req in {:.2}s ({:.0} req/s), {} batches (mean {:.2} req/batch), \
+            "{} req in {:.2}s ({:.0} req/s) on {} workers, {} batches (mean {:.2} req/batch), \
              p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, {} B in / {} B out, {} errors",
             self.requests,
             self.wall_seconds,
             self.requests_per_second,
+            self.workers,
             self.batches,
             self.mean_batch_size,
             self.p50_latency_s * 1e3,

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use mtlsplit_nn::Layer;
 use mtlsplit_split::{Precision, TensorCodec, WirePayload};
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{Parallelism, Tensor};
 
 use crate::error::{Result, ServeError};
 use crate::frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES};
@@ -48,9 +48,23 @@ pub struct ServerConfig {
     ///
     /// Every worker runs the same `Arc`-shared frozen heads through
     /// [`Layer::infer`], so outputs are identical whatever the worker count;
-    /// more workers only add throughput on multi-core hosts.
+    /// more workers only add throughput on multi-core hosts. Defaults to
+    /// [`ServerConfig::default_workers`] — one worker per available core,
+    /// clamped to [`MAX_DEFAULT_WORKERS`].
     pub workers: usize,
+    /// Thread budget each worker installs for its own compute kernels.
+    ///
+    /// Defaults to [`Parallelism::single`]: the worker pool already claims
+    /// one thread per core, so letting every worker fan its GEMMs out again
+    /// would oversubscribe the machine. Raise it for servers that run few
+    /// workers over large heads. Kernel results are bit-identical whatever
+    /// the value.
+    pub parallelism: Parallelism,
 }
+
+/// Upper bound on the default worker count; explicit
+/// [`ServerConfig::with_workers`] settings may exceed it.
+pub const MAX_DEFAULT_WORKERS: usize = 8;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -59,12 +73,19 @@ impl Default for ServerConfig {
             queue_depth: 256,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             response_precision: Precision::Float32,
-            workers: 1,
+            workers: Self::default_workers(),
+            parallelism: Parallelism::single(),
         }
     }
 }
 
 impl ServerConfig {
+    /// The default worker count: `available_parallelism`, clamped to
+    /// `1..=`[`MAX_DEFAULT_WORKERS`].
+    pub fn default_workers() -> usize {
+        Parallelism::auto().resolve().clamp(1, MAX_DEFAULT_WORKERS)
+    }
+
     /// Returns this configuration with the given batching limit.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
@@ -74,6 +95,13 @@ impl ServerConfig {
     /// Returns this configuration with the given worker-thread count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns this configuration with the given per-worker kernel
+    /// parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -133,6 +161,7 @@ impl InferenceServer {
         let metrics = Arc::new(Mutex::new(MetricsRecorder::new()));
         let max_batch = config.max_batch.max(1);
         let response_precision = config.response_precision;
+        let worker_parallelism = config.parallelism;
         // All workers steal off one shared receiver: whichever worker is
         // idle takes the lock, grabs up to `max_batch` pending requests, and
         // releases the lock before running the heads.
@@ -145,6 +174,9 @@ impl InferenceServer {
                 std::thread::Builder::new()
                     .name(format!("mtlsplit-serve-worker-{index}"))
                     .spawn(move || {
+                        // Pin this worker's kernel thread budget; the pool
+                        // itself is the parallelism layer by default.
+                        worker_parallelism.make_current();
                         worker_loop(
                             &worker_rx,
                             &worker_heads,
@@ -180,7 +212,9 @@ impl InferenceServer {
         // Copy the recorder out under the lock; the percentile sort then
         // runs without blocking the serving workers.
         let recorder = self.metrics.lock().expect("metrics lock").clone();
-        recorder.snapshot()
+        let mut snapshot = recorder.snapshot();
+        snapshot.workers = self.config.workers.max(1);
+        snapshot
     }
 
     /// Submits one decoded payload and blocks until a worker responds.
@@ -619,9 +653,11 @@ mod tests {
     #[test]
     fn concurrent_requests_are_coalesced() {
         let mut rng = StdRng::seed_from(3);
+        // One worker so every concurrent producer funnels into the same
+        // drain — the deterministic way to observe coalescing.
         let server = Arc::new(InferenceServer::start(
             vec![head(8, 2, &mut rng)],
-            ServerConfig::default().with_max_batch(32),
+            ServerConfig::default().with_max_batch(32).with_workers(1),
         ));
         let clients: Vec<_> = (0..16)
             .map(|seed| {
@@ -721,6 +757,27 @@ mod tests {
         // Ping still works.
         let pong = server.process(&Frame::new(OpCode::Ping, 11, Vec::new()));
         assert_eq!(pong.op, OpCode::Pong);
+    }
+
+    #[test]
+    fn default_workers_track_available_parallelism_clamped() {
+        let default = ServerConfig::default();
+        assert_eq!(default.workers, ServerConfig::default_workers());
+        assert!((1..=MAX_DEFAULT_WORKERS).contains(&default.workers));
+        assert_eq!(default.parallelism, Parallelism::single());
+    }
+
+    #[test]
+    fn metrics_record_the_effective_worker_count() {
+        let mut rng = StdRng::seed_from(21);
+        let server = InferenceServer::start(
+            vec![head(4, 2, &mut rng)],
+            ServerConfig::default().with_workers(3),
+        );
+        let _ = server.infer(payload(1, 4, &mut rng)).unwrap();
+        let metrics = server.metrics();
+        assert_eq!(metrics.workers, 3);
+        assert!(metrics.summary().contains("on 3 workers"));
     }
 
     #[test]

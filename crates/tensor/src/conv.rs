@@ -1,12 +1,29 @@
 //! 2-D convolution kernels (forward and backward) in NCHW layout.
 //!
-//! The forward pass uses an im2col + matrix-multiplication formulation, which
-//! is the standard CPU strategy and doubles as the kernel measured by the
-//! Criterion benchmarks. The backward pass uses a direct accumulation loop,
-//! which is easier to audit for correctness and is exercised against
-//! numerical gradients in the test-suite.
+//! Every convolution in this crate — dense, grouped and depthwise, forward
+//! *and* backward — is one lowering away from the packed blocked GEMM in
+//! [`crate::kernels`]:
+//!
+//! * **Forward**: per `(batch, group)` unit the input window is unfolded
+//!   channel-major into a `[cin/g * k * k, out_h * out_w]` column matrix
+//!   and multiplied by the group's `[cout/g, cin/g * k * k]` weight matrix,
+//!   writing straight into the contiguous NCHW output slice (the bias is
+//!   pre-filled and accumulated onto via the GEMM's `beta = 1` path).
+//! * **Backward**: `grad_input` is `Wᵀ x grad_out` folded back through the
+//!   adjoint of the unfold (col2im), and `grad_weight` is
+//!   `grad_out x colsᵀ` with the batch dimension concatenated into the
+//!   GEMM's `K` dimension — two GEMMs, no direct accumulation loops.
+//!
+//! Units are spread over scoped threads (each `(batch, group)` output slice
+//! is written by exactly one thread) and the GEMM itself partitions output
+//! rows, so convolution results are bit-identical for every
+//! [`crate::Parallelism`] setting. The seed's direct 7-deep loop survives
+//! only as the `#[cfg(test)]` oracle that the GEMM formulation is
+//! property-tested against.
 
 use crate::error::{Result, TensorError};
+use crate::kernels::sgemm;
+use crate::parallel::{for_each_unit, Parallelism};
 use crate::tensor::Tensor;
 
 /// Static description of a 2-D convolution.
@@ -146,11 +163,362 @@ fn check_weight(weight: &Tensor, spec: &Conv2dSpec) -> Result<()> {
     Ok(())
 }
 
+/// Pre-computed geometry shared by the forward and backward drivers.
+#[derive(Clone, Copy)]
+struct ConvGeometry {
+    batch: usize,
+    height: usize,
+    width: usize,
+    out_h: usize,
+    out_w: usize,
+    /// Input channels per group.
+    cin_g: usize,
+    /// Output channels per group.
+    cout_g: usize,
+    /// Rows of one group's column matrix: `cin_g * k * k`.
+    ckk: usize,
+    /// One spatial plane of the output: `out_h * out_w`.
+    out_plane: usize,
+}
+
+impl ConvGeometry {
+    fn new(input: &Tensor, spec: &Conv2dSpec) -> Result<Self> {
+        let (batch, height, width) = check_input(input, spec)?;
+        let (out_h, out_w) = spec.output_size(height, width)?;
+        let cin_g = spec.in_channels / spec.groups;
+        let cout_g = spec.out_channels / spec.groups;
+        Ok(Self {
+            batch,
+            height,
+            width,
+            out_h,
+            out_w,
+            cin_g,
+            cout_g,
+            ckk: cin_g * spec.kernel * spec.kernel,
+            out_plane: out_h * out_w,
+        })
+    }
+}
+
+/// Unfolds one `(batch, group)` unit of `src` channel-major into the
+/// `[ckk, out_plane]` column matrix `dst`: row `(ic_local * k + ky) * k +
+/// kx` holds that tap's value for every output position `oy * out_w + ox`
+/// (out-of-image taps are zero).
+fn im2col_group(
+    dst: &mut [f32],
+    src: &[f32],
+    geometry: &ConvGeometry,
+    spec: &Conv2dSpec,
+    batch_index: usize,
+    channel_start: usize,
+) {
+    let g = geometry;
+    let k = spec.kernel;
+    let pad = spec.padding as isize;
+    for ic_local in 0..g.cin_g {
+        let in_base =
+            (batch_index * spec.in_channels + channel_start + ic_local) * g.height * g.width;
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic_local * k + ky) * k + kx;
+                let out_row = &mut dst[row * g.out_plane..][..g.out_plane];
+                for oy in 0..g.out_h {
+                    let in_y = (oy * spec.stride + ky) as isize - pad;
+                    let dst_row = &mut out_row[oy * g.out_w..(oy + 1) * g.out_w];
+                    if in_y < 0 || in_y >= g.height as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &src[in_base + in_y as usize * g.width..][..g.width];
+                    for (ox, slot) in dst_row.iter_mut().enumerate() {
+                        let in_x = (ox * spec.stride + kx) as isize - pad;
+                        *slot = if in_x >= 0 && in_x < g.width as isize {
+                            src_row[in_x as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col_group`]: accumulates a `[ckk, out_plane]` column
+/// matrix back into one `(batch, group)` unit `[cin_g, height, width]` of
+/// the image gradient.
+fn col2im_group(cols: &[f32], unit: &mut [f32], geometry: &ConvGeometry, spec: &Conv2dSpec) {
+    let g = geometry;
+    let k = spec.kernel;
+    let pad = spec.padding as isize;
+    for ic_local in 0..g.cin_g {
+        let unit_base = ic_local * g.height * g.width;
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic_local * k + ky) * k + kx;
+                let src_row = &cols[row * g.out_plane..][..g.out_plane];
+                for oy in 0..g.out_h {
+                    let in_y = (oy * spec.stride + ky) as isize - pad;
+                    if in_y < 0 || in_y >= g.height as isize {
+                        continue;
+                    }
+                    let dst_row = &mut unit[unit_base + in_y as usize * g.width..][..g.width];
+                    for (ox, &value) in src_row[oy * g.out_w..(oy + 1) * g.out_w].iter().enumerate()
+                    {
+                        let in_x = (ox * spec.stride + kx) as isize - pad;
+                        if in_x >= 0 && in_x < g.width as isize {
+                            dst_row[in_x as usize] += value;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Below this many multiply-accumulates a convolution runs entirely inline:
+/// scoped-thread spawn overhead would dominate the work.
+const PARALLEL_MIN_MACS: usize = 64 * 64 * 64;
+
+/// Splits the ambient thread budget between `(batch, group)` units and the
+/// per-unit GEMM: up to `units` threads spread over the units, and whatever
+/// budget remains is handed to each unit's GEMM row partitioning (so two
+/// units on a 16-core host run two 8-thread GEMMs, not two single-threaded
+/// ones). `macs` is the convolution's total multiply-accumulate count —
+/// tiny problems stay on the calling thread. The split never affects
+/// results: both levels partition output elements only.
+fn split_threads(units: usize, macs: usize) -> (usize, Parallelism) {
+    let threads = Parallelism::current().resolve();
+    if macs < PARALLEL_MIN_MACS || threads <= 1 {
+        (1, Parallelism::single())
+    } else {
+        let unit_threads = threads.min(units.max(1));
+        (unit_threads, Parallelism::fixed(threads / unit_threads))
+    }
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input` — `[batch, in_channels, h, w]`
+/// * `weight` — `[out_channels, in_channels / groups, k, k]`
+/// * `bias` — optional `[out_channels]`
+///
+/// Returns `[batch, out_channels, out_h, out_w]`.
+///
+/// Dense, grouped and depthwise convolutions all route through grouped
+/// im2col + GEMM (see the module docs); results are bit-identical for every
+/// [`Parallelism`] thread count.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with `spec` or the kernel does
+/// not fit the padded input.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_tensor::{conv2d, Conv2dSpec, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let spec = Conv2dSpec::new(1, 1, 3).with_padding(1);
+/// let input = Tensor::ones(&[1, 1, 4, 4]);
+/// let weight = Tensor::ones(&[1, 1, 3, 3]);
+/// let out = conv2d(&input, &weight, None, &spec)?;
+/// assert_eq!(out.dims(), &[1, 1, 4, 4]);
+/// // The centre pixels see the full 3x3 window of ones.
+/// assert_eq!(out.at(&[0, 0, 1, 1])?, 9.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    let g = ConvGeometry::new(input, spec)?;
+    check_weight(weight, spec)?;
+    if let Some(b) = bias {
+        if b.len() != spec.out_channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: b.dims().to_vec(),
+                rhs: vec![spec.out_channels],
+            });
+        }
+    }
+    let mut out = vec![0.0f32; g.batch * spec.out_channels * g.out_plane];
+    // Pre-fill the bias so the GEMM accumulates onto it (beta = 1), which
+    // keeps the per-element chain `bias + sum(terms)` of the seed kernel.
+    if let Some(b) = bias {
+        let bias_values = b.as_slice();
+        for (channel_plane, plane) in out.chunks_mut(g.out_plane).enumerate() {
+            plane.fill(bias_values[channel_plane % spec.out_channels]);
+        }
+    }
+    let beta = if bias.is_some() { 1.0 } else { 0.0 };
+    let src = input.as_slice();
+    let w = weight.as_slice();
+    let units = g.batch * spec.groups;
+    let unit_len = g.cout_g * g.out_plane;
+    let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    let (unit_threads, gemm_par) = split_threads(units, macs);
+    for_each_unit(&mut out, unit_len, unit_threads, |unit_index, unit| {
+        let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
+        let mut cols = vec![0.0f32; g.ckk * g.out_plane];
+        im2col_group(&mut cols, src, &g, spec, b, group * g.cin_g);
+        let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
+        sgemm(
+            false,
+            false,
+            g.cout_g,
+            g.out_plane,
+            g.ckk,
+            1.0,
+            w_group,
+            &cols,
+            beta,
+            unit,
+            gemm_par,
+        );
+    });
+    Ok(
+        Tensor::from_vec(out, &[g.batch, spec.out_channels, g.out_h, g.out_w])
+            .expect("conv2d output buffer matches computed shape"),
+    )
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Given the forward inputs and `grad_output` (`[batch, out_channels, out_h,
+/// out_w]`), returns `(grad_input, grad_weight, grad_bias)` with the same
+/// shapes as `input`, `weight` and `[out_channels]` respectively.
+///
+/// Both gradients are GEMM-shaped (see the module docs): `grad_input` is
+/// `Wᵀ x grad_out` folded through col2im per `(batch, group)` unit, and
+/// `grad_weight` accumulates `grad_out_b x cols_bᵀ` over the batch through
+/// the GEMM's `beta = 1` path — one deterministic ascending `(batch,
+/// position)` accumulation chain per element, with scratch bounded by a
+/// single batch item.
+///
+/// # Errors
+///
+/// Returns an error if any shape disagrees with `spec`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let g = ConvGeometry::new(input, spec)?;
+    check_weight(weight, spec)?;
+    let expected = [g.batch, spec.out_channels, g.out_h, g.out_w];
+    if grad_output.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: expected.to_vec(),
+        });
+    }
+    let src = input.as_slice();
+    let w = weight.as_slice();
+    let go = grad_output.as_slice();
+
+    // grad_bias[oc] = sum of grad_output over batch and positions, ascending.
+    let mut grad_bias = vec![0.0f32; spec.out_channels];
+    for (oc, slot) in grad_bias.iter_mut().enumerate() {
+        for b in 0..g.batch {
+            let plane = &go[(b * spec.out_channels + oc) * g.out_plane..][..g.out_plane];
+            for &value in plane {
+                *slot += value;
+            }
+        }
+    }
+
+    // grad_input: per (batch, group) unit, grad_cols = W_gᵀ x grad_out_bg,
+    // folded back through the adjoint unfold.
+    let mut grad_input = vec![0.0f32; src.len()];
+    let units = g.batch * spec.groups;
+    let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    let (unit_threads, gemm_par) = split_threads(units, macs);
+    let unit_len = g.cin_g * g.height * g.width;
+    for_each_unit(
+        &mut grad_input,
+        unit_len,
+        unit_threads,
+        |unit_index, unit| {
+            let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
+            let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
+            let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                [..g.cout_g * g.out_plane];
+            let mut grad_cols = vec![0.0f32; g.ckk * g.out_plane];
+            sgemm(
+                true,
+                false,
+                g.ckk,
+                g.out_plane,
+                g.cout_g,
+                1.0,
+                w_group,
+                go_group,
+                0.0,
+                &mut grad_cols,
+                gemm_par,
+            );
+            col2im_group(&grad_cols, unit, &g, spec);
+        },
+    );
+
+    // grad_weight: per group, accumulate grad_out_b x cols_bᵀ over the
+    // batch via beta = 1. The per-element chain is the ascending
+    // (batch, position) order — identical to a batch-concatenated GEMM —
+    // while the cols scratch stays one batch item wide.
+    let mut grad_weight = vec![0.0f32; w.len()];
+    let (group_threads, gemm_par) = split_threads(spec.groups, macs);
+    for_each_unit(
+        &mut grad_weight,
+        g.cout_g * g.ckk,
+        group_threads,
+        |group, unit| {
+            let mut cols = vec![0.0f32; g.ckk * g.out_plane];
+            for b in 0..g.batch {
+                im2col_group(&mut cols, src, &g, spec, b, group * g.cin_g);
+                let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                    [..g.cout_g * g.out_plane];
+                let beta = if b == 0 { 0.0 } else { 1.0 };
+                sgemm(
+                    false,
+                    true,
+                    g.cout_g,
+                    g.ckk,
+                    g.out_plane,
+                    1.0,
+                    go_group,
+                    &cols,
+                    beta,
+                    unit,
+                    gemm_par,
+                );
+            }
+        },
+    );
+
+    Ok((
+        Tensor::from_vec(grad_input, input.dims())?,
+        Tensor::from_vec(grad_weight, weight.dims())?,
+        Tensor::from_vec(grad_bias, &[spec.out_channels])?,
+    ))
+}
+
 /// Unfolds `input` (`[batch, channels, h, w]`) into a matrix of sliding
 /// windows with shape `[batch * out_h * out_w, channels * k * k]`.
 ///
 /// The `spec` only uses `kernel`, `stride` and `padding`; channel counts are
-/// taken from the input.
+/// taken from the input. This row-major layout is the classic lowering kept
+/// for external use and tests; the convolution drivers above use an internal
+/// channel-major variant that writes GEMM outputs straight into NCHW.
 ///
 /// # Errors
 ///
@@ -211,8 +579,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
 }
 
 /// Folds an im2col matrix back into an image, accumulating overlapping
-/// windows. This is the adjoint of [`im2col`] and is used by the
-/// convolution backward pass with respect to the input.
+/// windows. This is the adjoint of [`im2col`].
 ///
 /// # Errors
 ///
@@ -266,232 +633,92 @@ pub fn col2im(cols: &Tensor, image_dims: &[usize; 4], spec: &Conv2dSpec) -> Resu
     Tensor::from_vec(out, &[batch, channels, height, width])
 }
 
-/// 2-D convolution forward pass.
+/// Convolution forward pass through im2col and matrix multiplication.
 ///
-/// * `input` — `[batch, in_channels, h, w]`
-/// * `weight` — `[out_channels, in_channels / groups, k, k]`
-/// * `bias` — optional `[out_channels]`
-///
-/// Returns `[batch, out_channels, out_h, out_w]`.
+/// Since the grouped GEMM lowering became the one and only [`conv2d`]
+/// implementation this is an alias for it, kept for API compatibility; the
+/// historical `groups == 1` restriction is gone.
 ///
 /// # Errors
 ///
-/// Returns an error if shapes are inconsistent with `spec` or the kernel does
-/// not fit the padded input.
-///
-/// # Example
-///
-/// ```
-/// # use std::error::Error;
-/// use mtlsplit_tensor::{conv2d, Conv2dSpec, Tensor};
-///
-/// # fn main() -> Result<(), Box<dyn Error>> {
-/// let spec = Conv2dSpec::new(1, 1, 3).with_padding(1);
-/// let input = Tensor::ones(&[1, 1, 4, 4]);
-/// let weight = Tensor::ones(&[1, 1, 3, 3]);
-/// let out = conv2d(&input, &weight, None, &spec)?;
-/// assert_eq!(out.dims(), &[1, 1, 4, 4]);
-/// // The centre pixels see the full 3x3 window of ones.
-/// assert_eq!(out.at(&[0, 0, 1, 1])?, 9.0);
-/// # Ok(())
-/// # }
-/// ```
-pub fn conv2d(
-    input: &Tensor,
-    weight: &Tensor,
-    bias: Option<&Tensor>,
-    spec: &Conv2dSpec,
-) -> Result<Tensor> {
-    let (batch, height, width) = check_input(input, spec)?;
-    check_weight(weight, spec)?;
-    if let Some(b) = bias {
-        if b.len() != spec.out_channels {
-            return Err(TensorError::ShapeMismatch {
-                op: "conv2d bias",
-                lhs: b.dims().to_vec(),
-                rhs: vec![spec.out_channels],
-            });
-        }
-    }
-    let (out_h, out_w) = spec.output_size(height, width)?;
-    let groups = spec.groups;
-    let cin_g = spec.in_channels / groups;
-    let cout_g = spec.out_channels / groups;
-    let k = spec.kernel;
-    let mut out = vec![0.0f32; batch * spec.out_channels * out_h * out_w];
-    let src = input.as_slice();
-    let w = weight.as_slice();
-    let pad = spec.padding as isize;
-
-    for b in 0..batch {
-        for g in 0..groups {
-            for oc_local in 0..cout_g {
-                let oc = g * cout_g + oc_local;
-                let bias_val = bias.map_or(0.0, |t| t.as_slice()[oc]);
-                for oy in 0..out_h {
-                    for ox in 0..out_w {
-                        let mut acc = bias_val;
-                        for ic_local in 0..cin_g {
-                            let ic = g * cin_g + ic_local;
-                            let w_base = ((oc * cin_g + ic_local) * k) * k;
-                            let in_base = (b * spec.in_channels + ic) * height * width;
-                            for ky in 0..k {
-                                let in_y = (oy * spec.stride + ky) as isize - pad;
-                                if in_y < 0 || in_y >= height as isize {
-                                    continue;
-                                }
-                                let row_base = in_base + in_y as usize * width;
-                                let w_row = w_base + ky * k;
-                                for kx in 0..k {
-                                    let in_x = (ox * spec.stride + kx) as isize - pad;
-                                    if in_x < 0 || in_x >= width as isize {
-                                        continue;
-                                    }
-                                    acc += src[row_base + in_x as usize] * w[w_row + kx];
-                                }
-                            }
-                        }
-                        out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] = acc;
-                    }
-                }
-            }
-        }
-    }
-    Ok(
-        Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
-            .expect("conv2d output buffer matches computed shape"),
-    )
-}
-
-/// Gradients of a 2-D convolution.
-///
-/// Given the forward inputs and `grad_output` (`[batch, out_channels, out_h,
-/// out_w]`), returns `(grad_input, grad_weight, grad_bias)` with the same
-/// shapes as `input`, `weight` and `[out_channels]` respectively.
-///
-/// # Errors
-///
-/// Returns an error if any shape disagrees with `spec`.
-pub fn conv2d_backward(
-    input: &Tensor,
-    weight: &Tensor,
-    grad_output: &Tensor,
-    spec: &Conv2dSpec,
-) -> Result<(Tensor, Tensor, Tensor)> {
-    let (batch, height, width) = check_input(input, spec)?;
-    check_weight(weight, spec)?;
-    let (out_h, out_w) = spec.output_size(height, width)?;
-    let expected = [batch, spec.out_channels, out_h, out_w];
-    if grad_output.dims() != expected {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d_backward",
-            lhs: grad_output.dims().to_vec(),
-            rhs: expected.to_vec(),
-        });
-    }
-    let groups = spec.groups;
-    let cin_g = spec.in_channels / groups;
-    let cout_g = spec.out_channels / groups;
-    let k = spec.kernel;
-    let pad = spec.padding as isize;
-
-    let src = input.as_slice();
-    let w = weight.as_slice();
-    let go = grad_output.as_slice();
-
-    let mut grad_input = vec![0.0f32; src.len()];
-    let mut grad_weight = vec![0.0f32; w.len()];
-    let mut grad_bias = vec![0.0f32; spec.out_channels];
-
-    for b in 0..batch {
-        for g in 0..groups {
-            for oc_local in 0..cout_g {
-                let oc = g * cout_g + oc_local;
-                for oy in 0..out_h {
-                    for ox in 0..out_w {
-                        let grad = go[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox];
-                        if grad == 0.0 {
-                            continue;
-                        }
-                        grad_bias[oc] += grad;
-                        for ic_local in 0..cin_g {
-                            let ic = g * cin_g + ic_local;
-                            let w_base = ((oc * cin_g + ic_local) * k) * k;
-                            let in_base = (b * spec.in_channels + ic) * height * width;
-                            for ky in 0..k {
-                                let in_y = (oy * spec.stride + ky) as isize - pad;
-                                if in_y < 0 || in_y >= height as isize {
-                                    continue;
-                                }
-                                let row_base = in_base + in_y as usize * width;
-                                let w_row = w_base + ky * k;
-                                for kx in 0..k {
-                                    let in_x = (ox * spec.stride + kx) as isize - pad;
-                                    if in_x < 0 || in_x >= width as isize {
-                                        continue;
-                                    }
-                                    let idx = row_base + in_x as usize;
-                                    grad_input[idx] += grad * w[w_row + kx];
-                                    grad_weight[w_row + kx] += grad * src[idx];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    Ok((
-        Tensor::from_vec(grad_input, input.dims())?,
-        Tensor::from_vec(grad_weight, weight.dims())?,
-        Tensor::from_vec(grad_bias, &[spec.out_channels])?,
-    ))
-}
-
-/// Convolution forward pass computed through [`im2col`] and matrix
-/// multiplication. Only dense (`groups == 1`) convolutions are supported;
-/// used as a cross-check for [`conv2d`] and as the benchmark kernel.
-///
-/// # Errors
-///
-/// Returns an error for grouped specifications or inconsistent shapes.
+/// Returns an error for shapes inconsistent with `spec`.
 pub fn conv2d_im2col(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     spec: &Conv2dSpec,
 ) -> Result<Tensor> {
-    if spec.groups != 1 {
-        return Err(TensorError::InvalidWindow {
-            reason: "conv2d_im2col supports only groups == 1".to_string(),
-        });
-    }
-    let (batch, height, width) = check_input(input, spec)?;
-    check_weight(weight, spec)?;
-    let (out_h, out_w) = spec.output_size(height, width)?;
-    let cols = im2col(input, spec)?;
-    let k = spec.kernel;
-    let w_mat = weight.reshape(&[spec.out_channels, spec.in_channels * k * k])?;
-    // [batch*out_h*out_w, cin*k*k] x [cin*k*k, cout]
-    let mut out_mat = cols.matmul(&w_mat.transpose()?)?;
-    if let Some(b) = bias {
-        out_mat = out_mat.add_row_broadcast(b)?;
-    }
-    // Reorder [batch, out_h, out_w, cout] -> [batch, cout, out_h, out_w].
-    let flat = out_mat.as_slice();
-    let mut out = vec![0.0f32; batch * spec.out_channels * out_h * out_w];
-    for b in 0..batch {
-        for oy in 0..out_h {
-            for ox in 0..out_w {
-                let row = ((b * out_h + oy) * out_w + ox) * spec.out_channels;
-                for oc in 0..spec.out_channels {
-                    out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] = flat[row + oc];
+    conv2d(input, weight, bias, spec)
+}
+
+#[cfg(test)]
+mod oracle {
+    //! The seed's direct 7-deep convolution loop, kept only as the
+    //! reference the GEMM formulation is property-tested against.
+
+    use super::*;
+    use crate::kernels::fused_mul_add;
+
+    /// Direct-loop convolution forward, accumulating with the same
+    /// [`fused_mul_add`] step as the production GEMM so the two paths are
+    /// comparable at full precision within one build.
+    pub(super) fn conv2d_direct(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: &Conv2dSpec,
+    ) -> Result<Tensor> {
+        let (batch, height, width) = check_input(input, spec)?;
+        check_weight(weight, spec)?;
+        let (out_h, out_w) = spec.output_size(height, width)?;
+        let groups = spec.groups;
+        let cin_g = spec.in_channels / groups;
+        let cout_g = spec.out_channels / groups;
+        let k = spec.kernel;
+        let mut out = vec![0.0f32; batch * spec.out_channels * out_h * out_w];
+        let src = input.as_slice();
+        let w = weight.as_slice();
+        let pad = spec.padding as isize;
+        for b in 0..batch {
+            for g in 0..groups {
+                for oc_local in 0..cout_g {
+                    let oc = g * cout_g + oc_local;
+                    let bias_val = bias.map_or(0.0, |t| t.as_slice()[oc]);
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            let mut acc = bias_val;
+                            for ic_local in 0..cin_g {
+                                let ic = g * cin_g + ic_local;
+                                let w_base = ((oc * cin_g + ic_local) * k) * k;
+                                let in_base = (b * spec.in_channels + ic) * height * width;
+                                for ky in 0..k {
+                                    let in_y = (oy * spec.stride + ky) as isize - pad;
+                                    if in_y < 0 || in_y >= height as isize {
+                                        continue;
+                                    }
+                                    let row_base = in_base + in_y as usize * width;
+                                    let w_row = w_base + ky * k;
+                                    for kx in 0..k {
+                                        let in_x = (ox * spec.stride + kx) as isize - pad;
+                                        if in_x < 0 || in_x >= width as isize {
+                                            continue;
+                                        }
+                                        acc = fused_mul_add(
+                                            src[row_base + in_x as usize],
+                                            w[w_row + kx],
+                                            acc,
+                                        );
+                                    }
+                                }
+                            }
+                            out[((b * spec.out_channels + oc) * out_h + oy) * out_w + ox] = acc;
+                        }
+                    }
                 }
             }
         }
+        Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
     }
-    Tensor::from_vec(out, &[batch, spec.out_channels, out_h, out_w])
 }
 
 #[cfg(test)]
@@ -628,6 +855,72 @@ mod tests {
         assert_eq!(out.at(&[0, 1, 0, 0]).unwrap(), 30.0);
     }
 
+    /// The satellite property test: the GEMM formulation equals the seed's
+    /// direct loop on random dense, grouped and depthwise specifications.
+    #[test]
+    fn property_gemm_conv_matches_direct_oracle() {
+        let mut rng = StdRng::seed_from(0xC0FFEE);
+        let cases: &[(Conv2dSpec, [usize; 4])] = &[
+            (Conv2dSpec::new(3, 5, 3).with_padding(1), [2, 3, 9, 9]),
+            (
+                Conv2dSpec::new(4, 6, 3).with_padding(1).with_stride(2),
+                [1, 4, 8, 8],
+            ),
+            (
+                Conv2dSpec::new(6, 6, 3).with_padding(1).with_groups(6),
+                [2, 6, 7, 7],
+            ),
+            (
+                Conv2dSpec::new(8, 4, 3).with_padding(2).with_groups(2),
+                [3, 8, 6, 6],
+            ),
+            (Conv2dSpec::new(4, 8, 1), [2, 4, 5, 5]),
+            (
+                Conv2dSpec::new(2, 2, 5).with_padding(2).with_groups(2),
+                [1, 2, 11, 11],
+            ),
+        ];
+        for (case, (spec, dims)) in cases.iter().enumerate() {
+            let input = Tensor::randn(dims, 0.0, 1.0, &mut rng);
+            let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
+            let bias = Tensor::randn(&[spec.out_channels], 0.0, 0.5, &mut rng);
+            for use_bias in [true, false] {
+                let bias_ref = use_bias.then_some(&bias);
+                let expected = oracle::conv2d_direct(&input, &weight, bias_ref, spec).unwrap();
+                for threads in [1usize, 2, 4] {
+                    Parallelism::fixed(threads).make_current();
+                    let got = conv2d(&input, &weight, bias_ref, spec).unwrap();
+                    assert_eq!(
+                        got, expected,
+                        "case {case} (bias={use_bias}, threads={threads}) diverged from the \
+                         direct-loop oracle"
+                    );
+                }
+                Parallelism::auto().make_current();
+            }
+        }
+    }
+
+    /// Forward and backward results must not depend on the thread count.
+    #[test]
+    fn conv_backward_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from(99);
+        let spec = Conv2dSpec::new(4, 6, 3).with_padding(1).with_groups(2);
+        let input = Tensor::randn(&[3, 4, 8, 8], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
+        let grad_output = Tensor::randn(&[3, 6, 8, 8], 0.0, 1.0, &mut rng);
+        Parallelism::single().make_current();
+        let reference = conv2d_backward(&input, &weight, &grad_output, &spec).unwrap();
+        for threads in [2usize, 4] {
+            Parallelism::fixed(threads).make_current();
+            let got = conv2d_backward(&input, &weight, &grad_output, &spec).unwrap();
+            assert_eq!(got.0, reference.0, "grad_input diverged at {threads}");
+            assert_eq!(got.1, reference.1, "grad_weight diverged at {threads}");
+            assert_eq!(got.2, reference.2, "grad_bias diverged at {threads}");
+        }
+        Parallelism::auto().make_current();
+    }
+
     #[test]
     fn im2col_matmul_matches_direct_convolution() {
         let spec = Conv2dSpec::new(3, 5, 3).with_padding(1).with_stride(2);
@@ -635,9 +928,19 @@ mod tests {
         let input = Tensor::randn(&[2, 3, 9, 9], 0.0, 1.0, &mut rng);
         let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
         let bias = Tensor::randn(&[5], 0.0, 0.5, &mut rng);
-        let direct = conv2d(&input, &weight, Some(&bias), &spec).unwrap();
+        let direct = oracle::conv2d_direct(&input, &weight, Some(&bias), &spec).unwrap();
         let via_cols = conv2d_im2col(&input, &weight, Some(&bias), &spec).unwrap();
         assert!(direct.allclose(&via_cols, 1e-4));
+    }
+
+    #[test]
+    fn conv2d_im2col_now_accepts_groups() {
+        let spec = Conv2dSpec::new(4, 4, 3).with_padding(1).with_groups(4);
+        let mut rng = StdRng::seed_from(8);
+        let input = Tensor::randn(&[1, 4, 6, 6], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
+        let grouped = conv2d_im2col(&input, &weight, None, &spec).unwrap();
+        assert_eq!(grouped, conv2d(&input, &weight, None, &spec).unwrap());
     }
 
     #[test]

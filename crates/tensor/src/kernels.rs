@@ -1,0 +1,903 @@
+//! The packed, cache-blocked SGEMM every forward and backward pass runs on.
+//!
+//! # Design
+//!
+//! [`sgemm`] computes `C = alpha * op(A) * op(B) + beta * C` for row-major
+//! `f32` matrices, following the classic three-level blocking scheme (as in
+//! BLIS/GotoBLAS):
+//!
+//! * the `N` dimension is split into `NC`-wide column blocks,
+//! * the `K` dimension into `KC`-deep slices — each `KC x NC` block of `B`
+//!   is packed once into NR-wide column panels,
+//! * the `M` dimension into `MC`-tall row blocks — each `MC x KC` block of
+//!   `A` is packed into MR-tall row panels (with `alpha` folded in),
+//!
+//! and a register-tiled `MR x NR` micro-kernel accumulates one output tile
+//! over the whole `KC` slice without touching memory for `C` in its inner
+//! loop. Packing both operands makes every micro-kernel read sequential,
+//! keeps the working set inside the cache hierarchy, and handles the
+//! transpose flags for free — callers never materialise a transposed copy.
+//!
+//! # Determinism contract
+//!
+//! Each output element `C[i][j]` is produced by exactly one accumulation
+//! chain, in this exact order:
+//!
+//! ```text
+//! acc = (beta == 0 ? 0 : beta * C[i][j])          // beta == 0 kills NaNs
+//! for p in 0..k (ascending): acc += (alpha * A[i][p]) * B[p][j]
+//! C[i][j] = acc
+//! ```
+//!
+//! Cache blocking spills partial `acc` values to `C` between `KC` slices and
+//! reloads them, which leaves the chain order unchanged; multi-threading
+//! partitions *rows of `C`* only, so every element is written by exactly one
+//! thread running exactly this chain. Results are therefore **bit-identical
+//! for every thread count and every blocking configuration**, and for
+//! `alpha == 1, beta == 0` they are bit-identical to the textbook naive
+//! triple loop (the `#[cfg(test)]` oracle below enforces this to 0 ULP).
+
+use crate::parallel::{partition_rows, Parallelism};
+
+/// Rows of one register tile (micro-panel height of packed `A`).
+pub const MR: usize = 4;
+/// Columns of one register tile (micro-panel width of packed `B`).
+///
+/// The `4 x 24` tile is tuned for 256-bit SIMD: twelve independent 8-wide
+/// accumulator chains (enough to cover FMA latency at two issues per
+/// cycle) fed by three packed-`B` loads and four packed-`A` broadcasts per
+/// step, which keeps the load ports well under the FMA issue rate while
+/// filling the 16-register file.
+pub const NR: usize = 24;
+/// Row-block size: `MC x KC` panels of `A` are packed to stay cache-hot.
+const MC: usize = 128;
+/// Depth-block size: the shared `K` dimension is consumed `KC` at a time.
+const KC: usize = 256;
+/// Column-block size: `KC x NC` panels of `B` are packed per depth block.
+const NC: usize = 512;
+
+/// Minimum `m * n * k` volume before the kernel spreads rows over threads;
+/// below this the scoped-thread spawn overhead outweighs the work.
+const PARALLEL_MIN_VOLUME: usize = 64 * 64 * 64;
+
+/// Whether this build accumulates with hardware fused multiply-add.
+///
+/// Resolved at compile time so the same operation is used everywhere in the
+/// crate (micro-kernel, oracle, and the im2col convolution driver), keeping
+/// results bit-identical between code paths within one build.
+pub const FUSED_MULTIPLY_ADD: bool = cfg!(any(target_feature = "fma", target_arch = "aarch64"));
+
+/// The single accumulation step `acc + a * b` used by every kernel in this
+/// crate.
+///
+/// On targets with hardware FMA (x86-64 with the `fma` feature, all
+/// aarch64) this is `f32::mul_add` — one instruction, one rounding, and the
+/// form LLVM vectorizes to `vfmadd`. On targets without it, `mul_add`
+/// would fall back to a scalar libm routine, so the plain two-rounding
+/// `acc + a * b` is used instead. The choice is a compile-time constant:
+/// within any one build every accumulation chain uses exactly one of the
+/// two forms, so determinism across thread counts and across code paths is
+/// unaffected.
+#[inline(always)]
+pub fn fused_mul_add(a: f32, b: f32, acc: f32) -> f32 {
+    if FUSED_MULTIPLY_ADD {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// All matrices are dense, row-major `f32` slices. `op(A)` is `m x k`: the
+/// slice `a` stores it as `m x k` when `trans_a` is false and as `k x m`
+/// (i.e. `op` reads it transposed) when true; likewise `op(B)` is `k x n`
+/// stored as `k x n` or `n x k`. `C` is always `m x n`.
+///
+/// `par` bounds the worker-thread count; see the module docs for why the
+/// result is bit-identical for every thread count. When `beta == 0` the
+/// existing contents of `c` are ignored entirely (never multiplied), so an
+/// uninitialised or NaN-filled buffer is safe.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * k`, `b.len() != k * n` or `c.len() != m * n`.
+///
+/// # Example
+///
+/// ```
+/// use mtlsplit_tensor::{sgemm, Parallelism};
+///
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let b = [5.0, 6.0, 7.0, 8.0]; // 2x2
+/// let mut c = [0.0f32; 4];
+/// sgemm(
+///     false, false, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c,
+///     Parallelism::single(),
+/// );
+/// assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    par: Parallelism,
+) {
+    assert_eq!(a.len(), m * k, "sgemm: A buffer does not match m x k");
+    assert_eq!(b.len(), k * n, "sgemm: B buffer does not match k x n");
+    assert_eq!(c.len(), m * n, "sgemm: C buffer does not match m x n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_c(c, beta);
+        return;
+    }
+    let volume = m.saturating_mul(n).saturating_mul(k);
+    let mut threads = par.resolve().min(m.div_ceil(MR));
+    if volume < PARALLEL_MIN_VOLUME {
+        threads = 1;
+    }
+    if threads <= 1 {
+        gemm_rows(0, m, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, None);
+        return;
+    }
+    // Pack every (jc, pc) block of B once up front; the row-partition
+    // workers all read the same shared panels instead of re-packing B per
+    // thread. Block contents and iteration order are identical to the
+    // serial path, so the accumulation chains are unchanged.
+    let mut shared_len = 0;
+    for jc in (0..n).step_by(NC) {
+        shared_len += k * NC.min(n - jc).next_multiple_of(NR);
+    }
+    let mut shared_b = vec![0.0f32; shared_len];
+    let mut offset = 0;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let nc_pad = nc.next_multiple_of(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(
+                &mut shared_b[offset..offset + kc * nc_pad],
+                b,
+                trans_b,
+                k,
+                n,
+                pc,
+                jc,
+                kc,
+                nc,
+            );
+            offset += kc * nc_pad;
+        }
+    }
+    let shared_b = &shared_b[..];
+    let ranges = partition_rows(m, threads, MR);
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut handles = Vec::new();
+        for (index, range) in ranges.iter().enumerate() {
+            let rows = range.end - range.start;
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let (start, end) = (range.start, range.end);
+            if index + 1 == ranges.len() {
+                // The caller works the final chunk itself.
+                gemm_rows(
+                    start,
+                    end,
+                    trans_a,
+                    trans_b,
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    a,
+                    b,
+                    beta,
+                    chunk,
+                    Some(shared_b),
+                );
+            } else {
+                handles.push(scope.spawn(move || {
+                    gemm_rows(
+                        start,
+                        end,
+                        trans_a,
+                        trans_b,
+                        m,
+                        n,
+                        k,
+                        alpha,
+                        a,
+                        b,
+                        beta,
+                        chunk,
+                        Some(shared_b),
+                    );
+                }));
+            }
+        }
+        for handle in handles {
+            handle.join().expect("sgemm worker thread panicked");
+        }
+    });
+}
+
+/// Applies the `beta` pre-scale used by the degenerate (`k == 0` or
+/// `alpha == 0`) paths.
+fn scale_c(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+}
+
+/// Serial blocked GEMM over the row range `[row_start, row_end)` of `C`.
+///
+/// `c_chunk` holds exactly those rows (`(row_end - row_start) * n` values);
+/// `a` and `b` are the full operands. When `prepacked_b` is given it must
+/// hold every `(jc, pc)` block of packed `B` in iteration order (the
+/// threaded path shares one such buffer across workers); otherwise blocks
+/// are packed on the fly into thread-local scratch. This is the unit of
+/// work one thread executes — the blocking below never depends on which
+/// rows the range covers beyond their packing, so the accumulation chain
+/// per element is partition-independent.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    row_start: usize,
+    row_end: usize,
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c_chunk: &mut [f32],
+    prepacked_b: Option<&[f32]>,
+) {
+    // Reuse this thread's packing scratch across calls: the packing loops
+    // overwrite every slot they expose (including the zero padding), so no
+    // per-call zeroing is needed and the steady-state hot loop allocates
+    // nothing.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (buffer_b, buffer_a) = &mut *scratch;
+        let b_len = if prepacked_b.is_some() {
+            0
+        } else {
+            KC.min(k) * NC.min(n).next_multiple_of(NR)
+        };
+        let a_len = MC.min(row_end - row_start).next_multiple_of(MR) * KC.min(k);
+        if buffer_b.len() < b_len {
+            buffer_b.resize(b_len, 0.0);
+        }
+        if buffer_a.len() < a_len {
+            buffer_a.resize(a_len, 0.0);
+        }
+        gemm_blocks(
+            row_start,
+            row_end,
+            trans_a,
+            trans_b,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            b,
+            beta,
+            c_chunk,
+            prepacked_b,
+            &mut buffer_b[..b_len],
+            &mut buffer_a[..a_len],
+        );
+    });
+}
+
+/// The blocked loop nest of [`gemm_rows`], operating on caller-provided
+/// packing scratch (or a shared pre-packed `B`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocks(
+    row_start: usize,
+    row_end: usize,
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c_chunk: &mut [f32],
+    prepacked_b: Option<&[f32]>,
+    packed_b_scratch: &mut [f32],
+    packed_a: &mut [f32],
+) {
+    let mut shared_offset = 0;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let nc_pad = nc.next_multiple_of(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let panel_b: &[f32] = match prepacked_b {
+                Some(shared) => {
+                    let block = &shared[shared_offset..shared_offset + kc * nc_pad];
+                    shared_offset += kc * nc_pad;
+                    block
+                }
+                None => {
+                    pack_b(packed_b_scratch, b, trans_b, k, n, pc, jc, kc, nc);
+                    &packed_b_scratch[..kc * nc_pad]
+                }
+            };
+            let first_k_block = pc == 0;
+            let mut ic = row_start;
+            while ic < row_end {
+                let mc = MC.min(row_end - ic);
+                pack_a(packed_a, a, trans_a, m, k, ic, pc, mc, kc, alpha);
+                macro_kernel(
+                    packed_a,
+                    panel_b,
+                    mc,
+                    nc,
+                    kc,
+                    c_chunk,
+                    (ic - row_start) * n + jc,
+                    n,
+                    beta,
+                    first_k_block,
+                );
+                ic += mc;
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `op(B)` at `(pc, jc)` into NR-wide column
+/// panels, each laid out k-major: panel `jp` holds `kc` rows of `NR`
+/// consecutive values `op(B)[pc + p][jc + jp .. jc + jp + NR]`, zero-padded
+/// past `nc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    packed: &mut [f32],
+    b: &[f32],
+    trans_b: bool,
+    k: usize,
+    n: usize,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+) {
+    let mut offset = 0;
+    for jp in (0..nc).step_by(NR) {
+        let width = NR.min(nc - jp);
+        for p in 0..kc {
+            let dst = &mut packed[offset + p * NR..offset + p * NR + NR];
+            if trans_b {
+                // Stored B is n x k; op(B)[p][j] = b[j * k + p].
+                for (j, slot) in dst.iter_mut().take(width).enumerate() {
+                    *slot = b[(jc + jp + j) * k + pc + p];
+                }
+            } else {
+                dst[..width].copy_from_slice(&b[(pc + p) * n + jc + jp..][..width]);
+            }
+            dst[width..].fill(0.0);
+        }
+        offset += kc * NR;
+    }
+}
+
+/// Packs the `mc x kc` block of `op(A)` at `(ic, pc)` into MR-tall row
+/// panels laid out k-major (`panel[p * MR + i] = alpha * op(A)[ic + ip + i]
+/// [pc + p]`), zero-padded past `mc`. Folding `alpha` in here keeps the
+/// micro-kernel multiply-add only — and is exact for `alpha == 1`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    packed: &mut [f32],
+    a: &[f32],
+    trans_a: bool,
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    alpha: f32,
+) {
+    let mut offset = 0;
+    for ip in (0..mc).step_by(MR) {
+        let height = MR.min(mc - ip);
+        if !trans_a && height == MR {
+            // Common full-panel case: interleave MR contiguous source rows.
+            // The fixed-stride store group vectorises, unlike the generic
+            // scalar loop below.
+            let rows: [&[f32]; MR] = std::array::from_fn(|i| &a[(ic + ip + i) * k + pc..][..kc]);
+            let dst = &mut packed[offset..offset + kc * MR];
+            for p in 0..kc {
+                for (i, row) in rows.iter().enumerate() {
+                    dst[p * MR + i] = alpha * row[p];
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let dst = &mut packed[offset + p * MR..offset + p * MR + MR];
+                for (i, slot) in dst.iter_mut().take(height).enumerate() {
+                    let value = if trans_a {
+                        // Stored A is k x m; op(A)[i][p] = a[p * m + i].
+                        a[(pc + p) * m + ic + ip + i]
+                    } else {
+                        a[(ic + ip + i) * k + pc + p]
+                    };
+                    *slot = alpha * value;
+                }
+                dst[height..].fill(0.0);
+            }
+        }
+        offset += kc * MR;
+    }
+}
+
+/// Drives the micro-kernel over every `MR x NR` tile of an `mc x nc` block
+/// of `C` starting at `c_offset` (leading dimension `ldc`).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    packed_a: &[f32],
+    packed_b: &[f32],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut [f32],
+    c_offset: usize,
+    ldc: usize,
+    beta: f32,
+    first_k_block: bool,
+) {
+    for jr in (0..nc).step_by(NR) {
+        let width = NR.min(nc - jr);
+        let panel_b = &packed_b[(jr / NR) * kc * NR..][..kc * NR];
+        for ir in (0..mc).step_by(MR) {
+            let height = MR.min(mc - ir);
+            let panel_a = &packed_a[(ir / MR) * kc * MR..][..kc * MR];
+            micro_kernel(
+                panel_a,
+                panel_b,
+                kc,
+                c,
+                c_offset + ir * ldc + jr,
+                ldc,
+                height,
+                width,
+                beta,
+                first_k_block,
+            );
+        }
+    }
+}
+
+/// Columns held in each of the micro-kernel's three accumulator thirds.
+const NRH: usize = NR / 3;
+
+/// The register-tiled core: accumulates one `MR x NR` tile of `C` over a
+/// whole `kc` slice in local accumulators, then writes the valid
+/// `height x width` region back. Initialising the accumulators from `C`
+/// (scaled by `beta` only on the first `K` block) is what keeps the
+/// per-element accumulation chain identical to the naive triple loop.
+///
+/// The tile is held as three `MR x NRH` column-third arrays rather than one
+/// `MR x NR` array: LLVM's scalar-replacement pass only promotes small
+/// aggregates to registers, and splitting the tile keeps each third under
+/// that limit so the whole accumulator stays in SIMD registers across the
+/// `kc` loop (one `MR x NR` array would spill to the stack).
+///
+/// `manual_memcpy` is allowed deliberately: writing the spill/reload loops
+/// as `copy_from_slice` takes references to the accumulator arrays, which
+/// blocks their scalar replacement — the index loops keep them in
+/// registers.
+#[allow(clippy::too_many_arguments, clippy::manual_memcpy)]
+#[inline]
+fn micro_kernel(
+    panel_a: &[f32],
+    panel_b: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_offset: usize,
+    ldc: usize,
+    height: usize,
+    width: usize,
+    beta: f32,
+    first_k_block: bool,
+) {
+    let mut acc_l = [[0.0f32; NRH]; MR];
+    let mut acc_m = [[0.0f32; NRH]; MR];
+    let mut acc_r = [[0.0f32; NRH]; MR];
+    let width_l = width.min(NRH);
+    let width_m = width.saturating_sub(NRH).min(NRH);
+    let width_r = width.saturating_sub(2 * NRH);
+    if first_k_block {
+        if beta != 0.0 {
+            for i in 0..height {
+                let c_row = &c[c_offset + i * ldc..][..width];
+                for j in 0..width_l {
+                    acc_l[i][j] = beta * c_row[j];
+                }
+                for j in 0..width_m {
+                    acc_m[i][j] = beta * c_row[NRH + j];
+                }
+                for j in 0..width_r {
+                    acc_r[i][j] = beta * c_row[2 * NRH + j];
+                }
+            }
+        }
+    } else {
+        for i in 0..height {
+            let c_row = &c[c_offset + i * ldc..][..width];
+            for j in 0..width_l {
+                acc_l[i][j] = c_row[j];
+            }
+            for j in 0..width_m {
+                acc_m[i][j] = c_row[NRH + j];
+            }
+            for j in 0..width_r {
+                acc_r[i][j] = c_row[2 * NRH + j];
+            }
+        }
+    }
+    for p in 0..kc {
+        let b_l: &[f32; NRH] = panel_b[p * NR..]
+            .first_chunk()
+            .expect("packed B panel is kc * NR long");
+        let b_m: &[f32; NRH] = panel_b[p * NR + NRH..]
+            .first_chunk()
+            .expect("packed B panel is kc * NR long");
+        let b_r: &[f32; NRH] = panel_b[p * NR + 2 * NRH..]
+            .first_chunk()
+            .expect("packed B panel is kc * NR long");
+        let a_col: &[f32; MR] = panel_a[p * MR..]
+            .first_chunk()
+            .expect("packed A panel is kc * MR long");
+        for i in 0..MR {
+            let a_value = a_col[i];
+            let left = &mut acc_l[i];
+            for j in 0..NRH {
+                left[j] = fused_mul_add(a_value, b_l[j], left[j]);
+            }
+            let middle = &mut acc_m[i];
+            for j in 0..NRH {
+                middle[j] = fused_mul_add(a_value, b_m[j], middle[j]);
+            }
+            let right = &mut acc_r[i];
+            for j in 0..NRH {
+                right[j] = fused_mul_add(a_value, b_r[j], right[j]);
+            }
+        }
+    }
+    for i in 0..height {
+        let c_row = &mut c[c_offset + i * ldc..][..width];
+        for j in 0..width_l {
+            c_row[j] = acc_l[i][j];
+        }
+        for j in 0..width_m {
+            c_row[NRH + j] = acc_m[i][j];
+        }
+        for j in 0..width_r {
+            c_row[2 * NRH + j] = acc_r[i][j];
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod oracle {
+    //! The naive reference kernel the blocked GEMM is tested against.
+    //!
+    //! This is the seed's single-threaded triple loop (minus its
+    //! `a == 0.0` sparsity skip, which was removed because it perturbed the
+    //! accumulation chain for pruned weights without ever paying for
+    //! itself). It exists only as a test oracle: the production path is
+    //! [`super::sgemm`].
+
+    /// `C = alpha * op(A) * op(B) + beta * C`, one ascending-k accumulation
+    /// chain per element — the semantics [`super::sgemm`] must match to
+    /// 0 ULP.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gemm(
+        trans_a: bool,
+        trans_b: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = if beta == 0.0 {
+                    0.0
+                } else {
+                    beta * c[i * n + j]
+                };
+                for p in 0..k {
+                    let a_value = if trans_a { a[p * m + i] } else { a[i * k + p] };
+                    let b_value = if trans_b { b[j * k + p] } else { b[p * n + j] };
+                    acc = super::fused_mul_add(alpha * a_value, b_value, acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    fn random_vec(len: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..len).map(|_| rng.normal_with(0.0, 1.0)).collect()
+    }
+
+    fn assert_bits_equal(actual: &[f32], expected: &[f32], context: &str) {
+        assert_eq!(actual.len(), expected.len(), "{context}: length");
+        for (index, (x, y)) in actual.iter().zip(expected).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{context}: element {index} differs ({x} vs {y})"
+            );
+        }
+    }
+
+    /// The satellite property test: blocked GEMM == naive oracle to 0 ULP
+    /// across random shapes, transpose flags, alpha/beta and thread counts.
+    #[test]
+    fn property_gemm_matches_oracle_to_zero_ulp() {
+        let mut rng = StdRng::seed_from(0xBEEF);
+        let alphas = [1.0f32, -1.0, 0.5];
+        let betas = [0.0f32, 1.0, 0.25];
+        for case in 0..60 {
+            let m = 1 + (rng.next_u64() % 50) as usize;
+            let n = 1 + (rng.next_u64() % 50) as usize;
+            let k = 1 + (rng.next_u64() % 50) as usize;
+            let trans_a = rng.next_u64().is_multiple_of(2);
+            let trans_b = rng.next_u64().is_multiple_of(2);
+            let alpha = alphas[(rng.next_u64() % alphas.len() as u64) as usize];
+            let beta = betas[(rng.next_u64() % betas.len() as u64) as usize];
+            let a = random_vec(m * k, &mut rng);
+            let b = random_vec(k * n, &mut rng);
+            let c0 = random_vec(m * n, &mut rng);
+            let mut expected = c0.clone();
+            oracle::gemm(
+                trans_a,
+                trans_b,
+                m,
+                n,
+                k,
+                alpha,
+                &a,
+                &b,
+                beta,
+                &mut expected,
+            );
+            for threads in [1usize, 2, 4] {
+                let mut c = c0.clone();
+                sgemm(
+                    trans_a,
+                    trans_b,
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    &a,
+                    &b,
+                    beta,
+                    &mut c,
+                    Parallelism::fixed(threads),
+                );
+                assert_bits_equal(
+                    &c,
+                    &expected,
+                    &format!(
+                        "case {case}: m={m} n={n} k={k} ta={trans_a} tb={trans_b} \
+                         alpha={alpha} beta={beta} threads={threads}"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Shapes that cross every blocking boundary (MC, KC, NC and the MR/NR
+    /// edge tiles) still match the oracle exactly.
+    #[test]
+    fn blocking_boundaries_match_oracle_to_zero_ulp() {
+        let mut rng = StdRng::seed_from(42);
+        for &(m, n, k) in &[
+            (MC + MR + 1, NR - 1, KC + 3),
+            (MR - 1, NC + NR + 5, 7),
+            (2 * MC, 2 * NR, 2 * KC),
+            (1, 1, KC + 1),
+        ] {
+            let a = random_vec(m * k, &mut rng);
+            let b = random_vec(k * n, &mut rng);
+            let mut expected = vec![0.0; m * n];
+            oracle::gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut expected);
+            let mut c = vec![0.0; m * n];
+            sgemm(
+                false,
+                false,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+                Parallelism::fixed(3),
+            );
+            assert_bits_equal(&c, &expected, &format!("m={m} n={n} k={k}"));
+        }
+    }
+
+    /// A shape big enough to actually engage the scoped-thread split must be
+    /// bit-identical for every thread count.
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from(7);
+        let (m, n, k) = (97, 83, 120);
+        assert!(m * n * k >= PARALLEL_MIN_VOLUME);
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let reference = {
+            let mut c = vec![0.0; m * n];
+            sgemm(
+                false,
+                false,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+                Parallelism::single(),
+            );
+            c
+        };
+        for threads in [2usize, 3, 4, 8] {
+            let mut c = vec![0.0; m * n];
+            sgemm(
+                false,
+                false,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+                Parallelism::fixed(threads),
+            );
+            assert_bits_equal(&c, &reference, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_poisoned_output() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [f32::NAN; 1];
+        sgemm(
+            false,
+            false,
+            1,
+            1,
+            2,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            Parallelism::single(),
+        );
+        assert_eq!(c[0], 11.0);
+    }
+
+    #[test]
+    fn degenerate_k_applies_beta_only() {
+        let mut c = [2.0f32, -4.0];
+        sgemm(
+            false,
+            false,
+            1,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            0.5,
+            &mut c,
+            Parallelism::single(),
+        );
+        assert_eq!(c, [1.0, -2.0]);
+        let mut c = [f32::NAN, f32::NAN];
+        sgemm(
+            false,
+            false,
+            1,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            0.0,
+            &mut c,
+            Parallelism::single(),
+        );
+        assert_eq!(c, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn alpha_zero_short_circuits_to_beta_scaling() {
+        let a = [f32::NAN; 4];
+        let b = [f32::NAN; 4];
+        let mut c = [1.0f32, 2.0, 3.0, 4.0];
+        sgemm(
+            false,
+            false,
+            2,
+            2,
+            2,
+            0.0,
+            &a,
+            &b,
+            2.0,
+            &mut c,
+            Parallelism::single(),
+        );
+        assert_eq!(c, [2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sgemm: A buffer")]
+    fn mismatched_buffers_panic() {
+        let mut c = [0.0f32; 4];
+        sgemm(
+            false,
+            false,
+            2,
+            2,
+            2,
+            1.0,
+            &[0.0; 3],
+            &[0.0; 4],
+            0.0,
+            &mut c,
+            Parallelism::single(),
+        );
+    }
+}

@@ -6,11 +6,42 @@
 //! arithmetic, broadcasting over the leading (batch) axis, matrix
 //! multiplication, im2col-based 2-D convolution, pooling and reductions.
 //!
-//! The design goal is *clarity and determinism* rather than peak throughput:
-//! the paper's claims are about relative accuracy between single-task and
-//! multi-task training and about the structural sizes of the split network,
-//! so a straightforward, well-tested CPU implementation is the right
-//! substrate.
+//! # The compute-kernel layer
+//!
+//! Every forward and backward pass in the workspace bottoms out in one
+//! kernel: the packed, cache-blocked [`sgemm`]. [`Tensor::matmul`] is a
+//! thin shape-checked wrapper over it; dense, grouped and depthwise
+//! [`conv2d`] (and [`conv2d_backward`]) are grouped im2col/col2im lowerings
+//! onto it; the `mtlsplit-nn` linear layer drives it directly with
+//! transpose flags so no pass materialises a transposed copy.
+//!
+//! ## The GEMM contract
+//!
+//! `sgemm(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, par)` computes
+//! `C = alpha * op(A) * op(B) + beta * C` with these guarantees:
+//!
+//! * **Fixed accumulation chain.** Every output element is produced by one
+//!   ascending-`k` accumulation chain, `beta`-scaled initial value first
+//!   (`beta == 0` ignores — never multiplies — the prior contents of `C`).
+//! * **Thread-count invariance.** [`Parallelism`] only partitions *rows of
+//!   `C`* across `std::thread::scope` workers; each element is written by
+//!   exactly one thread running exactly the chain above, so results are
+//!   bit-identical for every thread count. The same argument covers the
+//!   convolution drivers, which parallelise over `(batch, group)` output
+//!   units.
+//! * **Oracle equality.** For `alpha == 1, beta == 0` the result is
+//!   bit-identical (0 ULP) to the naive triple loop, enforced by property
+//!   tests against the `#[cfg(test)]` oracle kept in `kernels.rs`.
+//!
+//! Within one build, every kernel accumulates with the same
+//! [`fused_mul_add`] step (hardware FMA where the target has it, plain
+//! multiply-add elsewhere), so different code paths agree bitwise; across
+//! *builds* with different FMA availability, results may differ by normal
+//! rounding.
+//!
+//! Kernels with no explicit configuration read the calling thread's ambient
+//! [`Parallelism::current`] (default: one thread per core); training and
+//! serving install their configured budgets via [`Parallelism::make_current`].
 //!
 //! # Example
 //!
@@ -32,7 +63,9 @@
 
 mod conv;
 mod error;
+mod kernels;
 mod ops;
+mod parallel;
 mod pool;
 mod rng;
 mod shape;
@@ -40,7 +73,9 @@ mod tensor;
 
 pub use conv::{col2im, conv2d, conv2d_backward, conv2d_im2col, im2col, Conv2dSpec};
 pub use error::{Result, TensorError};
+pub use kernels::{fused_mul_add, sgemm, FUSED_MULTIPLY_ADD, MR, NR};
 pub use ops::{log_softmax_rows, softmax_rows};
+pub use parallel::Parallelism;
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward,
     max_pool2d_infer,

@@ -1,0 +1,265 @@
+//! Zero-dependency scoped-thread parallelism for the compute kernels.
+//!
+//! Every parallel split in this crate partitions *output* elements: each
+//! thread owns a disjoint, contiguous slice of the result buffer and runs
+//! exactly the same per-element accumulation it would run single-threaded.
+//! No thread ever writes an element another thread reads, there are no
+//! atomics on the hot path, and — because the per-element floating-point
+//! accumulation order never depends on the partition — results are
+//! **bit-identical for every thread count**.
+//!
+//! The thread count comes from a [`Parallelism`] value. Kernels that take no
+//! explicit configuration (such as [`crate::Tensor::matmul`]) read the
+//! calling thread's ambient setting via [`Parallelism::current`], which
+//! defaults to [`Parallelism::auto`] (one thread per available core).
+//! Embedders that already shard work across threads — the serving worker
+//! pool, for instance — pin their workers to [`Parallelism::single`] so the
+//! kernels do not oversubscribe the machine.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// How many threads the compute kernels may use.
+///
+/// `Parallelism` is a plain copyable value with three constructors:
+///
+/// * [`Parallelism::auto`] — resolve to `std::thread::available_parallelism`
+///   at the point of use (the default),
+/// * [`Parallelism::single`] — always one thread,
+/// * [`Parallelism::fixed`] — an explicit thread count.
+///
+/// The setting only ever bounds the *worker count*; it never changes
+/// numerical results. See the module docs for the determinism argument.
+///
+/// # Example
+///
+/// ```
+/// use mtlsplit_tensor::Parallelism;
+///
+/// assert_eq!(Parallelism::single().resolve(), 1);
+/// assert_eq!(Parallelism::fixed(4).resolve(), 4);
+/// assert!(Parallelism::auto().resolve() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(usize);
+
+thread_local! {
+    /// The calling thread's ambient parallelism, read by kernels that take
+    /// no explicit configuration.
+    static CURRENT: Cell<Parallelism> = const { Cell::new(Parallelism(0)) };
+}
+
+impl Parallelism {
+    /// One worker per core: resolves to `available_parallelism` when used.
+    pub fn auto() -> Self {
+        Self(0)
+    }
+
+    /// Exactly one thread — kernels run inline on the caller.
+    pub fn single() -> Self {
+        Self(1)
+    }
+
+    /// An explicit thread count (clamped to at least 1).
+    pub fn fixed(threads: usize) -> Self {
+        Self(threads.max(1))
+    }
+
+    /// Whether this value defers to `available_parallelism`.
+    pub fn is_auto(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The concrete thread count this value stands for, resolving
+    /// [`Parallelism::auto`] against the machine.
+    pub fn resolve(self) -> usize {
+        match self.0 {
+            0 => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The ambient parallelism of the calling thread.
+    ///
+    /// This is what [`crate::Tensor::matmul`] and the convolution kernels
+    /// use. It defaults to [`Parallelism::auto`] on every thread and is
+    /// changed with [`Parallelism::make_current`].
+    pub fn current() -> Self {
+        CURRENT.with(Cell::get)
+    }
+
+    /// Installs this value as the calling thread's ambient parallelism.
+    ///
+    /// The setting is thread-local: a serving worker pinning itself to
+    /// [`Parallelism::single`] does not affect a training loop running on
+    /// another thread. Threads spawned by the kernels themselves never
+    /// consult the ambient value (they execute their assigned slice
+    /// inline), so nested oversubscription cannot occur.
+    pub fn make_current(self) {
+        CURRENT.with(|c| c.set(self));
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            0 => write!(f, "auto({})", self.resolve()),
+            n => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Splits `rows` into at most `parts` contiguous ranges whose starts are
+/// multiples of `align` (except possibly the last end). Every row is covered
+/// exactly once and ranges are returned in ascending order.
+pub(crate) fn partition_rows(rows: usize, parts: usize, align: usize) -> Vec<Range<usize>> {
+    let align = align.max(1);
+    let parts = parts.max(1);
+    // Ceil-divide twice so each chunk is an aligned block count.
+    let blocks = rows.div_ceil(align);
+    let blocks_per_part = blocks.div_ceil(parts);
+    let chunk = blocks_per_part * align;
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk).min(rows);
+        ranges.push(start..end);
+        start = end;
+    }
+    if ranges.is_empty() {
+        ranges.push(0..0);
+    }
+    ranges
+}
+
+/// Runs `f(unit_index, unit_slice)` over every `unit_len` chunk of `buf`,
+/// spreading contiguous runs of units across up to `threads` scoped threads.
+///
+/// Each unit is written by exactly one thread and the work done per unit is
+/// independent of the thread count, so outputs are bit-identical however the
+/// units are spread. With `threads <= 1` (or a single unit) everything runs
+/// inline on the caller.
+pub(crate) fn for_each_unit<F>(buf: &mut [f32], unit_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if unit_len == 0 || buf.is_empty() {
+        return;
+    }
+    let mut units: Vec<&mut [f32]> = buf.chunks_mut(unit_len).collect();
+    let total = units.len();
+    let threads = threads.clamp(1, total);
+    if threads == 1 {
+        for (index, unit) in units.drain(..).enumerate() {
+            f(index, unit);
+        }
+        return;
+    }
+    let per_thread = total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut base = 0usize;
+        let mut handles = Vec::new();
+        while !units.is_empty() {
+            let take = per_thread.min(units.len());
+            let rest = units.split_off(take);
+            let mine = std::mem::replace(&mut units, rest);
+            let start = base;
+            base += take;
+            if units.is_empty() {
+                // Run the final chunk inline: the caller is a worker too.
+                for (offset, unit) in mine.into_iter().enumerate() {
+                    f(start + offset, unit);
+                }
+            } else {
+                handles.push(scope.spawn(move || {
+                    for (offset, unit) in mine.into_iter().enumerate() {
+                        f(start + offset, unit);
+                    }
+                }));
+            }
+        }
+        for handle in handles {
+            handle.join().expect("kernel worker thread panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(Parallelism::auto().resolve() >= 1);
+        assert!(Parallelism::auto().is_auto());
+        assert!(!Parallelism::fixed(2).is_auto());
+    }
+
+    #[test]
+    fn fixed_zero_is_clamped_to_one() {
+        assert_eq!(Parallelism::fixed(0).resolve(), 1);
+    }
+
+    #[test]
+    fn current_is_thread_local() {
+        Parallelism::fixed(3).make_current();
+        assert_eq!(Parallelism::current().resolve(), 3);
+        let other = std::thread::spawn(|| Parallelism::current().is_auto())
+            .join()
+            .unwrap();
+        assert!(other, "a fresh thread must start at auto");
+        Parallelism::auto().make_current();
+    }
+
+    #[test]
+    fn partition_covers_every_row_once() {
+        for rows in [0usize, 1, 5, 17, 64, 100] {
+            for parts in [1usize, 2, 3, 4, 9] {
+                for align in [1usize, 4, 8] {
+                    let ranges = partition_rows(rows, parts, align);
+                    let mut next = 0;
+                    for range in &ranges {
+                        assert_eq!(range.start, next);
+                        assert!(range.end > range.start || rows == 0);
+                        if range.end != rows {
+                            assert!(range.end.is_multiple_of(align));
+                        }
+                        next = range.end;
+                    }
+                    assert_eq!(next, rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_unit_visits_every_unit_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            let mut buf = vec![0.0f32; 6 * 5];
+            for_each_unit(&mut buf, 5, threads, |index, unit| {
+                for x in unit.iter_mut() {
+                    *x += (index + 1) as f32;
+                }
+            });
+            for (index, chunk) in buf.chunks(5).enumerate() {
+                assert!(chunk.iter().all(|&x| x == (index + 1) as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_both_modes() {
+        assert_eq!(Parallelism::fixed(2).to_string(), "2");
+        assert!(Parallelism::auto().to_string().starts_with("auto("));
+    }
+}

@@ -515,8 +515,11 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors.
     ///
-    /// Computes `self [m, k] × other [k, n] -> [m, n]` with a cache-friendly
-    /// i-k-j loop ordering.
+    /// Computes `self [m, k] × other [k, n] -> [m, n]` on the packed,
+    /// cache-blocked [`crate::sgemm`] kernel, parallelised according to the
+    /// calling thread's ambient [`crate::Parallelism`] setting. The result
+    /// is bit-identical for every thread count (see the kernel docs for the
+    /// determinism contract).
     ///
     /// # Errors
     ///
@@ -544,19 +547,19 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ip * b_pj;
-                }
-            }
-        }
+        crate::kernels::sgemm(
+            false,
+            false,
+            m,
+            n,
+            k,
+            1.0,
+            &self.data,
+            &other.data,
+            0.0,
+            &mut out,
+            crate::parallel::Parallelism::current(),
+        );
         Ok(Self {
             shape: Shape::new(&[m, n]),
             data: out,

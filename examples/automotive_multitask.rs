@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         learning_rate: 3e-3,
         head_hidden: 32,
         seed: 11,
-        backbone_lr_scale: 1.0,
+        ..TrainConfig::default()
     };
 
     println!("training single-task baselines (one EfficientNet-style network per task)...");

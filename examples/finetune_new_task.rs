@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         learning_rate: 3e-3,
         head_hidden: 32,
         seed: 4,
-        backbone_lr_scale: 1.0,
+        ..TrainConfig::default()
     };
 
     for (label, ratio) in [

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         learning_rate: 3e-3,
         head_hidden: 32,
         seed: 7,
-        backbone_lr_scale: 1.0,
+        ..TrainConfig::default()
     };
     let outcome = trainer::train_mtl(BackboneKind::MobileStyle, &train, &test, &config)?;
     for acc in &outcome.accuracies {

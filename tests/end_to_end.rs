@@ -15,7 +15,7 @@ fn quick_config(seed: u64) -> TrainConfig {
         learning_rate: 3e-3,
         head_hidden: 24,
         seed,
-        backbone_lr_scale: 1.0,
+        ..TrainConfig::default()
     }
 }
 

@@ -9,7 +9,7 @@
 use mtlsplit_data::{MultiTaskDataset, TaskSpec};
 use mtlsplit_serve::{Frame, OpCode};
 use mtlsplit_split::{DeploymentParadigm, Precision, TensorCodec, WorkloadProfile};
-use mtlsplit_tensor::{softmax_rows, StdRng, Tensor};
+use mtlsplit_tensor::{conv2d, softmax_rows, Conv2dSpec, Parallelism, StdRng, Tensor};
 
 const CASES: usize = 64;
 
@@ -49,6 +49,41 @@ fn transpose_of_product() {
             .unwrap();
         assert!(lhs.allclose(&rhs, 1e-3), "case {case}: {m}x{k} * {k}x{n}");
     }
+}
+
+/// The whole-workspace determinism guarantee, exercised through the public
+/// API: matrix products and convolutions are bit-identical for every
+/// `Parallelism` thread count — including shapes large enough to actually
+/// engage the scoped-thread row/unit partitioning.
+#[test]
+fn kernels_are_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from(104);
+    // A matmul big enough to cross the kernel's parallel threshold.
+    let a = Tensor::randn(&[96, 80], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[80, 112], 0.0, 1.0, &mut rng);
+    // A grouped convolution with several (batch, group) units.
+    let spec = Conv2dSpec::new(4, 8, 3).with_padding(1).with_groups(2);
+    let image = Tensor::randn(&[4, 4, 16, 16], 0.0, 1.0, &mut rng);
+    let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.4, &mut rng);
+    let bias = Tensor::randn(&[8], 0.0, 0.4, &mut rng);
+
+    Parallelism::single().make_current();
+    let product = a.matmul(&b).unwrap();
+    let feature_map = conv2d(&image, &weight, Some(&bias), &spec).unwrap();
+    for threads in [2usize, 3, 4] {
+        Parallelism::fixed(threads).make_current();
+        assert_eq!(
+            a.matmul(&b).unwrap(),
+            product,
+            "matmul diverged at {threads} threads"
+        );
+        assert_eq!(
+            conv2d(&image, &weight, Some(&bias), &spec).unwrap(),
+            feature_map,
+            "conv2d diverged at {threads} threads"
+        );
+    }
+    Parallelism::auto().make_current();
 }
 
 /// Softmax rows always form a probability distribution, whatever the logits.
