@@ -263,10 +263,15 @@ fn dump_json(matmul: &[MatmulRow], conv: &[ConvRow], quick: bool) {
 fn bench_kernel_grid(_c: &mut Criterion) {
     let quick = quick_mode();
     let reps = if quick { 3 } else { 9 };
+    // The grid crosses the FLOP threshold in `parallel.rs`: sizes up to
+    // n = 128 are clamped to a single worker (2t/4t identical to 1t — no
+    // scoped-thread spawn cost), threads phase in from n = 256 and the
+    // crossover where they can actually pay off shows at n >= 384 on
+    // multi-core hosts.
     let sizes: &[usize] = if quick {
         &[64, 256]
     } else {
-        &[64, 128, 256, 384]
+        &[64, 128, 256, 384, 512]
     };
     let matmul = measure_matmul_grid(reps, sizes);
     for row in &matmul {

@@ -2,7 +2,7 @@
 
 use mtlsplit_data::TaskSpec;
 use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind, TaskHead};
-use mtlsplit_nn::{CrossEntropyLoss, Layer, Optimizer, Parameter, RunMode};
+use mtlsplit_nn::{CrossEntropyLoss, InferPlan, Layer, Optimizer, Parameter, RunMode};
 use mtlsplit_tensor::{StdRng, Tensor};
 
 use crate::error::{CoreError, Result};
@@ -219,18 +219,44 @@ impl MtlSplitModel {
     /// shared representation and one logits tensor per task.
     ///
     /// Nothing is mutated — no caches, no batch statistics — so a frozen
-    /// model can serve concurrent callers from shared state.
+    /// model can serve concurrent callers from shared state. Internally this
+    /// runs on the planned inference runtime with a transient per-call
+    /// [`InferPlan`] (fused GEMM epilogues; bit-identical to the layer-wise
+    /// [`Layer::infer`] chain); callers that serve many requests should hold
+    /// their own plan and use [`MtlSplitModel::infer_forward_with`] so the
+    /// arena is reused across requests and the steady state allocates
+    /// nothing.
     ///
     /// # Errors
     ///
     /// Returns an error if the input is incompatible with the backbone.
     pub fn infer_forward(&self, images: &Tensor) -> Result<(Tensor, Vec<Tensor>)> {
-        let features = self.backbone.infer(images)?;
-        let outputs = self
-            .heads
-            .iter()
-            .map(|head| head.infer(&features).map_err(Into::into))
-            .collect::<Result<Vec<_>>>()?;
+        let mut plan = InferPlan::new();
+        self.infer_forward_with(images, &mut plan)
+    }
+
+    /// [`MtlSplitModel::infer_forward`] on a caller-owned [`InferPlan`]: all
+    /// intermediates come from the plan's reusable arena, so steady-state
+    /// requests perform zero heap allocations inside the forward pass.
+    ///
+    /// The returned tensors are arena-backed: recycle them via
+    /// [`InferPlan::recycle`] once consumed to keep later requests
+    /// allocation-free. Outputs are bit-identical to the allocating path for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the backbone.
+    pub fn infer_forward_with(
+        &self,
+        images: &Tensor,
+        plan: &mut InferPlan,
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        let features = plan.run(&self.backbone, images)?;
+        let mut outputs = Vec::with_capacity(self.heads.len());
+        for head in &self.heads {
+            outputs.push(plan.run(head, &features)?);
+        }
         Ok((features, outputs))
     }
 

@@ -4,7 +4,7 @@ use mtlsplit_nn::{
     BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool2d, HardSwish, Layer, MaxPool2d,
     NnError, Parameter, PointwiseConv2d, Relu, Result, RunMode, Sequential,
 };
-use mtlsplit_tensor::{StdRng, Tensor};
+use mtlsplit_tensor::{StdRng, Tensor, TensorArena};
 
 use crate::blocks::MbConvBlock;
 
@@ -211,6 +211,10 @@ impl Layer for Backbone {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         self.net.infer(input)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.net.infer_into(input, ctx)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

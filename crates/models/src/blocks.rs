@@ -5,7 +5,7 @@ use mtlsplit_nn::{
     BatchNorm2d, DepthwiseConv2d, HardSigmoid, HardSwish, Layer, Linear, NnError, Parameter,
     PointwiseConv2d, Relu, Result, RunMode, Sequential,
 };
-use mtlsplit_tensor::{global_avg_pool2d, StdRng, Tensor};
+use mtlsplit_tensor::{global_avg_pool2d, global_avg_pool2d_into, StdRng, Tensor, TensorArena};
 
 /// Squeeze-and-excitation: re-weights each channel by a learned gate computed
 /// from the globally pooled feature map.
@@ -85,6 +85,24 @@ impl Layer for SqueezeExcite {
         Ok(scale_channels(input, &scale))
     }
 
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.check_input(input)?;
+        let dims = input.dims();
+        let (batch, channels) = (dims[0], dims[1]);
+        // Pool, gate (the Linear→ReLU half fuses) and re-scale, all on
+        // arena buffers.
+        let mut pooled_buf = ctx.take(batch * channels);
+        global_avg_pool2d_into(input, &mut pooled_buf)?;
+        let pooled = Tensor::from_vec(pooled_buf, &[batch, channels])?;
+        let scale = self.gate.infer_into(&pooled, ctx)?;
+        let mut out = ctx.take(input.len());
+        write_scaled_channels(input, &scale, &mut out);
+        let result = Tensor::from_vec(out, dims)?;
+        ctx.recycle(pooled);
+        ctx.recycle(scale);
+        Ok(result)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
             layer: "SqueezeExcite",
@@ -139,24 +157,33 @@ impl Layer for SqueezeExcite {
 }
 
 /// Multiplies every spatial position of channel `c` in batch item `b` by
-/// `scale[b, c]`.
+/// `scale[b, c]`, allocating the output.
 fn scale_channels(input: &Tensor, scale: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    write_scaled_channels(input, scale, out.as_mut_slice());
+    out
+}
+
+/// Writes `input * scale[b, c]` (broadcast over space) into `out` in one
+/// pass — fully overwritten, so a recycled arena buffer is safe.
+fn write_scaled_channels(input: &Tensor, scale: &Tensor, out: &mut [f32]) {
     let dims = input.dims();
     let (batch, channels) = (dims[0], dims[1]);
     let plane: usize = dims[2..].iter().product();
-    let mut out = input.clone();
-    let data = out.as_mut_slice();
+    let src = input.as_slice();
     let s = scale.as_slice();
     for b in 0..batch {
         for c in 0..channels {
             let factor = s[b * channels + c];
             let base = (b * channels + c) * plane;
-            for v in &mut data[base..base + plane] {
-                *v *= factor;
+            for (slot, &value) in out[base..base + plane]
+                .iter_mut()
+                .zip(&src[base..base + plane])
+            {
+                *slot = value * factor;
             }
         }
     }
-    out
 }
 
 /// An inverted-residual block in the spirit of MobileNetV2/EfficientNet's
@@ -236,6 +263,21 @@ impl Layer for MbConvBlock {
         } else {
             Ok(out)
         }
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let mut out = self.body.infer_into(input, ctx)?;
+        if self.use_skip {
+            // In-place skip add: `out[i] + input[i]` element-wise, the same
+            // chain as `Tensor::add`, without a third buffer.
+            if out.dims() != input.dims() {
+                return Ok(out.add(input)?); // canonical shape error
+            }
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                *o += x;
+            }
+        }
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

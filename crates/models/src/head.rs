@@ -1,7 +1,7 @@
 //! Task-solving heads: the small MLPs deployed on the remote server.
 
 use mtlsplit_nn::{Layer, Linear, NnError, Parameter, Relu, Result, RunMode, Sequential};
-use mtlsplit_tensor::{StdRng, Tensor};
+use mtlsplit_tensor::{StdRng, Tensor, TensorArena};
 
 /// A task-solving head `H_j(Z_b; theta_j)`.
 ///
@@ -100,6 +100,11 @@ impl Layer for TaskHead {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         self.net.infer(input)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        // The Linear→ReLU pair inside fuses into one GEMM on this path.
+        self.net.infer_into(input, ctx)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

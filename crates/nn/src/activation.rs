@@ -1,7 +1,7 @@
 //! Point-wise activation layers: ReLU, sigmoid, and the hard variants used by
 //! MobileNetV3-style networks.
 
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{EpilogueActivation, Tensor, TensorArena};
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
@@ -10,7 +10,7 @@ use crate::{Layer, RunMode};
 macro_rules! pointwise_activation {
     (
         $(#[$doc:meta])*
-        $name:ident, $label:literal, $forward:expr, $derivative:expr
+        $name:ident, $label:literal, $fused:expr, $forward:expr, $derivative:expr
     ) => {
         $(#[$doc])*
         #[derive(Debug, Default)]
@@ -36,6 +36,19 @@ macro_rules! pointwise_activation {
             fn infer(&self, input: &Tensor) -> Result<Tensor> {
                 let f: fn(f32) -> f32 = $forward;
                 Ok(input.map(f))
+            }
+
+            fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+                let f: fn(f32) -> f32 = $forward;
+                let mut out = ctx.take(input.len());
+                for (slot, &x) in out.iter_mut().zip(input.as_slice()) {
+                    *slot = f(x);
+                }
+                Ok(Tensor::from_vec(out, input.dims())?)
+            }
+
+            fn fused_activation(&self) -> Option<EpilogueActivation> {
+                $fused
             }
 
             fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -67,26 +80,33 @@ fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-fn hard_sigmoid(x: f32) -> f32 {
-    ((x + 3.0) / 6.0).clamp(0.0, 1.0)
-}
+// Every fusable activation's forward delegates to the matching
+// `EpilogueActivation::apply`, so the scalar expression the standalone
+// layer evaluates and the one the fused GEMM epilogue evaluates are one
+// definition — the bit-identity between the planned/fused and allocating
+// paths is structural, not a manually-synced duplicate. (The derivatives
+// below are training-only and carry no such contract.)
 
 pointwise_activation!(
     /// Rectified linear unit: `max(0, x)`.
     ///
     /// The paper's task-solving heads are "two linear layers activated by the
-    /// Rectified Linear Activation Unit".
+    /// Rectified Linear Activation Unit". A preceding GEMM layer can absorb
+    /// this layer into its fused epilogue.
     Relu,
     "Relu",
-    |x| x.max(0.0),
+    Some(EpilogueActivation::Relu),
+    |x| EpilogueActivation::Relu.apply(x),
     |x| if x > 0.0 { 1.0 } else { 0.0 }
 );
 
 pointwise_activation!(
-    /// Logistic sigmoid activation.
+    /// Logistic sigmoid activation. Fusable into a preceding GEMM layer's
+    /// epilogue.
     Sigmoid,
     "Sigmoid",
-    sigmoid,
+    Some(EpilogueActivation::Sigmoid),
+    |x| EpilogueActivation::Sigmoid.apply(x),
     |x| {
         let s = sigmoid(x);
         s * (1.0 - s)
@@ -96,17 +116,21 @@ pointwise_activation!(
 pointwise_activation!(
     /// Hard sigmoid: `clamp((x + 3) / 6, 0, 1)` — the cheap sigmoid
     /// approximation used inside MobileNetV3 squeeze-excite blocks.
+    /// Fusable into a preceding GEMM layer's epilogue.
     HardSigmoid,
     "HardSigmoid",
-    hard_sigmoid,
+    Some(EpilogueActivation::HardSigmoid),
+    |x| EpilogueActivation::HardSigmoid.apply(x),
     |x| if x > -3.0 && x < 3.0 { 1.0 / 6.0 } else { 0.0 }
 );
 
 pointwise_activation!(
     /// Hard swish: `x * hard_sigmoid(x)` — MobileNetV3's main activation.
+    /// Fusable into a preceding GEMM layer's epilogue.
     HardSwish,
     "HardSwish",
-    |x| x * hard_sigmoid(x),
+    Some(EpilogueActivation::HardSwish),
+    |x| EpilogueActivation::HardSwish.apply(x),
     |x| {
         if x <= -3.0 {
             0.0

@@ -5,7 +5,10 @@
 //! packed blocked GEMM, so layer outputs are bit-identical for every
 //! `Parallelism` thread count.
 
-use mtlsplit_tensor::{conv2d, conv2d_backward, Conv2dSpec, StdRng, Tensor};
+use mtlsplit_tensor::{
+    conv2d, conv2d_backward, conv2d_fused, ChannelNorm, Conv2dSpec, ConvFusion, EpilogueActivation,
+    StdRng, Tensor, TensorArena,
+};
 
 use crate::error::{NnError, Result};
 use crate::init::kaiming_normal;
@@ -79,6 +82,41 @@ impl Conv2d {
     pub fn spec(&self) -> &Conv2dSpec {
         &self.spec
     }
+
+    /// The arena-backed inference kernel shared by the planned-path entry
+    /// points: output storage from the arena, bias (plus any fused norm and
+    /// activation) riding in the convolution kernels' write-back.
+    fn run_infer_into(
+        &self,
+        input: &Tensor,
+        fusion: ConvFusion<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        let (out_h, out_w) = {
+            let dims = input.dims();
+            if input.rank() != 4 {
+                // Let the kernel produce its canonical error.
+                return Ok(conv2d(
+                    input,
+                    self.weight.value(),
+                    Some(self.bias.value()),
+                    &self.spec,
+                )?);
+            }
+            self.spec.output_size(dims[2], dims[3])?
+        };
+        let len = input.dims()[0] * self.spec.out_channels * out_h * out_w;
+        let mut out = ctx.take(len);
+        let dims = conv2d_fused(
+            input,
+            self.weight.value(),
+            Some(self.bias.value()),
+            &self.spec,
+            fusion,
+            &mut out,
+        )?;
+        Ok(Tensor::from_vec(out, &dims)?)
+    }
 }
 
 impl Layer for Conv2d {
@@ -97,6 +135,41 @@ impl Layer for Conv2d {
             Some(self.bias.value()),
             &self.spec,
         )?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.run_infer_into(input, ConvFusion::none(), ctx)
+    }
+
+    fn infer_into_fused(
+        &self,
+        input: &Tensor,
+        activation: EpilogueActivation,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        Some(self.run_infer_into(input, ConvFusion::activation(activation), ctx))
+    }
+
+    fn infer_into_normed(
+        &self,
+        input: &Tensor,
+        norm: ChannelNorm<'_>,
+        activation: Option<EpilogueActivation>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        if !norm.covers(self.spec.out_channels) {
+            // Channel mismatch: decline so the unfused path surfaces the
+            // batch-norm layer's canonical error.
+            return None;
+        }
+        Some(self.run_infer_into(
+            input,
+            ConvFusion {
+                norm: Some(norm),
+                activation,
+            },
+            ctx,
+        ))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -160,6 +233,29 @@ impl Layer for DepthwiseConv2d {
         self.inner.infer(input)
     }
 
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.inner.infer_into(input, ctx)
+    }
+
+    fn infer_into_fused(
+        &self,
+        input: &Tensor,
+        activation: EpilogueActivation,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        self.inner.infer_into_fused(input, activation, ctx)
+    }
+
+    fn infer_into_normed(
+        &self,
+        input: &Tensor,
+        norm: ChannelNorm<'_>,
+        activation: Option<EpilogueActivation>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        self.inner.infer_into_normed(input, norm, activation, ctx)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         self.inner.backward(grad_output)
     }
@@ -200,6 +296,29 @@ impl Layer for PointwiseConv2d {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         self.inner.infer(input)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.inner.infer_into(input, ctx)
+    }
+
+    fn infer_into_fused(
+        &self,
+        input: &Tensor,
+        activation: EpilogueActivation,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        self.inner.infer_into_fused(input, activation, ctx)
+    }
+
+    fn infer_into_normed(
+        &self,
+        input: &Tensor,
+        norm: ChannelNorm<'_>,
+        activation: Option<EpilogueActivation>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        self.inner.infer_into_normed(input, norm, activation, ctx)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -1,6 +1,6 @@
 //! Inverted dropout regularisation.
 
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{Tensor, TensorArena};
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
@@ -64,6 +64,14 @@ impl Layer for Dropout {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(input.clone())
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        // Inference dropout is the identity; the copy lands in a recycled
+        // arena buffer instead of a fresh clone.
+        let mut out = ctx.take(input.len());
+        out.copy_from_slice(input.as_slice());
+        Ok(Tensor::from_vec(out, input.dims())?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -67,6 +67,7 @@ mod loss;
 mod norm;
 mod optim;
 mod param;
+mod plan;
 mod pool_layer;
 mod sequential;
 
@@ -80,8 +81,13 @@ pub use loss::{CrossEntropyLoss, MseLoss};
 pub use norm::BatchNorm2d;
 pub use optim::{AdamW, LrSchedule, Optimizer, Sgd};
 pub use param::Parameter;
+pub use plan::InferPlan;
 pub use pool_layer::{AvgPool2d, GlobalAvgPool2d, MaxPool2d};
 pub use sequential::Sequential;
+
+// Re-exported so planned-inference callers need no direct tensor-crate
+// dependency for the arena/epilogue vocabulary.
+pub use mtlsplit_tensor::{ChannelNorm, EpilogueActivation, TensorArena};
 
 use mtlsplit_tensor::{StdRng, Tensor};
 
@@ -170,6 +176,81 @@ pub trait Layer: Send + Sync {
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn infer(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Runs the layer on `input` in inference mode, drawing the output
+    /// buffer from `ctx` instead of the heap.
+    ///
+    /// This is the planned, zero-allocation inference path: implementations
+    /// take their output storage with [`TensorArena::take`] (contents
+    /// unspecified — they must overwrite every element) and return it as an
+    /// owned [`Tensor`]; the *caller* recycles the input once it is done
+    /// with it. Results must be bit-identical to [`Layer::infer`].
+    ///
+    /// The default implementation simply calls the allocating
+    /// [`Layer::infer`], so third-party layers keep working unchanged —
+    /// they just do not benefit from the arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let _ = ctx;
+        self.infer(input)
+    }
+
+    /// If this layer is a pure element-wise activation that a preceding
+    /// GEMM-backed layer can absorb into its fused epilogue, returns it.
+    ///
+    /// [`Sequential`] consults this during its planned inference pass: when
+    /// layer `i + 1` reports an activation and layer `i` accepts it via
+    /// [`Layer::infer_into_fused`], the pair runs as one fused kernel.
+    fn fused_activation(&self) -> Option<EpilogueActivation> {
+        None
+    }
+
+    /// Runs the layer with `activation` fused into its compute kernel's
+    /// epilogue, if the layer supports fusion.
+    ///
+    /// Returns `None` when the layer cannot absorb the activation (the
+    /// default), in which case the caller runs the unfused two-step path.
+    /// When fusion happens, the result must be bit-identical to
+    /// [`Layer::infer`] followed by the activation layer's own
+    /// [`Layer::infer`].
+    fn infer_into_fused(
+        &self,
+        input: &Tensor,
+        activation: EpilogueActivation,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        let _ = (input, activation, ctx);
+        None
+    }
+
+    /// If this layer is an inference-time per-channel affine normalisation
+    /// (batch norm reading its running statistics) that a preceding
+    /// convolution can absorb into its epilogue, returns the statistics.
+    fn fused_channel_norm(&self) -> Option<ChannelNorm<'_>> {
+        None
+    }
+
+    /// Runs the layer with a following batch-norm (and optionally the
+    /// activation after it) fused into its kernel's write-back.
+    ///
+    /// Returns `None` when the layer cannot absorb the norm (the default,
+    /// and also the right answer when the norm's channel count does not
+    /// match — the caller then runs the unfused path, which surfaces the
+    /// canonical shape error). When fusion happens, the result must be
+    /// bit-identical to the unfused layer → norm → activation chain.
+    fn infer_into_normed(
+        &self,
+        input: &Tensor,
+        norm: ChannelNorm<'_>,
+        activation: Option<EpilogueActivation>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        let _ = (input, norm, activation, ctx);
+        None
+    }
 
     /// Propagates `grad_output` backwards through the layer, returning the
     /// gradient with respect to the layer input and accumulating parameter

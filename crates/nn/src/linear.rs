@@ -1,7 +1,10 @@
 //! Fully-connected layers and the flattening adapter between convolutional
 //! feature maps and dense heads.
 
-use mtlsplit_tensor::{sgemm, Parallelism, StdRng, Tensor};
+use mtlsplit_tensor::{
+    sgemm, sgemm_epilogue, Bias, BiasAxis, Epilogue, EpilogueActivation, Parallelism, StdRng,
+    Tensor, TensorArena,
+};
 
 use crate::error::{NnError, Result};
 use crate::init::kaiming_normal;
@@ -63,6 +66,54 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    fn check_input(&self, input: &Tensor) -> Result<usize> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "Linear({}, {}) received input of shape {:?}",
+                    self.in_features,
+                    self.out_features,
+                    input.dims()
+                ),
+            });
+        }
+        Ok(input.dims()[0])
+    }
+
+    /// The shared inference kernel: one GEMM with the bias (and optionally a
+    /// fused activation) riding in the epilogue, writing into `out` — which
+    /// may be an uninitialised arena buffer, since the epilogue path never
+    /// reads prior output contents.
+    fn run_infer(
+        &self,
+        input: &Tensor,
+        activation: Option<EpilogueActivation>,
+        mut out: Vec<f32>,
+    ) -> Result<Tensor> {
+        let batch = input.dims()[0];
+        sgemm_epilogue(
+            false,
+            true,
+            batch,
+            self.out_features,
+            self.in_features,
+            1.0,
+            input.as_slice(),
+            self.weight.value().as_slice(),
+            0.0,
+            &mut out,
+            Epilogue::with_activation(
+                Bias {
+                    values: self.bias.value().as_slice(),
+                    axis: BiasAxis::Col,
+                },
+                activation,
+            ),
+            Parallelism::current(),
+        );
+        Ok(Tensor::from_vec(out, &[batch, self.out_features])?)
+    }
 }
 
 impl Layer for Linear {
@@ -75,20 +126,12 @@ impl Layer for Linear {
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
-        if input.rank() != 2 || input.dims()[1] != self.in_features {
-            return Err(NnError::InvalidConfig {
-                reason: format!(
-                    "Linear({}, {}) received input of shape {:?}",
-                    self.in_features,
-                    self.out_features,
-                    input.dims()
-                ),
-            });
-        }
-        let batch = input.dims()[0];
-        // Pre-fill every output row with the bias, then accumulate
-        // x * Wᵀ onto it through the GEMM's beta = 1 path — one pass over
-        // the output, no transposed weight copy.
+        // Allocating path: build the output already prefilled with the bias
+        // rows (one pass — no zero-fill that the prefill would immediately
+        // overwrite) and accumulate through beta == 1. Chain per element is
+        // `bias + ascending-k` — bit-identical to the epilogue formulation
+        // the arena paths use.
+        let batch = self.check_input(input)?;
         let mut out = Vec::with_capacity(batch * self.out_features);
         for _ in 0..batch {
             out.extend_from_slice(self.bias.value().as_slice());
@@ -107,6 +150,24 @@ impl Layer for Linear {
             Parallelism::current(),
         );
         Ok(Tensor::from_vec(out, &[batch, self.out_features])?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let batch = self.check_input(input)?;
+        let out = ctx.take(batch * self.out_features);
+        self.run_infer(input, None, out)
+    }
+
+    fn infer_into_fused(
+        &self,
+        input: &Tensor,
+        activation: EpilogueActivation,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        Some(self.check_input(input).and_then(|batch| {
+            let out = ctx.take(batch * self.out_features);
+            self.run_infer(input, Some(activation), out)
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -206,6 +267,19 @@ impl Layer for Flatten {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(input.flatten_batch()?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        // Same result as `flatten_batch`, with the data landing in a
+        // recycled arena buffer instead of a fresh clone.
+        if input.rank() == 0 {
+            return self.infer(input);
+        }
+        let batch = input.dims()[0];
+        let features = input.len().checked_div(batch).unwrap_or(0);
+        let mut out = ctx.take(input.len());
+        out.copy_from_slice(input.as_slice());
+        Ok(Tensor::from_vec(out, &[batch, features])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

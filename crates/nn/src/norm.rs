@@ -1,6 +1,6 @@
 //! Batch normalisation over NCHW feature maps.
 
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{ChannelNorm, Tensor, TensorArena};
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
@@ -73,6 +73,36 @@ impl BatchNorm2d {
     /// Running per-channel variances (used at inference time).
     pub fn running_var(&self) -> &[f32] {
         &self.running_var
+    }
+
+    /// The inference-mode normalisation loop, writing into `out` (fully
+    /// overwritten, so a recycled arena buffer is safe).
+    ///
+    /// Evaluates through the same [`ChannelNorm`] the fused convolution
+    /// epilogue uses, so the standalone and fused batch-norm passes share
+    /// one scalar expression — their bit-identity is structural.
+    fn write_infer(&self, src: &[f32], out: &mut [f32], batch: usize, plane: usize) {
+        let norm = self.channel_norm();
+        for c in 0..self.channels {
+            let params = norm.params(c);
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    out[base + i] = params.transform(src[base + i]);
+                }
+            }
+        }
+    }
+
+    /// This layer's statistics in the form the fused epilogue consumes.
+    fn channel_norm(&self) -> ChannelNorm<'_> {
+        ChannelNorm {
+            gamma: self.gamma.value().as_slice(),
+            beta: self.beta.value().as_slice(),
+            mean: &self.running_mean,
+            var: &self.running_var,
+            epsilon: self.epsilon,
+        }
     }
 
     fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
@@ -150,22 +180,23 @@ impl Layer for BatchNorm2d {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         let (batch, height, width) = self.check_input(input)?;
-        let plane = height * width;
-        let src = input.as_slice();
-        let mut out = vec![0.0f32; src.len()];
-        for c in 0..self.channels {
-            let mean = self.running_mean[c];
-            let inv = 1.0 / (self.running_var[c] + self.epsilon).sqrt();
-            let g = self.gamma.value().as_slice()[c];
-            let b_shift = self.beta.value().as_slice()[c];
-            for b in 0..batch {
-                let base = (b * self.channels + c) * plane;
-                for i in 0..plane {
-                    out[base + i] = g * (src[base + i] - mean) * inv + b_shift;
-                }
-            }
-        }
+        let mut out = vec![0.0f32; input.len()];
+        self.write_infer(input.as_slice(), &mut out, batch, height * width);
         Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let (batch, height, width) = self.check_input(input)?;
+        let mut out = ctx.take(input.len());
+        self.write_infer(input.as_slice(), &mut out, batch, height * width);
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn fused_channel_norm(&self) -> Option<ChannelNorm<'_>> {
+        // `write_infer` evaluates through this very structure, so a
+        // convolution absorbing this layer changes no bits — it only skips
+        // the separate feature-map pass.
+        Some(self.channel_norm())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

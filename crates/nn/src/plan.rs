@@ -1,0 +1,171 @@
+//! The planned, zero-allocation inference runtime.
+//!
+//! An [`InferPlan`] pairs a frozen layer stack with a reusable
+//! [`TensorArena`]: the first request through [`InferPlan::run`] sizes every
+//! intermediate buffer (including convolution scratch, which lives in
+//! thread-local storage inside the kernels) and each later request is served
+//! entirely from recycled memory — zero heap allocations per request in
+//! steady state. [`InferPlan::prepare`] performs that shape-inference
+//! warm-up explicitly, so even the first production request is
+//! allocation-free.
+//!
+//! The plan never changes results: the planned path reuses buffers and fuses
+//! GEMM epilogues, both of which are bit-identical to the allocating
+//! [`Layer::infer`] path for every thread count (property-tested at the
+//! workspace level).
+
+use mtlsplit_tensor::{Tensor, TensorArena};
+
+use crate::error::Result;
+use crate::Layer;
+
+/// A per-caller inference plan: one reusable arena plus the take/recycle
+/// discipline that keeps the steady-state request path allocation-free.
+///
+/// A plan is cheap to create and intentionally *not* shared: every serving
+/// worker (or benchmark thread) owns its own `InferPlan`, while the frozen
+/// `Box<dyn Layer>` stack itself stays shared behind an `Arc`.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{InferPlan, Layer, Linear, Relu, Sequential};
+/// use mtlsplit_tensor::{StdRng, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut rng = StdRng::seed_from(0);
+/// let net = Sequential::new()
+///     .push(Linear::new(8, 16, &mut rng))
+///     .push(Relu::new())
+///     .push(Linear::new(16, 4, &mut rng));
+/// let mut plan = InferPlan::new();
+/// let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
+/// plan.prepare(&net, &x)?; // warm-up: sizes and pools every buffer
+/// let y = plan.run(&net, &x)?; // steady state: zero heap allocations
+/// assert_eq!(y, net.infer(&x)?); // bit-identical to the allocating path
+/// plan.recycle(y); // hand the output buffer back for the next request
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct InferPlan {
+    arena: TensorArena,
+}
+
+impl InferPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self {
+            arena: TensorArena::new(),
+        }
+    }
+
+    /// Runs `layer` on `input` through the planned path, reusing the plan's
+    /// arena for every intermediate.
+    ///
+    /// The returned tensor's buffer belongs to the arena's recycling cycle:
+    /// hand it back with [`InferPlan::recycle`] once consumed, or the next
+    /// request has to allocate a replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the layer.
+    pub fn run(&mut self, layer: &dyn Layer, input: &Tensor) -> Result<Tensor> {
+        layer.infer_into(input, &mut self.arena)
+    }
+
+    /// Warm-up: runs `layer` once on a representative input and recycles the
+    /// result, so every buffer the stack needs is pooled before the first
+    /// real request.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the example input is incompatible with the layer.
+    pub fn prepare(&mut self, layer: &dyn Layer, example: &Tensor) -> Result<()> {
+        let output = self.run(layer, example)?;
+        self.recycle(output);
+        Ok(())
+    }
+
+    /// Returns a finished output tensor's buffer to the arena.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.arena.recycle(tensor);
+    }
+
+    /// The plan's arena, e.g. to inspect allocation counters in tests and
+    /// benchmarks.
+    pub fn arena(&mut self) -> &mut TensorArena {
+        &mut self.arena
+    }
+
+    /// How many arena takes had to allocate fresh memory so far — stable in
+    /// steady state (the zero-allocation guarantee).
+    pub fn fresh_allocations(&self) -> usize {
+        self.arena.fresh_allocations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu, Sequential};
+    use mtlsplit_tensor::StdRng;
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from(seed);
+        Sequential::new()
+            .push(Linear::new(6, 12, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(12, 3, &mut rng))
+    }
+
+    #[test]
+    fn planned_run_matches_allocating_infer() {
+        let net = mlp(1);
+        let mut plan = InferPlan::new();
+        let mut rng = StdRng::seed_from(2);
+        for _ in 0..4 {
+            let x = Tensor::randn(&[3, 6], 0.0, 1.0, &mut rng);
+            let planned = plan.run(&net, &x).unwrap();
+            assert_eq!(planned, net.infer(&x).unwrap());
+            plan.recycle(planned);
+        }
+    }
+
+    #[test]
+    fn steady_state_requests_take_no_fresh_memory() {
+        let net = mlp(3);
+        let mut plan = InferPlan::new();
+        let mut rng = StdRng::seed_from(4);
+        let x = Tensor::randn(&[2, 6], 0.0, 1.0, &mut rng);
+        plan.prepare(&net, &x).unwrap();
+        let warmed = plan.fresh_allocations();
+        for _ in 0..16 {
+            let y = plan.run(&net, &x).unwrap();
+            plan.recycle(y);
+        }
+        assert_eq!(
+            plan.fresh_allocations(),
+            warmed,
+            "steady-state planned inference must not allocate"
+        );
+    }
+
+    #[test]
+    fn shrinking_batches_reuse_warmup_buffers() {
+        let net = mlp(5);
+        let mut plan = InferPlan::new();
+        let mut rng = StdRng::seed_from(6);
+        plan.prepare(&net, &Tensor::randn(&[4, 6], 0.0, 1.0, &mut rng))
+            .unwrap();
+        let warmed = plan.fresh_allocations();
+        for batch in [1usize, 3, 2, 4] {
+            let x = Tensor::randn(&[batch, 6], 0.0, 1.0, &mut rng);
+            let y = plan.run(&net, &x).unwrap();
+            assert_eq!(y, net.infer(&x).unwrap());
+            plan.recycle(y);
+        }
+        assert_eq!(plan.fresh_allocations(), warmed);
+    }
+}

@@ -1,8 +1,9 @@
 //! Pooling layers wrapping the tensor-level pooling kernels.
 
 use mtlsplit_tensor::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward,
-    max_pool2d_infer, Tensor,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, global_avg_pool2d, global_avg_pool2d_into,
+    max_pool2d, max_pool2d_backward, max_pool2d_infer, max_pool2d_infer_into, pooled_dims, Tensor,
+    TensorArena,
 };
 
 use crate::error::{NnError, Result};
@@ -42,6 +43,13 @@ impl Layer for MaxPool2d {
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         // Index-free kernel: the argmax indices exist only for backward.
         Ok(max_pool2d_infer(input, self.window, self.stride)?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let dims = pooled_dims(input, self.window, self.stride, "max_pool2d")?;
+        let mut out = ctx.take(dims.iter().product());
+        max_pool2d_infer_into(input, self.window, self.stride, &mut out)?;
+        Ok(Tensor::from_vec(out, &dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -94,6 +102,13 @@ impl Layer for AvgPool2d {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(avg_pool2d(input, self.window, self.stride)?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let dims = pooled_dims(input, self.window, self.stride, "avg_pool2d")?;
+        let mut out = ctx.take(dims.iter().product());
+        avg_pool2d_into(input, self.window, self.stride, &mut out)?;
+        Ok(Tensor::from_vec(out, &dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -149,6 +164,15 @@ impl Layer for GlobalAvgPool2d {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(global_avg_pool2d(input)?)
+    }
+
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return self.infer(input); // canonical error path
+        }
+        let mut out = ctx.take(input.dims()[0] * input.dims()[1]);
+        let dims = global_avg_pool2d_into(input, &mut out)?;
+        Ok(Tensor::from_vec(out, &dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

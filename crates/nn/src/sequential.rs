@@ -1,6 +1,6 @@
 //! A sequential container chaining heterogeneous layers.
 
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{Tensor, TensorArena};
 
 use crate::error::Result;
 use crate::param::Parameter;
@@ -119,6 +119,67 @@ impl Layer for Sequential {
         Ok(current)
     }
 
+    fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        // The planned pass: every intermediate comes from (and returns to)
+        // the arena, and adjacent fusable layers collapse into one kernel —
+        // conv → batch-norm → activation becomes a single write-back, and a
+        // GEMM layer followed by an activation absorbs it into its
+        // epilogue. All of it is bit-identical to the allocating `infer`
+        // chain above.
+        let mut current: Option<Tensor> = None;
+        let mut index = 0;
+        while index < self.layers.len() {
+            let layer = &self.layers[index];
+            let source = current.as_ref().unwrap_or(input);
+            // Widest window first: layer + batch-norm (+ activation).
+            let mut fused: Option<(Result<Tensor>, usize)> = None;
+            if let Some(norm) = self
+                .layers
+                .get(index + 1)
+                .and_then(|next| next.fused_channel_norm())
+            {
+                let trailing = self
+                    .layers
+                    .get(index + 2)
+                    .and_then(|next| next.fused_activation());
+                fused = layer
+                    .infer_into_normed(source, norm, trailing, ctx)
+                    .map(|result| (result, if trailing.is_some() { 3 } else { 2 }));
+            }
+            // Then layer + activation.
+            if fused.is_none() {
+                if let Some(activation) = self
+                    .layers
+                    .get(index + 1)
+                    .and_then(|next| next.fused_activation())
+                {
+                    fused = layer
+                        .infer_into_fused(source, activation, ctx)
+                        .map(|result| (result, 2));
+                }
+            }
+            let (next, consumed) = match fused {
+                Some((result, consumed)) => (result?, consumed),
+                None => (layer.infer_into(source, ctx)?, 1),
+            };
+            if let Some(previous) = current.take() {
+                ctx.recycle(previous);
+            }
+            current = Some(next);
+            index += consumed;
+        }
+        match current {
+            Some(output) => Ok(output),
+            None => {
+                // Empty stack: the identity, copied into an arena buffer so
+                // the output joins the recycling cycle like any other.
+                let mut out = ctx.take(input.len());
+                out.copy_from_slice(input.as_slice());
+                Ok(Tensor::from_vec(out, input.dims())?)
+            }
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mut current = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -228,6 +289,66 @@ mod tests {
         assert!(seq.parameters().iter().all(|p| p.is_frozen()));
         seq.set_lr_scale(0.1);
         assert!(seq.parameters().iter().all(|p| p.lr_scale() == 0.1));
+    }
+
+    #[test]
+    fn planned_inference_fuses_activations_bit_exactly() {
+        use crate::activation::Sigmoid;
+        use crate::InferPlan;
+        // Linear→Relu and Linear→Sigmoid both fuse into the GEMM epilogue;
+        // the trailing lone Relu runs unfused. All must match `infer`
+        // bit-for-bit.
+        let mut rng = StdRng::seed_from(31);
+        let net = Sequential::new()
+            .push(Linear::new(5, 9, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(9, 7, &mut rng))
+            .push(Sigmoid::new())
+            .push(Relu::new());
+        let mut plan = InferPlan::new();
+        for batch in [1usize, 4, 2] {
+            let x = Tensor::randn(&[batch, 5], 0.0, 1.5, &mut rng);
+            let planned = plan.run(&net, &x).unwrap();
+            assert_eq!(planned, net.infer(&x).unwrap());
+            plan.recycle(planned);
+        }
+    }
+
+    #[test]
+    fn planned_inference_fuses_conv_norm_activation_bit_exactly() {
+        use crate::conv_layer::{Conv2d, DepthwiseConv2d};
+        use crate::norm::BatchNorm2d;
+        use crate::{HardSwish, InferPlan};
+        // conv → BN → hard-swish (the MobileNet motif) collapses into one
+        // fused write-back on the planned path, for both the dense GEMM
+        // and the depthwise (single-row GEMV) kernels; outputs must still
+        // match `infer` bit-for-bit. Train-mode forwards first so the
+        // running statistics are non-trivial.
+        let mut rng = StdRng::seed_from(41);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(3, 6, 3, 1, 1, &mut rng))
+            .push(BatchNorm2d::new(6))
+            .push(HardSwish::new())
+            .push(DepthwiseConv2d::new(6, 3, 1, 1, &mut rng))
+            .push(BatchNorm2d::new(6));
+        let warm = Tensor::randn(&[4, 3, 8, 8], 0.3, 1.2, &mut rng);
+        net.forward(&warm, RunMode::train(&mut rng)).unwrap();
+        let mut plan = InferPlan::new();
+        for batch in [2usize, 1, 3] {
+            let x = Tensor::randn(&[batch, 3, 8, 8], 0.0, 1.0, &mut rng);
+            let planned = plan.run(&net, &x).unwrap();
+            assert_eq!(planned, net.infer(&x).unwrap());
+            plan.recycle(planned);
+        }
+    }
+
+    #[test]
+    fn planned_empty_sequential_is_identity() {
+        use crate::InferPlan;
+        let net = Sequential::new();
+        let mut plan = InferPlan::new();
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+        assert_eq!(plan.run(&net, &x).unwrap(), x);
     }
 
     #[test]

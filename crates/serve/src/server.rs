@@ -23,7 +23,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mtlsplit_nn::Layer;
+use mtlsplit_nn::{InferPlan, Layer};
 use mtlsplit_split::{Precision, TensorCodec, WirePayload};
 use mtlsplit_tensor::{Parallelism, Tensor};
 
@@ -308,6 +308,10 @@ fn worker_loop(
     response_precision: Precision,
     metrics: &Arc<Mutex<MetricsRecorder>>,
 ) {
+    // One inference plan per worker, reused across every request this
+    // worker ever serves: after the first request warms its arena, the
+    // head forward passes allocate nothing.
+    let mut plan = InferPlan::new();
     loop {
         // Hold the receiver lock only while draining the queue, never while
         // running the heads — that is what lets N workers overlap compute.
@@ -326,7 +330,7 @@ fn worker_loop(
             }
             batch
         };
-        serve_batch(heads, batch, response_precision, metrics);
+        serve_batch(heads, batch, response_precision, metrics, &mut plan);
     }
 }
 
@@ -337,6 +341,7 @@ fn serve_batch(
     batch: Vec<Request>,
     response_precision: Precision,
     metrics: &Arc<Mutex<MetricsRecorder>>,
+    plan: &mut InferPlan,
 ) {
     let codec = TensorCodec::default();
     // Decode every payload; answer undecodable ones immediately.
@@ -376,22 +381,29 @@ fn serve_batch(
         }
     }
     for (_, members) in groups {
-        serve_group(heads, members, response_precision, metrics);
+        serve_group(heads, members, response_precision, metrics, plan);
     }
 }
 
-/// Runs one coalesced `&self` inference pass and distributes the outputs.
+/// Runs one coalesced inference pass on the worker's planned runtime and
+/// distributes the outputs.
 fn serve_group(
     heads: &[Box<dyn Layer>],
     members: Vec<(Request, Tensor)>,
     response_precision: Precision,
     metrics: &Arc<Mutex<MetricsRecorder>>,
+    plan: &mut InferPlan,
 ) {
     let response_codec = TensorCodec::new(response_precision);
     let rows: Vec<usize> = members
         .iter()
         .map(|(_, t)| t.dims().first().copied().unwrap_or(1))
         .collect();
+    // Head outputs live outside the fallible closure so their arena
+    // buffers are recycled on *every* exit path — a malformed request must
+    // not leak buffers out of the worker's arena and quietly re-introduce
+    // per-request allocations.
+    let mut head_outputs: Vec<Tensor> = Vec::with_capacity(heads.len());
     let outcome = (|| -> std::result::Result<Vec<Vec<WirePayload>>, String> {
         let tensors: Vec<&Tensor> = members.iter().map(|(_, t)| t).collect();
         let stacked;
@@ -401,30 +413,39 @@ fn serve_group(
             stacked = Tensor::concat_batch(&tensors).map_err(|e| e.to_string())?;
             &stacked
         };
-        // One immutable inference pass per head over the whole group.
-        let mut head_outputs = Vec::with_capacity(heads.len());
+        // One planned inference pass per head over the whole group: every
+        // intermediate (and the head output itself) comes from this
+        // worker's arena and goes back to it below, so the steady-state
+        // compute path performs no heap allocation.
         for head in heads.iter() {
-            head_outputs.push(head.infer(input).map_err(|e| e.to_string())?);
+            head_outputs.push(plan.run(head.as_ref(), input).map_err(|e| e.to_string())?);
         }
         metrics.lock().expect("metrics lock").record_forward();
         // Split each head's stacked output back into per-request payloads.
+        // Single-request groups (the latency-critical light-load regime)
+        // encode straight from the arena tensor — no output clone.
         let mut per_request: Vec<Vec<WirePayload>> = vec![Vec::new(); members.len()];
         let mut offset = 0usize;
         for (index, &request_rows) in rows.iter().enumerate() {
             for output in &head_outputs {
-                let slice = if members.len() == 1 {
-                    output.clone()
+                if members.len() == 1 {
+                    per_request[index].push(response_codec.encode(output));
                 } else {
-                    output
+                    let slice = output
                         .slice_batch(offset, offset + request_rows)
-                        .map_err(|e| e.to_string())?
-                };
-                per_request[index].push(response_codec.encode(&slice));
+                        .map_err(|e| e.to_string())?;
+                    per_request[index].push(response_codec.encode(&slice));
+                }
             }
             offset += request_rows;
         }
         Ok(per_request)
     })();
+    // The responses (if any) are encoded; the output buffers rejoin the
+    // arena regardless of the outcome.
+    for output in head_outputs {
+        plan.recycle(output);
+    }
     match outcome {
         Ok(per_request) => {
             for ((request, _), outputs) in members.into_iter().zip(per_request) {

@@ -11,7 +11,7 @@
 //! [`Layer::infer`] path, so the same frozen backbone and heads can be run
 //! from several pipelines (or threads) at once.
 
-use mtlsplit_nn::Layer;
+use mtlsplit_nn::{InferPlan, Layer};
 use mtlsplit_tensor::Tensor;
 
 use crate::channel::ChannelModel;
@@ -92,6 +92,26 @@ impl SplitPipeline {
         Ok((payload, features))
     }
 
+    /// [`SplitPipeline::edge_forward`] on the planned inference runtime: the
+    /// backbone pass draws every intermediate from `plan`'s reusable arena
+    /// (zero steady-state allocations inside the forward) and produces
+    /// bit-identical features. Recycle the returned tensor via
+    /// [`InferPlan::recycle`] once consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from the backbone inference pass.
+    pub fn edge_forward_with(
+        &self,
+        backbone: &dyn Layer,
+        input: &Tensor,
+        plan: &mut InferPlan,
+    ) -> Result<(WirePayload, Tensor)> {
+        let features = plan.run(backbone, input)?;
+        let payload = self.codec.encode(&features);
+        Ok((payload, features))
+    }
+
     /// Runs the server half: decodes `Z_b` and evaluates every head through
     /// `&self` inference.
     ///
@@ -111,6 +131,27 @@ impl SplitPipeline {
             .collect()
     }
 
+    /// [`SplitPipeline::remote_forward`] on the planned inference runtime:
+    /// every head runs through its fused, arena-backed path. Recycle the
+    /// returned tensors via [`InferPlan::recycle`] once consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the payload is malformed or a head rejects the
+    /// decoded representation.
+    pub fn remote_forward_with(
+        &self,
+        heads: &[&dyn Layer],
+        payload: &WirePayload,
+        plan: &mut InferPlan,
+    ) -> Result<Vec<Tensor>> {
+        let features = self.codec.decode(payload)?;
+        heads
+            .iter()
+            .map(|head| plan.run(*head, &features).map_err(Into::into))
+            .collect()
+    }
+
     /// Runs the full pipeline: edge forward, simulated transfer, remote
     /// heads. Returns the per-task outputs and the timing record.
     ///
@@ -123,7 +164,29 @@ impl SplitPipeline {
         heads: &[&dyn Layer],
         input: &Tensor,
     ) -> Result<(Vec<Tensor>, PipelineTiming)> {
-        let (payload, _features) = self.edge_forward(backbone, input)?;
+        let mut plan = InferPlan::new();
+        self.run_with(backbone, heads, input, &mut plan)
+    }
+
+    /// [`SplitPipeline::run`] on a caller-owned [`InferPlan`]: both halves
+    /// draw from the plan's reusable arena, so a pipeline driven repeatedly
+    /// (a benchmark loop, an edge device streaming frames) stops allocating
+    /// after its first frame. Outputs are bit-identical to [`run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and payload errors.
+    ///
+    /// [`run`]: SplitPipeline::run
+    pub fn run_with(
+        &self,
+        backbone: &dyn Layer,
+        heads: &[&dyn Layer],
+        input: &Tensor,
+        plan: &mut InferPlan,
+    ) -> Result<(Vec<Tensor>, PipelineTiming)> {
+        let (payload, features) = self.edge_forward_with(backbone, input, plan)?;
+        plan.recycle(features);
         let zb_wire_bytes = payload.wire_bytes();
         let input_bytes = input.len() * std::mem::size_of::<f32>();
         let timing = PipelineTiming {
@@ -133,7 +196,7 @@ impl SplitPipeline {
             transfer_seconds: self.channel.transfer_time_bytes(zb_wire_bytes),
             roc_transfer_seconds: self.channel.transfer_time_bytes(input_bytes),
         };
-        let outputs = self.remote_forward(heads, &payload)?;
+        let outputs = self.remote_forward_with(heads, &payload, plan)?;
         Ok((outputs, timing))
     }
 }

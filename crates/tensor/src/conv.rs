@@ -7,8 +7,14 @@
 //! * **Forward**: per `(batch, group)` unit the input window is unfolded
 //!   channel-major into a `[cin/g * k * k, out_h * out_w]` column matrix
 //!   and multiplied by the group's `[cout/g, cin/g * k * k]` weight matrix,
-//!   writing straight into the contiguous NCHW output slice (the bias is
-//!   pre-filled and accumulated onto via the GEMM's `beta = 1` path).
+//!   writing straight into the contiguous NCHW output slice (the bias — and
+//!   an optionally fused batch-norm and activation — ride in the GEMM's
+//!   [`Epilogue`]). Depthwise convolutions (`cin_g == 1`) land on the
+//!   GEMM's single-row GEMV path, which skips panel packing entirely — the
+//!   fix for the old depthwise slow path, where packing cost dwarfed the
+//!   `K = k * k` arithmetic. The im2col scratch is thread-local and reused
+//!   across calls — the forward hot path allocates nothing beyond its
+//!   output, and [`conv2d_fused`] not even that.
 //! * **Backward**: `grad_input` is `Wᵀ x grad_out` folded back through the
 //!   adjoint of the unfold (col2im), and `grad_weight` is
 //!   `grad_out x colsᵀ` with the batch dimension concatenated into the
@@ -22,9 +28,57 @@
 //! property-tested against.
 
 use crate::error::{Result, TensorError};
-use crate::kernels::sgemm;
-use crate::parallel::{for_each_unit, Parallelism};
+use crate::kernels::{sgemm, sgemm_epilogue, Bias, BiasAxis, ChannelNorm, Epilogue};
+use crate::parallel::{for_each_unit, threads_for_macs, Parallelism};
 use crate::tensor::Tensor;
+use crate::EpilogueActivation;
+
+/// What a convolution call fuses into its kernels' write-back: an optional
+/// following batch-norm (per output channel) and an optional following
+/// activation, applied in that order. Both are bit-identical to running the
+/// separate passes — see [`ChannelNorm`] and [`EpilogueActivation`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvFusion<'a> {
+    /// Batch-norm statistics over the convolution's output channels.
+    pub norm: Option<ChannelNorm<'a>>,
+    /// Activation applied after the norm (or directly, without one).
+    pub activation: Option<EpilogueActivation>,
+}
+
+impl<'a> ConvFusion<'a> {
+    /// No fusion: the plain convolution.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fuses just an activation.
+    pub fn activation(activation: EpilogueActivation) -> Self {
+        Self {
+            norm: None,
+            activation: Some(activation),
+        }
+    }
+}
+
+/// Runs `f` on a thread-local, reusable `f32` scratch buffer of at least
+/// `len` elements.
+///
+/// The buffer is only ever grown, never shrunk, so the steady-state hot
+/// loop allocates nothing — the same pattern as the GEMM packing scratch.
+/// Callers must fully overwrite every slot they read (both users —
+/// [`im2col_group`] and the `beta == 0` GEMM output — do).
+fn with_cols_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    thread_local! {
+        static COLS: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    COLS.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// Static description of a 2-D convolution.
 ///
@@ -277,20 +331,17 @@ fn col2im_group(cols: &[f32], unit: &mut [f32], geometry: &ConvGeometry, spec: &
     }
 }
 
-/// Below this many multiply-accumulates a convolution runs entirely inline:
-/// scoped-thread spawn overhead would dominate the work.
-const PARALLEL_MIN_MACS: usize = 64 * 64 * 64;
-
 /// Splits the ambient thread budget between `(batch, group)` units and the
 /// per-unit GEMM: up to `units` threads spread over the units, and whatever
 /// budget remains is handed to each unit's GEMM row partitioning (so two
 /// units on a 16-core host run two 8-thread GEMMs, not two single-threaded
-/// ones). `macs` is the convolution's total multiply-accumulate count —
-/// tiny problems stay on the calling thread. The split never affects
-/// results: both levels partition output elements only.
+/// ones). `macs` is the convolution's total multiply-accumulate count — the
+/// shared FLOP threshold in `parallel.rs` keeps tiny problems on the calling
+/// thread, so small convolutions never pay scoped-thread spawn cost. The
+/// split never affects results: both levels partition output elements only.
 fn split_threads(units: usize, macs: usize) -> (usize, Parallelism) {
-    let threads = Parallelism::current().resolve();
-    if macs < PARALLEL_MIN_MACS || threads <= 1 {
+    let threads = threads_for_macs(Parallelism::current().resolve(), macs);
+    if threads <= 1 {
         (1, Parallelism::single())
     } else {
         let unit_threads = threads.min(units.max(1));
@@ -339,6 +390,41 @@ pub fn conv2d(
     spec: &Conv2dSpec,
 ) -> Result<Tensor> {
     let g = ConvGeometry::new(input, spec)?;
+    let mut out = vec![0.0f32; g.batch * spec.out_channels * g.out_plane];
+    let dims = conv2d_fused(input, weight, bias, spec, ConvFusion::none(), &mut out)?;
+    Ok(Tensor::from_vec(out, &dims).expect("conv2d output buffer matches computed shape"))
+}
+
+/// 2-D convolution forward pass writing into a caller-provided buffer, with
+/// an optional activation fused into the kernel.
+///
+/// This is [`conv2d`] for the planned, zero-allocation inference path: `out`
+/// must hold exactly `batch * out_channels * out_h * out_w` elements (its
+/// prior contents are ignored and fully overwritten, so a recycled arena
+/// buffer is safe), and `fusion` carries what the layer stack fused behind
+/// this convolution — a following batch-norm and/or activation — applied
+/// inside the GEMM epilogue instead of as separate full-tensor passes
+/// (only a bias-less convolution falls back to one in-place activation
+/// sweep, since it has no epilogue to carry it).
+///
+/// Returns the output dimensions `[batch, out_channels, out_h, out_w]`.
+/// Results are bit-identical to [`conv2d`] followed by the separate
+/// norm/activation passes, for every thread count.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with `spec`, the norm
+/// statistics do not cover the output channels, or `out` has the wrong
+/// length.
+pub fn conv2d_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    fusion: ConvFusion<'_>,
+    out: &mut [f32],
+) -> Result<[usize; 4]> {
+    let g = ConvGeometry::new(input, spec)?;
     check_weight(weight, spec)?;
     if let Some(b) = bias {
         if b.len() != spec.out_channels {
@@ -349,45 +435,103 @@ pub fn conv2d(
             });
         }
     }
-    let mut out = vec![0.0f32; g.batch * spec.out_channels * g.out_plane];
-    // Pre-fill the bias so the GEMM accumulates onto it (beta = 1), which
-    // keeps the per-element chain `bias + sum(terms)` of the seed kernel.
-    if let Some(b) = bias {
-        let bias_values = b.as_slice();
-        for (channel_plane, plane) in out.chunks_mut(g.out_plane).enumerate() {
-            plane.fill(bias_values[channel_plane % spec.out_channels]);
+    if let Some(norm) = fusion.norm {
+        if !norm.covers(spec.out_channels) {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d fused norm",
+                lhs: vec![norm.channels()],
+                rhs: vec![spec.out_channels],
+            });
         }
     }
-    let beta = if bias.is_some() { 1.0 } else { 0.0 };
+    let expected_len = g.batch * spec.out_channels * g.out_plane;
+    if out.len() != expected_len {
+        return Err(TensorError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
+    }
     let src = input.as_slice();
     let w = weight.as_slice();
+    let bias_values = bias.map(Tensor::as_slice);
     let units = g.batch * spec.groups;
     let unit_len = g.cout_g * g.out_plane;
     let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
     let (unit_threads, gemm_par) = split_threads(units, macs);
-    for_each_unit(&mut out, unit_len, unit_threads, |unit_index, unit| {
+    for_each_unit(out, unit_len, unit_threads, |unit_index, unit| {
         let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
-        let mut cols = vec![0.0f32; g.ckk * g.out_plane];
-        im2col_group(&mut cols, src, &g, spec, b, group * g.cin_g);
+        let bias_group = bias_values.map(|v| &v[group * g.cout_g..][..g.cout_g]);
+        // Slice the norm statistics down to this group's output channels so
+        // the per-row index inside the kernels is channel-local.
+        let norm_group = fusion.norm.map(|nm| ChannelNorm {
+            gamma: &nm.gamma[group * g.cout_g..][..g.cout_g],
+            beta: &nm.beta[group * g.cout_g..][..g.cout_g],
+            mean: &nm.mean[group * g.cout_g..][..g.cout_g],
+            var: &nm.var[group * g.cout_g..][..g.cout_g],
+            epsilon: nm.epsilon,
+        });
         let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
-        sgemm(
-            false,
-            false,
-            g.cout_g,
-            g.out_plane,
-            g.ckk,
-            1.0,
-            w_group,
-            &cols,
-            beta,
-            unit,
-            gemm_par,
-        );
+        let row_bias = bias_group.map(|values| Bias {
+            values,
+            axis: BiasAxis::Row,
+        });
+        let epilogue = match (row_bias, norm_group) {
+            (bias, Some(norm)) => Epilogue::BiasNorm {
+                bias,
+                norm,
+                activation: fusion.activation,
+            },
+            (Some(bias), None) => Epilogue::with_activation(bias, fusion.activation),
+            (None, None) => Epilogue::None,
+        };
+        let run_gemm = |cols: &[f32], unit: &mut [f32]| {
+            sgemm_epilogue(
+                false,
+                false,
+                g.cout_g,
+                g.out_plane,
+                g.ckk,
+                1.0,
+                w_group,
+                cols,
+                0.0,
+                unit,
+                epilogue,
+                gemm_par,
+            );
+            // Without a bias or norm there is no epilogue to carry the
+            // activation; fall back to one in-place pass over this unit.
+            if bias_group.is_none() && norm_group.is_none() {
+                if let Some(act) = fusion.activation {
+                    for x in unit.iter_mut() {
+                        *x = act.apply(*x);
+                    }
+                }
+            }
+        };
+        if spec.kernel == 1 && spec.stride == 1 && spec.padding == 0 {
+            // Pointwise (1x1) convolution: the unfolded column matrix *is*
+            // the group's input slice ([cin_g, plane] channel-major), so
+            // skip the im2col copy and feed the source directly. Same
+            // values, same chains — bit-identical.
+            let input_group = &src[(b * spec.in_channels + group * g.cin_g) * g.out_plane..]
+                [..g.ckk * g.out_plane];
+            run_gemm(input_group, unit);
+            return;
+        }
+        // General case, depthwise included: unfold into thread-local
+        // scratch. Depthwise convolutions (cin_g == 1, so cout_g is 1 for
+        // the paper's models) degenerate to single-row GEMMs, where
+        // `sgemm_epilogue`'s m == 1 GEMV path skips panel packing entirely
+        // and sweeps the unfolded rows contiguously — that is what fixed
+        // the old depthwise slow path (packing cost >> the K = k*k
+        // arithmetic).
+        with_cols_scratch(g.ckk * g.out_plane, |cols| {
+            im2col_group(cols, src, &g, spec, b, group * g.cin_g);
+            run_gemm(cols, unit);
+        });
     });
-    Ok(
-        Tensor::from_vec(out, &[g.batch, spec.out_channels, g.out_h, g.out_w])
-            .expect("conv2d output buffer matches computed shape"),
-    )
+    Ok([g.batch, spec.out_channels, g.out_h, g.out_w])
 }
 
 /// Gradients of a 2-D convolution.
@@ -453,21 +597,22 @@ pub fn conv2d_backward(
             let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
             let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
                 [..g.cout_g * g.out_plane];
-            let mut grad_cols = vec![0.0f32; g.ckk * g.out_plane];
-            sgemm(
-                true,
-                false,
-                g.ckk,
-                g.out_plane,
-                g.cout_g,
-                1.0,
-                w_group,
-                go_group,
-                0.0,
-                &mut grad_cols,
-                gemm_par,
-            );
-            col2im_group(&grad_cols, unit, &g, spec);
+            with_cols_scratch(g.ckk * g.out_plane, |grad_cols| {
+                sgemm(
+                    true,
+                    false,
+                    g.ckk,
+                    g.out_plane,
+                    g.cout_g,
+                    1.0,
+                    w_group,
+                    go_group,
+                    0.0,
+                    grad_cols,
+                    gemm_par,
+                );
+                col2im_group(grad_cols, unit, &g, spec);
+            });
         },
     );
 
@@ -482,26 +627,27 @@ pub fn conv2d_backward(
         g.cout_g * g.ckk,
         group_threads,
         |group, unit| {
-            let mut cols = vec![0.0f32; g.ckk * g.out_plane];
-            for b in 0..g.batch {
-                im2col_group(&mut cols, src, &g, spec, b, group * g.cin_g);
-                let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
-                    [..g.cout_g * g.out_plane];
-                let beta = if b == 0 { 0.0 } else { 1.0 };
-                sgemm(
-                    false,
-                    true,
-                    g.cout_g,
-                    g.ckk,
-                    g.out_plane,
-                    1.0,
-                    go_group,
-                    &cols,
-                    beta,
-                    unit,
-                    gemm_par,
-                );
-            }
+            with_cols_scratch(g.ckk * g.out_plane, |cols| {
+                for b in 0..g.batch {
+                    im2col_group(cols, src, &g, spec, b, group * g.cin_g);
+                    let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                        [..g.cout_g * g.out_plane];
+                    let beta = if b == 0 { 0.0 } else { 1.0 };
+                    sgemm(
+                        false,
+                        true,
+                        g.cout_g,
+                        g.ckk,
+                        g.out_plane,
+                        1.0,
+                        go_group,
+                        cols,
+                        beta,
+                        unit,
+                        gemm_par,
+                    );
+                }
+            });
         },
     );
 
@@ -902,17 +1048,26 @@ mod tests {
     }
 
     /// Forward and backward results must not depend on the thread count.
+    /// The shape carries several workers' worth of MACs (~9.4M forward) so
+    /// the FLOP threshold in `parallel.rs` does not clamp the sweep to a
+    /// single thread.
     #[test]
     fn conv_backward_is_bit_identical_across_thread_counts() {
         let mut rng = StdRng::seed_from(99);
-        let spec = Conv2dSpec::new(4, 6, 3).with_padding(1).with_groups(2);
-        let input = Tensor::randn(&[3, 4, 8, 8], 0.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::new(16, 32, 3).with_padding(1).with_groups(2);
+        let input = Tensor::randn(&[4, 16, 32, 32], 0.0, 1.0, &mut rng);
         let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
-        let grad_output = Tensor::randn(&[3, 6, 8, 8], 0.0, 1.0, &mut rng);
+        let grad_output = Tensor::randn(&[4, 32, 32, 32], 0.0, 1.0, &mut rng);
         Parallelism::single().make_current();
+        let forward_reference = conv2d(&input, &weight, None, &spec).unwrap();
         let reference = conv2d_backward(&input, &weight, &grad_output, &spec).unwrap();
         for threads in [2usize, 4] {
             Parallelism::fixed(threads).make_current();
+            assert_eq!(
+                conv2d(&input, &weight, None, &spec).unwrap(),
+                forward_reference,
+                "forward diverged at {threads}"
+            );
             let got = conv2d_backward(&input, &weight, &grad_output, &spec).unwrap();
             assert_eq!(got.0, reference.0, "grad_input diverged at {threads}");
             assert_eq!(got.1, reference.1, "grad_weight diverged at {threads}");

@@ -36,8 +36,20 @@
 //! for every thread count and every blocking configuration**, and for
 //! `alpha == 1, beta == 0` they are bit-identical to the textbook naive
 //! triple loop (the `#[cfg(test)]` oracle below enforces this to 0 ULP).
+//!
+//! # Fused epilogues
+//!
+//! [`sgemm_epilogue`] extends the kernel with a fused [`Epilogue`]: a bias
+//! that *initialises* each accumulation chain (internally a `C` prefill
+//! accumulated through `beta == 1` — the classic idiom, so the chain is
+//! unchanged; on the `m == 1` GEMV path the bias is a true register init),
+//! an optional per-row batch-norm, and an optional activation — the latter
+//! two applied once in the final `K` block's write-back while the tile is
+//! still in registers. Fusing removes the separate norm and activation
+//! passes over `C` without perturbing a single bit — see [`Epilogue`] for
+//! the full contract.
 
-use crate::parallel::{partition_rows, Parallelism};
+use crate::parallel::{partition_rows, threads_for_macs, Parallelism};
 
 /// Rows of one register tile (micro-panel height of packed `A`).
 pub const MR: usize = 4;
@@ -55,10 +67,6 @@ const MC: usize = 128;
 const KC: usize = 256;
 /// Column-block size: `KC x NC` panels of `B` are packed per depth block.
 const NC: usize = 512;
-
-/// Minimum `m * n * k` volume before the kernel spreads rows over threads;
-/// below this the scoped-thread spawn overhead outweighs the work.
-const PARALLEL_MIN_VOLUME: usize = 64 * 64 * 64;
 
 /// Whether this build accumulates with hardware fused multiply-add.
 ///
@@ -84,6 +92,247 @@ pub fn fused_mul_add(a: f32, b: f32, acc: f32) -> f32 {
         a.mul_add(b, acc)
     } else {
         acc + a * b
+    }
+}
+
+/// The activation component of a fused [`Epilogue`], applied element-wise in
+/// the micro-kernel's final write-back while the output tile is still in
+/// registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EpilogueActivation {
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hard sigmoid, `clamp((x + 3) / 6, 0, 1)`.
+    HardSigmoid,
+    /// Hard swish, `x * hard_sigmoid(x)`.
+    HardSwish,
+}
+
+#[inline(always)]
+fn hard_sigmoid(x: f32) -> f32 {
+    ((x + 3.0) / 6.0).clamp(0.0, 1.0)
+}
+
+impl EpilogueActivation {
+    /// Applies the activation to one value.
+    ///
+    /// This is byte-for-byte the same scalar expression the standalone
+    /// activation layers evaluate, so a fused pass and an unfused
+    /// GEMM-then-activation pass produce bit-identical outputs within one
+    /// build.
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            EpilogueActivation::Relu => x.max(0.0),
+            EpilogueActivation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            EpilogueActivation::HardSigmoid => hard_sigmoid(x),
+            EpilogueActivation::HardSwish => x * hard_sigmoid(x),
+        }
+    }
+}
+
+/// One channel's hoisted normalisation constants — see
+/// [`ChannelNorm::params`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormParams {
+    /// Learned scale.
+    pub gamma: f32,
+    /// Running mean.
+    pub mean: f32,
+    /// `1 / sqrt(var + epsilon)`.
+    pub inv: f32,
+    /// Learned shift.
+    pub beta: f32,
+}
+
+impl NormParams {
+    /// Applies the normalisation — the exact `BatchNorm2d` inference
+    /// expression.
+    #[inline(always)]
+    pub fn transform(self, x: f32) -> f32 {
+        self.gamma * (x - self.mean) * self.inv + self.beta
+    }
+}
+
+/// Per-channel batch-normalisation statistics fused into a GEMM epilogue.
+///
+/// [`ChannelNorm::apply`] evaluates exactly the inference-mode batch-norm
+/// expression — `gamma * (x - mean) / sqrt(var + epsilon) + beta` with the
+/// same operation order as the standalone `BatchNorm2d` pass — so fusing a
+/// following batch-norm layer into the convolution's write-back changes no
+/// bits, only removes a full read+write pass over the feature map.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelNorm<'a> {
+    /// Learned per-channel scale.
+    pub gamma: &'a [f32],
+    /// Learned per-channel shift.
+    pub beta: &'a [f32],
+    /// Running per-channel mean.
+    pub mean: &'a [f32],
+    /// Running per-channel variance.
+    pub var: &'a [f32],
+    /// Variance stabiliser.
+    pub epsilon: f32,
+}
+
+impl ChannelNorm<'_> {
+    /// Normalises one value of `channel`.
+    #[inline(always)]
+    pub fn apply(&self, channel: usize, x: f32) -> f32 {
+        self.params(channel).transform(x)
+    }
+
+    /// Hoists `channel`'s constants (including the `1 / sqrt(var + eps)`
+    /// divide) out of an element loop. Reusing the returned value is
+    /// bit-identical to recomputing it — it is a pure function of the same
+    /// inputs — while saving a square root and a division per element.
+    #[inline(always)]
+    pub fn params(&self, channel: usize) -> NormParams {
+        NormParams {
+            gamma: self.gamma[channel],
+            mean: self.mean[channel],
+            inv: 1.0 / (self.var[channel] + self.epsilon).sqrt(),
+            beta: self.beta[channel],
+        }
+    }
+
+    /// Number of channels covered.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Whether all four statistic slices cover exactly `channels` channels.
+    pub fn covers(&self, channels: usize) -> bool {
+        self.gamma.len() == channels
+            && self.beta.len() == channels
+            && self.mean.len() == channels
+            && self.var.len() == channels
+    }
+}
+
+/// Which axis of `C` a fused bias broadcasts along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BiasAxis {
+    /// One bias value per row of `C` (`values.len() == m`) — the convolution
+    /// layout, where rows of a group's output are channels.
+    Row,
+    /// One bias value per column of `C` (`values.len() == n`) — the
+    /// linear-layer layout, where columns are output features.
+    Col,
+}
+
+/// A bias vector fused into a GEMM epilogue.
+#[derive(Debug, Clone, Copy)]
+pub struct Bias<'a> {
+    /// The bias values: length `m` for [`BiasAxis::Row`], `n` for
+    /// [`BiasAxis::Col`].
+    pub values: &'a [f32],
+    /// The axis the bias broadcasts along.
+    pub axis: BiasAxis,
+}
+
+/// A transform fused into the GEMM's output write-back.
+///
+/// # Contract
+///
+/// The bias of a `Bias*` variant does **not** run after the accumulation: it
+/// *initialises* each element's accumulation chain, exactly where the
+/// `beta == 1` bias-prefill idiom it replaces put it:
+///
+/// ```text
+/// acc = bias[broadcast]                            // instead of beta * C
+/// for p in 0..k (ascending): acc += (alpha * A[i][p]) * B[p][j]
+/// C[i][j] = activation(acc)                        // once, at the final store
+/// ```
+///
+/// The activation is applied exactly once, in the final write-back of the
+/// last `K` block, while the tile is still in registers. Both halves are
+/// therefore **bit-identical** to the unfused reference (bias-prefilled
+/// output + `beta == 1` GEMM + separate element-wise activation pass) for
+/// every thread count — the chain per element is unchanged, only the number
+/// of passes over memory shrinks.
+///
+/// A `Bias*` epilogue requires `beta == 0` (the prior contents of `C` have
+/// no place in the chain above); [`sgemm_epilogue`] asserts this.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Epilogue<'a> {
+    /// No fused transform: plain `C = alpha * op(A) * op(B) + beta * C`.
+    #[default]
+    None,
+    /// Initialise each chain with a broadcast bias.
+    Bias(Bias<'a>),
+    /// Bias initialisation plus a fused ReLU in the write-back.
+    BiasRelu(Bias<'a>),
+    /// Bias initialisation plus a fused logistic sigmoid in the write-back.
+    BiasSigmoid(Bias<'a>),
+    /// Bias initialisation plus a fused hard sigmoid in the write-back.
+    BiasHardSigmoid(Bias<'a>),
+    /// Bias initialisation plus a fused hard swish in the write-back.
+    BiasHardSwish(Bias<'a>),
+    /// The convolution → batch-norm (→ activation) fusion: optional bias
+    /// initialisation, per-*row* batch-norm statistics applied in the
+    /// write-back, then an optional activation. The norm's statistic slices
+    /// must cover `m` rows.
+    BiasNorm {
+        /// Chain-initialising bias, if the convolution has one.
+        bias: Option<Bias<'a>>,
+        /// The per-row (output-channel) normalisation statistics.
+        norm: ChannelNorm<'a>,
+        /// Activation applied after the normalisation, if fused.
+        activation: Option<EpilogueActivation>,
+    },
+}
+
+impl<'a> Epilogue<'a> {
+    /// Builds the epilogue for a bias plus an optional fused activation.
+    pub fn with_activation(bias: Bias<'a>, activation: Option<EpilogueActivation>) -> Self {
+        match activation {
+            None => Epilogue::Bias(bias),
+            Some(EpilogueActivation::Relu) => Epilogue::BiasRelu(bias),
+            Some(EpilogueActivation::Sigmoid) => Epilogue::BiasSigmoid(bias),
+            Some(EpilogueActivation::HardSigmoid) => Epilogue::BiasHardSigmoid(bias),
+            Some(EpilogueActivation::HardSwish) => Epilogue::BiasHardSwish(bias),
+        }
+    }
+
+    /// The fused bias, if any.
+    fn bias(&self) -> Option<Bias<'a>> {
+        match *self {
+            Epilogue::None => None,
+            Epilogue::Bias(b)
+            | Epilogue::BiasRelu(b)
+            | Epilogue::BiasSigmoid(b)
+            | Epilogue::BiasHardSigmoid(b)
+            | Epilogue::BiasHardSwish(b) => Some(b),
+            Epilogue::BiasNorm { bias, .. } => bias,
+        }
+    }
+
+    /// The fused activation, if any.
+    fn activation(&self) -> Option<EpilogueActivation> {
+        match self {
+            Epilogue::None | Epilogue::Bias(_) => None,
+            Epilogue::BiasRelu(_) => Some(EpilogueActivation::Relu),
+            Epilogue::BiasSigmoid(_) => Some(EpilogueActivation::Sigmoid),
+            Epilogue::BiasHardSigmoid(_) => Some(EpilogueActivation::HardSigmoid),
+            Epilogue::BiasHardSwish(_) => Some(EpilogueActivation::HardSwish),
+            Epilogue::BiasNorm { activation, .. } => *activation,
+        }
+    }
+
+    /// The fused per-row normalisation, if any.
+    fn norm(&self) -> Option<ChannelNorm<'a>> {
+        match *self {
+            Epilogue::BiasNorm { norm, .. } => Some(norm),
+            _ => None,
+        }
+    }
+
+    /// Whether this epilogue performs any fused transform at all.
+    fn is_some(&self) -> bool {
+        !matches!(self, Epilogue::None)
     }
 }
 
@@ -131,83 +380,174 @@ pub fn sgemm(
     c: &mut [f32],
     par: Parallelism,
 ) {
+    sgemm_epilogue(
+        trans_a,
+        trans_b,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        Epilogue::None,
+        par,
+    );
+}
+
+/// [`sgemm`] with a fused [`Epilogue`]: bias initialisation and an optional
+/// activation applied inside the micro-kernel's write-back, saving the
+/// separate bias-broadcast and activation passes over `C`.
+///
+/// See [`Epilogue`] for the exact contract — fused results are bit-identical
+/// to the unfused bias-prefill + activation-pass reference for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics on the same buffer mismatches as [`sgemm`], if a `Bias*` epilogue
+/// is combined with `beta != 0`, or if the bias length does not match its
+/// broadcast axis.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_epilogue(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+    par: Parallelism,
+) {
     assert_eq!(a.len(), m * k, "sgemm: A buffer does not match m x k");
     assert_eq!(b.len(), k * n, "sgemm: B buffer does not match k x n");
     assert_eq!(c.len(), m * n, "sgemm: C buffer does not match m x n");
+    if epilogue.is_some() {
+        assert_eq!(beta, 0.0, "sgemm: a bias epilogue requires beta == 0");
+    }
+    if let Some(bias) = epilogue.bias() {
+        let expected = match bias.axis {
+            BiasAxis::Row => m,
+            BiasAxis::Col => n,
+        };
+        assert_eq!(
+            bias.values.len(),
+            expected,
+            "sgemm: bias length does not match its broadcast axis"
+        );
+    }
+    if let Some(norm) = epilogue.norm() {
+        assert!(
+            norm.covers(m),
+            "sgemm: norm statistics must cover every output row"
+        );
+    }
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 || alpha == 0.0 {
-        scale_c(c, beta);
+        apply_degenerate_epilogue(c, n, beta, epilogue);
         return;
     }
-    let volume = m.saturating_mul(n).saturating_mul(k);
-    let mut threads = par.resolve().min(m.div_ceil(MR));
-    if volume < PARALLEL_MIN_VOLUME {
-        threads = 1;
+    if m == 1 {
+        // The batch-size-1 serving regime: packing B for a single output
+        // row costs as much as the whole product, and the register tile
+        // would idle three of its four row lanes. The GEMV path runs the
+        // exact same per-element chains without packing anything.
+        gemv_row(trans_b, n, k, alpha, a, b, beta, c, epilogue);
+        return;
     }
+    // The epilogue bias becomes the chain head by prefilling `C` and
+    // accumulating through `beta == 1` — exactly the idiom the epilogue
+    // API replaces, so the chain per element is unchanged. (Initialising
+    // the accumulators from the bias inside the micro-kernel instead
+    // defeats LLVM's scalar replacement of the accumulator tile and costs
+    // ~2x; the prefill sweep is O(m*n) against the GEMM's O(m*n*k).)
+    let beta = match epilogue.bias() {
+        Some(bias) => {
+            match bias.axis {
+                BiasAxis::Row => {
+                    for (row, &value) in c.chunks_mut(n).zip(bias.values) {
+                        row.fill(value);
+                    }
+                }
+                BiasAxis::Col => {
+                    for row in c.chunks_mut(n) {
+                        row.copy_from_slice(bias.values);
+                    }
+                }
+            }
+            1.0
+        }
+        None => beta,
+    };
+    let volume = m.saturating_mul(n).saturating_mul(k);
+    let threads = threads_for_macs(par.resolve(), volume).min(m.div_ceil(MR));
     if threads <= 1 {
-        gemm_rows(0, m, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, None);
+        gemm_rows(
+            0, m, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, epilogue, None,
+        );
         return;
     }
     // Pack every (jc, pc) block of B once up front; the row-partition
     // workers all read the same shared panels instead of re-packing B per
     // thread. Block contents and iteration order are identical to the
-    // serial path, so the accumulation chains are unchanged.
-    let mut shared_len = 0;
-    for jc in (0..n).step_by(NC) {
-        shared_len += k * NC.min(n - jc).next_multiple_of(NR);
+    // serial path, so the accumulation chains are unchanged. The packing
+    // buffer is thread-local and reused across calls, like the per-worker
+    // scratch in `gemm_rows` — a deliberate trade of resident memory
+    // (k * n floats, high-water-marked per calling thread) for an
+    // allocation-free steady state; threaded large-GEMM callers are the
+    // training loop, not the edge inference path.
+    thread_local! {
+        static SHARED_B: std::cell::RefCell<Vec<f32>> =
+            const { std::cell::RefCell::new(Vec::new()) };
     }
-    let mut shared_b = vec![0.0f32; shared_len];
-    let mut offset = 0;
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        let nc_pad = nc.next_multiple_of(NR);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(
-                &mut shared_b[offset..offset + kc * nc_pad],
-                b,
-                trans_b,
-                k,
-                n,
-                pc,
-                jc,
-                kc,
-                nc,
-            );
-            offset += kc * nc_pad;
+    SHARED_B.with(|cell| {
+        let mut owned = cell.borrow_mut();
+        let mut shared_len = 0;
+        for jc in (0..n).step_by(NC) {
+            shared_len += k * NC.min(n - jc).next_multiple_of(NR);
         }
-    }
-    let shared_b = &shared_b[..];
-    let ranges = partition_rows(m, threads, MR);
-    std::thread::scope(|scope| {
-        let mut rest = c;
-        let mut handles = Vec::new();
-        for (index, range) in ranges.iter().enumerate() {
-            let rows = range.end - range.start;
-            let (chunk, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            let (start, end) = (range.start, range.end);
-            if index + 1 == ranges.len() {
-                // The caller works the final chunk itself.
-                gemm_rows(
-                    start,
-                    end,
-                    trans_a,
-                    trans_b,
-                    m,
-                    n,
-                    k,
-                    alpha,
-                    a,
+        if owned.len() < shared_len {
+            owned.resize(shared_len, 0.0);
+        }
+        let mut offset = 0;
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let nc_pad = nc.next_multiple_of(NR);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(
+                    &mut owned[offset..offset + kc * nc_pad],
                     b,
-                    beta,
-                    chunk,
-                    Some(shared_b),
+                    trans_b,
+                    k,
+                    n,
+                    pc,
+                    jc,
+                    kc,
+                    nc,
                 );
-            } else {
-                handles.push(scope.spawn(move || {
+                offset += kc * nc_pad;
+            }
+        }
+        let shared_b = &owned[..shared_len];
+        let ranges = partition_rows(m, threads, MR);
+        std::thread::scope(|scope| {
+            let mut rest = c;
+            let mut handles = Vec::new();
+            for (index, range) in ranges.iter().enumerate() {
+                let rows = range.end - range.start;
+                let (chunk, tail) = rest.split_at_mut(rows * n);
+                rest = tail;
+                let (start, end) = (range.start, range.end);
+                if index + 1 == ranges.len() {
+                    // The caller works the final chunk itself.
                     gemm_rows(
                         start,
                         end,
@@ -221,15 +561,164 @@ pub fn sgemm(
                         b,
                         beta,
                         chunk,
+                        epilogue,
                         Some(shared_b),
                     );
-                }));
+                } else {
+                    handles.push(scope.spawn(move || {
+                        gemm_rows(
+                            start,
+                            end,
+                            trans_a,
+                            trans_b,
+                            m,
+                            n,
+                            k,
+                            alpha,
+                            a,
+                            b,
+                            beta,
+                            chunk,
+                            epilogue,
+                            Some(shared_b),
+                        );
+                    }));
+                }
+            }
+            for handle in handles {
+                handle.join().expect("sgemm worker thread panicked");
+            }
+        });
+    });
+}
+
+/// Output chains per register block in the transposed-`B` GEMV.
+const GEMV_LANES: usize = 8;
+
+/// The `m == 1` fast path: a matrix–vector product with no packing, no
+/// register tile and no threads, preserving the exact per-element chain —
+/// `chain head (bias or beta * C), then ascending-k accumulation with
+/// [`fused_mul_add`], then norm/activation once` — so results are
+/// bit-identical to the blocked path.
+///
+/// For `trans_b == false` (`B` stored `k x n`) the accumulation sweeps
+/// whole rows of `B`, contiguous over the outputs. For `trans_b == true`
+/// (`B` stored `n x k`, the linear-layer layout) each output is one
+/// contiguous dot-product row; [`GEMV_LANES`] independent chains run in
+/// flight to cover the FMA latency.
+#[allow(clippy::too_many_arguments)]
+fn gemv_row(
+    trans_b: bool,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    // Chain heads land in `c` directly.
+    match epilogue.bias() {
+        Some(bias) => match bias.axis {
+            BiasAxis::Row => c.fill(bias.values[0]),
+            BiasAxis::Col => c.copy_from_slice(bias.values),
+        },
+        None => scale_c(c, beta),
+    }
+    if trans_b {
+        // Full blocks: GEMV_LANES fixed-size independent chains, one
+        // contiguous B row per lane, so the accumulators stay in registers
+        // and the lane loop unrolls.
+        let mut j = 0;
+        while j + GEMV_LANES <= n {
+            let rows: [&[f32]; GEMV_LANES] = std::array::from_fn(|lane| &b[(j + lane) * k..][..k]);
+            let mut acc = [0.0f32; GEMV_LANES];
+            for (lane, slot) in acc.iter_mut().enumerate() {
+                *slot = c[j + lane];
+            }
+            for (p, &ap) in a.iter().enumerate() {
+                let av = alpha * ap;
+                for (lane, slot) in acc.iter_mut().enumerate() {
+                    *slot = fused_mul_add(av, rows[lane][p], *slot);
+                }
+            }
+            for (lane, &value) in acc.iter().enumerate() {
+                c[j + lane] = value;
+            }
+            j += GEMV_LANES;
+        }
+        // Tail: one scalar chain per remaining output.
+        for (offset, slot) in c[j..].iter_mut().enumerate() {
+            let row = &b[(j + offset) * k..][..k];
+            let mut acc = *slot;
+            for (p, &ap) in a.iter().enumerate() {
+                acc = fused_mul_add(alpha * ap, row[p], acc);
+            }
+            *slot = acc;
+        }
+    } else {
+        for (p, &ap) in a.iter().enumerate() {
+            let av = alpha * ap;
+            let row = &b[p * n..][..n];
+            for (slot, &bv) in c.iter_mut().zip(row) {
+                *slot = fused_mul_add(av, bv, *slot);
             }
         }
-        for handle in handles {
-            handle.join().expect("sgemm worker thread panicked");
+    }
+    // The fused transforms; the single row is channel 0 for a norm.
+    let norm = epilogue.norm().map(|nm| nm.params(0));
+    match (norm, epilogue.activation()) {
+        (None, None) => {}
+        (None, Some(act)) => {
+            for x in c.iter_mut() {
+                *x = act.apply(*x);
+            }
         }
-    });
+        (Some(params), None) => {
+            for x in c.iter_mut() {
+                *x = params.transform(*x);
+            }
+        }
+        (Some(params), Some(act)) => {
+            for x in c.iter_mut() {
+                *x = act.apply(params.transform(*x));
+            }
+        }
+    }
+}
+
+/// Handles the degenerate (`k == 0` or `alpha == 0`) cases: the chain per
+/// element is just its initial value — `beta * C` without an epilogue,
+/// `activation(norm(bias))` (with `0` standing in for a missing bias) with
+/// one.
+fn apply_degenerate_epilogue(c: &mut [f32], n: usize, beta: f32, epilogue: Epilogue<'_>) {
+    if !epilogue.is_some() {
+        scale_c(c, beta);
+        return;
+    }
+    let act = epilogue.activation();
+    let norm = epilogue.norm();
+    let value = |row_index: usize, b: f32| {
+        let normed = norm.map_or(b, |nm| nm.apply(row_index, b));
+        act.map_or(normed, |a| a.apply(normed))
+    };
+    match epilogue.bias() {
+        Some(bias) if bias.axis == BiasAxis::Col => {
+            for (row_index, row) in c.chunks_mut(n).enumerate() {
+                for (slot, &b) in row.iter_mut().zip(bias.values) {
+                    *slot = value(row_index, b);
+                }
+            }
+        }
+        bias => {
+            // Row-axis or missing bias: one value per row.
+            for (row_index, row) in c.chunks_mut(n).enumerate() {
+                let b = bias.map_or(0.0, |bv| bv.values[row_index]);
+                row.fill(value(row_index, b));
+            }
+        }
+    }
 }
 
 /// Applies the `beta` pre-scale used by the degenerate (`k == 0` or
@@ -268,6 +757,7 @@ fn gemm_rows(
     b: &[f32],
     beta: f32,
     c_chunk: &mut [f32],
+    epilogue: Epilogue<'_>,
     prepacked_b: Option<&[f32]>,
 ) {
     // Reuse this thread's packing scratch across calls: the packing loops
@@ -306,6 +796,7 @@ fn gemm_rows(
             b,
             beta,
             c_chunk,
+            epilogue,
             prepacked_b,
             &mut buffer_b[..b_len],
             &mut buffer_a[..a_len],
@@ -329,6 +820,7 @@ fn gemm_blocks(
     b: &[f32],
     beta: f32,
     c_chunk: &mut [f32],
+    epilogue: Epilogue<'_>,
     prepacked_b: Option<&[f32]>,
     packed_b_scratch: &mut [f32],
     packed_a: &mut [f32],
@@ -350,7 +842,20 @@ fn gemm_blocks(
                     &packed_b_scratch[..kc * nc_pad]
                 }
             };
-            let first_k_block = pc == 0;
+            let last_k_block = pc + kc == k;
+            let pass = TilePass {
+                beta,
+                first_k_block: pc == 0,
+                // Store-side transforms fire only on the final K block;
+                // resolving them here keeps the micro-kernel's dispatch to
+                // one match on two options.
+                norm: if last_k_block { epilogue.norm() } else { None },
+                activation: if last_k_block {
+                    epilogue.activation()
+                } else {
+                    None
+                },
+            };
             let mut ic = row_start;
             while ic < row_end {
                 let mc = MC.min(row_end - ic);
@@ -364,13 +869,25 @@ fn gemm_blocks(
                     c_chunk,
                     (ic - row_start) * n + jc,
                     n,
-                    beta,
-                    first_k_block,
+                    ic,
+                    pass,
                 );
                 ic += mc;
             }
         }
     }
+}
+
+/// Per-`(jc, pc)`-block state threaded down to the micro-kernel: how to
+/// initialise the accumulators (first `K` block) and which fused
+/// transforms the write-back applies (populated only on the final `K`
+/// block).
+#[derive(Clone, Copy)]
+struct TilePass<'a> {
+    beta: f32,
+    first_k_block: bool,
+    norm: Option<ChannelNorm<'a>>,
+    activation: Option<EpilogueActivation>,
 }
 
 /// Packs the `kc x nc` block of `op(B)` at `(pc, jc)` into NR-wide column
@@ -470,8 +987,8 @@ fn macro_kernel(
     c: &mut [f32],
     c_offset: usize,
     ldc: usize,
-    beta: f32,
-    first_k_block: bool,
+    abs_row: usize,
+    pass: TilePass<'_>,
 ) {
     for jr in (0..nc).step_by(NR) {
         let width = NR.min(nc - jr);
@@ -488,8 +1005,8 @@ fn macro_kernel(
                 ldc,
                 height,
                 width,
-                beta,
-                first_k_block,
+                abs_row + ir,
+                pass,
             );
         }
     }
@@ -525,8 +1042,8 @@ fn micro_kernel(
     ldc: usize,
     height: usize,
     width: usize,
-    beta: f32,
-    first_k_block: bool,
+    abs_row: usize,
+    pass: TilePass<'_>,
 ) {
     let mut acc_l = [[0.0f32; NRH]; MR];
     let mut acc_m = [[0.0f32; NRH]; MR];
@@ -534,18 +1051,23 @@ fn micro_kernel(
     let width_l = width.min(NRH);
     let width_m = width.saturating_sub(NRH).min(NRH);
     let width_r = width.saturating_sub(2 * NRH);
-    if first_k_block {
-        if beta != 0.0 {
+    if pass.first_k_block {
+        // The epilogue bias never reaches this kernel: `sgemm_epilogue`
+        // prefills `C` with it and hands down `beta == 1`, keeping this
+        // init identical to the original (adding bias-init arms here was
+        // measured to defeat LLVM's scalar replacement of the accumulator
+        // tile — a ~2x kernel regression).
+        if pass.beta != 0.0 {
             for i in 0..height {
                 let c_row = &c[c_offset + i * ldc..][..width];
                 for j in 0..width_l {
-                    acc_l[i][j] = beta * c_row[j];
+                    acc_l[i][j] = pass.beta * c_row[j];
                 }
                 for j in 0..width_m {
-                    acc_m[i][j] = beta * c_row[NRH + j];
+                    acc_m[i][j] = pass.beta * c_row[NRH + j];
                 }
                 for j in 0..width_r {
-                    acc_r[i][j] = beta * c_row[2 * NRH + j];
+                    acc_r[i][j] = pass.beta * c_row[2 * NRH + j];
                 }
             }
         }
@@ -592,16 +1114,42 @@ fn micro_kernel(
             }
         }
     }
-    for i in 0..height {
-        let c_row = &mut c[c_offset + i * ldc..][..width];
-        for j in 0..width_l {
-            c_row[j] = acc_l[i][j];
-        }
-        for j in 0..width_m {
-            c_row[NRH + j] = acc_m[i][j];
-        }
-        for j in 0..width_r {
-            c_row[2 * NRH + j] = acc_r[i][j];
+    // The fused norm/activation fires exactly once, in the final K block's
+    // write-back, while the tile is still in registers; spills between K
+    // blocks store the raw partial sums. `f` receives the tile-local row so
+    // the per-row norm statistics index by absolute output channel.
+    macro_rules! store_tile {
+        ($f:expr) => {{
+            let f = $f;
+            for i in 0..height {
+                let c_row = &mut c[c_offset + i * ldc..][..width];
+                for j in 0..width_l {
+                    c_row[j] = f(i, acc_l[i][j]);
+                }
+                for j in 0..width_m {
+                    c_row[NRH + j] = f(i, acc_m[i][j]);
+                }
+                for j in 0..width_r {
+                    c_row[2 * NRH + j] = f(i, acc_r[i][j]);
+                }
+            }
+        }};
+    }
+    match (pass.norm, pass.activation) {
+        (None, None) => store_tile!(|_i: usize, x: f32| x),
+        (None, Some(EpilogueActivation::Relu)) => store_tile!(|_i: usize, x: f32| x.max(0.0)),
+        (None, Some(act)) => store_tile!(|_i: usize, x: f32| act.apply(x)),
+        (Some(nm), act) => {
+            // Hoist each row's channel constants (one sqrt + divide) out of
+            // the store loops; reuse is bit-identical to recomputation.
+            let mut rows = [NormParams::default(); MR];
+            for (i, slot) in rows.iter_mut().enumerate().take(height) {
+                *slot = nm.params(abs_row + i);
+            }
+            match act {
+                None => store_tile!(|i: usize, x: f32| rows[i].transform(x)),
+                Some(act) => store_tile!(|i: usize, x: f32| act.apply(rows[i].transform(x))),
+            }
         }
     }
 }
@@ -762,12 +1310,13 @@ mod tests {
     }
 
     /// A shape big enough to actually engage the scoped-thread split must be
-    /// bit-identical for every thread count.
+    /// bit-identical for every thread count. (Small shapes are clamped to a
+    /// single worker by the FLOP threshold in `parallel.rs`, so this shape
+    /// carries several threads' worth of multiply-accumulates.)
     #[test]
     fn results_are_bit_identical_across_thread_counts() {
         let mut rng = StdRng::seed_from(7);
-        let (m, n, k) = (97, 83, 120);
-        assert!(m * n * k >= PARALLEL_MIN_VOLUME);
+        let (m, n, k) = (320, 256, 224);
         let a = random_vec(m * k, &mut rng);
         let b = random_vec(k * n, &mut rng);
         let reference = {
@@ -804,6 +1353,242 @@ mod tests {
             );
             assert_bits_equal(&c, &reference, &format!("threads={threads}"));
         }
+    }
+
+    /// The unfused reference a bias/activation epilogue must match exactly:
+    /// bias-prefilled output, `beta == 1` GEMM, separate activation pass.
+    #[allow(clippy::too_many_arguments)]
+    fn unfused_reference(
+        trans_a: bool,
+        trans_b: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        bias: Bias<'_>,
+        activation: Option<EpilogueActivation>,
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for (row_index, row) in c.chunks_mut(n).enumerate() {
+            match bias.axis {
+                BiasAxis::Row => row.fill(bias.values[row_index]),
+                BiasAxis::Col => row.copy_from_slice(bias.values),
+            }
+        }
+        sgemm(
+            trans_a,
+            trans_b,
+            m,
+            n,
+            k,
+            1.0,
+            a,
+            b,
+            1.0,
+            &mut c,
+            Parallelism::single(),
+        );
+        if let Some(act) = activation {
+            for x in c.iter_mut() {
+                *x = act.apply(*x);
+            }
+        }
+        c
+    }
+
+    /// The tentpole property: a fused epilogue is bit-identical to the
+    /// bias-prefill + separate-activation reference across random shapes,
+    /// transpose flags, bias axes, activations and thread counts — including
+    /// shapes that span several KC blocks (the activation must fire only on
+    /// the final K block's write-back) and shapes that carry several
+    /// threads' worth of MACs, so the scoped-thread fused write-back
+    /// genuinely runs multi-threaded (small shapes are clamped to one
+    /// worker by the FLOP threshold in `parallel.rs`).
+    #[test]
+    fn property_fused_epilogue_matches_unfused_reference_to_zero_ulp() {
+        let mut rng = StdRng::seed_from(0xF00D);
+        let activations = [
+            None,
+            Some(EpilogueActivation::Relu),
+            Some(EpilogueActivation::Sigmoid),
+        ];
+        for case in 0..44 {
+            // Every eighth case is sized past the parallel threshold
+            // (>= 2 threads' worth of MACs) so `Parallelism::fixed(2/4)`
+            // below actually splits rows.
+            let (m, n, k) = if case % 8 == 7 {
+                (
+                    200 + (rng.next_u64() % 100) as usize,
+                    140 + (rng.next_u64() % 60) as usize,
+                    300 + (rng.next_u64() % 80) as usize,
+                )
+            } else {
+                (
+                    1 + (rng.next_u64() % 70) as usize,
+                    1 + (rng.next_u64() % 70) as usize,
+                    // Bias chains must survive KC spills: push k across the
+                    // boundary on a third of the cases.
+                    1 + (rng.next_u64() % if case % 3 == 0 { 600 } else { 60 }) as usize,
+                )
+            };
+            let trans_a = rng.next_u64().is_multiple_of(2);
+            let trans_b = rng.next_u64().is_multiple_of(2);
+            let axis = if rng.next_u64().is_multiple_of(2) {
+                BiasAxis::Row
+            } else {
+                BiasAxis::Col
+            };
+            let activation = activations[(rng.next_u64() % 3) as usize];
+            let a = random_vec(m * k, &mut rng);
+            let b = random_vec(k * n, &mut rng);
+            let bias_values = random_vec(
+                match axis {
+                    BiasAxis::Row => m,
+                    BiasAxis::Col => n,
+                },
+                &mut rng,
+            );
+            let bias = Bias {
+                values: &bias_values,
+                axis,
+            };
+            let expected = unfused_reference(trans_a, trans_b, m, n, k, &a, &b, bias, activation);
+            for threads in [1usize, 2, 4] {
+                let mut c = vec![f32::NAN; m * n];
+                sgemm_epilogue(
+                    trans_a,
+                    trans_b,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    &b,
+                    0.0,
+                    &mut c,
+                    Epilogue::with_activation(bias, activation),
+                    Parallelism::fixed(threads),
+                );
+                assert_bits_equal(
+                    &c,
+                    &expected,
+                    &format!(
+                        "case {case}: m={m} n={n} k={k} ta={trans_a} tb={trans_b} \
+                         axis={axis:?} act={activation:?} threads={threads}"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The conv → batch-norm (→ activation) epilogue on a shape big enough
+    /// to split across scoped threads: bit-identical to the unfused
+    /// bias-GEMM + separate norm pass + separate activation pass, with the
+    /// per-row statistics indexed by absolute row across every partition.
+    #[test]
+    fn norm_epilogue_matches_separate_passes_across_threads() {
+        let mut rng = StdRng::seed_from(0x11AB);
+        let (m, n, k) = (232, 150, 280); // ~9.7M MACs: two workers' worth
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let bias_values = random_vec(m, &mut rng);
+        let gamma = random_vec(m, &mut rng);
+        let beta_values = random_vec(m, &mut rng);
+        let mean = random_vec(m, &mut rng);
+        let var: Vec<f32> = (0..m).map(|_| rng.uniform_range(0.05, 2.0)).collect();
+        let norm = ChannelNorm {
+            gamma: &gamma,
+            beta: &beta_values,
+            mean: &mean,
+            var: &var,
+            epsilon: 1e-5,
+        };
+        let bias = Bias {
+            values: &bias_values,
+            axis: BiasAxis::Row,
+        };
+        let mut expected = unfused_reference(false, false, m, n, k, &a, &b, bias, None);
+        for (row_index, row) in expected.chunks_mut(n).enumerate() {
+            let params = norm.params(row_index);
+            for x in row.iter_mut() {
+                *x = params.transform(*x);
+            }
+            for x in row.iter_mut() {
+                *x = EpilogueActivation::HardSwish.apply(*x);
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            let mut c = vec![f32::NAN; m * n];
+            sgemm_epilogue(
+                false,
+                false,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+                Epilogue::BiasNorm {
+                    bias: Some(bias),
+                    norm,
+                    activation: Some(EpilogueActivation::HardSwish),
+                },
+                Parallelism::fixed(threads),
+            );
+            assert_bits_equal(&c, &expected, &format!("norm epilogue, threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn degenerate_epilogue_broadcasts_activated_bias() {
+        // k == 0: the chain is just the bias, activated.
+        let bias_values = [2.0f32, -3.0];
+        let mut c = [f32::NAN; 4];
+        sgemm_epilogue(
+            false,
+            false,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            0.0,
+            &mut c,
+            Epilogue::BiasRelu(Bias {
+                values: &bias_values,
+                axis: BiasAxis::Row,
+            }),
+            Parallelism::single(),
+        );
+        assert_eq!(c, [2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias epilogue requires beta == 0")]
+    fn bias_epilogue_rejects_nonzero_beta() {
+        let bias_values = [1.0f32];
+        let mut c = [0.0f32; 1];
+        sgemm_epilogue(
+            false,
+            false,
+            1,
+            1,
+            1,
+            1.0,
+            &[1.0],
+            &[1.0],
+            1.0,
+            &mut c,
+            Epilogue::Bias(Bias {
+                values: &bias_values,
+                axis: BiasAxis::Col,
+            }),
+            Parallelism::single(),
+        );
     }
 
     #[test]

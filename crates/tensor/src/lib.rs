@@ -42,6 +42,39 @@
 //! Kernels with no explicit configuration read the calling thread's ambient
 //! [`Parallelism::current`] (default: one thread per core); training and
 //! serving install their configured budgets via [`Parallelism::make_current`].
+//! A shared FLOP threshold caps the worker count — roughly one thread per
+//! 4M multiply-accumulates — so small problems never pay scoped-thread
+//! spawn cost; the cap only ever reduces the thread count, never changes
+//! results.
+//!
+//! ## The epilogue contract
+//!
+//! [`sgemm_epilogue`] fuses a bias, an optional per-row batch-norm and an
+//! optional activation ([`Epilogue`]`::{None, Bias, BiasRelu, BiasSigmoid,
+//! BiasHardSigmoid, BiasHardSwish, BiasNorm}`) into the GEMM:
+//!
+//! * the **bias initialises** each element's accumulation chain (`acc =
+//!   bias`, then the ascending-`k` adds) — the exact chain the bias-prefill
+//!   + `beta == 1` idiom produced, so not a bit changes;
+//! * the **batch-norm** of a [`Epilogue::BiasNorm`] epilogue
+//!   ([`ChannelNorm`], one statistics row per output row) and the
+//!   **activation** are applied exactly once, in that order, in the final
+//!   `K` block's register write-back — each evaluating the same scalar
+//!   expression as the standalone `BatchNorm2d`/activation layers.
+//!
+//! Fused passes are therefore bit-identical to the unfused
+//! GEMM-then-norm-then-activation chains for every thread count, while
+//! skipping the separate norm and activation sweeps over the output. Any
+//! non-`None` epilogue requires `beta == 0`.
+//!
+//! # Zero-allocation inference
+//!
+//! [`TensorArena`] is a recycling buffer pool: planned inference paths take
+//! output buffers from it and return finished intermediates to it, so the
+//! steady-state forward pass performs no heap allocation. [`conv2d_fused`]
+//! and the `*_into` pooling kernels write into such caller-provided buffers;
+//! internal scratch (GEMM packing, im2col columns) is thread-local and
+//! reused across calls.
 //!
 //! # Example
 //!
@@ -61,6 +94,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod arena;
 mod conv;
 mod error;
 mod kernels;
@@ -71,15 +105,21 @@ mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, conv2d, conv2d_backward, conv2d_im2col, im2col, Conv2dSpec};
+pub use arena::TensorArena;
+pub use conv::{
+    col2im, conv2d, conv2d_backward, conv2d_fused, conv2d_im2col, im2col, Conv2dSpec, ConvFusion,
+};
 pub use error::{Result, TensorError};
-pub use kernels::{fused_mul_add, sgemm, FUSED_MULTIPLY_ADD, MR, NR};
+pub use kernels::{
+    fused_mul_add, sgemm, sgemm_epilogue, Bias, BiasAxis, ChannelNorm, Epilogue,
+    EpilogueActivation, NormParams, FUSED_MULTIPLY_ADD, MR, NR,
+};
 pub use ops::{log_softmax_rows, softmax_rows};
 pub use parallel::Parallelism;
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward,
-    max_pool2d_infer,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, global_avg_pool2d, global_avg_pool2d_into,
+    max_pool2d, max_pool2d_backward, max_pool2d_infer, max_pool2d_infer_into, pooled_dims,
 };
 pub use rng::StdRng;
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

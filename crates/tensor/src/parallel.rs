@@ -118,6 +118,32 @@ impl std::fmt::Display for Parallelism {
     }
 }
 
+/// Minimum multiply-accumulate operations a problem must offer *per worker
+/// thread* before the kernels spread it over scoped threads.
+///
+/// Spawning and joining a scoped thread costs tens of microseconds; below
+/// roughly this much work per thread that overhead exceeds the compute, so
+/// small problems (a 128³ GEMM is ~2M MACs) must run inline. The
+/// `BENCH_kernels.json` grid showed exactly that regression before this
+/// threshold existed: 2- and 4-thread GEMMs slower than single-threaded up
+/// to `n = 384`. The value is deliberately conservative and was calibrated
+/// on the 1-core reference container (which can only ever show the
+/// overhead side of the trade); on a real multi-core host the crossover
+/// may sit lower, so re-tune it there if mid-size GEMMs profile as
+/// underthreaded. Crossing it only caps the worker count, never changes
+/// results (see the module docs).
+const MIN_MACS_PER_THREAD: usize = 4 * 1024 * 1024;
+
+/// Caps `requested` worker threads by the FLOP budget: one thread per
+/// [`MIN_MACS_PER_THREAD`] multiply-accumulates, and always at least one.
+///
+/// Every kernel in this crate routes its thread count through this helper,
+/// so a tiny GEMM or convolution never pays scoped-thread spawn cost no
+/// matter what the ambient [`Parallelism`] asks for.
+pub(crate) fn threads_for_macs(requested: usize, macs: usize) -> usize {
+    requested.min(macs / MIN_MACS_PER_THREAD).max(1)
+}
+
 /// Splits `rows` into at most `parts` contiguous ranges whose starts are
 /// multiples of `align` (except possibly the last end). Every row is covered
 /// exactly once and ranges are returned in ascending order.
@@ -155,15 +181,18 @@ where
     if unit_len == 0 || buf.is_empty() {
         return;
     }
-    let mut units: Vec<&mut [f32]> = buf.chunks_mut(unit_len).collect();
-    let total = units.len();
+    let total = buf.len().div_ceil(unit_len);
     let threads = threads.clamp(1, total);
     if threads == 1 {
-        for (index, unit) in units.drain(..).enumerate() {
+        // Inline fast path: no unit list is materialised, so a
+        // single-threaded kernel call performs no heap allocation at all —
+        // the planned inference runtime relies on this.
+        for (index, unit) in buf.chunks_mut(unit_len).enumerate() {
             f(index, unit);
         }
         return;
     }
+    let mut units: Vec<&mut [f32]> = buf.chunks_mut(unit_len).collect();
     let per_thread = total.div_ceil(threads);
     std::thread::scope(|scope| {
         let f = &f;
@@ -255,6 +284,18 @@ mod tests {
                 assert!(chunk.iter().all(|&x| x == (index + 1) as f32));
             }
         }
+    }
+
+    #[test]
+    fn small_problems_never_get_extra_threads() {
+        // Below one thread's worth of MACs everything runs inline.
+        assert_eq!(threads_for_macs(8, 64 * 64 * 64), 1);
+        assert_eq!(threads_for_macs(8, 128 * 128 * 128), 1);
+        // Enough work buys threads one at a time, capped by the request.
+        assert_eq!(threads_for_macs(8, 2 * MIN_MACS_PER_THREAD), 2);
+        assert_eq!(threads_for_macs(2, 64 * MIN_MACS_PER_THREAD), 2);
+        // Degenerate inputs still yield a worker.
+        assert_eq!(threads_for_macs(0, 0), 1);
     }
 
     #[test]

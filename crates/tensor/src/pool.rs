@@ -96,11 +96,60 @@ pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<(Tenso
 /// Returns an error for non-rank-4 input or a window/stride that does not
 /// tile the spatial extent.
 pub fn max_pool2d_infer(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    let [batch, channels, height, width] = check_rank4(input, "max_pool2d")?;
-    let out_h = pooled_size(height, window, stride, "max_pool2d")?;
-    let out_w = pooled_size(width, window, stride, "max_pool2d")?;
+    let dims = pooled_dims(input, window, stride, "max_pool2d")?;
+    let mut out = vec![0.0f32; dims.iter().product()];
+    max_pool2d_infer_into(input, window, stride, &mut out)?;
+    Tensor::from_vec(out, &dims)
+}
+
+/// Output dimensions of a pooled tensor, shared by the `_into` kernels so a
+/// caller can size an arena buffer before pooling into it.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the window does not fit.
+pub fn pooled_dims(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    op: &'static str,
+) -> Result<[usize; 4]> {
+    let [batch, channels, height, width] = check_rank4(input, op)?;
+    let out_h = pooled_size(height, window, stride, op)?;
+    let out_w = pooled_size(width, window, stride, op)?;
+    Ok([batch, channels, out_h, out_w])
+}
+
+fn check_out_len(out: &[f32], dims: &[usize; 4]) -> Result<()> {
+    let expected: usize = dims.iter().product();
+    if out.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(())
+}
+
+/// [`max_pool2d_infer`] writing into a caller-provided buffer (fully
+/// overwritten, so a recycled arena buffer is safe). Returns the output
+/// dimensions.
+///
+/// # Errors
+///
+/// Returns an error on the same shape problems as [`max_pool2d_infer`], or
+/// if `out` has the wrong length.
+pub fn max_pool2d_infer_into(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    out: &mut [f32],
+) -> Result<[usize; 4]> {
+    let dims = pooled_dims(input, window, stride, "max_pool2d")?;
+    check_out_len(out, &dims)?;
+    let [batch, channels, out_h, out_w] = dims;
+    let (height, width) = (input.dims()[2], input.dims()[3]);
     let src = input.as_slice();
-    let mut out = vec![0.0f32; batch * channels * out_h * out_w];
     for b in 0..batch {
         for c in 0..channels {
             let plane = (b * channels + c) * height * width;
@@ -120,7 +169,7 @@ pub fn max_pool2d_infer(input: &Tensor, window: usize, stride: usize) -> Result<
             }
         }
     }
-    Tensor::from_vec(out, &[batch, channels, out_h, out_w])
+    Ok(dims)
 }
 
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the input
@@ -154,12 +203,31 @@ pub fn max_pool2d_backward(
 ///
 /// Returns an error if the input is not rank 4 or the window does not fit.
 pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    let [batch, channels, height, width] = check_rank4(input, "avg_pool2d")?;
-    let out_h = pooled_size(height, window, stride, "avg_pool2d")?;
-    let out_w = pooled_size(width, window, stride, "avg_pool2d")?;
+    let dims = pooled_dims(input, window, stride, "avg_pool2d")?;
+    let mut out = vec![0.0f32; dims.iter().product()];
+    avg_pool2d_into(input, window, stride, &mut out)?;
+    Tensor::from_vec(out, &dims)
+}
+
+/// [`avg_pool2d`] writing into a caller-provided buffer (fully overwritten).
+/// Returns the output dimensions.
+///
+/// # Errors
+///
+/// Returns an error on the same shape problems as [`avg_pool2d`], or if
+/// `out` has the wrong length.
+pub fn avg_pool2d_into(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    out: &mut [f32],
+) -> Result<[usize; 4]> {
+    let dims = pooled_dims(input, window, stride, "avg_pool2d")?;
+    check_out_len(out, &dims)?;
+    let [batch, channels, out_h, out_w] = dims;
+    let (height, width) = (input.dims()[2], input.dims()[3]);
     let src = input.as_slice();
     let norm = 1.0 / (window * window) as f32;
-    let mut out = vec![0.0f32; batch * channels * out_h * out_w];
     for b in 0..batch {
         for c in 0..channels {
             let plane = (b * channels + c) * height * width;
@@ -176,7 +244,7 @@ pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor
             }
         }
     }
-    Tensor::from_vec(out, &[batch, channels, out_h, out_w])
+    Ok(dims)
 }
 
 /// Backward pass of [`avg_pool2d`]: distributes each output gradient evenly
@@ -230,17 +298,36 @@ pub fn avg_pool2d_backward(
 ///
 /// Returns an error if the input is not rank 4.
 pub fn global_avg_pool2d(input: &Tensor) -> Result<Tensor> {
+    let [batch, channels, ..] = check_rank4(input, "global_avg_pool2d")?;
+    let mut out = vec![0.0f32; batch * channels];
+    global_avg_pool2d_into(input, &mut out)?;
+    Tensor::from_vec(out, &[batch, channels])
+}
+
+/// [`global_avg_pool2d`] writing into a caller-provided buffer (fully
+/// overwritten). Returns the output dimensions `[batch, channels]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or `out` has the wrong
+/// length.
+pub fn global_avg_pool2d_into(input: &Tensor, out: &mut [f32]) -> Result<[usize; 2]> {
     let [batch, channels, height, width] = check_rank4(input, "global_avg_pool2d")?;
+    if out.len() != batch * channels {
+        return Err(TensorError::LengthMismatch {
+            expected: batch * channels,
+            actual: out.len(),
+        });
+    }
     let src = input.as_slice();
     let norm = 1.0 / (height * width).max(1) as f32;
-    let mut out = vec![0.0f32; batch * channels];
     for b in 0..batch {
         for c in 0..channels {
             let plane = (b * channels + c) * height * width;
             out[b * channels + c] = src[plane..plane + height * width].iter().sum::<f32>() * norm;
         }
     }
-    Tensor::from_vec(out, &[batch, channels])
+    Ok([batch, channels])
 }
 
 #[cfg(test)]

@@ -2,11 +2,21 @@
 
 use crate::error::{Result, TensorError};
 
+/// Maximum number of axes a [`Shape`] can hold.
+///
+/// Everything in this workspace is at most rank 4 (NCHW feature maps); the
+/// two spare slots are headroom. The bound is what lets `Shape` store its
+/// dimensions inline — constructing a tensor performs **no heap
+/// allocation** for its shape, which the zero-allocation inference runtime
+/// relies on (a `Vec<usize>`-backed shape would put one malloc back into
+/// every planned layer output).
+pub const MAX_RANK: usize = 6;
+
 /// The dimensions of a [`crate::Tensor`], stored outermost-first.
 ///
-/// A `Shape` is a thin wrapper over a `Vec<usize>` that centralises the index
-/// arithmetic every operation needs (element counts, row-major strides,
-/// flat-index computation) and keeps validation in one place.
+/// `Shape` stores up to [`MAX_RANK`] dimensions inline (no heap allocation)
+/// and centralises the index arithmetic every operation needs: element
+/// counts, row-major strides, flat-index computation.
 ///
 /// # Example
 ///
@@ -19,35 +29,53 @@ use crate::error::{Result, TensorError};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
-    dims: Vec<usize>,
+    // Unused slots are always zero, so the derived equality/hash (which
+    // also cover `rank`) behave exactly like the old Vec-backed shape.
+    dims: [usize; MAX_RANK],
+    rank: usize,
 }
 
 impl Shape {
     /// Creates a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_RANK`] dimensions are given.
     pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "Shape supports at most {MAX_RANK} axes, got {}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Self {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len(),
         }
     }
 
     /// Creates the shape of a scalar (rank 0, one element).
     pub fn scalar() -> Self {
-        Self { dims: Vec::new() }
+        Self {
+            dims: [0; MAX_RANK],
+            rank: 0,
+        }
     }
 
     /// The dimensions, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank]
     }
 
     /// Number of axes.
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank
     }
 
     /// Total number of elements (product of dimensions; 1 for a scalar).
     pub fn len(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Whether the shape contains zero elements.
@@ -57,8 +85,8 @@ impl Shape {
 
     /// Row-major strides for this shape, in elements.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+        let mut strides = vec![1; self.rank];
+        for i in (0..self.rank.saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
@@ -70,7 +98,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize> {
-        self.dims
+        self.dims()
             .get(axis)
             .copied()
             .ok_or(TensorError::AxisOutOfRange {
@@ -109,20 +137,22 @@ impl Shape {
 }
 
 impl From<&[usize]> for Shape {
+    /// See [`Shape::new`] — panics past [`MAX_RANK`] axes.
     fn from(dims: &[usize]) -> Self {
         Shape::new(dims)
     }
 }
 
 impl From<Vec<usize>> for Shape {
+    /// See [`Shape::new`] — panics past [`MAX_RANK`] axes.
     fn from(dims: Vec<usize>) -> Self {
-        Shape { dims }
+        Shape::new(&dims)
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:?}", self.dims)
+        write!(f, "{:?}", self.dims())
     }
 }
 
@@ -175,5 +205,19 @@ mod tests {
     #[test]
     fn display_shows_dims() {
         assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn ranks_disambiguate_trailing_zero_dims() {
+        // [2] and [2, 0] share the same inline storage; rank keeps them
+        // distinct under the derived equality.
+        assert_ne!(Shape::new(&[2]), Shape::new(&[2, 0]));
+        assert_eq!(Shape::new(&[2, 3]), Shape::new(&[2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rejects_more_than_max_rank_axes() {
+        let _ = Shape::new(&[1; MAX_RANK + 1]);
     }
 }

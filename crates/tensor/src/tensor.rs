@@ -42,6 +42,12 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
     /// the element count implied by `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Like every constructor taking `dims`, panics past
+    /// [`crate::MAX_RANK`] axes (shapes are stored inline so tensor
+    /// construction never heap-allocates).
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if shape.len() != data.len() {

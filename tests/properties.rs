@@ -7,6 +7,12 @@
 //! failure so it can be replayed from the seed.
 
 use mtlsplit_data::{MultiTaskDataset, TaskSpec};
+use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
+use mtlsplit_nn::{
+    AvgPool2d, BatchNorm2d, Conv2d, DepthwiseConv2d, Dropout, Flatten, GlobalAvgPool2d,
+    HardSigmoid, HardSwish, InferPlan, Layer, Linear, MaxPool2d, PointwiseConv2d, Relu, RunMode,
+    Sequential, Sigmoid,
+};
 use mtlsplit_serve::{Frame, OpCode};
 use mtlsplit_split::{DeploymentParadigm, Precision, TensorCodec, WorkloadProfile};
 use mtlsplit_tensor::{conv2d, softmax_rows, Conv2dSpec, Parallelism, StdRng, Tensor};
@@ -58,14 +64,17 @@ fn transpose_of_product() {
 #[test]
 fn kernels_are_bit_identical_across_thread_counts() {
     let mut rng = StdRng::seed_from(104);
-    // A matmul big enough to cross the kernel's parallel threshold.
-    let a = Tensor::randn(&[96, 80], 0.0, 1.0, &mut rng);
-    let b = Tensor::randn(&[80, 112], 0.0, 1.0, &mut rng);
-    // A grouped convolution with several (batch, group) units.
-    let spec = Conv2dSpec::new(4, 8, 3).with_padding(1).with_groups(2);
-    let image = Tensor::randn(&[4, 4, 16, 16], 0.0, 1.0, &mut rng);
+    // A matmul big enough to cross the kernel's FLOP threshold (one worker
+    // per ~4M multiply-accumulates), so the fixed thread counts below
+    // genuinely split rows instead of being clamped to one worker.
+    let a = Tensor::randn(&[320, 224], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[224, 256], 0.0, 1.0, &mut rng);
+    // A grouped convolution with several (batch, group) units and enough
+    // MACs (~9.4M) that the unit split engages.
+    let spec = Conv2dSpec::new(16, 32, 3).with_padding(1).with_groups(2);
+    let image = Tensor::randn(&[4, 16, 32, 32], 0.0, 1.0, &mut rng);
     let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.4, &mut rng);
-    let bias = Tensor::randn(&[8], 0.0, 0.4, &mut rng);
+    let bias = Tensor::randn(&[32], 0.0, 0.4, &mut rng);
 
     Parallelism::single().make_current();
     let product = a.matmul(&b).unwrap();
@@ -84,6 +93,120 @@ fn kernels_are_bit_identical_across_thread_counts() {
         );
     }
     Parallelism::auto().make_current();
+}
+
+/// The planned, zero-allocation inference runtime is bit-identical (`==`)
+/// to the allocating `Layer::infer` path — across layer types (every nn
+/// layer incl. the fusable conv→norm→activation and GEMM→activation
+/// motifs), random input shapes, thread counts {1, 2, 4}, and repeated
+/// arena reuse. Repeats with *changing* batch sizes through one arena also
+/// prove no stale buffer contents bleed between requests.
+#[test]
+fn planned_inference_matches_allocating_path_bitwise() {
+    let mut rng = StdRng::seed_from(0xA12E4A);
+    // Stacks covering every layer type and fusion window. Train-mode
+    // forwards first give batch-norm layers non-trivial running statistics.
+    let build_stacks = |rng: &mut StdRng| -> Vec<(&'static str, Sequential)> {
+        vec![
+            (
+                "mlp_heads",
+                Sequential::new()
+                    .push(Linear::new(12, 24, rng))
+                    .push(Relu::new())
+                    .push(Linear::new(24, 9, rng))
+                    .push(Sigmoid::new())
+                    .push(Dropout::new(0.3).unwrap()),
+            ),
+            (
+                "vgg_motif",
+                Sequential::new()
+                    .push(Conv2d::new(3, 6, 3, 1, 1, rng))
+                    .push(Relu::new())
+                    .push(MaxPool2d::new(2, 2))
+                    .push(Conv2d::new(6, 8, 3, 1, 1, rng))
+                    .push(Relu::new())
+                    .push(GlobalAvgPool2d::new())
+                    .push(Flatten::new())
+                    .push(Linear::new(8, 4, rng)),
+            ),
+            (
+                "mobile_motif",
+                Sequential::new()
+                    .push(Conv2d::new(3, 6, 3, 2, 1, rng))
+                    .push(BatchNorm2d::new(6))
+                    .push(HardSwish::new())
+                    .push(DepthwiseConv2d::new(6, 3, 1, 1, rng))
+                    .push(BatchNorm2d::new(6))
+                    .push(HardSwish::new())
+                    .push(PointwiseConv2d::new(6, 10, rng))
+                    .push(BatchNorm2d::new(10))
+                    .push(HardSigmoid::new())
+                    .push(AvgPool2d::new(2, 2))
+                    .push(GlobalAvgPool2d::new())
+                    .push(Flatten::new()),
+            ),
+        ]
+    };
+    for (name, mut net) in build_stacks(&mut rng) {
+        let image_input = name != "mlp_heads";
+        // Warm the running statistics (and prove planned inference is
+        // unaffected by training-side caches).
+        if image_input {
+            let warm = Tensor::randn(&[3, 3, 12, 12], 0.2, 1.1, &mut rng);
+            net.forward(&warm, RunMode::train(&mut rng)).unwrap();
+        }
+        let mut plan = InferPlan::new();
+        for threads in [1usize, 2, 4] {
+            Parallelism::fixed(threads).make_current();
+            // One arena serves requests of varying batch size in sequence.
+            for (request, batch) in [2usize, 1, 4, 3].into_iter().enumerate() {
+                let x = if image_input {
+                    Tensor::randn(&[batch, 3, 12, 12], 0.0, 1.0, &mut rng)
+                } else {
+                    Tensor::randn(&[batch, 12], 0.0, 1.0, &mut rng)
+                };
+                let planned = plan.run(&net, &x).unwrap();
+                let allocating = net.infer(&x).unwrap();
+                assert_eq!(
+                    planned, allocating,
+                    "{name}: planned output diverged (threads={threads}, request={request}, \
+                     batch={batch})"
+                );
+                plan.recycle(planned);
+            }
+        }
+        Parallelism::auto().make_current();
+    }
+
+    // The full model path: backbone + per-head planned passes, reusing one
+    // arena across requests, against the layer-wise allocating chain.
+    let mut rng = StdRng::seed_from(77);
+    let backbone = Backbone::new(
+        BackboneConfig::new(BackboneKind::EfficientStyle, 3, 16),
+        &mut rng,
+    )
+    .unwrap();
+    let mut plan = InferPlan::new();
+    for batch in [1usize, 2, 1, 3] {
+        let x = Tensor::randn(&[batch, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let planned = plan.run(&backbone, &x).unwrap();
+        assert_eq!(planned, backbone.infer(&x).unwrap(), "backbone diverged");
+        plan.recycle(planned);
+    }
+    // After the warm-up request, repeats of the same shapes must be served
+    // entirely from the arena.
+    let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+    plan.prepare(&backbone, &x).unwrap();
+    let warmed = plan.fresh_allocations();
+    for _ in 0..5 {
+        let out = plan.run(&backbone, &x).unwrap();
+        plan.recycle(out);
+    }
+    assert_eq!(
+        plan.fresh_allocations(),
+        warmed,
+        "steady-state planned inference must not take fresh memory"
+    );
 }
 
 /// Softmax rows always form a probability distribution, whatever the logits.
