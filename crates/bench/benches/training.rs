@@ -1,13 +1,98 @@
-//! Criterion benchmarks of the training step: one MTL-Split joint step
-//! (backbone + N heads) against N single-task steps — the computational
-//! saving the paper attributes to sharing the backbone.
+//! Training-step benchmark: the planned, zero-allocation `TrainPlan` path
+//! against the allocating layer-wise path it replaces, plus the paper's
+//! joint-MTL-vs-per-task-STL comparison.
+//!
+//! Two claims are machine-checked, not just recorded:
+//!
+//! 1. **Zero allocations per planned step.** A counting global allocator
+//!    wraps `System`; after the warm-up step the planned training step
+//!    (forward, loss, backward, optimizer update) must perform exactly 0
+//!    heap allocations (asserted — in quick mode this is the CI gate). The
+//!    measurement pins `Parallelism::single()`, the per-worker/edge regime;
+//!    multi-threaded runs additionally spawn scoped worker threads inside
+//!    the large GEMMs.
+//! 2. **Bit-identity.** Before anything is timed, both paths step two
+//!    identically-seeded models and every parameter must stay `==`.
+//!
+//! Results go to `BENCH_training.json` at the repository root (hand-rolled
+//! JSON — the workspace has no serde); `MTLSPLIT_BENCH_QUICK=1` selects the
+//! reduced CI grid.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mtlsplit_core::MtlSplitModel;
 use mtlsplit_data::TaskSpec;
 use mtlsplit_models::BackboneKind;
-use mtlsplit_nn::Sgd;
-use mtlsplit_tensor::{StdRng, Tensor};
+use mtlsplit_nn::{AdamW, CrossEntropyLoss, TrainPlan};
+use mtlsplit_tensor::{global_avg_pool2d, sgemm, Conv2dSpec, Parallelism, StdRng, Tensor};
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+/// Counts every heap allocation so the zero-allocation guarantee is
+/// measured, not assumed. `alloc`, `alloc_zeroed` and `realloc` each count
+/// as one allocation event; deallocations are not interesting here.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`, only adding a relaxed counter
+// bump on the allocation paths.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// `1` when `MTLSPLIT_BENCH_QUICK` asks for the reduced CI grid.
+fn quick_mode() -> bool {
+    std::env::var("MTLSPLIT_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// The measured workload: one MobileStyle joint training step
+// ---------------------------------------------------------------------------
+
+const BATCH: usize = 16;
+const IMAGE: usize = 20;
 
 fn tasks() -> Vec<TaskSpec> {
     vec![
@@ -16,61 +101,1112 @@ fn tasks() -> Vec<TaskSpec> {
     ]
 }
 
+fn build_model(seed: u64) -> MtlSplitModel {
+    let mut rng = StdRng::seed_from(seed);
+    MtlSplitModel::new(BackboneKind::MobileStyle, 3, IMAGE, &tasks(), 32, &mut rng)
+        .expect("bench model")
+}
+
 fn batch(rng: &mut StdRng) -> (Tensor, Vec<Vec<usize>>) {
-    let images = Tensor::randn(&[16, 3, 20, 20], 0.5, 0.2, rng);
+    let images = Tensor::randn(&[BATCH, 3, IMAGE, IMAGE], 0.5, 0.2, rng);
     let labels = vec![
-        (0..16).map(|i| i % 8).collect::<Vec<_>>(),
-        (0..16).map(|i| i % 4).collect::<Vec<_>>(),
+        (0..BATCH).map(|i| i % 8).collect::<Vec<_>>(),
+        (0..BATCH).map(|i| i % 4).collect::<Vec<_>>(),
     ];
     (images, labels)
 }
 
-fn bench_mtl_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(10);
-    let mut rng = StdRng::seed_from(1);
-    let (images, labels) = batch(&mut rng);
+// ---------------------------------------------------------------------------
+// The seed (PR-4) training step, reproduced verbatim
+// ---------------------------------------------------------------------------
 
-    // One joint multi-task step: shared backbone evaluated once.
-    let mut mtl = MtlSplitModel::new(BackboneKind::MobileStyle, 3, 20, &tasks(), 32, &mut rng)
-        .expect("model");
-    let mut opt = Sgd::new(0.01);
-    group.bench_function("mtl_joint", |bencher| {
-        bencher.iter(|| {
-            mtl.train_batch(&images, &labels, &mut opt)
-                .expect("train batch")
-        });
-    });
+/// The previous training step, reproduced the way `benches/inference.rs`
+/// reproduces the PR-3 serving path: every layer allocates fresh output,
+/// cache and gradient tensors; the convolution backward is the generic
+/// lowered formulation for every case (grad-cols GEMM + col2im fold, and a
+/// fresh im2col per `(batch, group)` unit feeding the weight-gradient GEMMs
+/// — no pointwise or depthwise fast paths, no forward column cache); AdamW
+/// updates through allocating `scale`/`mul`/`zip` tensors. Weights are
+/// copied from an identically-seeded model, and a fidelity gate asserts the
+/// vendored step trains **bit-identically** to the in-tree path before
+/// anything is timed.
+mod seed {
+    use super::*;
+    use mtlsplit_tensor::{ActivationGrad, EpilogueActivation};
 
-    // The STL equivalent: one full backbone per task, stepped separately.
+    /// Seed `im2col_group`: unfolds one `(batch, group)` unit channel-major
+    /// into a `[cin_g * k * k, out_plane]` column matrix.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col_group(
+        dst: &mut [f32],
+        src: &[f32],
+        spec: &Conv2dSpec,
+        (height, width): (usize, usize),
+        (out_h, out_w): (usize, usize),
+        batch_index: usize,
+        channel_start: usize,
+    ) {
+        let cin_g = spec.in_channels / spec.groups;
+        let k = spec.kernel;
+        let pad = spec.padding as isize;
+        let out_plane = out_h * out_w;
+        for ic_local in 0..cin_g {
+            let in_base =
+                (batch_index * spec.in_channels + channel_start + ic_local) * height * width;
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ic_local * k + ky) * k + kx;
+                    let out_row = &mut dst[row * out_plane..][..out_plane];
+                    for oy in 0..out_h {
+                        let in_y = (oy * spec.stride + ky) as isize - pad;
+                        let dst_row = &mut out_row[oy * out_w..(oy + 1) * out_w];
+                        if in_y < 0 || in_y >= height as isize {
+                            dst_row.fill(0.0);
+                            continue;
+                        }
+                        let src_row = &src[in_base + in_y as usize * width..][..width];
+                        for (ox, slot) in dst_row.iter_mut().enumerate() {
+                            let in_x = (ox * spec.stride + kx) as isize - pad;
+                            *slot = if in_x >= 0 && in_x < width as isize {
+                                src_row[in_x as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seed `col2im_group`: the adjoint fold of [`im2col_group`].
+    fn col2im_group(
+        cols: &[f32],
+        unit: &mut [f32],
+        spec: &Conv2dSpec,
+        (height, width): (usize, usize),
+        (out_h, out_w): (usize, usize),
+    ) {
+        let cin_g = spec.in_channels / spec.groups;
+        let k = spec.kernel;
+        let pad = spec.padding as isize;
+        let out_plane = out_h * out_w;
+        for ic_local in 0..cin_g {
+            let unit_base = ic_local * height * width;
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ic_local * k + ky) * k + kx;
+                    let src_row = &cols[row * out_plane..][..out_plane];
+                    for oy in 0..out_h {
+                        let in_y = (oy * spec.stride + ky) as isize - pad;
+                        if in_y < 0 || in_y >= height as isize {
+                            continue;
+                        }
+                        let dst_row = &mut unit[unit_base + in_y as usize * width..][..width];
+                        for (ox, &value) in src_row[oy * out_w..(oy + 1) * out_w].iter().enumerate()
+                        {
+                            let in_x = (ox * spec.stride + kx) as isize - pad;
+                            if in_x >= 0 && in_x < width as isize {
+                                dst_row[in_x as usize] += value;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seed's generic lowered convolution backward: fresh buffers, one
+    /// grad-cols GEMM + col2im per unit, one fresh im2col per `(batch,
+    /// group)` unit in the weight-gradient loop — for every convolution
+    /// kind, pointwise and depthwise included.
+    fn conv2d_backward(
+        input: &Tensor,
+        weight: &Tensor,
+        grad_output: &Tensor,
+        spec: &Conv2dSpec,
+    ) -> (Tensor, Tensor, Tensor) {
+        let dims = input.dims();
+        let (batch, height, width) = (dims[0], dims[2], dims[3]);
+        let (out_h, out_w) = spec.output_size(height, width).expect("seed conv fits");
+        let cin_g = spec.in_channels / spec.groups;
+        let cout_g = spec.out_channels / spec.groups;
+        let ckk = cin_g * spec.kernel * spec.kernel;
+        let out_plane = out_h * out_w;
+        let src = input.as_slice();
+        let w = weight.as_slice();
+        let go = grad_output.as_slice();
+        let par = Parallelism::single();
+
+        let mut grad_bias = vec![0.0f32; spec.out_channels];
+        for (oc, slot) in grad_bias.iter_mut().enumerate() {
+            for b in 0..batch {
+                let plane = &go[(b * spec.out_channels + oc) * out_plane..][..out_plane];
+                for &value in plane {
+                    *slot += value;
+                }
+            }
+        }
+
+        let mut grad_input = vec![0.0f32; src.len()];
+        let unit_len = cin_g * height * width;
+        for (unit_index, unit) in grad_input.chunks_mut(unit_len).enumerate() {
+            let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
+            let w_group = &w[group * cout_g * ckk..][..cout_g * ckk];
+            let go_group =
+                &go[(b * spec.out_channels + group * cout_g) * out_plane..][..cout_g * out_plane];
+            let mut grad_cols = vec![0.0f32; ckk * out_plane];
+            sgemm(
+                true,
+                false,
+                ckk,
+                out_plane,
+                cout_g,
+                1.0,
+                w_group,
+                go_group,
+                0.0,
+                &mut grad_cols,
+                par,
+            );
+            col2im_group(&grad_cols, unit, spec, (height, width), (out_h, out_w));
+        }
+
+        let mut grad_weight = vec![0.0f32; w.len()];
+        for (group, unit) in grad_weight.chunks_mut(cout_g * ckk).enumerate() {
+            let mut cols = vec![0.0f32; ckk * out_plane];
+            for b in 0..batch {
+                im2col_group(
+                    &mut cols,
+                    src,
+                    spec,
+                    (height, width),
+                    (out_h, out_w),
+                    b,
+                    group * cin_g,
+                );
+                let go_group = &go[(b * spec.out_channels + group * cout_g) * out_plane..]
+                    [..cout_g * out_plane];
+                let beta = if b == 0 { 0.0 } else { 1.0 };
+                sgemm(
+                    false, true, cout_g, ckk, out_plane, 1.0, go_group, &cols, beta, unit, par,
+                );
+            }
+        }
+
+        (
+            Tensor::from_vec(grad_input, input.dims()).expect("seed grad_input"),
+            Tensor::from_vec(grad_weight, weight.dims()).expect("seed grad_weight"),
+            Tensor::from_vec(grad_bias, &[spec.out_channels]).expect("seed grad_bias"),
+        )
+    }
+
+    pub(super) struct BnCache {
+        normalized: Tensor,
+        std_inv: Vec<f32>,
+        dims: Vec<usize>,
+    }
+
+    /// One layer of the seed network: parameters, accumulated gradients and
+    /// the training caches, exactly as the seed layers kept them.
+    pub(super) enum Op {
+        Conv {
+            spec: Conv2dSpec,
+            weight: Tensor,
+            bias: Tensor,
+            grad_weight: Tensor,
+            grad_bias: Tensor,
+            cached: Option<Tensor>,
+        },
+        Bn {
+            gamma: Tensor,
+            beta: Tensor,
+            grad_gamma: Tensor,
+            grad_beta: Tensor,
+            running_mean: Vec<f32>,
+            running_var: Vec<f32>,
+            cache: Option<BnCache>,
+        },
+        HardSwish {
+            cached: Option<Tensor>,
+        },
+        Relu {
+            cached: Option<Tensor>,
+        },
+        Gap {
+            dims: Option<Vec<usize>>,
+        },
+        Flatten {
+            dims: Option<Vec<usize>>,
+        },
+        Linear {
+            in_features: usize,
+            out_features: usize,
+            weight: Tensor,
+            bias: Tensor,
+            grad_weight: Tensor,
+            grad_bias: Tensor,
+            cached: Option<Tensor>,
+        },
+    }
+
+    impl Op {
+        fn forward(&mut self, input: &Tensor) -> Tensor {
+            match self {
+                Op::Conv {
+                    spec,
+                    weight,
+                    bias,
+                    cached,
+                    ..
+                } => {
+                    *cached = Some(input.clone());
+                    mtlsplit_tensor::conv2d(input, weight, Some(bias), spec).expect("seed conv")
+                }
+                Op::Bn {
+                    gamma,
+                    beta,
+                    running_mean,
+                    running_var,
+                    cache,
+                    ..
+                } => {
+                    // The seed's train-mode batch norm: batch statistics,
+                    // running-average update, fresh buffers.
+                    let dims = input.dims().to_vec();
+                    let (batch, channels, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                    let plane = h * w;
+                    let count = (batch * plane).max(1) as f32;
+                    let momentum = 0.1f32;
+                    let epsilon = 1e-5f32;
+                    let src = input.as_slice();
+                    let mut out = vec![0.0f32; src.len()];
+                    let mut normalized = vec![0.0f32; src.len()];
+                    let mut std_inv = vec![0.0f32; channels];
+                    for (c, std_inv_slot) in std_inv.iter_mut().enumerate() {
+                        let mut mean = 0.0f32;
+                        for b in 0..batch {
+                            let base = (b * channels + c) * plane;
+                            mean += src[base..base + plane].iter().sum::<f32>();
+                        }
+                        mean /= count;
+                        let mut var = 0.0f32;
+                        for b in 0..batch {
+                            let base = (b * channels + c) * plane;
+                            var += src[base..base + plane]
+                                .iter()
+                                .map(|&x| (x - mean).powi(2))
+                                .sum::<f32>();
+                        }
+                        var /= count;
+                        running_mean[c] = (1.0 - momentum) * running_mean[c] + momentum * mean;
+                        running_var[c] = (1.0 - momentum) * running_var[c] + momentum * var;
+                        let inv = 1.0 / (var + epsilon).sqrt();
+                        *std_inv_slot = inv;
+                        let g = gamma.as_slice()[c];
+                        let b_shift = beta.as_slice()[c];
+                        for b in 0..batch {
+                            let base = (b * channels + c) * plane;
+                            for i in 0..plane {
+                                let n = (src[base + i] - mean) * inv;
+                                normalized[base + i] = n;
+                                out[base + i] = g * n + b_shift;
+                            }
+                        }
+                    }
+                    *cache = Some(BnCache {
+                        normalized: Tensor::from_vec(normalized, &dims).expect("seed bn"),
+                        std_inv,
+                        dims: dims.clone(),
+                    });
+                    Tensor::from_vec(out, &dims).expect("seed bn out")
+                }
+                Op::HardSwish { cached } => {
+                    *cached = Some(input.clone());
+                    input.map(|x| EpilogueActivation::HardSwish.apply(x))
+                }
+                Op::Relu { cached } => {
+                    *cached = Some(input.clone());
+                    input.map(|x| EpilogueActivation::Relu.apply(x))
+                }
+                Op::Gap { dims } => {
+                    *dims = Some(input.dims().to_vec());
+                    global_avg_pool2d(input).expect("seed gap")
+                }
+                Op::Flatten { dims } => {
+                    *dims = Some(input.dims().to_vec());
+                    input.flatten_batch().expect("seed flatten")
+                }
+                Op::Linear {
+                    in_features,
+                    out_features,
+                    weight,
+                    bias,
+                    cached,
+                    ..
+                } => {
+                    *cached = Some(input.clone());
+                    let batch = input.dims()[0];
+                    let mut out = Vec::with_capacity(batch * *out_features);
+                    for _ in 0..batch {
+                        out.extend_from_slice(bias.as_slice());
+                    }
+                    sgemm(
+                        false,
+                        true,
+                        batch,
+                        *out_features,
+                        *in_features,
+                        1.0,
+                        input.as_slice(),
+                        weight.as_slice(),
+                        1.0,
+                        &mut out,
+                        Parallelism::single(),
+                    );
+                    Tensor::from_vec(out, &[batch, *out_features]).expect("seed linear")
+                }
+            }
+        }
+
+        fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+            match self {
+                Op::Conv {
+                    spec,
+                    weight,
+                    grad_weight,
+                    grad_bias,
+                    cached,
+                    ..
+                } => {
+                    let input = cached.as_ref().expect("seed conv cache");
+                    let (gi, gw, gb) = conv2d_backward(input, weight, grad_output, spec);
+                    grad_weight.add_scaled_inplace(&gw, 1.0).expect("seed gw");
+                    grad_bias.add_scaled_inplace(&gb, 1.0).expect("seed gb");
+                    gi
+                }
+                Op::Bn {
+                    gamma,
+                    grad_gamma,
+                    grad_beta,
+                    cache,
+                    ..
+                } => {
+                    let cache = cache.as_ref().expect("seed bn cache");
+                    let dims = &cache.dims;
+                    let (batch, channels, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                    let plane = h * w;
+                    let count = (batch * plane).max(1) as f32;
+                    let go = grad_output.as_slice();
+                    let norm = cache.normalized.as_slice();
+                    let mut grad_input = vec![0.0f32; go.len()];
+                    let mut gg = vec![0.0f32; channels];
+                    let mut gb = vec![0.0f32; channels];
+                    for c in 0..channels {
+                        let g = gamma.as_slice()[c];
+                        let inv = cache.std_inv[c];
+                        let mut sum_dy = 0.0f32;
+                        let mut sum_dy_x = 0.0f32;
+                        for b in 0..batch {
+                            let base = (b * channels + c) * plane;
+                            for i in 0..plane {
+                                let dy = go[base + i];
+                                sum_dy += dy;
+                                sum_dy_x += dy * norm[base + i];
+                            }
+                        }
+                        gg[c] = sum_dy_x;
+                        gb[c] = sum_dy;
+                        for b in 0..batch {
+                            let base = (b * channels + c) * plane;
+                            for i in 0..plane {
+                                let dy = go[base + i];
+                                grad_input[base + i] = g * inv / count
+                                    * (count * dy - sum_dy - norm[base + i] * sum_dy_x);
+                            }
+                        }
+                    }
+                    grad_gamma
+                        .add_scaled_inplace(&Tensor::from_vec(gg, &[channels]).unwrap(), 1.0)
+                        .expect("seed bn gg");
+                    grad_beta
+                        .add_scaled_inplace(&Tensor::from_vec(gb, &[channels]).unwrap(), 1.0)
+                        .expect("seed bn gb");
+                    Tensor::from_vec(grad_input, dims).expect("seed bn grad")
+                }
+                Op::HardSwish { cached } => {
+                    let input = cached.as_ref().expect("seed hs cache");
+                    let local = input.map(|x| ActivationGrad::HardSwish.derivative(x));
+                    grad_output.mul(&local).expect("seed hs grad")
+                }
+                Op::Relu { cached } => {
+                    let input = cached.as_ref().expect("seed relu cache");
+                    let local = input.map(|x| ActivationGrad::Relu.derivative(x));
+                    grad_output.mul(&local).expect("seed relu grad")
+                }
+                Op::Gap { dims } => {
+                    let dims = dims.as_ref().expect("seed gap cache");
+                    let (batch, channels, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                    let norm = 1.0 / (h * w).max(1) as f32;
+                    let go = grad_output.as_slice();
+                    let mut grad_input = Tensor::zeros(dims);
+                    let gi = grad_input.as_mut_slice();
+                    for b in 0..batch {
+                        for c in 0..channels {
+                            let g = go[b * channels + c] * norm;
+                            let base = (b * channels + c) * h * w;
+                            for v in &mut gi[base..base + h * w] {
+                                *v = g;
+                            }
+                        }
+                    }
+                    grad_input
+                }
+                Op::Flatten { dims } => {
+                    let dims = dims.as_ref().expect("seed flatten cache");
+                    grad_output.reshape(dims).expect("seed flatten grad")
+                }
+                Op::Linear {
+                    in_features,
+                    out_features,
+                    weight,
+                    grad_weight,
+                    grad_bias,
+                    cached,
+                    ..
+                } => {
+                    let input = cached.as_ref().expect("seed linear cache");
+                    let batch = grad_output.dims()[0];
+                    let par = Parallelism::single();
+                    let mut gw = vec![0.0f32; *out_features * *in_features];
+                    sgemm(
+                        true,
+                        false,
+                        *out_features,
+                        *in_features,
+                        batch,
+                        1.0,
+                        grad_output.as_slice(),
+                        input.as_slice(),
+                        0.0,
+                        &mut gw,
+                        par,
+                    );
+                    let gb = grad_output.sum_axis0().expect("seed linear gb");
+                    let mut gi = vec![0.0f32; batch * *in_features];
+                    sgemm(
+                        false,
+                        false,
+                        batch,
+                        *in_features,
+                        *out_features,
+                        1.0,
+                        grad_output.as_slice(),
+                        weight.as_slice(),
+                        0.0,
+                        &mut gi,
+                        par,
+                    );
+                    grad_weight
+                        .add_scaled_inplace(
+                            &Tensor::from_vec(gw, &[*out_features, *in_features]).unwrap(),
+                            1.0,
+                        )
+                        .expect("seed linear gw");
+                    grad_bias
+                        .add_scaled_inplace(&gb, 1.0)
+                        .expect("seed linear gb");
+                    Tensor::from_vec(gi, &[batch, *in_features]).expect("seed linear grad")
+                }
+            }
+        }
+
+        /// `(value, grad)` pairs for the optimizer, in parameter order.
+        fn params(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+            match self {
+                Op::Conv {
+                    weight,
+                    bias,
+                    grad_weight,
+                    grad_bias,
+                    ..
+                }
+                | Op::Linear {
+                    weight,
+                    bias,
+                    grad_weight,
+                    grad_bias,
+                    ..
+                } => vec![(weight, grad_weight), (bias, grad_bias)],
+                Op::Bn {
+                    gamma,
+                    beta,
+                    grad_gamma,
+                    grad_beta,
+                    ..
+                } => vec![(gamma, grad_gamma), (beta, grad_beta)],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    /// The seed's AdamW, reproduced verbatim: allocating
+    /// `scale`/`mul`/`zip` tensor updates per parameter per step.
+    pub(super) struct SeedAdamW {
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        epsilon: f32,
+        weight_decay: f32,
+        step_count: u64,
+        first_moment: Vec<Tensor>,
+        second_moment: Vec<Tensor>,
+    }
+
+    impl SeedAdamW {
+        pub(super) fn new(lr: f32) -> Self {
+            Self {
+                lr,
+                beta1: 0.9,
+                beta2: 0.999,
+                epsilon: 1e-8,
+                weight_decay: 0.01,
+                step_count: 0,
+                first_moment: Vec::new(),
+                second_moment: Vec::new(),
+            }
+        }
+
+        fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+            while self.first_moment.len() < params.len() {
+                let dims = params[self.first_moment.len()].0.dims().to_vec();
+                self.first_moment.push(Tensor::zeros(&dims));
+                self.second_moment.push(Tensor::zeros(&dims));
+            }
+            self.step_count += 1;
+            let t = self.step_count as f32;
+            let bias1 = 1.0 - self.beta1.powf(t);
+            let bias2 = 1.0 - self.beta2.powf(t);
+            for (idx, (value, grad)) in params.iter_mut().enumerate() {
+                let lr = self.lr;
+                let grad: &Tensor = grad;
+                let m = &mut self.first_moment[idx];
+                let v = &mut self.second_moment[idx];
+                let mut new_m = m.scale(self.beta1);
+                new_m.add_scaled_inplace(grad, 1.0 - self.beta1).unwrap();
+                let grad_sq = grad.mul(grad).unwrap();
+                let mut new_v = v.scale(self.beta2);
+                new_v
+                    .add_scaled_inplace(&grad_sq, 1.0 - self.beta2)
+                    .unwrap();
+                if self.weight_decay > 0.0 {
+                    let decay = value.scale(self.weight_decay * lr);
+                    value.add_scaled_inplace(&decay, -1.0).unwrap();
+                }
+                let eps = self.epsilon;
+                let update = new_m
+                    .zip(&new_v, move |m_i, v_i| {
+                        (m_i / bias1) / ((v_i / bias2).sqrt() + eps)
+                    })
+                    .unwrap();
+                value.add_scaled_inplace(&update, -lr).unwrap();
+                *m = new_m;
+                *v = new_v;
+            }
+        }
+    }
+
+    /// The seed model: backbone ops plus per-head op chains, with weights
+    /// copied from an identically-seeded in-tree model.
+    pub(super) struct SeedNet {
+        backbone: Vec<Op>,
+        heads: Vec<Vec<Op>>,
+        loss: CrossEntropyLoss,
+        opt: SeedAdamW,
+    }
+
+    impl SeedNet {
+        /// Builds the MobileStyle-at-`image`² architecture and copies the
+        /// parameter values (in stable order) out of `model`.
+        pub(super) fn from_model(model: &mut MtlSplitModel, image: usize, lr: f32) -> Self {
+            let values: Vec<Tensor> = model
+                .parameters_mut()
+                .iter()
+                .map(|p| p.value().clone())
+                .collect();
+            let mut cursor = 0usize;
+            let mut next = |expected_dims: &[usize]| -> Tensor {
+                let value = values[cursor].clone();
+                assert_eq!(value.dims(), expected_dims, "parameter order mismatch");
+                cursor += 1;
+                value
+            };
+            let conv = |spec: Conv2dSpec, next: &mut dyn FnMut(&[usize]) -> Tensor| -> Op {
+                let weight = next(&spec.weight_dims());
+                let bias = next(&[spec.out_channels]);
+                let (gw, gb) = (Tensor::zeros(weight.dims()), Tensor::zeros(bias.dims()));
+                Op::Conv {
+                    spec,
+                    weight,
+                    bias,
+                    grad_weight: gw,
+                    grad_bias: gb,
+                    cached: None,
+                }
+            };
+            let bn = |channels: usize, next: &mut dyn FnMut(&[usize]) -> Tensor| -> Op {
+                Op::Bn {
+                    gamma: next(&[channels]),
+                    beta: next(&[channels]),
+                    grad_gamma: Tensor::zeros(&[channels]),
+                    grad_beta: Tensor::zeros(&[channels]),
+                    running_mean: vec![0.0; channels],
+                    running_var: vec![1.0; channels],
+                    cache: None,
+                }
+            };
+            let linear = |inp: usize, out: usize, next: &mut dyn FnMut(&[usize]) -> Tensor| -> Op {
+                Op::Linear {
+                    in_features: inp,
+                    out_features: out,
+                    weight: next(&[out, inp]),
+                    bias: next(&[out]),
+                    grad_weight: Tensor::zeros(&[out, inp]),
+                    grad_bias: Tensor::zeros(&[out]),
+                    cached: None,
+                }
+            };
+            let _ = image;
+            let mut backbone = Vec::new();
+            backbone.push(conv(
+                Conv2dSpec::new(3, 8, 3).with_stride(2).with_padding(1),
+                &mut next,
+            ));
+            backbone.push(bn(8, &mut next));
+            backbone.push(Op::HardSwish { cached: None });
+            for (in_c, out_c, stride) in [(8usize, 16usize, 1usize), (16, 24, 2), (24, 32, 1)] {
+                backbone.push(conv(
+                    Conv2dSpec::new(in_c, in_c, 3)
+                        .with_stride(stride)
+                        .with_padding(1)
+                        .with_groups(in_c),
+                    &mut next,
+                ));
+                backbone.push(bn(in_c, &mut next));
+                backbone.push(Op::HardSwish { cached: None });
+                backbone.push(conv(Conv2dSpec::new(in_c, out_c, 1), &mut next));
+                backbone.push(bn(out_c, &mut next));
+                backbone.push(Op::HardSwish { cached: None });
+            }
+            backbone.push(Op::Gap { dims: None });
+            backbone.push(Op::Flatten { dims: None });
+            let mut heads = Vec::new();
+            for classes in [8usize, 4] {
+                heads.push(vec![
+                    linear(32, 32, &mut next),
+                    Op::Relu { cached: None },
+                    linear(32, classes, &mut next),
+                ]);
+            }
+            assert_eq!(cursor, values.len(), "parameter count mismatch");
+            Self {
+                backbone,
+                heads,
+                loss: CrossEntropyLoss::new(),
+                opt: SeedAdamW::new(lr),
+            }
+        }
+
+        fn forward_chain(ops: &mut [Op], input: &Tensor) -> Tensor {
+            let mut current = input.clone();
+            for op in ops.iter_mut() {
+                current = op.forward(&current);
+            }
+            current
+        }
+
+        fn backward_chain(ops: &mut [Op], grad: &Tensor) -> Tensor {
+            let mut current = grad.clone();
+            for op in ops.iter_mut().rev() {
+                current = op.backward(&current);
+            }
+            current
+        }
+
+        /// One seed training step, mirroring `train_batch`'s structure:
+        /// zero grads (fresh tensors), backbone + all-head forward, per-head
+        /// loss + backward summed into the shared-feature gradient, backbone
+        /// backward, allocating AdamW sweep.
+        pub(super) fn train_step(&mut self, images: &Tensor, labels: &[Vec<usize>]) -> Vec<f32> {
+            for op in self
+                .backbone
+                .iter_mut()
+                .chain(self.heads.iter_mut().flatten())
+            {
+                for (value, grad) in op.params() {
+                    *grad = Tensor::zeros(value.dims());
+                }
+            }
+            let features = Self::forward_chain(&mut self.backbone, images);
+            let logits: Vec<Tensor> = self
+                .heads
+                .iter_mut()
+                .map(|head| Self::forward_chain(head, &features))
+                .collect();
+            let mut losses = Vec::with_capacity(self.heads.len());
+            let mut grad_features = Tensor::zeros(features.dims());
+            for (head_idx, (head, logit)) in self.heads.iter_mut().zip(&logits).enumerate() {
+                let (value, grad_logits) = self
+                    .loss
+                    .forward_backward(logit, &labels[head_idx])
+                    .expect("seed loss");
+                losses.push(value);
+                let grad = Self::backward_chain(head, &grad_logits);
+                grad_features
+                    .add_scaled_inplace(&grad, 1.0)
+                    .expect("seed sum");
+            }
+            let _ = Self::backward_chain(&mut self.backbone, &grad_features);
+            let mut params: Vec<(&mut Tensor, &mut Tensor)> = Vec::new();
+            for op in self
+                .backbone
+                .iter_mut()
+                .chain(self.heads.iter_mut().flatten())
+            {
+                params.extend(op.params());
+            }
+            self.opt.step(&mut params);
+            losses
+        }
+
+        /// Every parameter value, in the same stable order as
+        /// `MtlSplitModel::parameters_mut`.
+        pub(super) fn param_values(&mut self) -> Vec<Tensor> {
+            let mut out = Vec::new();
+            for op in self
+                .backbone
+                .iter_mut()
+                .chain(self.heads.iter_mut().flatten())
+            {
+                for (value, _) in op.params() {
+                    out.push(value.clone());
+                }
+            }
+            out
+        }
+    }
+}
+
+struct StepStats {
+    allocs_per_step: f64,
+    step_ms: f64,
+}
+
+struct TrainingMeasurement {
+    steps: usize,
+    planned: StepStats,
+    allocating: StepStats,
+    seed: StepStats,
+    /// Steps until the three paths were compared parameter-for-parameter.
+    identity_steps: usize,
+}
+
+fn measure_training(reps: usize, steps: usize, identity_steps: usize) -> TrainingMeasurement {
+    let (images, labels) = batch(&mut StdRng::seed_from(3));
+
+    // Bit-identity gate: identically-seeded models, one stepped through the
+    // vendored seed path, one through the in-tree allocating path, one
+    // through the plan; every parameter must stay `==` across all three.
+    {
+        let mut reference = build_model(1);
+        let mut planned = build_model(1);
+        let mut seed_net = seed::SeedNet::from_model(&mut build_model(1), IMAGE, 1e-3);
+        let mut opt_ref = AdamW::new(1e-3).expect("optimizer");
+        let mut opt_planned = AdamW::new(1e-3).expect("optimizer");
+        let mut plan = TrainPlan::new();
+        let mut losses = Vec::new();
+        for step in 0..identity_steps {
+            let loss_ref = reference
+                .train_batch(&images, &labels, &mut opt_ref)
+                .expect("allocating step");
+            planned
+                .train_batch_with(&images, &labels, &mut opt_planned, &mut plan, &mut losses)
+                .expect("planned step");
+            assert_eq!(losses, loss_ref, "step {step}: planned losses diverged");
+            let seed_losses = seed_net.train_step(&images, &labels);
+            assert_eq!(seed_losses, loss_ref, "step {step}: seed losses diverged");
+        }
+        let seed_values = seed_net.param_values();
+        for (index, ((a, b), s)) in planned
+            .parameters_mut()
+            .iter()
+            .zip(reference.parameters_mut())
+            .zip(&seed_values)
+            .enumerate()
+        {
+            assert_eq!(
+                a.value(),
+                b.value(),
+                "parameter {index} diverged (planned vs allocating) after {identity_steps} steps"
+            );
+            assert_eq!(
+                b.value(),
+                s,
+                "parameter {index} diverged (allocating vs seed baseline) after \
+                 {identity_steps} steps"
+            );
+        }
+    }
+
+    // The timed/counted models (fresh, so both paths start from the same
+    // warm-up state).
+    let mut allocating_model = build_model(2);
+    let mut allocating_opt = AdamW::new(1e-3).expect("optimizer");
+    let mut planned_model = build_model(2);
+    let mut planned_opt = AdamW::new(1e-3).expect("optimizer");
+    let mut plan = TrainPlan::new();
+    let mut losses = Vec::new();
+
+    // Warm-up: sizes every arena buffer, optimizer moment, and thread-local
+    // kernel scratch.
+    for _ in 0..2 {
+        planned_model
+            .train_batch_with(&images, &labels, &mut planned_opt, &mut plan, &mut losses)
+            .expect("warm-up step");
+        allocating_model
+            .train_batch(&images, &labels, &mut allocating_opt)
+            .expect("warm-up step");
+    }
+
+    // Steady state: the machine-checked zero-allocation guarantee.
+    let before = allocations();
+    for _ in 0..steps {
+        planned_model
+            .train_batch_with(&images, &labels, &mut planned_opt, &mut plan, &mut losses)
+            .expect("planned step");
+    }
+    let planned_allocs = allocations() - before;
+    assert_eq!(
+        planned_allocs, 0,
+        "the planned training step must perform zero steady-state heap allocations \
+         (saw {planned_allocs} over {steps} steps)"
+    );
+
+    let before = allocations();
+    for _ in 0..steps {
+        allocating_model
+            .train_batch(&images, &labels, &mut allocating_opt)
+            .expect("allocating step");
+    }
+    let allocating_allocs = (allocations() - before) as f64 / steps as f64;
+
+    // The seed baseline: fresh net (same ctor seed), warmed up, counted and
+    // timed on the same protocol.
+    let mut seed_net = seed::SeedNet::from_model(&mut build_model(2), IMAGE, 1e-3);
+    for _ in 0..2 {
+        seed_net.train_step(&images, &labels);
+    }
+    let before = allocations();
+    for _ in 0..steps {
+        seed_net.train_step(&images, &labels);
+    }
+    let seed_allocs = (allocations() - before) as f64 / steps as f64;
+
+    let planned_ms = best_ms(reps, || {
+        for _ in 0..steps {
+            planned_model
+                .train_batch_with(&images, &labels, &mut planned_opt, &mut plan, &mut losses)
+                .expect("planned step");
+        }
+    }) / steps as f64;
+    let allocating_ms = best_ms(reps, || {
+        for _ in 0..steps {
+            allocating_model
+                .train_batch(&images, &labels, &mut allocating_opt)
+                .expect("allocating step");
+        }
+    }) / steps as f64;
+    let seed_ms = best_ms(reps, || {
+        for _ in 0..steps {
+            seed_net.train_step(&images, &labels);
+        }
+    }) / steps as f64;
+
+    TrainingMeasurement {
+        steps,
+        planned: StepStats {
+            allocs_per_step: 0.0,
+            step_ms: planned_ms,
+        },
+        allocating: StepStats {
+            allocs_per_step: allocating_allocs,
+            step_ms: allocating_ms,
+        },
+        seed: StepStats {
+            allocs_per_step: seed_allocs,
+            step_ms: seed_ms,
+        },
+        identity_steps,
+    }
+}
+
+/// The paper's computational-saving comparison: one joint MTL step (shared
+/// backbone evaluated once) against one full STL step per task, both on the
+/// planned runtime.
+fn measure_mtl_vs_stl(reps: usize, steps: usize) -> (f64, f64) {
+    let (images, labels) = batch(&mut StdRng::seed_from(7));
+    let mut mtl = build_model(4);
+    let mut mtl_opt = AdamW::new(1e-3).expect("optimizer");
+    let mut mtl_plan = TrainPlan::new();
+    let mut losses = Vec::new();
+
+    let mut rng = StdRng::seed_from(5);
     let mut stl_models: Vec<MtlSplitModel> = tasks()
         .iter()
         .map(|task| {
             MtlSplitModel::new(
                 BackboneKind::MobileStyle,
                 3,
-                20,
+                IMAGE,
                 std::slice::from_ref(task),
                 32,
                 &mut rng,
             )
-            .expect("model")
+            .expect("stl model")
         })
         .collect();
-    let mut stl_opts: Vec<Sgd> = stl_models.iter().map(|_| Sgd::new(0.01)).collect();
-    group.bench_function("stl_per_task", |bencher| {
-        bencher.iter(|| {
-            for (task_index, (model, opt)) in
-                stl_models.iter_mut().zip(stl_opts.iter_mut()).enumerate()
+    let mut stl_opts: Vec<AdamW> = stl_models
+        .iter()
+        .map(|_| AdamW::new(1e-3).expect("optimizer"))
+        .collect();
+    let mut stl_plans: Vec<TrainPlan> = stl_models.iter().map(|_| TrainPlan::new()).collect();
+
+    let mtl_step =
+        |mtl: &mut MtlSplitModel, opt: &mut AdamW, plan: &mut TrainPlan, losses: &mut Vec<f32>| {
+            mtl.train_batch_with(&images, &labels, opt, plan, losses)
+                .expect("mtl step");
+        };
+    // Warm-up both.
+    mtl_step(&mut mtl, &mut mtl_opt, &mut mtl_plan, &mut losses);
+    for (task_index, ((model, opt), plan)) in stl_models
+        .iter_mut()
+        .zip(stl_opts.iter_mut())
+        .zip(stl_plans.iter_mut())
+        .enumerate()
+    {
+        model
+            .train_batch_with(
+                &images,
+                &labels[task_index..=task_index],
+                opt,
+                plan,
+                &mut losses,
+            )
+            .expect("stl step");
+    }
+
+    let mtl_ms = best_ms(reps, || {
+        for _ in 0..steps {
+            mtl.train_batch_with(&images, &labels, &mut mtl_opt, &mut mtl_plan, &mut losses)
+                .expect("mtl step");
+        }
+    }) / steps as f64;
+    let stl_ms = best_ms(reps, || {
+        for _ in 0..steps {
+            for (task_index, ((model, opt), plan)) in stl_models
+                .iter_mut()
+                .zip(stl_opts.iter_mut())
+                .zip(stl_plans.iter_mut())
+                .enumerate()
             {
                 model
-                    .train_batch(&images, &labels[task_index..=task_index], opt)
-                    .expect("train batch");
+                    .train_batch_with(
+                        &images,
+                        &labels[task_index..=task_index],
+                        opt,
+                        plan,
+                        &mut losses,
+                    )
+                    .expect("stl step");
             }
-        });
-    });
-    group.finish();
+        }
+    }) / steps as f64;
+    (mtl_ms, stl_ms)
 }
 
-criterion_group!(benches, bench_mtl_step);
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+fn dump_json(training: &TrainingMeasurement, mtl_ms: f64, stl_ms: f64, quick: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"training\",\n  \"available_parallelism\": {cores},\n  \
+         \"quick\": {quick},\n  \"workload\": \"mobile_{IMAGE}x{IMAGE}_batch{BATCH}_2heads_adamw\",\n  \
+         \"steps\": {steps},\n  \"bit_identical_steps\": {identity},\n  \
+         \"planned\": {{\"allocs_per_step\": {pa:.1}, \"step_ms\": {pm:.4}}},\n  \
+         \"allocating\": {{\"allocs_per_step\": {aa:.1}, \"step_ms\": {am:.4}, \
+         \"speedup_planned\": {sp:.2}}},\n  \
+         \"seed_baseline\": {{\"allocs_per_step\": {sa:.1}, \"step_ms\": {sm:.4}, \
+         \"speedup_planned\": {ss:.2}}},\n  \
+         \"mtl_vs_stl\": {{\"mtl_joint_step_ms\": {mtl:.4}, \"stl_per_task_step_ms\": {stl:.4}, \
+         \"stl_over_mtl\": {ratio:.2}}}\n}}\n",
+        steps = training.steps,
+        identity = training.identity_steps,
+        pa = training.planned.allocs_per_step,
+        pm = training.planned.step_ms,
+        aa = training.allocating.allocs_per_step,
+        am = training.allocating.step_ms,
+        sp = training.allocating.step_ms / training.planned.step_ms,
+        sa = training.seed.allocs_per_step,
+        sm = training.seed.step_ms,
+        ss = training.seed.step_ms / training.planned.step_ms,
+        mtl = mtl_ms,
+        stl = stl_ms,
+        ratio = stl_ms / mtl_ms,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_training.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
+fn bench_training(_c: &mut Criterion) {
+    // The per-worker/edge regime: kernels single-threaded on the calling
+    // thread, so the zero-allocation assertion is not confounded by scoped
+    // worker-thread spawns inside the large GEMMs.
+    Parallelism::single().make_current();
+    let quick = quick_mode();
+    let reps = if quick { 3 } else { 7 };
+    let steps = if quick { 6 } else { 20 };
+    let identity_steps = if quick { 3 } else { 6 };
+
+    let training = measure_training(reps, steps, identity_steps);
+    println!(
+        "planned training step: 0 allocs, {:.3} ms | allocating: {:.1} allocs, {:.3} ms ({:.2}x) \
+         | seed baseline: {:.1} allocs, {:.3} ms ({:.2}x)",
+        training.planned.step_ms,
+        training.allocating.allocs_per_step,
+        training.allocating.step_ms,
+        training.allocating.step_ms / training.planned.step_ms,
+        training.seed.allocs_per_step,
+        training.seed.step_ms,
+        training.seed.step_ms / training.planned.step_ms,
+    );
+
+    let (mtl_ms, stl_ms) = measure_mtl_vs_stl(reps, steps.min(10));
+    println!(
+        "mtl joint step {mtl_ms:.3} ms vs stl per-task {stl_ms:.3} ms ({:.2}x saved by sharing \
+         the backbone)",
+        stl_ms / mtl_ms
+    );
+
+    dump_json(&training, mtl_ms, stl_ms, quick);
+    Parallelism::auto().make_current();
+}
+
+criterion_group!(benches, bench_training);
 criterion_main!(benches);

@@ -108,10 +108,7 @@ impl Preset {
         let base = self.train_config(seed);
         match self {
             Preset::Quick => FineTuneConfig {
-                pretrain: TrainConfig {
-                    epochs: 2,
-                    ..base.clone()
-                },
+                pretrain: TrainConfig { epochs: 2, ..base },
                 finetune: TrainConfig {
                     epochs: 3,
                     learning_rate: 2e-3,
@@ -120,10 +117,7 @@ impl Preset {
                 backbone_ratio: 0.1,
             },
             Preset::Full => FineTuneConfig {
-                pretrain: TrainConfig {
-                    epochs: 6,
-                    ..base.clone()
-                },
+                pretrain: TrainConfig { epochs: 6, ..base },
                 finetune: TrainConfig {
                     epochs: 10,
                     learning_rate: 1e-3,

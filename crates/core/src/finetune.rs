@@ -15,7 +15,7 @@ use crate::model::MtlSplitModel;
 use crate::trainer::{train_model, train_mtl, TrainConfig, TrainOutcome};
 
 /// Hyper-parameters of a pre-train → fine-tune experiment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FineTuneConfig {
     /// Configuration of the pre-training phase (on the source corpus).
     pub pretrain: TrainConfig,
@@ -129,9 +129,12 @@ pub fn finetune_from(
         config.finetune.head_hidden,
         &mut rng,
     )?;
+    // Plain copy (`TrainConfig` is `Copy`), no clone. The planned-training
+    // TrainPlan inside `train_model` is shared across the whole fine-tuning
+    // run, exactly as in joint training.
     let finetune_config = TrainConfig {
         backbone_lr_scale: config.backbone_ratio,
-        ..config.finetune.clone()
+        ..config.finetune
     };
     train_model(model, target_train, target_test, &finetune_config)
 }

@@ -2,7 +2,7 @@
 
 use mtlsplit_data::TaskSpec;
 use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind, TaskHead};
-use mtlsplit_nn::{CrossEntropyLoss, InferPlan, Layer, Optimizer, Parameter, RunMode};
+use mtlsplit_nn::{CrossEntropyLoss, InferPlan, Layer, Optimizer, Parameter, RunMode, TrainPlan};
 use mtlsplit_tensor::{StdRng, Tensor};
 
 use crate::error::{CoreError, Result};
@@ -165,11 +165,20 @@ impl MtlSplitModel {
         params
     }
 
-    /// Resets every accumulated gradient.
-    pub fn zero_grad(&mut self) {
-        for p in self.parameters_mut() {
-            p.zero_grad();
+    /// Visits every trainable parameter in the model's stable order
+    /// (backbone first, then each head) without building intermediate
+    /// `Vec`s — the allocation-free counterpart of
+    /// [`MtlSplitModel::parameters_mut`] used by the planned training step.
+    pub fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.backbone.for_each_parameter(f);
+        for head in &mut self.heads {
+            head.for_each_parameter(f);
         }
+    }
+
+    /// Resets every accumulated gradient (in place — no allocations).
+    pub fn zero_grad(&mut self) {
+        self.for_each_parameter(&mut |p| p.zero_grad());
     }
 
     /// Applies the fine-tuning learning-rate split of Eqs. 5–6: heads keep
@@ -210,6 +219,44 @@ impl MtlSplitModel {
                 RunMode::Train {
                     rng: &mut self.train_rng,
                 },
+            )?);
+        }
+        Ok((features, outputs))
+    }
+
+    /// [`MtlSplitModel::train_forward`] on a caller-owned [`TrainPlan`]: the
+    /// shared representation, every head's logits, and every layer's
+    /// backward cache come from the plan's reusable arena, so steady-state
+    /// training steps perform no heap allocations inside the forward pass.
+    ///
+    /// The returned tensors are arena-backed: recycle them via
+    /// [`TrainPlan::recycle`] once consumed. Outputs, caches, and RNG draw
+    /// order are bit-identical to [`MtlSplitModel::train_forward`] for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the backbone.
+    pub fn train_forward_with(
+        &mut self,
+        images: &Tensor,
+        plan: &mut TrainPlan,
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        let features = self.backbone.forward_into(
+            images,
+            RunMode::Train {
+                rng: &mut self.train_rng,
+            },
+            plan.arena(),
+        )?;
+        let mut outputs = Vec::with_capacity(self.heads.len());
+        for head in &mut self.heads {
+            outputs.push(head.forward_into(
+                &features,
+                RunMode::Train {
+                    rng: &mut self.train_rng,
+                },
+                plan.arena(),
             )?);
         }
         Ok((features, outputs))
@@ -300,6 +347,101 @@ impl MtlSplitModel {
         self.backbone.backward(&grad_features)?;
         optimizer.step(&mut self.parameters_mut())?;
         Ok(losses)
+    }
+
+    /// [`MtlSplitModel::train_batch`] on a caller-owned [`TrainPlan`]: the
+    /// planned, zero-allocation training step.
+    ///
+    /// Every activation, layer cache, gradient and optimizer update runs on
+    /// recycled arena buffers and in-place sweeps; after the first (warm-up)
+    /// step a steady-state step performs **zero heap allocations** (the
+    /// training bench machine-checks this in the single-threaded regime;
+    /// multi-threaded runs additionally spawn scoped worker threads inside
+    /// the GEMMs). Per-task losses land in `losses` (cleared, then filled in
+    /// head order) so the hot loop does not return a fresh `Vec` per step.
+    ///
+    /// Head forwards and backwards are interleaved (forward → loss →
+    /// backward per head, in head order) instead of two sweeps; no RNG
+    /// draw, running-statistic update, or gradient-accumulation order
+    /// changes, so the resulting parameters are bit-identical to
+    /// [`MtlSplitModel::train_batch`] — parameter-for-parameter across a
+    /// whole training run, for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the label vectors do not match the model's tasks
+    /// or the batch size.
+    pub fn train_batch_with(
+        &mut self,
+        images: &Tensor,
+        labels: &[Vec<usize>],
+        optimizer: &mut dyn Optimizer,
+        plan: &mut TrainPlan,
+        losses: &mut Vec<f32>,
+    ) -> Result<()> {
+        if labels.len() != self.heads.len() {
+            return Err(CoreError::Incompatible {
+                reason: format!(
+                    "model has {} heads but {} label vectors were provided",
+                    self.heads.len(),
+                    labels.len()
+                ),
+            });
+        }
+        losses.clear();
+        self.zero_grad();
+        let features = self.backbone.forward_into(
+            images,
+            RunMode::Train {
+                rng: &mut self.train_rng,
+            },
+            plan.arena(),
+        )?;
+        // Gradient of L_total with respect to the shared representation Z_b
+        // is the sum of each task's contribution — accumulated into a
+        // zero-filled arena buffer, ascending head order as in `train_batch`.
+        let mut grad_features = {
+            let mut buffer = plan.arena().take(features.len());
+            buffer.fill(0.0);
+            Tensor::from_vec(buffer, features.dims())?
+        };
+        for (head_idx, head) in self.heads.iter_mut().enumerate() {
+            let logits = head.forward_into(
+                &features,
+                RunMode::Train {
+                    rng: &mut self.train_rng,
+                },
+                plan.arena(),
+            )?;
+            let (loss_value, grad_logits) =
+                self.loss
+                    .forward_backward_into(&logits, &labels[head_idx], plan.arena())?;
+            losses.push(loss_value);
+            let grad = head.backward_into(&grad_logits, plan.arena())?;
+            grad_features.add_scaled_inplace(&grad, 1.0)?;
+            plan.recycle(logits);
+            plan.recycle(grad_logits);
+            plan.recycle(grad);
+        }
+        // Images are raw data: the first backbone stage skips its
+        // input-gradient kernels entirely (parameter gradients unchanged).
+        self.backbone
+            .backward_into_discarding_input(&grad_features, plan.arena())?;
+        plan.recycle(grad_features);
+        plan.recycle(features);
+        // Optimizer sweep through the parameter visitor: no `Vec<&mut
+        // Parameter>` is built, every update runs in place.
+        optimizer.begin_step();
+        let mut index = 0usize;
+        let mut status = Ok(());
+        self.for_each_parameter(&mut |p| {
+            if status.is_ok() {
+                status = optimizer.update_param(index, p);
+            }
+            index += 1;
+        });
+        status?;
+        Ok(())
     }
 
     /// Per-task predicted class indices for a batch (inference mode,
@@ -436,6 +578,47 @@ mod tests {
         assert!(
             last < first,
             "joint loss should fall when overfitting one batch: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn planned_train_batch_matches_allocating_train_batch_bitwise() {
+        // Two identical models stepped on the same batches, one through the
+        // allocating `train_batch`, one through the planned
+        // `train_batch_with`: losses and every parameter must stay `==`
+        // step after step, and the plan must stop taking fresh memory after
+        // the warm-up step.
+        let mut reference = tiny_model();
+        let mut planned = tiny_model();
+        let mut opt_ref = Sgd::new(0.05);
+        let mut opt_planned = Sgd::new(0.05);
+        let mut plan = TrainPlan::new();
+        let mut losses = Vec::new();
+        let mut rng = StdRng::seed_from(6);
+        let labels = vec![vec![0, 1, 2, 3, 0, 1, 2, 3], vec![0, 1, 2, 0, 1, 2, 0, 1]];
+        let mut warmed = None;
+        for step in 0..4 {
+            let x = Tensor::randn(&[8, 3, 16, 16], 0.5, 0.2, &mut rng);
+            let loss_ref = reference.train_batch(&x, &labels, &mut opt_ref).unwrap();
+            planned
+                .train_batch_with(&x, &labels, &mut opt_planned, &mut plan, &mut losses)
+                .unwrap();
+            assert_eq!(losses, loss_ref, "step {step}: losses diverged");
+            for (a, b) in planned
+                .parameters_mut()
+                .iter()
+                .zip(reference.parameters_mut())
+            {
+                assert_eq!(a.value(), b.value(), "step {step}: parameters diverged");
+            }
+            if step == 0 {
+                warmed = Some(plan.fresh_allocations());
+            }
+        }
+        assert_eq!(
+            plan.fresh_allocations(),
+            warmed.unwrap(),
+            "steady-state planned training steps must not take fresh memory"
         );
     }
 

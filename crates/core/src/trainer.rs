@@ -2,7 +2,7 @@
 
 use mtlsplit_data::{DataLoader, MultiTaskDataset};
 use mtlsplit_models::BackboneKind;
-use mtlsplit_nn::AdamW;
+use mtlsplit_nn::{AdamW, TrainPlan};
 use mtlsplit_tensor::{Parallelism, StdRng};
 
 use crate::error::{CoreError, Result};
@@ -10,7 +10,10 @@ use crate::metrics::TaskAccuracy;
 use crate::model::MtlSplitModel;
 
 /// Hyper-parameters for one training run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every field is `Copy`, and so is the config itself — per-task and
+/// per-phase derived configs are plain copies, never heap clones.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -30,6 +33,11 @@ pub struct TrainConfig {
     /// the training thread's ambient [`Parallelism`]). Results are
     /// bit-identical whatever the value; it only changes wall-clock time.
     pub parallelism: Parallelism,
+    /// Whether to run training steps on the planned, zero-allocation
+    /// [`TrainPlan`] runtime (the default) or the allocating layer-wise
+    /// path. Results are bit-identical either way — the flag exists for
+    /// benchmarks and the equivalence tests that prove it.
+    pub use_train_plan: bool,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +50,7 @@ impl Default for TrainConfig {
             seed: 7,
             backbone_lr_scale: 1.0,
             parallelism: Parallelism::auto(),
+            use_train_plan: true,
         }
     }
 }
@@ -131,13 +140,32 @@ pub fn train_model(
     let mut loader = DataLoader::new(train, config.batch_size, true, config.seed);
     let mut loss_history = Vec::with_capacity(config.epochs);
 
+    // One TrainPlan for the whole run: the first step is the warm-up that
+    // sizes every activation/cache/gradient buffer; every later step —
+    // across batches and epochs — reuses them (zero steady-state heap
+    // allocations per step). The per-step losses land in one reusable
+    // buffer for the same reason. The epoch loop itself clones nothing —
+    // no config, metric, or model state is copied per epoch or per batch.
+    let mut plan = TrainPlan::new();
+    let mut batch_losses: Vec<f32> = Vec::new();
     for _epoch in 0..config.epochs {
         loader.reset();
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
         while let Some(batch) = loader.next_batch()? {
-            let losses = model.train_batch(&batch.images, &batch.labels, &mut optimizer)?;
-            epoch_loss += losses.iter().sum::<f32>();
+            if config.use_train_plan {
+                model.train_batch_with(
+                    &batch.images,
+                    &batch.labels,
+                    &mut optimizer,
+                    &mut plan,
+                    &mut batch_losses,
+                )?;
+                epoch_loss += batch_losses.iter().sum::<f32>();
+            } else {
+                let losses = model.train_batch(&batch.images, &batch.labels, &mut optimizer)?;
+                epoch_loss += losses.iter().sum::<f32>();
+            }
             batches += 1;
         }
         loss_history.push(epoch_loss / batches.max(1) as f32);
@@ -199,9 +227,11 @@ pub fn train_stl(
         let train_single = train.select_tasks(&[task_index])?;
         let test_single = test.select_tasks(&[task_index])?;
         // Offset the seed per task so the baselines are independent runs.
+        // `TrainConfig` is `Copy`, so deriving the per-task config clones
+        // nothing.
         let config_single = TrainConfig {
             seed: config.seed.wrapping_add(task_index as u64 + 1),
-            ..config.clone()
+            ..*config
         };
         let outcome = train_mtl(kind, &train_single, &test_single, &config_single)?;
         accuracies.extend(outcome.accuracies);

@@ -198,6 +198,23 @@ impl Backbone {
         &self.stage_footprint
     }
 
+    /// The planned backward pass with the image gradient discarded: raw
+    /// pixels need no gradient, so the first stage skips its input-gradient
+    /// kernels entirely. Parameter gradients are bit-identical to
+    /// [`Layer::backward_into`] followed by discarding its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before a train-mode forward or with a
+    /// mismatched gradient shape.
+    pub fn backward_into_discarding_input(
+        &mut self,
+        grad_output: &Tensor,
+        ctx: &mut TensorArena,
+    ) -> Result<()> {
+        self.net.backward_into_discarding_input(grad_output, ctx)
+    }
+
     /// Total activation elements per sample across all stages.
     pub fn activation_elements(&self) -> usize {
         self.stage_footprint.iter().map(|(_, n)| n).sum()
@@ -213,12 +230,29 @@ impl Layer for Backbone {
         self.net.infer(input)
     }
 
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        self.net.forward_into(input, mode, ctx)
+    }
+
     fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
         self.net.infer_into(input, ctx)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         self.net.backward(grad_output)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.net.backward_into(grad_output, ctx)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.net.for_each_parameter(f);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

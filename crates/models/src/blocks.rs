@@ -78,6 +78,41 @@ impl Layer for SqueezeExcite {
         Ok(output)
     }
 
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer_into(input, ctx);
+        }
+        self.check_input(input)?;
+        // Recycle the previous step's cache buffers before taking this
+        // step's — the cross-step reuse that keeps the plan allocation-free.
+        if let Some(old) = self.cache.take() {
+            ctx.recycle(old.input);
+            ctx.recycle(old.scale);
+        }
+        let dims = input.dims();
+        let (batch, channels) = (dims[0], dims[1]);
+        let mut pooled_buf = ctx.take(batch * channels);
+        global_avg_pool2d_into(input, &mut pooled_buf)?;
+        let pooled = Tensor::from_vec(pooled_buf, &[batch, channels])?;
+        let scale = self.gate.forward_into(&pooled, mode, ctx)?;
+        let mut out = ctx.take(input.len());
+        write_scaled_channels(input, &scale, &mut out);
+        let output = Tensor::from_vec(out, dims)?;
+        ctx.recycle(pooled);
+        let mut cached_input = ctx.take(input.len());
+        cached_input.copy_from_slice(input.as_slice());
+        self.cache = Some(SeCache {
+            input: Tensor::from_vec(cached_input, dims)?,
+            scale,
+        });
+        Ok(output)
+    }
+
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         self.check_input(input)?;
         let pooled = global_avg_pool2d(input)?;
@@ -101,6 +136,49 @@ impl Layer for SqueezeExcite {
         ctx.recycle(pooled);
         ctx.recycle(scale);
         Ok(result)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "SqueezeExcite",
+        })?;
+        let input_shape = cache.input.shape().clone();
+        let dims = input_shape.dims();
+        let (batch, channels, height, width) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = height * width;
+        // Direct path: dL/dx = dL/dy * scale (broadcast over space), into an
+        // arena buffer.
+        let mut grad_input = ctx.take(grad_output.len());
+        write_scaled_channels(grad_output, &cache.scale, &mut grad_input);
+        // Gate path: dL/dscale[b, c] = sum_{h,w} dL/dy * x.
+        let mut grad_scale = ctx.take(batch * channels);
+        let go = grad_output.as_slice();
+        let x = cache.input.as_slice();
+        for b in 0..batch {
+            for c in 0..channels {
+                let base = (b * channels + c) * plane;
+                grad_scale[b * channels + c] =
+                    (0..plane).map(|i| go[base + i] * x[base + i]).sum::<f32>();
+            }
+        }
+        let grad_scale = Tensor::from_vec(grad_scale, &[batch, channels])?;
+        let grad_pooled = self.gate.backward_into(&grad_scale, ctx)?;
+        ctx.recycle(grad_scale);
+        // The pooled value is the spatial mean, so its gradient spreads
+        // uniformly over the plane.
+        let gp = grad_pooled.as_slice();
+        let norm = 1.0 / plane.max(1) as f32;
+        for b in 0..batch {
+            for c in 0..channels {
+                let g = gp[b * channels + c] * norm;
+                let base = (b * channels + c) * plane;
+                for v in &mut grad_input[base..base + plane] {
+                    *v += g;
+                }
+            }
+        }
+        ctx.recycle(grad_pooled);
+        Ok(Tensor::from_vec(grad_input, dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -141,6 +219,10 @@ impl Layer for SqueezeExcite {
             }
         }
         Ok(grad_input)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.gate.for_each_parameter(f);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -193,7 +275,9 @@ fn write_scaled_channels(input: &Tensor, scale: &Tensor, out: &mut [f32]) {
 pub struct MbConvBlock {
     body: Sequential,
     use_skip: bool,
-    cached_input_dims: Option<Vec<usize>>,
+    // Presence marks a completed train-mode forward; stored inline so the
+    // per-step cache write never heap-allocates.
+    cached_input_dims: Option<mtlsplit_tensor::Shape>,
 }
 
 impl MbConvBlock {
@@ -247,13 +331,36 @@ impl Layer for MbConvBlock {
         if !mode.is_train() {
             return self.infer(input);
         }
-        self.cached_input_dims = Some(input.dims().to_vec());
+        self.cached_input_dims = Some(input.shape().clone());
         let out = self.body.forward(input, mode)?;
         if self.use_skip {
             Ok(out.add(input)?)
         } else {
             Ok(out)
         }
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer_into(input, ctx);
+        }
+        self.cached_input_dims = Some(input.shape().clone());
+        let mut out = self.body.forward_into(input, mode, ctx)?;
+        if self.use_skip {
+            // In-place skip add, same element chain as `Tensor::add`.
+            if out.dims() != input.dims() {
+                return Ok(out.add(input)?); // canonical shape error
+            }
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                *o += x;
+            }
+        }
+        Ok(out)
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
@@ -294,6 +401,33 @@ impl Layer for MbConvBlock {
         } else {
             Ok(grad_body)
         }
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        if self.cached_input_dims.is_none() {
+            return Err(NnError::MissingForwardCache {
+                layer: "MbConvBlock",
+            });
+        }
+        let mut grad_body = self.body.backward_into(grad_output, ctx)?;
+        if self.use_skip {
+            // In-place skip add, same element chain as `Tensor::add`.
+            if grad_body.dims() != grad_output.dims() {
+                return Ok(grad_body.add(grad_output)?); // canonical shape error
+            }
+            for (g, &go) in grad_body
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_output.as_slice())
+            {
+                *g += go;
+            }
+        }
+        Ok(grad_body)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.body.for_each_parameter(f);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

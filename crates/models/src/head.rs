@@ -102,6 +102,15 @@ impl Layer for TaskHead {
         self.net.infer(input)
     }
 
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        self.net.forward_into(input, mode, ctx)
+    }
+
     fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
         // The Linear→ReLU pair inside fuses into one GEMM on this path.
         self.net.infer_into(input, ctx)
@@ -109,6 +118,16 @@ impl Layer for TaskHead {
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         self.net.backward(grad_output)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        // The ReLU's gradient mask fuses into the second Linear's backward
+        // GEMM on this path.
+        self.net.backward_into(grad_output, ctx)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.net.for_each_parameter(f);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

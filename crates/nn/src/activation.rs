@@ -1,7 +1,7 @@
 //! Point-wise activation layers: ReLU, sigmoid, and the hard variants used by
 //! MobileNetV3-style networks.
 
-use mtlsplit_tensor::{EpilogueActivation, Tensor, TensorArena};
+use mtlsplit_tensor::{ActivationGrad, EpilogueActivation, GradMask, Tensor, TensorArena};
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
@@ -33,6 +33,18 @@ macro_rules! pointwise_activation {
                 self.infer(input)
             }
 
+            fn forward_into(
+                &mut self,
+                input: &Tensor,
+                mode: RunMode<'_>,
+                ctx: &mut TensorArena,
+            ) -> Result<Tensor> {
+                if mode.is_train() {
+                    crate::cache_from_arena(&mut self.cached_input, input, ctx)?;
+                }
+                self.infer_into(input, ctx)
+            }
+
             fn infer(&self, input: &Tensor) -> Result<Tensor> {
                 let f: fn(f32) -> f32 = $forward;
                 Ok(input.map(f))
@@ -51,6 +63,17 @@ macro_rules! pointwise_activation {
                 $fused
             }
 
+            fn fused_grad_mask(&self) -> Option<GradMask<'_>> {
+                let fused: Option<EpilogueActivation> = $fused;
+                match (&self.cached_input, fused) {
+                    (Some(input), Some(activation)) => Some(GradMask {
+                        input: input.as_slice(),
+                        grad: activation.grad(),
+                    }),
+                    _ => None,
+                }
+            }
+
             fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
                 let input = self
                     .cached_input
@@ -59,6 +82,39 @@ macro_rules! pointwise_activation {
                 let d: fn(f32) -> f32 = $derivative;
                 let local = input.map(d);
                 Ok(grad_output.mul(&local)?)
+            }
+
+            fn backward_into(
+                &mut self,
+                grad_output: &Tensor,
+                ctx: &mut TensorArena,
+            ) -> Result<Tensor> {
+                let aligned = self
+                    .cached_input
+                    .as_ref()
+                    .ok_or(NnError::MissingForwardCache { layer: $label })?
+                    .dims()
+                    == grad_output.dims();
+                if !aligned {
+                    // Canonical shape error from the allocating path.
+                    return self.backward(grad_output);
+                }
+                let input = self
+                    .cached_input
+                    .as_ref()
+                    .ok_or(NnError::MissingForwardCache { layer: $label })?;
+                let d: fn(f32) -> f32 = $derivative;
+                // One fused sweep: `g * d(x)` per element, the same product
+                // the derivative-tensor-then-multiply path evaluates.
+                let mut out = ctx.take(grad_output.len());
+                for ((slot, &g), &x) in out
+                    .iter_mut()
+                    .zip(grad_output.as_slice())
+                    .zip(input.as_slice())
+                {
+                    *slot = g * d(x);
+                }
+                Ok(Tensor::from_vec(out, grad_output.dims())?)
             }
 
             fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -76,70 +132,57 @@ macro_rules! pointwise_activation {
     };
 }
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
 // Every fusable activation's forward delegates to the matching
-// `EpilogueActivation::apply`, so the scalar expression the standalone
-// layer evaluates and the one the fused GEMM epilogue evaluates are one
-// definition — the bit-identity between the planned/fused and allocating
-// paths is structural, not a manually-synced duplicate. (The derivatives
-// below are training-only and carry no such contract.)
+// `EpilogueActivation::apply`, and every derivative to the matching
+// `ActivationGrad::derivative`, so the scalar expressions the standalone
+// layers evaluate, the ones the fused GEMM epilogues evaluate (forward
+// activation and backward gradient mask alike), are each one definition —
+// the bit-identity between the planned/fused and allocating paths is
+// structural, not a manually-synced duplicate.
 
 pointwise_activation!(
     /// Rectified linear unit: `max(0, x)`.
     ///
     /// The paper's task-solving heads are "two linear layers activated by the
     /// Rectified Linear Activation Unit". A preceding GEMM layer can absorb
-    /// this layer into its fused epilogue.
+    /// this layer into its fused epilogue (forward), and its gradient mask
+    /// into its backward GEMM's write-back.
     Relu,
     "Relu",
     Some(EpilogueActivation::Relu),
     |x| EpilogueActivation::Relu.apply(x),
-    |x| if x > 0.0 { 1.0 } else { 0.0 }
+    |x| ActivationGrad::Relu.derivative(x)
 );
 
 pointwise_activation!(
     /// Logistic sigmoid activation. Fusable into a preceding GEMM layer's
-    /// epilogue.
+    /// epilogue, forward and backward.
     Sigmoid,
     "Sigmoid",
     Some(EpilogueActivation::Sigmoid),
     |x| EpilogueActivation::Sigmoid.apply(x),
-    |x| {
-        let s = sigmoid(x);
-        s * (1.0 - s)
-    }
+    |x| ActivationGrad::Sigmoid.derivative(x)
 );
 
 pointwise_activation!(
     /// Hard sigmoid: `clamp((x + 3) / 6, 0, 1)` — the cheap sigmoid
     /// approximation used inside MobileNetV3 squeeze-excite blocks.
-    /// Fusable into a preceding GEMM layer's epilogue.
+    /// Fusable into a preceding GEMM layer's epilogue, forward and backward.
     HardSigmoid,
     "HardSigmoid",
     Some(EpilogueActivation::HardSigmoid),
     |x| EpilogueActivation::HardSigmoid.apply(x),
-    |x| if x > -3.0 && x < 3.0 { 1.0 / 6.0 } else { 0.0 }
+    |x| ActivationGrad::HardSigmoid.derivative(x)
 );
 
 pointwise_activation!(
     /// Hard swish: `x * hard_sigmoid(x)` — MobileNetV3's main activation.
-    /// Fusable into a preceding GEMM layer's epilogue.
+    /// Fusable into a preceding GEMM layer's epilogue, forward and backward.
     HardSwish,
     "HardSwish",
     Some(EpilogueActivation::HardSwish),
     |x| EpilogueActivation::HardSwish.apply(x),
-    |x| {
-        if x <= -3.0 {
-            0.0
-        } else if x >= 3.0 {
-            1.0
-        } else {
-            (2.0 * x + 3.0) / 6.0
-        }
-    }
+    |x| ActivationGrad::HardSwish.derivative(x)
 );
 
 #[cfg(test)]

@@ -6,8 +6,9 @@
 //! `Parallelism` thread count.
 
 use mtlsplit_tensor::{
-    conv2d, conv2d_backward, conv2d_fused, ChannelNorm, Conv2dSpec, ConvFusion, EpilogueActivation,
-    StdRng, Tensor, TensorArena,
+    conv2d, conv2d_backward, conv2d_backward_into, conv2d_backward_params_into, conv2d_cols_len,
+    conv2d_fused, conv2d_fused_caching, ChannelNorm, Conv2dSpec, ConvFusion, EpilogueActivation,
+    GradMask, StdRng, Tensor, TensorArena,
 };
 
 use crate::error::{NnError, Result};
@@ -44,6 +45,12 @@ pub struct Conv2d {
     weight: Parameter,
     bias: Parameter,
     cached_input: Option<Tensor>,
+    /// Forward im2col columns cached by the planned training path (unit-
+    /// major, sized by `conv2d_cols_len` for the cached input), so the
+    /// backward weight-gradient GEMMs skip the second unfold. Only the
+    /// planned `forward_into` fills this; the allocating `forward` clears
+    /// it so a stale cache can never pair with a fresher input.
+    cached_cols: Option<Vec<f32>>,
 }
 
 impl Conv2d {
@@ -75,6 +82,7 @@ impl Conv2d {
             weight: Parameter::new(weight),
             bias: Parameter::new(Tensor::zeros(&[spec.out_channels])),
             cached_input: None,
+            cached_cols: None,
         }
     }
 
@@ -117,6 +125,59 @@ impl Conv2d {
         )?;
         Ok(Tensor::from_vec(out, &dims)?)
     }
+
+    /// The shared planned-backward kernel: all three gradients on arena
+    /// buffers, the forward-cached im2col columns (when the planned forward
+    /// produced them) feeding the weight-gradient GEMMs, and an optional
+    /// fused activation-gradient mask on the input gradient.
+    fn run_backward_into(
+        &mut self,
+        grad_output: &Tensor,
+        mask: Option<GradMask<'_>>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
+        let input_shape = input.shape().clone();
+        // Use the cached columns only when they demonstrably belong to the
+        // cached input (exact expected length); anything else recomputes.
+        let cols = match (&self.cached_cols, conv2d_cols_len(input, &self.spec)) {
+            (Some(cached), Ok(expected)) if cached.len() == expected && expected > 0 => {
+                Some(cached.as_slice())
+            }
+            _ => None,
+        };
+        let mut grad_input = ctx.take(input.len());
+        let mut grad_weight = ctx.take(self.weight.value().len());
+        let mut grad_bias = ctx.take(self.spec.out_channels);
+        let result = conv2d_backward_into(
+            input,
+            self.weight.value(),
+            grad_output,
+            &self.spec,
+            cols,
+            mask,
+            &mut grad_input,
+            &mut grad_weight,
+            &mut grad_bias,
+        );
+        if let Err(err) = result {
+            // Give the untouched buffers back before surfacing the error.
+            ctx.give(grad_input);
+            ctx.give(grad_weight);
+            ctx.give(grad_bias);
+            return Err(err.into());
+        }
+        let grad_weight = Tensor::from_vec(grad_weight, self.weight.value().dims())?;
+        self.weight.accumulate_grad(&grad_weight)?;
+        ctx.recycle(grad_weight);
+        let grad_bias = Tensor::from_vec(grad_bias, &[self.spec.out_channels])?;
+        self.bias.accumulate_grad(&grad_bias)?;
+        ctx.recycle(grad_bias);
+        Ok(Tensor::from_vec(grad_input, input_shape.dims())?)
+    }
 }
 
 impl Layer for Conv2d {
@@ -124,6 +185,9 @@ impl Layer for Conv2d {
         let out = self.infer(input)?;
         if mode.is_train() {
             self.cached_input = Some(input.clone());
+            // An allocating forward computes no column cache; drop any
+            // stale one so backward never pairs it with this input.
+            self.cached_cols = None;
         }
         Ok(out)
     }
@@ -135,6 +199,59 @@ impl Layer for Conv2d {
             Some(self.bias.value()),
             &self.spec,
         )?)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.run_infer_into(input, ConvFusion::none(), ctx);
+        }
+        // Recycle the previous step's column cache before deciding whether
+        // this input needs one (pointwise convolutions never unfold).
+        if let Some(old) = self.cached_cols.take() {
+            ctx.give(old);
+        }
+        let cols_len = match conv2d_cols_len(input, &self.spec) {
+            Ok(len) => len,
+            // Invalid input: let the plain path surface the canonical error.
+            Err(_) => return self.run_infer_into(input, ConvFusion::none(), ctx),
+        };
+        let out = if cols_len == 0 {
+            self.run_infer_into(input, ConvFusion::none(), ctx)?
+        } else {
+            let dims = input.dims();
+            let (out_h, out_w) = self.spec.output_size(dims[2], dims[3])?;
+            let mut out = ctx.take(dims[0] * self.spec.out_channels * out_h * out_w);
+            let mut cols = ctx.take(cols_len);
+            let result = conv2d_fused_caching(
+                input,
+                self.weight.value(),
+                Some(self.bias.value()),
+                &self.spec,
+                ConvFusion::none(),
+                &mut out,
+                &mut cols,
+            );
+            match result {
+                Ok(out_dims) => {
+                    self.cached_cols = Some(cols);
+                    Tensor::from_vec(out, &out_dims)?
+                }
+                Err(err) => {
+                    // Give the untouched buffers back before surfacing the
+                    // error, so a failed step does not shrink the pool.
+                    ctx.give(out);
+                    ctx.give(cols);
+                    return Err(err.into());
+                }
+            }
+        };
+        crate::cache_from_arena(&mut self.cached_input, input, ctx)?;
+        Ok(out)
     }
 
     fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
@@ -182,6 +299,75 @@ impl Layer for Conv2d {
         self.weight.accumulate_grad(&grad_weight)?;
         self.bias.accumulate_grad(&grad_bias)?;
         Ok(grad_input)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.run_backward_into(grad_output, None, ctx)
+    }
+
+    fn backward_into_masked(
+        &mut self,
+        grad_output: &Tensor,
+        mask: GradMask<'_>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        // Only absorb a mask that aligns element-for-element with this
+        // layer's input gradient; otherwise the caller runs the unfused
+        // path, which surfaces the canonical shape error.
+        let aligned = self
+            .cached_input
+            .as_ref()
+            .is_some_and(|input| input.len() == mask.input.len());
+        if !aligned {
+            return None;
+        }
+        Some(self.run_backward_into(grad_output, Some(mask), ctx))
+    }
+
+    fn backward_into_params_only(
+        &mut self,
+        grad_output: &Tensor,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<()>> {
+        // A missing cache falls back to the full path, which surfaces the
+        // canonical error.
+        let input = self.cached_input.as_ref()?;
+        let cols = match (&self.cached_cols, conv2d_cols_len(input, &self.spec)) {
+            (Some(cached), Ok(expected)) if cached.len() == expected && expected > 0 => {
+                Some(cached.as_slice())
+            }
+            _ => None,
+        };
+        let mut grad_weight = ctx.take(self.weight.value().len());
+        let mut grad_bias = ctx.take(self.spec.out_channels);
+        let result = conv2d_backward_params_into(
+            input,
+            grad_output,
+            &self.spec,
+            cols,
+            &mut grad_weight,
+            &mut grad_bias,
+        );
+        if let Err(err) = result {
+            ctx.give(grad_weight);
+            ctx.give(grad_bias);
+            return Some(Err(err.into()));
+        }
+        let accumulate = || -> Result<()> {
+            let grad_weight = Tensor::from_vec(grad_weight, self.weight.value().dims())?;
+            self.weight.accumulate_grad(&grad_weight)?;
+            ctx.recycle(grad_weight);
+            let grad_bias = Tensor::from_vec(grad_bias, &[self.spec.out_channels])?;
+            self.bias.accumulate_grad(&grad_bias)?;
+            ctx.recycle(grad_bias);
+            Ok(())
+        };
+        Some(accumulate())
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -256,8 +442,34 @@ impl Layer for DepthwiseConv2d {
         self.inner.infer_into_normed(input, norm, activation, ctx)
     }
 
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        self.inner.forward_into(input, mode, ctx)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         self.inner.backward(grad_output)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.inner.backward_into(grad_output, ctx)
+    }
+
+    fn backward_into_masked(
+        &mut self,
+        grad_output: &Tensor,
+        mask: GradMask<'_>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        self.inner.backward_into_masked(grad_output, mask, ctx)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.inner.for_each_parameter(f);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -321,8 +533,34 @@ impl Layer for PointwiseConv2d {
         self.inner.infer_into_normed(input, norm, activation, ctx)
     }
 
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        self.inner.forward_into(input, mode, ctx)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         self.inner.backward(grad_output)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.inner.backward_into(grad_output, ctx)
+    }
+
+    fn backward_into_masked(
+        &mut self,
+        grad_output: &Tensor,
+        mask: GradMask<'_>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        self.inner.backward_into_masked(grad_output, mask, ctx)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.inner.for_each_parameter(f);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

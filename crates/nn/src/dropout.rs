@@ -66,6 +66,40 @@ impl Layer for Dropout {
         Ok(input.clone())
     }
 
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        let RunMode::Train { rng } = mode else {
+            return self.infer_into(input, ctx);
+        };
+        // The replaced mask buffer goes back to the arena — cross-step
+        // reuse, exactly like the activation caches.
+        if let Some(old) = self.mask.take() {
+            ctx.recycle(old);
+        }
+        let mut mask = ctx.take(input.len());
+        if self.p == 0.0 {
+            mask.fill(1.0);
+        } else {
+            let keep = 1.0 - self.p;
+            let scale = 1.0 / keep;
+            // Same RNG draw order as the allocating path: one `chance`
+            // call per element, in order.
+            for value in mask.iter_mut() {
+                *value = if rng.chance(keep) { scale } else { 0.0 };
+            }
+        }
+        let mut out = ctx.take(input.len());
+        for ((slot, &x), &m) in out.iter_mut().zip(input.as_slice()).zip(&mask) {
+            *slot = x * m;
+        }
+        self.mask = Some(Tensor::from_vec(mask, input.dims())?);
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
     fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
         // Inference dropout is the identity; the copy lands in a recycled
         // arena buffer instead of a fresh clone.
@@ -80,6 +114,32 @@ impl Layer for Dropout {
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "Dropout" })?;
         Ok(grad_output.mul(mask)?)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let aligned = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Dropout" })?
+            .dims()
+            == grad_output.dims();
+        if !aligned {
+            // Canonical shape error from the allocating path.
+            return self.backward(grad_output);
+        }
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Dropout" })?;
+        let mut out = ctx.take(grad_output.len());
+        for ((slot, &g), &m) in out
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(mask.as_slice())
+        {
+            *slot = g * m;
+        }
+        Ok(Tensor::from_vec(out, grad_output.dims())?)
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

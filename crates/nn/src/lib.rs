@@ -22,6 +22,36 @@
 //! takes `&self`, never mutates, and therefore lets a frozen model be shared
 //! across threads behind an `Arc`.
 //!
+//! # The planned, zero-allocation runtimes
+//!
+//! Both phases have a planned counterpart running on a recycled-buffer
+//! [`TensorArena`]:
+//!
+//! * **Inference** — [`Layer::infer_into`] draws every output from the
+//!   arena and [`InferPlan`] packages the per-caller arena with a warm-up
+//!   pass; adjacent fusable layers (conv → batch-norm → activation,
+//!   GEMM → activation) collapse into single fused kernels at plan time.
+//! * **Training** — [`Layer::forward_into`] / [`Layer::backward_into`] are
+//!   the training twins: outputs, cached activations, and every gradient
+//!   temporary come from the arena, replaced caches recycle the buffer the
+//!   previous step used (cross-step reuse), and [`TrainPlan`] packages the
+//!   arena for a whole training loop — after the first (warm-up) step, a
+//!   steady-state training step performs **zero heap allocations**. On the
+//!   backward pass, a GEMM-backed layer preceded by a fusable activation
+//!   absorbs the activation's gradient mask into its input-gradient
+//!   kernel's write-back ([`GradMask`] riding [`mtlsplit_tensor::Epilogue::Mask`]),
+//!   a `Linear` layer's bias-gradient reduction runs on the GEMM's
+//!   single-row GEMV fast path instead of a separate sum pass, and a
+//!   network's first layer can skip its input gradient entirely
+//!   ([`Layer::backward_into_params_only`]).
+//!
+//! Both default-implement via the allocating paths, so third-party layers
+//! keep working unchanged. The contract mirrors `infer_into`'s: planned
+//! results — outputs, caches, input gradients, parameter gradients, and
+//! therefore every parameter over a full training run — must be
+//! bit-identical to the allocating path for every thread count
+//! (property-tested at the workspace level).
+//!
 //! # Example
 //!
 //! ```
@@ -81,13 +111,13 @@ pub use loss::{CrossEntropyLoss, MseLoss};
 pub use norm::BatchNorm2d;
 pub use optim::{AdamW, LrSchedule, Optimizer, Sgd};
 pub use param::Parameter;
-pub use plan::InferPlan;
+pub use plan::{InferPlan, TrainPlan};
 pub use pool_layer::{AvgPool2d, GlobalAvgPool2d, MaxPool2d};
 pub use sequential::Sequential;
 
-// Re-exported so planned-inference callers need no direct tensor-crate
-// dependency for the arena/epilogue vocabulary.
-pub use mtlsplit_tensor::{ChannelNorm, EpilogueActivation, TensorArena};
+// Re-exported so planned-inference and planned-training callers need no
+// direct tensor-crate dependency for the arena/epilogue vocabulary.
+pub use mtlsplit_tensor::{ActivationGrad, ChannelNorm, EpilogueActivation, GradMask, TensorArena};
 
 use mtlsplit_tensor::{StdRng, Tensor};
 
@@ -252,6 +282,38 @@ pub trait Layer: Send + Sync {
         None
     }
 
+    /// Runs the layer under `mode`, drawing the output — and, in
+    /// [`RunMode::Train`], every cached activation — from `ctx` instead of
+    /// the heap.
+    ///
+    /// This is the planned, zero-allocation *training* counterpart of
+    /// [`Layer::infer_into`]: implementations take output and cache storage
+    /// with [`TensorArena::take`] (contents unspecified — they must
+    /// overwrite every element) and recycle the cache buffers they replace,
+    /// so after the first (warm-up) step a training loop reuses the same
+    /// memory across steps. Results and cached state must be bit-identical
+    /// to [`Layer::forward`].
+    ///
+    /// The default implementation runs the allocating [`Layer::forward`] in
+    /// train mode (so third-party layers keep working unchanged) and the
+    /// planned [`Layer::infer_into`] in infer mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if mode.is_train() {
+            self.forward(input, mode)
+        } else {
+            self.infer_into(input, ctx)
+        }
+    }
+
     /// Propagates `grad_output` backwards through the layer, returning the
     /// gradient with respect to the layer input and accumulating parameter
     /// gradients.
@@ -261,6 +323,92 @@ pub trait Layer: Send + Sync {
     /// Returns an error if called before `forward` or with a gradient whose
     /// shape does not match the cached activation.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// [`Layer::backward`] drawing the returned input gradient — and every
+    /// gradient temporary — from `ctx` instead of the heap.
+    ///
+    /// Implementations accumulate parameter gradients exactly like
+    /// [`Layer::backward`] (the temporaries go back to the arena once
+    /// accumulated) and must produce bit-identical gradients. The *caller*
+    /// recycles the returned tensor once consumed. The default
+    /// implementation simply calls the allocating [`Layer::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before a train-mode forward or with a
+    /// mismatched gradient shape.
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let _ = ctx;
+        self.backward(grad_output)
+    }
+
+    /// If this layer is a pure element-wise activation whose backward pass a
+    /// preceding GEMM-backed layer can absorb into its backward GEMM's
+    /// write-back, returns the mask (derivative kind plus the cached forward
+    /// input it is evaluated at).
+    ///
+    /// [`Sequential`] consults this during its planned backward pass: when
+    /// layer `i - 1` reports a mask and layer `i` accepts it via
+    /// [`Layer::backward_into_masked`], the activation's backward collapses
+    /// into layer `i`'s input-gradient GEMM. Returns `None` (the default)
+    /// when the layer is not a fusable activation or has no cached forward
+    /// input yet.
+    fn fused_grad_mask(&self) -> Option<GradMask<'_>> {
+        None
+    }
+
+    /// Runs the layer's backward pass with a following (in backward order)
+    /// activation's gradient mask fused into the input-gradient kernel's
+    /// write-back, if the layer supports it.
+    ///
+    /// Returns `None` when the layer cannot absorb the mask (the default,
+    /// and also the right answer when the mask does not align with the
+    /// layer's input gradient), in which case the caller runs the unfused
+    /// two-step path. When fusion happens, the result must be bit-identical
+    /// to [`Layer::backward`] followed by the activation layer's own
+    /// backward pass.
+    fn backward_into_masked(
+        &mut self,
+        grad_output: &Tensor,
+        mask: GradMask<'_>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        let _ = (grad_output, mask, ctx);
+        None
+    }
+
+    /// Backward pass that accumulates parameter gradients but skips
+    /// computing — or even allocating — the gradient with respect to the
+    /// layer input.
+    ///
+    /// This is the planned-training optimisation for a network's *first*
+    /// layer, whose input is raw data and needs no gradient: the
+    /// input-gradient kernels simply never run. Parameter gradients must be
+    /// bit-identical to [`Layer::backward_into`]. Returns `None` (the
+    /// default) when the layer has no cheaper params-only path — callers
+    /// then run the full backward and discard the input gradient.
+    fn backward_into_params_only(
+        &mut self,
+        grad_output: &Tensor,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<()>> {
+        let _ = (grad_output, ctx);
+        None
+    }
+
+    /// Visits every trainable parameter in the layer's stable order.
+    ///
+    /// This is the allocation-free counterpart of
+    /// [`Layer::parameters_mut`]: optimizers and `zero_grad` sweeps on the
+    /// planned training path walk parameters through this visitor instead
+    /// of collecting `Vec`s each step. The default delegates to
+    /// [`Layer::parameters_mut`]; layers that own parameters (or children)
+    /// override it to visit directly.
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for p in self.parameters_mut() {
+            f(p);
+        }
+    }
 
     /// Mutable references to the layer's trainable parameters.
     fn parameters_mut(&mut self) -> Vec<&mut Parameter>;
@@ -275,6 +423,27 @@ pub trait Layer: Send + Sync {
 
     /// A short human-readable description used in summaries.
     fn name(&self) -> &'static str;
+}
+
+/// Replaces a layer's cached tensor with a copy of `source` drawn from the
+/// arena, recycling the buffer the previous cache held.
+///
+/// This is the cross-step reuse discipline of the planned training path:
+/// every step's caches are written into the buffers the previous step's
+/// caches occupied, so after the warm-up step the cache churn allocates
+/// nothing.
+pub(crate) fn cache_from_arena(
+    slot: &mut Option<Tensor>,
+    source: &Tensor,
+    ctx: &mut TensorArena,
+) -> Result<()> {
+    if let Some(old) = slot.take() {
+        ctx.recycle(old);
+    }
+    let mut buffer = ctx.take(source.len());
+    buffer.copy_from_slice(source.as_slice());
+    *slot = Some(Tensor::from_vec(buffer, source.dims())?);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -2,8 +2,8 @@
 //! feature maps and dense heads.
 
 use mtlsplit_tensor::{
-    sgemm, sgemm_epilogue, Bias, BiasAxis, Epilogue, EpilogueActivation, Parallelism, StdRng,
-    Tensor, TensorArena,
+    sgemm, sgemm_epilogue, Bias, BiasAxis, Epilogue, EpilogueActivation, GradMask, Parallelism,
+    Shape, StdRng, Tensor, TensorArena,
 };
 
 use crate::error::{NnError, Result};
@@ -114,6 +114,99 @@ impl Linear {
         );
         Ok(Tensor::from_vec(out, &[batch, self.out_features])?)
     }
+
+    /// The shared planned-backward kernel: all three gradients on arena
+    /// buffers, the bias-gradient reduction riding the GEMM's single-row
+    /// GEMV fast path, and — when `mask` is given — a following (in
+    /// backward order) activation's gradient mask folded into the
+    /// input-gradient GEMM's write-back via [`Epilogue::Mask`].
+    fn run_backward(
+        &mut self,
+        grad_output: &Tensor,
+        mask: Option<GradMask<'_>>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
+        if grad_output.rank() != 2 || grad_output.dims() != [input.dims()[0], self.out_features] {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "Linear({}, {}) backward received grad_output of shape {:?} for input {:?}",
+                    self.in_features,
+                    self.out_features,
+                    grad_output.dims(),
+                    input.dims()
+                ),
+            });
+        }
+        let batch = grad_output.dims()[0];
+        let par = Parallelism::current();
+        // dL/dW = grad_outputᵀ · input — same GEMM as the allocating path,
+        // with the output landing in a recycled arena buffer.
+        let mut grad_weight = ctx.take(self.out_features * self.in_features);
+        sgemm(
+            true,
+            false,
+            self.out_features,
+            self.in_features,
+            batch,
+            1.0,
+            grad_output.as_slice(),
+            input.as_slice(),
+            0.0,
+            &mut grad_weight,
+            par,
+        );
+        // dL/db = column sums of grad_output, computed as onesᵀ ·
+        // grad_output on the GEMM's m == 1 GEMV fast path. The chain per
+        // element is the ascending-batch sum with a factor of exactly 1.0,
+        // bit-identical to the separate `sum_axis0` pass it replaces
+        // (asserted by a unit test below).
+        let mut ones = ctx.take(batch);
+        ones.fill(1.0);
+        let mut grad_bias = ctx.take(self.out_features);
+        sgemm(
+            false,
+            false,
+            1,
+            self.out_features,
+            batch,
+            1.0,
+            &ones,
+            grad_output.as_slice(),
+            0.0,
+            &mut grad_bias,
+            par,
+        );
+        ctx.give(ones);
+        // dL/dx = grad_output · W, with the activation-gradient mask (if
+        // fused) applied in the GEMM's write-back instead of a separate
+        // full-tensor pass.
+        let mut grad_input = ctx.take(batch * self.in_features);
+        sgemm_epilogue(
+            false,
+            false,
+            batch,
+            self.in_features,
+            self.out_features,
+            1.0,
+            grad_output.as_slice(),
+            self.weight.value().as_slice(),
+            0.0,
+            &mut grad_input,
+            mask.map_or(Epilogue::None, Epilogue::Mask),
+            par,
+        );
+        let grad_weight = Tensor::from_vec(grad_weight, &[self.out_features, self.in_features])?;
+        self.weight.accumulate_grad(&grad_weight)?;
+        ctx.recycle(grad_weight);
+        let grad_bias = Tensor::from_vec(grad_bias, &[self.out_features])?;
+        self.bias.accumulate_grad(&grad_bias)?;
+        ctx.recycle(grad_bias);
+        Ok(Tensor::from_vec(grad_input, &[batch, self.in_features])?)
+    }
 }
 
 impl Layer for Linear {
@@ -150,6 +243,19 @@ impl Layer for Linear {
             Parallelism::current(),
         );
         Ok(Tensor::from_vec(out, &[batch, self.out_features])?)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        let out = self.infer_into(input, ctx)?;
+        if mode.is_train() {
+            crate::cache_from_arena(&mut self.cached_input, input, ctx)?;
+        }
+        Ok(out)
     }
 
     fn infer_into(&self, input: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
@@ -226,6 +332,31 @@ impl Layer for Linear {
         Ok(grad_input)
     }
 
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        self.run_backward(grad_output, None, ctx)
+    }
+
+    fn backward_into_masked(
+        &mut self,
+        grad_output: &Tensor,
+        mask: GradMask<'_>,
+        ctx: &mut TensorArena,
+    ) -> Option<Result<Tensor>> {
+        // Only absorb a mask that aligns element-for-element with this
+        // layer's input gradient; otherwise the caller runs the unfused
+        // path, which surfaces the canonical shape error.
+        let batch = grad_output.dims().first().copied().unwrap_or(0);
+        if grad_output.rank() != 2 || mask.input.len() != batch * self.in_features {
+            return None;
+        }
+        Some(self.run_backward(grad_output, Some(mask), ctx))
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
         vec![&mut self.weight, &mut self.bias]
     }
@@ -247,7 +378,8 @@ impl Layer for Linear {
 /// approach, is flattened before being sent through the network".
 #[derive(Debug, Default)]
 pub struct Flatten {
-    cached_dims: Option<Vec<usize>>,
+    // Stored as an inline `Shape` so caching it never heap-allocates.
+    cached_dims: Option<Shape>,
 }
 
 impl Flatten {
@@ -260,9 +392,21 @@ impl Flatten {
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
         if mode.is_train() {
-            self.cached_dims = Some(input.dims().to_vec());
+            self.cached_dims = Some(input.shape().clone());
         }
         self.infer(input)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if mode.is_train() {
+            self.cached_dims = Some(input.shape().clone());
+        }
+        self.infer_into(input, ctx)
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
@@ -287,7 +431,21 @@ impl Layer for Flatten {
             .cached_dims
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "Flatten" })?;
-        Ok(grad_output.reshape(dims)?)
+        Ok(grad_output.reshape(dims.dims())?)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Flatten" })?;
+        if dims.len() != grad_output.len() {
+            // Canonical reshape error from the allocating path.
+            return Ok(grad_output.reshape(dims.dims())?);
+        }
+        let mut out = ctx.take(grad_output.len());
+        out.copy_from_slice(grad_output.as_slice());
+        Ok(Tensor::from_vec(out, dims.dims())?)
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -374,6 +532,89 @@ mod tests {
             let num = (up - down) / (2.0 * eps);
             assert!((num - grad_w.as_slice()[idx]).abs() < 2e-2);
         }
+    }
+
+    #[test]
+    fn planned_backward_matches_allocating_backward_bitwise() {
+        // Same weights, same forward, same grad: the planned backward (arena
+        // buffers, grad-bias on the GEMV fast path) must reproduce the
+        // allocating backward — input gradient and parameter gradients — to
+        // the bit.
+        let mut rng = StdRng::seed_from(21);
+        let mut reference = Linear::new(7, 5, &mut rng);
+        let mut rng2 = StdRng::seed_from(21);
+        let mut planned = Linear::new(7, 5, &mut rng2);
+        let mut ctx = TensorArena::new();
+        for batch in [3usize, 1, 6] {
+            let x = Tensor::randn(&[batch, 7], 0.0, 1.0, &mut rng);
+            let probe = Tensor::randn(&[batch, 5], 0.0, 1.0, &mut rng);
+            reference.forward(&x, RunMode::Infer).unwrap();
+            reference.cached_input = Some(x.clone());
+            planned.forward_into(&x, RunMode::Infer, &mut ctx).unwrap();
+            planned.cached_input = Some(x.clone());
+            let g_ref = reference.backward(&probe).unwrap();
+            let g = planned.backward_into(&probe, &mut ctx).unwrap();
+            assert_eq!(g, g_ref, "grad_input diverged at batch {batch}");
+            assert_eq!(
+                planned.weight.grad(),
+                reference.weight.grad(),
+                "grad_weight diverged at batch {batch}"
+            );
+            assert_eq!(
+                planned.bias.grad(),
+                reference.bias.grad(),
+                "grad_bias (GEMV) diverged from sum_axis0 at batch {batch}"
+            );
+            ctx.recycle(g);
+        }
+    }
+
+    #[test]
+    fn masked_backward_matches_backward_then_activation_mask() {
+        use mtlsplit_tensor::{ActivationGrad, GradMask};
+        // Linear backward with a fused ReLU gradient mask == unfused
+        // backward followed by the element-wise mask, bitwise.
+        let mut rng = StdRng::seed_from(22);
+        let mut layer = Linear::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[5, 6], 0.0, 1.0, &mut rng);
+        let probe = Tensor::randn(&[5, 4], 0.0, 1.0, &mut rng);
+        let relu_input = Tensor::randn(&[5, 6], 0.0, 1.0, &mut rng);
+        layer.cached_input = Some(x.clone());
+        let unfused = layer.backward(&probe).unwrap();
+        let mut expected = unfused.clone();
+        for (slot, &v) in expected
+            .as_mut_slice()
+            .iter_mut()
+            .zip(relu_input.as_slice())
+        {
+            *slot *= ActivationGrad::Relu.derivative(v);
+        }
+        let mut ctx = TensorArena::new();
+        layer.weight.zero_grad();
+        layer.bias.zero_grad();
+        let fused = layer
+            .backward_into_masked(
+                &probe,
+                GradMask {
+                    input: relu_input.as_slice(),
+                    grad: ActivationGrad::Relu,
+                },
+                &mut ctx,
+            )
+            .expect("mask aligns, so the layer must absorb it")
+            .unwrap();
+        assert_eq!(fused, expected);
+        // A misaligned mask is declined, not mis-applied.
+        assert!(layer
+            .backward_into_masked(
+                &probe,
+                GradMask {
+                    input: &relu_input.as_slice()[..10],
+                    grad: ActivationGrad::Relu,
+                },
+                &mut ctx,
+            )
+            .is_none());
     }
 
     #[test]

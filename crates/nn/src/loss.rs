@@ -2,7 +2,7 @@
 //! paper evaluates, and mean-squared error for regression-style tasks
 //! (bounding boxes in the automotive motivating example).
 
-use mtlsplit_tensor::{log_softmax_rows, softmax_rows, Tensor};
+use mtlsplit_tensor::{log_softmax_rows, log_softmax_rows_into, softmax_rows, Tensor, TensorArena};
 
 use crate::error::{NnError, Result};
 
@@ -135,6 +135,62 @@ impl CrossEntropyLoss {
         }
         Ok((value, grad))
     }
+
+    /// [`CrossEntropyLoss::forward_backward`] drawing the gradient buffer
+    /// from `ctx` instead of the heap — the planned training-step path.
+    ///
+    /// One arena buffer holds the row-wise log-softmax (from which the loss
+    /// value is read), is exponentiated in place into the softmax
+    /// probabilities, and then adjusted into the logits gradient — the same
+    /// expressions [`CrossEntropyLoss::forward_backward`] evaluates, so the
+    /// results are bit-identical. The caller recycles the returned tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed logits or out-of-range targets.
+    pub fn forward_backward_into(
+        &self,
+        logits: &Tensor,
+        targets: &[usize],
+        ctx: &mut TensorArena,
+    ) -> Result<(f32, Tensor)> {
+        let (batch, classes) = self.check(logits, targets)?;
+        let mut buf = ctx.take(logits.len());
+        log_softmax_rows_into(logits, &mut buf)?;
+        // The loss value, read off the log-probabilities exactly as
+        // `forward` computes it.
+        let eps = self.label_smoothing;
+        let mut total = 0.0f32;
+        for (row, &target) in targets.iter().enumerate() {
+            let row_slice = &buf[row * classes..(row + 1) * classes];
+            if eps == 0.0 {
+                total -= row_slice[target];
+            } else {
+                let uniform: f32 = row_slice.iter().sum::<f32>() / classes as f32;
+                total -= (1.0 - eps) * row_slice[target] + eps * uniform;
+            }
+        }
+        let value = total / batch.max(1) as f32;
+        // log-probs → probs → gradient, in place. `softmax_rows` is
+        // `log_softmax_rows(..).map(exp)`, so exponentiating the same
+        // log-probabilities reproduces its bits exactly.
+        for v in buf.iter_mut() {
+            *v = v.exp();
+        }
+        let scale = 1.0 / batch.max(1) as f32;
+        for (row, &target) in targets.iter().enumerate() {
+            let row_slice = &mut buf[row * classes..(row + 1) * classes];
+            for (c, v) in row_slice.iter_mut().enumerate() {
+                let target_prob = if c == target {
+                    1.0 - eps + eps / classes as f32
+                } else {
+                    eps / classes as f32
+                };
+                *v = (*v - target_prob) * scale;
+            }
+        }
+        Ok((value, Tensor::from_vec(buf, logits.dims())?))
+    }
 }
 
 /// Mean-squared-error loss between a prediction matrix and a same-shaped
@@ -260,6 +316,27 @@ mod tests {
         let logits = Tensor::from_vec(vec![10.0, 0.0], &[1, 2]).unwrap();
         assert!(smoothed.forward(&logits, &[0]).unwrap() > plain.forward(&logits, &[0]).unwrap());
         assert!(CrossEntropyLoss::with_label_smoothing(1.5).is_err());
+    }
+
+    #[test]
+    fn forward_backward_into_matches_allocating_path_bitwise() {
+        use mtlsplit_tensor::TensorArena;
+        let mut rng = StdRng::seed_from(9);
+        let mut ctx = TensorArena::new();
+        for smoothing in [0.0f32, 0.1] {
+            let loss = CrossEntropyLoss::with_label_smoothing(smoothing).unwrap();
+            let logits = Tensor::randn(&[4, 6], 0.0, 2.0, &mut rng);
+            let targets = [1usize, 0, 5, 3];
+            let (value_ref, grad_ref) = loss.forward_backward(&logits, &targets).unwrap();
+            for _ in 0..3 {
+                let (value, grad) = loss
+                    .forward_backward_into(&logits, &targets, &mut ctx)
+                    .unwrap();
+                assert_eq!(value.to_bits(), value_ref.to_bits());
+                assert_eq!(grad, grad_ref);
+                ctx.recycle(grad);
+            }
+        }
     }
 
     #[test]

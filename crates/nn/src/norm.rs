@@ -1,6 +1,6 @@
 //! Batch normalisation over NCHW feature maps.
 
-use mtlsplit_tensor::{ChannelNorm, Tensor, TensorArena};
+use mtlsplit_tensor::{ChannelNorm, Shape, Tensor, TensorArena};
 
 use crate::error::{NnError, Result};
 use crate::param::Parameter;
@@ -46,7 +46,8 @@ pub struct BatchNorm2d {
 struct NormCache {
     normalized: Tensor,
     std_inv: Vec<f32>,
-    input_dims: Vec<usize>,
+    // Stored as an inline `Shape` so caching it never heap-allocates.
+    input_dims: Shape,
 }
 
 impl BatchNorm2d {
@@ -105,38 +106,21 @@ impl BatchNorm2d {
         }
     }
 
-    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
-        if input.rank() != 4 {
-            return Err(NnError::InvalidConfig {
-                reason: format!("BatchNorm2d expects rank-4 input, got {:?}", input.dims()),
-            });
-        }
-        if input.dims()[1] != self.channels {
-            return Err(NnError::InvalidConfig {
-                reason: format!(
-                    "BatchNorm2d({}) received {} channels",
-                    self.channels,
-                    input.dims()[1]
-                ),
-            });
-        }
-        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
-    }
-}
-
-impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
-        if !mode.is_train() {
-            return self.infer(input);
-        }
-        let (batch, height, width) = self.check_input(input)?;
-        let plane = height * width;
+    /// The training-mode normalisation: batch statistics per channel,
+    /// running-average updates, outputs and the backward cache written into
+    /// caller buffers (fully overwritten, so recycled arena buffers are
+    /// safe). Shared by the allocating and planned forward paths, so their
+    /// bit-identity is structural.
+    fn write_train(
+        &mut self,
+        src: &[f32],
+        out: &mut [f32],
+        normalized: &mut [f32],
+        std_inv: &mut [f32],
+        batch: usize,
+        plane: usize,
+    ) {
         let count = (batch * plane).max(1) as f32;
-        let src = input.as_slice();
-        let mut out = vec![0.0f32; src.len()];
-        let mut normalized = vec![0.0f32; src.len()];
-        let mut std_inv = vec![0.0f32; self.channels];
-
         for (c, std_inv_slot) in std_inv.iter_mut().enumerate() {
             let mut mean = 0.0f32;
             for b in 0..batch {
@@ -169,11 +153,141 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+    }
 
+    /// The backward gradients written into caller buffers (fully
+    /// overwritten). Shared by the allocating and planned backward paths.
+    #[allow(clippy::too_many_arguments)]
+    fn write_backward(
+        &self,
+        go: &[f32],
+        norm: &[f32],
+        std_inv: &[f32],
+        grad_input: &mut [f32],
+        grad_gamma: &mut [f32],
+        grad_beta: &mut [f32],
+        batch: usize,
+        plane: usize,
+    ) {
+        let count = (batch * plane).max(1) as f32;
+        for c in 0..self.channels {
+            let g = self.gamma.value().as_slice()[c];
+            let inv = std_inv[c];
+            // Channel-level sums needed by the batch-norm gradient formula.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_x = 0.0f32;
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    let dy = go[base + i];
+                    sum_dy += dy;
+                    sum_dy_x += dy * norm[base + i];
+                }
+            }
+            grad_gamma[c] = sum_dy_x;
+            grad_beta[c] = sum_dy;
+            for b in 0..batch {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    let dy = go[base + i];
+                    // dL/dx = gamma * inv / N * (N*dy - sum(dy) - x_hat * sum(dy*x_hat))
+                    grad_input[base + i] =
+                        g * inv / count * (count * dy - sum_dy - norm[base + i] * sum_dy_x);
+                }
+            }
+        }
+    }
+
+    fn check_grad_output(&self, grad_output: &Tensor, cache: &NormCache) -> Result<()> {
+        if grad_output.dims() != cache.input_dims.dims() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "BatchNorm2d backward received {:?}, expected {:?}",
+                    grad_output.dims(),
+                    cache.input_dims.dims()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("BatchNorm2d expects rank-4 input, got {:?}", input.dims()),
+            });
+        }
+        if input.dims()[1] != self.channels {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "BatchNorm2d({}) received {} channels",
+                    self.channels,
+                    input.dims()[1]
+                ),
+            });
+        }
+        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer(input);
+        }
+        let (batch, height, width) = self.check_input(input)?;
+        let plane = height * width;
+        let mut out = vec![0.0f32; input.len()];
+        let mut normalized = vec![0.0f32; input.len()];
+        let mut std_inv = vec![0.0f32; self.channels];
+        self.write_train(
+            input.as_slice(),
+            &mut out,
+            &mut normalized,
+            &mut std_inv,
+            batch,
+            plane,
+        );
         self.cache = Some(NormCache {
             normalized: Tensor::from_vec(normalized, input.dims())?,
             std_inv,
-            input_dims: input.dims().to_vec(),
+            input_dims: input.shape().clone(),
+        });
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer_into(input, ctx);
+        }
+        let (batch, height, width) = self.check_input(input)?;
+        let plane = height * width;
+        // The replaced cache buffers go back to the arena before the new
+        // ones are taken — cross-step reuse of the very same memory.
+        if let Some(old) = self.cache.take() {
+            ctx.recycle(old.normalized);
+            ctx.give(old.std_inv);
+        }
+        let mut out = ctx.take(input.len());
+        let mut normalized = ctx.take(input.len());
+        let mut std_inv = ctx.take(self.channels);
+        self.write_train(
+            input.as_slice(),
+            &mut out,
+            &mut normalized,
+            &mut std_inv,
+            batch,
+            plane,
+        );
+        self.cache = Some(NormCache {
+            normalized: Tensor::from_vec(normalized, input.dims())?,
+            std_inv,
+            input_dims: input.shape().clone(),
         });
         Ok(Tensor::from_vec(out, input.dims())?)
     }
@@ -203,57 +317,65 @@ impl Layer for BatchNorm2d {
         let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
             layer: "BatchNorm2d",
         })?;
-        if grad_output.dims() != cache.input_dims.as_slice() {
-            return Err(NnError::InvalidConfig {
-                reason: format!(
-                    "BatchNorm2d backward received {:?}, expected {:?}",
-                    grad_output.dims(),
-                    cache.input_dims
-                ),
-            });
-        }
-        let dims = &cache.input_dims;
+        self.check_grad_output(grad_output, cache)?;
+        let dims = cache.input_dims.dims();
         let (batch, height, width) = (dims[0], dims[2], dims[3]);
         let plane = height * width;
-        let count = (batch * plane).max(1) as f32;
-        let go = grad_output.as_slice();
-        let norm = cache.normalized.as_slice();
-        let mut grad_input = vec![0.0f32; go.len()];
+        let mut grad_input = vec![0.0f32; grad_output.len()];
         let mut grad_gamma = vec![0.0f32; self.channels];
         let mut grad_beta = vec![0.0f32; self.channels];
-
-        for c in 0..self.channels {
-            let g = self.gamma.value().as_slice()[c];
-            let inv = cache.std_inv[c];
-            // Channel-level sums needed by the batch-norm gradient formula.
-            let mut sum_dy = 0.0f32;
-            let mut sum_dy_x = 0.0f32;
-            for b in 0..batch {
-                let base = (b * self.channels + c) * plane;
-                for i in 0..plane {
-                    let dy = go[base + i];
-                    sum_dy += dy;
-                    sum_dy_x += dy * norm[base + i];
-                }
-            }
-            grad_gamma[c] = sum_dy_x;
-            grad_beta[c] = sum_dy;
-            for b in 0..batch {
-                let base = (b * self.channels + c) * plane;
-                for i in 0..plane {
-                    let dy = go[base + i];
-                    // dL/dx = gamma * inv / N * (N*dy - sum(dy) - x_hat * sum(dy*x_hat))
-                    grad_input[base + i] =
-                        g * inv / count * (count * dy - sum_dy - norm[base + i] * sum_dy_x);
-                }
-            }
-        }
-
+        self.write_backward(
+            grad_output.as_slice(),
+            cache.normalized.as_slice(),
+            &cache.std_inv,
+            &mut grad_input,
+            &mut grad_gamma,
+            &mut grad_beta,
+            batch,
+            plane,
+        );
+        let grad_input = Tensor::from_vec(grad_input, dims)?;
         self.gamma
             .accumulate_grad(&Tensor::from_vec(grad_gamma, &[self.channels])?)?;
         self.beta
             .accumulate_grad(&Tensor::from_vec(grad_beta, &[self.channels])?)?;
+        Ok(grad_input)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
+        self.check_grad_output(grad_output, cache)?;
+        let input_shape = cache.input_dims.clone();
+        let dims = input_shape.dims();
+        let (batch, height, width) = (dims[0], dims[2], dims[3]);
+        let plane = height * width;
+        let mut grad_input = ctx.take(grad_output.len());
+        let mut grad_gamma = ctx.take(self.channels);
+        let mut grad_beta = ctx.take(self.channels);
+        self.write_backward(
+            grad_output.as_slice(),
+            cache.normalized.as_slice(),
+            &cache.std_inv,
+            &mut grad_input,
+            &mut grad_gamma,
+            &mut grad_beta,
+            batch,
+            plane,
+        );
+        let grad_gamma = Tensor::from_vec(grad_gamma, &[self.channels])?;
+        self.gamma.accumulate_grad(&grad_gamma)?;
+        ctx.recycle(grad_gamma);
+        let grad_beta = Tensor::from_vec(grad_beta, &[self.channels])?;
+        self.beta.accumulate_grad(&grad_beta)?;
+        ctx.recycle(grad_beta);
         Ok(Tensor::from_vec(grad_input, dims)?)
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

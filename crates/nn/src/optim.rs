@@ -8,22 +8,53 @@ use crate::param::Parameter;
 /// A gradient-based parameter update rule.
 ///
 /// Optimizers keep per-parameter state (momentum buffers, Adam moments)
-/// keyed by the position of the parameter in the slice passed to
-/// [`Optimizer::step`]. Callers must therefore pass the parameters in a
-/// stable order — which is what [`Layer::parameters_mut`](crate::Layer::parameters_mut)
-/// on a [`crate::Sequential`] guarantees for a fixed architecture.
+/// keyed by the position of the parameter in the update order. Callers must
+/// therefore visit the parameters in a stable order — which is what
+/// [`Layer::parameters_mut`](crate::Layer::parameters_mut) and
+/// [`Layer::for_each_parameter`](crate::Layer::for_each_parameter) on a
+/// [`crate::Sequential`] guarantee for a fixed architecture.
+///
+/// Two entry points share one implementation: [`Optimizer::step`] updates a
+/// collected slice (allocating callers), while [`Optimizer::begin_step`] +
+/// [`Optimizer::update_param`] let the planned, zero-allocation training
+/// path update parameters through a visitor without building the slice.
+/// Both apply identical arithmetic — every update runs in place over the
+/// parameter and state buffers, so the steady-state step allocates nothing
+/// either way.
 pub trait Optimizer {
+    /// Marks the start of one optimization step (e.g. advances Adam's
+    /// bias-correction step counter). Call exactly once per step, before
+    /// the [`Optimizer::update_param`] sweep. [`Optimizer::step`] calls it
+    /// internally.
+    fn begin_step(&mut self);
+
+    /// Updates one parameter, identified by its position in the stable
+    /// visit order. Frozen parameters still claim their state slot but are
+    /// left untouched; each parameter's [`Parameter::lr_scale`] multiplies
+    /// the optimizer's learning rate, which is how the fine-tuning rule of
+    /// Eqs. 5–6 (head rate `alpha`, backbone rate `eta`) is expressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the internal state has become inconsistent with
+    /// the supplied parameter.
+    fn update_param(&mut self, index: usize, param: &mut Parameter) -> Result<()>;
+
     /// Applies one update step using the gradients currently accumulated in
-    /// the parameters. Frozen parameters are skipped; each parameter's
-    /// [`Parameter::lr_scale`] multiplies the optimizer's learning rate,
-    /// which is how the fine-tuning rule of Eqs. 5–6 (head rate `alpha`,
-    /// backbone rate `eta`) is expressed.
+    /// the parameters: [`Optimizer::begin_step`] followed by one
+    /// [`Optimizer::update_param`] per parameter, in slice order.
     ///
     /// # Errors
     ///
     /// Returns an error if the internal state has become inconsistent with
     /// the supplied parameters.
-    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()>;
+    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
+        self.begin_step();
+        for (idx, p) in params.iter_mut().enumerate() {
+            self.update_param(idx, p)?;
+        }
+        Ok(())
+    }
 
     /// The current base learning rate.
     fn learning_rate(&self) -> f32;
@@ -108,34 +139,48 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
-        if self.velocity.len() < params.len() {
-            for p in params[self.velocity.len()..].iter() {
-                self.velocity.push(Tensor::zeros(p.value().dims()));
+    fn begin_step(&mut self) {}
+
+    fn update_param(&mut self, index: usize, p: &mut Parameter) -> Result<()> {
+        // State slots are claimed even for frozen parameters so the
+        // index-keyed buffers stay aligned with the stable visit order.
+        // The pushes happen only the first time an index is seen (the
+        // warm-up step); afterwards every update below runs in place.
+        while self.velocity.len() <= index {
+            self.velocity.push(Tensor::zeros(p.value().dims()));
+        }
+        if p.is_frozen() {
+            return Ok(());
+        }
+        let lr = self.lr * p.lr_scale();
+        if self.weight_decay > 0.0 {
+            // value += -1.0 * (value * wd * lr), element-wise — the same
+            // expression the old scale-then-AXPY formulation evaluated.
+            let c = self.weight_decay * lr;
+            for x in p.value_mut().as_mut_slice() {
+                let decay = *x * c;
+                *x += -decay;
             }
         }
-        for (idx, p) in params.iter_mut().enumerate() {
-            if p.is_frozen() {
-                continue;
+        let (value, grad) = p.value_and_grad_mut();
+        if self.momentum > 0.0 {
+            let v = &mut self.velocity[index];
+            if v.dims() != grad.dims() {
+                *v = Tensor::zeros(grad.dims());
             }
-            let lr = self.lr * p.lr_scale();
-            let grad = p.grad().clone();
-            if self.weight_decay > 0.0 {
-                let decay = p.value().scale(self.weight_decay * lr);
-                p.value_mut().add_scaled_inplace(&decay, -1.0)?;
+            // v = momentum * v + 1.0 * g ; value += -lr * v — in place,
+            // same per-element chains as the scale/AXPY tensors before.
+            for ((v_i, &g_i), x) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(value.as_mut_slice())
+            {
+                *v_i = *v_i * self.momentum + 1.0 * g_i;
+                *x += -lr * *v_i;
             }
-            if self.momentum > 0.0 {
-                let v = &mut self.velocity[idx];
-                if v.dims() != grad.dims() {
-                    *v = Tensor::zeros(grad.dims());
-                }
-                let mut new_v = v.scale(self.momentum);
-                new_v.add_scaled_inplace(&grad, 1.0)?;
-                p.value_mut().add_scaled_inplace(&new_v, -lr)?;
-                *v = new_v;
-            } else {
-                p.value_mut().add_scaled_inplace(&grad, -lr)?;
-            }
+        } else {
+            value.add_scaled_inplace(grad, -lr)?;
         }
         Ok(())
     }
@@ -213,49 +258,62 @@ impl AdamW {
 }
 
 impl Optimizer for AdamW {
-    fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
-        while self.first_moment.len() < params.len() {
-            let dims = params[self.first_moment.len()].value().dims().to_vec();
-            self.first_moment.push(Tensor::zeros(&dims));
-            self.second_moment.push(Tensor::zeros(&dims));
-        }
+    fn begin_step(&mut self) {
         self.step_count += 1;
+    }
+
+    fn update_param(&mut self, index: usize, p: &mut Parameter) -> Result<()> {
+        // Claim the moment slots for this index (warm-up only — including
+        // frozen parameters, so the index keying stays stable); every later
+        // step runs fully in place.
+        while self.first_moment.len() <= index {
+            let dims = p.value().dims();
+            self.first_moment.push(Tensor::zeros(dims));
+            self.second_moment.push(Tensor::zeros(dims));
+        }
+        if p.is_frozen() {
+            return Ok(());
+        }
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
+        let lr = self.lr * p.lr_scale();
 
-        for (idx, p) in params.iter_mut().enumerate() {
-            if p.is_frozen() {
-                continue;
+        // Decoupled weight decay first, exactly as before: the moment
+        // updates read only the gradient, so their order relative to the
+        // decay does not matter; the bias-corrected update below reads the
+        // decayed value.
+        if self.weight_decay > 0.0 {
+            let c = self.weight_decay * lr;
+            for x in p.value_mut().as_mut_slice() {
+                let decay = *x * c;
+                *x += -decay;
             }
-            let lr = self.lr * p.lr_scale();
-            let grad = p.grad();
-            let m = &mut self.first_moment[idx];
-            let v = &mut self.second_moment[idx];
-            if m.dims() != grad.dims() {
-                *m = Tensor::zeros(grad.dims());
-                *v = Tensor::zeros(grad.dims());
-            }
-            // m = beta1 * m + (1 - beta1) * g ; v = beta2 * v + (1 - beta2) * g^2
-            let mut new_m = m.scale(self.beta1);
-            new_m.add_scaled_inplace(grad, 1.0 - self.beta1)?;
-            let grad_sq = grad.mul(grad)?;
-            let mut new_v = v.scale(self.beta2);
-            new_v.add_scaled_inplace(&grad_sq, 1.0 - self.beta2)?;
+        }
 
-            // Decoupled weight decay.
-            if self.weight_decay > 0.0 {
-                let decay = p.value().scale(self.weight_decay * lr);
-                p.value_mut().add_scaled_inplace(&decay, -1.0)?;
-            }
-            // Parameter update with bias-corrected moments.
-            let eps = self.epsilon;
-            let update = new_m.zip(&new_v, move |m_i, v_i| {
-                (m_i / bias1) / ((v_i / bias2).sqrt() + eps)
-            })?;
-            p.value_mut().add_scaled_inplace(&update, -lr)?;
-            *m = new_m;
-            *v = new_v;
+        let (value, grad) = p.value_and_grad_mut();
+        let m = &mut self.first_moment[index];
+        let v = &mut self.second_moment[index];
+        if m.dims() != grad.dims() {
+            *m = Tensor::zeros(grad.dims());
+            *v = Tensor::zeros(grad.dims());
+        }
+        // m = beta1 * m + (1 - beta1) * g ; v = beta2 * v + (1 - beta2) * g²;
+        // value += -lr * (m / bias1) / (sqrt(v / bias2) + eps) — all in
+        // place, element-for-element the chains the old scale/AXPY/zip
+        // tensor formulation evaluated.
+        let eps = self.epsilon;
+        for (((m_i, v_i), &g_i), x) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice())
+            .zip(grad.as_slice())
+            .zip(value.as_mut_slice())
+        {
+            *m_i = *m_i * self.beta1 + (1.0 - self.beta1) * g_i;
+            *v_i = *v_i * self.beta2 + (1.0 - self.beta2) * (g_i * g_i);
+            let update = (*m_i / bias1) / ((*v_i / bias2).sqrt() + eps);
+            *x += -lr * update;
         }
         Ok(())
     }

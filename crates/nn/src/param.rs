@@ -50,9 +50,17 @@ impl Parameter {
         &self.grad
     }
 
-    /// Resets the accumulated gradient to zero.
+    /// Resets the accumulated gradient to zero, in place — the gradient
+    /// buffer is reused across steps, so a per-step `zero_grad` sweep
+    /// performs no heap allocations.
     pub fn zero_grad(&mut self) {
-        self.grad = Tensor::zeros(self.value.dims());
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Simultaneous mutable value / immutable gradient access, for in-place
+    /// optimizer updates that read the gradient while writing the value.
+    pub fn value_and_grad_mut(&mut self) -> (&mut Tensor, &Tensor) {
+        (&mut self.value, &self.grad)
     }
 
     /// Adds `delta` into the accumulated gradient.

@@ -17,7 +17,7 @@
 use mtlsplit_tensor::{Tensor, TensorArena};
 
 use crate::error::Result;
-use crate::Layer;
+use crate::{Layer, RunMode};
 
 /// A per-caller inference plan: one reusable arena plus the take/recycle
 /// discipline that keeps the steady-state request path allocation-free.
@@ -106,6 +106,110 @@ impl InferPlan {
     }
 }
 
+/// A per-caller *training* plan: one reusable arena backing the planned
+/// [`Layer::forward_into`] / [`Layer::backward_into`] path, the sibling of
+/// [`InferPlan`] for the training step.
+///
+/// One `TrainPlan` is meant to live as long as the training loop: the first
+/// step through it is the warm-up that sizes every activation, cached
+/// input, and gradient buffer; every later step — across batches *and*
+/// epochs — is served entirely from recycled memory (zero steady-state heap
+/// allocations per step, machine-checked by `benches/training.rs`). Layer
+/// caches written during a planned forward recycle the buffer they replace
+/// into the same arena, which is what makes the reuse cross-step rather
+/// than merely intra-step.
+///
+/// The plan never changes results: the planned training step is
+/// bit-identical (0 ULP, parameter-for-parameter over a whole run) to the
+/// allocating [`Layer::forward`] / [`Layer::backward`] path for every
+/// thread count (property-tested at the workspace level).
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use mtlsplit_nn::{Layer, Linear, Relu, Sequential, TrainPlan, RunMode};
+/// use mtlsplit_tensor::{StdRng, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut rng = StdRng::seed_from(0);
+/// let mut net = Sequential::new()
+///     .push(Linear::new(8, 16, &mut rng))
+///     .push(Relu::new())
+///     .push(Linear::new(16, 4, &mut rng));
+/// let mut plan = TrainPlan::new();
+/// let mut train_rng = StdRng::seed_from(1);
+/// let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
+/// // Warm-up step: sizes and pools every buffer. Later steps reuse them.
+/// let y = plan.forward(&mut net, &x, RunMode::train(&mut train_rng))?;
+/// let grad = plan.backward(&mut net, &Tensor::ones(y.dims()))?;
+/// plan.recycle(y);
+/// plan.recycle(grad);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct TrainPlan {
+    arena: TensorArena,
+}
+
+impl TrainPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self {
+            arena: TensorArena::new(),
+        }
+    }
+
+    /// Runs `layer` forward under `mode` through the planned path, drawing
+    /// outputs and training caches from the plan's arena.
+    ///
+    /// The returned tensor belongs to the arena's recycling cycle: hand it
+    /// back with [`TrainPlan::recycle`] once consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is incompatible with the layer.
+    pub fn forward(
+        &mut self,
+        layer: &mut dyn Layer,
+        input: &Tensor,
+        mode: RunMode<'_>,
+    ) -> Result<Tensor> {
+        layer.forward_into(input, mode, &mut self.arena)
+    }
+
+    /// Propagates `grad_output` backwards through `layer` on the planned
+    /// path, drawing the input gradient and every gradient temporary from
+    /// the plan's arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before a train-mode forward or with a
+    /// mismatched gradient shape.
+    pub fn backward(&mut self, layer: &mut dyn Layer, grad_output: &Tensor) -> Result<Tensor> {
+        layer.backward_into(grad_output, &mut self.arena)
+    }
+
+    /// Returns a finished tensor's buffer to the arena.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.arena.recycle(tensor);
+    }
+
+    /// The plan's arena, e.g. to thread through a hand-rolled training step
+    /// or inspect allocation counters in tests and benchmarks.
+    pub fn arena(&mut self) -> &mut TensorArena {
+        &mut self.arena
+    }
+
+    /// How many arena takes had to allocate fresh memory so far — stable in
+    /// steady state (the zero-allocation guarantee: the warm-up step grows
+    /// it, later steps must not).
+    pub fn fresh_allocations(&self) -> usize {
+        self.arena.fresh_allocations()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +253,50 @@ mod tests {
             plan.fresh_allocations(),
             warmed,
             "steady-state planned inference must not allocate"
+        );
+    }
+
+    #[test]
+    fn planned_training_steps_match_allocating_path_and_stop_allocating() {
+        // Two identical nets, two identical RNG streams: one stepped through
+        // the allocating forward/backward, one through the TrainPlan. The
+        // outputs, gradients, and accumulated parameter gradients must stay
+        // `==`; after the warm-up step the plan must take no fresh memory.
+        let mut reference = mlp(11);
+        let mut planned = mlp(11);
+        let mut ref_rng = StdRng::seed_from(12);
+        let mut plan_rng = StdRng::seed_from(12);
+        let mut plan = TrainPlan::new();
+        let mut data_rng = StdRng::seed_from(13);
+        let mut warmed = None;
+        for step in 0..6 {
+            let x = Tensor::randn(&[4, 6], 0.0, 1.0, &mut data_rng);
+            let y_ref = reference
+                .forward(&x, crate::RunMode::train(&mut ref_rng))
+                .unwrap();
+            let g_ref = reference.backward(&Tensor::ones(y_ref.dims())).unwrap();
+
+            let y = plan
+                .forward(&mut planned, &x, crate::RunMode::train(&mut plan_rng))
+                .unwrap();
+            assert_eq!(y, y_ref, "step {step}: planned forward diverged");
+            let g = plan
+                .backward(&mut planned, &Tensor::ones(y.dims()))
+                .unwrap();
+            assert_eq!(g, g_ref, "step {step}: planned backward diverged");
+            for (a, b) in planned.parameters().iter().zip(reference.parameters()) {
+                assert_eq!(a.grad(), b.grad(), "step {step}: parameter grads diverged");
+            }
+            plan.recycle(y);
+            plan.recycle(g);
+            if step == 0 {
+                warmed = Some(plan.fresh_allocations());
+            }
+        }
+        assert_eq!(
+            plan.fresh_allocations(),
+            warmed.unwrap(),
+            "steady-state planned training must not take fresh memory"
         );
     }
 

@@ -1,8 +1,9 @@
 //! Pooling layers wrapping the tensor-level pooling kernels.
 
 use mtlsplit_tensor::{
-    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, global_avg_pool2d, global_avg_pool2d_into,
-    max_pool2d, max_pool2d_backward, max_pool2d_infer, max_pool2d_infer_into, pooled_dims, Tensor,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_into, avg_pool2d_into, global_avg_pool2d,
+    global_avg_pool2d_into, max_pool2d, max_pool2d_backward, max_pool2d_backward_into,
+    max_pool2d_infer, max_pool2d_infer_into, max_pool2d_train_into, pooled_dims, Shape, Tensor,
     TensorArena,
 };
 
@@ -15,7 +16,9 @@ use crate::{Layer, RunMode};
 pub struct MaxPool2d {
     window: usize,
     stride: usize,
-    cache: Option<(Vec<usize>, Vec<usize>)>,
+    // The argmax-index buffer is reused across training steps (the planned
+    // forward refills it in place); the shape is stored inline.
+    cache: Option<(Vec<usize>, Shape)>,
 }
 
 impl MaxPool2d {
@@ -36,8 +39,30 @@ impl Layer for MaxPool2d {
             return self.infer(input);
         }
         let (out, indices) = max_pool2d(input, self.window, self.stride)?;
-        self.cache = Some((indices, input.dims().to_vec()));
+        self.cache = Some((indices, input.shape().clone()));
         Ok(out)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if !mode.is_train() {
+            return self.infer_into(input, ctx);
+        }
+        let dims = pooled_dims(input, self.window, self.stride, "max_pool2d")?;
+        let mut out = ctx.take(dims.iter().product());
+        // Reuse the previous step's index buffer: `max_pool2d_train_into`
+        // clears and refills it within its existing capacity.
+        let mut indices = match self.cache.take() {
+            Some((indices, _)) => indices,
+            None => Vec::new(),
+        };
+        max_pool2d_train_into(input, self.window, self.stride, &mut out, &mut indices)?;
+        self.cache = Some((indices, input.shape().clone()));
+        Ok(Tensor::from_vec(out, &dims)?)
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
@@ -57,7 +82,17 @@ impl Layer for MaxPool2d {
             .cache
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "MaxPool2d" })?;
-        Ok(max_pool2d_backward(grad_output, indices, dims)?)
+        Ok(max_pool2d_backward(grad_output, indices, dims.dims())?)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let (indices, dims) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "MaxPool2d" })?;
+        let mut grad_input = ctx.take(dims.len());
+        max_pool2d_backward_into(grad_output, indices, &mut grad_input)?;
+        Ok(Tensor::from_vec(grad_input, dims.dims())?)
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -78,7 +113,7 @@ impl Layer for MaxPool2d {
 pub struct AvgPool2d {
     window: usize,
     stride: usize,
-    cached_dims: Option<Vec<usize>>,
+    cached_dims: Option<Shape>,
 }
 
 impl AvgPool2d {
@@ -95,9 +130,21 @@ impl AvgPool2d {
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
         if mode.is_train() {
-            self.cached_dims = Some(input.dims().to_vec());
+            self.cached_dims = Some(input.shape().clone());
         }
         self.infer(input)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if mode.is_train() {
+            self.cached_dims = Some(input.shape().clone());
+        }
+        self.infer_into(input, ctx)
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
@@ -118,10 +165,26 @@ impl Layer for AvgPool2d {
             .ok_or(NnError::MissingForwardCache { layer: "AvgPool2d" })?;
         Ok(avg_pool2d_backward(
             grad_output,
-            dims,
+            dims.dims(),
             self.window,
             self.stride,
         )?)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "AvgPool2d" })?;
+        let mut grad_input = ctx.take(dims.len());
+        avg_pool2d_backward_into(
+            grad_output,
+            dims.dims(),
+            self.window,
+            self.stride,
+            &mut grad_input,
+        )?;
+        Ok(Tensor::from_vec(grad_input, dims.dims())?)
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -144,7 +207,7 @@ impl Layer for AvgPool2d {
 /// representation `Z_b` small in the split-computing deployment.
 #[derive(Debug, Default)]
 pub struct GlobalAvgPool2d {
-    cached_dims: Option<Vec<usize>>,
+    cached_dims: Option<Shape>,
 }
 
 impl GlobalAvgPool2d {
@@ -152,14 +215,53 @@ impl GlobalAvgPool2d {
     pub fn new() -> Self {
         Self { cached_dims: None }
     }
+
+    /// The shared backward kernel: spreads each pooled gradient uniformly
+    /// over its plane, fully overwriting `gi` (a recycled arena buffer is
+    /// safe).
+    fn write_backward(&self, grad_output: &Tensor, dims: &[usize], gi: &mut [f32]) -> Result<()> {
+        let (batch, channels, height, width) = (dims[0], dims[1], dims[2], dims[3]);
+        if grad_output.dims() != [batch, channels] {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "GlobalAvgPool2d backward received {:?}, expected [{batch}, {channels}]",
+                    grad_output.dims()
+                ),
+            });
+        }
+        let norm = 1.0 / (height * width).max(1) as f32;
+        let go = grad_output.as_slice();
+        for b in 0..batch {
+            for c in 0..channels {
+                let g = go[b * channels + c] * norm;
+                let base = (b * channels + c) * height * width;
+                for v in &mut gi[base..base + height * width] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Layer for GlobalAvgPool2d {
     fn forward(&mut self, input: &Tensor, mode: RunMode<'_>) -> Result<Tensor> {
         if mode.is_train() {
-            self.cached_dims = Some(input.dims().to_vec());
+            self.cached_dims = Some(input.shape().clone());
         }
         self.infer(input)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if mode.is_train() {
+            self.cached_dims = Some(input.shape().clone());
+        }
+        self.infer_into(input, ctx)
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
@@ -181,30 +283,24 @@ impl Layer for GlobalAvgPool2d {
             .as_ref()
             .ok_or(NnError::MissingForwardCache {
                 layer: "GlobalAvgPool2d",
-            })?;
-        let (batch, channels, height, width) = (dims[0], dims[1], dims[2], dims[3]);
-        if grad_output.dims() != [batch, channels] {
-            return Err(NnError::InvalidConfig {
-                reason: format!(
-                    "GlobalAvgPool2d backward received {:?}, expected [{batch}, {channels}]",
-                    grad_output.dims()
-                ),
-            });
-        }
-        let norm = 1.0 / (height * width).max(1) as f32;
-        let go = grad_output.as_slice();
-        let mut grad_input = Tensor::zeros(dims);
-        let gi = grad_input.as_mut_slice();
-        for b in 0..batch {
-            for c in 0..channels {
-                let g = go[b * channels + c] * norm;
-                let base = (b * channels + c) * height * width;
-                for v in &mut gi[base..base + height * width] {
-                    *v = g;
-                }
-            }
-        }
+            })?
+            .clone();
+        let mut grad_input = Tensor::zeros(dims.dims());
+        self.write_backward(grad_output, dims.dims(), grad_input.as_mut_slice())?;
         Ok(grad_input)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache {
+                layer: "GlobalAvgPool2d",
+            })?
+            .clone();
+        let mut grad_input = ctx.take(dims.len());
+        self.write_backward(grad_output, dims.dims(), &mut grad_input)?;
+        Ok(Tensor::from_vec(grad_input, dims.dims())?)
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {

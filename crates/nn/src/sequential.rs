@@ -91,6 +91,79 @@ impl Sequential {
             p.zero_grad();
         }
     }
+
+    /// The planned backward pass with the *input* gradient discarded: every
+    /// layer backpropagates normally (parameter gradients bit-identical to
+    /// [`Layer::backward_into`]), but the first layer skips producing the
+    /// gradient with respect to the network input when it supports
+    /// [`Layer::backward_into_params_only`] — the right call when the input
+    /// is raw data, as in a backbone's training step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before a train-mode forward or with a
+    /// mismatched gradient shape.
+    pub fn backward_into_discarding_input(
+        &mut self,
+        grad_output: &Tensor,
+        ctx: &mut TensorArena,
+    ) -> Result<()> {
+        if let Some(output) = self.run_backward_into(grad_output, ctx, true)? {
+            ctx.recycle(output);
+        }
+        Ok(())
+    }
+
+    /// The shared planned backward loop; with `discard_input` the first
+    /// layer may take its params-only path, in which case no input gradient
+    /// is returned.
+    fn run_backward_into(
+        &mut self,
+        grad_output: &Tensor,
+        ctx: &mut TensorArena,
+        discard_input: bool,
+    ) -> Result<Option<Tensor>> {
+        let mut current: Option<Tensor> = None;
+        let mut index = self.layers.len();
+        while index > 0 {
+            let i = index - 1;
+            let grad = current.as_ref().unwrap_or(grad_output);
+            if discard_input && i == 0 {
+                if let Some(result) = self.layers[0].backward_into_params_only(grad, ctx) {
+                    result?;
+                    if let Some(previous) = current.take() {
+                        ctx.recycle(previous);
+                    }
+                    return Ok(None);
+                }
+            }
+            let mut fused: Option<Result<Tensor>> = None;
+            if i >= 1 {
+                let (head, tail) = self.layers.split_at_mut(i);
+                if let Some(mask) = head[i - 1].fused_grad_mask() {
+                    fused = tail[0].backward_into_masked(grad, mask, ctx);
+                }
+            }
+            let (next, consumed) = match fused {
+                Some(result) => (result?, 2),
+                None => (self.layers[i].backward_into(grad, ctx)?, 1),
+            };
+            if let Some(previous) = current.take() {
+                ctx.recycle(previous);
+            }
+            current = Some(next);
+            index -= consumed;
+        }
+        match current {
+            Some(output) => Ok(Some(output)),
+            None => {
+                // Empty stack: the identity, copied into an arena buffer.
+                let mut out = ctx.take(grad_output.len());
+                out.copy_from_slice(grad_output.as_slice());
+                Ok(Some(Tensor::from_vec(out, grad_output.dims())?))
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Sequential {
@@ -109,6 +182,40 @@ impl Layer for Sequential {
             current = layer.forward(&current, mode.reborrow())?;
         }
         Ok(current)
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mut mode: RunMode<'_>,
+        ctx: &mut TensorArena,
+    ) -> Result<Tensor> {
+        if !mode.is_train() {
+            // Inference goes through the fusing planned path.
+            return self.infer_into(input, ctx);
+        }
+        // Train mode: no forward fusion (batch norm needs batch statistics,
+        // every layer needs its backward cache), but every intermediate
+        // comes from — and returns to — the arena. Layer order, and with it
+        // the RNG draw order of stochastic layers, matches `forward`.
+        let mut current: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let source = current.as_ref().unwrap_or(input);
+            let next = layer.forward_into(source, mode.reborrow(), ctx)?;
+            if let Some(previous) = current.take() {
+                ctx.recycle(previous);
+            }
+            current = Some(next);
+        }
+        match current {
+            Some(output) => Ok(output),
+            None => {
+                // Empty stack: the identity, copied into an arena buffer.
+                let mut out = ctx.take(input.len());
+                out.copy_from_slice(input.as_slice());
+                Ok(Tensor::from_vec(out, input.dims())?)
+            }
+        }
     }
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
@@ -186,6 +293,24 @@ impl Layer for Sequential {
             current = layer.backward(&current)?;
         }
         Ok(current)
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, ctx: &mut TensorArena) -> Result<Tensor> {
+        // The planned backward pass: every intermediate gradient comes from
+        // (and returns to) the arena, and a GEMM-backed layer preceded (in
+        // forward order) by a fusable activation absorbs the activation's
+        // gradient mask into its input-gradient kernel — e.g. Linear → ReLU
+        // backpropagates as one masked GEMM. Bit-identical to the
+        // allocating `backward` chain above.
+        Ok(self
+            .run_backward_into(grad_output, ctx, false)?
+            .expect("non-discarding backward always yields a gradient"))
+    }
+
+    fn for_each_parameter(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for layer in &mut self.layers {
+            layer.for_each_parameter(f);
+        }
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -339,6 +464,50 @@ mod tests {
             let planned = plan.run(&net, &x).unwrap();
             assert_eq!(planned, net.infer(&x).unwrap());
             plan.recycle(planned);
+        }
+    }
+
+    #[test]
+    fn planned_backward_fuses_activation_masks_bit_exactly() {
+        use crate::activation::{HardSwish, Sigmoid};
+        use crate::TrainPlan;
+        // Linear→ReLU→Linear→Sigmoid→Linear→HardSwish: on the planned
+        // backward pass each Linear preceded by an activation absorbs the
+        // activation's gradient mask into its grad-input GEMM. Outputs,
+        // input gradients and parameter gradients must equal the allocating
+        // chain bitwise, across repeated plan reuse.
+        let build = |seed: u64| {
+            let mut rng = StdRng::seed_from(seed);
+            Sequential::new()
+                .push(Linear::new(5, 11, &mut rng))
+                .push(Relu::new())
+                .push(Linear::new(11, 9, &mut rng))
+                .push(Sigmoid::new())
+                .push(Linear::new(9, 4, &mut rng))
+                .push(HardSwish::new())
+        };
+        let mut reference = build(61);
+        let mut planned = build(61);
+        let mut ref_rng = StdRng::seed_from(62);
+        let mut plan_rng = StdRng::seed_from(62);
+        let mut plan = TrainPlan::new();
+        let mut data_rng = StdRng::seed_from(63);
+        for step in 0..4 {
+            let x = Tensor::randn(&[3, 5], 0.0, 1.0, &mut data_rng);
+            let probe = Tensor::randn(&[3, 4], 0.0, 1.0, &mut data_rng);
+            let y_ref = reference.forward(&x, RunMode::train(&mut ref_rng)).unwrap();
+            let g_ref = reference.backward(&probe).unwrap();
+            let y = plan
+                .forward(&mut planned, &x, RunMode::train(&mut plan_rng))
+                .unwrap();
+            assert_eq!(y, y_ref, "step {step}: forward diverged");
+            let g = plan.backward(&mut planned, &probe).unwrap();
+            assert_eq!(g, g_ref, "step {step}: fused backward diverged");
+            for (a, b) in planned.parameters().iter().zip(reference.parameters()) {
+                assert_eq!(a.grad(), b.grad(), "step {step}: param grads diverged");
+            }
+            plan.recycle(y);
+            plan.recycle(g);
         }
     }
 

@@ -28,8 +28,8 @@
 //! property-tested against.
 
 use crate::error::{Result, TensorError};
-use crate::kernels::{sgemm, sgemm_epilogue, Bias, BiasAxis, ChannelNorm, Epilogue};
-use crate::parallel::{for_each_unit, threads_for_macs, Parallelism};
+use crate::kernels::{sgemm, sgemm_epilogue, Bias, BiasAxis, ChannelNorm, Epilogue, GradMask};
+use crate::parallel::{for_each_unit, for_each_unit_pair, threads_for_macs, Parallelism};
 use crate::tensor::Tensor;
 use crate::EpilogueActivation;
 
@@ -460,55 +460,6 @@ pub fn conv2d_fused(
     let (unit_threads, gemm_par) = split_threads(units, macs);
     for_each_unit(out, unit_len, unit_threads, |unit_index, unit| {
         let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
-        let bias_group = bias_values.map(|v| &v[group * g.cout_g..][..g.cout_g]);
-        // Slice the norm statistics down to this group's output channels so
-        // the per-row index inside the kernels is channel-local.
-        let norm_group = fusion.norm.map(|nm| ChannelNorm {
-            gamma: &nm.gamma[group * g.cout_g..][..g.cout_g],
-            beta: &nm.beta[group * g.cout_g..][..g.cout_g],
-            mean: &nm.mean[group * g.cout_g..][..g.cout_g],
-            var: &nm.var[group * g.cout_g..][..g.cout_g],
-            epsilon: nm.epsilon,
-        });
-        let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
-        let row_bias = bias_group.map(|values| Bias {
-            values,
-            axis: BiasAxis::Row,
-        });
-        let epilogue = match (row_bias, norm_group) {
-            (bias, Some(norm)) => Epilogue::BiasNorm {
-                bias,
-                norm,
-                activation: fusion.activation,
-            },
-            (Some(bias), None) => Epilogue::with_activation(bias, fusion.activation),
-            (None, None) => Epilogue::None,
-        };
-        let run_gemm = |cols: &[f32], unit: &mut [f32]| {
-            sgemm_epilogue(
-                false,
-                false,
-                g.cout_g,
-                g.out_plane,
-                g.ckk,
-                1.0,
-                w_group,
-                cols,
-                0.0,
-                unit,
-                epilogue,
-                gemm_par,
-            );
-            // Without a bias or norm there is no epilogue to carry the
-            // activation; fall back to one in-place pass over this unit.
-            if bias_group.is_none() && norm_group.is_none() {
-                if let Some(act) = fusion.activation {
-                    for x in unit.iter_mut() {
-                        *x = act.apply(*x);
-                    }
-                }
-            }
-        };
         if spec.kernel == 1 && spec.stride == 1 && spec.padding == 0 {
             // Pointwise (1x1) convolution: the unfolded column matrix *is*
             // the group's input slice ([cin_g, plane] channel-major), so
@@ -516,7 +467,16 @@ pub fn conv2d_fused(
             // values, same chains — bit-identical.
             let input_group = &src[(b * spec.in_channels + group * g.cin_g) * g.out_plane..]
                 [..g.ckk * g.out_plane];
-            run_gemm(input_group, unit);
+            conv_forward_unit(
+                unit,
+                input_group,
+                w,
+                bias_values,
+                &fusion,
+                &g,
+                group,
+                gemm_par,
+            );
             return;
         }
         // General case, depthwise included: unfold into thread-local
@@ -528,9 +488,189 @@ pub fn conv2d_fused(
         // arithmetic).
         with_cols_scratch(g.ckk * g.out_plane, |cols| {
             im2col_group(cols, src, &g, spec, b, group * g.cin_g);
-            run_gemm(cols, unit);
+            conv_forward_unit(unit, cols, w, bias_values, &fusion, &g, group, gemm_par);
         });
     });
+    Ok([g.batch, spec.out_channels, g.out_h, g.out_w])
+}
+
+/// One `(batch, group)` unit of the forward pass: the group's GEMM with the
+/// bias (and any fused norm/activation) riding in the epilogue. Shared by
+/// the scratch-backed and column-caching forward drivers, so their outputs
+/// are structurally bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn conv_forward_unit(
+    unit: &mut [f32],
+    cols: &[f32],
+    w: &[f32],
+    bias_values: Option<&[f32]>,
+    fusion: &ConvFusion<'_>,
+    g: &ConvGeometry,
+    group: usize,
+    gemm_par: Parallelism,
+) {
+    let bias_group = bias_values.map(|v| &v[group * g.cout_g..][..g.cout_g]);
+    // Slice the norm statistics down to this group's output channels so
+    // the per-row index inside the kernels is channel-local.
+    let norm_group = fusion.norm.map(|nm| ChannelNorm {
+        gamma: &nm.gamma[group * g.cout_g..][..g.cout_g],
+        beta: &nm.beta[group * g.cout_g..][..g.cout_g],
+        mean: &nm.mean[group * g.cout_g..][..g.cout_g],
+        var: &nm.var[group * g.cout_g..][..g.cout_g],
+        epsilon: nm.epsilon,
+    });
+    let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
+    let row_bias = bias_group.map(|values| Bias {
+        values,
+        axis: BiasAxis::Row,
+    });
+    let epilogue = match (row_bias, norm_group) {
+        (bias, Some(norm)) => Epilogue::BiasNorm {
+            bias,
+            norm,
+            activation: fusion.activation,
+        },
+        (Some(bias), None) => Epilogue::with_activation(bias, fusion.activation),
+        (None, None) => Epilogue::None,
+    };
+    sgemm_epilogue(
+        false,
+        false,
+        g.cout_g,
+        g.out_plane,
+        g.ckk,
+        1.0,
+        w_group,
+        cols,
+        0.0,
+        unit,
+        epilogue,
+        gemm_par,
+    );
+    // Without a bias or norm there is no epilogue to carry the
+    // activation; fall back to one in-place pass over this unit.
+    if bias_group.is_none() && norm_group.is_none() {
+        if let Some(act) = fusion.activation {
+            for x in unit.iter_mut() {
+                *x = act.apply(*x);
+            }
+        }
+    }
+}
+
+/// Length (in `f32` elements) of the im2col column cache
+/// [`conv2d_fused_caching`] fills for this input: one `[ckk, out_plane]`
+/// matrix per `(batch, group)` unit, or 0 for pointwise (1x1, stride 1,
+/// unpadded) convolutions, which never unfold at all.
+///
+/// # Errors
+///
+/// Returns an error if the input is inconsistent with `spec`.
+pub fn conv2d_cols_len(input: &Tensor, spec: &Conv2dSpec) -> Result<usize> {
+    let g = ConvGeometry::new(input, spec)?;
+    if spec.kernel == 1 && spec.stride == 1 && spec.padding == 0 {
+        // Pointwise: the input slice is the column matrix.
+        return Ok(0);
+    }
+    if g.cin_g == 1 && g.cout_g == 1 {
+        // Depthwise: the backward pass has direct tap kernels that read the
+        // input and weights without any column matrix, so caching one would
+        // only cost forward bandwidth.
+        return Ok(0);
+    }
+    Ok(g.batch * spec.groups * g.ckk * g.out_plane)
+}
+
+/// [`conv2d_fused`] that additionally writes every `(batch, group)` unit's
+/// unfolded column matrix into `cols_cache` (laid out unit-major, sized by
+/// [`conv2d_cols_len`]) instead of throwaway thread-local scratch, so a
+/// following [`conv2d_backward_into`] can reuse the columns and skip the
+/// second unfold of the training step entirely. The cached values are the
+/// ones the forward GEMM consumed — reusing them is bit-identical to
+/// re-unfolding.
+///
+/// For pointwise convolutions ([`conv2d_cols_len`] == 0) this is exactly
+/// [`conv2d_fused`]; `cols_cache` must then be empty.
+///
+/// # Errors
+///
+/// Returns an error on the same shape problems as [`conv2d_fused`], or if
+/// `cols_cache` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_fused_caching(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    fusion: ConvFusion<'_>,
+    out: &mut [f32],
+    cols_cache: &mut [f32],
+) -> Result<[usize; 4]> {
+    let expected = conv2d_cols_len(input, spec)?;
+    if cols_cache.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: cols_cache.len(),
+        });
+    }
+    if expected == 0 {
+        return conv2d_fused(input, weight, bias, spec, fusion, out);
+    }
+    let g = ConvGeometry::new(input, spec)?;
+    check_weight(weight, spec)?;
+    if let Some(b) = bias {
+        if b.len() != spec.out_channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: b.dims().to_vec(),
+                rhs: vec![spec.out_channels],
+            });
+        }
+    }
+    if let Some(norm) = fusion.norm {
+        if !norm.covers(spec.out_channels) {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d fused norm",
+                lhs: vec![norm.channels()],
+                rhs: vec![spec.out_channels],
+            });
+        }
+    }
+    let expected_len = g.batch * spec.out_channels * g.out_plane;
+    if out.len() != expected_len {
+        return Err(TensorError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
+    }
+    let src = input.as_slice();
+    let w = weight.as_slice();
+    let bias_values = bias.map(Tensor::as_slice);
+    let units = g.batch * spec.groups;
+    let unit_len = g.cout_g * g.out_plane;
+    let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    let (unit_threads, gemm_par) = split_threads(units, macs);
+    for_each_unit_pair(
+        out,
+        unit_len,
+        cols_cache,
+        g.ckk * g.out_plane,
+        unit_threads,
+        |unit_index, unit, unit_cols| {
+            let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
+            im2col_group(unit_cols, src, &g, spec, b, group * g.cin_g);
+            conv_forward_unit(
+                unit,
+                unit_cols,
+                w,
+                bias_values,
+                &fusion,
+                &g,
+                group,
+                gemm_par,
+            );
+        },
+    );
     Ok([g.batch, spec.out_channels, g.out_h, g.out_w])
 }
 
@@ -556,6 +696,64 @@ pub fn conv2d_backward(
     grad_output: &Tensor,
     spec: &Conv2dSpec,
 ) -> Result<(Tensor, Tensor, Tensor)> {
+    let mut grad_input = vec![0.0f32; input.len()];
+    let mut grad_weight = vec![0.0f32; weight.len()];
+    let mut grad_bias = vec![0.0f32; spec.out_channels];
+    conv2d_backward_into(
+        input,
+        weight,
+        grad_output,
+        spec,
+        None,
+        None,
+        &mut grad_input,
+        &mut grad_weight,
+        &mut grad_bias,
+    )?;
+    Ok((
+        Tensor::from_vec(grad_input, input.dims())?,
+        Tensor::from_vec(grad_weight, weight.dims())?,
+        Tensor::from_vec(grad_bias, &[spec.out_channels])?,
+    ))
+}
+
+/// [`conv2d_backward`] writing into caller-provided buffers — the planned,
+/// zero-allocation training path — with two optional planned-path fusions:
+///
+/// * `cols`: the forward pass's im2col columns (from
+///   [`conv2d_fused_caching`], sized by [`conv2d_cols_len`]). When given,
+///   the weight-gradient GEMMs read them directly and the training step's
+///   second unfold disappears. Reuse is bit-identical — the columns are the
+///   very values a fresh unfold would produce.
+/// * `mask`: a following (in backward order) activation's gradient mask
+///   over this convolution's *input* gradient. For pointwise convolutions
+///   it rides the input-gradient GEMM's write-back via [`Epilogue::Mask`];
+///   otherwise it is one in-place sweep after col2im. Either way the result
+///   is bit-identical to the unfused grad-input followed by the standalone
+///   activation backward pass.
+///
+/// The three gradient buffers must hold exactly `input.len()`,
+/// `weight.len()` and `out_channels` elements respectively; their prior
+/// contents are ignored and fully overwritten (recycled arena buffers are
+/// safe). Results are bit-identical to [`conv2d_backward`] (plus the
+/// separate masking pass, when fused) for every thread count.
+///
+/// # Errors
+///
+/// Returns an error if any shape disagrees with `spec` or a buffer has the
+/// wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &Conv2dSpec,
+    cols: Option<&[f32]>,
+    mask: Option<GradMask<'_>>,
+    grad_input: &mut [f32],
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+) -> Result<()> {
     let g = ConvGeometry::new(input, spec)?;
     check_weight(weight, spec)?;
     let expected = [g.batch, spec.out_channels, g.out_h, g.out_w];
@@ -569,10 +767,39 @@ pub fn conv2d_backward(
     let src = input.as_slice();
     let w = weight.as_slice();
     let go = grad_output.as_slice();
+    for (buffer, expected_len) in [
+        (&*grad_input, src.len()),
+        (&*grad_weight, w.len()),
+        (&*grad_bias, spec.out_channels),
+    ] {
+        if buffer.len() != expected_len {
+            return Err(TensorError::LengthMismatch {
+                expected: expected_len,
+                actual: buffer.len(),
+            });
+        }
+    }
+    if let Some(cached) = cols {
+        let expected = conv2d_cols_len(input, spec)?;
+        if cached.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: cached.len(),
+            });
+        }
+    }
+    if let Some(mask) = mask {
+        if mask.input.len() != src.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: src.len(),
+                actual: mask.input.len(),
+            });
+        }
+    }
 
     // grad_bias[oc] = sum of grad_output over batch and positions, ascending.
-    let mut grad_bias = vec![0.0f32; spec.out_channels];
     for (oc, slot) in grad_bias.iter_mut().enumerate() {
+        *slot = 0.0;
         for b in 0..g.batch {
             let plane = &go[(b * spec.out_channels + oc) * g.out_plane..][..g.out_plane];
             for &value in plane {
@@ -581,22 +808,69 @@ pub fn conv2d_backward(
         }
     }
 
+    // Pointwise (1x1, stride 1, no padding) convolutions skip the lowering
+    // in backward just like forward: the unfolded column matrix *is* the
+    // input slice, and col2im is the identity scatter into a zeroed buffer
+    // (`0.0 + v`, which is bit-identical to `v` — a beta == 0 GEMM never
+    // produces a negative zero), so the input-gradient GEMM writes straight
+    // into the image gradient and the weight-gradient GEMM reads the input
+    // directly.
+    let pointwise = spec.kernel == 1 && spec.stride == 1 && spec.padding == 0;
+
     // grad_input: per (batch, group) unit, grad_cols = W_gᵀ x grad_out_bg,
-    // folded back through the adjoint unfold.
-    let mut grad_input = vec![0.0f32; src.len()];
+    // folded back through the adjoint unfold. col2im accumulates, so the
+    // buffer is zeroed first — same chain head as a fresh zeroed vec.
+    if !pointwise {
+        grad_input.fill(0.0);
+    }
     let units = g.batch * spec.groups;
     let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
     let (unit_threads, gemm_par) = split_threads(units, macs);
     let unit_len = g.cin_g * g.height * g.width;
-    for_each_unit(
-        &mut grad_input,
-        unit_len,
-        unit_threads,
-        |unit_index, unit| {
-            let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
-            let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
-            let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
-                [..g.cout_g * g.out_plane];
+    for_each_unit(grad_input, unit_len, unit_threads, |unit_index, unit| {
+        let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
+        let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
+        let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+            [..g.cout_g * g.out_plane];
+        // This unit's slice of the fused activation mask, aligned with the
+        // unit's region of the image gradient.
+        let unit_mask = mask.map(|m| &m.input[unit_index * unit_len..][..unit.len()]);
+        if pointwise {
+            // The unit slice [cin_g, plane] is the column layout already;
+            // the mask (if fused) rides the GEMM's write-back.
+            let epilogue = match unit_mask {
+                Some(mask_input) => Epilogue::Mask(GradMask {
+                    input: mask_input,
+                    grad: mask.expect("unit_mask implies mask").grad,
+                }),
+                None => Epilogue::None,
+            };
+            sgemm_epilogue(
+                true,
+                false,
+                g.ckk,
+                g.out_plane,
+                g.cout_g,
+                1.0,
+                w_group,
+                go_group,
+                0.0,
+                unit,
+                epilogue,
+                gemm_par,
+            );
+            return;
+        }
+        if g.cin_g == 1 && g.cout_g == 1 {
+            // Depthwise fast path: the grad-cols "GEMM" is the rank-1 outer
+            // product `w[tap] * go[pos]`, so fold it straight into the
+            // col2im scatter — same tap-major accumulation order, each
+            // product `fused_mul_add(w, go, 0)` replaced by the identical
+            // `w * go`, and out-of-image taps (whose cols entries are zero)
+            // contribute `±0` that the running sums ignore bit-exactly. No
+            // per-unit GEMM call, no grad-cols materialisation.
+            depthwise_grad_input_unit(unit, w_group, go_group, &g, spec);
+        } else {
             with_cols_scratch(g.ckk * g.out_plane, |grad_cols| {
                 sgemm(
                     true,
@@ -613,23 +887,382 @@ pub fn conv2d_backward(
                 );
                 col2im_group(grad_cols, unit, &g, spec);
             });
-        },
-    );
+        }
+        if let (Some(mask_input), Some(mask)) = (unit_mask, mask) {
+            // One in-place sweep: `g * d(x)`, exactly the standalone
+            // activation backward product.
+            for (v, &x) in unit.iter_mut().zip(mask_input) {
+                *v *= mask.grad.derivative(x);
+            }
+        }
+    });
 
-    // grad_weight: per group, accumulate grad_out_b x cols_bᵀ over the
-    // batch via beta = 1. The per-element chain is the ascending
-    // (batch, position) order — identical to a batch-concatenated GEMM —
-    // while the cols scratch stays one batch item wide.
-    let mut grad_weight = vec![0.0f32; w.len()];
+    conv_grad_weight(src, go, spec, &g, pointwise, cols, grad_weight, macs);
+
+    Ok(())
+}
+
+/// One depthwise `(batch, channel)` unit of the image gradient: the grad
+/// columns of a depthwise convolution are the rank-1 product
+/// `w[tap] * go[position]`, so the GEMM + col2im pair collapses into one
+/// direct scatter. Iteration order is exactly [`col2im_group`]'s (tap-major,
+/// then output positions), each scattered value is the same product the
+/// GEMM produced, and sums of the form `x + ±0` are sign-insensitive here
+/// (the destination never holds a negative zero), so the result is
+/// bit-identical to the lowered path.
+fn depthwise_grad_input_unit(
+    unit: &mut [f32],
+    w_tap: &[f32],
+    go_unit: &[f32],
+    g: &ConvGeometry,
+    spec: &Conv2dSpec,
+) {
+    // Dispatch the common depthwise geometries to constant-folded copies of
+    // the (single, `inline(always)`) body: with k/s/pad known the tap loops
+    // unroll and the range arithmetic folds away — same code, same bits,
+    // several times the throughput of the runtime-parameter fallback.
+    match (spec.kernel, spec.stride, spec.padding) {
+        (3, 1, 1) => dw_grad_input_body(unit, w_tap, go_unit, g, 3, 1, 1),
+        (3, 2, 1) => dw_grad_input_body(unit, w_tap, go_unit, g, 3, 2, 1),
+        (k, s, pad) => dw_grad_input_body(unit, w_tap, go_unit, g, k, s, pad),
+    }
+}
+
+#[inline(always)]
+fn dw_grad_input_body(
+    unit: &mut [f32],
+    w_tap: &[f32],
+    go_unit: &[f32],
+    g: &ConvGeometry,
+    k: usize,
+    s: usize,
+    pad: usize,
+) {
+    for ky in 0..k {
+        for kx in 0..k {
+            let wv = w_tap[ky * k + kx];
+            // Valid output-column range for this tap, hoisted out of the
+            // scatter loop: `in_x = ox * s + kx - pad` must land in
+            // `[0, width)`.
+            let (lo, hi) = tap_range(g.out_w, g.width, s, kx, pad);
+            if lo >= hi {
+                continue;
+            }
+            for oy in 0..g.out_h {
+                let in_y = (oy * s + ky) as isize - pad as isize;
+                if in_y < 0 || in_y >= g.height as isize {
+                    continue;
+                }
+                let dst_row = &mut unit[in_y as usize * g.width..][..g.width];
+                let go_row = &go_unit[oy * g.out_w..(oy + 1) * g.out_w];
+                if s == 1 {
+                    // Contiguous AXPY: every destination in this tap row is
+                    // touched exactly once, so the loop vectorises.
+                    // `lo + kx >= pad` holds by construction of `lo`.
+                    let off = lo + kx - pad;
+                    for (d, &gv) in dst_row[off..off + (hi - lo)]
+                        .iter_mut()
+                        .zip(&go_row[lo..hi])
+                    {
+                        *d += wv * gv;
+                    }
+                } else {
+                    for ox in lo..hi {
+                        dst_row[ox * s + kx - pad] += wv * go_row[ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The output-column range `[lo, hi)` whose tap `kx` lands inside the image:
+/// `0 <= ox * stride + kx - pad < width`.
+#[inline(always)]
+fn tap_range(out_w: usize, width: usize, stride: usize, kx: usize, pad: usize) -> (usize, usize) {
+    let lo = if kx >= pad {
+        0
+    } else {
+        (pad - kx).div_ceil(stride)
+    };
+    let hi = if width + pad <= kx {
+        0
+    } else {
+        out_w.min((width + pad - kx - 1) / stride + 1)
+    };
+    (lo, hi.max(lo))
+}
+
+/// One group of a depthwise weight gradient, computed by direct taps: each
+/// tap's accumulator runs the exact ascending `(batch, position)`
+/// [`fused_mul_add`] chain the lowered GEMV ran — out-of-image taps
+/// contribute an explicit `fused_mul_add(go, 0.0, acc)` step, just as their
+/// zero column entries did — so the result is bit-identical with no unfold
+/// and no per-batch GEMM calls at all.
+fn depthwise_grad_weight_group(
+    unit: &mut [f32],
+    src: &[f32],
+    go: &[f32],
+    g: &ConvGeometry,
+    spec: &Conv2dSpec,
+    channel: usize,
+) {
+    // Same constant-folding dispatch as `depthwise_grad_input_unit`. The
+    // accumulator block is a const-generic size so the k == 3 instantiation
+    // holds its nine chains in registers (a larger array defeats LLVM's
+    // scalar replacement and pins every FMA to the stack).
+    match (spec.kernel, spec.stride, spec.padding) {
+        (3, 1, 1) => dw_grad_weight_body::<9>(unit, src, go, g, spec, channel, 3, 1, 1),
+        (3, 2, 1) => dw_grad_weight_body::<9>(unit, src, go, g, spec, channel, 3, 2, 1),
+        (k, s, pad) if k * k <= 25 => {
+            dw_grad_weight_body::<25>(unit, src, go, g, spec, channel, k, s, pad)
+        }
+        (k, s, pad) => dw_grad_weight_tap_outer(unit, src, go, g, spec, channel, k, s, pad),
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn dw_grad_weight_body<const TAPS: usize>(
+    unit: &mut [f32],
+    src: &[f32],
+    go: &[f32],
+    g: &ConvGeometry,
+    spec: &Conv2dSpec,
+    channel: usize,
+    k: usize,
+    s_arg: usize,
+    pad_arg: usize,
+) {
+    use crate::kernels::fused_mul_add;
+    let ckk = k * k;
+    // Position-outer with one independent accumulator chain per tap: each
+    // chain still runs its exact ascending (batch, position) order, but the
+    // `ckk` chains interleave, hiding the FMA latency a single serial chain
+    // per tap would expose.
+    debug_assert!(ckk <= TAPS);
+    {
+        let s = s_arg;
+        let pad = pad_arg;
+        let mut acc = [0.0f32; TAPS];
+        // Interior ranges where every tap is in-image, hoisting the bounds
+        // arithmetic out of the hot loop. Columns are still processed in
+        // ascending order (edge, interior, edge), so each tap's chain is
+        // unchanged.
+        let (mut ox_lo, mut ox_hi) = (0usize, g.out_w);
+        for kx in 0..k {
+            let (lo, hi) = tap_range(g.out_w, g.width, s, kx, pad);
+            ox_lo = ox_lo.max(lo);
+            ox_hi = ox_hi.min(hi);
+        }
+        let (mut oy_lo, mut oy_hi) = (0usize, g.out_h);
+        for ky in 0..k {
+            let (lo, hi) = tap_range(g.out_h, g.height, s, ky, pad);
+            oy_lo = oy_lo.max(lo);
+            oy_hi = oy_hi.min(hi);
+        }
+        let ox_hi = ox_hi.max(ox_lo);
+        let oy_hi = oy_hi.max(oy_lo);
+        let pad_i = pad as isize;
+        for b in 0..g.batch {
+            let go_unit = &go[(b * spec.out_channels + channel) * g.out_plane..][..g.out_plane];
+            let in_base = (b * spec.in_channels + channel) * g.height * g.width;
+            for oy in 0..g.out_h {
+                let go_row = &go_unit[oy * g.out_w..(oy + 1) * g.out_w];
+                // The slow (edge) column step: per-tap bounds with explicit
+                // zero contributions, preserving the exact chain. A macro —
+                // not a closure — so the accumulator block is indexed
+                // directly and stays eligible for scalar replacement
+                // (a `&mut` capture would pin it to the stack).
+                macro_rules! edge_step {
+                    ($ox:expr) => {{
+                        let ox = $ox;
+                        let gv = go_row[ox];
+                        for ky in 0..k {
+                            let in_y = (oy * s + ky) as isize - pad_i;
+                            let row_ok = in_y >= 0 && in_y < g.height as isize;
+                            let row_base = in_base + in_y.max(0) as usize * g.width;
+                            for kx in 0..k {
+                                let in_x = (ox * s + kx) as isize - pad_i;
+                                let sv = if row_ok && in_x >= 0 && in_x < g.width as isize {
+                                    src[row_base + in_x as usize]
+                                } else {
+                                    0.0
+                                };
+                                acc[ky * k + kx] = fused_mul_add(gv, sv, acc[ky * k + kx]);
+                            }
+                        }
+                    }};
+                }
+                if oy >= oy_lo && oy < oy_hi {
+                    for ox in 0..ox_lo {
+                        edge_step!(ox);
+                    }
+                    // Interior: every tap in-image, no bounds checks. The
+                    // `oy * s + ky >= pad` and `ox * s + kx >= pad` offsets
+                    // are non-negative by construction of the ranges.
+                    debug_assert!(oy * s >= pad);
+                    for ox in ox_lo..ox_hi {
+                        let gv = go_row[ox];
+                        let col0 = ox * s - pad;
+                        for ky in 0..k {
+                            let row_base = in_base + (oy * s + ky - pad) * g.width + col0;
+                            let taps = &src[row_base..row_base + k];
+                            for (kx, &sv) in taps.iter().enumerate() {
+                                acc[ky * k + kx] = fused_mul_add(gv, sv, acc[ky * k + kx]);
+                            }
+                        }
+                    }
+                    for ox in ox_hi..g.out_w {
+                        edge_step!(ox);
+                    }
+                } else {
+                    for ox in 0..g.out_w {
+                        edge_step!(ox);
+                    }
+                }
+            }
+        }
+        unit.copy_from_slice(&acc[..ckk]);
+    }
+}
+
+/// Tap-outer fallback for kernels too large for the register-blocked
+/// position-outer path: one serial chain per tap, same ascending order.
+#[allow(clippy::too_many_arguments)]
+fn dw_grad_weight_tap_outer(
+    unit: &mut [f32],
+    src: &[f32],
+    go: &[f32],
+    g: &ConvGeometry,
+    spec: &Conv2dSpec,
+    channel: usize,
+    k: usize,
+    _s: usize,
+    _pad: usize,
+) {
+    use crate::kernels::fused_mul_add;
+    let pad = spec.padding as isize;
+    for (tap, slot) in unit.iter_mut().enumerate() {
+        let (ky, kx) = (tap / k, tap % k);
+        let mut acc = 0.0f32;
+        for b in 0..g.batch {
+            let go_unit = &go[(b * spec.out_channels + channel) * g.out_plane..][..g.out_plane];
+            let in_base = (b * spec.in_channels + channel) * g.height * g.width;
+            for oy in 0..g.out_h {
+                let in_y = (oy * spec.stride + ky) as isize - pad;
+                let go_row = &go_unit[oy * g.out_w..(oy + 1) * g.out_w];
+                if in_y < 0 || in_y >= g.height as isize {
+                    for &gv in go_row {
+                        acc = fused_mul_add(gv, 0.0, acc);
+                    }
+                    continue;
+                }
+                let src_row = &src[in_base + in_y as usize * g.width..][..g.width];
+                for (ox, &gv) in go_row.iter().enumerate() {
+                    let in_x = (ox * spec.stride + kx) as isize - pad;
+                    let sv = if in_x >= 0 && in_x < g.width as isize {
+                        src_row[in_x as usize]
+                    } else {
+                        0.0
+                    };
+                    acc = fused_mul_add(gv, sv, acc);
+                }
+            }
+        }
+        *slot = acc;
+    }
+}
+
+/// The weight-gradient half of the convolution backward pass, shared by
+/// [`conv2d_backward_into`] and [`conv2d_backward_params_into`]: per group,
+/// accumulate `grad_out_b x cols_bᵀ` over the batch via `beta = 1`. The
+/// per-element chain is the ascending (batch, position) order — identical
+/// to a batch-concatenated GEMM — while any scratch stays one batch item
+/// wide.
+#[allow(clippy::too_many_arguments)]
+fn conv_grad_weight(
+    src: &[f32],
+    go: &[f32],
+    spec: &Conv2dSpec,
+    g: &ConvGeometry,
+    pointwise: bool,
+    cols: Option<&[f32]>,
+    grad_weight: &mut [f32],
+    macs: usize,
+) {
+    // The first batch item's beta == 0 GEMM fully overwrites the buffer, so
+    // no zeroing is needed — except for an empty batch, where no GEMM runs
+    // at all.
+    if g.batch == 0 {
+        grad_weight.fill(0.0);
+    }
     let (group_threads, gemm_par) = split_threads(spec.groups, macs);
     for_each_unit(
-        &mut grad_weight,
+        grad_weight,
         g.cout_g * g.ckk,
         group_threads,
         |group, unit| {
+            if g.cin_g == 1 && g.cout_g == 1 && !pointwise {
+                // Depthwise fast path: direct taps, no unfold, no per-batch
+                // GEMM calls (see `depthwise_grad_weight_group`).
+                depthwise_grad_weight_group(unit, src, go, g, spec, group);
+                return;
+            }
+            if pointwise {
+                // Feed the input slices directly — no unfold copy at all.
+                for b in 0..g.batch {
+                    let input_group = &src
+                        [(b * spec.in_channels + group * g.cin_g) * g.out_plane..]
+                        [..g.ckk * g.out_plane];
+                    let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                        [..g.cout_g * g.out_plane];
+                    let beta = if b == 0 { 0.0 } else { 1.0 };
+                    sgemm(
+                        false,
+                        true,
+                        g.cout_g,
+                        g.ckk,
+                        g.out_plane,
+                        1.0,
+                        go_group,
+                        input_group,
+                        beta,
+                        unit,
+                        gemm_par,
+                    );
+                }
+                return;
+            }
+            if let Some(cached) = cols {
+                // Forward-cached columns: the second unfold of the training
+                // step disappears — each (batch, group) unit's matrix is
+                // read straight from the cache.
+                for b in 0..g.batch {
+                    let unit_cols = &cached[(b * spec.groups + group) * g.ckk * g.out_plane..]
+                        [..g.ckk * g.out_plane];
+                    let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                        [..g.cout_g * g.out_plane];
+                    let beta = if b == 0 { 0.0 } else { 1.0 };
+                    sgemm(
+                        false,
+                        true,
+                        g.cout_g,
+                        g.ckk,
+                        g.out_plane,
+                        1.0,
+                        go_group,
+                        unit_cols,
+                        beta,
+                        unit,
+                        gemm_par,
+                    );
+                }
+                return;
+            }
             with_cols_scratch(g.ckk * g.out_plane, |cols| {
                 for b in 0..g.batch {
-                    im2col_group(cols, src, &g, spec, b, group * g.cin_g);
+                    im2col_group(cols, src, g, spec, b, group * g.cin_g);
                     let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
                         [..g.cout_g * g.out_plane];
                     let beta = if b == 0 { 0.0 } else { 1.0 };
@@ -650,12 +1283,74 @@ pub fn conv2d_backward(
             });
         },
     );
+}
 
-    Ok((
-        Tensor::from_vec(grad_input, input.dims())?,
-        Tensor::from_vec(grad_weight, weight.dims())?,
-        Tensor::from_vec(grad_bias, &[spec.out_channels])?,
-    ))
+/// The parameter-gradient half of [`conv2d_backward_into`] alone: weight and
+/// bias gradients, with the input gradient skipped entirely.
+///
+/// This is the planned-path optimisation for a network's *first* layer,
+/// whose input is data and needs no gradient — the `Wᵀ x grad_out` GEMMs and
+/// the col2im fold simply never run. The weight/bias gradients are
+/// bit-identical to the full backward pass; `cols` plays the same
+/// forward-cache role as in [`conv2d_backward_into`].
+///
+/// # Errors
+///
+/// Returns an error if any shape disagrees with `spec` or a buffer has the
+/// wrong length.
+pub fn conv2d_backward_params_into(
+    input: &Tensor,
+    grad_output: &Tensor,
+    spec: &Conv2dSpec,
+    cols: Option<&[f32]>,
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+) -> Result<()> {
+    let g = ConvGeometry::new(input, spec)?;
+    let expected = [g.batch, spec.out_channels, g.out_h, g.out_w];
+    if grad_output.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: expected.to_vec(),
+        });
+    }
+    let weight_len: usize = spec.weight_dims().iter().product();
+    for (buffer, expected_len) in [
+        (&*grad_weight, weight_len),
+        (&*grad_bias, spec.out_channels),
+    ] {
+        if buffer.len() != expected_len {
+            return Err(TensorError::LengthMismatch {
+                expected: expected_len,
+                actual: buffer.len(),
+            });
+        }
+    }
+    if let Some(cached) = cols {
+        let expected = conv2d_cols_len(input, spec)?;
+        if cached.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: cached.len(),
+            });
+        }
+    }
+    let src = input.as_slice();
+    let go = grad_output.as_slice();
+    for (oc, slot) in grad_bias.iter_mut().enumerate() {
+        *slot = 0.0;
+        for b in 0..g.batch {
+            let plane = &go[(b * spec.out_channels + oc) * g.out_plane..][..g.out_plane];
+            for &value in plane {
+                *slot += value;
+            }
+        }
+    }
+    let pointwise = spec.kernel == 1 && spec.stride == 1 && spec.padding == 0;
+    let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    conv_grad_weight(src, go, spec, &g, pointwise, cols, grad_weight, macs);
+    Ok(())
 }
 
 /// Unfolds `input` (`[batch, channels, h, w]`) into a matrix of sliding
@@ -1112,6 +1807,96 @@ mod tests {
         let folded = col2im(&y, &dims, &spec).unwrap();
         let rhs = x.dot(&folded).unwrap();
         assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    /// The depthwise backward fast paths (direct-tap grad_weight, fused
+    /// rank-1 grad_input scatter) must equal the generic lowered
+    /// formulation — grad-cols GEMM + col2im, per-batch GEMV over unfolded
+    /// columns — exactly.
+    #[test]
+    fn depthwise_backward_matches_lowered_formulation_bitwise() {
+        let mut rng = StdRng::seed_from(0xD11);
+        for (stride, size) in [(1usize, 9usize), (2, 8)] {
+            let spec = Conv2dSpec::new(6, 6, 3)
+                .with_padding(1)
+                .with_stride(stride)
+                .with_groups(6);
+            let dims = [3usize, 6, size, size];
+            let input = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+            let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.5, &mut rng);
+            let g = ConvGeometry::new(&input, &spec).unwrap();
+            let grad_output = Tensor::randn(
+                &[g.batch, spec.out_channels, g.out_h, g.out_w],
+                0.0,
+                1.0,
+                &mut rng,
+            );
+            Parallelism::single().make_current();
+            let (gi, gw, gb) = conv2d_backward(&input, &weight, &grad_output, &spec).unwrap();
+
+            // The lowered reference: exactly the pre-fast-path algorithm.
+            let src = input.as_slice();
+            let w = weight.as_slice();
+            let go = grad_output.as_slice();
+            let mut expected_gi = vec![0.0f32; src.len()];
+            let unit_len = g.cin_g * g.height * g.width;
+            for (unit_index, unit) in expected_gi.chunks_mut(unit_len).enumerate() {
+                let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
+                let w_group = &w[group * g.cout_g * g.ckk..][..g.cout_g * g.ckk];
+                let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                    [..g.cout_g * g.out_plane];
+                let mut grad_cols = vec![0.0f32; g.ckk * g.out_plane];
+                sgemm(
+                    true,
+                    false,
+                    g.ckk,
+                    g.out_plane,
+                    g.cout_g,
+                    1.0,
+                    w_group,
+                    go_group,
+                    0.0,
+                    &mut grad_cols,
+                    Parallelism::single(),
+                );
+                col2im_group(&grad_cols, unit, &g, &spec);
+            }
+            let mut expected_gw = vec![0.0f32; w.len()];
+            for (group, unit) in expected_gw.chunks_mut(g.cout_g * g.ckk).enumerate() {
+                let mut cols = vec![0.0f32; g.ckk * g.out_plane];
+                for b in 0..g.batch {
+                    im2col_group(&mut cols, src, &g, &spec, b, group * g.cin_g);
+                    let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
+                        [..g.cout_g * g.out_plane];
+                    let beta = if b == 0 { 0.0 } else { 1.0 };
+                    sgemm(
+                        false,
+                        true,
+                        g.cout_g,
+                        g.ckk,
+                        g.out_plane,
+                        1.0,
+                        go_group,
+                        &cols,
+                        beta,
+                        unit,
+                        Parallelism::single(),
+                    );
+                }
+            }
+            assert_eq!(
+                gi.as_slice(),
+                expected_gi.as_slice(),
+                "grad_input diverged (stride {stride})"
+            );
+            assert_eq!(
+                gw.as_slice(),
+                expected_gw.as_slice(),
+                "grad_weight diverged (stride {stride})"
+            );
+            assert_eq!(gb.len(), 6);
+            Parallelism::auto().make_current();
+        }
     }
 
     #[test]

@@ -133,6 +133,91 @@ impl EpilogueActivation {
     }
 }
 
+/// The derivative of an [`EpilogueActivation`], evaluated at the forward
+/// input — the factor a training-time backward pass multiplies the incoming
+/// gradient by.
+///
+/// Like [`EpilogueActivation::apply`], each arm is byte-for-byte the scalar
+/// expression the standalone activation layers' backward passes evaluate, so
+/// folding the mask into a GEMM write-back (see [`Epilogue::Mask`]) changes
+/// no bits relative to the separate derivative-then-multiply passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationGrad {
+    /// `1` where the input was positive, `0` elsewhere.
+    Relu,
+    /// `s(x) * (1 - s(x))` for the logistic sigmoid `s`.
+    Sigmoid,
+    /// `1/6` on the linear ramp of the hard sigmoid, `0` outside.
+    HardSigmoid,
+    /// The piecewise-linear hard-swish derivative.
+    HardSwish,
+}
+
+impl ActivationGrad {
+    /// Evaluates the derivative at one forward-input value.
+    #[inline(always)]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            ActivationGrad::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationGrad::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            ActivationGrad::HardSigmoid => {
+                if x > -3.0 && x < 3.0 {
+                    1.0 / 6.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationGrad::HardSwish => {
+                if x <= -3.0 {
+                    0.0
+                } else if x >= 3.0 {
+                    1.0
+                } else {
+                    (2.0 * x + 3.0) / 6.0
+                }
+            }
+        }
+    }
+}
+
+impl EpilogueActivation {
+    /// The derivative that masks this activation's gradient in a backward
+    /// pass.
+    pub fn grad(self) -> ActivationGrad {
+        match self {
+            EpilogueActivation::Relu => ActivationGrad::Relu,
+            EpilogueActivation::Sigmoid => ActivationGrad::Sigmoid,
+            EpilogueActivation::HardSigmoid => ActivationGrad::HardSigmoid,
+            EpilogueActivation::HardSwish => ActivationGrad::HardSwish,
+        }
+    }
+}
+
+/// An activation-gradient mask fused into a backward GEMM's write-back.
+///
+/// `input` is the activation layer's cached *forward input*, laid out
+/// exactly like the GEMM output `C` (`m x n`, row-major): each written
+/// element becomes `acc * grad.derivative(input[same position])`, which is
+/// bit-identical to running the GEMM unfused and then the standalone
+/// derivative-then-multiply activation backward pass over its result.
+#[derive(Debug, Clone, Copy)]
+pub struct GradMask<'a> {
+    /// The forward input of the activation being differentiated, aligned
+    /// element-for-element with the GEMM output.
+    pub input: &'a [f32],
+    /// Which activation's derivative to evaluate.
+    pub grad: ActivationGrad,
+}
+
 /// One channel's hoisted normalisation constants — see
 /// [`ChannelNorm::params`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -283,6 +368,13 @@ pub enum Epilogue<'a> {
         /// Activation applied after the normalisation, if fused.
         activation: Option<EpilogueActivation>,
     },
+    /// The backward-pass fusion: each element of the final write-back is
+    /// multiplied by the activation derivative evaluated at the cached
+    /// forward input (see [`GradMask`]). Carries no bias, so the chain is
+    /// `0, ascending-k accumulation, acc * derivative` — bit-identical to
+    /// the unfused GEMM followed by the separate masking pass. Requires
+    /// `beta == 0` and `input.len() == m * n`.
+    Mask(GradMask<'a>),
 }
 
 impl<'a> Epilogue<'a> {
@@ -300,7 +392,7 @@ impl<'a> Epilogue<'a> {
     /// The fused bias, if any.
     fn bias(&self) -> Option<Bias<'a>> {
         match *self {
-            Epilogue::None => None,
+            Epilogue::None | Epilogue::Mask(_) => None,
             Epilogue::Bias(b)
             | Epilogue::BiasRelu(b)
             | Epilogue::BiasSigmoid(b)
@@ -313,7 +405,7 @@ impl<'a> Epilogue<'a> {
     /// The fused activation, if any.
     fn activation(&self) -> Option<EpilogueActivation> {
         match self {
-            Epilogue::None | Epilogue::Bias(_) => None,
+            Epilogue::None | Epilogue::Bias(_) | Epilogue::Mask(_) => None,
             Epilogue::BiasRelu(_) => Some(EpilogueActivation::Relu),
             Epilogue::BiasSigmoid(_) => Some(EpilogueActivation::Sigmoid),
             Epilogue::BiasHardSigmoid(_) => Some(EpilogueActivation::HardSigmoid),
@@ -330,9 +422,32 @@ impl<'a> Epilogue<'a> {
         }
     }
 
+    /// The fused backward gradient mask, if any.
+    fn mask(&self) -> Option<GradMask<'a>> {
+        match *self {
+            Epilogue::Mask(mask) => Some(mask),
+            _ => None,
+        }
+    }
+
     /// Whether this epilogue performs any fused transform at all.
     fn is_some(&self) -> bool {
         !matches!(self, Epilogue::None)
+    }
+
+    /// Narrows a [`Epilogue::Mask`] to the output rows `[row_start,
+    /// row_end)` so each threaded worker indexes the mask with the same
+    /// chunk-relative offsets it uses for its rows of `C`. Every other
+    /// variant is returned unchanged (their per-row data is indexed by
+    /// absolute row).
+    fn narrow_mask_rows(self, row_start: usize, row_end: usize, n: usize) -> Self {
+        match self {
+            Epilogue::Mask(mask) => Epilogue::Mask(GradMask {
+                input: &mask.input[row_start * n..row_end * n],
+                grad: mask.grad,
+            }),
+            other => other,
+        }
     }
 }
 
@@ -447,6 +562,13 @@ pub fn sgemm_epilogue(
             "sgemm: norm statistics must cover every output row"
         );
     }
+    if let Some(mask) = epilogue.mask() {
+        assert_eq!(
+            mask.input.len(),
+            m * n,
+            "sgemm: gradient mask must align with the m x n output"
+        );
+    }
     if m == 0 || n == 0 {
         return;
     }
@@ -546,6 +668,9 @@ pub fn sgemm_epilogue(
                 let (chunk, tail) = rest.split_at_mut(rows * n);
                 rest = tail;
                 let (start, end) = (range.start, range.end);
+                // A gradient mask is chunked alongside C so workers index it
+                // chunk-relative; every other epilogue passes through.
+                let worker_epilogue = epilogue.narrow_mask_rows(start, end, n);
                 if index + 1 == ranges.len() {
                     // The caller works the final chunk itself.
                     gemm_rows(
@@ -561,7 +686,7 @@ pub fn sgemm_epilogue(
                         b,
                         beta,
                         chunk,
-                        epilogue,
+                        worker_epilogue,
                         Some(shared_b),
                     );
                 } else {
@@ -579,7 +704,7 @@ pub fn sgemm_epilogue(
                             b,
                             beta,
                             chunk,
-                            epilogue,
+                            worker_epilogue,
                             Some(shared_b),
                         );
                     }));
@@ -666,6 +791,15 @@ fn gemv_row(
             }
         }
     }
+    // The backward gradient mask: multiply each accumulated element by the
+    // derivative at the cached forward input — the same `value * d(x)`
+    // product the standalone masking pass computes.
+    if let Some(mask) = epilogue.mask() {
+        for (slot, &x) in c.iter_mut().zip(mask.input) {
+            *slot *= mask.grad.derivative(x);
+        }
+        return;
+    }
     // The fused transforms; the single row is channel 0 for a norm.
     let norm = epilogue.norm().map(|nm| nm.params(0));
     match (norm, epilogue.activation()) {
@@ -695,6 +829,14 @@ fn gemv_row(
 fn apply_degenerate_epilogue(c: &mut [f32], n: usize, beta: f32, epilogue: Epilogue<'_>) {
     if !epilogue.is_some() {
         scale_c(c, beta);
+        return;
+    }
+    if let Some(mask) = epilogue.mask() {
+        // No bias, so the chain head is 0; the mask still multiplies it,
+        // preserving the sign-of-zero behaviour of the unfused pass.
+        for (slot, &x) in c.iter_mut().zip(mask.input) {
+            *slot = 0.0 * mask.grad.derivative(x);
+        }
         return;
     }
     let act = epilogue.activation();
@@ -855,6 +997,7 @@ fn gemm_blocks(
                 } else {
                     None
                 },
+                mask: if last_k_block { epilogue.mask() } else { None },
             };
             let mut ic = row_start;
             while ic < row_end {
@@ -888,6 +1031,9 @@ struct TilePass<'a> {
     first_k_block: bool,
     norm: Option<ChannelNorm<'a>>,
     activation: Option<EpilogueActivation>,
+    /// Backward gradient mask, sliced to align with this worker's chunk of
+    /// `C` (so it is indexed with the same chunk-relative offsets).
+    mask: Option<GradMask<'a>>,
 }
 
 /// Packs the `kc x nc` block of `op(B)` at `(pc, jc)` into NR-wide column
@@ -1114,31 +1260,44 @@ fn micro_kernel(
             }
         }
     }
-    // The fused norm/activation fires exactly once, in the final K block's
-    // write-back, while the tile is still in registers; spills between K
-    // blocks store the raw partial sums. `f` receives the tile-local row so
-    // the per-row norm statistics index by absolute output channel.
+    // The fused norm/activation/mask fires exactly once, in the final K
+    // block's write-back, while the tile is still in registers; spills
+    // between K blocks store the raw partial sums. `f` receives the
+    // tile-local row (for per-row norm statistics, indexed by absolute
+    // output channel) and the column within the row (for the element-wise
+    // gradient mask).
     macro_rules! store_tile {
         ($f:expr) => {{
             let f = $f;
             for i in 0..height {
                 let c_row = &mut c[c_offset + i * ldc..][..width];
                 for j in 0..width_l {
-                    c_row[j] = f(i, acc_l[i][j]);
+                    c_row[j] = f(i, j, acc_l[i][j]);
                 }
                 for j in 0..width_m {
-                    c_row[NRH + j] = f(i, acc_m[i][j]);
+                    c_row[NRH + j] = f(i, NRH + j, acc_m[i][j]);
                 }
                 for j in 0..width_r {
-                    c_row[2 * NRH + j] = f(i, acc_r[i][j]);
+                    c_row[2 * NRH + j] = f(i, 2 * NRH + j, acc_r[i][j]);
                 }
             }
         }};
     }
+    if let Some(mask) = pass.mask {
+        // Backward masking: multiply each element by the activation
+        // derivative at the matching cached forward input (chunk-aligned
+        // slice, so the offsets mirror `c` exactly).
+        store_tile!(|i: usize, j: usize, x: f32| {
+            x * mask.grad.derivative(mask.input[c_offset + i * ldc + j])
+        });
+        return;
+    }
     match (pass.norm, pass.activation) {
-        (None, None) => store_tile!(|_i: usize, x: f32| x),
-        (None, Some(EpilogueActivation::Relu)) => store_tile!(|_i: usize, x: f32| x.max(0.0)),
-        (None, Some(act)) => store_tile!(|_i: usize, x: f32| act.apply(x)),
+        (None, None) => store_tile!(|_i: usize, _j: usize, x: f32| x),
+        (None, Some(EpilogueActivation::Relu)) => {
+            store_tile!(|_i: usize, _j: usize, x: f32| x.max(0.0))
+        }
+        (None, Some(act)) => store_tile!(|_i: usize, _j: usize, x: f32| act.apply(x)),
         (Some(nm), act) => {
             // Hoist each row's channel constants (one sqrt + divide) out of
             // the store loops; reuse is bit-identical to recomputation.
@@ -1147,8 +1306,10 @@ fn micro_kernel(
                 *slot = nm.params(abs_row + i);
             }
             match act {
-                None => store_tile!(|i: usize, x: f32| rows[i].transform(x)),
-                Some(act) => store_tile!(|i: usize, x: f32| act.apply(rows[i].transform(x))),
+                None => store_tile!(|i: usize, _j: usize, x: f32| rows[i].transform(x)),
+                Some(act) => {
+                    store_tile!(|i: usize, _j: usize, x: f32| act.apply(rows[i].transform(x)))
+                }
             }
         }
     }
@@ -1540,6 +1701,118 @@ mod tests {
             );
             assert_bits_equal(&c, &expected, &format!("norm epilogue, threads={threads}"));
         }
+    }
+
+    /// The backward-fusion property: a [`Epilogue::Mask`] GEMM is
+    /// bit-identical to the unfused GEMM followed by the standalone
+    /// derivative-then-multiply pass, across random shapes, transpose
+    /// flags, every activation derivative and thread counts — including
+    /// shapes spanning several KC blocks (the mask must fire only on the
+    /// final K block's write-back) and shapes with several threads' worth
+    /// of MACs so the chunk-aligned mask slicing genuinely runs threaded.
+    #[test]
+    fn property_grad_mask_epilogue_matches_unfused_reference_to_zero_ulp() {
+        let mut rng = StdRng::seed_from(0x6AAD);
+        let grads = [
+            ActivationGrad::Relu,
+            ActivationGrad::Sigmoid,
+            ActivationGrad::HardSigmoid,
+            ActivationGrad::HardSwish,
+        ];
+        for case in 0..32 {
+            let (m, n, k) = if case % 8 == 7 {
+                (
+                    200 + (rng.next_u64() % 100) as usize,
+                    140 + (rng.next_u64() % 60) as usize,
+                    300 + (rng.next_u64() % 80) as usize,
+                )
+            } else {
+                (
+                    1 + (rng.next_u64() % 70) as usize,
+                    1 + (rng.next_u64() % 70) as usize,
+                    1 + (rng.next_u64() % if case % 3 == 0 { 600 } else { 60 }) as usize,
+                )
+            };
+            let trans_a = rng.next_u64().is_multiple_of(2);
+            let trans_b = rng.next_u64().is_multiple_of(2);
+            let grad = grads[(rng.next_u64() % grads.len() as u64) as usize];
+            let a = random_vec(m * k, &mut rng);
+            let b = random_vec(k * n, &mut rng);
+            let forward_input = random_vec(m * n, &mut rng);
+            // Unfused reference: plain GEMM, then the standalone activation
+            // backward (derivative pass + element-wise product).
+            let mut expected = vec![0.0f32; m * n];
+            sgemm(
+                trans_a,
+                trans_b,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut expected,
+                Parallelism::single(),
+            );
+            for (slot, &x) in expected.iter_mut().zip(&forward_input) {
+                *slot *= grad.derivative(x);
+            }
+            for threads in [1usize, 2, 4] {
+                let mut c = vec![f32::NAN; m * n];
+                sgemm_epilogue(
+                    trans_a,
+                    trans_b,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    &b,
+                    0.0,
+                    &mut c,
+                    Epilogue::Mask(GradMask {
+                        input: &forward_input,
+                        grad,
+                    }),
+                    Parallelism::fixed(threads),
+                );
+                assert_bits_equal(
+                    &c,
+                    &expected,
+                    &format!(
+                        "case {case}: m={m} n={n} k={k} ta={trans_a} tb={trans_b} \
+                         grad={grad:?} threads={threads}"
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_mask_on_degenerate_k_masks_zeros() {
+        // k == 0: the chain is 0 * derivative — still multiplied, so the
+        // sign of zero matches the unfused pass.
+        let forward_input = [1.0f32, -2.0, 0.5, -0.5];
+        let mut c = [f32::NAN; 4];
+        sgemm_epilogue(
+            false,
+            false,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            0.0,
+            &mut c,
+            Epilogue::Mask(GradMask {
+                input: &forward_input,
+                grad: ActivationGrad::Relu,
+            }),
+            Parallelism::single(),
+        );
+        assert_eq!(c, [0.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -107,18 +107,21 @@ mod tensor;
 
 pub use arena::TensorArena;
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_fused, conv2d_im2col, im2col, Conv2dSpec, ConvFusion,
+    col2im, conv2d, conv2d_backward, conv2d_backward_into, conv2d_backward_params_into,
+    conv2d_cols_len, conv2d_fused, conv2d_fused_caching, conv2d_im2col, im2col, Conv2dSpec,
+    ConvFusion,
 };
 pub use error::{Result, TensorError};
 pub use kernels::{
-    fused_mul_add, sgemm, sgemm_epilogue, Bias, BiasAxis, ChannelNorm, Epilogue,
-    EpilogueActivation, NormParams, FUSED_MULTIPLY_ADD, MR, NR,
+    fused_mul_add, sgemm, sgemm_epilogue, ActivationGrad, Bias, BiasAxis, ChannelNorm, Epilogue,
+    EpilogueActivation, GradMask, NormParams, FUSED_MULTIPLY_ADD, MR, NR,
 };
-pub use ops::{log_softmax_rows, softmax_rows};
+pub use ops::{log_softmax_rows, log_softmax_rows_into, softmax_rows};
 pub use parallel::Parallelism;
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, global_avg_pool2d, global_avg_pool2d_into,
-    max_pool2d, max_pool2d_backward, max_pool2d_infer, max_pool2d_infer_into, pooled_dims,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_into, avg_pool2d_into, global_avg_pool2d,
+    global_avg_pool2d_into, max_pool2d, max_pool2d_backward, max_pool2d_backward_into,
+    max_pool2d_infer, max_pool2d_infer_into, max_pool2d_train_into, pooled_dims,
 };
 pub use rng::StdRng;
 pub use shape::{Shape, MAX_RANK};

@@ -37,6 +37,20 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
 ///
 /// Returns an error if `logits` is not a rank-2 tensor or has zero columns.
 pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let mut out = vec![0.0f32; logits.len()];
+    let dims = log_softmax_rows_into(logits, &mut out)?;
+    Tensor::from_vec(out, &dims)
+}
+
+/// [`log_softmax_rows`] writing into a caller-provided buffer (fully
+/// overwritten, so a recycled arena buffer is safe). Returns the output
+/// dimensions `[rows, cols]`.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not a rank-2 tensor, has zero columns, or
+/// `out` has the wrong length.
+pub fn log_softmax_rows_into(logits: &Tensor, out: &mut [f32]) -> Result<[usize; 2]> {
     if logits.rank() != 2 {
         return Err(TensorError::RankMismatch {
             op: "log_softmax_rows",
@@ -50,10 +64,15 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
             op: "log_softmax_rows",
         });
     }
-    let mut out = logits.clone();
-    let data = out.as_mut_slice();
+    if out.len() != logits.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: logits.len(),
+            actual: out.len(),
+        });
+    }
+    out.copy_from_slice(logits.as_slice());
     for r in 0..rows {
-        let row = &mut data[r * cols..(r + 1) * cols];
+        let row = &mut out[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -65,7 +84,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
             *v -= log_sum;
         }
     }
-    Ok(out)
+    Ok([rows, cols])
 }
 
 #[cfg(test)]

@@ -223,6 +223,72 @@ where
     });
 }
 
+/// [`for_each_unit`] over two parallel buffers: `f(index, unit, extra_unit)`
+/// receives the `unit_len` chunk of `buf` *and* the `extra_len` chunk of
+/// `extra` for the same unit index. Both are written by exactly one thread;
+/// the same determinism argument applies. `extra_len` must be positive and
+/// `extra` must hold one chunk per unit of `buf`.
+pub(crate) fn for_each_unit_pair<F>(
+    buf: &mut [f32],
+    unit_len: usize,
+    extra: &mut [f32],
+    extra_len: usize,
+    threads: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    if unit_len == 0 || buf.is_empty() {
+        return;
+    }
+    debug_assert!(extra_len > 0);
+    debug_assert_eq!(buf.len() / unit_len * extra_len, extra.len());
+    let total = buf.len().div_ceil(unit_len);
+    let threads = threads.clamp(1, total);
+    if threads == 1 {
+        // Inline fast path, allocation-free like `for_each_unit`.
+        for (index, (unit, extra_unit)) in buf
+            .chunks_mut(unit_len)
+            .zip(extra.chunks_mut(extra_len))
+            .enumerate()
+        {
+            f(index, unit, extra_unit);
+        }
+        return;
+    }
+    let mut units: Vec<(&mut [f32], &mut [f32])> = buf
+        .chunks_mut(unit_len)
+        .zip(extra.chunks_mut(extra_len))
+        .collect();
+    let per_thread = total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut base = 0usize;
+        let mut handles = Vec::new();
+        while !units.is_empty() {
+            let take = per_thread.min(units.len());
+            let rest = units.split_off(take);
+            let mine = std::mem::replace(&mut units, rest);
+            let start = base;
+            base += take;
+            if units.is_empty() {
+                for (offset, (unit, extra_unit)) in mine.into_iter().enumerate() {
+                    f(start + offset, unit, extra_unit);
+                }
+            } else {
+                handles.push(scope.spawn(move || {
+                    for (offset, (unit, extra_unit)) in mine.into_iter().enumerate() {
+                        f(start + offset, unit, extra_unit);
+                    }
+                }));
+            }
+        }
+        for handle in handles {
+            handle.join().expect("kernel worker thread panicked");
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,12 +52,36 @@ fn pooled_size(size: usize, window: usize, stride: usize, op: &'static str) -> R
 /// # }
 /// ```
 pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<(Tensor, Vec<usize>)> {
-    let [batch, channels, height, width] = check_rank4(input, "max_pool2d")?;
-    let out_h = pooled_size(height, window, stride, "max_pool2d")?;
-    let out_w = pooled_size(width, window, stride, "max_pool2d")?;
+    let dims = pooled_dims(input, window, stride, "max_pool2d")?;
+    let mut out = vec![0.0f32; dims.iter().product()];
+    let mut indices = Vec::new();
+    max_pool2d_train_into(input, window, stride, &mut out, &mut indices)?;
+    Ok((Tensor::from_vec(out, &dims)?, indices))
+}
+
+/// [`max_pool2d`] writing the pooled values into a caller-provided buffer
+/// and the argmax indices into a reusable `Vec` (cleared and refilled, so
+/// its capacity is recycled across training steps). Returns the output
+/// dimensions.
+///
+/// # Errors
+///
+/// Returns an error on the same shape problems as [`max_pool2d`], or if
+/// `out` has the wrong length.
+pub fn max_pool2d_train_into(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    out: &mut [f32],
+    indices: &mut Vec<usize>,
+) -> Result<[usize; 4]> {
+    let dims = pooled_dims(input, window, stride, "max_pool2d")?;
+    check_out_len(out, &dims)?;
+    let [batch, channels, out_h, out_w] = dims;
+    let (height, width) = (input.dims()[2], input.dims()[3]);
     let src = input.as_slice();
-    let mut out = vec![0.0f32; batch * channels * out_h * out_w];
-    let mut indices = vec![0usize; out.len()];
+    indices.clear();
+    indices.resize(out.len(), 0);
     for b in 0..batch {
         for c in 0..channels {
             let plane = (b * channels + c) * height * width;
@@ -81,10 +105,7 @@ pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<(Tenso
             }
         }
     }
-    Ok((
-        Tensor::from_vec(out, &[batch, channels, out_h, out_w])?,
-        indices,
-    ))
+    Ok(dims)
 }
 
 /// Index-free max pooling for the inference hot path: identical output to
@@ -183,18 +204,34 @@ pub fn max_pool2d_backward(
     indices: &[usize],
     input_dims: &[usize],
 ) -> Result<Tensor> {
+    let mut grad_input = Tensor::zeros(input_dims);
+    max_pool2d_backward_into(grad_output, indices, grad_input.as_mut_slice())?;
+    Ok(grad_input)
+}
+
+/// [`max_pool2d_backward`] writing into a caller-provided buffer (fully
+/// overwritten: zeroed, then scattered into — a recycled arena buffer is
+/// safe).
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` and `indices` disagree in length.
+pub fn max_pool2d_backward_into(
+    grad_output: &Tensor,
+    indices: &[usize],
+    grad_input: &mut [f32],
+) -> Result<()> {
     if grad_output.len() != indices.len() {
         return Err(TensorError::LengthMismatch {
             expected: indices.len(),
             actual: grad_output.len(),
         });
     }
-    let mut grad_input = Tensor::zeros(input_dims);
-    let gi = grad_input.as_mut_slice();
+    grad_input.fill(0.0);
     for (&idx, &g) in indices.iter().zip(grad_output.as_slice()) {
-        gi[idx] += g;
+        grad_input[idx] += g;
     }
-    Ok(grad_input)
+    Ok(())
 }
 
 /// Average pooling with a square window.
@@ -260,6 +297,32 @@ pub fn avg_pool2d_backward(
     window: usize,
     stride: usize,
 ) -> Result<Tensor> {
+    let mut grad_input = Tensor::zeros(input_dims);
+    avg_pool2d_backward_into(
+        grad_output,
+        input_dims,
+        window,
+        stride,
+        grad_input.as_mut_slice(),
+    )?;
+    Ok(grad_input)
+}
+
+/// [`avg_pool2d_backward`] writing into a caller-provided buffer (fully
+/// overwritten: zeroed, then accumulated into — a recycled arena buffer is
+/// safe).
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` is not rank 4, inconsistent with the
+/// original input dimensions, or `grad_input` has the wrong length.
+pub fn avg_pool2d_backward_into(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    window: usize,
+    stride: usize,
+    grad_input: &mut [f32],
+) -> Result<()> {
     let [batch, channels, out_h, out_w] = check_rank4(grad_output, "avg_pool2d_backward")?;
     if input_dims.len() != 4 {
         return Err(TensorError::RankMismatch {
@@ -268,9 +331,16 @@ pub fn avg_pool2d_backward(
             actual: input_dims.len(),
         });
     }
+    let expected: usize = input_dims.iter().product();
+    if grad_input.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: grad_input.len(),
+        });
+    }
     let (height, width) = (input_dims[2], input_dims[3]);
-    let mut grad_input = Tensor::zeros(input_dims);
-    let gi = grad_input.as_mut_slice();
+    grad_input.fill(0.0);
+    let gi = grad_input;
     let go = grad_output.as_slice();
     let norm = 1.0 / (window * window) as f32;
     for b in 0..batch {
@@ -288,7 +358,7 @@ pub fn avg_pool2d_backward(
             }
         }
     }
-    Ok(grad_input)
+    Ok(())
 }
 
 /// Global average pooling: reduces `[batch, channels, h, w]` to

@@ -48,10 +48,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         ("eta = alpha / 10", 0.1),
     ] {
         let config = FineTuneConfig {
-            pretrain: base.clone(),
+            pretrain: base,
             finetune: TrainConfig {
                 learning_rate: 2e-3,
-                ..base.clone()
+                ..base
             },
             backbone_ratio: ratio,
         };

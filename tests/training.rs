@@ -1,0 +1,311 @@
+//! Workspace-level equivalence tests for the planned, zero-allocation
+//! training runtime: the `TrainPlan`-backed `forward_into` / `backward_into`
+//! path must be bit-identical (`==`) to the allocating `forward` /
+//! `backward` path — outputs, input gradients, parameter gradients, and
+//! (end-to-end) every parameter of a fully trained model — across layer
+//! types, shapes, thread counts {1, 2, 4} and repeated plan reuse.
+
+use mtlsplit_core::trainer::train_mtl;
+use mtlsplit_core::{MtlSplitModel, TrainConfig};
+use mtlsplit_data::shapes::ShapesConfig;
+use mtlsplit_models::{BackboneKind, MbConvBlock, SqueezeExcite};
+use mtlsplit_nn::{
+    AvgPool2d, BatchNorm2d, Conv2d, DepthwiseConv2d, Dropout, Flatten, GlobalAvgPool2d,
+    HardSigmoid, HardSwish, Layer, Linear, MaxPool2d, PointwiseConv2d, Relu, RunMode, Sequential,
+    Sgd, Sigmoid, TrainPlan,
+};
+use mtlsplit_tensor::{Parallelism, StdRng, Tensor};
+
+/// Builds the training-relevant layer stacks, covering every nn layer type
+/// plus the composite blocks (squeeze-excite, MBConv with skip) — including
+/// the Linear→activation windows whose backward pass fuses the activation
+/// gradient mask into the GEMM write-back.
+fn build_stacks(rng: &mut StdRng) -> Vec<(&'static str, Sequential, bool)> {
+    vec![
+        (
+            "mlp_heads",
+            Sequential::new()
+                .push(Linear::new(12, 24, rng))
+                .push(Relu::new())
+                .push(Linear::new(24, 9, rng))
+                .push(Sigmoid::new())
+                .push(Dropout::new(0.3).unwrap())
+                .push(Linear::new(9, 5, rng)),
+            false,
+        ),
+        (
+            "vgg_motif",
+            Sequential::new()
+                .push(Conv2d::new(3, 6, 3, 1, 1, rng))
+                .push(Relu::new())
+                .push(MaxPool2d::new(2, 2))
+                .push(Conv2d::new(6, 8, 3, 1, 1, rng))
+                .push(Relu::new())
+                .push(GlobalAvgPool2d::new())
+                .push(Flatten::new())
+                .push(Linear::new(8, 4, rng)),
+            true,
+        ),
+        (
+            "mobile_motif",
+            Sequential::new()
+                .push(Conv2d::new(3, 6, 3, 2, 1, rng))
+                .push(BatchNorm2d::new(6))
+                .push(HardSwish::new())
+                .push(DepthwiseConv2d::new(6, 3, 1, 1, rng))
+                .push(BatchNorm2d::new(6))
+                .push(HardSwish::new())
+                .push(PointwiseConv2d::new(6, 10, rng))
+                .push(BatchNorm2d::new(10))
+                .push(HardSigmoid::new())
+                .push(AvgPool2d::new(2, 2))
+                .push(GlobalAvgPool2d::new())
+                .push(Flatten::new()),
+            true,
+        ),
+        (
+            "efficient_motif",
+            Sequential::new()
+                .push(Conv2d::new(3, 8, 3, 2, 1, rng))
+                .push(BatchNorm2d::new(8))
+                .push(HardSwish::new())
+                .push(MbConvBlock::new(8, 8, 2, 1, rng))
+                .push(SqueezeExcite::new(8, 4, rng))
+                .push(GlobalAvgPool2d::new())
+                .push(Flatten::new()),
+            true,
+        ),
+    ]
+}
+
+/// The tentpole property: planned training == allocating training, bitwise,
+/// for every layer type, across thread counts and repeated plan reuse with
+/// changing batch sizes (which also proves no stale arena buffer contents
+/// bleed between steps).
+#[test]
+fn planned_training_matches_allocating_path_bitwise() {
+    let mut build_rng = StdRng::seed_from(0x7124);
+    for threads in [1usize, 2, 4] {
+        Parallelism::fixed(threads).make_current();
+        // Identical weights via one seed per (stack, threads) combination.
+        let seed = build_rng.next_u64();
+        let mut reference_stacks = build_stacks(&mut StdRng::seed_from(seed));
+        let mut planned_stacks = build_stacks(&mut StdRng::seed_from(seed));
+        for ((name, reference, image_input), (_, planned, _)) in
+            reference_stacks.iter_mut().zip(planned_stacks.iter_mut())
+        {
+            let mut ref_rng = StdRng::seed_from(77);
+            let mut plan_rng = StdRng::seed_from(77);
+            let mut data_rng = StdRng::seed_from(78);
+            let mut plan = TrainPlan::new();
+            // One plan serves steps of varying batch size in sequence.
+            for (step, batch) in [2usize, 1, 4, 3].into_iter().enumerate() {
+                let x = if *image_input {
+                    Tensor::randn(&[batch, 3, 12, 12], 0.0, 1.0, &mut data_rng)
+                } else {
+                    Tensor::randn(&[batch, 12], 0.0, 1.0, &mut data_rng)
+                };
+                let y_ref = reference.forward(&x, RunMode::train(&mut ref_rng)).unwrap();
+                let probe = Tensor::randn(y_ref.dims(), 0.0, 1.0, &mut data_rng);
+                let g_ref = reference.backward(&probe).unwrap();
+
+                let y = plan
+                    .forward(planned, &x, RunMode::train(&mut plan_rng))
+                    .unwrap();
+                assert_eq!(
+                    y, y_ref,
+                    "{name}: planned forward diverged (threads={threads}, step={step}, \
+                     batch={batch})"
+                );
+                let g = plan.backward(planned, &probe).unwrap();
+                assert_eq!(
+                    g, g_ref,
+                    "{name}: planned backward diverged (threads={threads}, step={step}, \
+                     batch={batch})"
+                );
+                for (index, (a, b)) in planned
+                    .parameters()
+                    .iter()
+                    .zip(reference.parameters())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.grad(),
+                        b.grad(),
+                        "{name}: parameter gradient {index} diverged (threads={threads}, \
+                         step={step}, batch={batch})"
+                    );
+                }
+                plan.recycle(y);
+                plan.recycle(g);
+            }
+        }
+    }
+    Parallelism::auto().make_current();
+}
+
+/// After the warm-up step, repeated planned steps over a fixed shape must be
+/// served entirely from the arena — the cross-step buffer-reuse guarantee.
+#[test]
+fn planned_training_steps_stop_taking_fresh_memory() {
+    let mut rng = StdRng::seed_from(0x51AB);
+    let mut net = Sequential::new()
+        .push(Conv2d::new(3, 6, 3, 2, 1, &mut rng))
+        .push(BatchNorm2d::new(6))
+        .push(HardSwish::new())
+        .push(GlobalAvgPool2d::new())
+        .push(Flatten::new())
+        .push(Linear::new(6, 4, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(4, 3, &mut rng));
+    let mut train_rng = StdRng::seed_from(2);
+    let mut plan = TrainPlan::new();
+    let x = Tensor::randn(&[3, 3, 12, 12], 0.0, 1.0, &mut rng);
+    let probe = Tensor::randn(&[3, 3], 0.0, 1.0, &mut rng);
+    let mut warmed = None;
+    for step in 0..8 {
+        let y = plan
+            .forward(&mut net, &x, RunMode::train(&mut train_rng))
+            .unwrap();
+        let g = plan.backward(&mut net, &probe).unwrap();
+        plan.recycle(y);
+        plan.recycle(g);
+        if step == 0 {
+            warmed = Some(plan.fresh_allocations());
+        }
+    }
+    assert_eq!(
+        plan.fresh_allocations(),
+        warmed.unwrap(),
+        "steady-state planned training must not take fresh arena memory"
+    );
+}
+
+/// The end-to-end guarantee: a full multi-epoch `train_model` run yields
+/// bit-identical final parameters (and loss history, and test accuracies)
+/// whether it runs on the planned TrainPlan substrate or the allocating
+/// layer-wise path.
+#[test]
+fn train_model_is_bit_identical_across_planned_and_allocating_paths() {
+    let (train, test) = ShapesConfig {
+        samples: 96,
+        image_size: 16,
+        noise_fraction: 0.05,
+    }
+    .generate_table1_tasks(41)
+    .unwrap()
+    .split(0.75, 41)
+    .unwrap();
+    let base = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        head_hidden: 16,
+        seed: 42,
+        ..TrainConfig::default()
+    };
+    for kind in [BackboneKind::MobileStyle, BackboneKind::EfficientStyle] {
+        let planned = train_mtl(
+            kind,
+            &train,
+            &test,
+            &TrainConfig {
+                use_train_plan: true,
+                ..base
+            },
+        )
+        .unwrap();
+        let allocating = train_mtl(
+            kind,
+            &train,
+            &test,
+            &TrainConfig {
+                use_train_plan: false,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            planned.loss_history, allocating.loss_history,
+            "{kind}: loss history diverged between planned and allocating training"
+        );
+        let mut planned_model: MtlSplitModel = planned.model;
+        let mut allocating_model: MtlSplitModel = allocating.model;
+        for (index, (a, b)) in planned_model
+            .parameters_mut()
+            .iter()
+            .zip(allocating_model.parameters_mut())
+            .enumerate()
+        {
+            assert_eq!(
+                a.value(),
+                b.value(),
+                "{kind}: final parameter {index} diverged between planned and allocating \
+                 training"
+            );
+        }
+        for (a, b) in planned.accuracies.iter().zip(&allocating.accuracies) {
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "{kind}");
+        }
+    }
+}
+
+/// A quick sanity check that the planned path is also what an SGD-driven
+/// custom loop sees: `train_batch_with` and `train_batch` agree under a
+/// non-default optimizer, across thread counts.
+#[test]
+fn planned_train_batch_agrees_across_thread_counts() {
+    let mut rng = StdRng::seed_from(91);
+    let tasks = vec![
+        mtlsplit_data::TaskSpec::new("a", 4),
+        mtlsplit_data::TaskSpec::new("b", 3),
+    ];
+    let x = Tensor::randn(&[6, 3, 16, 16], 0.5, 0.2, &mut rng);
+    let labels = vec![vec![0, 1, 2, 3, 0, 1], vec![0, 1, 2, 0, 1, 2]];
+    let reference_params: Vec<Tensor> = {
+        Parallelism::single().make_current();
+        let mut rng = StdRng::seed_from(5);
+        let mut model =
+            MtlSplitModel::new(BackboneKind::MobileStyle, 3, 16, &tasks, 12, &mut rng).unwrap();
+        let mut opt = Sgd::new(0.05);
+        let mut plan = TrainPlan::new();
+        let mut losses = Vec::new();
+        for _ in 0..3 {
+            model
+                .train_batch_with(&x, &labels, &mut opt, &mut plan, &mut losses)
+                .unwrap();
+        }
+        model
+            .parameters_mut()
+            .iter()
+            .map(|p| p.value().clone())
+            .collect()
+    };
+    for threads in [2usize, 4] {
+        Parallelism::fixed(threads).make_current();
+        let mut rng = StdRng::seed_from(5);
+        let mut model =
+            MtlSplitModel::new(BackboneKind::MobileStyle, 3, 16, &tasks, 12, &mut rng).unwrap();
+        let mut opt = Sgd::new(0.05);
+        let mut plan = TrainPlan::new();
+        let mut losses = Vec::new();
+        for _ in 0..3 {
+            model
+                .train_batch_with(&x, &labels, &mut opt, &mut plan, &mut losses)
+                .unwrap();
+        }
+        for (index, (p, reference)) in model
+            .parameters_mut()
+            .iter()
+            .zip(&reference_params)
+            .enumerate()
+        {
+            assert_eq!(
+                p.value(),
+                reference,
+                "parameter {index} diverged at {threads} threads"
+            );
+        }
+    }
+    Parallelism::auto().make_current();
+}
