@@ -37,6 +37,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mtlsplit_obs as obs;
+
 use mtlsplit_nn::{
     BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, HardSwish, InferPlan, Layer, Linear, MaxPool2d,
     Relu, Sequential,
@@ -1176,6 +1178,97 @@ fn measure_model(reps: usize) -> EdgeMeasurement {
 }
 
 // ---------------------------------------------------------------------------
+// Tracing-overhead gates
+// ---------------------------------------------------------------------------
+
+/// The two machine-checked observability contracts on the full-model planned
+/// pass:
+///
+/// 1. **Tracing enabled adds 0 allocations.** Spans land in thread-local
+///    rings preallocated at first use, so after one warm-up pass the planned
+///    path must stay allocation-free with tracing on.
+/// 2. **Tracing disabled adds <1% latency.** The disabled path is one
+///    relaxed atomic load plus a branch per span site; measured directly
+///    (ns per disabled span × spans the pass actually emits) against the
+///    measured planned latency.
+struct TracingGates {
+    enabled_allocs_per_pass: f64,
+    spans_per_pass: usize,
+    disabled_span_ns: f64,
+    disabled_overhead_fraction: f64,
+}
+
+fn measure_tracing_gates(planned_ms: f64) -> TracingGates {
+    let spec = model_spec();
+    let net = build_sequential(&spec, 51);
+    let boxed_heads = build_boxed_heads(MODEL_FEATURES, 52);
+    let mut rng = StdRng::seed_from(53);
+    let x = Tensor::randn(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let mut plan = InferPlan::new();
+    let planned_pass = |plan: &mut InferPlan| {
+        let features = plan.run(&net, &x).expect("planned backbone");
+        for head in &boxed_heads {
+            let logits = plan.run(head.as_ref(), &features).expect("planned head");
+            plan.recycle(logits);
+        }
+        plan.recycle(features);
+    };
+
+    // Gate 1: zero steady-state allocations with tracing ENABLED. The first
+    // traced pass registers this thread's ring (one-time allocation), so
+    // warm up before counting.
+    obs::set_enabled(true);
+    planned_pass(&mut plan);
+    planned_pass(&mut plan);
+    let samples = 16u64;
+    let before = allocations();
+    for _ in 0..samples {
+        planned_pass(&mut plan);
+    }
+    let enabled_allocs_per_pass = (allocations() - before) as f64 / samples as f64;
+    assert_eq!(
+        enabled_allocs_per_pass, 0.0,
+        "the planned full-model pass must stay allocation-free with tracing \
+         enabled (spans must land in the preallocated rings)"
+    );
+
+    // How many spans one pass actually emits (for the overhead bound below).
+    obs::reset();
+    planned_pass(&mut plan);
+    let spans_per_pass: usize = obs::export().iter().map(|t| t.spans.len()).sum();
+    obs::set_enabled(false);
+    obs::reset();
+
+    // Gate 2: the disabled span site is cheap enough that every span the
+    // pass would emit stays under 1% of the pass latency.
+    let iters = 4_000_000u64;
+    let start = Instant::now();
+    for i in 0..iters {
+        let span = criterion::black_box(obs::span_dims(
+            "disabled-overhead",
+            obs::SpanKind::Custom,
+            [i as u32, 0, 0, 0],
+        ));
+        drop(span);
+    }
+    let disabled_span_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    let disabled_overhead_fraction = spans_per_pass as f64 * disabled_span_ns / (planned_ms * 1e6);
+    assert!(
+        disabled_overhead_fraction < 0.01,
+        "tracing-disabled overhead must stay under 1% of planned latency \
+         ({spans_per_pass} spans x {disabled_span_ns:.2} ns = {:.3}% of {planned_ms:.3} ms)",
+        disabled_overhead_fraction * 100.0
+    );
+
+    TracingGates {
+        enabled_allocs_per_pass,
+        spans_per_pass,
+        disabled_span_ns,
+        disabled_overhead_fraction,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Output
 // ---------------------------------------------------------------------------
 
@@ -1189,13 +1282,26 @@ fn stats_json(label: &str, stats: &PathStats, planned_ms: f64) -> String {
     )
 }
 
-fn dump_json(serving: &ServingMeasurement, edge: &[EdgeMeasurement], quick: bool) {
+fn dump_json(
+    serving: &ServingMeasurement,
+    edge: &[EdgeMeasurement],
+    gates: &TracingGates,
+    quick: bool,
+) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = String::from("{\n  \"benchmark\": \"inference\",\n");
     json.push_str(&format!(
         "  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n"
+    ));
+    json.push_str(&format!(
+        "  \"tracing\": {{\"enabled_allocs_per_pass\": {:.1}, \"spans_per_pass\": {}, \
+         \"disabled_span_ns\": {:.2}, \"disabled_overhead_pct\": {:.4}}},\n",
+        gates.enabled_allocs_per_pass,
+        gates.spans_per_pass,
+        gates.disabled_span_ns,
+        gates.disabled_overhead_fraction * 100.0
     ));
     json.push_str(&format!(
         "  \"planned_serving\": {{\"requests\": {}, \
@@ -1272,7 +1378,18 @@ fn bench_inference(_c: &mut Criterion) {
         );
     }
 
-    dump_json(&serving, &edge, quick);
+    // The observability contracts, gated on the measured full-model latency.
+    let gates = measure_tracing_gates(edge[2].planned.latency_ms);
+    println!(
+        "tracing: enabled adds {:.1} allocs/pass over {} spans; disabled span {:.2} ns \
+         -> {:.4}% of planned latency",
+        gates.enabled_allocs_per_pass,
+        gates.spans_per_pass,
+        gates.disabled_span_ns,
+        gates.disabled_overhead_fraction * 100.0
+    );
+
+    dump_json(&serving, &edge, &gates, quick);
     Parallelism::auto().make_current();
 }
 

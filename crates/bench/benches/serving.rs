@@ -65,6 +65,13 @@ struct DriveOutcome {
     elapsed_s: f64,
     p95_latency_s: f64,
     mean_batch_size: f64,
+    /// Per-phase breakdown (queue-wait / decode / forward / encode) from the
+    /// server's sharded histograms — the measured answer to "is serving
+    /// wire/queue-bound or compute-bound?".
+    queue_wait: mtlsplit_serve::PhaseStats,
+    decode: mtlsplit_serve::PhaseStats,
+    forward: mtlsplit_serve::PhaseStats,
+    encode: mtlsplit_serve::PhaseStats,
 }
 
 impl DriveOutcome {
@@ -115,7 +122,20 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
         elapsed_s,
         p95_latency_s: metrics.p95_latency_s,
         mean_batch_size: metrics.mean_batch_size,
+        queue_wait: metrics.queue_wait,
+        decode: metrics.decode,
+        forward: metrics.forward,
+        encode: metrics.encode,
     }
+}
+
+/// One phase as a JSON object fragment, milliseconds.
+fn phase_json(label: &str, phase: &mtlsplit_serve::PhaseStats) -> String {
+    format!(
+        "\"{label}\": {{\"p50_ms\": {:.4}, \"p95_ms\": {:.4}}}",
+        phase.p50_s * 1e3,
+        phase.p95_s * 1e3
+    )
 }
 
 /// Writes the measured grid to `BENCH_serving.json` at the repository root
@@ -142,11 +162,16 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
         json.push_str(&format!(
             "    {{\"workers\": {workers}, \"max_batch\": {max_batch}, \
              \"requests\": {}, \"requests_per_second\": {:.1}, \
-             \"p95_latency_ms\": {:.4}, \"mean_batch_size\": {:.3}}}{}\n",
+             \"p95_latency_ms\": {:.4}, \"mean_batch_size\": {:.3}, \
+             {}, {}, {}, {}}}{}\n",
             outcome.requests,
             outcome.requests_per_second(),
             outcome.p95_latency_s * 1e3,
             outcome.mean_batch_size,
+            phase_json("queue_wait", &outcome.queue_wait),
+            phase_json("decode", &outcome.decode),
+            phase_json("forward", &outcome.forward),
+            phase_json("encode", &outcome.encode),
             if index + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -180,6 +205,16 @@ fn bench_serving(c: &mut Criterion) {
                 outcome.p95_latency_s * 1e3,
                 outcome.mean_batch_size,
                 outcome.requests
+            );
+            println!(
+                "  phases: queue-wait p50 {:.3}/p95 {:.3} ms, forward p50 {:.3}/p95 {:.3} ms, \
+                 encode p50 {:.3}/p95 {:.3} ms",
+                outcome.queue_wait.p50_s * 1e3,
+                outcome.queue_wait.p95_s * 1e3,
+                outcome.forward.p50_s * 1e3,
+                outcome.forward.p95_s * 1e3,
+                outcome.encode.p50_s * 1e3,
+                outcome.encode.p95_s * 1e3,
             );
             rows.push((workers, max_batch, outcome));
         }

@@ -28,6 +28,7 @@ use mtlsplit_core::MtlSplitModel;
 use mtlsplit_data::TaskSpec;
 use mtlsplit_models::BackboneKind;
 use mtlsplit_nn::{AdamW, CrossEntropyLoss, TrainPlan};
+use mtlsplit_obs as obs;
 use mtlsplit_tensor::{global_avg_pool2d, sgemm, Conv2dSpec, Parallelism, StdRng, Tensor};
 
 // ---------------------------------------------------------------------------
@@ -990,6 +991,28 @@ fn measure_training(reps: usize, steps: usize, identity_steps: usize) -> Trainin
         planned_allocs, 0,
         "the planned training step must perform zero steady-state heap allocations \
          (saw {planned_allocs} over {steps} steps)"
+    );
+
+    // The same guarantee with tracing ENABLED: spans land in this thread's
+    // ring buffer, preallocated on the first traced step, so the steady
+    // state stays allocation-free with full span emission.
+    obs::set_enabled(true);
+    planned_model
+        .train_batch_with(&images, &labels, &mut planned_opt, &mut plan, &mut losses)
+        .expect("traced warm-up step");
+    let before = allocations();
+    for _ in 0..steps {
+        planned_model
+            .train_batch_with(&images, &labels, &mut planned_opt, &mut plan, &mut losses)
+            .expect("traced planned step");
+    }
+    let traced_allocs = allocations() - before;
+    obs::set_enabled(false);
+    obs::reset();
+    assert_eq!(
+        traced_allocs, 0,
+        "the planned training step must stay allocation-free with tracing enabled \
+         (saw {traced_allocs} over {steps} steps)"
     );
 
     let before = allocations();

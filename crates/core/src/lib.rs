@@ -54,4 +54,4 @@ pub use deploy::{split_for_serving, EdgeHalf, ServerHalf};
 pub use error::{CoreError, Result};
 pub use metrics::{accuracy, ComparisonRow, TaskAccuracy};
 pub use model::MtlSplitModel;
-pub use trainer::{TrainConfig, TrainOutcome};
+pub use trainer::{EpochStats, TrainConfig, TrainOutcome};

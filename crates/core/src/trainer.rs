@@ -3,6 +3,7 @@
 use mtlsplit_data::{DataLoader, MultiTaskDataset};
 use mtlsplit_models::BackboneKind;
 use mtlsplit_nn::{AdamW, TrainPlan};
+use mtlsplit_obs as obs;
 use mtlsplit_tensor::{Parallelism, StdRng};
 
 use crate::error::{CoreError, Result};
@@ -91,6 +92,30 @@ impl TrainConfig {
     }
 }
 
+/// Per-epoch trainer statistics: loss, step-time quantiles (from a
+/// log-linear [`obs::LogHistogram`], ≤2% relative error), and how many
+/// fresh heap allocations the planned runtime took — zero after the
+/// warm-up epoch, which is the zero-allocation training guarantee made
+/// observable.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index, 0-based.
+    pub epoch: usize,
+    /// Mean training loss (summed over tasks) across the epoch's batches.
+    pub mean_loss: f32,
+    /// Number of optimisation steps (batches) in the epoch.
+    pub steps: usize,
+    /// Wall-clock time of the whole epoch in seconds.
+    pub wall_seconds: f64,
+    /// Mean single-step time in seconds.
+    pub mean_step_seconds: f64,
+    /// 95th-percentile single-step time in seconds.
+    pub p95_step_seconds: f64,
+    /// Fresh arena allocations the planned runtime took during this epoch
+    /// (always 0 on the allocating path, which does not count).
+    pub fresh_allocations: usize,
+}
+
 /// Result of one training run.
 #[derive(Debug)]
 pub struct TrainOutcome {
@@ -100,6 +125,8 @@ pub struct TrainOutcome {
     pub accuracies: Vec<TaskAccuracy>,
     /// Mean training loss (summed over tasks) per epoch.
     pub loss_history: Vec<f32>,
+    /// Per-epoch loss / step-time / allocation statistics.
+    pub epoch_stats: Vec<EpochStats>,
 }
 
 /// Trains an already-constructed model on `train` and evaluates it on `test`.
@@ -148,11 +175,20 @@ pub fn train_model(
     // no config, metric, or model state is copied per epoch or per batch.
     let mut plan = TrainPlan::new();
     let mut batch_losses: Vec<f32> = Vec::new();
-    for _epoch in 0..config.epochs {
+    let mut epoch_stats = Vec::with_capacity(config.epochs);
+    // One step-time histogram for the run, reset per epoch so each epoch
+    // reports its own quantiles without accumulating cross-epoch samples.
+    let step_times = obs::LogHistogram::new();
+    for epoch in 0..config.epochs {
+        let mut epoch_span = obs::span_dims("epoch", obs::SpanKind::Train, [epoch as u32, 0, 0, 0]);
+        step_times.reset();
+        let allocs_before = plan.fresh_allocations();
+        let epoch_start_ns = obs::now_ns();
         loader.reset();
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
         while let Some(batch) = loader.next_batch()? {
+            let step_start_ns = obs::now_ns();
             if config.use_train_plan {
                 model.train_batch_with(
                     &batch.images,
@@ -166,9 +202,23 @@ pub fn train_model(
                 let losses = model.train_batch(&batch.images, &batch.labels, &mut optimizer)?;
                 epoch_loss += losses.iter().sum::<f32>();
             }
+            step_times.record(obs::now_ns() - step_start_ns);
+            obs::metrics::TRAIN_STEPS.add(1);
             batches += 1;
         }
-        loss_history.push(epoch_loss / batches.max(1) as f32);
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        epoch_span.set_dim(1, batches as u32);
+        drop(epoch_span);
+        epoch_stats.push(EpochStats {
+            epoch,
+            mean_loss,
+            steps: batches,
+            wall_seconds: (obs::now_ns() - epoch_start_ns) as f64 / 1e9,
+            mean_step_seconds: step_times.mean() / 1e9,
+            p95_step_seconds: step_times.value_at_quantile(0.95) as f64 / 1e9,
+            fresh_allocations: plan.fresh_allocations() - allocs_before,
+        });
+        loss_history.push(mean_loss);
     }
 
     let accuracies = evaluate(&model, test, config.batch_size)?;
@@ -176,6 +226,7 @@ pub fn train_model(
         model,
         accuracies,
         loss_history,
+        epoch_stats,
     })
 }
 
@@ -351,6 +402,37 @@ mod tests {
         assert_eq!(accuracies.len(), 2);
         assert_eq!(accuracies[0].task, "object_size");
         assert_eq!(accuracies[1].task, "object_type");
+    }
+
+    #[test]
+    fn epoch_stats_report_steps_times_and_zero_steady_state_allocations() {
+        let (train, test) = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            head_hidden: 24,
+            seed: 8,
+            ..TrainConfig::default()
+        };
+        let outcome = train_mtl(BackboneKind::MobileStyle, &train, &test, &config).unwrap();
+        assert_eq!(outcome.epoch_stats.len(), 3);
+        for (i, stats) in outcome.epoch_stats.iter().enumerate() {
+            assert_eq!(stats.epoch, i);
+            assert_eq!(stats.mean_loss, outcome.loss_history[i]);
+            assert!(stats.steps > 0);
+            assert!(stats.wall_seconds > 0.0);
+            assert!(stats.mean_step_seconds > 0.0);
+            assert!(stats.p95_step_seconds >= stats.mean_step_seconds * 0.5);
+        }
+        // The first epoch is the warm-up that sizes every buffer; later
+        // epochs must be served entirely from recycled memory.
+        for stats in &outcome.epoch_stats[1..] {
+            assert_eq!(
+                stats.fresh_allocations, 0,
+                "steady-state epochs must not allocate"
+            );
+        }
     }
 
     #[test]

@@ -119,6 +119,11 @@ pub use sequential::Sequential;
 // direct tensor-crate dependency for the arena/epilogue vocabulary.
 pub use mtlsplit_tensor::{ActivationGrad, ChannelNorm, EpilogueActivation, GradMask, TensorArena};
 
+// Re-exported so callers can pull the named per-layer latency profile (one
+// entry per possibly-fused layer window, aggregated from the spans the
+// planned passes record) without a direct obs-crate dependency.
+pub use mtlsplit_obs::{layer_profile, LayerProfile};
+
 use mtlsplit_tensor::{StdRng, Tensor};
 
 /// The typed run mode of a forward pass, replacing the old `training: bool`

@@ -14,10 +14,16 @@
 //! [`Layer::infer`] path for every thread count (property-tested at the
 //! workspace level).
 
+use mtlsplit_obs as obs;
 use mtlsplit_tensor::{Tensor, TensorArena};
 
 use crate::error::Result;
 use crate::{Layer, RunMode};
+
+/// The leading dimension of a tensor, for span dims (0 for scalars).
+fn batch_dim(t: &Tensor) -> u32 {
+    t.dims().first().copied().unwrap_or(0) as u32
+}
 
 /// A per-caller inference plan: one reusable arena plus the take/recycle
 /// discipline that keeps the steady-state request path allocation-free.
@@ -72,6 +78,7 @@ impl InferPlan {
     ///
     /// Returns an error if the input is incompatible with the layer.
     pub fn run(&mut self, layer: &dyn Layer, input: &Tensor) -> Result<Tensor> {
+        let _span = obs::span_dims("infer", obs::SpanKind::Plan, [batch_dim(input), 0, 0, 0]);
         layer.infer_into(input, &mut self.arena)
     }
 
@@ -176,6 +183,7 @@ impl TrainPlan {
         input: &Tensor,
         mode: RunMode<'_>,
     ) -> Result<Tensor> {
+        let _span = obs::span_dims("forward", obs::SpanKind::Plan, [batch_dim(input), 0, 0, 0]);
         layer.forward_into(input, mode, &mut self.arena)
     }
 
@@ -188,6 +196,11 @@ impl TrainPlan {
     /// Returns an error if called before a train-mode forward or with a
     /// mismatched gradient shape.
     pub fn backward(&mut self, layer: &mut dyn Layer, grad_output: &Tensor) -> Result<Tensor> {
+        let _span = obs::span_dims(
+            "backward",
+            obs::SpanKind::Plan,
+            [batch_dim(grad_output), 0, 0, 0],
+        );
         layer.backward_into(grad_output, &mut self.arena)
     }
 

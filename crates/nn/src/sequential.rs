@@ -1,5 +1,6 @@
 //! A sequential container chaining heterogeneous layers.
 
+use mtlsplit_obs as obs;
 use mtlsplit_tensor::{Tensor, TensorArena};
 
 use crate::error::Result;
@@ -128,6 +129,13 @@ impl Sequential {
         while index > 0 {
             let i = index - 1;
             let grad = current.as_ref().unwrap_or(grad_output);
+            // Layer-profile span: dims = [layer index, layers fused]; the
+            // width is patched once the fusion decision is known.
+            let mut window_span = obs::span_dims(
+                self.layers[i].name(),
+                obs::SpanKind::Layer,
+                [i as u32, 1, 0, 0],
+            );
             if discard_input && i == 0 {
                 if let Some(result) = self.layers[0].backward_into_params_only(grad, ctx) {
                     result?;
@@ -148,6 +156,8 @@ impl Sequential {
                 Some(result) => (result?, 2),
                 None => (self.layers[i].backward_into(grad, ctx)?, 1),
             };
+            window_span.set_dim(1, consumed as u32);
+            drop(window_span);
             if let Some(previous) = current.take() {
                 ctx.recycle(previous);
             }
@@ -199,8 +209,10 @@ impl Layer for Sequential {
         // comes from — and returns to — the arena. Layer order, and with it
         // the RNG draw order of stochastic layers, matches `forward`.
         let mut current: Option<Tensor> = None;
-        for layer in &mut self.layers {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
             let source = current.as_ref().unwrap_or(input);
+            let _layer_span =
+                obs::span_dims(layer.name(), obs::SpanKind::Layer, [i as u32, 1, 0, 0]);
             let next = layer.forward_into(source, mode.reborrow(), ctx)?;
             if let Some(previous) = current.take() {
                 ctx.recycle(previous);
@@ -238,6 +250,11 @@ impl Layer for Sequential {
         while index < self.layers.len() {
             let layer = &self.layers[index];
             let source = current.as_ref().unwrap_or(input);
+            // Layer-profile span: dims = [window start index, layers
+            // fused]; the width is patched once the fusion decision below
+            // is known.
+            let mut window_span =
+                obs::span_dims(layer.name(), obs::SpanKind::Layer, [index as u32, 1, 0, 0]);
             // Widest window first: layer + batch-norm (+ activation).
             let mut fused: Option<(Result<Tensor>, usize)> = None;
             if let Some(norm) = self
@@ -269,6 +286,8 @@ impl Layer for Sequential {
                 Some((result, consumed)) => (result?, consumed),
                 None => (layer.infer_into(source, ctx)?, 1),
             };
+            window_span.set_dim(1, consumed as u32);
+            drop(window_span);
             if let Some(previous) = current.take() {
                 ctx.recycle(previous);
             }

@@ -1,0 +1,464 @@
+//! Chrome `trace_event` JSON export and validation.
+//!
+//! [`chrome_trace_json`] renders every recorded span as a complete
+//! (`"ph":"X"`) trace event — the format `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) open directly. One process is one
+//! `pid`; each recording thread keeps its registration ordinal as `tid`
+//! and gets a `thread_name` metadata event.
+//!
+//! [`validate_chrome_trace`] re-parses an emitted document with a
+//! hand-rolled minimal JSON parser (this crate has no dependencies) and
+//! checks the structural invariants CI relies on: the document parses, every
+//! event has non-negative monotonic timestamps (`ts >= 0`, `dur >= 0`), and
+//! the spans of each thread are well-nested — no two spans on one thread
+//! partially overlap.
+
+use crate::trace::export;
+
+/// Renders all recorded spans as a Chrome trace-event JSON document.
+///
+/// Timestamps are microseconds from the process epoch with nanosecond
+/// precision (three decimals). The output is self-contained:
+/// `{"traceEvents":[...]}`.
+pub fn chrome_trace_json() -> String {
+    let traces = export();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for trace in &traces {
+        if trace.spans.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&trace.thread_ord.to_string());
+        out.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut out, &trace.thread_name);
+        out.push_str("\"}}");
+        for span in &trace.spans {
+            out.push_str(",{\"name\":\"");
+            escape_into(&mut out, span.name);
+            out.push_str("\",\"cat\":\"");
+            out.push_str(span.kind.label());
+            out.push_str("\",\"ph\":\"X\",\"ts\":");
+            push_us(&mut out, span.start_ns);
+            out.push_str(",\"dur\":");
+            push_us(&mut out, span.duration_ns());
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&trace.thread_ord.to_string());
+            out.push_str(",\"args\":{\"depth\":");
+            out.push_str(&span.depth.to_string());
+            out.push_str(",\"dims\":[");
+            for (i, d) in span.dims.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&d.to_string());
+            }
+            out.push_str("]}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Microseconds with three decimals (nanosecond precision), e.g. `12.345`.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1000).to_string());
+    out.push('.');
+    let frac = ns % 1000;
+    out.push(char::from(b'0' + (frac / 100) as u8));
+    out.push(char::from(b'0' + (frac / 10 % 10) as u8));
+    out.push(char::from(b'0' + (frac % 10) as u8));
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Summary of a validated Chrome trace document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of complete (`"ph":"X"`) span events.
+    pub events: usize,
+    /// Number of distinct `tid`s carrying span events.
+    pub threads: usize,
+    /// Wall span of the trace in whole microseconds (max end − min start).
+    pub duration_us: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Event {
+    ts: f64,
+    dur: f64,
+}
+
+/// Validates an emitted Chrome trace document.
+///
+/// Checks that the JSON parses, that `traceEvents` is present, that every
+/// span event carries a string `name` plus numeric non-negative `ts`, `dur`
+/// and `tid`, and that each thread's spans are well-nested (any two spans
+/// on one `tid` are either disjoint or one contains the other).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation found.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
+    let doc = parse_json(json)?;
+    let Json::Obj(top) = &doc else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Json::Arr(events)) = top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        return Err("missing traceEvents array".into());
+    };
+    // Collect span events per tid.
+    let mut per_tid: Vec<(f64, Vec<Event>)> = Vec::new();
+    let mut count = 0usize;
+    let mut min_ts = f64::INFINITY;
+    let mut max_end = 0.0f64;
+    for (index, event) in events.iter().enumerate() {
+        let Json::Obj(fields) = event else {
+            return Err(format!("event {index} is not an object"));
+        };
+        let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match field("ph") {
+            Some(Json::Str(ph)) if ph == "X" => {}
+            Some(Json::Str(_)) => continue, // metadata etc.
+            _ => return Err(format!("event {index} has no ph string")),
+        }
+        let Some(Json::Str(_)) = field("name") else {
+            return Err(format!("event {index} has no name string"));
+        };
+        let Some(&Json::Num(ts)) = field("ts") else {
+            return Err(format!("event {index} has no numeric ts"));
+        };
+        let Some(&Json::Num(dur)) = field("dur") else {
+            return Err(format!("event {index} has no numeric dur"));
+        };
+        let Some(&Json::Num(tid)) = field("tid") else {
+            return Err(format!("event {index} has no numeric tid"));
+        };
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {index}: ts {ts} is not a monotonic tick"));
+        }
+        if !dur.is_finite() || dur < 0.0 {
+            return Err(format!("event {index}: dur {dur} is negative"));
+        }
+        count += 1;
+        min_ts = min_ts.min(ts);
+        max_end = max_end.max(ts + dur);
+        match per_tid.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, list)) => list.push(Event { ts, dur }),
+            None => per_tid.push((tid, vec![Event { ts, dur }])),
+        }
+    }
+    // Well-nestedness per thread: sort by (ts asc, dur desc) and sweep a
+    // containment stack. Tolerance covers float round-tripping of the
+    // three-decimal microsecond encoding.
+    const EPS: f64 = 0.0005;
+    for (tid, mut list) in per_tid.clone() {
+        list.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .unwrap()
+                .then(b.dur.partial_cmp(&a.dur).unwrap())
+        });
+        let mut stack: Vec<Event> = Vec::new();
+        for event in list {
+            while let Some(top) = stack.last() {
+                if top.ts + top.dur < event.ts - EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                let end = event.ts + event.dur;
+                let top_end = top.ts + top.dur;
+                if end > top_end + EPS {
+                    return Err(format!(
+                        "tid {tid}: span [{}, {end}] partially overlaps [{}, {top_end}]",
+                        event.ts, top.ts
+                    ));
+                }
+            }
+            stack.push(event);
+        }
+    }
+    Ok(TraceSummary {
+        events: count,
+        threads: per_tid.len(),
+        duration_us: if count == 0 {
+            0
+        } else {
+            (max_end - min_ts).round() as u64
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (no dependencies). Private: only the validator uses it.
+// ---------------------------------------------------------------------------
+
+enum Json {
+    Null,
+    #[allow(dead_code)] // parsed for completeness; the validator never reads it
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at offset {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        // Surrogate pairs are not needed for our own output;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = &bytes[*pos..];
+                let text = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                let c = text.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected , or ] at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected : at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected , or }} at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::tests::lock;
+    use crate::trace::{reset, set_enabled, span, span_dims, SpanKind};
+
+    #[test]
+    fn emitted_trace_validates_and_counts_events() {
+        let _guard = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span_dims("chrome-test-outer", SpanKind::Plan, [1, 2, 3, 4]);
+            let _inner = span("chrome-test-inner", SpanKind::Kernel);
+        }
+        {
+            let _second = span("chrome-test-second", SpanKind::Serve);
+        }
+        set_enabled(false);
+        let json = chrome_trace_json();
+        let summary = validate_chrome_trace(&json).expect("trace must validate");
+        assert!(summary.events >= 3, "expected >= 3 events: {summary:?}");
+        assert!(summary.threads >= 1);
+    }
+
+    #[test]
+    fn validator_rejects_partial_overlap() {
+        let json = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0.0,"dur":10.0,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":5.0,"dur":10.0,"pid":1,"tid":1}
+        ]}"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("overlap"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_accepts_disjoint_and_nested_spans() {
+        let json = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0.0,"dur":10.0,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":2.0,"dur":3.0,"pid":1,"tid":1},
+            {"name":"c","ph":"X","ts":20.0,"dur":1.0,"pid":1,"tid":1},
+            {"name":"d","ph":"X","ts":0.0,"dur":100.0,"pid":1,"tid":2}
+        ]}"#;
+        let summary = validate_chrome_trace(json).unwrap();
+        assert_eq!(summary.events, 4);
+        assert_eq!(summary.threads, 2);
+        assert_eq!(summary.duration_us, 100);
+    }
+
+    #[test]
+    fn validator_rejects_negative_timestamps_and_garbage() {
+        let negative = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":-1.0,"dur":1.0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(negative).is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let doc = r#"{"a":[1,2.5,-3e2],"b":"q\"\\\nA","c":{"d":true,"e":null}}"#;
+        let Json::Obj(top) = parse_json(doc).unwrap() else {
+            panic!("expected object");
+        };
+        assert_eq!(top.len(), 3);
+        let Json::Str(s) = &top[1].1 else {
+            panic!("expected string")
+        };
+        assert_eq!(s, "q\"\\\nA");
+    }
+
+    #[test]
+    fn microsecond_formatting_keeps_nanosecond_precision() {
+        let mut out = String::new();
+        push_us(&mut out, 1_234_567);
+        assert_eq!(out, "1234.567");
+        out.clear();
+        push_us(&mut out, 42);
+        assert_eq!(out, "0.042");
+    }
+}

@@ -7,8 +7,9 @@ use mtlsplit_tensor::Tensor;
 
 use crate::error::{Result, ServeError};
 use crate::frame::{Frame, OpCode};
+use crate::metrics::ServeMetrics;
 use crate::transport::Transport;
-use crate::wire::decode_response;
+use crate::wire::{decode_metrics, decode_response};
 
 /// The edge client: runs the shared backbone locally through the immutable
 /// [`Layer::infer`] path, ships the encoded `Z_b` through a [`Transport`],
@@ -118,6 +119,36 @@ impl EdgeClient {
             OpCode::Pong => Ok(()),
             other => Err(ServeError::UnexpectedFrame {
                 expected: "a Pong frame",
+                got: other,
+            }),
+        }
+    }
+
+    /// Scrapes a live [`ServeMetrics`] snapshot from the server over the
+    /// wire (protocol v3 `MetricsRequest`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and server-reported errors; an
+    /// unexpected answer becomes [`ServeError::UnexpectedFrame`].
+    pub fn metrics(&mut self) -> Result<ServeMetrics> {
+        let id = self.take_request_id();
+        let response =
+            self.transport
+                .request(&Frame::new(OpCode::MetricsRequest, id, Vec::new()))?;
+        if response.request_id != id {
+            return Err(ServeError::MismatchedResponse {
+                sent: id,
+                received: response.request_id,
+            });
+        }
+        match response.op {
+            OpCode::MetricsResponse => decode_metrics(&response.body),
+            OpCode::Error => Err(ServeError::Remote {
+                message: String::from_utf8_lossy(&response.body).into_owned(),
+            }),
+            other => Err(ServeError::UnexpectedFrame {
+                expected: "a MetricsResponse frame",
                 got: other,
             }),
         }
@@ -264,6 +295,62 @@ mod tests {
         // instead of waiting for a disconnect that never comes.
         tcp.stop();
         assert!(client.ping().is_err(), "socket must be closed after stop");
+    }
+
+    #[test]
+    fn metrics_scrape_over_loopback_reflects_served_requests() {
+        let (_, _, server, served_backbone) = split_fixture();
+        let mut client = EdgeClient::new(
+            Box::new(served_backbone),
+            TensorCodec::new(Precision::Float32),
+            Box::new(LoopbackTransport::new(server)),
+        );
+        let mut rng = StdRng::seed_from(21);
+        let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        for _ in 0..3 {
+            client.infer(&x).unwrap();
+        }
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.requests, 3);
+        assert_eq!(metrics.errors, 0);
+        assert!(metrics.batches >= 1);
+        assert!(metrics.bytes_in > 0 && metrics.bytes_out > 0);
+        assert_eq!(metrics.forward.count, metrics.batches);
+        assert_eq!(metrics.encode.count, metrics.batches);
+        assert_eq!(metrics.queue_wait.count, 3);
+        assert!(metrics.forward.p95_s >= metrics.forward.p50_s);
+    }
+
+    #[test]
+    fn metrics_scrape_over_tcp_matches_the_server_snapshot() {
+        let (_, _, server, served_backbone) = split_fixture();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = TcpServer::spawn(Arc::clone(&server), listener).unwrap();
+        let transport = TcpTransport::connect(tcp.local_addr()).unwrap();
+        let mut client = EdgeClient::new(
+            Box::new(served_backbone),
+            TensorCodec::new(Precision::Float32),
+            Box::new(transport),
+        );
+        let mut rng = StdRng::seed_from(22);
+        let x = Tensor::randn(&[1, 3, 6, 6], 0.0, 1.0, &mut rng);
+        client.infer(&x).unwrap();
+        let scraped = client.metrics().unwrap();
+        let local = server.metrics();
+        // Counters are quiescent once the request has completed; wall-clock
+        // gauges keep ticking, so compare the stable fields only.
+        assert_eq!(scraped.requests, 1);
+        assert_eq!(scraped.requests, local.requests);
+        assert_eq!(scraped.errors, local.errors);
+        assert_eq!(scraped.batches, local.batches);
+        assert_eq!(scraped.bytes_in, local.bytes_in);
+        assert_eq!(scraped.bytes_out, local.bytes_out);
+        assert_eq!(scraped.forward, local.forward);
+        assert_eq!(scraped.encode, local.encode);
+        assert_eq!(scraped.decode, local.decode);
+        assert_eq!(scraped.queue_wait, local.queue_wait);
+        drop(client);
+        tcp.stop();
     }
 
     #[test]

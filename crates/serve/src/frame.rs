@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic 0x4D544C53 ("MTLS"), little-endian
-//! 4       1     protocol version (currently 2)
+//! 4       1     protocol version (currently 3)
 //! 5       1     op code
 //! 6       8     request id, u64 little-endian
 //! 14      4     body length n, u32 little-endian
@@ -24,6 +24,12 @@
 //! single corrupted byte in a frame is rejected with a typed error — a
 //! flipped bit in a request id or a payload byte can no longer silently
 //! deliver a wrong answer.
+//!
+//! Protocol version 3 added the metrics scrape: an empty-bodied
+//! [`OpCode::MetricsRequest`] is answered with an
+//! [`OpCode::MetricsResponse`] whose body is the snapshot codec defined in
+//! [`crate::wire`], so an edge client can read a live server's throughput,
+//! latency quantiles and phase breakdown over the same socket it infers on.
 
 use std::io::{Read, Write};
 
@@ -33,7 +39,7 @@ use crate::error::{Result, ServeError};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MTLS");
 
 /// Protocol version this build speaks.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_BYTES: usize = 4 + 1 + 1 + 8 + 4 + 4;
@@ -93,6 +99,11 @@ pub enum OpCode {
     Pong = 4,
     /// Server → edge: the request failed; body is a UTF-8 message.
     Error = 5,
+    /// Edge → server: scrape a live metrics snapshot; empty body.
+    MetricsRequest = 6,
+    /// Server → edge: one [`crate::ServeMetrics`] snapshot encoded by
+    /// [`crate::wire::encode_metrics`].
+    MetricsResponse = 7,
 }
 
 impl OpCode {
@@ -108,13 +119,15 @@ impl OpCode {
             3 => Ok(OpCode::Ping),
             4 => Ok(OpCode::Pong),
             5 => Ok(OpCode::Error),
+            6 => Ok(OpCode::MetricsRequest),
+            7 => Ok(OpCode::MetricsResponse),
             _ => Err(ServeError::UnknownOpCode { code }),
         }
     }
 }
 
 /// Header fields parsed from the wire but not yet checksum-verified or
-/// op-code-validated — the single definition of the v2 header layout shared
+/// op-code-validated — the single definition of the header layout shared
 /// by [`Frame::decode`] and [`Frame::read_from`].
 struct RawHeader {
     op_byte: u8,
@@ -313,6 +326,8 @@ mod tests {
             OpCode::Ping,
             OpCode::Pong,
             OpCode::Error,
+            OpCode::MetricsRequest,
+            OpCode::MetricsResponse,
         ] {
             let frame = Frame::new(op, u64::MAX - 3, vec![9; 17]);
             let decoded = Frame::decode(&frame.encode()).unwrap();

@@ -85,6 +85,6 @@ pub mod wire;
 pub use client::EdgeClient;
 pub use error::{Result, ServeError};
 pub use frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES, HEADER_BYTES, MAGIC, VERSION};
-pub use metrics::ServeMetrics;
+pub use metrics::{PhaseStats, ServeMetrics};
 pub use server::{InferenceServer, ServerConfig, TcpServer, MAX_DEFAULT_WORKERS};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};

@@ -1,109 +1,218 @@
-//! Per-request serving metrics: throughput, latency percentiles, wire bytes.
+//! Per-request serving metrics: throughput, latency percentiles, wire bytes,
+//! and the queue-wait / decode / forward / encode phase breakdown.
+//!
+//! The recorder is **sharded and lock-free**: every worker thread owns one
+//! [`WorkerShard`] of relaxed `AtomicU64` counters plus log-linear
+//! [`LogHistogram`]s (≤2% relative quantile error), and connection threads
+//! share one extra miscellaneous shard. The request path therefore never
+//! takes a lock — recording is a handful of relaxed atomic adds — and
+//! [`MetricsRecorder::snapshot`] merges the shards into one
+//! [`ServeMetrics`] without stopping the workers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Running metric accumulator owned by the server (behind a mutex).
+use mtlsplit_obs::LogHistogram;
+
+/// One worker's private slice of the serving metrics.
 ///
-/// The recorder is `Clone` so a caller can copy it out under the lock and
-/// compute the (sorting) snapshot without blocking the serving worker.
-#[derive(Debug, Clone)]
-pub(crate) struct MetricsRecorder {
-    started: Instant,
-    requests: u64,
-    errors: u64,
-    batches: u64,
-    bytes_in: u64,
-    bytes_out: u64,
-    /// Sliding window of per-request service latencies in seconds (enqueue →
-    /// response encoded): a ring buffer of the most recent [`MAX_SAMPLES`],
-    /// so percentiles track current traffic, not startup traffic.
-    latencies: Vec<f64>,
-    next_slot: usize,
+/// All fields are relaxed atomics, so recording from the owning worker is
+/// wait-free and snapshotting from another thread needs no coordination.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerShard {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    /// Full service latency per request (enqueue → response encoded), ns.
+    latency_ns: LogHistogram,
+    /// Time a request sat in the queue before a worker drained it, ns.
+    queue_wait_ns: LogHistogram,
+    /// Payload decode time per drained batch, ns.
+    decode_ns: LogHistogram,
+    /// Head forward-pass time per coalesced group, ns.
+    forward_ns: LogHistogram,
+    /// Response split + encode time per coalesced group, ns.
+    encode_ns: LogHistogram,
 }
 
-/// Cap on retained latency samples so a long-lived server stays bounded.
-const MAX_SAMPLES: usize = 100_000;
-
-impl MetricsRecorder {
-    pub(crate) fn new() -> Self {
-        Self {
-            started: Instant::now(),
-            requests: 0,
-            errors: 0,
-            batches: 0,
-            bytes_in: 0,
-            bytes_out: 0,
-            latencies: Vec::new(),
-            next_slot: 0,
-        }
-    }
-
+impl WorkerShard {
     /// One head forward pass executed (over however many coalesced requests).
-    pub(crate) fn record_forward(&mut self) {
-        self.batches += 1;
+    pub(crate) fn record_forward(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request answered (successfully or not).
-    pub(crate) fn record_request(&mut self, latency_s: f64, bytes_in: usize, bytes_out: usize) {
-        self.requests += 1;
-        self.bytes_in += bytes_in as u64;
-        self.bytes_out += bytes_out as u64;
-        if self.latencies.len() < MAX_SAMPLES {
-            self.latencies.push(latency_s);
-        } else {
-            // Overwrite the oldest sample: the window slides.
-            self.latencies[self.next_slot] = latency_s;
+    pub(crate) fn record_request(&self, latency_s: f64, bytes_in: usize, bytes_out: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
+        self.latency_ns.record(seconds_to_ns(latency_s));
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How long one request waited in the queue before being drained.
+    pub(crate) fn record_queue_wait(&self, seconds: f64) {
+        self.queue_wait_ns.record(seconds_to_ns(seconds));
+    }
+
+    /// Decode time of one drained batch.
+    pub(crate) fn record_decode(&self, ns: u64) {
+        self.decode_ns.record(ns);
+    }
+
+    /// Forward-pass time of one coalesced group.
+    pub(crate) fn record_forward_time(&self, ns: u64) {
+        self.forward_ns.record(ns);
+    }
+
+    /// Split + encode time of one coalesced group.
+    pub(crate) fn record_encode(&self, ns: u64) {
+        self.encode_ns.record(ns);
+    }
+}
+
+fn seconds_to_ns(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e9) as u64
+}
+
+/// The sharded metric accumulator owned by the server.
+///
+/// Holds one [`WorkerShard`] per worker thread plus a trailing
+/// miscellaneous shard for connection/protocol threads. Workers record
+/// into their own shard with plain relaxed atomics — the request path
+/// takes **no lock** — and [`MetricsRecorder::snapshot`] merges all
+/// shards on demand.
+#[derive(Debug)]
+pub(crate) struct MetricsRecorder {
+    started: Instant,
+    workers: usize,
+    /// `workers + 1` shards; the last one is the miscellaneous shard.
+    shards: Vec<WorkerShard>,
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for a pool of `workers` worker threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            started: Instant::now(),
+            workers,
+            shards: (0..=workers).map(|_| WorkerShard::default()).collect(),
         }
-        self.next_slot = (self.next_slot + 1) % MAX_SAMPLES;
     }
 
-    pub(crate) fn record_error(&mut self) {
-        self.errors += 1;
+    /// The shard owned by worker `index`; out-of-range indices fall back to
+    /// the miscellaneous shard.
+    pub(crate) fn shard(&self, index: usize) -> &WorkerShard {
+        &self.shards[index.min(self.workers)]
     }
 
+    /// The shard shared by connection and protocol threads.
+    pub(crate) fn misc(&self) -> &WorkerShard {
+        &self.shards[self.workers]
+    }
+
+    /// Merges every shard into one point-in-time snapshot.
     pub(crate) fn snapshot(&self) -> ServeMetrics {
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let percentile = |q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-            sorted[rank.min(sorted.len() - 1)]
-        };
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        let mut batches = 0u64;
+        let mut bytes_in = 0u64;
+        let mut bytes_out = 0u64;
+        let latency = LogHistogram::new();
+        let queue_wait = LogHistogram::new();
+        let decode = LogHistogram::new();
+        let forward = LogHistogram::new();
+        let encode = LogHistogram::new();
+        for shard in &self.shards {
+            requests += shard.requests.load(Ordering::Relaxed);
+            errors += shard.errors.load(Ordering::Relaxed);
+            batches += shard.batches.load(Ordering::Relaxed);
+            bytes_in += shard.bytes_in.load(Ordering::Relaxed);
+            bytes_out += shard.bytes_out.load(Ordering::Relaxed);
+            latency.merge_from(&shard.latency_ns);
+            queue_wait.merge_from(&shard.queue_wait_ns);
+            decode.merge_from(&shard.decode_ns);
+            forward.merge_from(&shard.forward_ns);
+            encode.merge_from(&shard.encode_ns);
+        }
         let wall = self.started.elapsed().as_secs_f64();
         ServeMetrics {
-            // The recorder cannot know the pool size; the server overwrites
-            // this with its effective worker count.
-            workers: 0,
-            requests: self.requests,
-            errors: self.errors,
-            batches: self.batches,
-            bytes_in: self.bytes_in,
-            bytes_out: self.bytes_out,
+            workers: self.workers,
+            requests,
+            errors,
+            batches,
+            bytes_in,
+            bytes_out,
             wall_seconds: wall,
             requests_per_second: if wall > 0.0 {
-                self.requests as f64 / wall
+                requests as f64 / wall
             } else {
                 0.0
             },
-            mean_batch_size: if self.batches == 0 {
+            mean_batch_size: if batches == 0 {
                 0.0
             } else {
-                self.requests as f64 / self.batches as f64
+                requests as f64 / batches as f64
             },
-            p50_latency_s: percentile(0.50),
-            p95_latency_s: percentile(0.95),
-            p99_latency_s: percentile(0.99),
+            p50_latency_s: ns_quantile_s(&latency, 0.50),
+            p95_latency_s: ns_quantile_s(&latency, 0.95),
+            p99_latency_s: ns_quantile_s(&latency, 0.99),
+            queue_wait: PhaseStats::from_histogram(&queue_wait),
+            decode: PhaseStats::from_histogram(&decode),
+            forward: PhaseStats::from_histogram(&forward),
+            encode: PhaseStats::from_histogram(&encode),
+        }
+    }
+}
+
+fn ns_quantile_s(hist: &LogHistogram, q: f64) -> f64 {
+    if hist.count() == 0 {
+        0.0
+    } else {
+        hist.value_at_quantile(q) as f64 / 1e9
+    }
+}
+
+/// Latency statistics of one serving phase, in seconds.
+///
+/// Quantiles come from a log-linear histogram with ≤2% relative error.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean duration in seconds.
+    pub mean_s: f64,
+    /// Median duration in seconds.
+    pub p50_s: f64,
+    /// 95th-percentile duration in seconds.
+    pub p95_s: f64,
+    /// 99th-percentile duration in seconds.
+    pub p99_s: f64,
+}
+
+impl PhaseStats {
+    fn from_histogram(hist: &LogHistogram) -> Self {
+        Self {
+            count: hist.count(),
+            mean_s: hist.mean() / 1e9,
+            p50_s: ns_quantile_s(hist, 0.50),
+            p95_s: ns_quantile_s(hist, 0.95),
+            p99_s: ns_quantile_s(hist, 0.99),
         }
     }
 }
 
 /// A point-in-time snapshot of a server's serving metrics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServeMetrics {
-    /// Effective worker-thread count of the serving pool (0 when the
-    /// snapshot did not come from a server).
+    /// Effective worker-thread count of the serving pool.
     pub workers: usize,
     /// Requests answered (including errored ones).
     pub requests: u64,
@@ -128,6 +237,14 @@ pub struct ServeMetrics {
     pub p95_latency_s: f64,
     /// 99th-percentile service latency in seconds.
     pub p99_latency_s: f64,
+    /// Time requests waited in the queue before a worker drained them.
+    pub queue_wait: PhaseStats,
+    /// Payload decode time per drained batch.
+    pub decode: PhaseStats,
+    /// Head forward-pass time per coalesced group.
+    pub forward: PhaseStats,
+    /// Response split + encode time per coalesced group.
+    pub encode: PhaseStats,
 }
 
 impl ServeMetrics {
@@ -150,6 +267,25 @@ impl ServeMetrics {
             self.errors
         )
     }
+
+    /// Human-readable one-line phase breakdown (p50/p95 per phase, ms).
+    pub fn phase_summary(&self) -> String {
+        let phase = |name: &str, p: &PhaseStats| {
+            format!(
+                "{name} p50 {:.3}ms p95 {:.3}ms (n={})",
+                p.p50_s * 1e3,
+                p.p95_s * 1e3,
+                p.count
+            )
+        };
+        format!(
+            "{}, {}, {}, {}",
+            phase("queue-wait", &self.queue_wait),
+            phase("decode", &self.decode),
+            phase("forward", &self.forward),
+            phase("encode", &self.encode)
+        )
+    }
 }
 
 #[cfg(test)]
@@ -157,11 +293,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_come_from_the_sorted_samples() {
-        let mut recorder = MetricsRecorder::new();
-        recorder.record_forward();
+    fn percentiles_come_from_the_recorded_latencies() {
+        let recorder = MetricsRecorder::new(1);
+        let shard = recorder.shard(0);
+        shard.record_forward();
         for i in 0..100 {
-            recorder.record_request((i + 1) as f64 / 1000.0, 10, 20);
+            shard.record_request((i + 1) as f64 / 1000.0, 10, 20);
         }
         let snapshot = recorder.snapshot();
         assert_eq!(snapshot.requests, 100);
@@ -176,43 +313,99 @@ mod tests {
 
     #[test]
     fn empty_recorder_reports_zeros() {
-        let snapshot = MetricsRecorder::new().snapshot();
+        let snapshot = MetricsRecorder::new(2).snapshot();
+        assert_eq!(snapshot.workers, 2);
         assert_eq!(snapshot.requests, 0);
         assert_eq!(snapshot.p95_latency_s, 0.0);
         assert_eq!(snapshot.mean_batch_size, 0.0);
+        assert_eq!(snapshot.queue_wait, PhaseStats::default());
     }
 
     #[test]
     fn mean_batch_size_reflects_coalescing() {
-        let mut recorder = MetricsRecorder::new();
-        recorder.record_forward();
-        recorder.record_forward();
+        let recorder = MetricsRecorder::new(1);
+        let shard = recorder.shard(0);
+        shard.record_forward();
+        shard.record_forward();
         for _ in 0..12 {
-            recorder.record_request(0.001, 1, 1);
+            shard.record_request(0.001, 1, 1);
         }
         assert!((recorder.snapshot().mean_batch_size - 6.0).abs() < 1e-9);
     }
 
     #[test]
     fn summary_is_printable() {
-        let summary = MetricsRecorder::new().snapshot().summary();
-        assert!(summary.contains("req/s"));
+        let snapshot = MetricsRecorder::new(1).snapshot();
+        assert!(snapshot.summary().contains("req/s"));
+        assert!(snapshot.phase_summary().contains("queue-wait"));
     }
 
     #[test]
-    fn latency_window_slides_past_the_sample_cap() {
-        let mut recorder = MetricsRecorder::new();
-        // Fill the whole window with fast requests, then overwrite it with
-        // slow ones: the percentiles must follow the recent traffic.
-        for _ in 0..MAX_SAMPLES {
-            recorder.record_request(0.001, 1, 1);
+    fn out_of_range_shards_fall_back_to_the_misc_shard() {
+        let recorder = MetricsRecorder::new(2);
+        recorder.shard(99).record_error();
+        recorder.misc().record_error();
+        assert_eq!(recorder.snapshot().errors, 2);
+    }
+
+    #[test]
+    fn sharded_recording_merges_to_the_single_shard_equivalent() {
+        // The same traffic recorded across 4 worker shards and into one
+        // shard of a second recorder must produce identical snapshots
+        // (up to wall-clock fields, which depend on elapsed time).
+        let sharded = MetricsRecorder::new(4);
+        let single = MetricsRecorder::new(4);
+        for i in 0..200u64 {
+            let latency = 1e-4 * (1.0 + (i % 37) as f64);
+            let shard = sharded.shard((i % 4) as usize);
+            shard.record_request(latency, 64, 128);
+            shard.record_queue_wait(latency / 10.0);
+            if i % 3 == 0 {
+                shard.record_forward();
+                shard.record_forward_time((i + 1) * 1_000);
+                shard.record_decode((i + 1) * 500);
+                shard.record_encode((i + 1) * 250);
+            }
+            let lone = single.shard(0);
+            lone.record_request(latency, 64, 128);
+            lone.record_queue_wait(latency / 10.0);
+            if i % 3 == 0 {
+                lone.record_forward();
+                lone.record_forward_time((i + 1) * 1_000);
+                lone.record_decode((i + 1) * 500);
+                lone.record_encode((i + 1) * 250);
+            }
         }
-        assert!((recorder.snapshot().p95_latency_s - 0.001).abs() < 1e-9);
-        for _ in 0..MAX_SAMPLES {
-            recorder.record_request(0.5, 1, 1);
+        let a = sharded.snapshot();
+        let b = single.snapshot();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.bytes_in, b.bytes_in);
+        assert_eq!(a.bytes_out, b.bytes_out);
+        assert_eq!(a.p50_latency_s, b.p50_latency_s);
+        assert_eq!(a.p95_latency_s, b.p95_latency_s);
+        assert_eq!(a.p99_latency_s, b.p99_latency_s);
+        assert_eq!(a.queue_wait, b.queue_wait);
+        assert_eq!(a.decode, b.decode);
+        assert_eq!(a.forward, b.forward);
+        assert_eq!(a.encode, b.encode);
+    }
+
+    #[test]
+    fn histogram_latencies_track_recent_magnitudes_within_error() {
+        let recorder = MetricsRecorder::new(1);
+        let shard = recorder.shard(0);
+        for _ in 0..1000 {
+            shard.record_request(0.001, 1, 1);
         }
-        let snapshot = recorder.snapshot();
-        assert!((snapshot.p50_latency_s - 0.5).abs() < 1e-9);
-        assert_eq!(snapshot.requests, 2 * MAX_SAMPLES as u64);
+        let fast = recorder.snapshot();
+        assert!((fast.p95_latency_s - 0.001).abs() / 0.001 < 0.02);
+        for _ in 0..100_000 {
+            shard.record_request(0.5, 1, 1);
+        }
+        let slow = recorder.snapshot();
+        assert!((slow.p50_latency_s - 0.5).abs() / 0.5 < 0.02);
+        assert_eq!(slow.requests, 101_000);
     }
 }

@@ -14,8 +14,9 @@
 //! per request. Under light load a request is served alone (no added
 //! latency); under bursts each head runs once per micro-batch instead of
 //! once per request, and independent micro-batches run on different cores
-//! concurrently. The only mutable shared state is the metrics recorder,
-//! behind its own mutex.
+//! concurrently. Metrics are sharded per worker ([`crate::metrics`]): each
+//! worker records into its own lock-free shard, so the request path takes
+//! no global lock at all.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
@@ -24,13 +25,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mtlsplit_nn::{InferPlan, Layer};
+use mtlsplit_obs as obs;
 use mtlsplit_split::{Precision, TensorCodec, WirePayload};
 use mtlsplit_tensor::{Parallelism, Tensor};
 
 use crate::error::{Result, ServeError};
 use crate::frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES};
-use crate::metrics::{MetricsRecorder, ServeMetrics};
-use crate::wire::encode_response;
+use crate::metrics::{MetricsRecorder, ServeMetrics, WorkerShard};
+use crate::wire::{encode_metrics, encode_response};
 
 /// Configuration of an [`InferenceServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,7 +129,7 @@ pub struct InferenceServer {
     tx: Mutex<Option<SyncSender<Request>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     heads: Arc<Vec<Box<dyn Layer>>>,
-    metrics: Arc<Mutex<MetricsRecorder>>,
+    metrics: Arc<MetricsRecorder>,
     config: ServerConfig,
 }
 
@@ -158,7 +160,9 @@ impl InferenceServer {
         );
         let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth.max(1));
         let heads = Arc::new(heads);
-        let metrics = Arc::new(Mutex::new(MetricsRecorder::new()));
+        // One lock-free metric shard per worker plus the misc shard for
+        // connection threads; the pool size is fixed at construction.
+        let metrics = Arc::new(MetricsRecorder::new(config.workers.max(1)));
         let max_batch = config.max_batch.max(1);
         let response_precision = config.response_precision;
         let worker_parallelism = config.parallelism;
@@ -182,7 +186,7 @@ impl InferenceServer {
                             &worker_heads,
                             max_batch,
                             response_precision,
-                            &worker_metrics,
+                            worker_metrics.shard(index),
                         )
                     })
                     .expect("spawn server worker thread")
@@ -209,12 +213,9 @@ impl InferenceServer {
 
     /// A point-in-time snapshot of the serving metrics.
     pub fn metrics(&self) -> ServeMetrics {
-        // Copy the recorder out under the lock; the percentile sort then
-        // runs without blocking the serving workers.
-        let recorder = self.metrics.lock().expect("metrics lock").clone();
-        let mut snapshot = recorder.snapshot();
-        snapshot.workers = self.config.workers.max(1);
-        snapshot
+        // Shards are relaxed atomics: the merge runs while the workers keep
+        // recording, no lock taken on either side.
+        self.metrics.snapshot()
     }
 
     /// Submits one decoded payload and blocks until a worker responds.
@@ -253,8 +254,13 @@ impl InferenceServer {
         match frame.op {
             OpCode::Ping => Frame::new(OpCode::Pong, frame.request_id, Vec::new()),
             OpCode::InferRequest => self.process_infer(frame),
+            OpCode::MetricsRequest => Frame::new(
+                OpCode::MetricsResponse,
+                frame.request_id,
+                encode_metrics(&self.metrics()),
+            ),
             other => {
-                self.metrics.lock().expect("metrics lock").record_error();
+                self.metrics.misc().record_error();
                 Frame::error(
                     frame.request_id,
                     &format!("server cannot handle a {other:?} frame"),
@@ -267,7 +273,7 @@ impl InferenceServer {
         let payload = match WirePayload::decode(&frame.body) {
             Ok(payload) => payload,
             Err(err) => {
-                self.metrics.lock().expect("metrics lock").record_error();
+                self.metrics.misc().record_error();
                 return Frame::error(frame.request_id, &err.to_string());
             }
         };
@@ -306,7 +312,7 @@ fn worker_loop(
     heads: &[Box<dyn Layer>],
     max_batch: usize,
     response_precision: Precision,
-    metrics: &Arc<Mutex<MetricsRecorder>>,
+    shard: &WorkerShard,
 ) {
     // One inference plan per worker, reused across every request this
     // worker ever serves: after the first request warms its arena, the
@@ -330,7 +336,7 @@ fn worker_loop(
             }
             batch
         };
-        serve_batch(heads, batch, response_precision, metrics, &mut plan);
+        serve_batch(heads, batch, response_precision, shard, &mut plan);
     }
 }
 
@@ -340,19 +346,30 @@ fn serve_batch(
     heads: &[Box<dyn Layer>],
     batch: Vec<Request>,
     response_precision: Precision,
-    metrics: &Arc<Mutex<MetricsRecorder>>,
+    shard: &WorkerShard,
     plan: &mut InferPlan,
 ) {
     let codec = TensorCodec::default();
+    // Queue-wait ends the moment the worker drains the request. This is a
+    // histogram-only phase: a span here would start before `decode` opens
+    // and end inside it, breaking strict trace nesting.
+    for request in &batch {
+        shard.record_queue_wait(request.enqueued.elapsed().as_secs_f64());
+    }
     // Decode every payload; answer undecodable ones immediately.
+    let decode_span = obs::span_dims(
+        "decode",
+        obs::SpanKind::Serve,
+        [batch.len() as u32, 0, 0, 0],
+    );
+    let decode_start = obs::now_ns();
     let mut decoded: Vec<(Request, Tensor)> = Vec::with_capacity(batch.len());
     for request in batch {
         match codec.decode(&request.payload) {
             Ok(tensor) => decoded.push((request, tensor)),
             Err(err) => {
-                let mut guard = metrics.lock().expect("metrics lock");
-                guard.record_error();
-                guard.record_request(
+                shard.record_error();
+                shard.record_request(
                     request.enqueued.elapsed().as_secs_f64(),
                     request.payload.wire_bytes(),
                     0,
@@ -361,6 +378,8 @@ fn serve_batch(
             }
         }
     }
+    shard.record_decode(obs::now_ns() - decode_start);
+    drop(decode_span);
     // Coalesce requests whose Z_b share the per-sample feature shape; a
     // request with a different shape (or a rank-<2 tensor) forms its own
     // group, preserving arrival order within each group.
@@ -381,7 +400,7 @@ fn serve_batch(
         }
     }
     for (_, members) in groups {
-        serve_group(heads, members, response_precision, metrics, plan);
+        serve_group(heads, members, response_precision, shard, plan);
     }
 }
 
@@ -391,7 +410,7 @@ fn serve_group(
     heads: &[Box<dyn Layer>],
     members: Vec<(Request, Tensor)>,
     response_precision: Precision,
-    metrics: &Arc<Mutex<MetricsRecorder>>,
+    shard: &WorkerShard,
     plan: &mut InferPlan,
 ) {
     let response_codec = TensorCodec::new(response_precision);
@@ -399,12 +418,24 @@ fn serve_group(
         .iter()
         .map(|(_, t)| t.dims().first().copied().unwrap_or(1))
         .collect();
+    let total_rows: usize = rows.iter().sum();
     // Head outputs live outside the fallible closure so their arena
     // buffers are recycled on *every* exit path — a malformed request must
     // not leak buffers out of the worker's arena and quietly re-introduce
     // per-request allocations.
     let mut head_outputs: Vec<Tensor> = Vec::with_capacity(heads.len());
     let outcome = (|| -> std::result::Result<Vec<Vec<WirePayload>>, String> {
+        let forward_span = obs::span_dims(
+            "forward",
+            obs::SpanKind::Serve,
+            [
+                members.len() as u32,
+                heads.len() as u32,
+                total_rows as u32,
+                0,
+            ],
+        );
+        let forward_start = obs::now_ns();
         let tensors: Vec<&Tensor> = members.iter().map(|(_, t)| t).collect();
         let stacked;
         let input: &Tensor = if tensors.len() == 1 {
@@ -420,10 +451,18 @@ fn serve_group(
         for head in heads.iter() {
             head_outputs.push(plan.run(head.as_ref(), input).map_err(|e| e.to_string())?);
         }
-        metrics.lock().expect("metrics lock").record_forward();
+        shard.record_forward();
+        shard.record_forward_time(obs::now_ns() - forward_start);
+        drop(forward_span);
         // Split each head's stacked output back into per-request payloads.
         // Single-request groups (the latency-critical light-load regime)
         // encode straight from the arena tensor — no output clone.
+        let encode_span = obs::span_dims(
+            "encode",
+            obs::SpanKind::Serve,
+            [members.len() as u32, heads.len() as u32, 0, 0],
+        );
+        let encode_start = obs::now_ns();
         let mut per_request: Vec<Vec<WirePayload>> = vec![Vec::new(); members.len()];
         let mut offset = 0usize;
         for (index, &request_rows) in rows.iter().enumerate() {
@@ -439,6 +478,8 @@ fn serve_group(
             }
             offset += request_rows;
         }
+        shard.record_encode(obs::now_ns() - encode_start);
+        drop(encode_span);
         Ok(per_request)
     })();
     // The responses (if any) are encoded; the output buffers rejoin the
@@ -450,7 +491,7 @@ fn serve_group(
         Ok(per_request) => {
             for ((request, _), outputs) in members.into_iter().zip(per_request) {
                 let bytes_out: usize = outputs.iter().map(WirePayload::wire_bytes).sum();
-                metrics.lock().expect("metrics lock").record_request(
+                shard.record_request(
                     request.enqueued.elapsed().as_secs_f64(),
                     request.payload.wire_bytes(),
                     bytes_out,
@@ -460,9 +501,8 @@ fn serve_group(
         }
         Err(message) => {
             for (request, _) in members {
-                let mut guard = metrics.lock().expect("metrics lock");
-                guard.record_error();
-                guard.record_request(
+                shard.record_error();
+                shard.record_request(
                     request.enqueued.elapsed().as_secs_f64(),
                     request.payload.wire_bytes(),
                     0,

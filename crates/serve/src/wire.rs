@@ -11,10 +11,24 @@
 //!         4     payload length m, u32 little-endian
 //!         m     one WirePayload in binary form
 //! ```
+//!
+//! A metrics response body is one fixed-size [`ServeMetrics`] snapshot
+//! ([`encode_metrics`] / [`decode_metrics`]): a one-byte codec version,
+//! the `u32` worker count, five `u64` counters, six `f64` gauges, then the
+//! four phase blocks (queue-wait, decode, forward, encode), each a `u64`
+//! count plus four `f64` quantile fields — all little-endian, decoded with
+//! an exact-length check.
 
 use mtlsplit_split::WirePayload;
 
 use crate::error::{Result, ServeError};
+use crate::metrics::{PhaseStats, ServeMetrics};
+
+/// Version byte of the metrics snapshot codec.
+const METRICS_CODEC_VERSION: u8 = 1;
+
+/// Exact encoded size of one metrics snapshot.
+const METRICS_BYTES: usize = 1 + 4 + 5 * 8 + 6 * 8 + 4 * (8 + 4 * 8);
 
 /// Encodes the per-task output payloads of one response.
 ///
@@ -77,6 +91,144 @@ pub fn decode_response(body: &[u8]) -> Result<Vec<WirePayload>> {
     Ok(outputs)
 }
 
+/// Encodes one [`ServeMetrics`] snapshot as a metrics response body.
+pub fn encode_metrics(metrics: &ServeMetrics) -> Vec<u8> {
+    let mut body = Vec::with_capacity(METRICS_BYTES);
+    body.push(METRICS_CODEC_VERSION);
+    body.extend_from_slice(&(metrics.workers as u32).to_le_bytes());
+    for counter in [
+        metrics.requests,
+        metrics.errors,
+        metrics.batches,
+        metrics.bytes_in,
+        metrics.bytes_out,
+    ] {
+        body.extend_from_slice(&counter.to_le_bytes());
+    }
+    for gauge in [
+        metrics.wall_seconds,
+        metrics.requests_per_second,
+        metrics.mean_batch_size,
+        metrics.p50_latency_s,
+        metrics.p95_latency_s,
+        metrics.p99_latency_s,
+    ] {
+        body.extend_from_slice(&gauge.to_le_bytes());
+    }
+    for phase in [
+        &metrics.queue_wait,
+        &metrics.decode,
+        &metrics.forward,
+        &metrics.encode,
+    ] {
+        body.extend_from_slice(&phase.count.to_le_bytes());
+        for value in [phase.mean_s, phase.p50_s, phase.p95_s, phase.p99_s] {
+            body.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+    debug_assert_eq!(body.len(), METRICS_BYTES);
+    body
+}
+
+/// Sequential little-endian reader over an already length-checked body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    offset: usize,
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> u32 {
+        let value = u32::from_le_bytes(
+            self.body[self.offset..self.offset + 4]
+                .try_into()
+                .expect("4"),
+        );
+        self.offset += 4;
+        value
+    }
+
+    fn u64(&mut self) -> u64 {
+        let value = u64::from_le_bytes(
+            self.body[self.offset..self.offset + 8]
+                .try_into()
+                .expect("8"),
+        );
+        self.offset += 8;
+        value
+    }
+
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    fn phase(&mut self) -> PhaseStats {
+        PhaseStats {
+            count: self.u64(),
+            mean_s: self.f64(),
+            p50_s: self.f64(),
+            p95_s: self.f64(),
+            p99_s: self.f64(),
+        }
+    }
+}
+
+/// Decodes a metrics response body back into a [`ServeMetrics`] snapshot.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Truncated`] on any length mismatch and
+/// [`ServeError::UnsupportedVersion`] on an unknown codec version byte.
+pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
+    if body.len() != METRICS_BYTES {
+        return Err(ServeError::Truncated {
+            needed: METRICS_BYTES,
+            got: body.len(),
+        });
+    }
+    if body[0] != METRICS_CODEC_VERSION {
+        return Err(ServeError::UnsupportedVersion { found: body[0] });
+    }
+    let mut cursor = Cursor {
+        body,
+        offset: 1usize,
+    };
+    let workers = cursor.u32() as usize;
+    let requests = cursor.u64();
+    let errors = cursor.u64();
+    let batches = cursor.u64();
+    let bytes_in = cursor.u64();
+    let bytes_out = cursor.u64();
+    let wall_seconds = cursor.f64();
+    let requests_per_second = cursor.f64();
+    let mean_batch_size = cursor.f64();
+    let p50_latency_s = cursor.f64();
+    let p95_latency_s = cursor.f64();
+    let p99_latency_s = cursor.f64();
+    let queue_wait = cursor.phase();
+    let decode = cursor.phase();
+    let forward = cursor.phase();
+    let encode = cursor.phase();
+    debug_assert_eq!(cursor.offset, METRICS_BYTES);
+    Ok(ServeMetrics {
+        workers,
+        requests,
+        errors,
+        batches,
+        bytes_in,
+        bytes_out,
+        wall_seconds,
+        requests_per_second,
+        mean_batch_size,
+        p50_latency_s,
+        p95_latency_s,
+        p99_latency_s,
+        queue_wait,
+        decode,
+        forward,
+        encode,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +250,77 @@ mod tests {
     fn empty_response_round_trip() {
         let body = encode_response(&[]);
         assert!(decode_response(&body).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_round_trip_preserves_every_field() {
+        let metrics = ServeMetrics {
+            workers: 3,
+            requests: 101,
+            errors: 2,
+            batches: 57,
+            bytes_in: 123_456,
+            bytes_out: 654_321,
+            wall_seconds: 9.25,
+            requests_per_second: 10.9,
+            mean_batch_size: 1.77,
+            p50_latency_s: 0.002,
+            p95_latency_s: 0.004,
+            p99_latency_s: 0.008,
+            queue_wait: PhaseStats {
+                count: 101,
+                mean_s: 1e-4,
+                p50_s: 9e-5,
+                p95_s: 3e-4,
+                p99_s: 5e-4,
+            },
+            decode: PhaseStats {
+                count: 57,
+                mean_s: 2e-5,
+                p50_s: 2e-5,
+                p95_s: 4e-5,
+                p99_s: 6e-5,
+            },
+            forward: PhaseStats {
+                count: 57,
+                mean_s: 1e-3,
+                p50_s: 9e-4,
+                p95_s: 2e-3,
+                p99_s: 3e-3,
+            },
+            encode: PhaseStats {
+                count: 57,
+                mean_s: 3e-5,
+                p50_s: 3e-5,
+                p95_s: 5e-5,
+                p99_s: 8e-5,
+            },
+        };
+        let body = encode_metrics(&metrics);
+        assert_eq!(body.len(), METRICS_BYTES);
+        let decoded = decode_metrics(&body).unwrap();
+        assert_eq!(decoded, metrics);
+    }
+
+    #[test]
+    fn corrupt_metrics_bodies_are_rejected_with_typed_errors() {
+        let body = encode_metrics(&ServeMetrics::default());
+        assert!(matches!(
+            decode_metrics(&body[..body.len() - 1]),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_metrics(&trailing),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut wrong_version = body;
+        wrong_version[0] = 9;
+        assert!(matches!(
+            decode_metrics(&wrong_version),
+            Err(ServeError::UnsupportedVersion { found: 9 })
+        ));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! [`Layer::infer`]: ../mtlsplit_nn/trait.Layer.html
 
 use crate::tensor::Tensor;
+use mtlsplit_obs as obs;
 
 /// A recycling pool of `f32` buffers backing planned, zero-allocation
 /// inference.
@@ -57,6 +58,9 @@ pub struct TensorArena {
     free: Vec<Vec<f32>>,
     fresh_allocations: usize,
     reuses: usize,
+    // Running total of pooled capacity, kept so the global high-water
+    // gauge costs O(1) per give instead of a free-list sweep.
+    pooled_total: usize,
 }
 
 impl TensorArena {
@@ -68,6 +72,7 @@ impl TensorArena {
             free: Vec::with_capacity(32),
             fresh_allocations: 0,
             reuses: 0,
+            pooled_total: 0,
         }
     }
 
@@ -86,8 +91,10 @@ impl TensorArena {
             }
         }
         match best {
-            Some((index, _)) => {
+            Some((index, capacity)) => {
                 self.reuses += 1;
+                self.pooled_total -= capacity;
+                obs::metrics::ARENA_HITS.add(1);
                 let mut buffer = self.free.swap_remove(index);
                 if buffer.len() > len {
                     buffer.truncate(len);
@@ -99,6 +106,7 @@ impl TensorArena {
             }
             None => {
                 self.fresh_allocations += 1;
+                obs::metrics::ARENA_MISSES.add(1);
                 vec![0.0; len]
             }
         }
@@ -107,6 +115,8 @@ impl TensorArena {
     /// Returns a buffer to the free list for later reuse.
     pub fn give(&mut self, buffer: Vec<f32>) {
         if buffer.capacity() > 0 {
+            self.pooled_total += buffer.capacity();
+            obs::metrics::ARENA_HIGH_WATER.observe(self.pooled_total as u64);
             self.free.push(buffer);
         }
     }

@@ -28,10 +28,13 @@
 //! property-tested against.
 
 use crate::error::{Result, TensorError};
-use crate::kernels::{sgemm, sgemm_epilogue, Bias, BiasAxis, ChannelNorm, Epilogue, GradMask};
+use crate::kernels::{
+    sgemm_epilogue_quiet, sgemm_quiet, Bias, BiasAxis, ChannelNorm, Epilogue, GradMask,
+};
 use crate::parallel::{for_each_unit, for_each_unit_pair, threads_for_macs, Parallelism};
 use crate::tensor::Tensor;
 use crate::EpilogueActivation;
+use mtlsplit_obs as obs;
 
 /// What a convolution call fuses into its kernels' write-back: an optional
 /// following batch-norm (per output channel) and an optional following
@@ -267,6 +270,10 @@ fn im2col_group(
     batch_index: usize,
     channel_start: usize,
 ) {
+    // Single choke point for column materialisation: every unfold in the
+    // crate lands here, so one relaxed add accounts all im2col bandwidth.
+    obs::metrics::IM2COL_BYTES
+        .add((geometry.ckk * geometry.out_plane * std::mem::size_of::<f32>()) as u64);
     let g = geometry;
     let k = spec.kernel;
     let pad = spec.padding as isize;
@@ -457,6 +464,18 @@ pub fn conv2d_fused(
     let units = g.batch * spec.groups;
     let unit_len = g.cout_g * g.out_plane;
     let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    obs::metrics::GEMM_CALLS.add(units as u64);
+    obs::metrics::GEMM_FLOPS.add(2 * macs as u64);
+    let _span = obs::span_dims(
+        "conv2d",
+        obs::SpanKind::Kernel,
+        [
+            g.batch as u32,
+            spec.out_channels as u32,
+            spec.kernel as u32,
+            g.out_plane as u32,
+        ],
+    );
     let (unit_threads, gemm_par) = split_threads(units, macs);
     for_each_unit(out, unit_len, unit_threads, |unit_index, unit| {
         let (b, group) = (unit_index / spec.groups, unit_index % spec.groups);
@@ -533,7 +552,7 @@ fn conv_forward_unit(
         (Some(bias), None) => Epilogue::with_activation(bias, fusion.activation),
         (None, None) => Epilogue::None,
     };
-    sgemm_epilogue(
+    sgemm_epilogue_quiet(
         false,
         false,
         g.cout_g,
@@ -649,6 +668,18 @@ pub fn conv2d_fused_caching(
     let units = g.batch * spec.groups;
     let unit_len = g.cout_g * g.out_plane;
     let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    obs::metrics::GEMM_CALLS.add(units as u64);
+    obs::metrics::GEMM_FLOPS.add(2 * macs as u64);
+    let _span = obs::span_dims(
+        "conv2d_cached",
+        obs::SpanKind::Kernel,
+        [
+            g.batch as u32,
+            spec.out_channels as u32,
+            spec.kernel as u32,
+            g.out_plane as u32,
+        ],
+    );
     let (unit_threads, gemm_par) = split_threads(units, macs);
     for_each_unit_pair(
         out,
@@ -825,6 +856,20 @@ pub fn conv2d_backward_into(
     }
     let units = g.batch * spec.groups;
     let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    // Both backward GEMM families (grad-input and grad-weight) do the same
+    // 2 * macs FLOPs each as the forward lowering.
+    obs::metrics::GEMM_CALLS.add(2 * units as u64);
+    obs::metrics::GEMM_FLOPS.add(4 * macs as u64);
+    let _span = obs::span_dims(
+        "conv2d_backward",
+        obs::SpanKind::Kernel,
+        [
+            g.batch as u32,
+            spec.out_channels as u32,
+            spec.kernel as u32,
+            g.out_plane as u32,
+        ],
+    );
     let (unit_threads, gemm_par) = split_threads(units, macs);
     let unit_len = g.cin_g * g.height * g.width;
     for_each_unit(grad_input, unit_len, unit_threads, |unit_index, unit| {
@@ -845,7 +890,7 @@ pub fn conv2d_backward_into(
                 }),
                 None => Epilogue::None,
             };
-            sgemm_epilogue(
+            sgemm_epilogue_quiet(
                 true,
                 false,
                 g.ckk,
@@ -872,7 +917,7 @@ pub fn conv2d_backward_into(
             depthwise_grad_input_unit(unit, w_group, go_group, &g, spec);
         } else {
             with_cols_scratch(g.ckk * g.out_plane, |grad_cols| {
-                sgemm(
+                sgemm_quiet(
                     true,
                     false,
                     g.ckk,
@@ -1218,7 +1263,7 @@ fn conv_grad_weight(
                     let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
                         [..g.cout_g * g.out_plane];
                     let beta = if b == 0 { 0.0 } else { 1.0 };
-                    sgemm(
+                    sgemm_quiet(
                         false,
                         true,
                         g.cout_g,
@@ -1244,7 +1289,7 @@ fn conv_grad_weight(
                     let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
                         [..g.cout_g * g.out_plane];
                     let beta = if b == 0 { 0.0 } else { 1.0 };
-                    sgemm(
+                    sgemm_quiet(
                         false,
                         true,
                         g.cout_g,
@@ -1266,7 +1311,7 @@ fn conv_grad_weight(
                     let go_group = &go[(b * spec.out_channels + group * g.cout_g) * g.out_plane..]
                         [..g.cout_g * g.out_plane];
                     let beta = if b == 0 { 0.0 } else { 1.0 };
-                    sgemm(
+                    sgemm_quiet(
                         false,
                         true,
                         g.cout_g,
@@ -1349,6 +1394,18 @@ pub fn conv2d_backward_params_into(
     }
     let pointwise = spec.kernel == 1 && spec.stride == 1 && spec.padding == 0;
     let macs = g.batch * spec.out_channels * g.out_plane * g.ckk;
+    obs::metrics::GEMM_CALLS.add((g.batch * spec.groups) as u64);
+    obs::metrics::GEMM_FLOPS.add(2 * macs as u64);
+    let _span = obs::span_dims(
+        "conv2d_backward_params",
+        obs::SpanKind::Kernel,
+        [
+            g.batch as u32,
+            spec.out_channels as u32,
+            spec.kernel as u32,
+            g.out_plane as u32,
+        ],
+    );
     conv_grad_weight(src, go, spec, &g, pointwise, cols, grad_weight, macs);
     Ok(())
 }
@@ -1386,6 +1443,18 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (out_h, out_w) = probe.output_size(height, width)?;
     let k = spec.kernel;
     let cols_per_row = channels * k * k;
+    obs::metrics::IM2COL_BYTES
+        .add((batch * out_h * out_w * cols_per_row * std::mem::size_of::<f32>()) as u64);
+    let _span = obs::span_dims(
+        "im2col",
+        obs::SpanKind::Kernel,
+        [
+            batch as u32,
+            channels as u32,
+            k as u32,
+            (out_h * out_w) as u32,
+        ],
+    );
     let mut out = vec![0.0f32; batch * out_h * out_w * cols_per_row];
     let src = input.as_slice();
     let pad = spec.padding as isize;
@@ -1565,6 +1634,7 @@ mod oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::sgemm;
     use crate::rng::StdRng;
 
     fn finite_difference_check(spec: Conv2dSpec, input_dims: [usize; 4], seed: u64) {

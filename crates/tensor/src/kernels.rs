@@ -50,6 +50,7 @@
 //! the full contract.
 
 use crate::parallel::{partition_rows, threads_for_macs, Parallelism};
+use mtlsplit_obs as obs;
 
 /// Rows of one register tile (micro-panel height of packed `A`).
 pub const MR: usize = 4;
@@ -526,6 +527,69 @@ pub fn sgemm(
 /// broadcast axis.
 #[allow(clippy::too_many_arguments)]
 pub fn sgemm_epilogue(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+    par: Parallelism,
+) {
+    obs::metrics::GEMM_CALLS.add(1);
+    obs::metrics::GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
+    let _span = obs::span_dims(
+        "sgemm",
+        obs::SpanKind::Kernel,
+        [m as u32, n as u32, k as u32, 0],
+    );
+    sgemm_epilogue_quiet(
+        trans_a, trans_b, m, n, k, alpha, a, b, beta, c, epilogue, par,
+    );
+}
+
+/// [`sgemm`] without the observability wrapper, for call sites that run on
+/// short-lived scoped worker threads (the convolution unit loops): opening
+/// spans there would register a throwaway ring buffer per spawned thread.
+/// The enclosing driver accounts the work instead.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sgemm_quiet(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    par: Parallelism,
+) {
+    sgemm_epilogue_quiet(
+        trans_a,
+        trans_b,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        Epilogue::None,
+        par,
+    );
+}
+
+/// [`sgemm_epilogue`] without the observability wrapper — see
+/// [`sgemm_quiet`] for why the convolution unit loops need it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sgemm_epilogue_quiet(
     trans_a: bool,
     trans_b: bool,
     m: usize,

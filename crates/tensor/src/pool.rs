@@ -2,6 +2,22 @@
 
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
+use mtlsplit_obs as obs;
+
+/// Opens the pooling kernels' shared tracing span (a no-op branch while
+/// tracing is disabled).
+fn pool_span(name: &'static str, dims: [usize; 4]) -> obs::Span {
+    obs::span_dims(
+        name,
+        obs::SpanKind::Kernel,
+        [
+            dims[0] as u32,
+            dims[1] as u32,
+            dims[2] as u32,
+            dims[3] as u32,
+        ],
+    )
+}
 
 fn check_rank4(input: &Tensor, op: &'static str) -> Result<[usize; 4]> {
     if input.rank() != 4 {
@@ -77,6 +93,7 @@ pub fn max_pool2d_train_into(
 ) -> Result<[usize; 4]> {
     let dims = pooled_dims(input, window, stride, "max_pool2d")?;
     check_out_len(out, &dims)?;
+    let _span = pool_span("max_pool2d", dims);
     let [batch, channels, out_h, out_w] = dims;
     let (height, width) = (input.dims()[2], input.dims()[3]);
     let src = input.as_slice();
@@ -168,6 +185,7 @@ pub fn max_pool2d_infer_into(
 ) -> Result<[usize; 4]> {
     let dims = pooled_dims(input, window, stride, "max_pool2d")?;
     check_out_len(out, &dims)?;
+    let _span = pool_span("max_pool2d", dims);
     let [batch, channels, out_h, out_w] = dims;
     let (height, width) = (input.dims()[2], input.dims()[3]);
     let src = input.as_slice();
@@ -227,6 +245,7 @@ pub fn max_pool2d_backward_into(
             actual: grad_output.len(),
         });
     }
+    let _span = pool_span("max_pool2d_backward", [grad_output.len(), 0, 0, 0]);
     grad_input.fill(0.0);
     for (&idx, &g) in indices.iter().zip(grad_output.as_slice()) {
         grad_input[idx] += g;
@@ -261,6 +280,7 @@ pub fn avg_pool2d_into(
 ) -> Result<[usize; 4]> {
     let dims = pooled_dims(input, window, stride, "avg_pool2d")?;
     check_out_len(out, &dims)?;
+    let _span = pool_span("avg_pool2d", dims);
     let [batch, channels, out_h, out_w] = dims;
     let (height, width) = (input.dims()[2], input.dims()[3]);
     let src = input.as_slice();
@@ -339,6 +359,7 @@ pub fn avg_pool2d_backward_into(
         });
     }
     let (height, width) = (input_dims[2], input_dims[3]);
+    let _span = pool_span("avg_pool2d_backward", [batch, channels, out_h, out_w]);
     grad_input.fill(0.0);
     let gi = grad_input;
     let go = grad_output.as_slice();
@@ -389,6 +410,7 @@ pub fn global_avg_pool2d_into(input: &Tensor, out: &mut [f32]) -> Result<[usize;
             actual: out.len(),
         });
     }
+    let _span = pool_span("global_avg_pool2d", [batch, channels, height, width]);
     let src = input.as_slice();
     let norm = 1.0 / (height * width).max(1) as f32;
     for b in 0..batch {

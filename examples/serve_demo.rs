@@ -11,6 +11,11 @@
 //! ```text
 //! cargo run --release -p mtlsplit --example serve_demo
 //! ```
+//!
+//! Set `MTLSPLIT_TRACE=/path/to/trace.json` to enable the zero-allocation
+//! tracing spans and write a Chrome `trace_event` file (open it in
+//! `chrome://tracing` or Perfetto) covering training, the server-side
+//! decode/forward/encode phases and the client round-trip.
 
 use std::error::Error;
 use std::net::TcpListener;
@@ -19,11 +24,19 @@ use std::sync::Arc;
 use mtlsplit_core::{deploy, trainer, TrainConfig};
 use mtlsplit_data::shapes::ShapesConfig;
 use mtlsplit_models::BackboneKind;
-use mtlsplit_serve::{EdgeClient, InferenceServer, ServerConfig, TcpServer, TcpTransport};
+use mtlsplit_obs as obs;
+use mtlsplit_serve::{
+    EdgeClient, InferenceServer, ServeMetrics, ServerConfig, TcpServer, TcpTransport,
+};
 use mtlsplit_split::{Precision, TensorCodec};
 use mtlsplit_tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let trace_path = std::env::var_os("MTLSPLIT_TRACE");
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+        println!("tracing enabled (MTLSPLIT_TRACE set)");
+    }
     // 1. Train a small two-task model on the synthetic shapes corpus.
     let dataset = ShapesConfig {
         samples: 400,
@@ -79,17 +92,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 5. Edge side, in its own thread: backbone + codec + TCP transport.
-    let client_thread = std::thread::spawn(move || -> Result<Vec<Tensor>, String> {
-        let transport = TcpTransport::connect(addr).map_err(|e| e.to_string())?;
-        let mut client = EdgeClient::new(
-            edge.into_layer(),
-            TensorCodec::new(Precision::Float32),
-            Box::new(transport),
-        );
-        client.ping().map_err(|e| e.to_string())?;
-        client.infer(&sample).map_err(|e| e.to_string())
-    });
-    let served = client_thread.join().expect("client thread")?;
+    //    Besides inference, the client scrapes the server's live metrics
+    //    over the same socket (protocol v3 `Op::Metrics`).
+    let client_thread =
+        std::thread::spawn(move || -> Result<(Vec<Tensor>, ServeMetrics), String> {
+            let transport = TcpTransport::connect(addr).map_err(|e| e.to_string())?;
+            let mut client = EdgeClient::new(
+                edge.into_layer(),
+                TensorCodec::new(Precision::Float32),
+                Box::new(transport),
+            );
+            client.ping().map_err(|e| e.to_string())?;
+            let outputs = client.infer(&sample).map_err(|e| e.to_string())?;
+            let scraped = client.metrics().map_err(|e| e.to_string())?;
+            Ok((outputs, scraped))
+        });
+    let (served, scraped) = client_thread.join().expect("client thread")?;
 
     // 6. The served outputs must match the monolithic ones to 1e-6.
     for ((name, direct), remote) in task_names.iter().zip(&reference).zip(&served) {
@@ -107,7 +125,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     println!("server metrics: {}", server.metrics().summary());
+    println!("scraped over the wire: {}", scraped.summary());
+    println!("phase breakdown: {}", scraped.phase_summary());
+    assert_eq!(
+        scraped.requests,
+        server.metrics().requests,
+        "wire-scraped request count must match the in-process snapshot"
+    );
     tcp.stop();
+
+    // 7. When tracing was requested, export and validate the Chrome trace.
+    if let Some(path) = trace_path {
+        let json = obs::chrome_trace_json();
+        let summary = obs::validate_chrome_trace(&json).map_err(std::io::Error::other)?;
+        std::fs::write(&path, &json)?;
+        println!(
+            "trace: {} events over {} threads -> {}",
+            summary.events,
+            summary.threads,
+            path.to_string_lossy()
+        );
+    }
     println!("ok: real TCP round-trip matched the monolithic forward pass");
     Ok(())
 }
