@@ -1,0 +1,245 @@
+//! Per-stage cost models: what each candidate split costs in edge compute,
+//! wire traffic and server compute.
+//!
+//! A [`CostModel`] carries one [`StageCost`] per backbone stage boundary.
+//! Two constructors ship: [`CostModel::measure`] runs real traced inference
+//! passes and reads the per-layer latency profile, so the numbers reflect
+//! this machine's fused planned runtime; [`CostModel::from_macs`] scales the
+//! backbone's analytical MAC counts instead, which is deterministic and
+//! hermetic — the right choice for CI and for unit tests with a known
+//! Pareto front.
+
+use mtlsplit_models::Backbone;
+use mtlsplit_nn::{InferPlan, Layer, Result};
+use mtlsplit_obs as obs;
+use mtlsplit_tensor::{StdRng, Tensor};
+
+/// The cost of splitting after one backbone stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCost {
+    /// Stage index (indexes `Backbone::stages()`).
+    pub stage: usize,
+    /// Stage label, e.g. `"sep2"`.
+    pub label: String,
+    /// Cumulative backbone compute through this stage on the reference
+    /// edge device, nanoseconds per pass.
+    pub edge_compute_ns: f64,
+    /// Per-sample elements crossing the wire when splitting here.
+    pub wire_elements: usize,
+    /// Wire tensor rank at this boundary (4 = NCHW, 2 = flat).
+    pub wire_rank: usize,
+}
+
+/// A backbone's complete split-cost profile plus the server-side head cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    stages: Vec<StageCost>,
+    backbone_total_ns: f64,
+    head_compute_ns: f64,
+}
+
+impl CostModel {
+    /// Builds a model from explicit per-stage costs — synthetic inputs for
+    /// tests, or measurements taken elsewhere. The full-backbone time is
+    /// the last stage's cumulative time.
+    pub fn synthetic(stages: Vec<StageCost>, head_compute_ns: f64) -> Self {
+        let backbone_total_ns = stages.last().map(|s| s.edge_compute_ns).unwrap_or(0.0);
+        Self {
+            stages,
+            backbone_total_ns,
+            head_compute_ns,
+        }
+    }
+
+    /// Builds a deterministic analytical model from the backbone's MAC
+    /// counts: every stage costs `ns_per_mac` per multiply-accumulate.
+    ///
+    /// MAC counts ignore memory traffic, so the absolute numbers are crude —
+    /// but cumulative MACs grow strictly with depth, which is the property
+    /// the Pareto search needs, and the model is bit-reproducible across
+    /// machines.
+    pub fn from_macs(backbone: &Backbone, ns_per_mac: f64, head_compute_ns: f64) -> Self {
+        let stages = backbone
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(index, stage)| StageCost {
+                stage: index,
+                label: stage.label.clone(),
+                edge_compute_ns: stage.cumulative_macs as f64 * ns_per_mac,
+                wire_elements: stage.elements,
+                wire_rank: stage.wire_rank(),
+            })
+            .collect();
+        Self::synthetic(stages, head_compute_ns)
+    }
+
+    /// Measures the backbone and heads on this machine: `passes` traced
+    /// inference passes through a planned runtime, with per-stage times
+    /// aggregated from the layer-latency profile.
+    ///
+    /// The measurement briefly enables the global tracing ring and resets
+    /// it, so concurrent traced work in the same process would mix into the
+    /// profile — measure from a quiet thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass failures from the backbone or heads.
+    pub fn measure(
+        backbone: &Backbone,
+        heads: &[Box<dyn Layer>],
+        batch: usize,
+        passes: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
+        let passes = passes.max(1);
+        let side = backbone.input_size();
+        let input = Tensor::randn(
+            &[batch.max(1), backbone.in_channels(), side, side],
+            0.0,
+            1.0,
+            rng,
+        );
+        let mut plan = InferPlan::new();
+        // Warm the plan's arena so the traced passes see the steady state.
+        let warm = plan.run(backbone, &input)?;
+        plan.recycle(warm);
+        obs::reset();
+        obs::set_enabled(true);
+        for _ in 0..passes {
+            let out = plan.run(backbone, &input)?;
+            plan.recycle(out);
+        }
+        obs::set_enabled(false);
+        let profile = obs::layer_profile();
+        // Heads are timed wholesale: their layer indices would collide with
+        // the backbone's in the profile, and the split search only ever
+        // needs their total.
+        let features = plan.run(backbone, &input)?;
+        let head_start = obs::now_ns();
+        for _ in 0..passes {
+            for head in heads {
+                let out = plan.run(head.as_ref(), &features)?;
+                plan.recycle(out);
+            }
+        }
+        let head_compute_ns = (obs::now_ns() - head_start) as f64 / passes as f64;
+        plan.recycle(features);
+        // Each profile entry is one fused window keyed by its start index;
+        // stage boundaries fall on fusion-window boundaries, so a window
+        // belongs to the edge prefix iff it starts before the stage's
+        // layer_end.
+        let stages = backbone
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(index, stage)| {
+                let cumulative: u64 = profile
+                    .iter()
+                    .filter(|window| (window.index as usize) < stage.layer_end)
+                    .map(|window| window.total_ns)
+                    .sum();
+                StageCost {
+                    stage: index,
+                    label: stage.label.clone(),
+                    edge_compute_ns: cumulative as f64 / passes as f64,
+                    wire_elements: stage.elements,
+                    wire_rank: stage.wire_rank(),
+                }
+            })
+            .collect();
+        Ok(Self::synthetic(stages, head_compute_ns))
+    }
+
+    /// The per-stage costs, ordered by stage index.
+    pub fn stages(&self) -> &[StageCost] {
+        &self.stages
+    }
+
+    /// Full-backbone compute per pass, nanoseconds.
+    pub fn backbone_total_ns(&self) -> f64 {
+        self.backbone_total_ns
+    }
+
+    /// All task heads' compute per pass, nanoseconds.
+    pub fn head_compute_ns(&self) -> f64 {
+        self.head_compute_ns
+    }
+
+    /// Server-side compute when splitting after `stage`: the backbone tail
+    /// that remains, plus the heads.
+    pub fn server_compute_ns(&self, stage: usize) -> f64 {
+        let edge = self
+            .stages
+            .get(stage)
+            .map(|s| s.edge_compute_ns)
+            .unwrap_or(0.0);
+        (self.backbone_total_ns - edge).max(0.0) + self.head_compute_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_models::{BackboneConfig, BackboneKind};
+    use mtlsplit_nn::{Linear, Sequential};
+
+    #[test]
+    fn the_mac_model_is_monotone_and_partitions_server_work() {
+        let mut rng = StdRng::seed_from(3);
+        let backbone = Backbone::new(
+            BackboneConfig::new(BackboneKind::MobileStyle, 3, 16),
+            &mut rng,
+        )
+        .unwrap();
+        let model = CostModel::from_macs(&backbone, 0.5, 1_000.0);
+        assert_eq!(model.stages().len(), backbone.stage_count());
+        // Cumulative MACs never shrink, and every compute stage (all but
+        // the MAC-free global pool) strictly adds work.
+        let mut strict = 0;
+        for pair in model.stages().windows(2) {
+            assert!(pair[1].edge_compute_ns >= pair[0].edge_compute_ns);
+            if pair[1].edge_compute_ns > pair[0].edge_compute_ns {
+                strict += 1;
+            }
+        }
+        assert!(strict >= 3, "only {strict} stages added compute");
+        // Deepest split leaves only the heads on the server.
+        let last = model.stages().len() - 1;
+        assert!((model.server_compute_ns(last) - model.head_compute_ns()).abs() < 1e-9);
+        // Edge + server tail always reconstruct the full backbone.
+        for stage in model.stages() {
+            let total = stage.edge_compute_ns + model.server_compute_ns(stage.stage)
+                - model.head_compute_ns();
+            assert!((total - model.backbone_total_ns()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn measured_profiles_grow_with_depth_and_cover_the_whole_backbone() {
+        let mut rng = StdRng::seed_from(4);
+        let backbone = Backbone::new(
+            BackboneConfig::new(BackboneKind::MobileStyle, 3, 16),
+            &mut rng,
+        )
+        .unwrap();
+        let heads: Vec<Box<dyn Layer>> = vec![Box::new(Sequential::new().push(Linear::new(
+            backbone.feature_dim(),
+            4,
+            &mut rng,
+        )))];
+        let model = CostModel::measure(&backbone, &heads, 1, 2, &mut rng).unwrap();
+        assert_eq!(model.stages().len(), backbone.stage_count());
+        for pair in model.stages().windows(2) {
+            assert!(
+                pair[1].edge_compute_ns >= pair[0].edge_compute_ns,
+                "cumulative time cannot shrink with depth"
+            );
+        }
+        let last = model.stages().last().unwrap();
+        assert!(last.edge_compute_ns > 0.0, "the traced passes must be seen");
+        assert!(model.head_compute_ns() > 0.0);
+        // The deepest stage must account for every traced layer window.
+        assert!((model.backbone_total_ns() - last.edge_compute_ns).abs() < 1e-9);
+    }
+}

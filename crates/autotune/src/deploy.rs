@@ -1,0 +1,238 @@
+//! Deployment planning: picking one front point per device class.
+//!
+//! A Pareto front says which splits are *rational*; it cannot say which one
+//! a given client should use — that depends on how slow the client's silicon
+//! is and how much latency its application tolerates. A [`DeviceClassSpec`]
+//! captures exactly those two numbers, and [`plan_deployment`] picks, for
+//! each class, the front point minimising the class-adjusted end-to-end
+//! latency (edge compute scaled by the class's slowdown), preferring points
+//! that fit the class's budget. The resulting [`DeploymentProfile`] is the
+//! table a serving deployment feeds to the handshake negotiator
+//! (`mtlsplit-serve`'s split rules).
+
+use mtlsplit_split::{ChannelModel, Precision};
+
+use crate::cost::CostModel;
+use crate::pareto::{pareto_front, sweep, SplitPoint};
+
+/// A named class of edge devices the deployment must serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceClassSpec {
+    /// Class name, announced verbatim in the serving handshake.
+    pub name: String,
+    /// Edge compute multiplier relative to the profiled reference device
+    /// (`1.0` = same speed, `8.0` = eight times slower).
+    pub edge_slowdown: f64,
+    /// End-to-end latency the class's application tolerates, milliseconds.
+    pub latency_budget_ms: f64,
+}
+
+impl DeviceClassSpec {
+    /// Creates a device class.
+    pub fn new(name: impl Into<String>, edge_slowdown: f64, latency_budget_ms: f64) -> Self {
+        Self {
+            name: name.into(),
+            edge_slowdown,
+            latency_budget_ms,
+        }
+    }
+
+    /// A device as fast as the profiling reference with a tight budget —
+    /// typically lands on a deep split (compute is cheap, wire is not).
+    pub fn strong_edge() -> Self {
+        Self::new("strong-edge", 1.0, 20.0)
+    }
+
+    /// A device an order of magnitude slower than the reference — typically
+    /// lands on a shallow split, offloading backbone work to the server.
+    pub fn weak_edge() -> Self {
+        Self::new("weak-edge", 10.0, 100.0)
+    }
+}
+
+/// One planned assignment: the split a device class should deploy with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// The device class this entry serves.
+    pub device_class: DeviceClassSpec,
+    /// The chosen front point (reference-device numbers).
+    pub choice: SplitPoint,
+    /// End-to-end latency with edge compute scaled by the class's slowdown,
+    /// seconds.
+    pub expected_latency_s: f64,
+    /// Whether the expectation fits the class's latency budget. A `false`
+    /// here means *no* split fits — the chosen one is still the least bad.
+    pub within_budget: bool,
+}
+
+/// The tuned split table: one entry per device class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentProfile {
+    /// Entries in the order the classes were supplied.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl DeploymentProfile {
+    /// The stage assigned to `device_class`, if the profile covers it.
+    pub fn stage_for(&self, device_class: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|e| e.device_class.name == device_class)
+            .map(|e| e.choice.stage)
+    }
+
+    /// A human-readable one-line-per-class summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let budget = if entry.within_budget {
+                "fits budget"
+            } else {
+                "over budget"
+            };
+            out.push_str(&format!(
+                "{}: split after {} ({:?}, {} B) — {:.2} ms expected, {}\n",
+                entry.device_class.name,
+                entry.choice.label,
+                entry.choice.precision,
+                entry.choice.wire_bytes,
+                entry.expected_latency_s * 1e3,
+                budget,
+            ));
+        }
+        out
+    }
+}
+
+/// The class-adjusted end-to-end latency of `point` for `class`: edge
+/// compute scales with the device, transfer and server compute do not.
+fn adjusted_latency_s(point: &SplitPoint, class: &DeviceClassSpec) -> f64 {
+    point.edge_compute_s * class.edge_slowdown + point.transfer_s + point.server_compute_s
+}
+
+/// Sweeps `model` under `channel`, reduces to the Pareto front, and picks
+/// one front point per device class: the budget-fitting point with the
+/// lowest class-adjusted latency, or the overall lowest if nothing fits.
+pub fn plan_deployment(
+    model: &CostModel,
+    channel: &ChannelModel,
+    classes: &[DeviceClassSpec],
+    precisions: &[Precision],
+) -> DeploymentProfile {
+    let front = pareto_front(&sweep(model, channel, precisions));
+    let entries = classes
+        .iter()
+        .map(|class| {
+            let best = front
+                .iter()
+                .map(|point| (point, adjusted_latency_s(point, class)))
+                .min_by(|a, b| {
+                    let budget_s = class.latency_budget_ms * 1e-3;
+                    // Fitting the budget outranks raw speed; ties break on
+                    // the adjusted latency itself.
+                    let a_fits = a.1 <= budget_s;
+                    let b_fits = b.1 <= budget_s;
+                    b_fits
+                        .cmp(&a_fits)
+                        .then(a.1.partial_cmp(&b.1).expect("latency is finite"))
+                });
+            let (choice, expected_latency_s) = match best {
+                Some((point, latency)) => (point.clone(), latency),
+                None => panic!("plan_deployment needs a non-empty cost model"),
+            };
+            ProfileEntry {
+                within_budget: expected_latency_s <= class.latency_budget_ms * 1e-3,
+                device_class: class.clone(),
+                choice,
+                expected_latency_s,
+            }
+        })
+        .collect();
+    DeploymentProfile { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StageCost;
+
+    /// A model where shallow splits ship megabytes and deep splits cost
+    /// milliseconds of edge compute — enough contrast that slow and fast
+    /// devices must choose differently.
+    fn contrast_model() -> CostModel {
+        let stage = |stage, label: &str, edge, elements| StageCost {
+            stage,
+            label: label.to_string(),
+            edge_compute_ns: edge,
+            wire_elements: elements,
+            wire_rank: 2,
+        };
+        CostModel::synthetic(
+            vec![
+                stage(0, "stem", 200_000.0, 262_144),
+                stage(1, "mid", 2_000_000.0, 16_384),
+                stage(2, "gap", 8_000_000.0, 256),
+            ],
+            100_000.0,
+        )
+    }
+
+    #[test]
+    fn slow_and_fast_devices_get_different_splits() {
+        let model = contrast_model();
+        let channel = ChannelModel::lte_uplink();
+        let classes = vec![
+            DeviceClassSpec::strong_edge(),
+            DeviceClassSpec::new("glacial-edge", 400.0, 5_000.0),
+        ];
+        let profile = plan_deployment(&model, &channel, &classes, &[Precision::Float32]);
+        assert_eq!(profile.entries.len(), 2);
+        let strong = profile.stage_for("strong-edge").unwrap();
+        let glacial = profile.stage_for("glacial-edge").unwrap();
+        assert!(
+            strong > glacial,
+            "a 400x slower device must split shallower ({strong} vs {glacial})"
+        );
+        assert!(profile.stage_for("unknown").is_none());
+        assert!(profile.summary().contains("strong-edge"));
+    }
+
+    #[test]
+    fn budget_fitting_points_outrank_faster_over_budget_ones() {
+        // One point at 1 ms, one at 3 ms. A 2.5 ms budget must take the
+        // 1 ms point; a class whose slowdown pushes the 1 ms point to 40 ms
+        // but leaves the other at 3.9 ms must take the slower-but-fitting
+        // one even though 3.9 ms is not the adjusted minimum for speed.
+        let stage = |stage, label: &str, edge, elements| StageCost {
+            stage,
+            label: label.to_string(),
+            edge_compute_ns: edge,
+            wire_elements: elements,
+            wire_rank: 2,
+        };
+        // stage "light": tiny edge compute, big wire. stage "heavy": all
+        // edge compute, tiny wire.
+        let model = CostModel::synthetic(
+            vec![
+                stage(0, "light", 100_000.0, 40_000),
+                stage(1, "heavy", 3_000_000.0, 100),
+            ],
+            0.0,
+        );
+        // A near-ideal channel so transfer time is negligible and the
+        // arithmetic below stays readable.
+        let channel = ChannelModel::new(1e12, 0.0, 0.0).unwrap();
+        let fast = DeviceClassSpec::new("fast", 1.0, 3.5);
+        let slowed = DeviceClassSpec::new("slowed", 30.0, 5.0);
+        let profile = plan_deployment(&model, &channel, &[fast, slowed], &[Precision::Float32]);
+        // fast: light ≈ 0.1 + 2.9 = 3.0 ms, heavy ≈ 3.0 ms — both fit the
+        // 3.5 ms budget, so whichever is chosen must be flagged as fitting.
+        assert!(profile.entries[0].within_budget);
+        // slowed: light = 0.1*30 + 2.9 ≈ 5.9 ms, heavy = 3.0*30 = 90 ms —
+        // nothing fits the 5 ms budget, so the least-bad point (light) is
+        // chosen and flagged as over budget.
+        let slowed_entry = &profile.entries[1];
+        assert_eq!(slowed_entry.choice.label, "light");
+        assert!(!slowed_entry.within_budget);
+    }
+}

@@ -1,0 +1,163 @@
+//! `mtlsplit-autotune`: the split-point autotuner for MTL-Split
+//! deployments.
+//!
+//! The paper fixes *where* to cut the shared backbone by hand; this crate
+//! turns the split depth into a searched variable. The pipeline:
+//!
+//! 1. **Cost model** ([`CostModel`]) — one [`StageCost`] per backbone stage
+//!    boundary: cumulative edge compute, wire elements, wire rank.
+//!    [`CostModel::measure`] profiles real traced inference passes on this
+//!    machine; [`CostModel::from_macs`] scales analytical MAC counts for a
+//!    deterministic, hermetic model.
+//! 2. **Sweep** ([`sweep`]) — prices every (stage, precision) candidate
+//!    under a [`mtlsplit_split::ChannelModel`]: edge seconds, exact payload
+//!    bytes, transfer seconds, server seconds.
+//! 3. **Pareto front** ([`pareto_front`]) — keeps the candidates no other
+//!    candidate beats on all of (edge compute, wire bytes, server compute)
+//!    at once.
+//! 4. **Deployment plan** ([`plan_deployment`]) — picks one front point per
+//!    [`DeviceClassSpec`] by class-adjusted latency under the class's
+//!    budget, yielding the [`DeploymentProfile`] a serving deployment turns
+//!    into handshake split rules.
+//!
+//! [`Autotuner`] bundles steps 2–4 behind one cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use mtlsplit_autotune::{Autotuner, CostModel, DeviceClassSpec};
+//! use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
+//! use mtlsplit_split::ChannelModel;
+//! use mtlsplit_tensor::StdRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from(7);
+//! let backbone = Backbone::new(
+//!     BackboneConfig::new(BackboneKind::MobileStyle, 3, 16),
+//!     &mut rng,
+//! )?;
+//! let tuner = Autotuner::new(CostModel::from_macs(&backbone, 0.5, 10_000.0));
+//! let front = tuner.pareto_front(&ChannelModel::wifi());
+//! assert!(front.len() >= 3, "several splits stay rational");
+//! let plan = tuner.plan(
+//!     &ChannelModel::wifi(),
+//!     &[DeviceClassSpec::strong_edge(), DeviceClassSpec::weak_edge()],
+//! );
+//! println!("{}", plan.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cost;
+mod deploy;
+mod pareto;
+
+pub use cost::{CostModel, StageCost};
+pub use deploy::{plan_deployment, DeploymentProfile, DeviceClassSpec, ProfileEntry};
+pub use pareto::{pareto_front, sweep, SplitPoint};
+
+use mtlsplit_split::{ChannelModel, Precision};
+
+/// The autotuner facade: one cost model, swept and planned on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Autotuner {
+    model: CostModel,
+    precisions: Vec<Precision>,
+}
+
+impl Autotuner {
+    /// Creates a tuner over `model`, sweeping both wire precisions.
+    pub fn new(model: CostModel) -> Self {
+        Self {
+            model,
+            precisions: vec![Precision::Float32, Precision::Quant8],
+        }
+    }
+
+    /// Restricts the sweep to the given precisions — e.g. `Float32` only,
+    /// when bit-exact served outputs are required end to end.
+    pub fn with_precisions(mut self, precisions: Vec<Precision>) -> Self {
+        self.precisions = precisions;
+        self
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Prices every candidate split under `channel`.
+    pub fn sweep(&self, channel: &ChannelModel) -> Vec<SplitPoint> {
+        sweep(&self.model, channel, &self.precisions)
+    }
+
+    /// The non-dominated candidates under `channel`.
+    pub fn pareto_front(&self, channel: &ChannelModel) -> Vec<SplitPoint> {
+        pareto_front(&self.sweep(channel))
+    }
+
+    /// Assigns one front point to each device class under `channel`.
+    pub fn plan(&self, channel: &ChannelModel, classes: &[DeviceClassSpec]) -> DeploymentProfile {
+        plan_deployment(&self.model, channel, classes, &self.precisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
+    use mtlsplit_tensor::StdRng;
+
+    fn mobile_tuner() -> Autotuner {
+        let mut rng = StdRng::seed_from(5);
+        let backbone = Backbone::new(
+            BackboneConfig::new(BackboneKind::MobileStyle, 3, 16),
+            &mut rng,
+        )
+        .unwrap();
+        Autotuner::new(CostModel::from_macs(&backbone, 0.5, 50_000.0))
+            .with_precisions(vec![Precision::Float32])
+    }
+
+    #[test]
+    fn the_mobile_front_keeps_at_least_three_splits_on_every_channel() {
+        // The headline acceptance property: under both a fast and a
+        // degraded channel, at least three distinct stages survive the
+        // Pareto reduction — edge compute strictly grows with depth while
+        // wire bytes strictly shrink, so no depth dominates another.
+        let tuner = mobile_tuner();
+        for channel in [ChannelModel::wifi(), ChannelModel::lte_uplink()] {
+            let front = tuner.pareto_front(&channel);
+            let mut stages: Vec<usize> = front.iter().map(|p| p.stage).collect();
+            stages.dedup();
+            assert!(
+                stages.len() >= 3,
+                "front collapsed to {} stages under {channel:?}",
+                stages.len()
+            );
+            // Dominance consistency: no front point dominates another.
+            for a in &front {
+                for b in &front {
+                    assert!(!a.dominates(b), "front contains a dominated point");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_plan_moves_slow_devices_to_shallower_splits() {
+        let tuner = mobile_tuner();
+        let channel = ChannelModel::wifi();
+        let classes = [
+            DeviceClassSpec::strong_edge(),
+            DeviceClassSpec::new("glacial-edge", 500.0, 10_000.0),
+        ];
+        let plan = tuner.plan(&channel, &classes);
+        let strong = plan.stage_for("strong-edge").unwrap();
+        let glacial = plan.stage_for("glacial-edge").unwrap();
+        assert!(strong >= glacial, "slower silicon must not split deeper");
+    }
+}

@@ -1,0 +1,159 @@
+//! The split sweep and its Pareto front.
+//!
+//! [`sweep`] prices every (stage, precision) candidate under one
+//! [`ChannelModel`]; [`pareto_front`] keeps the candidates no other
+//! candidate beats on *all three* axes at once — edge compute, wire bytes,
+//! server compute. Splitting deeper always trades edge compute for wire and
+//! server relief, so the front typically spans the whole depth range rather
+//! than collapsing to one "best" point; which front point to deploy depends
+//! on the device class (see [`crate::plan_deployment`]).
+
+use mtlsplit_split::{ChannelModel, Precision, TensorCodec};
+
+use crate::cost::CostModel;
+
+/// One priced split candidate: a stage boundary and an uplink precision
+/// under a specific channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPoint {
+    /// Stage index the edge cuts at.
+    pub stage: usize,
+    /// Stage label.
+    pub label: String,
+    /// Uplink precision for the boundary tensor.
+    pub precision: Precision,
+    /// Edge compute on the reference device, seconds.
+    pub edge_compute_s: f64,
+    /// Exact encoded payload size of one boundary sample, bytes.
+    pub wire_bytes: usize,
+    /// Uplink transfer time for one sample under the swept channel, seconds.
+    pub transfer_s: f64,
+    /// Server compute (backbone tail + heads), seconds.
+    pub server_compute_s: f64,
+}
+
+impl SplitPoint {
+    /// End-to-end single-sample latency: edge compute, uplink transfer,
+    /// server compute.
+    pub fn total_latency_s(&self) -> f64 {
+        self.edge_compute_s + self.transfer_s + self.server_compute_s
+    }
+
+    /// Whether this point beats `other` on every objective — no worse on
+    /// all of (edge compute, wire bytes, server compute), strictly better
+    /// on at least one.
+    pub fn dominates(&self, other: &SplitPoint) -> bool {
+        let no_worse = self.edge_compute_s <= other.edge_compute_s
+            && self.wire_bytes <= other.wire_bytes
+            && self.server_compute_s <= other.server_compute_s;
+        let strictly_better = self.edge_compute_s < other.edge_compute_s
+            || self.wire_bytes < other.wire_bytes
+            || self.server_compute_s < other.server_compute_s;
+        no_worse && strictly_better
+    }
+}
+
+/// Prices every (stage, precision) candidate of `model` under `channel`,
+/// ordered by stage then by the order of `precisions`.
+pub fn sweep(
+    model: &CostModel,
+    channel: &ChannelModel,
+    precisions: &[Precision],
+) -> Vec<SplitPoint> {
+    let mut points = Vec::with_capacity(model.stages().len() * precisions.len());
+    for stage in model.stages() {
+        for &precision in precisions {
+            let codec = TensorCodec::new(precision);
+            let wire_bytes = codec.wire_bytes_for(stage.wire_elements, stage.wire_rank);
+            points.push(SplitPoint {
+                stage: stage.stage,
+                label: stage.label.clone(),
+                precision,
+                edge_compute_s: stage.edge_compute_ns * 1e-9,
+                wire_bytes,
+                transfer_s: channel.transfer_time_bytes(wire_bytes),
+                server_compute_s: model.server_compute_ns(stage.stage) * 1e-9,
+            });
+        }
+    }
+    points
+}
+
+/// Keeps the non-dominated subset of `points`, preserving their order.
+pub fn pareto_front(points: &[SplitPoint]) -> Vec<SplitPoint> {
+    points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StageCost;
+
+    /// Three useful stages and one dominated one: "bad" costs exactly as
+    /// much edge (and therefore server) compute as "mid" but ships twice
+    /// the wire elements, so "mid" beats it on one axis and ties the rest.
+    fn known_model() -> CostModel {
+        let stage = |stage, label: &str, edge, elements| StageCost {
+            stage,
+            label: label.to_string(),
+            edge_compute_ns: edge,
+            wire_elements: elements,
+            wire_rank: 2,
+        };
+        CostModel::synthetic(
+            vec![
+                stage(0, "early", 10_000.0, 4_096),
+                stage(1, "mid", 20_000.0, 1_024),
+                stage(2, "bad", 20_000.0, 2_048),
+                stage(3, "late", 40_000.0, 256),
+            ],
+            5_000.0,
+        )
+    }
+
+    #[test]
+    fn the_front_drops_exactly_the_dominated_stage() {
+        let model = known_model();
+        let channel = ChannelModel::wifi();
+        let points = sweep(&model, &channel, &[Precision::Float32]);
+        assert_eq!(points.len(), 4);
+        let front = pareto_front(&points);
+        let labels: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["early", "mid", "late"]);
+        // "bad" ties "mid" on edge and server but loses on wire bytes.
+        let bad = &points[2];
+        let mid = &points[1];
+        assert!(mid.dominates(bad));
+        assert!(!bad.dominates(mid));
+    }
+
+    #[test]
+    fn quant8_always_dominates_float32_at_the_same_stage() {
+        // Same stage → same compute on both sides; quant8 payloads are
+        // strictly smaller, so every float32 point at a swept stage is
+        // dominated unless precision changed compute (it does not, here).
+        let model = known_model();
+        let channel = ChannelModel::lte_uplink();
+        let points = sweep(&model, &channel, &[Precision::Float32, Precision::Quant8]);
+        let front = pareto_front(&points);
+        assert!(front.iter().all(|p| p.precision == Precision::Quant8));
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn totals_add_up_and_react_to_the_channel() {
+        let model = known_model();
+        let fast = sweep(&model, &ChannelModel::gigabit(), &[Precision::Float32]);
+        let slow = sweep(&model, &ChannelModel::lte_uplink(), &[Precision::Float32]);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.wire_bytes, s.wire_bytes);
+            assert!(s.transfer_s > f.transfer_s, "LTE must be slower than GbE");
+            let expected = f.edge_compute_s + f.transfer_s + f.server_compute_s;
+            assert!((f.total_latency_s() - expected).abs() < 1e-15);
+        }
+    }
+}

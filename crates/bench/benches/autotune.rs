@@ -1,0 +1,182 @@
+//! Split-point autotuner benchmark: how long the profile → sweep → Pareto →
+//! plan pipeline takes, and what it decides for a Mobile-style backbone.
+//!
+//! Besides the criterion timings, the bench runs one clean autotune per
+//! channel model and dumps the full decision record — every Pareto-front
+//! point plus the per-device-class plan — to `BENCH_autotune.json` at the
+//! repository root, so split-choice drift is tracked from PR to PR. Set
+//! `MTLSPLIT_BENCH_QUICK=1` to swap the measured cost model for the
+//! deterministic MAC-scaled one and shrink the profiling load — that is
+//! what the CI smoke step would use to keep the JSON schema honest.
+
+use std::path::Path;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlsplit_autotune::{Autotuner, CostModel, DeviceClassSpec, SplitPoint};
+use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
+use mtlsplit_nn::{Layer, Linear, Sequential};
+use mtlsplit_split::ChannelModel;
+use mtlsplit_tensor::StdRng;
+
+/// `1` when `MTLSPLIT_BENCH_QUICK` asks for the reduced hermetic run.
+fn quick_mode() -> bool {
+    std::env::var("MTLSPLIT_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn backbone(rng: &mut StdRng) -> Backbone {
+    Backbone::new(BackboneConfig::new(BackboneKind::MobileStyle, 3, 32), rng)
+        .expect("build backbone")
+}
+
+fn heads(feature_dim: usize, rng: &mut StdRng) -> Vec<Box<dyn Layer>> {
+    (0..2)
+        .map(|_| {
+            Box::new(
+                Sequential::new()
+                    .push(Linear::new(feature_dim, 16, rng))
+                    .push(Linear::new(16, 4, rng)),
+            ) as Box<dyn Layer>
+        })
+        .collect()
+}
+
+/// Builds the cost model the dump reports: measured on this machine, or
+/// MAC-scaled in quick mode so CI stays hermetic.
+fn cost_model(quick: bool) -> CostModel {
+    let mut rng = StdRng::seed_from(7);
+    let backbone = backbone(&mut rng);
+    if quick {
+        CostModel::from_macs(&backbone, 0.5, 25_000.0)
+    } else {
+        let heads = heads(backbone.feature_dim(), &mut rng);
+        CostModel::measure(&backbone, &heads, 4, 8, &mut rng).expect("measure cost model")
+    }
+}
+
+fn point_json(point: &SplitPoint) -> String {
+    format!(
+        "{{\"stage\": {}, \"label\": \"{}\", \"precision\": \"{:?}\", \
+         \"edge_ms\": {:.4}, \"wire_bytes\": {}, \"transfer_ms\": {:.4}, \
+         \"server_ms\": {:.4}, \"total_ms\": {:.4}}}",
+        point.stage,
+        point.label,
+        point.precision,
+        point.edge_compute_s * 1e3,
+        point.wire_bytes,
+        point.transfer_s * 1e3,
+        point.server_compute_s * 1e3,
+        point.total_latency_s() * 1e3,
+    )
+}
+
+/// Writes the per-channel decision record to `BENCH_autotune.json` at the
+/// repository root (hand-rolled JSON — the workspace has no serde).
+fn dump_json(tuner: &Autotuner, classes: &[DeviceClassSpec], quick: bool) {
+    let channels = [
+        ("gigabit", ChannelModel::gigabit()),
+        ("wifi", ChannelModel::wifi()),
+        ("lte_uplink", ChannelModel::lte_uplink()),
+    ];
+    let mut json = String::from("{\n  \"benchmark\": \"autotune_split\",\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"cost_model\": \"{}\",\n",
+        if quick { "mac_scaled" } else { "measured" }
+    ));
+    json.push_str("  \"channels\": [\n");
+    for (index, (name, channel)) in channels.iter().enumerate() {
+        let front = tuner.pareto_front(channel);
+        assert!(!front.is_empty(), "empty front under {name}");
+        for a in &front {
+            for b in &front {
+                assert!(!a.dominates(b), "dominated point survived under {name}");
+            }
+        }
+        let plan = tuner.plan(channel, classes);
+        let points: Vec<String> = front.iter().map(point_json).collect();
+        let entries: Vec<String> = plan
+            .entries
+            .iter()
+            .map(|entry| {
+                format!(
+                    "{{\"class\": \"{}\", \"stage\": {}, \"label\": \"{}\", \
+                     \"expected_ms\": {:.4}, \"within_budget\": {}}}",
+                    entry.device_class.name,
+                    entry.choice.stage,
+                    entry.choice.label,
+                    entry.expected_latency_s * 1e3,
+                    entry.within_budget,
+                )
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"channel\": \"{name}\", \"front\": [{}], \"plan\": [{}]}}{}\n",
+            points.join(", "),
+            entries.join(", "),
+            if index + 1 == channels.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_autotune.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let quick = quick_mode();
+    let classes = [DeviceClassSpec::strong_edge(), DeviceClassSpec::weak_edge()];
+    let tuner = Autotuner::new(cost_model(quick));
+
+    let mut group = c.benchmark_group("autotune");
+    group.sample_size(10);
+    // The search itself: sweep + Pareto reduction + per-class planning on a
+    // ready cost model, per channel.
+    for (name, channel) in [
+        ("gigabit", ChannelModel::gigabit()),
+        ("wifi", ChannelModel::wifi()),
+        ("lte_uplink", ChannelModel::lte_uplink()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_front_plan", name),
+            &channel,
+            |bencher, channel| {
+                bencher.iter(|| {
+                    let front = tuner.pareto_front(channel);
+                    let plan = tuner.plan(channel, &classes);
+                    (front.len(), plan.entries.len())
+                });
+            },
+        );
+    }
+    // Building the cost model dominates a real autotune; time the analytic
+    // constructor always, the measured one only outside quick mode.
+    group.bench_function("cost_model_macs", |bencher| {
+        let mut rng = StdRng::seed_from(7);
+        let bb = backbone(&mut rng);
+        bencher.iter(|| CostModel::from_macs(&bb, 0.5, 25_000.0));
+    });
+    if !quick {
+        group.bench_function("cost_model_measured", |bencher| {
+            let mut rng = StdRng::seed_from(7);
+            let bb = backbone(&mut rng);
+            let hs = heads(bb.feature_dim(), &mut rng);
+            bencher.iter(|| CostModel::measure(&bb, &hs, 4, 2, &mut rng).expect("measure"));
+        });
+    }
+    group.finish();
+
+    for (name, channel) in [
+        ("gigabit", ChannelModel::gigabit()),
+        ("wifi", ChannelModel::wifi()),
+        ("lte_uplink", ChannelModel::lte_uplink()),
+    ] {
+        let plan = tuner.plan(&channel, &classes);
+        println!("autotune {name}:");
+        print!("{}", plan.summary());
+    }
+    dump_json(&tuner, &classes, quick);
+}
+
+criterion_group!(benches, bench_autotune);
+criterion_main!(benches);

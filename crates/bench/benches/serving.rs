@@ -9,6 +9,11 @@
 //! prints a `serving workers=W max_batch=N` summary line per configuration
 //! and dumps the whole grid to `BENCH_serving.json` at the repository root,
 //! so the serving-performance trajectory is tracked from PR to PR.
+//!
+//! The server holds two split variants — the full-backbone default and a
+//! "shallow" split whose final activation runs server-side as a tail — and
+//! half the clients negotiate onto the shallow one at handshake, so every
+//! run also records the per-split request counts into the JSON.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -16,7 +21,10 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtlsplit_nn::{Flatten, Layer, Linear, Relu, Sequential};
-use mtlsplit_serve::{EdgeClient, InferenceServer, LoopbackTransport, ServerConfig};
+use mtlsplit_serve::{
+    EdgeClient, InferenceServer, LoopbackTransport, ServerConfig, SplitRequests, SplitRule,
+    SplitVariant,
+};
 use mtlsplit_split::{Precision, TensorCodec};
 use mtlsplit_tensor::{StdRng, Tensor};
 
@@ -36,6 +44,16 @@ fn backbone(rng: &mut StdRng) -> Box<dyn Layer> {
             .push(Flatten::new())
             .push(Linear::new(3 * 8 * 8, FEATURES, rng))
             .push(Relu::new()),
+    )
+}
+
+/// The shallow edge prefix for clients that negotiate the "shallow" split:
+/// the final activation moves into the server-side tail.
+fn shallow_backbone(rng: &mut StdRng) -> Box<dyn Layer> {
+    Box::new(
+        Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(3 * 8 * 8, FEATURES, rng)),
     )
 }
 
@@ -72,6 +90,9 @@ struct DriveOutcome {
     decode: mtlsplit_serve::PhaseStats,
     forward: mtlsplit_serve::PhaseStats,
     encode: mtlsplit_serve::PhaseStats,
+    /// Per-split request counts: which negotiated split each request ran
+    /// under (half the clients handshake onto the shallow split).
+    per_split: Vec<SplitRequests>,
 }
 
 impl DriveOutcome {
@@ -83,8 +104,20 @@ impl DriveOutcome {
 /// Runs one full serving session on a fresh server.
 fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
     let mut rng = StdRng::seed_from(1);
-    let server = Arc::new(InferenceServer::start(
+    // A negotiating server: the full-backbone split is the default, and a
+    // "shallow" variant keeps the final activation server-side as a tail.
+    // Odd-indexed clients handshake onto it, so every measured grid point
+    // exercises per-split batching and the per-split request counters.
+    let server = Arc::new(InferenceServer::start_with_splits(
         heads(&mut rng),
+        vec![
+            SplitVariant::default_split(2, "deep"),
+            SplitVariant::with_tail(1, "shallow", Box::new(Relu::new())),
+        ],
+        vec![SplitRule {
+            device_class: "constrained".to_string(),
+            stage: 1,
+        }],
         ServerConfig::default()
             .with_max_batch(max_batch)
             .with_workers(workers),
@@ -100,6 +133,11 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
                     TensorCodec::new(Precision::Float32),
                     Box::new(LoopbackTransport::new(server)),
                 );
+                if client_idx % 2 == 1 {
+                    let assignment = client.hello("constrained", 50.0).expect("handshake");
+                    assert_eq!(assignment.stage, 1, "rule table must assign the tail split");
+                    client.set_backbone(shallow_backbone(&mut rng));
+                }
                 for _ in 0..REQUESTS_PER_CLIENT {
                     let x = Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng);
                     client.infer(&x).expect("serve request");
@@ -117,6 +155,27 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
         metrics.workers, workers,
         "metrics must record the pool size"
     );
+    // The split counters must account for every request: negotiated
+    // clients on the shallow variant, the rest on the default.
+    let shallow_clients = (CLIENTS / 2) as u64;
+    let by_label = |label: &str| {
+        metrics
+            .per_split
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.requests)
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        by_label("shallow"),
+        shallow_clients * REQUESTS_PER_CLIENT as u64,
+        "negotiated requests must land on the shallow split"
+    );
+    assert_eq!(
+        by_label("deep"),
+        (CLIENTS as u64 - shallow_clients) * REQUESTS_PER_CLIENT as u64,
+        "un-negotiated requests must stay on the default split"
+    );
     DriveOutcome {
         requests: metrics.requests,
         elapsed_s,
@@ -126,7 +185,22 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
         decode: metrics.decode,
         forward: metrics.forward,
         encode: metrics.encode,
+        per_split: metrics.per_split,
     }
+}
+
+/// The per-split request counts as a JSON array fragment.
+fn splits_json(per_split: &[SplitRequests]) -> String {
+    let entries: Vec<String> = per_split
+        .iter()
+        .map(|split| {
+            format!(
+                "{{\"stage\": {}, \"label\": \"{}\", \"requests\": {}}}",
+                split.stage, split.label, split.requests
+            )
+        })
+        .collect();
+    format!("\"splits\": [{}]", entries.join(", "))
 }
 
 /// One phase as a JSON object fragment, milliseconds.
@@ -163,7 +237,7 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
             "    {{\"workers\": {workers}, \"max_batch\": {max_batch}, \
              \"requests\": {}, \"requests_per_second\": {:.1}, \
              \"p95_latency_ms\": {:.4}, \"mean_batch_size\": {:.3}, \
-             {}, {}, {}, {}}}{}\n",
+             {}, {}, {}, {}, {}}}{}\n",
             outcome.requests,
             outcome.requests_per_second(),
             outcome.p95_latency_s * 1e3,
@@ -172,6 +246,7 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
             phase_json("decode", &outcome.decode),
             phase_json("forward", &outcome.forward),
             phase_json("encode", &outcome.encode),
+            splits_json(&outcome.per_split),
             if index + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -216,6 +291,12 @@ fn bench_serving(c: &mut Criterion) {
                 outcome.encode.p50_s * 1e3,
                 outcome.encode.p95_s * 1e3,
             );
+            let split_counts: Vec<String> = outcome
+                .per_split
+                .iter()
+                .map(|s| format!("{}={}", s.label, s.requests))
+                .collect();
+            println!("  splits: {}", split_counts.join(", "));
             rows.push((workers, max_batch, outcome));
         }
     }

@@ -1,68 +1,98 @@
 //! Deployment export: split a trained [`MtlSplitModel`] into the two halves
-//! a real serving system runs.
+//! a real serving system runs — at any stage boundary of the backbone.
 //!
 //! The paper's Figure 1 deployment puts the shared backbone `M_b` on the
-//! edge device and the task heads `H_j` on the server. [`split_for_serving`]
-//! performs exactly that cut on a trained model: the parameters *move* into
-//! an [`EdgeHalf`] and a [`ServerHalf`] (no copies), so the deployed system
-//! produces bit-identical outputs to the monolithic model it came from.
+//! edge device and the task heads `H_j` on the server, cutting at the
+//! flattened feature vector. The split depth is MTL-Split's central design
+//! variable, so [`split_for_serving_at`] generalizes that cut to every
+//! [`SplitStage`] boundary the backbone exposes: layers `[0, boundary)` move
+//! into an [`EdgeHalf`] and the remainder — the backbone *tail* plus the
+//! task heads — into a [`ServerHalf`]. The parameters *move* (no copies),
+//! and because the planned runtime's fused epilogues are bit-identical to
+//! their unfused chains, the deployed system produces bit-identical outputs
+//! to the monolithic model at every candidate split.
+//!
+//! [`split_for_serving`] keeps the classic behavior: it cuts at the default
+//! (deepest) stage, so the tail is empty and only the compact `Z_b` crosses
+//! the wire.
 //!
 //! The halves are expressed as boxed [`Layer`]s, which is the currency of
 //! `mtlsplit-serve`: `EdgeHalf::into_layer` feeds an `EdgeClient`,
-//! `ServerHalf::into_layers` feeds an `InferenceServer`.
+//! `ServerHalf::into_parts` feeds an `InferenceServer` split variant.
 
-use mtlsplit_models::{Backbone, TaskHead};
-use mtlsplit_nn::Layer;
+use mtlsplit_models::{SplitStage, TaskHead};
+use mtlsplit_nn::{Layer, Sequential};
 
+use crate::error::{CoreError, Result};
 use crate::model::MtlSplitModel;
 
-/// The edge-resident half of a deployment: the shared backbone.
+/// A [`ServerHalf`] decomposed for serving: the optional backbone tail
+/// (`None` at the default split) plus the boxed task heads in task order.
+pub type ServerParts = (Option<Box<dyn Layer>>, Vec<Box<dyn Layer>>);
+
+/// The edge-resident half of a deployment: the backbone prefix up to the
+/// chosen split boundary.
 pub struct EdgeHalf {
-    backbone: Backbone,
+    net: Sequential,
+    stage: usize,
+    boundary: SplitStage,
 }
 
 impl std::fmt::Debug for EdgeHalf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EdgeHalf")
-            .field("backbone", &self.backbone)
+            .field("stage", &self.stage)
+            .field("boundary", &self.boundary.label)
+            .field("parameters", &self.net.parameter_count())
             .finish()
     }
 }
 
 impl EdgeHalf {
-    /// Length of the flattened shared representation `Z_b` per sample.
+    /// Per-sample elements of the activation this half sends over the wire.
+    /// At the default split this equals the backbone's `feature_dim`.
     pub fn feature_dim(&self) -> usize {
-        self.backbone.feature_dim()
+        self.boundary.elements
+    }
+
+    /// Index of the stage this half was cut at.
+    pub fn split_stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Shape metadata of the wire boundary.
+    pub fn boundary(&self) -> &SplitStage {
+        &self.boundary
     }
 
     /// Total trainable parameters resident on the edge device.
     pub fn parameter_count(&self) -> usize {
-        self.backbone.parameter_count()
+        self.net.parameter_count()
     }
 
-    /// The backbone itself.
-    pub fn backbone(&self) -> &Backbone {
-        &self.backbone
-    }
-
-    /// Boxes the backbone for an `mtlsplit_serve::EdgeClient`.
+    /// Boxes the prefix for an `mtlsplit_serve::EdgeClient`.
     ///
     /// The box is `Send + Sync` (every [`Layer`] is), so the edge half can
     /// also be shared behind an `Arc` and run via [`Layer::infer`].
     pub fn into_layer(self) -> Box<dyn Layer> {
-        Box::new(self.backbone)
+        Box::new(self.net)
     }
 }
 
-/// The server-resident half of a deployment: the task heads, in task order.
+/// The server-resident half of a deployment: the backbone tail (empty at the
+/// default split) plus the task heads, in task order.
 pub struct ServerHalf {
+    tail: Sequential,
     heads: Vec<TaskHead>,
     task_names: Vec<String>,
+    stage: usize,
 }
 
 impl std::fmt::Debug for ServerHalf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHalf")
+            .field("stage", &self.stage)
+            .field("tail_layers", &self.tail.len())
             .field("tasks", &self.task_names)
             .finish()
     }
@@ -79,28 +109,106 @@ impl ServerHalf {
         self.heads.len()
     }
 
-    /// Total trainable parameters resident on the server.
+    /// Index of the stage this half was cut at.
+    pub fn split_stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Whether the server must finish the backbone before running the heads.
+    pub fn has_tail(&self) -> bool {
+        !self.tail.is_empty()
+    }
+
+    /// Total trainable parameters resident on the server (tail + heads).
     pub fn parameter_count(&self) -> usize {
-        self.heads.iter().map(|h| h.parameter_count()).sum()
+        self.tail.parameter_count()
+            + self
+                .heads
+                .iter()
+                .map(|h| h.parameter_count())
+                .sum::<usize>()
     }
 
     /// Boxes the heads for an `mtlsplit_serve::InferenceServer`.
     ///
-    /// The boxes are `Send + Sync`, so the server can hold them in an `Arc`
-    /// shared by several worker threads, each running [`Layer::infer`].
+    /// Only valid at the default split (no tail); use
+    /// [`ServerHalf::into_parts`] for arbitrary splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half carries a backbone tail that would be dropped.
     pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
-        self.heads
+        assert!(
+            self.tail.is_empty(),
+            "ServerHalf has a backbone tail; use into_parts()"
+        );
+        self.into_parts().1
+    }
+
+    /// Decomposes into `(tail, heads)` for an `InferenceServer` variant: the
+    /// tail to finish the backbone (`None` at the default split) and the
+    /// boxed heads in task order.
+    ///
+    /// All boxes are `Send + Sync`, so the server can hold them in an `Arc`
+    /// shared by several worker threads, each running [`Layer::infer`].
+    pub fn into_parts(self) -> ServerParts {
+        let tail: Option<Box<dyn Layer>> = if self.tail.is_empty() {
+            None
+        } else {
+            Some(Box::new(self.tail))
+        };
+        let heads = self
+            .heads
             .into_iter()
             .map(|head| Box::new(head) as Box<dyn Layer>)
-            .collect()
+            .collect();
+        (tail, heads)
     }
 }
 
-/// Splits a trained model into its edge and server deployment halves.
+/// Splits a trained model at the default (deepest) boundary: the whole
+/// backbone on the edge, only the heads on the server.
 pub fn split_for_serving(model: MtlSplitModel) -> (EdgeHalf, ServerHalf) {
+    let stage = model.backbone().default_split();
+    split_for_serving_at(model, stage).expect("default split stage is always valid")
+}
+
+/// Splits a trained model at an arbitrary stage boundary of its backbone.
+///
+/// `stage` indexes `Backbone::stages()`; the edge half keeps layers up to
+/// and including that stage, the server half gets the backbone tail plus
+/// every task head.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if `stage` is out of range.
+pub fn split_for_serving_at(model: MtlSplitModel, stage: usize) -> Result<(EdgeHalf, ServerHalf)> {
     let task_names = model.task_names().to_vec();
     let (backbone, heads) = model.into_parts();
-    (EdgeHalf { backbone }, ServerHalf { heads, task_names })
+    let Some(boundary) = backbone.stages().get(stage).cloned() else {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "split stage {stage} out of range ({} stages)",
+                backbone.stage_count()
+            ),
+        });
+    };
+    let (net, tail) = backbone
+        .split_at(stage)
+        .expect("stage index already validated");
+    Ok((
+        EdgeHalf {
+            net,
+            stage,
+            boundary,
+        },
+        ServerHalf {
+            tail,
+            heads,
+            task_names,
+            stage,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -131,6 +239,7 @@ mod tests {
         let (_, direct) = monolithic.infer_forward(&x).unwrap();
 
         let (edge, server) = split_for_serving(monolithic);
+        assert!(!server.has_tail());
         let backbone = edge.into_layer();
         let features = backbone.infer(&x).unwrap();
         for (head, expected) in server.into_layers().iter().zip(&direct) {
@@ -140,12 +249,49 @@ mod tests {
     }
 
     #[test]
-    fn halves_partition_the_parameters() {
-        let monolithic = model();
-        let total = monolithic.parameter_count();
-        let (edge, server) = split_for_serving(monolithic);
-        assert_eq!(edge.parameter_count() + server.parameter_count(), total);
-        assert!(edge.feature_dim() > 0);
+    fn every_stage_split_is_bitwise_identical_to_the_monolithic_model() {
+        let reference = model();
+        let stage_count = reference.backbone().stage_count();
+        let mut rng = StdRng::seed_from(22);
+        let x = Tensor::randn(&[3, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let (_, direct) = reference.infer_forward(&x).unwrap();
+
+        for stage in 0..stage_count {
+            let (edge, server) = split_for_serving_at(model(), stage).unwrap();
+            assert_eq!(edge.split_stage(), stage);
+            assert_eq!(server.split_stage(), stage);
+            let prefix = edge.into_layer();
+            let (tail, heads) = server.into_parts();
+            let mut features = prefix.infer(&x).unwrap();
+            if let Some(tail) = tail {
+                features = tail.infer(&features).unwrap();
+            }
+            for (head, expected) in heads.iter().zip(&direct) {
+                let output = head.infer(&features).unwrap();
+                assert_eq!(&output, expected, "stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn halves_partition_the_parameters_at_every_stage() {
+        let total = model().parameter_count();
+        let stage_count = model().backbone().stage_count();
+        for stage in 0..stage_count {
+            let (edge, server) = split_for_serving_at(model(), stage).unwrap();
+            assert_eq!(
+                edge.parameter_count() + server.parameter_count(),
+                total,
+                "stage {stage}"
+            );
+            assert!(edge.feature_dim() > 0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_stage_is_rejected() {
+        let stage_count = model().backbone().stage_count();
+        assert!(split_for_serving_at(model(), stage_count).is_err());
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod metrics;
 mod model;
 pub mod trainer;
 
-pub use deploy::{split_for_serving, EdgeHalf, ServerHalf};
+pub use deploy::{split_for_serving, split_for_serving_at, EdgeHalf, ServerHalf};
 pub use error::{CoreError, Result};
 pub use metrics::{accuracy, ComparisonRow, TaskAccuracy};
 pub use model::MtlSplitModel;

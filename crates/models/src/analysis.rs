@@ -6,6 +6,8 @@
 //! representation `Z_b`. All of those are functions of the architecture and
 //! the input resolution, so they can be computed without training.
 
+use mtlsplit_split::{Precision, TensorCodec};
+
 use crate::backbone::Backbone;
 
 /// Size of one `f32` activation or weight, in bytes.
@@ -112,6 +114,51 @@ pub fn raw_input_bytes(channels: usize, height: usize, width: usize) -> usize {
     channels * height * width * BYTES_PER_VALUE
 }
 
+/// One candidate split boundary with everything the autotuner (and the
+/// README table) needs to compare it against its siblings: where it sits,
+/// how much edge compute precedes it, and what its activation costs on the
+/// wire at each supported precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitCandidate {
+    /// Stage index, usable with `Backbone::split_at`.
+    pub stage: usize,
+    /// Stage label, e.g. `"sep2"`.
+    pub label: String,
+    /// Per-sample elements crossing the wire when splitting here.
+    pub elements: usize,
+    /// Analytical multiply-accumulate count of the edge prefix (per sample).
+    pub cumulative_macs: u64,
+    /// Exact single-sample wire payload size at `Float32` precision,
+    /// including the payload header.
+    pub wire_bytes_float32: usize,
+    /// Exact single-sample wire payload size at `Quant8` precision.
+    pub wire_bytes_quant8: usize,
+}
+
+/// Enumerates every candidate split boundary of a backbone.
+///
+/// Wire sizes are computed with the same [`TensorCodec`] accounting the real
+/// transport uses (`wire_bytes_for` equals `encode().len()` exactly), for a
+/// single-sample batch at the boundary tensor's natural rank — NCHW for
+/// spatial stages, flat `[batch, features]` after the global pool.
+pub fn split_candidates(backbone: &Backbone) -> Vec<SplitCandidate> {
+    backbone
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(stage, s)| SplitCandidate {
+            stage,
+            label: s.label.clone(),
+            elements: s.elements,
+            cumulative_macs: s.cumulative_macs,
+            wire_bytes_float32: TensorCodec::new(Precision::Float32)
+                .wire_bytes_for(s.elements, s.wire_rank()),
+            wire_bytes_quant8: TensorCodec::new(Precision::Quant8)
+                .wire_bytes_for(s.elements, s.wire_rank()),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +221,29 @@ mod tests {
         let efficient = analyze_backbone(&build(BackboneKind::EfficientStyle));
         assert!(efficient.parameters > mobile.parameters);
         assert!(efficient.zb_elements > mobile.zb_elements);
+    }
+
+    #[test]
+    fn split_candidates_cover_every_stage_with_exact_wire_sizes() {
+        let backbone = build(BackboneKind::MobileStyle);
+        let candidates = split_candidates(&backbone);
+        assert_eq!(candidates.len(), backbone.stage_count());
+        for (candidate, stage) in candidates.iter().zip(backbone.stages()) {
+            assert_eq!(candidate.label, stage.label);
+            assert_eq!(candidate.elements, stage.elements);
+            assert_eq!(candidate.cumulative_macs, stage.cumulative_macs);
+            // Quant8 spends 1 byte per element instead of 4; headers match.
+            assert_eq!(
+                candidate.wire_bytes_float32 - candidate.wire_bytes_quant8,
+                3 * stage.elements
+            );
+        }
+        // Wire cost shrinks toward the feature vector: the last candidate is
+        // the cheapest to transmit.
+        let last = candidates.last().unwrap();
+        assert!(candidates
+            .iter()
+            .all(|c| c.wire_bytes_float32 >= last.wire_bytes_float32));
     }
 
     #[test]

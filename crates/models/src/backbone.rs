@@ -78,12 +78,55 @@ impl BackboneConfig {
     }
 }
 
+/// One candidate split boundary inside a backbone.
+///
+/// A backbone is a sequence of named stages (conv blocks, pools, the final
+/// global-average-pool); cutting the network *after* stage `i` puts layers
+/// `[0, layer_end)` on the edge and the rest on the server. Each record
+/// carries everything the deployment and the autotuner need to reason about
+/// that cut without running a forward pass: the boundary tensor's shape, its
+/// per-sample element count (= wire payload elements), and the cumulative
+/// multiply-accumulate work of the edge prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitStage {
+    /// Stage label, e.g. `"sep2"` or `"gap"`.
+    pub label: String,
+    /// Number of leading layers in the backbone's layer stack that belong to
+    /// the edge prefix when splitting after this stage.
+    pub layer_end: usize,
+    /// Channels of the boundary activation (feature length once flattened).
+    pub channels: usize,
+    /// Square spatial side of the boundary activation; `1` once pooled flat.
+    pub spatial: usize,
+    /// Per-sample elements crossing the wire when splitting here.
+    pub elements: usize,
+    /// Whether the boundary tensor is already flat (`[batch, elements]`)
+    /// rather than NCHW.
+    pub flat: bool,
+    /// Analytical multiply-accumulate count (per sample) of the edge prefix:
+    /// every conv / linear MAC from the input through this stage.
+    pub cumulative_macs: u64,
+}
+
+impl SplitStage {
+    /// Rank of the wire tensor at this boundary: 2 for flat features,
+    /// 4 for NCHW activations.
+    pub fn wire_rank(&self) -> usize {
+        if self.flat {
+            2
+        } else {
+            4
+        }
+    }
+}
+
 /// A shared backbone `M_b(x; psi)`: the edge-resident half of MTL-Split.
 ///
 /// The backbone maps an NCHW image batch to a flat feature matrix
 /// `Z_b in [batch, feature_dim]`. It also records the activation footprint of
 /// every stage so the Table 4 memory analysis can be computed without
-/// re-running a forward pass.
+/// re-running a forward pass, and a [`SplitStage`] record per stage boundary
+/// so [`Backbone::split_at`] can cut the network at any depth.
 pub struct Backbone {
     kind: BackboneKind,
     net: Sequential,
@@ -91,6 +134,7 @@ pub struct Backbone {
     input_size: usize,
     in_channels: usize,
     stage_footprint: Vec<(String, usize)>,
+    stages: Vec<SplitStage>,
 }
 
 impl std::fmt::Debug for Backbone {
@@ -103,11 +147,18 @@ impl std::fmt::Debug for Backbone {
     }
 }
 
-/// Running shape tracker used while assembling a backbone.
+/// Running shape + MAC tracker used while assembling a backbone.
+///
+/// The builders interleave layer pushes with tracker calls: shape-mutating
+/// helpers (`conv`, `depthwise`, …) advance the running channel count,
+/// spatial size and cumulative analytical MAC count, and `stage` snapshots
+/// the current boundary — including how many layers the stack holds at that
+/// point — into a [`SplitStage`].
 struct StageTracker {
     channels: usize,
     size: usize,
-    footprint: Vec<(String, usize)>,
+    macs: u64,
+    stages: Vec<SplitStage>,
 }
 
 impl StageTracker {
@@ -115,24 +166,79 @@ impl StageTracker {
         Self {
             channels,
             size,
-            footprint: Vec::new(),
+            macs: 0,
+            stages: Vec::new(),
         }
     }
 
-    fn record(&mut self, label: &str) {
-        self.footprint
-            .push((label.to_string(), self.channels * self.size * self.size));
-    }
-
-    fn after_conv(&mut self, out_channels: usize, stride: usize, label: &str) {
+    /// A dense `k×k` convolution with the given stride (padding keeps
+    /// `ceil(size / stride)` spatial output).
+    fn conv(&mut self, out_channels: usize, kernel: usize, stride: usize) {
+        let out_size = self.size.div_ceil(stride);
+        self.macs += (kernel * kernel * self.channels * out_channels * out_size * out_size) as u64;
         self.channels = out_channels;
-        self.size = self.size.div_ceil(stride);
-        self.record(label);
+        self.size = out_size;
     }
 
-    fn after_pool(&mut self, window: usize, label: &str) {
+    /// A depthwise `k×k` convolution (one filter per channel).
+    fn depthwise(&mut self, kernel: usize, stride: usize) {
+        let out_size = self.size.div_ceil(stride);
+        self.macs += (kernel * kernel * self.channels * out_size * out_size) as u64;
+        self.size = out_size;
+    }
+
+    /// A 1×1 pointwise convolution.
+    fn pointwise(&mut self, out_channels: usize) {
+        self.macs += (self.channels * out_channels * self.size * self.size) as u64;
+        self.channels = out_channels;
+    }
+
+    /// A squeeze-excite gate over the current channels (two-layer MLP on the
+    /// pooled vector; its MACs are spatial-size independent).
+    fn squeeze_excite(&mut self, reduction: usize) {
+        let hidden = (self.channels / reduction.max(1)).max(1);
+        self.macs += (2 * self.channels * hidden) as u64;
+    }
+
+    /// An MBConv block: pointwise expansion → depthwise 3×3 → squeeze-excite
+    /// → pointwise projection. Mirrors `MbConvBlock::new`.
+    fn mbconv(&mut self, out_channels: usize, expansion: usize, stride: usize) {
+        let hidden = (self.channels * expansion).max(1);
+        self.pointwise(hidden);
+        self.depthwise(3, stride);
+        self.squeeze_excite(4);
+        self.pointwise(out_channels);
+    }
+
+    /// A max pool over `window` (no MACs).
+    fn pool(&mut self, window: usize) {
         self.size = (self.size / window).max(1);
-        self.record(label);
+    }
+
+    /// Records a spatial (NCHW) stage boundary after `layer_end` layers.
+    fn stage(&mut self, label: &str, layer_end: usize) {
+        self.stages.push(SplitStage {
+            label: label.to_string(),
+            layer_end,
+            channels: self.channels,
+            spatial: self.size,
+            elements: self.channels * self.size * self.size,
+            flat: false,
+            cumulative_macs: self.macs,
+        });
+    }
+
+    /// Records the final flat stage (after global average pool + flatten).
+    fn flat_stage(&mut self, label: &str, layer_end: usize) {
+        self.stages.push(SplitStage {
+            label: label.to_string(),
+            layer_end,
+            channels: self.channels,
+            spatial: 1,
+            elements: self.channels,
+            flat: true,
+            cumulative_macs: self.macs,
+        });
     }
 }
 
@@ -158,18 +264,28 @@ impl Backbone {
                 reason: "in_channels must be positive".to_string(),
             });
         }
-        let (net, feature_dim, footprint) = match config.kind {
+        let (net, feature_dim, stages) = match config.kind {
             BackboneKind::VggStyle => build_vgg(&config, rng),
             BackboneKind::MobileStyle => build_mobile(&config, rng),
             BackboneKind::EfficientStyle => build_efficient(&config, rng),
         };
+        debug_assert_eq!(
+            stages.last().map(|s| s.layer_end),
+            Some(net.len()),
+            "the final stage must cover the whole stack"
+        );
+        let stage_footprint = stages
+            .iter()
+            .map(|s| (s.label.clone(), s.elements))
+            .collect();
         Ok(Self {
             kind: config.kind,
             net,
             feature_dim,
             input_size: config.input_size,
             in_channels: config.in_channels,
-            stage_footprint: footprint,
+            stage_footprint,
+            stages,
         })
     }
 
@@ -196,6 +312,51 @@ impl Backbone {
     /// Per-stage activation element counts (per sample), in execution order.
     pub fn stage_footprint(&self) -> &[(String, usize)] {
         &self.stage_footprint
+    }
+
+    /// Every candidate split boundary, in execution order. Aligned one-to-one
+    /// with [`Backbone::stage_footprint`]; the last stage is the flattened
+    /// feature vector (the classic pre-head split).
+    pub fn stages(&self) -> &[SplitStage] {
+        &self.stages
+    }
+
+    /// Number of candidate split boundaries.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Index of the default (deepest) split: after the final stage, so the
+    /// entire backbone runs on the edge and only the flat feature vector
+    /// crosses the wire. This is the behavior all prior deployments used.
+    pub fn default_split(&self) -> usize {
+        self.stages.len() - 1
+    }
+
+    /// Cuts the backbone after stage `stage`, consuming it.
+    ///
+    /// Returns `(edge, tail)`: `edge` holds layers `[0, layer_end)` of the
+    /// stage and `tail` the remainder (empty at the default split). Running
+    /// `edge` then `tail` is bit-identical to the monolithic backbone — the
+    /// planned runtime's fused epilogues are 0-ULP equal to their unfused
+    /// chains, so no cut point changes any output bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stage` is out of range.
+    pub fn split_at(self, stage: usize) -> Result<(Sequential, Sequential)> {
+        let Some(boundary) = self.stages.get(stage) else {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "split stage {stage} out of range for {:?} ({} stages)",
+                    self.kind,
+                    self.stages.len()
+                ),
+            });
+        };
+        let mut edge = self.net;
+        let tail = edge.split_off(boundary.layer_end);
+        Ok((edge, tail))
     }
 
     /// The planned backward pass with the image gradient discarded: raw
@@ -268,10 +429,7 @@ impl Layer for Backbone {
     }
 }
 
-fn build_vgg(
-    config: &BackboneConfig,
-    rng: &mut StdRng,
-) -> (Sequential, usize, Vec<(String, usize)>) {
+fn build_vgg(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, Vec<SplitStage>) {
     let c1 = config.width(16);
     let c2 = config.width(32);
     let c3 = config.width(64);
@@ -279,45 +437,51 @@ fn build_vgg(
     let mut net = Sequential::new()
         .push(Conv2d::new(config.in_channels, c1, 3, 1, 1, rng))
         .push(Relu::new());
-    tracker.after_conv(c1, 1, "conv1_1");
+    tracker.conv(c1, 3, 1);
+    tracker.stage("conv1_1", net.len());
     net = net
         .push(Conv2d::new(c1, c1, 3, 1, 1, rng))
         .push(Relu::new());
-    tracker.after_conv(c1, 1, "conv1_2");
+    tracker.conv(c1, 3, 1);
+    tracker.stage("conv1_2", net.len());
     net = net.push(MaxPool2d::new(2, 2));
-    tracker.after_pool(2, "pool1");
+    tracker.pool(2);
+    tracker.stage("pool1", net.len());
 
     net = net
         .push(Conv2d::new(c1, c2, 3, 1, 1, rng))
         .push(Relu::new());
-    tracker.after_conv(c2, 1, "conv2_1");
+    tracker.conv(c2, 3, 1);
+    tracker.stage("conv2_1", net.len());
     net = net
         .push(Conv2d::new(c2, c2, 3, 1, 1, rng))
         .push(Relu::new());
-    tracker.after_conv(c2, 1, "conv2_2");
+    tracker.conv(c2, 3, 1);
+    tracker.stage("conv2_2", net.len());
     net = net.push(MaxPool2d::new(2, 2));
-    tracker.after_pool(2, "pool2");
+    tracker.pool(2);
+    tracker.stage("pool2", net.len());
 
     net = net
         .push(Conv2d::new(c2, c3, 3, 1, 1, rng))
         .push(Relu::new());
-    tracker.after_conv(c3, 1, "conv3_1");
+    tracker.conv(c3, 3, 1);
+    tracker.stage("conv3_1", net.len());
     net = net
         .push(Conv2d::new(c3, c3, 3, 1, 1, rng))
         .push(Relu::new());
-    tracker.after_conv(c3, 1, "conv3_2");
+    tracker.conv(c3, 3, 1);
+    tracker.stage("conv3_2", net.len());
     net = net.push(MaxPool2d::new(2, 2));
-    tracker.after_pool(2, "pool3");
+    tracker.pool(2);
+    tracker.stage("pool3", net.len());
 
     net = net.push(GlobalAvgPool2d::new()).push(Flatten::new());
-    tracker.footprint.push(("gap".to_string(), c3));
-    (net, c3, tracker.footprint)
+    tracker.flat_stage("gap", net.len());
+    (net, c3, tracker.stages)
 }
 
-fn build_mobile(
-    config: &BackboneConfig,
-    rng: &mut StdRng,
-) -> (Sequential, usize, Vec<(String, usize)>) {
+fn build_mobile(config: &BackboneConfig, rng: &mut StdRng) -> (Sequential, usize, Vec<SplitStage>) {
     let c_stem = config.width(8);
     let c1 = config.width(16);
     let c2 = config.width(24);
@@ -328,7 +492,8 @@ fn build_mobile(
         .push(Conv2d::new(config.in_channels, c_stem, 3, 2, 1, rng))
         .push(BatchNorm2d::new(c_stem))
         .push(HardSwish::new());
-    tracker.after_conv(c_stem, 2, "stem");
+    tracker.conv(c_stem, 3, 2);
+    tracker.stage("stem", net.len());
 
     let separable = |net: Sequential,
                      tracker: &mut StageTracker,
@@ -344,7 +509,9 @@ fn build_mobile(
             .push(PointwiseConv2d::new(in_c, out_c, rng))
             .push(BatchNorm2d::new(out_c))
             .push(HardSwish::new());
-        tracker.after_conv(out_c, stride, label);
+        tracker.depthwise(3, stride);
+        tracker.pointwise(out_c);
+        tracker.stage(label, net.len());
         net
     };
 
@@ -353,14 +520,14 @@ fn build_mobile(
     net = separable(net, &mut tracker, c2, c3, 1, "sep3", rng);
 
     net = net.push(GlobalAvgPool2d::new()).push(Flatten::new());
-    tracker.footprint.push(("gap".to_string(), c3));
-    (net, c3, tracker.footprint)
+    tracker.flat_stage("gap", net.len());
+    (net, c3, tracker.stages)
 }
 
 fn build_efficient(
     config: &BackboneConfig,
     rng: &mut StdRng,
-) -> (Sequential, usize, Vec<(String, usize)>) {
+) -> (Sequential, usize, Vec<SplitStage>) {
     let c_stem = config.width(12);
     let c1 = config.width(16);
     let c2 = config.width(24);
@@ -371,20 +538,25 @@ fn build_efficient(
         .push(Conv2d::new(config.in_channels, c_stem, 3, 2, 1, rng))
         .push(BatchNorm2d::new(c_stem))
         .push(HardSwish::new());
-    tracker.after_conv(c_stem, 2, "stem");
+    tracker.conv(c_stem, 3, 2);
+    tracker.stage("stem", net.len());
 
     net = net.push(MbConvBlock::new(c_stem, c1, 2, 1, rng));
-    tracker.after_conv(c1, 1, "mbconv1");
+    tracker.mbconv(c1, 2, 1);
+    tracker.stage("mbconv1", net.len());
     net = net.push(MbConvBlock::new(c1, c2, 3, 2, rng));
-    tracker.after_conv(c2, 2, "mbconv2");
+    tracker.mbconv(c2, 3, 2);
+    tracker.stage("mbconv2", net.len());
     net = net.push(MbConvBlock::new(c2, c2, 3, 1, rng));
-    tracker.after_conv(c2, 1, "mbconv3");
+    tracker.mbconv(c2, 3, 1);
+    tracker.stage("mbconv3", net.len());
     net = net.push(MbConvBlock::new(c2, c3, 3, 2, rng));
-    tracker.after_conv(c3, 2, "mbconv4");
+    tracker.mbconv(c3, 3, 2);
+    tracker.stage("mbconv4", net.len());
 
     net = net.push(GlobalAvgPool2d::new()).push(Flatten::new());
-    tracker.footprint.push(("gap".to_string(), c3));
-    (net, c3, tracker.footprint)
+    tracker.flat_stage("gap", net.len());
+    (net, c3, tracker.stages)
 }
 
 #[cfg(test)]
@@ -475,6 +647,63 @@ mod tests {
             backbone.stage_footprint().last().unwrap().1,
             backbone.feature_dim()
         );
+    }
+
+    #[test]
+    fn stages_align_with_the_footprint_and_cover_the_stack() {
+        for kind in BackboneKind::ALL {
+            let backbone = build(kind, 24);
+            let stages = backbone.stages();
+            assert_eq!(stages.len(), backbone.stage_footprint().len(), "{kind}");
+            for (stage, (label, elements)) in stages.iter().zip(backbone.stage_footprint()) {
+                assert_eq!(&stage.label, label, "{kind}");
+                assert_eq!(stage.elements, *elements, "{kind}");
+            }
+            let last = stages.last().unwrap();
+            assert!(last.flat, "{kind}");
+            assert_eq!(last.elements, backbone.feature_dim(), "{kind}");
+            assert_eq!(backbone.default_split(), stages.len() - 1, "{kind}");
+            // MAC counts are strictly increasing except across pure pool
+            // stages, and layer boundaries are strictly increasing.
+            for pair in stages.windows(2) {
+                assert!(pair[1].cumulative_macs >= pair[0].cumulative_macs, "{kind}");
+                assert!(pair[1].layer_end > pair[0].layer_end, "{kind}");
+            }
+            assert!(last.cumulative_macs > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn splitting_at_any_stage_composes_to_the_monolithic_forward_bitwise() {
+        let mut rng = StdRng::seed_from(7);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        for kind in BackboneKind::ALL {
+            let reference = build(kind, 16);
+            let expected = reference.infer(&x).unwrap();
+            for stage in 0..reference.stage_count() {
+                let boundary = reference.stages()[stage].clone();
+                let (edge, tail) = build(kind, 16).split_at(stage).unwrap();
+                let z = edge.infer(&x).unwrap();
+                if boundary.flat {
+                    assert_eq!(z.dims(), &[2, boundary.elements], "{kind} stage {stage}");
+                } else {
+                    assert_eq!(
+                        z.dims(),
+                        &[2, boundary.channels, boundary.spatial, boundary.spatial],
+                        "{kind} stage {stage}"
+                    );
+                }
+                let out = tail.infer(&z).unwrap();
+                assert_eq!(out, expected, "{kind} stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_at_rejects_out_of_range_stages() {
+        let backbone = build(BackboneKind::MobileStyle, 16);
+        let count = backbone.stage_count();
+        assert!(backbone.split_at(count).is_err());
     }
 
     #[test]

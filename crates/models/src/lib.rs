@@ -28,6 +28,6 @@ mod backbone;
 mod blocks;
 mod head;
 
-pub use backbone::{Backbone, BackboneConfig, BackboneKind};
+pub use backbone::{Backbone, BackboneConfig, BackboneKind, SplitStage};
 pub use blocks::{MbConvBlock, SqueezeExcite};
 pub use head::TaskHead;

@@ -68,6 +68,26 @@ impl Sequential {
         self.layers.iter().map(|l| l.name()).collect()
     }
 
+    /// Splits the stack in two at `index`: `self` keeps layers `[0, index)`
+    /// and the returned stack owns layers `[index, len)`.
+    ///
+    /// Running the two halves back to back is bit-identical to running the
+    /// original stack on the allocating [`Layer::infer`] path, and on the
+    /// planned [`Layer::infer_into`] path whenever `index` does not land
+    /// inside a fusion window — fused epilogues are themselves bit-identical
+    /// to their unfused layer chains, so in practice any cut point preserves
+    /// outputs exactly. This is the substrate for variable-depth deployment
+    /// splits: an edge prefix and a server tail cut at a stage boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`, mirroring [`Vec::split_off`].
+    pub fn split_off(&mut self, index: usize) -> Sequential {
+        Sequential {
+            layers: self.layers.split_off(index),
+        }
+    }
+
     /// Freezes (or unfreezes) every parameter in the stack.
     ///
     /// Freezing the shared backbone while leaving the task heads trainable is
@@ -537,6 +557,29 @@ mod tests {
         let mut plan = InferPlan::new();
         let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
         assert_eq!(plan.run(&net, &x).unwrap(), x);
+    }
+
+    #[test]
+    fn split_off_halves_compose_to_the_original_bitwise() {
+        use crate::InferPlan;
+        let mut rng = StdRng::seed_from(77);
+        let x = Tensor::randn(&[3, 3], 0.0, 1.0, &mut rng);
+        for cut in 0..=3 {
+            let reference = tiny_mlp(12);
+            let expected = reference.infer(&x).unwrap();
+            let mut prefix = tiny_mlp(12);
+            let suffix = prefix.split_off(cut);
+            assert_eq!(prefix.len(), cut);
+            assert_eq!(suffix.len(), 3 - cut);
+            // Allocating path.
+            let mid = prefix.infer(&x).unwrap();
+            assert_eq!(suffix.infer(&mid).unwrap(), expected, "cut {cut}");
+            // Planned path, including across the cut.
+            let mut plan = InferPlan::new();
+            let mid = plan.run(&prefix, &x).unwrap();
+            let out = plan.run(&suffix, &mid).unwrap();
+            assert_eq!(out, expected, "planned cut {cut}");
+        }
     }
 
     #[test]

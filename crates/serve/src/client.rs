@@ -9,7 +9,10 @@ use crate::error::{Result, ServeError};
 use crate::frame::{Frame, OpCode};
 use crate::metrics::ServeMetrics;
 use crate::transport::Transport;
-use crate::wire::{decode_metrics, decode_response};
+use crate::wire::{
+    decode_metrics, decode_response, decode_split_assignment, encode_hello, HelloRequest,
+    SplitAssignment,
+};
 
 /// The edge client: runs the shared backbone locally through the immutable
 /// [`Layer::infer`] path, ships the encoded `Z_b` through a [`Transport`],
@@ -102,6 +105,52 @@ impl EdgeClient {
                 got: other,
             }),
         }
+    }
+
+    /// Negotiates this connection's split point (protocol v4 `Hello`).
+    ///
+    /// Announces the client's device class and latency budget; the server
+    /// answers with the [`SplitAssignment`] every subsequent infer request
+    /// on this transport is served under. The caller is responsible for
+    /// installing the matching backbone prefix via
+    /// [`EdgeClient::set_backbone`] — the assignment says which stage the
+    /// edge must cut at.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and server-reported errors; an
+    /// unexpected answer becomes [`ServeError::UnexpectedFrame`].
+    pub fn hello(&mut self, device_class: &str, latency_budget_ms: f64) -> Result<SplitAssignment> {
+        let id = self.take_request_id();
+        let body = encode_hello(&HelloRequest {
+            device_class: device_class.to_string(),
+            latency_budget_ms,
+        });
+        let response = self
+            .transport
+            .request(&Frame::new(OpCode::Hello, id, body))?;
+        if response.request_id != id {
+            return Err(ServeError::MismatchedResponse {
+                sent: id,
+                received: response.request_id,
+            });
+        }
+        match response.op {
+            OpCode::HelloAck => decode_split_assignment(&response.body),
+            OpCode::Error => Err(ServeError::Remote {
+                message: String::from_utf8_lossy(&response.body).into_owned(),
+            }),
+            other => Err(ServeError::UnexpectedFrame {
+                expected: "a HelloAck frame",
+                got: other,
+            }),
+        }
+    }
+
+    /// Replaces the edge-resident backbone, e.g. with the shallower prefix
+    /// a [`EdgeClient::hello`] negotiation assigned.
+    pub fn set_backbone(&mut self, backbone: Box<dyn Layer>) {
+        self.backbone = backbone;
     }
 
     /// Checks server liveness with a ping round-trip.
@@ -349,6 +398,109 @@ mod tests {
         assert_eq!(scraped.encode, local.encode);
         assert_eq!(scraped.decode, local.decode);
         assert_eq!(scraped.queue_wait, local.queue_wait);
+        drop(client);
+        tcp.stop();
+    }
+
+    /// Builds a split-capable server: variant 0 expects the full backbone
+    /// output, variant 1 (assigned to the "constrained" class) expects the
+    /// cut before the final activation and finishes the backbone with a
+    /// server-side tail. Returns the monolithic reference plus the shallow
+    /// edge prefix a negotiated client should install.
+    fn negotiated_fixture() -> (
+        Sequential,
+        Sequential,
+        Vec<Sequential>,
+        Arc<InferenceServer>,
+    ) {
+        use crate::server::{SplitRule, SplitVariant};
+        let build = || {
+            let mut rng = StdRng::seed_from(41);
+            let backbone = Sequential::new()
+                .push(Flatten::new())
+                .push(Linear::new(3 * 6 * 6, 16, &mut rng))
+                .push(Relu::new());
+            let heads = vec![
+                Sequential::new().push(Linear::new(16, 4, &mut rng)),
+                Sequential::new().push(Linear::new(16, 3, &mut rng)),
+            ];
+            (backbone, heads)
+        };
+        let (reference_backbone, reference_heads) = build();
+        let (mut edge_prefix, _) = build();
+        let _ = edge_prefix.split_off(2);
+        let (server_backbone, server_heads) = build();
+        let mut tail_copy = server_backbone;
+        let tail = tail_copy.split_off(2);
+        let boxed: Vec<Box<dyn Layer>> = server_heads
+            .into_iter()
+            .map(|h| Box::new(h) as Box<dyn Layer>)
+            .collect();
+        let server = Arc::new(InferenceServer::start_with_splits(
+            boxed,
+            vec![
+                SplitVariant::default_split(3, "gap"),
+                SplitVariant::with_tail(1, "stem", Box::new(tail)),
+            ],
+            vec![SplitRule {
+                device_class: "constrained".to_string(),
+                stage: 1,
+            }],
+            ServerConfig::default(),
+        ));
+        (reference_backbone, edge_prefix, reference_heads, server)
+    }
+
+    #[test]
+    fn negotiated_split_over_loopback_is_bitwise_monolithic() {
+        let (ref_backbone, edge_prefix, ref_heads, server) = negotiated_fixture();
+        let mut client = EdgeClient::new(
+            Box::new(Sequential::new()),
+            TensorCodec::new(Precision::Float32),
+            Box::new(LoopbackTransport::new(server)),
+        );
+        let assignment = client.hello("constrained", 25.0).unwrap();
+        assert_eq!(assignment.stage, 1);
+        assert_eq!(assignment.label, "stem");
+        client.set_backbone(Box::new(edge_prefix));
+        let mut rng = StdRng::seed_from(42);
+        let x = Tensor::randn(&[3, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let served = client.infer(&x).unwrap();
+        let features = ref_backbone.infer(&x).unwrap();
+        for (head, output) in ref_heads.iter().zip(&served) {
+            let direct = head.infer(&features).unwrap();
+            assert_eq!(output, &direct, "negotiated split diverged from monolith");
+        }
+        let metrics = client.metrics().unwrap();
+        let stem = metrics
+            .per_split
+            .iter()
+            .find(|s| s.label == "stem")
+            .unwrap();
+        assert_eq!(stem.requests, 1);
+    }
+
+    #[test]
+    fn negotiated_split_over_tcp_is_bitwise_monolithic() {
+        let (ref_backbone, edge_prefix, ref_heads, server) = negotiated_fixture();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = TcpServer::spawn(Arc::clone(&server), listener).unwrap();
+        let transport = TcpTransport::connect(tcp.local_addr()).unwrap();
+        let mut client = EdgeClient::new(
+            Box::new(edge_prefix),
+            TensorCodec::new(Precision::Float32),
+            Box::new(transport),
+        );
+        let assignment = client.hello("constrained", 25.0).unwrap();
+        assert_eq!(assignment.stage, 1);
+        let mut rng = StdRng::seed_from(43);
+        let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let served = client.infer(&x).unwrap();
+        let features = ref_backbone.infer(&x).unwrap();
+        for (head, output) in ref_heads.iter().zip(&served) {
+            let direct = head.infer(&features).unwrap();
+            assert_eq!(output, &direct, "negotiated TCP split diverged");
+        }
         drop(client);
         tcp.stop();
     }

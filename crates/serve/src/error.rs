@@ -64,6 +64,12 @@ pub enum ServeError {
         /// Request id that came back.
         received: u64,
     },
+    /// A frame body failed structural validation (e.g. a string field that
+    /// is not UTF-8, or a split assignment naming an unknown stage).
+    Malformed {
+        /// What was malformed.
+        what: String,
+    },
     /// The server reported an application-level failure.
     Remote {
         /// The server's error message.
@@ -110,6 +116,7 @@ impl fmt::Display for ServeError {
                     "sent request {sent} but received a response for {received}"
                 )
             }
+            ServeError::Malformed { what } => write!(f, "malformed body: {what}"),
             ServeError::Remote { message } => write!(f, "server error: {message}"),
             ServeError::QueueFull => write!(f, "server request queue is full"),
             ServeError::ServerUnavailable => write!(f, "server has shut down"),

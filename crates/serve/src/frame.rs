@@ -30,6 +30,16 @@
 //! [`OpCode::MetricsResponse`] whose body is the snapshot codec defined in
 //! [`crate::wire`], so an edge client can read a live server's throughput,
 //! latency quantiles and phase breakdown over the same socket it infers on.
+//!
+//! Protocol version 4 added split negotiation: a client may open its
+//! connection with an [`OpCode::Hello`] carrying its device class and
+//! latency budget (encoded by [`crate::wire::encode_hello`]), and the server
+//! answers with an [`OpCode::HelloAck`] naming the backbone stage the client
+//! should cut at — chosen from the server's tuned deployment profile. The
+//! header kept its exact v3 layout, so both versions interoperate: a v4
+//! server accepts v3 frames (and answers a v3 `Hello` with its default
+//! split), and every frame carries the version it was sent under in
+//! [`Frame::version`].
 
 use std::io::{Read, Write};
 
@@ -39,7 +49,11 @@ use crate::error::{Result, ServeError};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MTLS");
 
 /// Protocol version this build speaks.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
+
+/// Oldest protocol version this build still accepts. Versions 3 and 4 share
+/// the header layout byte for byte; 4 only adds op codes.
+pub const MIN_VERSION: u8 = 3;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_BYTES: usize = 4 + 1 + 1 + 8 + 4 + 4;
@@ -104,6 +118,12 @@ pub enum OpCode {
     /// Server → edge: one [`crate::ServeMetrics`] snapshot encoded by
     /// [`crate::wire::encode_metrics`].
     MetricsResponse = 7,
+    /// Edge → server: split negotiation opener; body is the client's device
+    /// class and latency budget, encoded by [`crate::wire::encode_hello`].
+    Hello = 8,
+    /// Server → edge: the negotiated split assignment, encoded by
+    /// [`crate::wire::encode_split_assignment`].
+    HelloAck = 9,
 }
 
 impl OpCode {
@@ -121,15 +141,18 @@ impl OpCode {
             5 => Ok(OpCode::Error),
             6 => Ok(OpCode::MetricsRequest),
             7 => Ok(OpCode::MetricsResponse),
+            8 => Ok(OpCode::Hello),
+            9 => Ok(OpCode::HelloAck),
             _ => Err(ServeError::UnknownOpCode { code }),
         }
     }
 }
 
-/// Header fields parsed from the wire but not yet checksum-verified or
-/// op-code-validated — the single definition of the header layout shared
-/// by [`Frame::decode`] and [`Frame::read_from`].
+/// Header fields parsed from the wire but not yet version-validated,
+/// checksum-verified or op-code-validated — the single definition of the
+/// header layout shared by [`Frame::decode`] and [`Frame::read_from`].
 struct RawHeader {
+    version: u8,
     op_byte: u8,
     request_id: u64,
     body_len: usize,
@@ -137,16 +160,17 @@ struct RawHeader {
 }
 
 impl RawHeader {
-    /// Validates magic and version, then splits the fixed header fields out.
+    /// Validates the magic, then splits the fixed header fields out. The
+    /// version is *not* validated here: the body length sits at a fixed
+    /// offset in every version, so a reader can consume the body of a
+    /// version it does not speak and keep the stream synchronized.
     fn parse(header: &[u8; HEADER_BYTES]) -> Result<Self> {
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         if magic != MAGIC {
             return Err(ServeError::BadMagic { found: magic });
         }
-        if header[4] != VERSION {
-            return Err(ServeError::UnsupportedVersion { found: header[4] });
-        }
         Ok(Self {
+            version: header[4],
             op_byte: header[5],
             request_id: u64::from_le_bytes(header[6..14].try_into().expect("8 bytes")),
             body_len: u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize,
@@ -158,10 +182,15 @@ impl RawHeader {
         })
     }
 
-    /// Verifies the declared CRC-32 against the checksummed region
-    /// (version..length inside `header`, then `body`) and finishes building
-    /// the frame, validating the op code last.
+    /// Validates the version range, verifies the declared CRC-32 against the
+    /// checksummed region (version..length inside `header`, then `body`) and
+    /// finishes building the frame, validating the op code last.
     fn into_frame(self, header: &[u8; HEADER_BYTES], body: Vec<u8>) -> Result<Frame> {
+        if !(MIN_VERSION..=VERSION).contains(&self.version) {
+            return Err(ServeError::UnsupportedVersion {
+                found: self.version,
+            });
+        }
         let actual = crc32(&[&header[4..CRC_OFFSET], &body]);
         if self.declared_crc != actual {
             return Err(ServeError::ChecksumMismatch {
@@ -171,10 +200,31 @@ impl RawHeader {
         }
         Ok(Frame {
             request_id: self.request_id,
+            version: self.version,
             op: OpCode::from_byte(self.op_byte)?,
             body,
         })
     }
+}
+
+/// One message read leniently from a stream: either a valid [`Frame`], or a
+/// rejected one whose bytes were fully consumed — the stream is still
+/// synchronized, so a server can answer with a typed error frame and keep
+/// the connection alive instead of severing it.
+#[derive(Debug)]
+pub enum Received {
+    /// A well-formed frame.
+    Frame(Frame),
+    /// A frame-shaped message that failed validation (unsupported version,
+    /// unknown op code, or checksum mismatch) after its body was consumed.
+    Rejected {
+        /// The request id claimed by the rejected header, for the error
+        /// reply. (Under a checksum mismatch it may itself be corrupt —
+        /// still the best correlation hint available.)
+        request_id: u64,
+        /// Why the frame was rejected.
+        error: ServeError,
+    },
 }
 
 /// One protocol message: header plus opaque body bytes.
@@ -183,6 +233,9 @@ pub struct Frame {
     /// Client-chosen id echoed back by the server, correlating requests with
     /// responses.
     pub request_id: u64,
+    /// Protocol version the frame was sent under. [`Frame::new`] stamps the
+    /// current [`VERSION`]; decoding preserves whatever the peer sent.
+    pub version: u8,
     /// Message kind.
     pub op: OpCode,
     /// Message body; its meaning depends on `op`.
@@ -190,10 +243,22 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Creates a frame.
+    /// Creates a frame speaking the current protocol version.
     pub fn new(op: OpCode, request_id: u64, body: Vec<u8>) -> Self {
         Self {
             request_id,
+            version: VERSION,
+            op,
+            body,
+        }
+    }
+
+    /// Creates a frame stamped with an explicit (older) protocol version,
+    /// e.g. to interoperate with — or impersonate, in tests — a v3 peer.
+    pub fn with_version(op: OpCode, request_id: u64, body: Vec<u8>, version: u8) -> Self {
+        Self {
+            request_id,
+            version,
             op,
             body,
         }
@@ -218,7 +283,7 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(VERSION);
+        out.push(self.version);
         out.push(self.op as u8);
         out.extend_from_slice(&self.request_id.to_le_bytes());
         out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
@@ -282,6 +347,27 @@ impl Frame {
     /// [`ServeError::ChecksumMismatch`] for corrupted frames) and
     /// [`ServeError::Io`] on socket failures, including streams cut mid-frame.
     pub fn read_from<R: Read>(reader: &mut R, max_body: usize) -> Result<Option<Self>> {
+        match Self::read_from_lenient(reader, max_body)? {
+            None => Ok(None),
+            Some(Received::Frame(frame)) => Ok(Some(frame)),
+            Some(Received::Rejected { error, .. }) => Err(error),
+        }
+    }
+
+    /// Reads one message from `reader` like [`Frame::read_from`], but keeps
+    /// the stream alive across *recoverable* rejections: an unsupported
+    /// version, an unknown op code or a checksum mismatch all arrive with an
+    /// intact length prefix, so the reader consumes the offending body and
+    /// returns [`Received::Rejected`] with the stream positioned at the next
+    /// frame. A server uses this to answer garbage with a typed error frame
+    /// instead of severing the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` only for rejections that desynchronize or break the
+    /// stream: bad magic, an oversized length prefix, truncation and I/O
+    /// failures.
+    pub fn read_from_lenient<R: Read>(reader: &mut R, max_body: usize) -> Result<Option<Received>> {
         let mut header = [0u8; HEADER_BYTES];
         let mut filled = 0usize;
         while filled < HEADER_BYTES {
@@ -306,7 +392,11 @@ impl Frame {
         }
         let mut body = vec![0u8; raw.body_len];
         reader.read_exact(&mut body)?;
-        raw.into_frame(&header, body).map(Some)
+        let request_id = raw.request_id;
+        match raw.into_frame(&header, body) {
+            Ok(frame) => Ok(Some(Received::Frame(frame))),
+            Err(error) => Ok(Some(Received::Rejected { request_id, error })),
+        }
     }
 }
 
@@ -328,11 +418,98 @@ mod tests {
             OpCode::Error,
             OpCode::MetricsRequest,
             OpCode::MetricsResponse,
+            OpCode::Hello,
+            OpCode::HelloAck,
         ] {
             let frame = Frame::new(op, u64::MAX - 3, vec![9; 17]);
             let decoded = Frame::decode(&frame.encode()).unwrap();
             assert_eq!(decoded, frame);
+            assert_eq!(decoded.version, VERSION);
         }
+    }
+
+    #[test]
+    fn a_v3_frame_still_decodes_and_keeps_its_version() {
+        let frame = Frame::with_version(OpCode::Ping, 11, Vec::new(), 3);
+        let decoded = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(decoded.version, 3);
+        assert_eq!(decoded, frame);
+        // Versions below MIN_VERSION are rejected.
+        let ancient = Frame::with_version(OpCode::Ping, 11, Vec::new(), 2);
+        assert!(matches!(
+            Frame::decode(&ancient.encode()),
+            Err(ServeError::UnsupportedVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn lenient_reads_survive_recoverable_rejections() {
+        // Three bad frames back to back, then a good one: the lenient reader
+        // must consume each rejected body and stay synchronized.
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&Frame::with_version(OpCode::Ping, 1, Vec::new(), 9).encode());
+        let mut bad_crc = Frame::new(OpCode::Ping, 2, vec![7, 7]).encode();
+        let last = bad_crc.len() - 1;
+        bad_crc[last] ^= 0xFF;
+        buffer.extend_from_slice(&bad_crc);
+        // Hand-build an unknown op code with a valid checksum.
+        let mut unknown_op = Vec::new();
+        unknown_op.extend_from_slice(&MAGIC.to_le_bytes());
+        unknown_op.push(VERSION);
+        unknown_op.push(200);
+        unknown_op.extend_from_slice(&3u64.to_le_bytes());
+        unknown_op.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&[&unknown_op[4..18]]);
+        unknown_op.extend_from_slice(&crc.to_le_bytes());
+        buffer.extend_from_slice(&unknown_op);
+        buffer.extend_from_slice(&Frame::new(OpCode::Ping, 4, Vec::new()).encode());
+
+        let mut cursor = std::io::Cursor::new(buffer);
+        let first = Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            first,
+            Received::Rejected {
+                request_id: 1,
+                error: ServeError::UnsupportedVersion { found: 9 },
+            }
+        ));
+        let second = Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            second,
+            Received::Rejected {
+                request_id: 2,
+                error: ServeError::ChecksumMismatch { .. },
+            }
+        ));
+        let third = Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            third,
+            Received::Rejected {
+                request_id: 3,
+                error: ServeError::UnknownOpCode { code: 200 },
+            }
+        ));
+        match Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap()
+        {
+            Received::Frame(frame) => {
+                assert_eq!(frame.op, OpCode::Ping);
+                assert_eq!(frame.request_id, 4);
+            }
+            other => panic!("expected the good frame, got {other:?}"),
+        }
+        assert!(
+            Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

@@ -84,7 +84,13 @@ pub mod wire;
 
 pub use client::EdgeClient;
 pub use error::{Result, ServeError};
-pub use frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES, HEADER_BYTES, MAGIC, VERSION};
-pub use metrics::{PhaseStats, ServeMetrics};
-pub use server::{InferenceServer, ServerConfig, TcpServer, MAX_DEFAULT_WORKERS};
+pub use frame::{
+    Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, HEADER_BYTES, MAGIC, MIN_VERSION, VERSION,
+};
+pub use metrics::{PhaseStats, ServeMetrics, SplitRequests};
+pub use server::{
+    InferenceServer, ServerConfig, SessionState, SplitRule, SplitVariant, TcpServer,
+    MAX_DEFAULT_WORKERS,
+};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};
+pub use wire::{HelloRequest, SplitAssignment};

@@ -25,6 +25,9 @@ pub(crate) struct WorkerShard {
     batches: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    /// Requests served per split variant, indexed like the server's variant
+    /// table (empty when the server exposes no negotiated splits).
+    split_requests: Vec<AtomicU64>,
     /// Full service latency per request (enqueue → response encoded), ns.
     latency_ns: LogHistogram,
     /// Time a request sat in the queue before a worker drained it, ns.
@@ -38,9 +41,28 @@ pub(crate) struct WorkerShard {
 }
 
 impl WorkerShard {
+    fn with_splits(splits: usize) -> Self {
+        Self {
+            split_requests: (0..splits).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
     /// One head forward pass executed (over however many coalesced requests).
     pub(crate) fn record_forward(&self) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request served under split variant `variant`. A no-op when the
+    /// server exposes no negotiated splits; out-of-range variants land on
+    /// the last (defensive — the server validates variants at negotiation).
+    pub(crate) fn record_split_request(&self, variant: usize) {
+        if let Some(counter) = self
+            .split_requests
+            .get(variant.min(self.split_requests.len().saturating_sub(1)))
+        {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// One request answered (successfully or not).
@@ -92,18 +114,32 @@ fn seconds_to_ns(seconds: f64) -> u64 {
 pub(crate) struct MetricsRecorder {
     started: Instant,
     workers: usize,
+    /// `(stage, label)` of every split variant the server serves, in variant
+    /// order; indexes the shards' `split_requests` counters.
+    split_labels: Vec<(u8, String)>,
     /// `workers + 1` shards; the last one is the miscellaneous shard.
     shards: Vec<WorkerShard>,
 }
 
 impl MetricsRecorder {
-    /// Creates a recorder for a pool of `workers` worker threads.
+    /// Creates a recorder for a pool of `workers` worker threads, with no
+    /// per-split accounting.
+    #[cfg(test)]
     pub(crate) fn new(workers: usize) -> Self {
+        Self::with_splits(workers, Vec::new())
+    }
+
+    /// Creates a recorder that also counts requests per split variant; one
+    /// counter per `(stage, label)` entry, in variant order.
+    pub(crate) fn with_splits(workers: usize, split_labels: Vec<(u8, String)>) -> Self {
         let workers = workers.max(1);
         Self {
             started: Instant::now(),
             workers,
-            shards: (0..=workers).map(|_| WorkerShard::default()).collect(),
+            shards: (0..=workers)
+                .map(|_| WorkerShard::with_splits(split_labels.len()))
+                .collect(),
+            split_labels,
         }
     }
 
@@ -142,6 +178,20 @@ impl MetricsRecorder {
             forward.merge_from(&shard.forward_ns);
             encode.merge_from(&shard.encode_ns);
         }
+        let per_split = self
+            .split_labels
+            .iter()
+            .enumerate()
+            .map(|(i, (stage, label))| SplitRequests {
+                stage: *stage,
+                label: label.clone(),
+                requests: self
+                    .shards
+                    .iter()
+                    .map(|s| s.split_requests[i].load(Ordering::Relaxed))
+                    .sum(),
+            })
+            .collect();
         let wall = self.started.elapsed().as_secs_f64();
         ServeMetrics {
             workers: self.workers,
@@ -168,6 +218,7 @@ impl MetricsRecorder {
             decode: PhaseStats::from_histogram(&decode),
             forward: PhaseStats::from_histogram(&forward),
             encode: PhaseStats::from_histogram(&encode),
+            per_split,
         }
     }
 }
@@ -209,6 +260,17 @@ impl PhaseStats {
     }
 }
 
+/// Requests served under one split variant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SplitRequests {
+    /// Backbone stage index the variant cuts at.
+    pub stage: u8,
+    /// Stage label, e.g. `"sep2"`.
+    pub label: String,
+    /// Requests served at this split.
+    pub requests: u64,
+}
+
 /// A point-in-time snapshot of a server's serving metrics.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServeMetrics {
@@ -245,6 +307,9 @@ pub struct ServeMetrics {
     pub forward: PhaseStats,
     /// Response split + encode time per coalesced group.
     pub encode: PhaseStats,
+    /// Requests served per split variant, in the server's variant order;
+    /// empty when the server exposes no negotiated splits.
+    pub per_split: Vec<SplitRequests>,
 }
 
 impl ServeMetrics {
@@ -331,6 +396,26 @@ mod tests {
             shard.record_request(0.001, 1, 1);
         }
         assert!((recorder.snapshot().mean_batch_size - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_split_counters_merge_across_shards() {
+        let recorder =
+            MetricsRecorder::with_splits(2, vec![(4, "gap".to_string()), (1, "sep1".to_string())]);
+        recorder.shard(0).record_split_request(0);
+        recorder.shard(1).record_split_request(1);
+        recorder.shard(1).record_split_request(1);
+        recorder.misc().record_split_request(0);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.per_split.len(), 2);
+        assert_eq!(snapshot.per_split[0].stage, 4);
+        assert_eq!(snapshot.per_split[0].label, "gap");
+        assert_eq!(snapshot.per_split[0].requests, 2);
+        assert_eq!(snapshot.per_split[1].requests, 2);
+        // A recorder without splits ignores the calls entirely.
+        let plain = MetricsRecorder::new(1);
+        plain.shard(0).record_split_request(0);
+        assert!(plain.snapshot().per_split.is_empty());
     }
 
     #[test]

@@ -30,9 +30,81 @@ use mtlsplit_split::{Precision, TensorCodec, WirePayload};
 use mtlsplit_tensor::{Parallelism, Tensor};
 
 use crate::error::{Result, ServeError};
-use crate::frame::{Frame, OpCode, DEFAULT_MAX_BODY_BYTES};
+use crate::frame::{Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, VERSION};
 use crate::metrics::{MetricsRecorder, ServeMetrics, WorkerShard};
-use crate::wire::{encode_metrics, encode_response};
+use crate::wire::{
+    decode_hello, encode_metrics, encode_response, encode_split_assignment, SplitAssignment,
+};
+
+/// One split depth a server can serve: the backbone suffix (`tail`) it must
+/// run before its heads, plus the stage the matching edge prefix cuts at.
+/// `tail: None` is the classic pre-head split — the client runs the whole
+/// backbone and the server only runs heads.
+pub struct SplitVariant {
+    /// Backbone stage index the edge cuts at (indexes `Backbone::stages()`).
+    pub stage: u8,
+    /// Stage label, echoed in `HelloAck` and metrics.
+    pub label: String,
+    /// The backbone suffix `[stage boundary, end)`, or `None` at the
+    /// deepest split.
+    pub tail: Option<Box<dyn Layer>>,
+}
+
+impl SplitVariant {
+    /// The classic deepest split: no tail on the server.
+    pub fn default_split(stage: u8, label: impl Into<String>) -> Self {
+        Self {
+            stage,
+            label: label.into(),
+            tail: None,
+        }
+    }
+
+    /// A mid-backbone split served through the given tail.
+    pub fn with_tail(stage: u8, label: impl Into<String>, tail: Box<dyn Layer>) -> Self {
+        Self {
+            stage,
+            label: label.into(),
+            tail: Some(tail),
+        }
+    }
+}
+
+impl std::fmt::Debug for SplitVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplitVariant")
+            .field("stage", &self.stage)
+            .field("label", &self.label)
+            .field("has_tail", &self.tail.is_some())
+            .finish()
+    }
+}
+
+/// One negotiation rule: clients announcing `device_class` are assigned the
+/// variant cutting at `stage`. Produced by the autotuner's deployment
+/// profile; consumed by [`InferenceServer::start_with_splits`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitRule {
+    /// Device class name matched against the `Hello` body.
+    pub device_class: String,
+    /// Stage assigned to that class; must name one of the server's variants.
+    pub stage: u8,
+}
+
+/// Per-connection negotiation state: which split variant the connection's
+/// infer requests are decoded under. Fresh connections start at the default
+/// variant (index 0) until a `Hello` reassigns them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionState {
+    variant: u8,
+}
+
+impl SessionState {
+    /// The variant index currently assigned to this session.
+    pub fn variant(&self) -> u8 {
+        self.variant
+    }
+}
 
 /// Configuration of an [`InferenceServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,12 +180,15 @@ impl ServerConfig {
     }
 }
 
-/// Requests that share a per-sample feature shape, keyed by that shape.
-type ShapeGroup = (Vec<usize>, Vec<(Request, Tensor)>);
+/// Requests that share a split variant and per-sample feature shape, keyed
+/// by (variant, shape): only payloads cut at the same depth may be stacked
+/// into one forward pass.
+type ShapeGroup = (u8, Vec<usize>, Vec<(Request, Tensor)>);
 
 /// One queued inference request.
 struct Request {
     payload: WirePayload,
+    variant: u8,
     enqueued: Instant,
     responder: Sender<std::result::Result<Vec<WirePayload>, String>>,
 }
@@ -129,6 +204,11 @@ pub struct InferenceServer {
     tx: Mutex<Option<SyncSender<Request>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     heads: Arc<Vec<Box<dyn Layer>>>,
+    /// Split depths this server can serve; empty means the classic
+    /// fixed-split server (implicit variant 0, no tail).
+    variants: Arc<Vec<SplitVariant>>,
+    /// Device class → variant index, resolved from [`SplitRule`]s at start.
+    rules: Vec<(String, u8)>,
     metrics: Arc<MetricsRecorder>,
     config: ServerConfig,
 }
@@ -153,16 +233,67 @@ impl InferenceServer {
     /// Panics if more than 255 heads are supplied — the wire protocol's
     /// response body carries the task count in one byte.
     pub fn start(heads: Vec<Box<dyn Layer>>, config: ServerConfig) -> Self {
+        Self::start_with_splits(heads, Vec::new(), Vec::new(), config)
+    }
+
+    /// Starts a server that can serve several split depths.
+    ///
+    /// `variants[0]` is the default split every un-negotiated connection
+    /// uses; each [`SplitRule`] maps a client device class to the variant
+    /// cutting at the rule's stage. Requests carrying a variant with a tail
+    /// run `tail → heads`; tail-less variants run the heads directly, so
+    /// `start` is exactly `start_with_splits(heads, vec![], vec![], config)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 255 heads or variants are supplied (the wire
+    /// protocol carries both counts in one byte), or if a rule names a stage
+    /// no variant serves.
+    pub fn start_with_splits(
+        heads: Vec<Box<dyn Layer>>,
+        variants: Vec<SplitVariant>,
+        rules: Vec<SplitRule>,
+        config: ServerConfig,
+    ) -> Self {
         assert!(
             heads.len() <= u8::MAX as usize,
             "the wire protocol supports at most 255 task heads, got {}",
             heads.len()
         );
+        assert!(
+            variants.len() <= u8::MAX as usize,
+            "the wire protocol supports at most 255 split variants, got {}",
+            variants.len()
+        );
+        let rules: Vec<(String, u8)> = rules
+            .into_iter()
+            .map(|rule| {
+                let index = variants
+                    .iter()
+                    .position(|v| v.stage == rule.stage)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "split rule for {:?} names stage {} but no variant serves it",
+                            rule.device_class, rule.stage
+                        )
+                    });
+                (rule.device_class, index as u8)
+            })
+            .collect();
         let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth.max(1));
         let heads = Arc::new(heads);
+        let variants = Arc::new(variants);
         // One lock-free metric shard per worker plus the misc shard for
-        // connection threads; the pool size is fixed at construction.
-        let metrics = Arc::new(MetricsRecorder::new(config.workers.max(1)));
+        // connection threads; the pool size is fixed at construction. Each
+        // shard carries one request counter per split variant.
+        let split_labels: Vec<(u8, String)> = variants
+            .iter()
+            .map(|v| (v.stage, v.label.clone()))
+            .collect();
+        let metrics = Arc::new(MetricsRecorder::with_splits(
+            config.workers.max(1),
+            split_labels,
+        ));
         let max_batch = config.max_batch.max(1);
         let response_precision = config.response_precision;
         let worker_parallelism = config.parallelism;
@@ -174,6 +305,7 @@ impl InferenceServer {
             .map(|index| {
                 let worker_rx = Arc::clone(&shared_rx);
                 let worker_heads = Arc::clone(&heads);
+                let worker_variants = Arc::clone(&variants);
                 let worker_metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("mtlsplit-serve-worker-{index}"))
@@ -184,6 +316,7 @@ impl InferenceServer {
                         worker_loop(
                             &worker_rx,
                             &worker_heads,
+                            &worker_variants,
                             max_batch,
                             response_precision,
                             worker_metrics.shard(index),
@@ -196,6 +329,8 @@ impl InferenceServer {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             heads,
+            variants,
+            rules,
             metrics,
             config,
         }
@@ -209,6 +344,35 @@ impl InferenceServer {
     /// Number of task heads being served.
     pub fn head_count(&self) -> usize {
         self.heads.len()
+    }
+
+    /// Number of split variants this server can serve. A classic fixed-split
+    /// server reports 1 (the implicit default variant).
+    pub fn variant_count(&self) -> usize {
+        self.variants.len().max(1)
+    }
+
+    /// The split assignment a session on `variant` is served under.
+    fn assignment_for(&self, variant: u8) -> SplitAssignment {
+        match self.variants.get(variant as usize) {
+            Some(v) => SplitAssignment {
+                stage: v.stage,
+                label: v.label.clone(),
+            },
+            None => SplitAssignment {
+                stage: 0,
+                label: "default".to_string(),
+            },
+        }
+    }
+
+    /// Resolves a client's announced device class to a variant index.
+    fn variant_for_class(&self, device_class: &str) -> u8 {
+        self.rules
+            .iter()
+            .find(|(class, _)| class == device_class)
+            .map(|&(_, index)| index)
+            .unwrap_or(0)
     }
 
     /// A point-in-time snapshot of the serving metrics.
@@ -225,6 +389,25 @@ impl InferenceServer {
     /// [`ServeError::ServerUnavailable`] if the server has shut down,
     /// [`ServeError::Remote`] if the heads rejected the payload.
     pub fn infer(&self, payload: WirePayload) -> Result<Vec<WirePayload>> {
+        self.infer_on(payload, 0)
+    }
+
+    /// Submits one decoded payload for a specific split variant and blocks
+    /// until a worker responds. Variant 0 is the default split.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] if `variant` names no served split, plus
+    /// everything [`InferenceServer::infer`] can return.
+    pub fn infer_on(&self, payload: WirePayload, variant: u8) -> Result<Vec<WirePayload>> {
+        if variant as usize >= self.variant_count() {
+            return Err(ServeError::Malformed {
+                what: format!(
+                    "split variant {variant} out of range (serving {})",
+                    self.variant_count()
+                ),
+            });
+        }
         let sender = {
             let guard = self.tx.lock().expect("queue lock");
             guard.clone().ok_or(ServeError::ServerUnavailable)?
@@ -232,6 +415,7 @@ impl InferenceServer {
         let (rtx, rrx) = mpsc::channel();
         let request = Request {
             payload,
+            variant,
             enqueued: Instant::now(),
             responder: rtx,
         };
@@ -245,20 +429,31 @@ impl InferenceServer {
         }
     }
 
-    /// Maps one request frame to one response frame.
+    /// Maps one request frame to one response frame under a default
+    /// (un-negotiated) session — the classic stateless entry point, serving
+    /// every infer request at the default split.
+    pub fn process(&self, frame: &Frame) -> Frame {
+        self.process_on(frame, &mut SessionState::default())
+    }
+
+    /// Maps one request frame to one response frame under a per-connection
+    /// session.
     ///
     /// This is the single entry point shared by every transport. It never
     /// fails: protocol or inference problems come back as [`OpCode::Error`]
     /// frames carrying a message, mirroring what a remote client would see.
-    pub fn process(&self, frame: &Frame) -> Frame {
+    /// A `Hello` frame renegotiates `session`'s split variant; subsequent
+    /// infer requests on the session are decoded at that depth.
+    pub fn process_on(&self, frame: &Frame, session: &mut SessionState) -> Frame {
         match frame.op {
             OpCode::Ping => Frame::new(OpCode::Pong, frame.request_id, Vec::new()),
-            OpCode::InferRequest => self.process_infer(frame),
+            OpCode::InferRequest => self.process_infer(frame, session.variant),
             OpCode::MetricsRequest => Frame::new(
                 OpCode::MetricsResponse,
                 frame.request_id,
                 encode_metrics(&self.metrics()),
             ),
+            OpCode::Hello => self.process_hello(frame, session),
             other => {
                 self.metrics.misc().record_error();
                 Frame::error(
@@ -269,7 +464,31 @@ impl InferenceServer {
         }
     }
 
-    fn process_infer(&self, frame: &Frame) -> Frame {
+    /// Negotiates the session's split from a client `Hello`.
+    ///
+    /// A current-version client announces its device class and is assigned
+    /// the variant the server's rules pick for it. An older-version client
+    /// (or an undecodable hello body) falls back to the default variant —
+    /// negotiation degrades, the connection keeps working.
+    fn process_hello(&self, frame: &Frame, session: &mut SessionState) -> Frame {
+        let variant = if frame.version < VERSION {
+            0
+        } else {
+            match decode_hello(&frame.body) {
+                Ok(hello) => self.variant_for_class(&hello.device_class),
+                Err(_) => 0,
+            }
+        };
+        session.variant = variant;
+        let assignment = self.assignment_for(variant);
+        Frame::new(
+            OpCode::HelloAck,
+            frame.request_id,
+            encode_split_assignment(&assignment),
+        )
+    }
+
+    fn process_infer(&self, frame: &Frame, variant: u8) -> Frame {
         let payload = match WirePayload::decode(&frame.body) {
             Ok(payload) => payload,
             Err(err) => {
@@ -277,7 +496,7 @@ impl InferenceServer {
                 return Frame::error(frame.request_id, &err.to_string());
             }
         };
-        match self.infer(payload) {
+        match self.infer_on(payload, variant) {
             Ok(outputs) => Frame::new(
                 OpCode::InferResponse,
                 frame.request_id,
@@ -310,6 +529,7 @@ impl Drop for InferenceServer {
 fn worker_loop(
     rx: &Mutex<Receiver<Request>>,
     heads: &[Box<dyn Layer>],
+    variants: &[SplitVariant],
     max_batch: usize,
     response_precision: Precision,
     shard: &WorkerShard,
@@ -336,7 +556,7 @@ fn worker_loop(
             }
             batch
         };
-        serve_batch(heads, batch, response_precision, shard, &mut plan);
+        serve_batch(heads, variants, batch, response_precision, shard, &mut plan);
     }
 }
 
@@ -344,6 +564,7 @@ fn worker_loop(
 /// and answers every request.
 fn serve_batch(
     heads: &[Box<dyn Layer>],
+    variants: &[SplitVariant],
     batch: Vec<Request>,
     response_precision: Precision,
     shard: &WorkerShard,
@@ -369,6 +590,7 @@ fn serve_batch(
             Ok(tensor) => decoded.push((request, tensor)),
             Err(err) => {
                 shard.record_error();
+                shard.record_split_request(request.variant as usize);
                 shard.record_request(
                     request.enqueued.elapsed().as_secs_f64(),
                     request.payload.wire_bytes(),
@@ -380,9 +602,10 @@ fn serve_batch(
     }
     shard.record_decode(obs::now_ns() - decode_start);
     drop(decode_span);
-    // Coalesce requests whose Z_b share the per-sample feature shape; a
-    // request with a different shape (or a rank-<2 tensor) forms its own
-    // group, preserving arrival order within each group.
+    // Coalesce requests whose Z_b share the split variant and per-sample
+    // feature shape — different variants run different tails, so they may
+    // never stack. A request with a different key (or a rank-<2 tensor)
+    // forms its own group, preserving arrival order within each group.
     let mut groups: Vec<ShapeGroup> = Vec::new();
     for (request, tensor) in decoded {
         let key: Vec<usize> = if tensor.rank() >= 2 {
@@ -390,24 +613,40 @@ fn serve_batch(
         } else {
             Vec::new()
         };
+        let variant = request.variant;
         let batchable = tensor.rank() >= 2;
         match groups
             .iter_mut()
-            .find(|(k, _)| batchable && !k.is_empty() && *k == key)
+            .find(|(v, k, _)| batchable && *v == variant && !k.is_empty() && *k == key)
         {
-            Some((_, members)) => members.push((request, tensor)),
-            None => groups.push((key, vec![(request, tensor)])),
+            Some((_, _, members)) => members.push((request, tensor)),
+            None => groups.push((variant, key, vec![(request, tensor)])),
         }
     }
-    for (_, members) in groups {
-        serve_group(heads, members, response_precision, shard, plan);
+    for (variant, _, members) in groups {
+        let tail = variants
+            .get(variant as usize)
+            .and_then(|v| v.tail.as_deref());
+        serve_group(
+            heads,
+            tail,
+            variant,
+            members,
+            response_precision,
+            shard,
+            plan,
+        );
     }
 }
 
 /// Runs one coalesced inference pass on the worker's planned runtime and
-/// distributes the outputs.
+/// distributes the outputs. When the group's variant carries a backbone
+/// tail, the stacked features run `tail → heads`; otherwise the heads take
+/// the decoded features directly.
 fn serve_group(
     heads: &[Box<dyn Layer>],
+    tail: Option<&dyn Layer>,
+    variant: u8,
     members: Vec<(Request, Tensor)>,
     response_precision: Precision,
     shard: &WorkerShard,
@@ -419,11 +658,12 @@ fn serve_group(
         .map(|(_, t)| t.dims().first().copied().unwrap_or(1))
         .collect();
     let total_rows: usize = rows.iter().sum();
-    // Head outputs live outside the fallible closure so their arena
-    // buffers are recycled on *every* exit path — a malformed request must
-    // not leak buffers out of the worker's arena and quietly re-introduce
-    // per-request allocations.
+    // Head and tail outputs live outside the fallible closure so their
+    // arena buffers are recycled on *every* exit path — a malformed request
+    // must not leak buffers out of the worker's arena and quietly
+    // re-introduce per-request allocations.
     let mut head_outputs: Vec<Tensor> = Vec::with_capacity(heads.len());
+    let mut tail_output: Option<Tensor> = None;
     let outcome = (|| -> std::result::Result<Vec<Vec<WirePayload>>, String> {
         let forward_span = obs::span_dims(
             "forward",
@@ -432,18 +672,25 @@ fn serve_group(
                 members.len() as u32,
                 heads.len() as u32,
                 total_rows as u32,
-                0,
+                variant as u32,
             ],
         );
         let forward_start = obs::now_ns();
         let tensors: Vec<&Tensor> = members.iter().map(|(_, t)| t).collect();
         let stacked;
-        let input: &Tensor = if tensors.len() == 1 {
+        let mut input: &Tensor = if tensors.len() == 1 {
             tensors[0]
         } else {
             stacked = Tensor::concat_batch(&tensors).map_err(|e| e.to_string())?;
             &stacked
         };
+        // A mid-backbone variant first completes the backbone on the
+        // server; the tail output then feeds every head, exactly as the
+        // monolithic model would.
+        if let Some(tail) = tail {
+            tail_output = Some(plan.run(tail, input).map_err(|e| e.to_string())?);
+            input = tail_output.as_ref().expect("tail output just stored");
+        }
         // One planned inference pass per head over the whole group: every
         // intermediate (and the head output itself) comes from this
         // worker's arena and goes back to it below, so the steady-state
@@ -487,10 +734,14 @@ fn serve_group(
     for output in head_outputs {
         plan.recycle(output);
     }
+    if let Some(output) = tail_output {
+        plan.recycle(output);
+    }
     match outcome {
         Ok(per_request) => {
             for ((request, _), outputs) in members.into_iter().zip(per_request) {
                 let bytes_out: usize = outputs.iter().map(WirePayload::wire_bytes).sum();
+                shard.record_split_request(request.variant as usize);
                 shard.record_request(
                     request.enqueued.elapsed().as_secs_f64(),
                     request.payload.wire_bytes(),
@@ -502,6 +753,7 @@ fn serve_group(
         Err(message) => {
             for (request, _) in members {
                 shard.record_error();
+                shard.record_split_request(request.variant as usize);
                 shard.record_request(
                     request.enqueued.elapsed().as_secs_f64(),
                     request.payload.wire_bytes(),
@@ -627,16 +879,30 @@ impl Drop for TcpServer {
 }
 
 /// Frame loop for one accepted connection.
+///
+/// Each connection carries its own [`SessionState`]: a `Hello` renegotiates
+/// the split the rest of the conversation is served at. Recoverable protocol
+/// problems — an unsupported version, a corrupt checksum, an unknown op
+/// code — are answered with a typed [`OpCode::Error`] frame and the loop
+/// keeps reading; only unframeable garbage (bad magic, oversized length) or
+/// a dead socket end the connection. The server itself keeps running either
+/// way.
 fn serve_connection(stream: std::net::TcpStream, server: Arc<InferenceServer>, max_body: usize) {
     let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
     let mut writer = std::io::BufWriter::new(stream);
-    // A clean disconnect (`Ok(None)`), protocol garbage or a dead socket
-    // all end the connection; the server itself keeps running.
-    while let Ok(Some(frame)) = Frame::read_from(&mut reader, max_body) {
-        let response = server.process(&frame);
+    let mut session = SessionState::default();
+    loop {
+        let response = match Frame::read_from_lenient(&mut reader, max_body) {
+            Ok(Some(Received::Frame(frame))) => server.process_on(&frame, &mut session),
+            Ok(Some(Received::Rejected { request_id, error })) => {
+                server.metrics.misc().record_error();
+                Frame::error(request_id, &error.to_string())
+            }
+            Ok(None) | Err(_) => break,
+        };
         if response.write_to(&mut writer).is_err() {
             break;
         }
@@ -661,7 +927,8 @@ fn try_submit(sender: &SyncSender<Request>, request: Request) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtlsplit_nn::{Linear, Sequential};
+    use crate::wire::{decode_split_assignment, encode_hello, HelloRequest};
+    use mtlsplit_nn::{Linear, Relu, Sequential};
     use mtlsplit_tensor::StdRng;
 
     fn head(features: usize, classes: usize, rng: &mut StdRng) -> Box<dyn Layer> {
@@ -839,6 +1106,131 @@ mod tests {
         let metrics = server.metrics();
         assert_eq!(metrics.workers, 3);
         assert!(metrics.summary().contains("on 3 workers"));
+    }
+
+    /// A backbone two splits of which the server can serve: variant 0 takes
+    /// the full backbone output, variant 1 takes the cut after layer 1 and
+    /// runs the tail server-side. Every half is built fresh from `seed`, so
+    /// all copies carry identical weights.
+    fn split_server(seed: u64) -> (Sequential, Sequential, Sequential, InferenceServer) {
+        let backbone = |rng: &mut StdRng| {
+            Sequential::new()
+                .push(Linear::new(8, 6, rng))
+                .push(Relu::new())
+                .push(Linear::new(6, 6, rng))
+        };
+        let mut rng = StdRng::seed_from(seed);
+        let full = backbone(&mut rng);
+        let reference_head = Sequential::new().push(Linear::new(6, 3, &mut rng));
+        let mut edge_rng = StdRng::seed_from(seed);
+        let mut edge = backbone(&mut edge_rng);
+        let _ = edge.split_off(1);
+        let mut server_rng = StdRng::seed_from(seed);
+        let tail = backbone(&mut server_rng).split_off(1);
+        let server = InferenceServer::start_with_splits(
+            vec![head(6, 3, &mut server_rng)],
+            vec![
+                SplitVariant::default_split(2, "gap"),
+                SplitVariant::with_tail(1, "stem", Box::new(tail)),
+            ],
+            vec![SplitRule {
+                device_class: "weak-edge".to_string(),
+                stage: 1,
+            }],
+            ServerConfig::default().with_workers(2),
+        );
+        (full, edge, reference_head, server)
+    }
+
+    #[test]
+    fn tail_variants_match_the_monolithic_forward_bitwise() {
+        let (full, edge, reference_head, server) = split_server(31);
+        let mut rng = StdRng::seed_from(99);
+        let codec = TensorCodec::default();
+        for _ in 0..4 {
+            let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
+            let expected = reference_head.infer(&full.infer(&x).unwrap()).unwrap();
+            // Variant 0: the client ran the whole backbone.
+            let deep = server
+                .infer_on(codec.encode(&full.infer(&x).unwrap()), 0)
+                .unwrap();
+            assert_eq!(codec.decode(&deep[0]).unwrap(), expected);
+            // Variant 1: the client stopped after the stem; the server's
+            // tail must complete the backbone to the same bits.
+            let z = edge.infer(&x).unwrap();
+            let shallow = server.infer_on(codec.encode(&z), 1).unwrap();
+            assert_eq!(codec.decode(&shallow[0]).unwrap(), expected);
+        }
+        let per_split = server.metrics().per_split;
+        assert_eq!(per_split.len(), 2);
+        assert_eq!(per_split[0].requests, 4);
+        assert_eq!(per_split[1].requests, 4);
+        assert_eq!(per_split[1].stage, 1);
+        assert_eq!(per_split[1].label, "stem");
+    }
+
+    #[test]
+    fn hello_negotiates_the_split_for_the_rest_of_the_session() {
+        let (full, edge, reference_head, server) = split_server(32);
+        let mut rng = StdRng::seed_from(77);
+        let codec = TensorCodec::default();
+        let mut session = SessionState::default();
+        // Announce a weak edge device: the rules assign the stage-1 variant.
+        let hello = encode_hello(&HelloRequest {
+            device_class: "weak-edge".to_string(),
+            latency_budget_ms: 30.0,
+        });
+        let ack = server.process_on(&Frame::new(OpCode::Hello, 1, hello), &mut session);
+        assert_eq!(ack.op, OpCode::HelloAck);
+        let assignment = decode_split_assignment(&ack.body).unwrap();
+        assert_eq!(assignment.stage, 1);
+        assert_eq!(assignment.label, "stem");
+        assert_eq!(session.variant(), 1);
+        // Infer requests on this session now ride the negotiated split.
+        let x = Tensor::randn(&[1, 8], 0.0, 1.0, &mut rng);
+        let z = edge.infer(&x).unwrap();
+        let frame = Frame::new(OpCode::InferRequest, 2, codec.encode(&z).encode());
+        let response = server.process_on(&frame, &mut session);
+        assert_eq!(response.op, OpCode::InferResponse);
+        let expected = reference_head.infer(&full.infer(&x).unwrap()).unwrap();
+        let outputs = crate::wire::decode_response(&response.body).unwrap();
+        assert_eq!(codec.decode(&outputs[0]).unwrap(), expected);
+        // An unknown device class falls back to the default variant.
+        let mut other = SessionState::default();
+        let hello = encode_hello(&HelloRequest {
+            device_class: "unheard-of".to_string(),
+            latency_budget_ms: 1.0,
+        });
+        let ack = server.process_on(&Frame::new(OpCode::Hello, 3, hello), &mut other);
+        assert_eq!(decode_split_assignment(&ack.body).unwrap().stage, 2);
+        assert_eq!(other.variant(), 0);
+    }
+
+    #[test]
+    fn a_v3_hello_falls_back_to_the_default_split() {
+        let (_, _, _, server) = split_server(33);
+        let mut session = SessionState {
+            variant: 1, // a previous negotiation moved the session off default
+        };
+        let hello = encode_hello(&HelloRequest {
+            device_class: "weak-edge".to_string(),
+            latency_budget_ms: 30.0,
+        });
+        let frame = Frame::with_version(OpCode::Hello, 4, hello, 3);
+        let ack = server.process_on(&frame, &mut session);
+        assert_eq!(ack.op, OpCode::HelloAck);
+        assert_eq!(session.variant(), 0);
+        let assignment = decode_split_assignment(&ack.body).unwrap();
+        assert_eq!(assignment.stage, 2, "v3 fallback must pick the default");
+    }
+
+    #[test]
+    fn out_of_range_variants_are_rejected_not_served() {
+        let mut rng = StdRng::seed_from(34);
+        let server = InferenceServer::start(vec![head(4, 2, &mut rng)], ServerConfig::default());
+        assert_eq!(server.variant_count(), 1);
+        let err = server.infer_on(payload(1, 4, &mut rng), 7).unwrap_err();
+        assert!(matches!(err, ServeError::Malformed { .. }));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use mtlsplit_split::ChannelModel;
 
 use crate::error::{Result, ServeError};
 use crate::frame::{Frame, DEFAULT_MAX_BODY_BYTES};
-use crate::server::InferenceServer;
+use crate::server::{InferenceServer, SessionState};
 
 /// A synchronous frame round-trip to a server.
 pub trait Transport: Send {
@@ -82,6 +82,7 @@ impl Transport for TcpTransport {
 /// picture, so results are bit-for-bit reproducible.
 pub struct LoopbackTransport {
     server: Arc<InferenceServer>,
+    session: SessionState,
     channel: Option<ChannelModel>,
     simulated_seconds: f64,
     bytes_up: u64,
@@ -102,6 +103,7 @@ impl LoopbackTransport {
     pub fn new(server: Arc<InferenceServer>) -> Self {
         Self {
             server,
+            session: SessionState::default(),
             channel: None,
             simulated_seconds: 0.0,
             bytes_up: 0,
@@ -113,11 +115,18 @@ impl LoopbackTransport {
     pub fn with_channel(server: Arc<InferenceServer>, channel: ChannelModel) -> Self {
         Self {
             server,
+            session: SessionState::default(),
             channel: Some(channel),
             simulated_seconds: 0.0,
             bytes_up: 0,
             bytes_down: 0,
         }
+    }
+
+    /// The negotiation state of this in-process "connection" — a loopback
+    /// transport is one session, exactly like one TCP connection.
+    pub fn session(&self) -> SessionState {
+        self.session
     }
 
     /// Total simulated transfer time accumulated so far, in seconds.
@@ -142,7 +151,7 @@ impl Transport for LoopbackTransport {
         // Round-trip the exact wire form so framing bugs cannot hide in the
         // in-process path.
         let decoded = Frame::decode(&frame.encode())?;
-        let response = self.server.process(&decoded);
+        let response = self.server.process_on(&decoded, &mut self.session);
         let down = response.encoded_len();
         self.bytes_up += up as u64;
         self.bytes_down += down as u64;

@@ -12,23 +12,31 @@
 //!         m     one WirePayload in binary form
 //! ```
 //!
-//! A metrics response body is one fixed-size [`ServeMetrics`] snapshot
+//! A metrics response body is one [`ServeMetrics`] snapshot
 //! ([`encode_metrics`] / [`decode_metrics`]): a one-byte codec version,
-//! the `u32` worker count, five `u64` counters, six `f64` gauges, then the
-//! four phase blocks (queue-wait, decode, forward, encode), each a `u64`
-//! count plus four `f64` quantile fields — all little-endian, decoded with
-//! an exact-length check.
+//! the `u32` worker count, five `u64` counters, six `f64` gauges, the
+//! four phase blocks (queue-wait, decode, forward, encode) — each a `u64`
+//! count plus four `f64` quantile fields — and, since codec version 2, the
+//! per-split request counts: a one-byte entry count, then per entry a
+//! one-byte stage index, a length-prefixed label and a `u64` counter. All
+//! little-endian, decoded with an exact-consume check.
+//!
+//! Protocol v4 negotiation bodies live here too: a `Hello` body is a
+//! [`HelloRequest`] ([`encode_hello`] / [`decode_hello`]), a `HelloAck`
+//! body is a [`SplitAssignment`] ([`encode_split_assignment`] /
+//! [`decode_split_assignment`]).
 
 use mtlsplit_split::WirePayload;
 
 use crate::error::{Result, ServeError};
-use crate::metrics::{PhaseStats, ServeMetrics};
+use crate::metrics::{PhaseStats, ServeMetrics, SplitRequests};
 
-/// Version byte of the metrics snapshot codec.
-const METRICS_CODEC_VERSION: u8 = 1;
+/// Version byte of the metrics snapshot codec. Version 2 appended the
+/// variable-length per-split request counts to the fixed v1 layout.
+const METRICS_CODEC_VERSION: u8 = 2;
 
-/// Exact encoded size of one metrics snapshot.
-const METRICS_BYTES: usize = 1 + 4 + 5 * 8 + 6 * 8 + 4 * (8 + 4 * 8);
+/// Exact encoded size of the fixed (v1) part of one metrics snapshot.
+const METRICS_FIXED_BYTES: usize = 1 + 4 + 5 * 8 + 6 * 8 + 4 * (8 + 4 * 8);
 
 /// Encodes the per-task output payloads of one response.
 ///
@@ -92,8 +100,24 @@ pub fn decode_response(body: &[u8]) -> Result<Vec<WirePayload>> {
 }
 
 /// Encodes one [`ServeMetrics`] snapshot as a metrics response body.
+///
+/// Both the per-split entry count and each label length travel as one byte;
+/// the server's variant table is bounded far below 255 entries and labels
+/// are short stage names.
 pub fn encode_metrics(metrics: &ServeMetrics) -> Vec<u8> {
-    let mut body = Vec::with_capacity(METRICS_BYTES);
+    debug_assert!(
+        metrics.per_split.len() <= u8::MAX as usize,
+        "per-split entry count must fit in one byte"
+    );
+    let mut body = Vec::with_capacity(
+        METRICS_FIXED_BYTES
+            + 1
+            + metrics
+                .per_split
+                .iter()
+                .map(|s| 1 + 1 + s.label.len() + 8)
+                .sum::<usize>(),
+    );
     body.push(METRICS_CODEC_VERSION);
     body.extend_from_slice(&(metrics.workers as u32).to_le_bytes());
     for counter in [
@@ -126,49 +150,86 @@ pub fn encode_metrics(metrics: &ServeMetrics) -> Vec<u8> {
             body.extend_from_slice(&value.to_le_bytes());
         }
     }
-    debug_assert_eq!(body.len(), METRICS_BYTES);
+    body.push(metrics.per_split.len() as u8);
+    for split in &metrics.per_split {
+        debug_assert!(
+            split.label.len() <= u8::MAX as usize,
+            "split label must fit in one length byte"
+        );
+        body.push(split.stage);
+        body.push(split.label.len() as u8);
+        body.extend_from_slice(split.label.as_bytes());
+        body.extend_from_slice(&split.requests.to_le_bytes());
+    }
     body
 }
 
-/// Sequential little-endian reader over an already length-checked body.
+/// Sequential bounds-checked little-endian reader over a frame body.
 struct Cursor<'a> {
     body: &'a [u8],
     offset: usize,
 }
 
-impl Cursor<'_> {
-    fn u32(&mut self) -> u32 {
-        let value = u32::from_le_bytes(
-            self.body[self.offset..self.offset + 4]
-                .try_into()
-                .expect("4"),
-        );
-        self.offset += 4;
-        value
-    }
-
-    fn u64(&mut self) -> u64 {
-        let value = u64::from_le_bytes(
-            self.body[self.offset..self.offset + 8]
-                .try_into()
-                .expect("8"),
-        );
-        self.offset += 8;
-        value
-    }
-
-    fn f64(&mut self) -> f64 {
-        f64::from_bits(self.u64())
-    }
-
-    fn phase(&mut self) -> PhaseStats {
-        PhaseStats {
-            count: self.u64(),
-            mean_s: self.f64(),
-            p50_s: self.f64(),
-            p95_s: self.f64(),
-            p99_s: self.f64(),
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self.offset.checked_add(len).ok_or(ServeError::Truncated {
+            needed: usize::MAX,
+            got: self.body.len(),
+        })?;
+        if self.body.len() < end {
+            return Err(ServeError::Truncated {
+                needed: end,
+                got: self.body.len(),
+            });
         }
+        let slice = &self.body[self.offset..end];
+        self.offset = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String> {
+        let len = self.u8()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ServeError::Malformed {
+            what: format!("{what} is not UTF-8"),
+        })
+    }
+
+    fn phase(&mut self) -> Result<PhaseStats> {
+        Ok(PhaseStats {
+            count: self.u64()?,
+            mean_s: self.f64()?,
+            p50_s: self.f64()?,
+            p95_s: self.f64()?,
+            p99_s: self.f64()?,
+        })
+    }
+
+    /// Rejects trailing bytes after the last expected field.
+    fn finish(&self) -> Result<()> {
+        if self.offset != self.body.len() {
+            return Err(ServeError::Truncated {
+                needed: self.offset,
+                got: self.body.len(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -179,11 +240,8 @@ impl Cursor<'_> {
 /// Returns [`ServeError::Truncated`] on any length mismatch and
 /// [`ServeError::UnsupportedVersion`] on an unknown codec version byte.
 pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
-    if body.len() != METRICS_BYTES {
-        return Err(ServeError::Truncated {
-            needed: METRICS_BYTES,
-            got: body.len(),
-        });
+    if body.is_empty() {
+        return Err(ServeError::Truncated { needed: 1, got: 0 });
     }
     if body[0] != METRICS_CODEC_VERSION {
         return Err(ServeError::UnsupportedVersion { found: body[0] });
@@ -192,23 +250,32 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
         body,
         offset: 1usize,
     };
-    let workers = cursor.u32() as usize;
-    let requests = cursor.u64();
-    let errors = cursor.u64();
-    let batches = cursor.u64();
-    let bytes_in = cursor.u64();
-    let bytes_out = cursor.u64();
-    let wall_seconds = cursor.f64();
-    let requests_per_second = cursor.f64();
-    let mean_batch_size = cursor.f64();
-    let p50_latency_s = cursor.f64();
-    let p95_latency_s = cursor.f64();
-    let p99_latency_s = cursor.f64();
-    let queue_wait = cursor.phase();
-    let decode = cursor.phase();
-    let forward = cursor.phase();
-    let encode = cursor.phase();
-    debug_assert_eq!(cursor.offset, METRICS_BYTES);
+    let workers = cursor.u32()? as usize;
+    let requests = cursor.u64()?;
+    let errors = cursor.u64()?;
+    let batches = cursor.u64()?;
+    let bytes_in = cursor.u64()?;
+    let bytes_out = cursor.u64()?;
+    let wall_seconds = cursor.f64()?;
+    let requests_per_second = cursor.f64()?;
+    let mean_batch_size = cursor.f64()?;
+    let p50_latency_s = cursor.f64()?;
+    let p95_latency_s = cursor.f64()?;
+    let p99_latency_s = cursor.f64()?;
+    let queue_wait = cursor.phase()?;
+    let decode = cursor.phase()?;
+    let forward = cursor.phase()?;
+    let encode = cursor.phase()?;
+    let split_count = cursor.u8()? as usize;
+    let mut per_split = Vec::with_capacity(split_count);
+    for _ in 0..split_count {
+        per_split.push(SplitRequests {
+            stage: cursor.u8()?,
+            label: cursor.string("split label")?,
+            requests: cursor.u64()?,
+        });
+    }
+    cursor.finish()?;
     Ok(ServeMetrics {
         workers,
         requests,
@@ -226,7 +293,87 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
         decode,
         forward,
         encode,
+        per_split,
     })
+}
+
+/// A client's split-negotiation opener: who it is and what it needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloRequest {
+    /// Named device class from the deployment profile, e.g. `"weak-edge"`.
+    pub device_class: String,
+    /// The client's end-to-end latency budget in milliseconds (advisory;
+    /// `0.0` means unconstrained).
+    pub latency_budget_ms: f64,
+}
+
+/// The server's answer to a [`HelloRequest`]: where the client should cut
+/// its backbone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitAssignment {
+    /// Backbone stage index to split at (indexes `Backbone::stages()`).
+    pub stage: u8,
+    /// Stage label, for logs and sanity checks.
+    pub label: String,
+}
+
+/// Encodes a [`HelloRequest`] as a `Hello` frame body: a length-prefixed
+/// device-class string followed by the `f64` latency budget.
+pub fn encode_hello(hello: &HelloRequest) -> Vec<u8> {
+    debug_assert!(
+        hello.device_class.len() <= u8::MAX as usize,
+        "device class must fit in one length byte"
+    );
+    let mut body = Vec::with_capacity(1 + hello.device_class.len() + 8);
+    body.push(hello.device_class.len() as u8);
+    body.extend_from_slice(hello.device_class.as_bytes());
+    body.extend_from_slice(&hello.latency_budget_ms.to_le_bytes());
+    body
+}
+
+/// Decodes a `Hello` frame body.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Truncated`] on any length mismatch and
+/// [`ServeError::Malformed`] if the device class is not UTF-8.
+pub fn decode_hello(body: &[u8]) -> Result<HelloRequest> {
+    let mut cursor = Cursor { body, offset: 0 };
+    let device_class = cursor.string("device class")?;
+    let latency_budget_ms = cursor.f64()?;
+    cursor.finish()?;
+    Ok(HelloRequest {
+        device_class,
+        latency_budget_ms,
+    })
+}
+
+/// Encodes a [`SplitAssignment`] as a `HelloAck` frame body: the stage byte
+/// followed by a length-prefixed label.
+pub fn encode_split_assignment(assignment: &SplitAssignment) -> Vec<u8> {
+    debug_assert!(
+        assignment.label.len() <= u8::MAX as usize,
+        "stage label must fit in one length byte"
+    );
+    let mut body = Vec::with_capacity(2 + assignment.label.len());
+    body.push(assignment.stage);
+    body.push(assignment.label.len() as u8);
+    body.extend_from_slice(assignment.label.as_bytes());
+    body
+}
+
+/// Decodes a `HelloAck` frame body.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Truncated`] on any length mismatch and
+/// [`ServeError::Malformed`] if the label is not UTF-8.
+pub fn decode_split_assignment(body: &[u8]) -> Result<SplitAssignment> {
+    let mut cursor = Cursor { body, offset: 0 };
+    let stage = cursor.u8()?;
+    let label = cursor.string("stage label")?;
+    cursor.finish()?;
+    Ok(SplitAssignment { stage, label })
 }
 
 #[cfg(test)]
@@ -295,11 +442,58 @@ mod tests {
                 p95_s: 5e-5,
                 p99_s: 8e-5,
             },
+            per_split: vec![
+                SplitRequests {
+                    stage: 4,
+                    label: "gap".to_string(),
+                    requests: 80,
+                },
+                SplitRequests {
+                    stage: 1,
+                    label: "sep1".to_string(),
+                    requests: 21,
+                },
+            ],
         };
         let body = encode_metrics(&metrics);
-        assert_eq!(body.len(), METRICS_BYTES);
         let decoded = decode_metrics(&body).unwrap();
         assert_eq!(decoded, metrics);
+        // A snapshot without splits round-trips too (empty tail).
+        let plain = ServeMetrics::default();
+        assert_eq!(decode_metrics(&encode_metrics(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn hello_and_assignment_bodies_round_trip() {
+        let hello = HelloRequest {
+            device_class: "weak-edge".to_string(),
+            latency_budget_ms: 12.5,
+        };
+        assert_eq!(decode_hello(&encode_hello(&hello)).unwrap(), hello);
+        let assignment = SplitAssignment {
+            stage: 2,
+            label: "sep2".to_string(),
+        };
+        assert_eq!(
+            decode_split_assignment(&encode_split_assignment(&assignment)).unwrap(),
+            assignment
+        );
+        // Truncations and bad UTF-8 are typed errors, not panics.
+        let body = encode_hello(&hello);
+        assert!(matches!(
+            decode_hello(&body[..3]),
+            Err(ServeError::Truncated { .. })
+        ));
+        let mut bad_utf8 = body;
+        bad_utf8[1] = 0xFF;
+        assert!(matches!(
+            decode_hello(&bad_utf8),
+            Err(ServeError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_split_assignment(&[]),
+            Err(ServeError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -199,6 +199,67 @@ impl SplitPipeline {
         let outputs = self.remote_forward_with(heads, &payload, plan)?;
         Ok((outputs, timing))
     }
+
+    /// Runs the pipeline split at an arbitrary depth: `edge` is the backbone
+    /// prefix that runs on the device, `tail` the remaining backbone suffix
+    /// the server must finish before its heads (`None` when the cut is at
+    /// the classic pre-head boundary). The wire payload is the activation at
+    /// the cut, whatever its rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and payload errors.
+    pub fn run_split(
+        &self,
+        edge: &dyn Layer,
+        tail: Option<&dyn Layer>,
+        heads: &[&dyn Layer],
+        input: &Tensor,
+    ) -> Result<(Vec<Tensor>, PipelineTiming)> {
+        let mut plan = InferPlan::new();
+        self.run_split_with(edge, tail, heads, input, &mut plan)
+    }
+
+    /// [`SplitPipeline::run_split`] on a caller-owned [`InferPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and payload errors.
+    pub fn run_split_with(
+        &self,
+        edge: &dyn Layer,
+        tail: Option<&dyn Layer>,
+        heads: &[&dyn Layer],
+        input: &Tensor,
+        plan: &mut InferPlan,
+    ) -> Result<(Vec<Tensor>, PipelineTiming)> {
+        let (payload, boundary) = self.edge_forward_with(edge, input, plan)?;
+        plan.recycle(boundary);
+        let zb_wire_bytes = payload.wire_bytes();
+        let input_bytes = input.len() * std::mem::size_of::<f32>();
+        let timing = PipelineTiming {
+            batch: input.dims().first().copied().unwrap_or(0),
+            input_bytes,
+            zb_wire_bytes,
+            transfer_seconds: self.channel.transfer_time_bytes(zb_wire_bytes),
+            roc_transfer_seconds: self.channel.transfer_time_bytes(input_bytes),
+        };
+        let received = self.codec.decode(&payload)?;
+        let features = match tail {
+            Some(tail) => {
+                let features = plan.run(tail, &received)?;
+                plan.recycle(received);
+                features
+            }
+            None => received,
+        };
+        let outputs: Vec<Tensor> = heads
+            .iter()
+            .map(|head| plan.run(*head, &features).map_err(Into::into))
+            .collect::<Result<_>>()?;
+        plan.recycle(features);
+        Ok((outputs, timing))
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +346,36 @@ mod tests {
         assert_eq!(features.dims(), &[1, 16]);
         let outputs = pipeline.remote_forward(&[&head], &payload).unwrap();
         assert_eq!(outputs[0].dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn run_split_with_a_tail_matches_the_classic_cut_bitwise() {
+        // Cut the toy backbone one layer early: the Relu moves to the server
+        // tail. With a lossless codec the outputs must equal the classic
+        // pre-head cut bit for bit.
+        let mut rng = StdRng::seed_from(7);
+        let mut edge = toy_backbone(&mut rng);
+        let tail = edge.split_off(2);
+        let head = toy_head(3, &mut StdRng::seed_from(8));
+        let x = Tensor::randn(&[3, 3, 8, 8], 0.0, 1.0, &mut rng);
+
+        let mut full = toy_backbone(&mut StdRng::seed_from(7));
+        let _ = full.split_off(full.len()); // no-op cut: same seed, same net
+        let pipeline = SplitPipeline::new(ChannelModel::wifi());
+        let (expected, t_classic) = pipeline.run(&full, &[&head], &x).unwrap();
+
+        let (outputs, t_split) = pipeline
+            .run_split(&edge, Some(&tail as &dyn Layer), &[&head], &x)
+            .unwrap();
+        assert_eq!(outputs, expected);
+        // The early cut transmits the pre-Relu activation: same element
+        // count here, so wire bytes match; timing fields stay populated.
+        assert_eq!(t_split.batch, t_classic.batch);
+        assert!(t_split.zb_wire_bytes > 0);
+
+        // No tail = the classic cut, through the run_split entry point.
+        let (outputs, _) = pipeline.run_split(&full, None, &[&head], &x).unwrap();
+        assert_eq!(outputs, expected);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Split-point autotuning: profile (or analytically model) a backbone,
+//! sweep every candidate split under several channel models, reduce to the
+//! Pareto front, and plan one split per device class — the table a serving
+//! deployment feeds to `InferenceServer::start_with_splits`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p mtlsplit --example autotune_split
+//! ```
+//!
+//! Set `MTLSPLIT_BENCH_QUICK=1` (as CI does) to replace the measured cost
+//! model with the deterministic MAC-scaled one, keeping the run hermetic.
+//! In either mode the example machine-checks that every front is non-empty,
+//! keeps at least three distinct stages, and is dominance-consistent.
+
+use std::error::Error;
+
+use mtlsplit_autotune::{Autotuner, CostModel, DeviceClassSpec};
+use mtlsplit_models::{Backbone, BackboneConfig, BackboneKind};
+use mtlsplit_nn::{Layer, Linear, Sequential};
+use mtlsplit_split::ChannelModel;
+use mtlsplit_tensor::{StdRng, Tensor};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let quick = std::env::var("MTLSPLIT_BENCH_QUICK").is_ok();
+    let mut rng = StdRng::seed_from(7);
+    let backbone = Backbone::new(
+        BackboneConfig::new(BackboneKind::MobileStyle, 3, 32),
+        &mut rng,
+    )?;
+
+    // Two task heads of the usual shallow MLP shape, only used when the
+    // cost model is measured rather than analytical.
+    let heads: Vec<Box<dyn Layer>> = (0..2)
+        .map(|_| {
+            Box::new(
+                Sequential::new()
+                    .push(Linear::new(backbone.feature_dim(), 16, &mut rng))
+                    .push(Linear::new(16, 4, &mut rng)),
+            ) as Box<dyn Layer>
+        })
+        .collect();
+
+    let model = if quick {
+        println!("cost model: analytical (MAC-scaled, MTLSPLIT_BENCH_QUICK set)");
+        CostModel::from_macs(&backbone, 0.5, 25_000.0)
+    } else {
+        println!("cost model: measured on this machine (8 traced passes)");
+        CostModel::measure(&backbone, &heads, 4, 8, &mut rng)?
+    };
+    let tuner = Autotuner::new(model);
+
+    let channels = [
+        ("gigabit ethernet", ChannelModel::gigabit()),
+        ("office wifi", ChannelModel::wifi()),
+        ("lte uplink", ChannelModel::lte_uplink()),
+    ];
+    let classes = [DeviceClassSpec::strong_edge(), DeviceClassSpec::weak_edge()];
+
+    for (name, channel) in &channels {
+        let front = tuner.pareto_front(channel);
+        println!(
+            "\n##### channel: {name} — {} Pareto point(s) #####",
+            front.len()
+        );
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "stage", "precision", "edge ms", "wire B", "transfer ms", "total ms"
+        );
+        for point in &front {
+            println!(
+                "{:<8} {:>10} {:>12.3} {:>12} {:>12.3} {:>12.3}",
+                point.label,
+                format!("{:?}", point.precision),
+                point.edge_compute_s * 1e3,
+                point.wire_bytes,
+                point.transfer_s * 1e3,
+                point.total_latency_s() * 1e3,
+            );
+        }
+
+        // Machine checks: the properties CI relies on.
+        assert!(!front.is_empty(), "empty Pareto front under {name}");
+        let mut stages: Vec<usize> = front.iter().map(|p| p.stage).collect();
+        stages.dedup();
+        assert!(
+            stages.len() >= 3,
+            "front collapsed to {} stage(s) under {name}",
+            stages.len()
+        );
+        for a in &front {
+            for b in &front {
+                assert!(!a.dominates(b), "dominated point survived under {name}");
+            }
+        }
+
+        let plan = tuner.plan(channel, &classes);
+        print!("{}", plan.summary());
+    }
+
+    // Exercise the measured path's tensors even in quick mode so the
+    // example touches real inference either way.
+    let probe = Tensor::randn(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let features = backbone.infer(&probe)?;
+    println!(
+        "\nprobe forward OK: Z_b is {:?} ({} B at f32)",
+        features.dims(),
+        features.len() * 4
+    );
+    println!("all Pareto fronts non-empty, >=3 stages, dominance-consistent");
+    Ok(())
+}

@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use mtlsplit_autotune as autotune;
 pub use mtlsplit_core as core;
 pub use mtlsplit_data as data;
 pub use mtlsplit_models as models;
