@@ -18,7 +18,9 @@ use std::path::Path;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mtlsplit_tensor::{conv2d, max_pool2d, sgemm, Conv2dSpec, Parallelism, StdRng, Tensor};
+use mtlsplit_tensor::{
+    active_isa, conv2d, max_pool2d, sgemm, Conv2dSpec, Isa, Parallelism, StdRng, Tensor,
+};
 
 /// `1` when `MTLSPLIT_BENCH_QUICK` asks for the reduced CI grid.
 fn quick_mode() -> bool {
@@ -126,8 +128,12 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 struct MatmulRow {
     n: usize,
     seed_naive_ms: f64,
-    /// Blocked GEMM time per thread count, `(threads, ms)`.
+    /// Blocked GEMM time per thread count on the default dispatch path,
+    /// `(threads, ms)`.
     gemm_ms: Vec<(usize, f64)>,
+    /// Single-threaded blocked GEMM time per detected dispatch path,
+    /// `(isa name, ms)`.
+    isa_ms: Vec<(&'static str, f64)>,
 }
 
 struct ConvRow {
@@ -165,10 +171,35 @@ fn measure_matmul_grid(reps: usize, sizes: &[usize]) -> Vec<MatmulRow> {
             });
             gemm_ms.push((threads, ms));
         }
+        // Pin each detected dispatch path in turn so the JSON tracks every
+        // micro-kernel the machine can run, not just the best one.
+        let mut isa_ms = Vec::new();
+        for isa in Isa::available() {
+            let ms = best_ms(reps, || {
+                isa.with(|| {
+                    sgemm(
+                        false,
+                        false,
+                        n,
+                        n,
+                        n,
+                        1.0,
+                        a.as_slice(),
+                        b.as_slice(),
+                        0.0,
+                        &mut c,
+                        Parallelism::single(),
+                    )
+                })
+                .expect("detected ISA is supported");
+            });
+            isa_ms.push((isa.name(), ms));
+        }
         rows.push(MatmulRow {
             n,
             seed_naive_ms,
             gemm_ms,
+            isa_ms,
         });
     }
     rows
@@ -224,6 +255,7 @@ fn dump_json(matmul: &[MatmulRow], conv: &[ConvRow], quick: bool) {
     json.push_str(&format!(
         "  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n"
     ));
+    json.push_str(&format!("  \"isa\": \"{}\",\n", active_isa().name()));
     json.push_str("  \"matmul\": [\n");
     for (index, row) in matmul.iter().enumerate() {
         let single_thread = row.gemm_ms[0].1;
@@ -233,6 +265,9 @@ fn dump_json(matmul: &[MatmulRow], conv: &[ConvRow], quick: bool) {
         ));
         for &(threads, ms) in &row.gemm_ms {
             json.push_str(&format!("\"gemm_{threads}t_ms\": {ms:.4}, "));
+        }
+        for &(isa, ms) in &row.isa_ms {
+            json.push_str(&format!("\"gemm_{isa}_1t_ms\": {ms:.4}, "));
         }
         json.push_str(&format!(
             "\"speedup_1t\": {:.2}}}{}\n",
@@ -263,16 +298,17 @@ fn dump_json(matmul: &[MatmulRow], conv: &[ConvRow], quick: bool) {
 fn bench_kernel_grid(_c: &mut Criterion) {
     let quick = quick_mode();
     let reps = if quick { 3 } else { 9 };
-    // The grid crosses the FLOP threshold in `parallel.rs`: sizes up to
-    // n = 128 are clamped to a single worker (2t/4t identical to 1t — no
-    // scoped-thread spawn cost), threads phase in from n = 256 and the
-    // crossover where they can actually pay off shows at n >= 384 on
-    // multi-core hosts.
+    // The grid crosses the per-ISA FLOP floors: sizes up to n = 256 are
+    // clamped to a single worker on every dispatch path (2t/4t identical
+    // to 1t — no scoped-thread spawn cost), threads phase in from n = 384
+    // on the scalar path and n = 512 on the SIMD paths, where they can
+    // actually pay off on multi-core hosts.
     let sizes: &[usize] = if quick {
         &[64, 256]
     } else {
         &[64, 128, 256, 384, 512]
     };
+    println!("detected ISA dispatch path: {}", active_isa().name());
     let matmul = measure_matmul_grid(reps, sizes);
     for row in &matmul {
         let single = row.gemm_ms[0].1;
@@ -283,6 +319,9 @@ fn bench_kernel_grid(_c: &mut Criterion) {
             single,
             row.seed_naive_ms / single
         );
+        for &(isa, ms) in &row.isa_ms {
+            println!("  isa {isa}: {ms:.3} ms (1 thread)");
+        }
     }
     let conv = measure_conv_grid(reps);
     for row in &conv {

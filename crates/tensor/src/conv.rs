@@ -292,13 +292,33 @@ fn im2col_group(
                         continue;
                     }
                     let src_row = &src[in_base + in_y as usize * g.width..][..g.width];
-                    for (ox, slot) in dst_row.iter_mut().enumerate() {
-                        let in_x = (ox * spec.stride + kx) as isize - pad;
-                        *slot = if in_x >= 0 && in_x < g.width as isize {
-                            src_row[in_x as usize]
-                        } else {
-                            0.0
-                        };
+                    // `in_x = ox * stride + kx - pad` is monotonic in `ox`,
+                    // so the in-image positions form one contiguous run
+                    // `[ox_lo, ox_hi)`; everything outside it is padding.
+                    // Splitting the row that way replaces the per-element
+                    // bounds check with two fills and (for stride 1) a plain
+                    // `copy_from_slice`, which stays fast without
+                    // target-specific codegen.
+                    let ox_lo = usize::try_from(-(kx as isize - pad))
+                        .map_or(0, |gap| gap.div_ceil(spec.stride))
+                        .min(g.out_w);
+                    let ox_hi = usize::try_from(g.width as isize - 1 - (kx as isize - pad))
+                        .map_or(0, |last| last / spec.stride + 1)
+                        .min(g.out_w)
+                        .max(ox_lo);
+                    dst_row[..ox_lo].fill(0.0);
+                    dst_row[ox_hi..].fill(0.0);
+                    if ox_lo == ox_hi {
+                        continue;
+                    }
+                    let first = ox_lo * spec.stride + kx - pad as usize;
+                    if spec.stride == 1 {
+                        dst_row[ox_lo..ox_hi]
+                            .copy_from_slice(&src_row[first..first + (ox_hi - ox_lo)]);
+                    } else {
+                        for (slot, ox) in dst_row[ox_lo..ox_hi].iter_mut().zip(ox_lo..) {
+                            *slot = src_row[ox * spec.stride + kx - pad as usize];
+                        }
                     }
                 }
             }
@@ -343,11 +363,16 @@ fn col2im_group(cols: &[f32], unit: &mut [f32], geometry: &ConvGeometry, spec: &
 /// budget remains is handed to each unit's GEMM row partitioning (so two
 /// units on a 16-core host run two 8-thread GEMMs, not two single-threaded
 /// ones). `macs` is the convolution's total multiply-accumulate count — the
-/// shared FLOP threshold in `parallel.rs` keeps tiny problems on the calling
-/// thread, so small convolutions never pay scoped-thread spawn cost. The
-/// split never affects results: both levels partition output elements only.
+/// per-ISA FLOP floor of the active dispatch table keeps tiny problems on
+/// the calling thread, so small convolutions never pay scoped-thread spawn
+/// cost. The split never affects results: both levels partition output
+/// elements only.
 fn split_threads(units: usize, macs: usize) -> (usize, Parallelism) {
-    let threads = threads_for_macs(Parallelism::current().resolve(), macs);
+    let threads = threads_for_macs(
+        Parallelism::current().resolve(),
+        macs,
+        crate::simd::kernels().min_macs_per_thread,
+    );
     if threads <= 1 {
         (1, Parallelism::single())
     } else {

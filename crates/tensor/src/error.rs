@@ -58,6 +58,20 @@ pub enum TensorError {
         /// Human-readable name of the operation.
         op: &'static str,
     },
+    /// An ISA override string (the `MTLSPLIT_FORCE_ISA` environment
+    /// variable, or a string fed to [`crate::Isa`]'s `FromStr`) named no
+    /// known dispatch path.
+    UnknownIsa {
+        /// The rejected override value.
+        value: String,
+    },
+    /// An ISA override requested a dispatch path the running CPU cannot
+    /// execute (for example `MTLSPLIT_FORCE_ISA=avx512` on an AVX2-only
+    /// machine).
+    UnsupportedIsa {
+        /// Name of the requested instruction-set path.
+        isa: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -84,6 +98,13 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidWindow { reason } => write!(f, "invalid window: {reason}"),
             TensorError::EmptyTensor { op } => write!(f, "{op}: tensor has no elements"),
+            TensorError::UnknownIsa { value } => write!(
+                f,
+                "unknown ISA override {value:?}: expected one of scalar, avx2, avx512"
+            ),
+            TensorError::UnsupportedIsa { isa } => {
+                write!(f, "ISA path {isa} is not supported by this CPU")
+            }
         }
     }
 }
@@ -117,6 +138,22 @@ mod tests {
         assert!(text.contains("matmul"));
         assert!(text.contains("[2, 3]"));
         assert!(text.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn display_isa_errors_name_the_offender() {
+        let err = TensorError::UnknownIsa {
+            value: "sse9".to_string(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "unknown ISA override \"sse9\": expected one of scalar, avx2, avx512"
+        );
+        let err = TensorError::UnsupportedIsa { isa: "avx512" };
+        assert_eq!(
+            err.to_string(),
+            "ISA path avx512 is not supported by this CPU"
+        );
     }
 
     #[test]

@@ -50,46 +50,83 @@
 //! the full contract.
 
 use crate::parallel::{partition_rows, threads_for_macs, Parallelism};
+use crate::simd::Kernels;
 use mtlsplit_obs as obs;
 
-/// Rows of one register tile (micro-panel height of packed `A`).
+/// Rows of the scalar path's register tile (micro-panel height of packed
+/// `A`). The SIMD dispatch paths use their own tile heights — see
+/// [`crate::Isa`].
 pub const MR: usize = 4;
-/// Columns of one register tile (micro-panel width of packed `B`).
+/// Columns of the scalar path's register tile (micro-panel width of packed
+/// `B`).
 ///
-/// The `4 x 24` tile is tuned for 256-bit SIMD: twelve independent 8-wide
-/// accumulator chains (enough to cover FMA latency at two issues per
-/// cycle) fed by three packed-`B` loads and four packed-`A` broadcasts per
-/// step, which keeps the load ports well under the FMA issue rate while
-/// filling the 16-register file.
+/// The `4 x 24` tile is tuned for 256-bit SIMD autovectorisation: twelve
+/// independent 8-wide accumulator chains (enough to cover FMA latency at
+/// two issues per cycle) fed by three packed-`B` loads and four packed-`A`
+/// broadcasts per step, which keeps the load ports well under the FMA
+/// issue rate while filling the 16-register file.
 pub const NR: usize = 24;
-/// Row-block size: `MC x KC` panels of `A` are packed to stay cache-hot.
-const MC: usize = 128;
-/// Depth-block size: the shared `K` dimension is consumed `KC` at a time.
+/// Row-block size of the scalar path: `MC x KC` panels of `A` are packed to
+/// stay cache-hot. The SIMD paths carry their own `mr`-aligned row-block
+/// size in the dispatch table.
+pub(crate) const MC: usize = 128;
+/// Depth-block size: the shared `K` dimension is consumed `KC` at a time
+/// (shared by every dispatch path).
 const KC: usize = 256;
-/// Column-block size: `KC x NC` panels of `B` are packed per depth block.
+/// Column-block size: `KC x NC` panels of `B` are packed per depth block
+/// (shared by every dispatch path).
 const NC: usize = 512;
 
-/// Whether this build accumulates with hardware fused multiply-add.
+/// Whether this *build* accumulates with hardware fused multiply-add
+/// unconditionally (x86-64 compiled with the `fma` target feature, or any
+/// aarch64 target).
 ///
-/// Resolved at compile time so the same operation is used everywhere in the
-/// crate (micro-kernel, oracle, and the im2col convolution driver), keeping
-/// results bit-identical between code paths within one build.
+/// When this is `false` the kernels still use the hardware FMA unit if
+/// runtime detection finds one — see [`fused_mul_add`] and
+/// [`crate::fma_available`] — so a portable build and a
+/// `target-cpu=native` build produce identical bits on the same machine.
 pub const FUSED_MULTIPLY_ADD: bool = cfg!(any(target_feature = "fma", target_arch = "aarch64"));
 
 /// The single accumulation step `acc + a * b` used by every kernel in this
 /// crate.
 ///
-/// On targets with hardware FMA (x86-64 with the `fma` feature, all
-/// aarch64) this is `f32::mul_add` — one instruction, one rounding, and the
-/// form LLVM vectorizes to `vfmadd`. On targets without it, `mul_add`
-/// would fall back to a scalar libm routine, so the plain two-rounding
-/// `acc + a * b` is used instead. The choice is a compile-time constant:
-/// within any one build every accumulation chain uses exactly one of the
-/// two forms, so determinism across thread counts and across code paths is
-/// unaffected.
+/// The operation is a correctly-rounded fused multiply-add exactly when the
+/// machine has one, regardless of how the binary was compiled:
+///
+/// * builds targeting hardware FMA ([`FUSED_MULTIPLY_ADD`]) use
+///   `f32::mul_add` — one instruction, one rounding, the form LLVM
+///   vectorises to `vfmadd`;
+/// * portable builds on FMA hardware route through a one-off
+///   `#[target_feature(enable = "fma")]` helper — the same instruction,
+///   the same single rounding, so the same bits;
+/// * machines without an FMA unit use the plain two-rounding
+///   `acc + a * b`.
+///
+/// Within one machine every accumulation chain therefore uses exactly one
+/// of the two semantics, which is what keeps all dispatch paths (scalar,
+/// AVX2, AVX-512), the test oracle, and every vendored baseline bitwise
+/// identical to each other for every thread count.
 #[inline(always)]
 pub fn fused_mul_add(a: f32, b: f32, acc: f32) -> f32 {
     if FUSED_MULTIPLY_ADD {
+        a.mul_add(b, acc)
+    } else if crate::simd::fma_available() {
+        crate::simd::fma_single(a, b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// The compile-time-selected accumulation step for kernel bodies that are
+/// instantiated twice: once plainly (`FMA` = [`FUSED_MULTIPLY_ADD`]) and
+/// once inside a `#[target_feature(enable = "fma")]` wrapper (`FMA` =
+/// `true`), where the `mul_add` inlines to a hardware `vfmadd` and the
+/// surrounding loops autovectorise. Keeping the choice a const generic —
+/// rather than the runtime branch in [`fused_mul_add`] — is what lets LLVM
+/// vectorise the accumulator tile.
+#[inline(always)]
+pub(crate) fn fma_step<const FMA: bool>(a: f32, b: f32, acc: f32) -> f32 {
+    if FMA {
         a.mul_add(b, acc)
     } else {
         acc + a * b
@@ -391,7 +428,7 @@ impl<'a> Epilogue<'a> {
     }
 
     /// The fused bias, if any.
-    fn bias(&self) -> Option<Bias<'a>> {
+    pub(crate) fn bias(&self) -> Option<Bias<'a>> {
         match *self {
             Epilogue::None | Epilogue::Mask(_) => None,
             Epilogue::Bias(b)
@@ -404,7 +441,7 @@ impl<'a> Epilogue<'a> {
     }
 
     /// The fused activation, if any.
-    fn activation(&self) -> Option<EpilogueActivation> {
+    pub(crate) fn activation(&self) -> Option<EpilogueActivation> {
         match self {
             Epilogue::None | Epilogue::Bias(_) | Epilogue::Mask(_) => None,
             Epilogue::BiasRelu(_) => Some(EpilogueActivation::Relu),
@@ -416,7 +453,7 @@ impl<'a> Epilogue<'a> {
     }
 
     /// The fused per-row normalisation, if any.
-    fn norm(&self) -> Option<ChannelNorm<'a>> {
+    pub(crate) fn norm(&self) -> Option<ChannelNorm<'a>> {
         match *self {
             Epilogue::BiasNorm { norm, .. } => Some(norm),
             _ => None,
@@ -424,7 +461,7 @@ impl<'a> Epilogue<'a> {
     }
 
     /// The fused backward gradient mask, if any.
-    fn mask(&self) -> Option<GradMask<'a>> {
+    pub(crate) fn mask(&self) -> Option<GradMask<'a>> {
         match *self {
             Epilogue::Mask(mask) => Some(mask),
             _ => None,
@@ -432,7 +469,7 @@ impl<'a> Epilogue<'a> {
     }
 
     /// Whether this epilogue performs any fused transform at all.
-    fn is_some(&self) -> bool {
+    pub(crate) fn is_some(&self) -> bool {
         !matches!(self, Epilogue::None)
     }
 
@@ -640,12 +677,16 @@ pub(crate) fn sgemm_epilogue_quiet(
         apply_degenerate_epilogue(c, n, beta, epilogue);
         return;
     }
+    // Resolve the ISA dispatch table once per call and thread it down
+    // explicitly — workers spawned below never re-resolve, so a pinned
+    // `Isa::with` path covers the whole call.
+    let kt = crate::simd::kernels();
     if m == 1 {
         // The batch-size-1 serving regime: packing B for a single output
         // row costs as much as the whole product, and the register tile
-        // would idle three of its four row lanes. The GEMV path runs the
-        // exact same per-element chains without packing anything.
-        gemv_row(trans_b, n, k, alpha, a, b, beta, c, epilogue);
+        // would idle most of its row lanes. The GEMV path runs the exact
+        // same per-element chains without packing anything.
+        (kt.gemv)(trans_b, n, k, alpha, a, b, beta, c, epilogue);
         return;
     }
     // The epilogue bias becomes the chain head by prefilling `C` and
@@ -673,10 +714,11 @@ pub(crate) fn sgemm_epilogue_quiet(
         None => beta,
     };
     let volume = m.saturating_mul(n).saturating_mul(k);
-    let threads = threads_for_macs(par.resolve(), volume).min(m.div_ceil(MR));
+    let threads =
+        threads_for_macs(par.resolve(), volume, kt.min_macs_per_thread).min(m.div_ceil(kt.mr));
     if threads <= 1 {
         gemm_rows(
-            0, m, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, epilogue, None,
+            kt, 0, m, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, epilogue, None,
         );
         return;
     }
@@ -697,7 +739,7 @@ pub(crate) fn sgemm_epilogue_quiet(
         let mut owned = cell.borrow_mut();
         let mut shared_len = 0;
         for jc in (0..n).step_by(NC) {
-            shared_len += k * NC.min(n - jc).next_multiple_of(NR);
+            shared_len += k * NC.min(n - jc).next_multiple_of(kt.nr);
         }
         if owned.len() < shared_len {
             owned.resize(shared_len, 0.0);
@@ -705,7 +747,7 @@ pub(crate) fn sgemm_epilogue_quiet(
         let mut offset = 0;
         for jc in (0..n).step_by(NC) {
             let nc = NC.min(n - jc);
-            let nc_pad = nc.next_multiple_of(NR);
+            let nc_pad = nc.next_multiple_of(kt.nr);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
                 pack_b(
@@ -718,12 +760,13 @@ pub(crate) fn sgemm_epilogue_quiet(
                     jc,
                     kc,
                     nc,
+                    kt.nr,
                 );
                 offset += kc * nc_pad;
             }
         }
         let shared_b = &owned[..shared_len];
-        let ranges = partition_rows(m, threads, MR);
+        let ranges = partition_rows(m, threads, kt.mr);
         std::thread::scope(|scope| {
             let mut rest = c;
             let mut handles = Vec::new();
@@ -738,6 +781,7 @@ pub(crate) fn sgemm_epilogue_quiet(
                 if index + 1 == ranges.len() {
                     // The caller works the final chunk itself.
                     gemm_rows(
+                        kt,
                         start,
                         end,
                         trans_a,
@@ -756,6 +800,7 @@ pub(crate) fn sgemm_epilogue_quiet(
                 } else {
                     handles.push(scope.spawn(move || {
                         gemm_rows(
+                            kt,
                             start,
                             end,
                             trans_a,
@@ -784,11 +829,12 @@ pub(crate) fn sgemm_epilogue_quiet(
 /// Output chains per register block in the transposed-`B` GEMV.
 const GEMV_LANES: usize = 8;
 
-/// The `m == 1` fast path: a matrix–vector product with no packing, no
-/// register tile and no threads, preserving the exact per-element chain —
-/// `chain head (bias or beta * C), then ascending-k accumulation with
+/// The scalar `m == 1` fast path: a matrix–vector product with no packing,
+/// no register tile and no threads, preserving the exact per-element chain
+/// — `chain head (bias or beta * C), then ascending-k accumulation with
 /// [`fused_mul_add`], then norm/activation once` — so results are
-/// bit-identical to the blocked path.
+/// bit-identical to the blocked path. The SIMD dispatch paths run the same
+/// chains with vectorised lane loops (`simd::vec::gemv_kernel`).
 ///
 /// For `trans_b == false` (`B` stored `k x n`) the accumulation sweeps
 /// whole rows of `B`, contiguous over the outputs. For `trans_b == true`
@@ -796,7 +842,26 @@ const GEMV_LANES: usize = 8;
 /// contiguous dot-product row; [`GEMV_LANES`] independent chains run in
 /// flight to cover the FMA latency.
 #[allow(clippy::too_many_arguments)]
-fn gemv_row(
+pub(crate) fn gemv_row(
+    trans_b: bool,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    gemv_row_impl::<FUSED_MULTIPLY_ADD>(trans_b, n, k, alpha, a, b, beta, c, epilogue)
+}
+
+/// The body of [`gemv_row`], generic over the accumulation step so the
+/// `x86` module can re-instantiate it inside a `#[target_feature]` wrapper
+/// (see [`fma_step`]).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn gemv_row_impl<const FMA: bool>(
     trans_b: bool,
     n: usize,
     k: usize,
@@ -829,7 +894,7 @@ fn gemv_row(
             for (p, &ap) in a.iter().enumerate() {
                 let av = alpha * ap;
                 for (lane, slot) in acc.iter_mut().enumerate() {
-                    *slot = fused_mul_add(av, rows[lane][p], *slot);
+                    *slot = fma_step::<FMA>(av, rows[lane][p], *slot);
                 }
             }
             for (lane, &value) in acc.iter().enumerate() {
@@ -842,7 +907,7 @@ fn gemv_row(
             let row = &b[(j + offset) * k..][..k];
             let mut acc = *slot;
             for (p, &ap) in a.iter().enumerate() {
-                acc = fused_mul_add(alpha * ap, row[p], acc);
+                acc = fma_step::<FMA>(alpha * ap, row[p], acc);
             }
             *slot = acc;
         }
@@ -851,7 +916,7 @@ fn gemv_row(
             let av = alpha * ap;
             let row = &b[p * n..][..n];
             for (slot, &bv) in c.iter_mut().zip(row) {
-                *slot = fused_mul_add(av, bv, *slot);
+                *slot = fma_step::<FMA>(av, bv, *slot);
             }
         }
     }
@@ -929,7 +994,7 @@ fn apply_degenerate_epilogue(c: &mut [f32], n: usize, beta: f32, epilogue: Epilo
 
 /// Applies the `beta` pre-scale used by the degenerate (`k == 0` or
 /// `alpha == 0`) paths.
-fn scale_c(c: &mut [f32], beta: f32) {
+pub(crate) fn scale_c(c: &mut [f32], beta: f32) {
     if beta == 0.0 {
         c.fill(0.0);
     } else if beta != 1.0 {
@@ -939,7 +1004,8 @@ fn scale_c(c: &mut [f32], beta: f32) {
     }
 }
 
-/// Serial blocked GEMM over the row range `[row_start, row_end)` of `C`.
+/// Serial blocked GEMM over the row range `[row_start, row_end)` of `C`,
+/// using the kernel set and tile geometry of the dispatch table `kt`.
 ///
 /// `c_chunk` holds exactly those rows (`(row_end - row_start) * n` values);
 /// `a` and `b` are the full operands. When `prepacked_b` is given it must
@@ -951,6 +1017,7 @@ fn scale_c(c: &mut [f32], beta: f32) {
 /// per element is partition-independent.
 #[allow(clippy::too_many_arguments)]
 fn gemm_rows(
+    kt: &'static Kernels,
     row_start: usize,
     row_end: usize,
     trans_a: bool,
@@ -980,9 +1047,9 @@ fn gemm_rows(
         let b_len = if prepacked_b.is_some() {
             0
         } else {
-            KC.min(k) * NC.min(n).next_multiple_of(NR)
+            KC.min(k) * NC.min(n).next_multiple_of(kt.nr)
         };
-        let a_len = MC.min(row_end - row_start).next_multiple_of(MR) * KC.min(k);
+        let a_len = kt.mc.min(row_end - row_start).next_multiple_of(kt.mr) * KC.min(k);
         if buffer_b.len() < b_len {
             buffer_b.resize(b_len, 0.0);
         }
@@ -990,6 +1057,7 @@ fn gemm_rows(
             buffer_a.resize(a_len, 0.0);
         }
         gemm_blocks(
+            kt,
             row_start,
             row_end,
             trans_a,
@@ -1014,6 +1082,7 @@ fn gemm_rows(
 /// packing scratch (or a shared pre-packed `B`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocks(
+    kt: &'static Kernels,
     row_start: usize,
     row_end: usize,
     trans_a: bool,
@@ -1034,7 +1103,7 @@ fn gemm_blocks(
     let mut shared_offset = 0;
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
-        let nc_pad = nc.next_multiple_of(NR);
+        let nc_pad = nc.next_multiple_of(kt.nr);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             let panel_b: &[f32] = match prepacked_b {
@@ -1044,7 +1113,7 @@ fn gemm_blocks(
                     block
                 }
                 None => {
-                    pack_b(packed_b_scratch, b, trans_b, k, n, pc, jc, kc, nc);
+                    pack_b(packed_b_scratch, b, trans_b, k, n, pc, jc, kc, nc, kt.nr);
                     &packed_b_scratch[..kc * nc_pad]
                 }
             };
@@ -1065,9 +1134,10 @@ fn gemm_blocks(
             };
             let mut ic = row_start;
             while ic < row_end {
-                let mc = MC.min(row_end - ic);
-                pack_a(packed_a, a, trans_a, m, k, ic, pc, mc, kc, alpha);
+                let mc = kt.mc.min(row_end - ic);
+                pack_a(packed_a, a, trans_a, m, k, ic, pc, mc, kc, alpha, kt.mr);
                 macro_kernel(
+                    kt,
                     packed_a,
                     panel_b,
                     mc,
@@ -1090,20 +1160,22 @@ fn gemm_blocks(
 /// transforms the write-back applies (populated only on the final `K`
 /// block).
 #[derive(Clone, Copy)]
-struct TilePass<'a> {
-    beta: f32,
-    first_k_block: bool,
-    norm: Option<ChannelNorm<'a>>,
-    activation: Option<EpilogueActivation>,
+pub(crate) struct TilePass<'a> {
+    pub(crate) beta: f32,
+    pub(crate) first_k_block: bool,
+    pub(crate) norm: Option<ChannelNorm<'a>>,
+    pub(crate) activation: Option<EpilogueActivation>,
     /// Backward gradient mask, sliced to align with this worker's chunk of
     /// `C` (so it is indexed with the same chunk-relative offsets).
-    mask: Option<GradMask<'a>>,
+    pub(crate) mask: Option<GradMask<'a>>,
 }
 
-/// Packs the `kc x nc` block of `op(B)` at `(pc, jc)` into NR-wide column
-/// panels, each laid out k-major: panel `jp` holds `kc` rows of `NR`
-/// consecutive values `op(B)[pc + p][jc + jp .. jc + jp + NR]`, zero-padded
-/// past `nc`.
+/// Packs the `kc x nc` block of `op(B)` at `(pc, jc)` into `nr`-wide column
+/// panels, each laid out k-major: panel `jp` holds `kc` rows of `nr`
+/// consecutive values `op(B)[pc + p][jc + jp .. jc + jp + nr]`, zero-padded
+/// past `nc`. `nr` is the register-tile width of the dispatch table driving
+/// this GEMM, so the packed layout always matches the consuming
+/// micro-kernel.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     packed: &mut [f32],
@@ -1115,12 +1187,13 @@ fn pack_b(
     jc: usize,
     kc: usize,
     nc: usize,
+    nr: usize,
 ) {
     let mut offset = 0;
-    for jp in (0..nc).step_by(NR) {
-        let width = NR.min(nc - jp);
+    for jp in (0..nc).step_by(nr) {
+        let width = nr.min(nc - jp);
         for p in 0..kc {
-            let dst = &mut packed[offset + p * NR..offset + p * NR + NR];
+            let dst = &mut packed[offset + p * nr..offset + p * nr + nr];
             if trans_b {
                 // Stored B is n x k; op(B)[p][j] = b[j * k + p].
                 for (j, slot) in dst.iter_mut().take(width).enumerate() {
@@ -1131,14 +1204,19 @@ fn pack_b(
             }
             dst[width..].fill(0.0);
         }
-        offset += kc * NR;
+        offset += kc * nr;
     }
 }
 
-/// Packs the `mc x kc` block of `op(A)` at `(ic, pc)` into MR-tall row
-/// panels laid out k-major (`panel[p * MR + i] = alpha * op(A)[ic + ip + i]
+/// Packs the `mc x kc` block of `op(A)` at `(ic, pc)` into `mr`-tall row
+/// panels laid out k-major (`panel[p * mr + i] = alpha * op(A)[ic + ip + i]
 /// [pc + p]`), zero-padded past `mc`. Folding `alpha` in here keeps the
 /// micro-kernel multiply-add only — and is exact for `alpha == 1`.
+///
+/// `mr` is the register-tile height of the active dispatch table. The match
+/// re-instantiates the packing loop with the height as a compile-time
+/// constant so the interleaving store group keeps its fixed stride (and
+/// stays vectorisable) on every path.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
     packed: &mut [f32],
@@ -1151,24 +1229,47 @@ fn pack_a(
     mc: usize,
     kc: usize,
     alpha: f32,
+    mr: usize,
+) {
+    match mr {
+        4 => pack_a_panels::<4>(packed, a, trans_a, m, k, ic, pc, mc, kc, alpha),
+        6 => pack_a_panels::<6>(packed, a, trans_a, m, k, ic, pc, mc, kc, alpha),
+        14 => pack_a_panels::<14>(packed, a, trans_a, m, k, ic, pc, mc, kc, alpha),
+        _ => unreachable!("no dispatch table uses MR = {mr}"),
+    }
+}
+
+/// Monomorphised body of [`pack_a`] for one register-tile height.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_panels<const MRT: usize>(
+    packed: &mut [f32],
+    a: &[f32],
+    trans_a: bool,
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    alpha: f32,
 ) {
     let mut offset = 0;
-    for ip in (0..mc).step_by(MR) {
-        let height = MR.min(mc - ip);
-        if !trans_a && height == MR {
-            // Common full-panel case: interleave MR contiguous source rows.
+    for ip in (0..mc).step_by(MRT) {
+        let height = MRT.min(mc - ip);
+        if !trans_a && height == MRT {
+            // Common full-panel case: interleave MRT contiguous source rows.
             // The fixed-stride store group vectorises, unlike the generic
             // scalar loop below.
-            let rows: [&[f32]; MR] = std::array::from_fn(|i| &a[(ic + ip + i) * k + pc..][..kc]);
-            let dst = &mut packed[offset..offset + kc * MR];
+            let rows: [&[f32]; MRT] = std::array::from_fn(|i| &a[(ic + ip + i) * k + pc..][..kc]);
+            let dst = &mut packed[offset..offset + kc * MRT];
             for p in 0..kc {
                 for (i, row) in rows.iter().enumerate() {
-                    dst[p * MR + i] = alpha * row[p];
+                    dst[p * MRT + i] = alpha * row[p];
                 }
             }
         } else {
             for p in 0..kc {
-                let dst = &mut packed[offset + p * MR..offset + p * MR + MR];
+                let dst = &mut packed[offset + p * MRT..offset + p * MRT + MRT];
                 for (i, slot) in dst.iter_mut().take(height).enumerate() {
                     let value = if trans_a {
                         // Stored A is k x m; op(A)[i][p] = a[p * m + i].
@@ -1181,14 +1282,15 @@ fn pack_a(
                 dst[height..].fill(0.0);
             }
         }
-        offset += kc * MR;
+        offset += kc * MRT;
     }
 }
 
-/// Drives the micro-kernel over every `MR x NR` tile of an `mc x nc` block
-/// of `C` starting at `c_offset` (leading dimension `ldc`).
+/// Drives the table's micro-kernel over every `mr x nr` tile of an
+/// `mc x nc` block of `C` starting at `c_offset` (leading dimension `ldc`).
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    kt: &'static Kernels,
     packed_a: &[f32],
     packed_b: &[f32],
     mc: usize,
@@ -1200,13 +1302,14 @@ fn macro_kernel(
     abs_row: usize,
     pass: TilePass<'_>,
 ) {
-    for jr in (0..nc).step_by(NR) {
-        let width = NR.min(nc - jr);
-        let panel_b = &packed_b[(jr / NR) * kc * NR..][..kc * NR];
-        for ir in (0..mc).step_by(MR) {
-            let height = MR.min(mc - ir);
-            let panel_a = &packed_a[(ir / MR) * kc * MR..][..kc * MR];
-            micro_kernel(
+    let (mr, nr) = (kt.mr, kt.nr);
+    for jr in (0..nc).step_by(nr) {
+        let width = nr.min(nc - jr);
+        let panel_b = &packed_b[(jr / nr) * kc * nr..][..kc * nr];
+        for ir in (0..mc).step_by(mr) {
+            let height = mr.min(mc - ir);
+            let panel_a = &packed_a[(ir / mr) * kc * mr..][..kc * mr];
+            (kt.micro)(
                 panel_a,
                 panel_b,
                 kc,
@@ -1241,9 +1344,37 @@ const NRH: usize = NR / 3;
 /// as `copy_from_slice` takes references to the accumulator arrays, which
 /// blocks their scalar replacement — the index loops keep them in
 /// registers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn micro_kernel(
+    panel_a: &[f32],
+    panel_b: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_offset: usize,
+    ldc: usize,
+    height: usize,
+    width: usize,
+    abs_row: usize,
+    pass: TilePass<'_>,
+) {
+    micro_kernel_impl::<FUSED_MULTIPLY_ADD>(
+        panel_a, panel_b, kc, c, c_offset, ldc, height, width, abs_row, pass,
+    );
+}
+
+/// Body of the scalar micro-kernel, generic over the accumulation step.
+///
+/// The `FMA` const selects between `mul_add` and separate multiply-plus-add
+/// at compile time, with no runtime branch in the `kc` loop. The plain
+/// instantiation (`FMA == FUSED_MULTIPLY_ADD`) is the portable fallback;
+/// `simd::x86` re-instantiates the `FMA == true` body inside
+/// `#[target_feature]` wrappers so that on FMA hardware the forced-scalar
+/// dispatch path still lowers `mul_add` to a fused instruction and
+/// autovectorises — making it both fast and bit-identical to the explicit
+/// SIMD tiles.
 #[allow(clippy::too_many_arguments, clippy::manual_memcpy)]
-#[inline]
-fn micro_kernel(
+#[inline(always)]
+pub(crate) fn micro_kernel_impl<const FMA: bool>(
     panel_a: &[f32],
     panel_b: &[f32],
     kc: usize,
@@ -1312,15 +1443,15 @@ fn micro_kernel(
             let a_value = a_col[i];
             let left = &mut acc_l[i];
             for j in 0..NRH {
-                left[j] = fused_mul_add(a_value, b_l[j], left[j]);
+                left[j] = fma_step::<FMA>(a_value, b_l[j], left[j]);
             }
             let middle = &mut acc_m[i];
             for j in 0..NRH {
-                middle[j] = fused_mul_add(a_value, b_m[j], middle[j]);
+                middle[j] = fma_step::<FMA>(a_value, b_m[j], middle[j]);
             }
             let right = &mut acc_r[i];
             for j in 0..NRH {
-                right[j] = fused_mul_add(a_value, b_r[j], right[j]);
+                right[j] = fma_step::<FMA>(a_value, b_r[j], right[j]);
             }
         }
     }
@@ -1427,6 +1558,7 @@ pub(crate) mod oracle {
 mod tests {
     use super::*;
     use crate::rng::StdRng;
+    use crate::simd::Isa;
 
     fn random_vec(len: usize, rng: &mut StdRng) -> Vec<f32> {
         (0..len).map(|_| rng.normal_with(0.0, 1.0)).collect()
@@ -1536,12 +1668,13 @@ mod tests {
 
     /// A shape big enough to actually engage the scoped-thread split must be
     /// bit-identical for every thread count. (Small shapes are clamped to a
-    /// single worker by the FLOP threshold in `parallel.rs`, so this shape
-    /// carries several threads' worth of multiply-accumulates.)
+    /// single worker by the per-ISA FLOP floor, so this shape carries
+    /// several threads' worth of multiply-accumulates even at the AVX-512
+    /// floor, the highest of the three.)
     #[test]
     fn results_are_bit_identical_across_thread_counts() {
         let mut rng = StdRng::seed_from(7);
-        let (m, n, k) = (320, 256, 224);
+        let (m, n, k) = (512, 512, 512);
         let a = random_vec(m * k, &mut rng);
         let b = random_vec(k * n, &mut rng);
         let reference = {
@@ -1577,6 +1710,233 @@ mod tests {
                 Parallelism::fixed(threads),
             );
             assert_bits_equal(&c, &reference, &format!("threads={threads}"));
+        }
+    }
+
+    /// Every detected dispatch path matches the naive oracle to 0 ULP on
+    /// shapes covering the GEMV fast path (`m == 1`), ragged edge tiles and
+    /// multi-`KC` accumulation chains, under both transpose flags and a
+    /// non-trivial `beta`.
+    #[test]
+    fn property_gemm_matches_oracle_on_every_isa_path() {
+        let mut rng = StdRng::seed_from(0x15A0);
+        let shapes = [
+            (1usize, 33usize, 70usize),
+            (1, 200, 320),
+            (5, 17, 300),
+            (37, 41, 29),
+            (64, 48, 80),
+        ];
+        for &(m, n, k) in &shapes {
+            for &(trans_a, trans_b) in &[(false, false), (true, false), (false, true)] {
+                let a = random_vec(m * k, &mut rng);
+                let b = random_vec(k * n, &mut rng);
+                let c0 = random_vec(m * n, &mut rng);
+                let mut expected = c0.clone();
+                oracle::gemm(trans_a, trans_b, m, n, k, 1.0, &a, &b, 0.5, &mut expected);
+                for isa in Isa::available() {
+                    let mut c = c0.clone();
+                    isa.with(|| {
+                        sgemm(
+                            trans_a,
+                            trans_b,
+                            m,
+                            n,
+                            k,
+                            1.0,
+                            &a,
+                            &b,
+                            0.5,
+                            &mut c,
+                            Parallelism::single(),
+                        )
+                    })
+                    .unwrap();
+                    assert_bits_equal(
+                        &c,
+                        &expected,
+                        &format!("isa={isa} m={m} n={n} k={k} ta={trans_a} tb={trans_b}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The whole `(ISA, threads)` matrix produces one answer on a shape
+    /// that genuinely splits across workers on every path: on FMA hardware
+    /// every dispatch path — the re-instantiated scalar one included —
+    /// accumulates with the same correctly-rounded fused multiply-add, so
+    /// the explicit SIMD tiles must agree with the scalar chain bit for
+    /// bit. (On hardware without FMA only the scalar path is available and
+    /// the matrix degenerates to the thread-invariance check.)
+    #[test]
+    fn isa_paths_are_bit_identical_threaded() {
+        let mut rng = StdRng::seed_from(0x51AD);
+        let (m, n, k) = (512, 512, 512); // 134M MACs: 4 workers even at the AVX-512 floor
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let reference = {
+            let mut c = vec![0.0; m * n];
+            Isa::Scalar
+                .with(|| {
+                    sgemm(
+                        false,
+                        false,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a,
+                        &b,
+                        0.0,
+                        &mut c,
+                        Parallelism::single(),
+                    )
+                })
+                .unwrap();
+            c
+        };
+        for isa in Isa::available() {
+            for threads in [1usize, 2, 4] {
+                let mut c = vec![0.0; m * n];
+                isa.with(|| {
+                    sgemm(
+                        false,
+                        false,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a,
+                        &b,
+                        0.0,
+                        &mut c,
+                        Parallelism::fixed(threads),
+                    )
+                })
+                .unwrap();
+                assert_bits_equal(&c, &reference, &format!("isa={isa} threads={threads}"));
+            }
+        }
+    }
+
+    /// Cross-path bitwise agreement for every fused epilogue form — bias
+    /// on both axes with each activation (including the scalar-evaluated
+    /// Sigmoid), the batch-norm write-back and the backward gradient mask —
+    /// on both the tiled path and the `m == 1` GEMV fast path.
+    #[test]
+    fn isa_paths_agree_bitwise_on_fused_epilogues() {
+        let mut rng = StdRng::seed_from(0xE51A);
+        let activations = [
+            None,
+            Some(EpilogueActivation::Relu),
+            Some(EpilogueActivation::Sigmoid),
+            Some(EpilogueActivation::HardSigmoid),
+            Some(EpilogueActivation::HardSwish),
+        ];
+        for (case, &activation) in activations.iter().enumerate() {
+            for &(m, n, k) in &[(1usize, 45 + case, 130usize), (39 + case, 50, 120)] {
+                let axis = if case % 2 == 0 {
+                    BiasAxis::Row
+                } else {
+                    BiasAxis::Col
+                };
+                let trans_b = case % 2 == 1;
+                let a = random_vec(m * k, &mut rng);
+                let b = random_vec(k * n, &mut rng);
+                let bias_values = random_vec(
+                    match axis {
+                        BiasAxis::Row => m,
+                        BiasAxis::Col => n,
+                    },
+                    &mut rng,
+                );
+                let bias = Bias {
+                    values: &bias_values,
+                    axis,
+                };
+                let epilogue = Epilogue::with_activation(bias, activation);
+                let run = |isa: Isa| {
+                    let mut c = vec![f32::NAN; m * n];
+                    isa.with(|| {
+                        sgemm_epilogue(
+                            false,
+                            trans_b,
+                            m,
+                            n,
+                            k,
+                            1.0,
+                            &a,
+                            &b,
+                            0.0,
+                            &mut c,
+                            epilogue,
+                            Parallelism::single(),
+                        )
+                    })
+                    .unwrap();
+                    c
+                };
+                let reference = run(Isa::Scalar);
+                for isa in Isa::available() {
+                    assert_bits_equal(
+                        &run(isa),
+                        &reference,
+                        &format!("isa={isa} m={m} n={n} k={k} act={activation:?} axis={axis:?}"),
+                    );
+                }
+            }
+        }
+        // Norm and gradient-mask epilogues over the same path matrix.
+        let (m, n, k) = (53usize, 47usize, 140usize);
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let gamma = random_vec(m, &mut rng);
+        let shift = random_vec(m, &mut rng);
+        let mean = random_vec(m, &mut rng);
+        let var: Vec<f32> = (0..m).map(|_| rng.uniform_range(0.05, 2.0)).collect();
+        let forward_input = random_vec(m * n, &mut rng);
+        let norm_epilogue = Epilogue::BiasNorm {
+            bias: None,
+            norm: ChannelNorm {
+                gamma: &gamma,
+                beta: &shift,
+                mean: &mean,
+                var: &var,
+                epsilon: 1e-5,
+            },
+            activation: Some(EpilogueActivation::HardSwish),
+        };
+        let mask_epilogue = Epilogue::Mask(GradMask {
+            input: &forward_input,
+            grad: ActivationGrad::HardSwish,
+        });
+        for (label, epilogue) in [("norm", norm_epilogue), ("mask", mask_epilogue)] {
+            let run = |isa: Isa| {
+                let mut c = vec![f32::NAN; m * n];
+                isa.with(|| {
+                    sgemm_epilogue(
+                        false,
+                        false,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a,
+                        &b,
+                        0.0,
+                        &mut c,
+                        epilogue,
+                        Parallelism::single(),
+                    )
+                })
+                .unwrap();
+                c
+            };
+            let reference = run(Isa::Scalar);
+            for isa in Isa::available() {
+                assert_bits_equal(&run(isa), &reference, &format!("isa={isa} {label}"));
+            }
         }
     }
 
@@ -1640,13 +2000,13 @@ mod tests {
         ];
         for case in 0..44 {
             // Every eighth case is sized past the parallel threshold
-            // (>= 2 threads' worth of MACs) so `Parallelism::fixed(2/4)`
-            // below actually splits rows.
+            // (>= 2 threads' worth of MACs at the highest per-ISA floor) so
+            // `Parallelism::fixed(2/4)` below actually splits rows.
             let (m, n, k) = if case % 8 == 7 {
                 (
-                    200 + (rng.next_u64() % 100) as usize,
-                    140 + (rng.next_u64() % 60) as usize,
-                    300 + (rng.next_u64() % 80) as usize,
+                    448 + (rng.next_u64() % 64) as usize,
+                    320 + (rng.next_u64() % 32) as usize,
+                    480 + (rng.next_u64() % 64) as usize,
                 )
             } else {
                 (
@@ -1714,7 +2074,7 @@ mod tests {
     #[test]
     fn norm_epilogue_matches_separate_passes_across_threads() {
         let mut rng = StdRng::seed_from(0x11AB);
-        let (m, n, k) = (232, 150, 280); // ~9.7M MACs: two workers' worth
+        let (m, n, k) = (448, 320, 512); // ~73M MACs: two workers even at the AVX-512 floor
         let a = random_vec(m * k, &mut rng);
         let b = random_vec(k * n, &mut rng);
         let bias_values = random_vec(m, &mut rng);
@@ -1786,9 +2146,9 @@ mod tests {
         for case in 0..32 {
             let (m, n, k) = if case % 8 == 7 {
                 (
-                    200 + (rng.next_u64() % 100) as usize,
-                    140 + (rng.next_u64() % 60) as usize,
-                    300 + (rng.next_u64() % 80) as usize,
+                    448 + (rng.next_u64() % 64) as usize,
+                    320 + (rng.next_u64() % 32) as usize,
+                    480 + (rng.next_u64() % 64) as usize,
                 )
             } else {
                 (

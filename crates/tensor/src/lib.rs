@@ -33,19 +33,24 @@
 //!   bit-identical (0 ULP) to the naive triple loop, enforced by property
 //!   tests against the `#[cfg(test)]` oracle kept in `kernels.rs`.
 //!
-//! Within one build, every kernel accumulates with the same
-//! [`fused_mul_add`] step (hardware FMA where the target has it, plain
-//! multiply-add elsewhere), so different code paths agree bitwise; across
-//! *builds* with different FMA availability, results may differ by normal
-//! rounding.
+//! * **ISA invariance.** The GEMM core is selected at runtime from
+//!   explicitly vectorised micro-kernels (scalar, AVX2+FMA, AVX-512 — see
+//!   [`Isa`]). Every path evaluates the same per-element accumulation
+//!   chain, and on hardware with FMA every path (the scalar one included,
+//!   via [`fused_mul_add`]) accumulates with the same correctly-rounded
+//!   fused multiply-add — so on a given machine all dispatch paths produce
+//!   bit-identical results. `MTLSPLIT_FORCE_ISA=scalar|avx2|avx512` pins a
+//!   path process-wide; [`Isa::with`] pins one for a closure. Across
+//!   *machines* with different FMA availability, results may differ by
+//!   normal rounding.
 //!
 //! Kernels with no explicit configuration read the calling thread's ambient
 //! [`Parallelism::current`] (default: one thread per core); training and
 //! serving install their configured budgets via [`Parallelism::make_current`].
-//! A shared FLOP threshold caps the worker count — roughly one thread per
-//! 4M multiply-accumulates — so small problems never pay scoped-thread
-//! spawn cost; the cap only ever reduces the thread count, never changes
-//! results.
+//! A per-ISA FLOP threshold caps the worker count — the faster the dispatch
+//! path, the more multiply-accumulates a problem must offer per thread — so
+//! small problems never pay scoped-thread spawn cost; the cap only ever
+//! reduces the thread count, never changes results.
 //!
 //! ## The epilogue contract
 //!
@@ -103,6 +108,11 @@ mod parallel;
 mod pool;
 mod rng;
 mod shape;
+// The SIMD layer is the one part of the crate allowed to use `unsafe`: the
+// intrinsic calls live in `simd::x86` behind `#[target_feature]` wrappers
+// whose safe entry points re-check CPU support.
+#[allow(unsafe_code)]
+mod simd;
 mod tensor;
 
 pub use arena::TensorArena;
@@ -125,4 +135,5 @@ pub use pool::{
 };
 pub use rng::StdRng;
 pub use shape::{Shape, MAX_RANK};
+pub use simd::{active_isa, fma_available, resolve_isa, Isa};
 pub use tensor::Tensor;

@@ -71,18 +71,21 @@ pub fn log_softmax_rows_into(logits: &Tensor, out: &mut [f32]) -> Result<[usize;
         });
     }
     out.copy_from_slice(logits.as_slice());
+    // Three passes per row so the two subtraction sweeps run through the
+    // active dispatch table's vectorised subtract kernel. Splitting the
+    // original fused `*v -= max; sum += v.exp()` loop changes no bits:
+    // subtraction results are identical either way and the exp-sum still
+    // accumulates in ascending column order.
+    let kt = crate::simd::kernels();
     for r in 0..rows {
         let row = &mut out[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        (kt.sub)(row, max);
         let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v -= max;
+        for v in row.iter() {
             sum += v.exp();
         }
-        let log_sum = sum.ln();
-        for v in row.iter_mut() {
-            *v -= log_sum;
-        }
+        (kt.sub)(row, sum.ln());
     }
     Ok([rows, cols])
 }
@@ -130,5 +133,31 @@ mod tests {
     fn rejects_non_matrix_input() {
         assert!(softmax_rows(&Tensor::zeros(&[4])).is_err());
         assert!(log_softmax_rows(&Tensor::zeros(&[2, 2, 2])).is_err());
+    }
+
+    /// The vectorised subtraction sweeps must not change a bit relative to
+    /// the scalar path, on ragged row lengths that exercise the tails.
+    #[test]
+    fn log_softmax_is_bit_identical_across_isa_paths() {
+        use crate::rng::StdRng;
+        use crate::simd::Isa;
+        let mut rng = StdRng::seed_from(0x105F);
+        for cols in [1usize, 7, 16, 33, 100] {
+            let data: Vec<f32> = (0..4 * cols).map(|_| rng.normal_with(0.0, 3.0)).collect();
+            let logits = Tensor::from_vec(data, &[4, cols]).unwrap();
+            let reference = Isa::Scalar
+                .with(|| log_softmax_rows(&logits).unwrap())
+                .unwrap();
+            for isa in Isa::available() {
+                let out = isa.with(|| log_softmax_rows(&logits).unwrap()).unwrap();
+                for (i, (x, y)) in out.as_slice().iter().zip(reference.as_slice()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "isa={isa} cols={cols} element {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -118,30 +118,28 @@ impl std::fmt::Display for Parallelism {
     }
 }
 
-/// Minimum multiply-accumulate operations a problem must offer *per worker
-/// thread* before the kernels spread it over scoped threads.
+/// Caps `requested` worker threads by the FLOP budget: one thread per
+/// `macs_per_thread` multiply-accumulates, and always at least one.
 ///
 /// Spawning and joining a scoped thread costs tens of microseconds; below
-/// roughly this much work per thread that overhead exceeds the compute, so
-/// small problems (a 128³ GEMM is ~2M MACs) must run inline. The
-/// `BENCH_kernels.json` grid showed exactly that regression before this
-/// threshold existed: 2- and 4-thread GEMMs slower than single-threaded up
-/// to `n = 384`. The value is deliberately conservative and was calibrated
-/// on the 1-core reference container (which can only ever show the
-/// overhead side of the trade); on a real multi-core host the crossover
-/// may sit lower, so re-tune it there if mid-size GEMMs profile as
-/// underthreaded. Crossing it only caps the worker count, never changes
-/// results (see the module docs).
-const MIN_MACS_PER_THREAD: usize = 4 * 1024 * 1024;
-
-/// Caps `requested` worker threads by the FLOP budget: one thread per
-/// [`MIN_MACS_PER_THREAD`] multiply-accumulates, and always at least one.
+/// roughly one floor's worth of work per thread that overhead exceeds the
+/// compute, so small problems must run inline. The `BENCH_kernels.json`
+/// grid showed exactly that regression before the floor existed: 2- and
+/// 4-thread GEMMs slower than single-threaded up to `n = 384`. The floor
+/// is *per dispatch path* — a wider micro-kernel retires the same MACs in
+/// fewer cycles, so the faster the path, the more work a worker must bring
+/// to amortise its spawn (see `simd::{SCALAR,AVX2,AVX512}_MIN_MACS`). The
+/// values were calibrated on the 1-core reference container (which can
+/// only ever show the overhead side of the trade); on a real multi-core
+/// host the crossover may sit lower, so re-tune there if mid-size GEMMs
+/// profile as underthreaded. The cap only ever reduces the worker count,
+/// never changes results (see the module docs).
 ///
 /// Every kernel in this crate routes its thread count through this helper,
 /// so a tiny GEMM or convolution never pays scoped-thread spawn cost no
 /// matter what the ambient [`Parallelism`] asks for.
-pub(crate) fn threads_for_macs(requested: usize, macs: usize) -> usize {
-    requested.min(macs / MIN_MACS_PER_THREAD).max(1)
+pub(crate) fn threads_for_macs(requested: usize, macs: usize, macs_per_thread: usize) -> usize {
+    requested.min(macs / macs_per_thread.max(1)).max(1)
 }
 
 /// Splits `rows` into at most `parts` contiguous ranges whose starts are
@@ -194,6 +192,10 @@ where
     }
     let mut units: Vec<&mut [f32]> = buf.chunks_mut(unit_len).collect();
     let per_thread = total.div_ceil(threads);
+    // Spawned workers start with a fresh thread-local ISA override; install
+    // the caller's resolved dispatch table in each so a pinned path (for
+    // example a forced-scalar property test) stays pinned across the scope.
+    let kt = crate::simd::kernels();
     std::thread::scope(|scope| {
         let f = &f;
         let mut base = 0usize;
@@ -211,9 +213,11 @@ where
                 }
             } else {
                 handles.push(scope.spawn(move || {
-                    for (offset, unit) in mine.into_iter().enumerate() {
-                        f(start + offset, unit);
-                    }
+                    crate::simd::with_kernels(kt, || {
+                        for (offset, unit) in mine.into_iter().enumerate() {
+                            f(start + offset, unit);
+                        }
+                    })
                 }));
             }
         }
@@ -261,6 +265,8 @@ pub(crate) fn for_each_unit_pair<F>(
         .zip(extra.chunks_mut(extra_len))
         .collect();
     let per_thread = total.div_ceil(threads);
+    // Same dispatch-table propagation as `for_each_unit`.
+    let kt = crate::simd::kernels();
     std::thread::scope(|scope| {
         let f = &f;
         let mut base = 0usize;
@@ -277,9 +283,11 @@ pub(crate) fn for_each_unit_pair<F>(
                 }
             } else {
                 handles.push(scope.spawn(move || {
-                    for (offset, (unit, extra_unit)) in mine.into_iter().enumerate() {
-                        f(start + offset, unit, extra_unit);
-                    }
+                    crate::simd::with_kernels(kt, || {
+                        for (offset, (unit, extra_unit)) in mine.into_iter().enumerate() {
+                            f(start + offset, unit, extra_unit);
+                        }
+                    })
                 }));
             }
         }
@@ -354,14 +362,17 @@ mod tests {
 
     #[test]
     fn small_problems_never_get_extra_threads() {
+        const FLOOR: usize = 16 * 1024 * 1024;
         // Below one thread's worth of MACs everything runs inline.
-        assert_eq!(threads_for_macs(8, 64 * 64 * 64), 1);
-        assert_eq!(threads_for_macs(8, 128 * 128 * 128), 1);
+        assert_eq!(threads_for_macs(8, 64 * 64 * 64, FLOOR), 1);
+        assert_eq!(threads_for_macs(8, 128 * 128 * 128, FLOOR), 1);
         // Enough work buys threads one at a time, capped by the request.
-        assert_eq!(threads_for_macs(8, 2 * MIN_MACS_PER_THREAD), 2);
-        assert_eq!(threads_for_macs(2, 64 * MIN_MACS_PER_THREAD), 2);
-        // Degenerate inputs still yield a worker.
-        assert_eq!(threads_for_macs(0, 0), 1);
+        assert_eq!(threads_for_macs(8, 2 * FLOOR, FLOOR), 2);
+        assert_eq!(threads_for_macs(2, 64 * FLOOR, FLOOR), 2);
+        // Degenerate inputs still yield a worker, and a zero floor is
+        // treated as one rather than dividing by zero.
+        assert_eq!(threads_for_macs(0, 0, FLOOR), 1);
+        assert_eq!(threads_for_macs(4, FLOOR, 0), 4);
     }
 
     #[test]

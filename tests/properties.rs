@@ -64,15 +64,16 @@ fn transpose_of_product() {
 #[test]
 fn kernels_are_bit_identical_across_thread_counts() {
     let mut rng = StdRng::seed_from(104);
-    // A matmul big enough to cross the kernel's FLOP threshold (one worker
-    // per ~4M multiply-accumulates), so the fixed thread counts below
-    // genuinely split rows instead of being clamped to one worker.
-    let a = Tensor::randn(&[320, 224], 0.0, 1.0, &mut rng);
-    let b = Tensor::randn(&[224, 256], 0.0, 1.0, &mut rng);
+    // A matmul big enough to cross the kernel's per-ISA FLOP floor (the
+    // AVX-512 path demands the most work per worker), so the fixed thread
+    // counts below genuinely split rows instead of being clamped to one
+    // worker.
+    let a = Tensor::randn(&[512, 512], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[512, 512], 0.0, 1.0, &mut rng);
     // A grouped convolution with several (batch, group) units and enough
-    // MACs (~9.4M) that the unit split engages.
+    // MACs (~75M) that the unit split engages on every dispatch path.
     let spec = Conv2dSpec::new(16, 32, 3).with_padding(1).with_groups(2);
-    let image = Tensor::randn(&[4, 16, 32, 32], 0.0, 1.0, &mut rng);
+    let image = Tensor::randn(&[8, 16, 64, 64], 0.0, 1.0, &mut rng);
     let weight = Tensor::randn(&spec.weight_dims(), 0.0, 0.4, &mut rng);
     let bias = Tensor::randn(&[32], 0.0, 0.4, &mut rng);
 
@@ -207,6 +208,54 @@ fn planned_inference_matches_allocating_path_bitwise() {
         warmed,
         "steady-state planned inference must not take fresh memory"
     );
+}
+
+/// The cross-path determinism guarantee, end to end through the public
+/// API: a full model forward is bitwise identical on every detected
+/// dispatch path (scalar, AVX2+FMA, AVX-512) at every thread count. All
+/// paths evaluate the same per-element accumulation chain, and on FMA
+/// hardware all of them — the re-instantiated scalar path included —
+/// accumulate with the same correctly-rounded fused multiply-add, so the
+/// explicit SIMD tiles must not change a single bit of the model output.
+#[test]
+fn model_forward_is_bit_identical_across_isa_paths() {
+    use mtlsplit_tensor::Isa;
+    let mut rng = StdRng::seed_from(0x15AF);
+    // A convolutional backbone (conv → batch-norm → activation fusions,
+    // pooling, the works) and an MLP stack whose batch-1 requests hit the
+    // GEMV fast path.
+    let backbone = Backbone::new(
+        BackboneConfig::new(BackboneKind::EfficientStyle, 3, 16),
+        &mut rng,
+    )
+    .unwrap();
+    let image = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let mlp = Sequential::new()
+        .push(Linear::new(12, 24, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(24, 9, &mut rng))
+        .push(Sigmoid::new());
+    let row = Tensor::randn(&[1, 12], 0.0, 1.0, &mut rng);
+    let reference_backbone = Isa::Scalar
+        .with(|| backbone.infer(&image).unwrap())
+        .unwrap();
+    let reference_mlp = Isa::Scalar.with(|| mlp.infer(&row).unwrap()).unwrap();
+    for isa in Isa::available() {
+        for threads in [1usize, 2, 4] {
+            Parallelism::fixed(threads).make_current();
+            let out = isa.with(|| backbone.infer(&image).unwrap()).unwrap();
+            assert_eq!(
+                out, reference_backbone,
+                "backbone forward diverged on {isa} with {threads} threads"
+            );
+            let out = isa.with(|| mlp.infer(&row).unwrap()).unwrap();
+            assert_eq!(
+                out, reference_mlp,
+                "mlp forward diverged on {isa} with {threads} threads"
+            );
+        }
+    }
+    Parallelism::auto().make_current();
 }
 
 /// Softmax rows always form a probability distribution, whatever the logits.
