@@ -22,11 +22,12 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtlsplit_nn::{Flatten, Layer, Linear, Relu, Sequential};
 use mtlsplit_serve::{
-    EdgeClient, InferenceServer, LoopbackTransport, ServerConfig, SplitRequests, SplitRule,
-    SplitVariant,
+    BreakerConfig, EdgeClient, FaultPlan, FaultyTransport, InferenceServer, LoopbackTransport,
+    ResilientClient, RetryPolicy, ServedVia, ServerConfig, SplitRequests, SplitRule, SplitVariant,
 };
 use mtlsplit_split::{Precision, TensorCodec};
 use mtlsplit_tensor::{StdRng, Tensor};
+use std::time::Duration;
 
 const FEATURES: usize = 128;
 /// Samples per request: edge devices commonly ship small frame bursts.
@@ -189,6 +190,107 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
     }
 }
 
+/// One measured fault-injected serving session (the ISSUE's "goodput under
+/// faults" row): every request still ends in a result, so goodput counts
+/// *answered* requests — remote or edge-local fallback — per second.
+struct FaultOutcome {
+    plan: FaultPlan,
+    requests: u64,
+    remote: u64,
+    fallbacks: u64,
+    retries: u64,
+    reconnects: u64,
+    elapsed_s: f64,
+}
+
+impl FaultOutcome {
+    fn goodput_rps(&self) -> f64 {
+        (self.remote + self.fallbacks) as f64 / self.elapsed_s.max(1e-12)
+    }
+
+    fn retry_rate(&self) -> f64 {
+        self.retries as f64 / self.requests.max(1) as f64
+    }
+
+    fn fallback_rate(&self) -> f64 {
+        self.fallbacks as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// Drives the serving path through a seeded `FaultyTransport` under the
+/// `light` plan (~1% frame corruption, ~5% of responses delayed 5 ms, rare
+/// drops), with resilient clients holding head replicas as the edge-local
+/// fallback, and reports goodput, retry rate and fallback rate.
+fn drive_faulty() -> FaultOutcome {
+    let plan = FaultPlan::light(13);
+    let mut rng = StdRng::seed_from(1);
+    let server = Arc::new(InferenceServer::start(
+        heads(&mut rng),
+        ServerConfig::default().with_max_batch(8).with_workers(2),
+    ));
+    let start = Instant::now();
+    let drivers: Vec<_> = (0..CLIENTS)
+        .map(|client_idx| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from(100 + client_idx as u64);
+                // Head replicas with the server's exact weights (same seed,
+                // same construction order) — the edge-local fallback model.
+                let fallback_heads = heads(&mut StdRng::seed_from(1));
+                let client = EdgeClient::new(
+                    backbone(&mut rng),
+                    TensorCodec::new(Precision::Float32),
+                    Box::new(FaultyTransport::new(
+                        LoopbackTransport::new(server),
+                        plan.with_seed(plan.seed + client_idx as u64),
+                    )),
+                )
+                .with_retry_policy(
+                    RetryPolicy::resilient(plan.seed + client_idx as u64)
+                        .with_deadline(Some(Duration::from_millis(250)))
+                        .with_backoff(Duration::from_micros(100), Duration::from_millis(2)),
+                );
+                let mut resilient =
+                    ResilientClient::new(client, None, fallback_heads, BreakerConfig::default());
+                let mut remote = 0u64;
+                let mut fallbacks = 0u64;
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let x = Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng);
+                    match resilient.infer(&x).expect("every request is answered").via {
+                        ServedVia::Remote => remote += 1,
+                        ServedVia::Fallback => fallbacks += 1,
+                    }
+                }
+                let stats = resilient.client_mut().stats();
+                (remote, fallbacks, stats.retries, stats.reconnects)
+            })
+        })
+        .collect();
+    let mut outcome = FaultOutcome {
+        plan,
+        requests: (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        remote: 0,
+        fallbacks: 0,
+        retries: 0,
+        reconnects: 0,
+        elapsed_s: 0.0,
+    };
+    for driver in drivers {
+        let (remote, fallbacks, retries, reconnects) = driver.join().expect("client thread");
+        outcome.remote += remote;
+        outcome.fallbacks += fallbacks;
+        outcome.retries += retries;
+        outcome.reconnects += reconnects;
+    }
+    outcome.elapsed_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        outcome.remote + outcome.fallbacks,
+        outcome.requests,
+        "a resilient client must answer every request"
+    );
+    outcome
+}
+
 /// The per-split request counts as a JSON array fragment.
 fn splits_json(per_split: &[SplitRequests]) -> String {
     let entries: Vec<String> = per_split
@@ -214,7 +316,7 @@ fn phase_json(label: &str, phase: &mtlsplit_serve::PhaseStats) -> String {
 
 /// Writes the measured grid to `BENCH_serving.json` at the repository root
 /// (hand-rolled JSON — the workspace has no serde).
-fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
+fn dump_json(rows: &[(usize, usize, DriveOutcome)], faulty: &FaultOutcome) {
     // Record the host's core count: on a single-core machine the worker
     // pool can only reach parity with one worker (there is no parallelism
     // to exploit), so absolute multi-worker wins are only expected when
@@ -250,7 +352,27 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)]) {
             if index + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fault_injected\": {{\"plan\": \"light\", \"seed\": {}, \
+         \"corrupt_rate\": {:.4}, \"delay_rate\": {:.4}, \"delay_ms\": {:.1}, \
+         \"drop_rate\": {:.4}, \"requests\": {}, \"goodput_rps\": {:.1}, \
+         \"remote\": {}, \"fallbacks\": {}, \"retry_rate\": {:.4}, \
+         \"fallback_rate\": {:.4}, \"reconnects\": {}}}\n",
+        faulty.plan.seed,
+        faulty.plan.corrupt_rate,
+        faulty.plan.delay_rate,
+        faulty.plan.delay_ms,
+        faulty.plan.drop_rate,
+        faulty.requests,
+        faulty.goodput_rps(),
+        faulty.remote,
+        faulty.fallbacks,
+        faulty.retry_rate(),
+        faulty.fallback_rate(),
+        faulty.reconnects,
+    ));
+    json.push_str("}\n");
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {}", path.display()),
@@ -301,7 +423,21 @@ fn bench_serving(c: &mut Criterion) {
         }
     }
     group.finish();
-    dump_json(&rows);
+    // One fault-injected session: the serving path under the `light` fault
+    // plan, answered end to end by retries and the edge-local fallback.
+    let faulty = drive_faulty();
+    println!(
+        "serving under faults (light plan, seed {}): {:.0} goodput req/s, \
+         retry rate {:.3}, fallback rate {:.3} ({} remote + {} fallback of {})",
+        faulty.plan.seed,
+        faulty.goodput_rps(),
+        faulty.retry_rate(),
+        faulty.fallback_rate(),
+        faulty.remote,
+        faulty.fallbacks,
+        faulty.requests
+    );
+    dump_json(&rows, &faulty);
 }
 
 criterion_group!(benches, bench_serving);

@@ -84,6 +84,27 @@ pub static ARENA_HIGH_WATER: MaxGauge = MaxGauge::new();
 /// Optimiser steps completed by the trainer.
 pub static TRAIN_STEPS: Counter = Counter::new();
 
+/// Serving-client request attempts beyond the first (resends after a
+/// retryable failure).
+pub static SERVE_RETRIES: Counter = Counter::new();
+
+/// Serving-client reconnect attempts after a dead or desynchronized
+/// connection.
+pub static SERVE_RECONNECTS: Counter = Counter::new();
+
+/// Requests a resilient client answered edge-locally instead of remotely.
+pub static SERVE_FALLBACKS: Counter = Counter::new();
+
+/// Requests that exhausted their deadline budget without a response.
+pub static SERVE_DEADLINES_EXHAUSTED: Counter = Counter::new();
+
+/// Circuit-breaker transitions into the open state.
+pub static SERVE_BREAKER_TRIPS: Counter = Counter::new();
+
+/// Faults injected by a `FaultyTransport` (drops, delays, corruptions,
+/// truncations and refused reconnects combined).
+pub static SERVE_FAULTS_INJECTED: Counter = Counter::new();
+
 /// A point-in-time copy of every global workload counter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CountersSnapshot {
@@ -101,6 +122,18 @@ pub struct CountersSnapshot {
     pub arena_high_water: u64,
     /// See [`TRAIN_STEPS`].
     pub train_steps: u64,
+    /// See [`SERVE_RETRIES`].
+    pub serve_retries: u64,
+    /// See [`SERVE_RECONNECTS`].
+    pub serve_reconnects: u64,
+    /// See [`SERVE_FALLBACKS`].
+    pub serve_fallbacks: u64,
+    /// See [`SERVE_DEADLINES_EXHAUSTED`].
+    pub serve_deadlines_exhausted: u64,
+    /// See [`SERVE_BREAKER_TRIPS`].
+    pub serve_breaker_trips: u64,
+    /// See [`SERVE_FAULTS_INJECTED`].
+    pub serve_faults_injected: u64,
 }
 
 /// Reads every global counter at once.
@@ -113,6 +146,12 @@ pub fn counters() -> CountersSnapshot {
         arena_misses: ARENA_MISSES.get(),
         arena_high_water: ARENA_HIGH_WATER.get(),
         train_steps: TRAIN_STEPS.get(),
+        serve_retries: SERVE_RETRIES.get(),
+        serve_reconnects: SERVE_RECONNECTS.get(),
+        serve_fallbacks: SERVE_FALLBACKS.get(),
+        serve_deadlines_exhausted: SERVE_DEADLINES_EXHAUSTED.get(),
+        serve_breaker_trips: SERVE_BREAKER_TRIPS.get(),
+        serve_faults_injected: SERVE_FAULTS_INJECTED.get(),
     }
 }
 

@@ -1,12 +1,32 @@
 //! The edge half of the deployment: backbone on-device, heads behind a
 //! [`Transport`].
+//!
+//! Every wire interaction funnels through one retrying core: a request is
+//! sent, and any *retryable* failure — a dead socket, a torn or corrupted
+//! frame, a server that answered `Overloaded` or said goodbye with
+//! `ShuttingDown` — triggers reconnect-and-resend under the client's
+//! [`RetryPolicy`]: capped exponential backoff with deterministic jitter,
+//! bounded by an optional per-request deadline budget enforced both between
+//! attempts and as socket read/write timeouts within one. Resends reuse the
+//! original `request_id`, and the server's inference path is pure, so a
+//! duplicate delivery can only produce the identical response — resending is
+//! idempotent by construction. When a response for an *older* request id
+//! arrives (a retry raced its abandoned predecessor), the client
+//! drains-and-resyncs: it keeps reading frames, skipping stale ids up to a
+//! small bound, instead of poisoning every subsequent call. Non-retryable
+//! failures (`App`/`Protocol` server errors, malformed payloads) surface
+//! immediately; an exhausted budget surfaces as
+//! [`ServeError::DeadlineExceeded`].
+
+use std::time::{Duration, Instant};
 
 use mtlsplit_nn::Layer;
+use mtlsplit_obs as obs;
 use mtlsplit_split::{TensorCodec, WirePayload};
-use mtlsplit_tensor::Tensor;
+use mtlsplit_tensor::{StdRng, Tensor};
 
 use crate::error::{Result, ServeError};
-use crate::frame::{Frame, OpCode};
+use crate::frame::{ErrorCode, Frame, OpCode};
 use crate::metrics::ServeMetrics;
 use crate::transport::Transport;
 use crate::wire::{
@@ -14,14 +34,122 @@ use crate::wire::{
     SplitAssignment,
 };
 
+/// Stale responses the drain-and-resync recovery will skip before declaring
+/// the stream hopelessly out of sync.
+const RESYNC_BOUND: usize = 8;
+
+/// Smallest socket timeout the client will install — `Duration::ZERO` means
+/// "no timeout" to the socket API, the opposite of an expiring budget.
+const MIN_SOCKET_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// How an [`EdgeClient`] retries failed requests.
+///
+/// The default policy makes **one** attempt with no deadline — exactly the
+/// pre-fault-tolerance behavior. [`RetryPolicy::resilient`] is the
+/// batteries-included configuration for lossy links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum request attempts (first try included); clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Wall-clock budget for the whole request across all attempts. Also
+    /// installed as per-attempt socket read/write timeouts so one stalled
+    /// read cannot overshoot the budget. `None` waits forever.
+    pub deadline: Option<Duration>,
+    /// First retry pause; doubled per retry up to
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    /// Upper bound of the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter applied to every pause (each pause
+    /// is scaled by a factor in `[0.5, 1.0)`).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            deadline: None,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for lossy links: up to 5 attempts under a 2 s budget with
+    /// 1 ms → 50 ms jittered exponential backoff.
+    pub fn resilient(jitter_seed: u64) -> Self {
+        Self {
+            max_attempts: 5,
+            deadline: Some(Duration::from_secs(2)),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed,
+        }
+    }
+
+    /// Returns this policy with the given attempt limit (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Returns this policy with the given per-request deadline budget.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Returns this policy with the given backoff range.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max;
+        self
+    }
+}
+
+/// Counters of everything the client's retry machinery has done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Request attempts sent (first tries and resends).
+    pub attempts: u64,
+    /// Resends after a retryable failure.
+    pub retries: u64,
+    /// Reconnect attempts after a dead or desynchronized connection.
+    pub reconnects: u64,
+    /// Stale frames skipped by drain-and-resync.
+    pub resyncs: u64,
+    /// Requests that exhausted their deadline budget.
+    pub deadlines_exhausted: u64,
+}
+
+/// Whether (and how) a failed attempt may be retried.
+enum Retryability {
+    /// Do not retry: the failure is semantic, not transient.
+    Fatal,
+    /// Resend on the existing connection (the stream is still in sync).
+    Resend,
+    /// Reconnect first, then resend.
+    Reconnect,
+}
+
 /// The edge client: runs the shared backbone locally through the immutable
 /// [`Layer::infer`] path, ships the encoded `Z_b` through a [`Transport`],
 /// and decodes the per-task outputs that come back.
+///
+/// See this module's source-level docs for the retry, deadline and resync behavior;
+/// all of it is governed by the [`RetryPolicy`] installed via
+/// [`EdgeClient::with_retry_policy`] (the default makes a single attempt).
 pub struct EdgeClient {
     backbone: Box<dyn Layer>,
     codec: TensorCodec,
     transport: Box<dyn Transport>,
     next_request_id: u64,
+    policy: RetryPolicy,
+    jitter: StdRng,
+    stats: ClientStats,
 }
 
 impl std::fmt::Debug for EdgeClient {
@@ -29,6 +157,8 @@ impl std::fmt::Debug for EdgeClient {
         f.debug_struct("EdgeClient")
             .field("codec", &self.codec)
             .field("next_request_id", &self.next_request_id)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -41,12 +171,34 @@ impl EdgeClient {
         codec: TensorCodec,
         transport: Box<dyn Transport>,
     ) -> Self {
+        let policy = RetryPolicy::default();
         Self {
             backbone,
             codec,
             transport,
             next_request_id: 1,
+            jitter: StdRng::seed_from(policy.jitter_seed),
+            policy,
+            stats: ClientStats::default(),
         }
+    }
+
+    /// Returns this client with the given retry policy (reseeding the
+    /// deterministic backoff jitter from the policy's seed).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.jitter = StdRng::seed_from(policy.jitter_seed);
+        self.policy = policy;
+        self
+    }
+
+    /// What the retry machinery has done so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Runs the backbone on `input` (immutable `&self` inference) and
@@ -58,12 +210,24 @@ impl EdgeClient {
     /// Propagates backbone failures, transport failures and server-reported
     /// errors ([`ServeError::Remote`]).
     pub fn infer(&mut self, input: &Tensor) -> Result<Vec<Tensor>> {
-        let features = self
-            .backbone
-            .infer(input)
-            .map_err(mtlsplit_split::SplitError::from)?;
+        let features = self.backbone_features(input)?;
         let outputs = self.infer_features(&features)?;
         Ok(outputs)
+    }
+
+    /// Runs just the edge-resident backbone on `input`, returning the
+    /// shared representation `Z_b` without shipping it anywhere. Policy
+    /// layers use this to compute the features once and then choose between
+    /// the remote and the local path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backbone failures.
+    pub fn backbone_features(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(self
+            .backbone
+            .infer(input)
+            .map_err(mtlsplit_split::SplitError::from)?)
     }
 
     /// Ships an already-computed shared representation `Z_b` to the server.
@@ -88,18 +252,9 @@ impl EdgeClient {
     pub fn roundtrip_payload(&mut self, payload: &WirePayload) -> Result<Vec<WirePayload>> {
         let id = self.take_request_id();
         let frame = Frame::new(OpCode::InferRequest, id, payload.encode());
-        let response = self.transport.request(&frame)?;
-        if response.request_id != id {
-            return Err(ServeError::MismatchedResponse {
-                sent: id,
-                received: response.request_id,
-            });
-        }
+        let response = self.transact(&frame)?;
         match response.op {
             OpCode::InferResponse => decode_response(&response.body),
-            OpCode::Error => Err(ServeError::Remote {
-                message: String::from_utf8_lossy(&response.body).into_owned(),
-            }),
             other => Err(ServeError::UnexpectedFrame {
                 expected: "an InferResponse frame",
                 got: other,
@@ -126,20 +281,9 @@ impl EdgeClient {
             device_class: device_class.to_string(),
             latency_budget_ms,
         });
-        let response = self
-            .transport
-            .request(&Frame::new(OpCode::Hello, id, body))?;
-        if response.request_id != id {
-            return Err(ServeError::MismatchedResponse {
-                sent: id,
-                received: response.request_id,
-            });
-        }
+        let response = self.transact(&Frame::new(OpCode::Hello, id, body))?;
         match response.op {
             OpCode::HelloAck => decode_split_assignment(&response.body),
-            OpCode::Error => Err(ServeError::Remote {
-                message: String::from_utf8_lossy(&response.body).into_owned(),
-            }),
             other => Err(ServeError::UnexpectedFrame {
                 expected: "a HelloAck frame",
                 got: other,
@@ -161,9 +305,7 @@ impl EdgeClient {
     /// [`ServeError::UnexpectedFrame`].
     pub fn ping(&mut self) -> Result<()> {
         let id = self.take_request_id();
-        let response = self
-            .transport
-            .request(&Frame::new(OpCode::Ping, id, Vec::new()))?;
+        let response = self.transact(&Frame::new(OpCode::Ping, id, Vec::new()))?;
         match response.op {
             OpCode::Pong => Ok(()),
             other => Err(ServeError::UnexpectedFrame {
@@ -182,20 +324,9 @@ impl EdgeClient {
     /// unexpected answer becomes [`ServeError::UnexpectedFrame`].
     pub fn metrics(&mut self) -> Result<ServeMetrics> {
         let id = self.take_request_id();
-        let response =
-            self.transport
-                .request(&Frame::new(OpCode::MetricsRequest, id, Vec::new()))?;
-        if response.request_id != id {
-            return Err(ServeError::MismatchedResponse {
-                sent: id,
-                received: response.request_id,
-            });
-        }
+        let response = self.transact(&Frame::new(OpCode::MetricsRequest, id, Vec::new()))?;
         match response.op {
             OpCode::MetricsResponse => decode_metrics(&response.body),
-            OpCode::Error => Err(ServeError::Remote {
-                message: String::from_utf8_lossy(&response.body).into_owned(),
-            }),
             other => Err(ServeError::UnexpectedFrame {
                 expected: "a MetricsResponse frame",
                 got: other,
@@ -217,6 +348,170 @@ impl EdgeClient {
         let id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1);
         id
+    }
+
+    /// The retrying round-trip every endpoint method funnels through.
+    ///
+    /// Resends `frame` (same bytes, same `request_id`) under the client's
+    /// [`RetryPolicy`] until a response for that id arrives, a non-retryable
+    /// error surfaces, the attempt limit is hit, or the deadline budget runs
+    /// out ([`ServeError::DeadlineExceeded`]). Error frames are converted to
+    /// [`ServeError::Remote`] before classification, so a `ShuttingDown`
+    /// goodbye or an `Overloaded` pushback is retried while an `App` error
+    /// is returned at once.
+    fn transact(&mut self, frame: &Frame) -> Result<Frame> {
+        let started = Instant::now();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempts: u32 = 0;
+        let mut backoff = self.policy.base_backoff;
+        let mut needs_reconnect = false;
+        loop {
+            if attempts > 0 {
+                let mut pause = self.next_backoff(&mut backoff);
+                if let Some(limit) = self.policy.deadline {
+                    let elapsed = started.elapsed();
+                    if elapsed >= limit {
+                        return Err(self.deadline_error(attempts, limit));
+                    }
+                    pause = pause.min(limit - elapsed);
+                }
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                self.stats.retries += 1;
+                obs::metrics::SERVE_RETRIES.add(1);
+            }
+            if let Some(limit) = self.policy.deadline {
+                let elapsed = started.elapsed();
+                if elapsed >= limit {
+                    return Err(self.deadline_error(attempts, limit));
+                }
+                // Bound each socket operation by what is left of the budget,
+                // so one stalled read cannot overshoot the deadline.
+                let per_attempt = (limit - elapsed).max(MIN_SOCKET_TIMEOUT);
+                let _ = self
+                    .transport
+                    .set_timeouts(Some(per_attempt), Some(per_attempt));
+            }
+            attempts += 1;
+            self.stats.attempts += 1;
+            let outcome = if needs_reconnect {
+                self.stats.reconnects += 1;
+                obs::metrics::SERVE_RECONNECTS.add(1);
+                match self.transport.reconnect() {
+                    Ok(()) => {
+                        needs_reconnect = false;
+                        self.attempt(frame)
+                    }
+                    Err(err) => Err(err),
+                }
+            } else {
+                self.attempt(frame)
+            };
+            let err = match outcome {
+                Ok(response) => return Ok(response),
+                Err(err) => err,
+            };
+            match Self::retryability(&err) {
+                Retryability::Fatal => return Err(err),
+                Retryability::Reconnect => needs_reconnect = true,
+                Retryability::Resend => {}
+            }
+            if attempts >= max_attempts {
+                return Err(err);
+            }
+        }
+    }
+
+    /// One send + settle pass, no retries.
+    fn attempt(&mut self, frame: &Frame) -> Result<Frame> {
+        let response = self.transport.request(frame)?;
+        self.settle(frame.request_id, response)
+    }
+
+    /// Resolves one received frame against the request id in flight.
+    ///
+    /// A response for an *older* id is a relic of an abandoned attempt: the
+    /// stream is intact, just behind. Rather than poisoning every subsequent
+    /// call, the client drains further frames (up to [`RESYNC_BOUND`]) until
+    /// the matching response appears. A *newer* id or an exhausted bound
+    /// means the stream is hopelessly out of sync —
+    /// [`ServeError::MismatchedResponse`], which the retry loop answers with
+    /// a reconnect.
+    fn settle(&mut self, sent: u64, response: Frame) -> Result<Frame> {
+        let mut current = response;
+        let mut drained = 0usize;
+        loop {
+            if current.op == OpCode::Error {
+                let (code, message) = current.error_info();
+                // An error for our request, or a connection-scoped goodbye
+                // (eviction/shutdown frames carry request id 0).
+                if current.request_id == sent || current.request_id == 0 {
+                    return Err(ServeError::Remote { code, message });
+                }
+            } else if current.request_id == sent {
+                return Ok(current);
+            }
+            if current.request_id > sent || drained >= RESYNC_BOUND {
+                return Err(ServeError::MismatchedResponse {
+                    sent,
+                    received: current.request_id,
+                });
+            }
+            drained += 1;
+            self.stats.resyncs += 1;
+            current = self.transport.receive()?;
+        }
+    }
+
+    /// The next backoff pause: the current backoff scaled by a deterministic
+    /// jitter factor in `[0.5, 1.0)`, doubling the stored backoff up to the
+    /// policy's cap.
+    fn next_backoff(&mut self, backoff: &mut Duration) -> Duration {
+        let factor = 0.5 + 0.5 * f64::from(self.jitter.uniform());
+        let pause = backoff.mul_f64(factor);
+        *backoff = backoff
+            .checked_mul(2)
+            .unwrap_or(self.policy.max_backoff)
+            .min(self.policy.max_backoff);
+        pause
+    }
+
+    fn deadline_error(&mut self, attempts: u32, limit: Duration) -> ServeError {
+        self.stats.deadlines_exhausted += 1;
+        obs::metrics::SERVE_DEADLINES_EXHAUSTED.add(1);
+        ServeError::DeadlineExceeded {
+            attempts,
+            budget_ms: limit.as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Classifies a failed attempt. Transport-level failures and torn or
+    /// corrupted frames are transient; whether the connection must be redialed
+    /// depends on whether the stream can still be in sync. Semantic errors
+    /// (the server understood us and said no) are fatal.
+    fn retryability(err: &ServeError) -> Retryability {
+        match err {
+            // The connection is dead or desynchronized: redial, then resend.
+            ServeError::Io(_)
+            | ServeError::Truncated { .. }
+            | ServeError::BadMagic { .. }
+            | ServeError::UnsupportedVersion { .. }
+            | ServeError::UnknownOpCode { .. }
+            | ServeError::Oversized { .. }
+            | ServeError::MismatchedResponse { .. } => Retryability::Reconnect,
+            // The frame was fully consumed before failing: still in sync.
+            ServeError::ChecksumMismatch { .. } | ServeError::QueueFull => Retryability::Resend,
+            ServeError::Remote { code, .. } => match code {
+                // The peer is going away or threw us out: this connection is
+                // done, but another (or the restarted server) may serve us.
+                ErrorCode::ShuttingDown | ErrorCode::Evicted => Retryability::Reconnect,
+                // Backpressure: same connection, try again after backoff.
+                ErrorCode::Overloaded => Retryability::Resend,
+                ErrorCode::App | ErrorCode::Protocol => Retryability::Fatal,
+            },
+            _ => Retryability::Fatal,
+        }
     }
 }
 
@@ -519,5 +814,194 @@ mod tests {
             client.infer_features(&bad),
             Err(ServeError::Remote { .. })
         ));
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A scripted transport: fails the first `failures` requests with a
+    /// connection reset, then answers every request with a matching `Pong`.
+    struct FlakyTransport {
+        failures_left: usize,
+        requests: Arc<AtomicUsize>,
+        reconnects: Arc<AtomicUsize>,
+    }
+
+    impl Transport for FlakyTransport {
+        fn request(&mut self, frame: &Frame) -> Result<Frame> {
+            self.requests.fetch_add(1, Ordering::SeqCst);
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "scripted failure",
+                )));
+            }
+            Ok(Frame::new(OpCode::Pong, frame.request_id, Vec::new()))
+        }
+
+        fn reconnect(&mut self) -> Result<()> {
+            self.reconnects.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    fn counted_client(
+        failures: usize,
+        policy: RetryPolicy,
+    ) -> (EdgeClient, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+        let requests = Arc::new(AtomicUsize::new(0));
+        let reconnects = Arc::new(AtomicUsize::new(0));
+        let transport = FlakyTransport {
+            failures_left: failures,
+            requests: Arc::clone(&requests),
+            reconnects: Arc::clone(&reconnects),
+        };
+        let client = EdgeClient::new(
+            Box::new(Sequential::new()),
+            TensorCodec::default(),
+            Box::new(transport),
+        )
+        .with_retry_policy(policy);
+        (client, requests, reconnects)
+    }
+
+    #[test]
+    fn retries_reconnect_and_resend_until_success() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(5)
+            .with_backoff(Duration::from_micros(10), Duration::from_micros(100));
+        let (mut client, requests, reconnects) = counted_client(2, policy);
+        client.ping().unwrap();
+        assert_eq!(requests.load(Ordering::SeqCst), 3);
+        assert_eq!(reconnects.load(Ordering::SeqCst), 2);
+        assert_eq!(client.stats().retries, 2);
+        assert_eq!(client.stats().attempts, 3);
+    }
+
+    #[test]
+    fn attempt_limit_returns_the_last_error() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_backoff(Duration::from_micros(10), Duration::from_micros(100));
+        let (mut client, requests, _) = counted_client(usize::MAX, policy);
+        assert!(matches!(client.ping(), Err(ServeError::Io(_))));
+        assert_eq!(requests.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn deadline_budget_surfaces_as_a_typed_error() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(u32::MAX)
+            .with_deadline(Some(Duration::from_millis(25)))
+            .with_backoff(Duration::from_millis(2), Duration::from_millis(8));
+        let (mut client, _, _) = counted_client(usize::MAX, policy);
+        match client.ping() {
+            Err(ServeError::DeadlineExceeded {
+                attempts,
+                budget_ms,
+            }) => {
+                assert!(attempts >= 1);
+                assert!((budget_ms - 25.0).abs() < 1e-9);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(client.stats().deadlines_exhausted, 1);
+    }
+
+    /// Answers every request one response *behind* (the previous request's
+    /// id), holding the current response for a subsequent `receive` — the
+    /// exact stream state a timed-out-and-resent request leaves behind.
+    struct LaggedTransport {
+        pending: Option<u64>,
+    }
+
+    impl Transport for LaggedTransport {
+        fn request(&mut self, frame: &Frame) -> Result<Frame> {
+            let stale = self.pending.replace(frame.request_id);
+            match stale {
+                Some(id) => Ok(Frame::new(OpCode::Pong, id, Vec::new())),
+                None => Ok(Frame::new(OpCode::Pong, frame.request_id, Vec::new())),
+            }
+        }
+
+        fn receive(&mut self) -> Result<Frame> {
+            let id = self.pending.take().expect("a frame is pending");
+            Ok(Frame::new(OpCode::Pong, id, Vec::new()))
+        }
+    }
+
+    #[test]
+    fn stale_responses_are_drained_not_poisonous() {
+        let mut client = EdgeClient::new(
+            Box::new(Sequential::new()),
+            TensorCodec::default(),
+            Box::new(LaggedTransport { pending: None }),
+        );
+        // First call: in sync. The next call sees its stale predecessor
+        // first and drains to its own response — which also consumes the
+        // pending frame, so calls alternate between in-sync and resync.
+        for _ in 0..5 {
+            client.ping().unwrap();
+        }
+        assert_eq!(client.stats().resyncs, 2);
+        assert_eq!(client.stats().retries, 0);
+    }
+
+    /// Replies with a typed error frame carrying the scripted code.
+    struct ErrorTransport {
+        code: ErrorCode,
+        failures_left: usize,
+        requests: Arc<AtomicUsize>,
+    }
+
+    impl Transport for ErrorTransport {
+        fn request(&mut self, frame: &Frame) -> Result<Frame> {
+            self.requests.fetch_add(1, Ordering::SeqCst);
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Ok(Frame::error_coded(frame.request_id, self.code, "scripted"));
+            }
+            Ok(Frame::new(OpCode::Pong, frame.request_id, Vec::new()))
+        }
+    }
+
+    #[test]
+    fn app_errors_are_not_retried_but_shutdown_goodbyes_are() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(5)
+            .with_backoff(Duration::from_micros(10), Duration::from_micros(100));
+        let requests = Arc::new(AtomicUsize::new(0));
+        let mut client = EdgeClient::new(
+            Box::new(Sequential::new()),
+            TensorCodec::default(),
+            Box::new(ErrorTransport {
+                code: ErrorCode::App,
+                failures_left: usize::MAX,
+                requests: Arc::clone(&requests),
+            }),
+        )
+        .with_retry_policy(policy);
+        assert!(matches!(
+            client.ping(),
+            Err(ServeError::Remote {
+                code: ErrorCode::App,
+                ..
+            })
+        ));
+        assert_eq!(requests.load(Ordering::SeqCst), 1, "App errors are fatal");
+
+        let requests = Arc::new(AtomicUsize::new(0));
+        let mut client = EdgeClient::new(
+            Box::new(Sequential::new()),
+            TensorCodec::default(),
+            Box::new(ErrorTransport {
+                code: ErrorCode::ShuttingDown,
+                failures_left: 2,
+                requests: Arc::clone(&requests),
+            }),
+        )
+        .with_retry_policy(policy);
+        client.ping().unwrap();
+        assert_eq!(requests.load(Ordering::SeqCst), 3, "goodbyes are retried");
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use mtlsplit_split::SplitError;
 
-use crate::frame::OpCode;
+use crate::frame::{ErrorCode, OpCode};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;
@@ -70,10 +70,20 @@ pub enum ServeError {
         /// What was malformed.
         what: String,
     },
-    /// The server reported an application-level failure.
+    /// The server reported a failure through a typed error frame.
     Remote {
+        /// Machine-readable classification ([`ErrorCode::App`] for errors
+        /// from peers older than protocol v5).
+        code: ErrorCode,
         /// The server's error message.
         message: String,
+    },
+    /// The per-request deadline budget ran out before any attempt succeeded.
+    DeadlineExceeded {
+        /// Attempts made before the budget was exhausted.
+        attempts: u32,
+        /// The configured budget, in milliseconds.
+        budget_ms: f64,
     },
     /// The server's request queue is full (backpressure).
     QueueFull,
@@ -117,7 +127,18 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Malformed { what } => write!(f, "malformed body: {what}"),
-            ServeError::Remote { message } => write!(f, "server error: {message}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ServeError::DeadlineExceeded {
+                attempts,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline budget of {budget_ms:.1} ms exhausted after {attempts} attempt(s)"
+                )
+            }
             ServeError::QueueFull => write!(f, "server request queue is full"),
             ServeError::ServerUnavailable => write!(f, "server has shut down"),
             ServeError::Split(err) => write!(f, "payload error: {err}"),

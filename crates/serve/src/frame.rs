@@ -40,6 +40,16 @@
 //! server accepts v3 frames (and answers a v3 `Hello` with its default
 //! split), and every frame carries the version it was sent under in
 //! [`Frame::version`].
+//!
+//! Protocol version 5 added typed error codes: the body of an
+//! [`OpCode::Error`] frame sent at v5 starts with one [`ErrorCode`] byte
+//! followed by the UTF-8 message, so a client can tell a retryable
+//! infrastructure condition (the server is [`ErrorCode::ShuttingDown`], the
+//! queue is [`ErrorCode::Overloaded`], the connection was
+//! [`ErrorCode::Evicted`]) from a terminal application error without
+//! parsing prose. [`Frame::error_info`] recovers the code and message from
+//! any version: pre-v5 error bodies decode as [`ErrorCode::App`] with the
+//! whole body as the message. The header layout is unchanged since v3.
 
 use std::io::{Read, Write};
 
@@ -49,11 +59,19 @@ use crate::error::{Result, ServeError};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MTLS");
 
 /// Protocol version this build speaks.
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 
-/// Oldest protocol version this build still accepts. Versions 3 and 4 share
-/// the header layout byte for byte; 4 only adds op codes.
+/// Oldest protocol version this build still accepts. Versions 3 through 5
+/// share the header layout byte for byte; 4 added op codes and 5 added the
+/// leading [`ErrorCode`] byte in [`OpCode::Error`] bodies.
 pub const MIN_VERSION: u8 = 3;
+
+/// First protocol version that speaks `Hello`/`HelloAck` split negotiation.
+pub const HELLO_VERSION: u8 = 4;
+
+/// First protocol version whose [`OpCode::Error`] bodies carry a leading
+/// [`ErrorCode`] byte.
+pub const ERROR_CODE_VERSION: u8 = 5;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_BYTES: usize = 4 + 1 + 1 + 8 + 4 + 4;
@@ -145,6 +163,58 @@ impl OpCode {
             9 => Ok(OpCode::HelloAck),
             _ => Err(ServeError::UnknownOpCode { code }),
         }
+    }
+}
+
+/// Machine-readable classification carried as the first body byte of an
+/// [`OpCode::Error`] frame since protocol version 5.
+///
+/// The codes split errors the way a fault-tolerant client needs them split:
+/// [`ErrorCode::App`] is terminal for the request (retrying the same payload
+/// reproduces it), while the infrastructure codes describe conditions of the
+/// *channel or server*, which retries, reconnects or a local fallback can
+/// route around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request itself failed (bad payload, shape mismatch, …); a resend
+    /// of the same bytes will fail identically.
+    App = 0,
+    /// The frame violated the wire protocol (bad checksum, unknown op code,
+    /// unsupported version); the offending frame was consumed and the
+    /// connection keeps serving.
+    Protocol = 1,
+    /// The server is shutting down; the connection is about to close and the
+    /// request was not (and will not be) served.
+    ShuttingDown = 2,
+    /// The server's request queue rejected the request under load; a retry
+    /// after backoff may succeed.
+    Overloaded = 3,
+    /// The server evicted this connection (e.g. a read timeout fired on a
+    /// stalled peer); the socket closes right after this frame.
+    Evicted = 4,
+}
+
+impl ErrorCode {
+    /// Parses an error-code byte; unknown bytes (from a newer peer) map to
+    /// `None` and callers fall back to [`ErrorCode::App`].
+    pub fn from_byte(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ErrorCode::App),
+            1 => Some(ErrorCode::Protocol),
+            2 => Some(ErrorCode::ShuttingDown),
+            3 => Some(ErrorCode::Overloaded),
+            4 => Some(ErrorCode::Evicted),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may usefully retry after seeing this code.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::ShuttingDown | ErrorCode::Overloaded | ErrorCode::Evicted
+        )
     }
 }
 
@@ -264,9 +334,42 @@ impl Frame {
         }
     }
 
-    /// Creates an [`OpCode::Error`] frame carrying `message`.
+    /// Creates an [`OpCode::Error`] frame carrying `message` under the
+    /// generic [`ErrorCode::App`] classification.
     pub fn error(request_id: u64, message: &str) -> Self {
-        Self::new(OpCode::Error, request_id, message.as_bytes().to_vec())
+        Self::error_coded(request_id, ErrorCode::App, message)
+    }
+
+    /// Creates an [`OpCode::Error`] frame with an explicit [`ErrorCode`]
+    /// (protocol v5 body layout: one code byte, then the UTF-8 message).
+    pub fn error_coded(request_id: u64, code: ErrorCode, message: &str) -> Self {
+        let mut body = Vec::with_capacity(1 + message.len());
+        body.push(code as u8);
+        body.extend_from_slice(message.as_bytes());
+        Self::new(OpCode::Error, request_id, body)
+    }
+
+    /// Splits an [`OpCode::Error`] frame body into its code and message.
+    ///
+    /// Version-aware: bodies sent at [`ERROR_CODE_VERSION`] or later carry a
+    /// leading code byte; earlier versions (and unknown code bytes from
+    /// newer peers) decode as [`ErrorCode::App`] with the whole body as the
+    /// message. Returns `(App, "")` for frames that are not errors.
+    pub fn error_info(&self) -> (ErrorCode, String) {
+        if self.op != OpCode::Error {
+            return (ErrorCode::App, String::new());
+        }
+        if self.version >= ERROR_CODE_VERSION {
+            if let Some((&byte, rest)) = self.body.split_first() {
+                if let Some(code) = ErrorCode::from_byte(byte) {
+                    return (code, String::from_utf8_lossy(rest).into_owned());
+                }
+            }
+        }
+        (
+            ErrorCode::App,
+            String::from_utf8_lossy(&self.body).into_owned(),
+        )
     }
 
     /// Exact size of the encoded frame in bytes.
@@ -660,5 +763,126 @@ mod tests {
     #[test]
     fn magic_spells_mtls() {
         assert_eq!(&MAGIC.to_le_bytes(), b"MTLS");
+    }
+
+    #[test]
+    fn error_codes_round_trip_through_the_body() {
+        for code in [
+            ErrorCode::App,
+            ErrorCode::Protocol,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Overloaded,
+            ErrorCode::Evicted,
+        ] {
+            let frame = Frame::error_coded(9, code, "why");
+            let decoded = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(decoded.error_info(), (code, "why".to_string()));
+        }
+        // Retryability is a property of the code, not the message.
+        assert!(ErrorCode::ShuttingDown.is_retryable());
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::Evicted.is_retryable());
+        assert!(!ErrorCode::App.is_retryable());
+        assert!(!ErrorCode::Protocol.is_retryable());
+    }
+
+    #[test]
+    fn legacy_error_bodies_without_a_code_byte_read_as_app_errors() {
+        // A v4 peer sends the bare UTF-8 message with no leading code byte.
+        let legacy = Frame::with_version(OpCode::Error, 3, b"boom".to_vec(), 4);
+        let decoded = Frame::decode(&legacy.encode()).unwrap();
+        assert_eq!(decoded.error_info(), (ErrorCode::App, "boom".to_string()));
+        // A non-error frame has no error info at all.
+        assert_eq!(sample().error_info(), (ErrorCode::App, String::new()));
+    }
+
+    #[test]
+    fn adversarial_header_truncations_never_misread() {
+        // Every possible header truncation point, streamed: cutting inside
+        // the header is `Truncated`, cutting inside the body is `Io`.
+        let good = sample().encode();
+        for cut in 1..good.len() {
+            let mut cursor = std::io::Cursor::new(good[..cut].to_vec());
+            let result = Frame::read_from(&mut cursor, DEFAULT_MAX_BODY_BYTES);
+            if cut < HEADER_BYTES {
+                assert!(
+                    matches!(result, Err(ServeError::Truncated { .. })),
+                    "cut {cut}: {result:?}"
+                );
+            } else {
+                assert!(
+                    matches!(result, Err(ServeError::Io(_))),
+                    "cut {cut}: {result:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_bad_crc_mid_stream_does_not_poison_the_next_frame() {
+        // Corrupt frame, then a valid frame, in one contiguous stream: the
+        // lenient reader must reject the first and still deliver the second.
+        let mut corrupt = Frame::new(OpCode::InferRequest, 5, vec![1, 2, 3]).encode();
+        corrupt[HEADER_BYTES] ^= 0x40;
+        let mut buffer = corrupt;
+        buffer.extend_from_slice(&Frame::new(OpCode::Ping, 6, Vec::new()).encode());
+        let mut cursor = std::io::Cursor::new(buffer);
+        assert!(matches!(
+            Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+                .unwrap()
+                .unwrap(),
+            Received::Rejected {
+                request_id: 5,
+                error: ServeError::ChecksumMismatch { .. },
+            }
+        ));
+        match Frame::read_from_lenient(&mut cursor, DEFAULT_MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap()
+        {
+            Received::Frame(frame) => assert_eq!(frame.request_id, 6),
+            other => panic!("expected the valid frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ten_thousand_random_mutations_never_panic_the_decoder() {
+        use mtlsplit_tensor::StdRng;
+        let mut rng = StdRng::seed_from(0xF0_22);
+        let templates = [
+            Frame::new(OpCode::InferRequest, 1, vec![0xAB; 64]).encode(),
+            Frame::error_coded(2, ErrorCode::Overloaded, "busy").encode(),
+            Frame::new(OpCode::Ping, 3, Vec::new()).encode(),
+        ];
+        for round in 0..10_000u32 {
+            let mut bytes = templates[rng.below(templates.len())].clone();
+            // 1–3 independent mutations: flip a bit, overwrite a byte, or
+            // truncate the tail.
+            for _ in 0..=rng.below(3) {
+                if bytes.is_empty() {
+                    break;
+                }
+                match rng.below(3) {
+                    0 => {
+                        let index = rng.below(bytes.len());
+                        bytes[index] ^= 1u8 << rng.below(8);
+                    }
+                    1 => {
+                        let index = rng.below(bytes.len());
+                        bytes[index] = rng.below(256) as u8;
+                    }
+                    _ => {
+                        let keep = rng.below(bytes.len());
+                        bytes.truncate(keep);
+                    }
+                }
+            }
+            // Every outcome must be a value, never a panic; when the frame
+            // happens to still decode it must satisfy the protocol bounds.
+            if let Ok(frame) = Frame::decode(&bytes) {
+                assert!(frame.version >= MIN_VERSION, "round {round}");
+                assert!(frame.body.len() <= DEFAULT_MAX_BODY_BYTES, "round {round}");
+            }
+        }
     }
 }

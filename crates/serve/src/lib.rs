@@ -27,7 +27,18 @@
 //!   `Layer::infer` path; a bounded queue with adaptive micro-batching
 //!   feeds them, plus [`ServeMetrics`] (throughput, p50/p95/p99 latency,
 //!   wire bytes). [`TcpServer`] is its thread-per-connection TCP front-end.
-//! * [`EdgeClient`] — the on-device half.
+//! * [`EdgeClient`] — the on-device half. Every request runs under a
+//!   [`RetryPolicy`]: optional per-request deadline budget (enforced as
+//!   socket timeouts too), reconnect-and-resend with capped exponential
+//!   backoff and deterministic jitter, and drain-and-resync recovery from
+//!   stale responses.
+//! * [`FaultyTransport`] — a seeded fault injector over any [`Transport`]
+//!   (drops, delays, corruption, truncation, refused reconnects) driven by a
+//!   [`FaultPlan`], so every failure path above is exercised reproducibly.
+//! * [`ResilientClient`] — graceful degradation: a circuit breaker over an
+//!   [`EdgeClient`] plus a locally held backbone tail and head replicas, so
+//!   a request that cannot be served remotely within its budget is answered
+//!   edge-locally, bit-identical to the monolithic forward.
 //!
 //! See the repository's top-level `README.md` for the crate map, an
 //! edge↔server architecture sketch and a copy-paste quickstart for the
@@ -76,18 +87,23 @@
 
 mod client;
 mod error;
+pub mod fault;
 pub mod frame;
 mod metrics;
+pub mod policy;
 mod server;
 mod transport;
 pub mod wire;
 
-pub use client::EdgeClient;
+pub use client::{ClientStats, EdgeClient, RetryPolicy};
 pub use error::{Result, ServeError};
+pub use fault::{FaultPlan, FaultStats, FaultyTransport};
 pub use frame::{
-    Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, HEADER_BYTES, MAGIC, MIN_VERSION, VERSION,
+    ErrorCode, Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, ERROR_CODE_VERSION, HEADER_BYTES,
+    HELLO_VERSION, MAGIC, MIN_VERSION, VERSION,
 };
 pub use metrics::{PhaseStats, ServeMetrics, SplitRequests};
+pub use policy::{BreakerConfig, BreakerState, ResilientClient, ResilientStats, Served, ServedVia};
 pub use server::{
     InferenceServer, ServerConfig, SessionState, SplitRule, SplitVariant, TcpServer,
     MAX_DEFAULT_WORKERS,

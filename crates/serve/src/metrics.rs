@@ -22,6 +22,7 @@ use mtlsplit_obs::LogHistogram;
 pub(crate) struct WorkerShard {
     requests: AtomicU64,
     errors: AtomicU64,
+    evictions: AtomicU64,
     batches: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
@@ -76,6 +77,11 @@ impl WorkerShard {
 
     pub(crate) fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One client severed for stalling past the server's read timeout.
+    pub(crate) fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// How long one request waited in the queue before being drained.
@@ -158,6 +164,7 @@ impl MetricsRecorder {
     pub(crate) fn snapshot(&self) -> ServeMetrics {
         let mut requests = 0u64;
         let mut errors = 0u64;
+        let mut evictions = 0u64;
         let mut batches = 0u64;
         let mut bytes_in = 0u64;
         let mut bytes_out = 0u64;
@@ -169,6 +176,7 @@ impl MetricsRecorder {
         for shard in &self.shards {
             requests += shard.requests.load(Ordering::Relaxed);
             errors += shard.errors.load(Ordering::Relaxed);
+            evictions += shard.evictions.load(Ordering::Relaxed);
             batches += shard.batches.load(Ordering::Relaxed);
             bytes_in += shard.bytes_in.load(Ordering::Relaxed);
             bytes_out += shard.bytes_out.load(Ordering::Relaxed);
@@ -197,6 +205,7 @@ impl MetricsRecorder {
             workers: self.workers,
             requests,
             errors,
+            evictions,
             batches,
             bytes_in,
             bytes_out,
@@ -280,6 +289,8 @@ pub struct ServeMetrics {
     pub requests: u64,
     /// Requests that ended in an application error.
     pub errors: u64,
+    /// Clients severed for stalling past the server's read timeout.
+    pub evictions: u64,
     /// Head forward passes executed; `requests / batches` is the achieved
     /// coalescing factor.
     pub batches: u64,
@@ -317,7 +328,8 @@ impl ServeMetrics {
     pub fn summary(&self) -> String {
         format!(
             "{} req in {:.2}s ({:.0} req/s) on {} workers, {} batches (mean {:.2} req/batch), \
-             p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, {} B in / {} B out, {} errors",
+             p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, {} B in / {} B out, {} errors, \
+             {} evictions",
             self.requests,
             self.wall_seconds,
             self.requests_per_second,
@@ -329,7 +341,8 @@ impl ServeMetrics {
             self.p99_latency_s * 1e3,
             self.bytes_in,
             self.bytes_out,
-            self.errors
+            self.errors,
+            self.evictions
         )
     }
 

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mtlsplit_nn::{InferPlan, Layer};
 use mtlsplit_obs as obs;
@@ -30,7 +30,7 @@ use mtlsplit_split::{Precision, TensorCodec, WirePayload};
 use mtlsplit_tensor::{Parallelism, Tensor};
 
 use crate::error::{Result, ServeError};
-use crate::frame::{Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, VERSION};
+use crate::frame::{ErrorCode, Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, HELLO_VERSION};
 use crate::metrics::{MetricsRecorder, ServeMetrics, WorkerShard};
 use crate::wire::{
     decode_hello, encode_metrics, encode_response, encode_split_assignment, SplitAssignment,
@@ -134,6 +134,11 @@ pub struct ServerConfig {
     /// workers over large heads. Kernel results are bit-identical whatever
     /// the value.
     pub parallelism: Parallelism,
+    /// How long a connection thread waits for the next byte from its client
+    /// before evicting it (typed `Error { code: Evicted }` frame, then
+    /// sever). `None` waits forever — one stalled peer then pins its
+    /// connection thread for good, so the default keeps a 30 s bound.
+    pub client_read_timeout: Option<Duration>,
 }
 
 /// Upper bound on the default worker count; explicit
@@ -149,6 +154,7 @@ impl Default for ServerConfig {
             response_precision: Precision::Float32,
             workers: Self::default_workers(),
             parallelism: Parallelism::single(),
+            client_read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -176,6 +182,13 @@ impl ServerConfig {
     /// parallelism.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns this configuration with the given slow-client read timeout
+    /// (`None` disables eviction).
+    pub fn with_client_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.client_read_timeout = timeout;
         self
     }
 }
@@ -424,7 +437,10 @@ impl InferenceServer {
             .map_err(|_| ServeError::ServerUnavailable)?;
         match rrx.recv() {
             Ok(Ok(outputs)) => Ok(outputs),
-            Ok(Err(message)) => Err(ServeError::Remote { message }),
+            Ok(Err(message)) => Err(ServeError::Remote {
+                code: ErrorCode::App,
+                message,
+            }),
             Err(_) => Err(ServeError::ServerUnavailable),
         }
     }
@@ -456,8 +472,9 @@ impl InferenceServer {
             OpCode::Hello => self.process_hello(frame, session),
             other => {
                 self.metrics.misc().record_error();
-                Frame::error(
+                Frame::error_coded(
                     frame.request_id,
+                    ErrorCode::Protocol,
                     &format!("server cannot handle a {other:?} frame"),
                 )
             }
@@ -471,7 +488,7 @@ impl InferenceServer {
     /// (or an undecodable hello body) falls back to the default variant —
     /// negotiation degrades, the connection keeps working.
     fn process_hello(&self, frame: &Frame, session: &mut SessionState) -> Frame {
-        let variant = if frame.version < VERSION {
+        let variant = if frame.version < HELLO_VERSION {
             0
         } else {
             match decode_hello(&frame.body) {
@@ -493,7 +510,7 @@ impl InferenceServer {
             Ok(payload) => payload,
             Err(err) => {
                 self.metrics.misc().record_error();
-                return Frame::error(frame.request_id, &err.to_string());
+                return Frame::error_coded(frame.request_id, ErrorCode::Protocol, &err.to_string());
             }
         };
         match self.infer_on(payload, variant) {
@@ -502,7 +519,14 @@ impl InferenceServer {
                 frame.request_id,
                 encode_response(&outputs),
             ),
-            Err(err) => Frame::error(frame.request_id, &err.to_string()),
+            Err(err) => {
+                let code = match err {
+                    ServeError::ServerUnavailable => ErrorCode::ShuttingDown,
+                    ServeError::QueueFull => ErrorCode::Overloaded,
+                    _ => ErrorCode::App,
+                };
+                Frame::error_coded(frame.request_id, code, &err.to_string())
+            }
         }
     }
 
@@ -813,11 +837,11 @@ impl TcpServer {
                     }
                     let Ok(stream) = stream else { continue };
                     let conn_server = Arc::clone(&server);
-                    let max_body = conn_server.config().max_body_bytes;
+                    let conn_stop = Arc::clone(&accept_stop);
                     let shutdown_handle = stream.try_clone().ok();
                     let thread = std::thread::Builder::new()
                         .name("mtlsplit-serve-conn".to_string())
-                        .spawn(move || serve_connection(stream, conn_server, max_body))
+                        .spawn(move || serve_connection(stream, conn_server, conn_stop))
                         .expect("spawn connection thread");
                     let mut guard = accept_connections.lock().expect("conn lock");
                     // Reap finished connections so a long-lived server does
@@ -843,9 +867,11 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stops accepting connections, severs any connections still open and
-    /// joins every connection thread. Clients that are mid-conversation see
-    /// their socket close, exactly as on a server restart.
+    /// Stops accepting connections, says goodbye to any connections still
+    /// open and joins every connection thread. Clients mid-conversation
+    /// receive a typed `Error { code: ShuttingDown }` frame before the
+    /// socket closes, so an in-flight read observes a clean protocol-level
+    /// goodbye rather than an abrupt reset.
     pub fn stop(mut self) {
         self.halt();
     }
@@ -859,13 +885,19 @@ impl TcpServer {
         }
         let connections: Vec<Connection> =
             std::mem::take(&mut *self.connections.lock().expect("conn lock"));
+        for connection in &connections {
+            // Close only the read half: the connection thread's blocked read
+            // returns EOF, sees the stop flag, and writes the goodbye frame
+            // over the still-open write half before severing.
+            if let Some(stream) = &connection.stream {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
         for connection in connections {
-            // Force any blocked read to return so the join cannot hang on a
-            // client that never disconnects.
+            let _ = connection.thread.join();
             if let Some(stream) = &connection.stream {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
-            let _ = connection.thread.join();
         }
     }
 }
@@ -887,25 +919,66 @@ impl Drop for TcpServer {
 /// keeps reading; only unframeable garbage (bad magic, oversized length) or
 /// a dead socket end the connection. The server itself keeps running either
 /// way.
-fn serve_connection(stream: std::net::TcpStream, server: Arc<InferenceServer>, max_body: usize) {
+///
+/// Two exits are announced with typed goodbye frames (request id 0): a
+/// client silent longer than [`ServerConfig::client_read_timeout`] receives
+/// `Error { code: Evicted }`, and connections open when the server stops
+/// receive `Error { code: ShuttingDown }` before the socket closes.
+fn serve_connection(
+    stream: std::net::TcpStream,
+    server: Arc<InferenceServer>,
+    stop: Arc<AtomicBool>,
+) {
+    let max_body = server.config().max_body_bytes;
+    let _ = stream.set_read_timeout(server.config().client_read_timeout);
     let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
     let mut writer = std::io::BufWriter::new(stream);
     let mut session = SessionState::default();
+    let mut goodbye: Option<Frame> = None;
     loop {
         let response = match Frame::read_from_lenient(&mut reader, max_body) {
             Ok(Some(Received::Frame(frame))) => server.process_on(&frame, &mut session),
             Ok(Some(Received::Rejected { request_id, error })) => {
                 server.metrics.misc().record_error();
-                Frame::error(request_id, &error.to_string())
+                Frame::error_coded(request_id, ErrorCode::Protocol, &error.to_string())
+            }
+            Err(ServeError::Io(err))
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) && !stop.load(Ordering::SeqCst) =>
+            {
+                // The client stalled past the read timeout: evict it so it
+                // cannot pin this thread, but say why before severing.
+                server.metrics.misc().record_eviction();
+                goodbye = Some(Frame::error_coded(
+                    0,
+                    ErrorCode::Evicted,
+                    "evicted: no frame within the server's read timeout",
+                ));
+                break;
             }
             Ok(None) | Err(_) => break,
         };
         if response.write_to(&mut writer).is_err() {
             break;
         }
+    }
+    if goodbye.is_none() && stop.load(Ordering::SeqCst) {
+        goodbye = Some(Frame::error_coded(
+            0,
+            ErrorCode::ShuttingDown,
+            "server shutting down",
+        ));
+    }
+    if let Some(frame) = goodbye {
+        // Best effort: the write half is still open when `halt` closed only
+        // the read half, so a blocked client sees a typed goodbye instead of
+        // a reset. A fully dead socket just fails silently here.
+        let _ = frame.write_to(&mut writer);
     }
     // Sever the socket explicitly: the accept loop retains a clone of this
     // stream (for forced shutdown on `TcpServer::stop`), so dropping our

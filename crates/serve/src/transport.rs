@@ -11,8 +11,9 @@
 //!   are hermetic and deterministic while still exercising the exact bytes
 //!   a socket would carry.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use mtlsplit_split::ChannelModel;
 
@@ -29,13 +30,60 @@ pub trait Transport: Send {
     /// Implementation-specific: socket failures, protocol violations, or a
     /// shut-down server.
     fn request(&mut self, frame: &Frame) -> Result<Frame>;
+
+    /// Re-establishes the underlying connection after a failure.
+    ///
+    /// In-process transports have nothing to re-establish, so the default is
+    /// a no-op; [`TcpTransport`] redials its remembered endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connect failure when the endpoint refuses or is unreachable.
+    fn reconnect(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Reads one more response frame without sending anything — used by the
+    /// client's drain-and-resync recovery to skip responses to requests it
+    /// has already given up on.
+    ///
+    /// # Errors
+    ///
+    /// The default returns an `Unsupported` I/O error: strict
+    /// request/response transports (like [`LoopbackTransport`]) never have
+    /// extra frames in flight.
+    fn receive(&mut self) -> Result<Frame> {
+        Err(ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "transport cannot receive without sending",
+        )))
+    }
+
+    /// Bounds how long one blocking read/write on the underlying connection
+    /// may take. `None` waits forever. In-process transports never block, so
+    /// the default accepts and ignores the bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    fn set_timeouts(&mut self, read: Option<Duration>, write: Option<Duration>) -> Result<()> {
+        let _ = (read, write);
+        Ok(())
+    }
 }
 
 /// A [`Transport`] over a real TCP connection.
+///
+/// The transport remembers the endpoint it dialed plus any configured
+/// timeouts, so [`Transport::reconnect`] can redial after a drop and
+/// re-apply the same socket options to the fresh stream.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
+    peer: SocketAddr,
     max_body: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 impl TcpTransport {
@@ -46,10 +94,14 @@ impl TcpTransport {
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
         stream.set_nodelay(true)?;
         Ok(Self {
             stream,
+            peer,
             max_body: DEFAULT_MAX_BODY_BYTES,
+            read_timeout: None,
+            write_timeout: None,
         })
     }
 
@@ -58,17 +110,42 @@ impl TcpTransport {
         self.max_body = max_body;
         self
     }
-}
 
-impl Transport for TcpTransport {
-    fn request(&mut self, frame: &Frame) -> Result<Frame> {
-        frame.write_to(&mut self.stream)?;
+    fn read_response(&mut self) -> Result<Frame> {
         Frame::read_from(&mut self.stream, self.max_body)?.ok_or_else(|| {
             ServeError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection before responding",
             ))
         })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, frame: &Frame) -> Result<Frame> {
+        frame.write_to(&mut self.stream)?;
+        self.read_response()
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Frame> {
+        self.read_response()
+    }
+
+    fn set_timeouts(&mut self, read: Option<Duration>, write: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)?;
+        self.read_timeout = read;
+        self.write_timeout = write;
+        Ok(())
     }
 }
 

@@ -14,7 +14,8 @@
 //!
 //! A metrics response body is one [`ServeMetrics`] snapshot
 //! ([`encode_metrics`] / [`decode_metrics`]): a one-byte codec version,
-//! the `u32` worker count, five `u64` counters, six `f64` gauges, the
+//! the `u32` worker count, six `u64` counters (codec version 3 inserted
+//! the eviction count after the error count), six `f64` gauges, the
 //! four phase blocks (queue-wait, decode, forward, encode) — each a `u64`
 //! count plus four `f64` quantile fields — and, since codec version 2, the
 //! per-split request counts: a one-byte entry count, then per entry a
@@ -32,11 +33,12 @@ use crate::error::{Result, ServeError};
 use crate::metrics::{PhaseStats, ServeMetrics, SplitRequests};
 
 /// Version byte of the metrics snapshot codec. Version 2 appended the
-/// variable-length per-split request counts to the fixed v1 layout.
-const METRICS_CODEC_VERSION: u8 = 2;
+/// variable-length per-split request counts to the fixed v1 layout;
+/// version 3 inserted the eviction counter after the error counter.
+const METRICS_CODEC_VERSION: u8 = 3;
 
-/// Exact encoded size of the fixed (v1) part of one metrics snapshot.
-const METRICS_FIXED_BYTES: usize = 1 + 4 + 5 * 8 + 6 * 8 + 4 * (8 + 4 * 8);
+/// Exact encoded size of the fixed part of one metrics snapshot.
+const METRICS_FIXED_BYTES: usize = 1 + 4 + 6 * 8 + 6 * 8 + 4 * (8 + 4 * 8);
 
 /// Encodes the per-task output payloads of one response.
 ///
@@ -123,6 +125,7 @@ pub fn encode_metrics(metrics: &ServeMetrics) -> Vec<u8> {
     for counter in [
         metrics.requests,
         metrics.errors,
+        metrics.evictions,
         metrics.batches,
         metrics.bytes_in,
         metrics.bytes_out,
@@ -253,6 +256,7 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
     let workers = cursor.u32()? as usize;
     let requests = cursor.u64()?;
     let errors = cursor.u64()?;
+    let evictions = cursor.u64()?;
     let batches = cursor.u64()?;
     let bytes_in = cursor.u64()?;
     let bytes_out = cursor.u64()?;
@@ -280,6 +284,7 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
         workers,
         requests,
         errors,
+        evictions,
         batches,
         bytes_in,
         bytes_out,
@@ -405,6 +410,7 @@ mod tests {
             workers: 3,
             requests: 101,
             errors: 2,
+            evictions: 1,
             batches: 57,
             bytes_in: 123_456,
             bytes_out: 654_321,
