@@ -1,19 +1,33 @@
 //! Serving-throughput benchmark: requests/sec and tail latency of the
-//! `InferenceServer` over the hermetic `LoopbackTransport`, across the
-//! worker-pool × micro-batch grid (workers ∈ {1, 2, 4} × max_batch ∈ {1, 8}).
+//! `InferenceServer` behind its two TCP front-ends, across the
+//! front-end × worker-pool × micro-batch × pipeline-depth grid.
 //!
-//! Eight concurrent edge clients each push requests through their own
-//! loopback transport into one shared server, so the worker pool sees real
-//! contention, can coalesce, and (with workers > 1) overlaps head forward
-//! passes on separate cores. Besides the criterion timings, the bench
-//! prints a `serving workers=W max_batch=N` summary line per configuration
-//! and dumps the whole grid to `BENCH_serving.json` at the repository root,
-//! so the serving-performance trajectory is tracked from PR to PR.
+//! Eight concurrent edge clients connect over real localhost sockets to one
+//! shared server. Against the non-blocking [`MuxServer`] each client runs
+//! `infer_pipelined` with depth ∈ {1, 8}, so the poller sees one socket per
+//! client carrying up to eight in-flight requests and the worker pool can
+//! coalesce across connections; the classic thread-per-connection
+//! [`TcpServer`] is measured at the same worker/batch points as the
+//! baseline rows. Besides the criterion timings, the bench prints one
+//! summary line per grid point — including the mean micro-batch size and
+//! the share of p50 latency spent queue-waiting — and dumps the whole grid
+//! to `BENCH_serving.json` at the repository root, so the
+//! serving-performance trajectory is tracked from PR to PR.
 //!
 //! The server holds two split variants — the full-backbone default and a
 //! "shallow" split whose final activation runs server-side as a tail — and
 //! half the clients negotiate onto the shallow one at handshake, so every
 //! run also records the per-split request counts into the JSON.
+//!
+//! Two always-asserted resilience rows ride along: an overload burst
+//! against a one-worker server with a high-water mark of one, which must
+//! shed with typed `Overloaded` errors (the recorded shed rate must be
+//! non-zero), and a fault-injected session under the `light` plan answered
+//! end to end by retries plus the edge-local fallback.
+//!
+//! `MTLSPLIT_BENCH_QUICK=1` selects the reduced CI grid (workers = 2,
+//! max_batch = 8, both pipeline depths, plus the baseline and both
+//! resilience rows).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -22,8 +36,9 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtlsplit_nn::{Flatten, Layer, Linear, Relu, Sequential};
 use mtlsplit_serve::{
-    BreakerConfig, EdgeClient, FaultPlan, FaultyTransport, InferenceServer, LoopbackTransport,
-    ResilientClient, RetryPolicy, ServedVia, ServerConfig, SplitRequests, SplitRule, SplitVariant,
+    BreakerConfig, EdgeClient, ErrorCode, FaultPlan, FaultyTransport, InferenceServer,
+    LoopbackTransport, MuxConfig, MuxServer, ResilientClient, RetryPolicy, ServeError, ServedVia,
+    ServerConfig, SplitRequests, SplitRule, SplitVariant, TcpServer, TcpTransport,
 };
 use mtlsplit_split::{Precision, TensorCodec};
 use mtlsplit_tensor::{StdRng, Tensor};
@@ -33,11 +48,26 @@ const FEATURES: usize = 128;
 /// Samples per request: edge devices commonly ship small frame bursts.
 const ROWS_PER_REQUEST: usize = 4;
 const CLIENTS: usize = 8;
-const REQUESTS_PER_CLIENT: usize = 32;
 
-/// The benchmarked grid: every worker count × micro-batch limit.
+/// The full benchmarked grid: every worker count × micro-batch limit, each
+/// behind the mux at both pipeline depths plus the thread-per-connection
+/// baseline.
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 const MAX_BATCHES: [usize; 2] = [1, 8];
+const PIPELINE_DEPTHS: [usize; 2] = [1, 8];
+
+/// `1` when `MTLSPLIT_BENCH_QUICK` asks for the reduced CI grid.
+fn quick_mode() -> bool {
+    std::env::var("MTLSPLIT_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn requests_per_client() -> usize {
+    if quick_mode() {
+        16
+    } else {
+        32
+    }
+}
 
 fn backbone(rng: &mut StdRng) -> Box<dyn Layer> {
     Box::new(
@@ -78,10 +108,29 @@ fn heads(rng: &mut StdRng) -> Vec<Box<dyn Layer>> {
     ]
 }
 
+/// Which TCP front-end serves a grid point.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Front {
+    /// The non-blocking multiplexed poller ([`MuxServer`]).
+    Mux,
+    /// The classic thread-per-connection baseline ([`TcpServer`]).
+    ThreadPerConn,
+}
+
+impl Front {
+    fn name(self) -> &'static str {
+        match self {
+            Front::Mux => "mux",
+            Front::ThreadPerConn => "thread_per_conn",
+        }
+    }
+}
+
 /// One measured serving session.
 struct DriveOutcome {
     requests: u64,
     elapsed_s: f64,
+    p50_latency_s: f64,
     p95_latency_s: f64,
     mean_batch_size: f64,
     /// Per-phase breakdown (queue-wait / decode / forward / encode) from the
@@ -100,10 +149,29 @@ impl DriveOutcome {
     fn requests_per_second(&self) -> f64 {
         self.requests as f64 / self.elapsed_s.max(1e-12)
     }
+
+    /// Share of the p50 request latency spent waiting in the queue — the
+    /// number the continuous-batching front-end exists to push down.
+    fn queue_wait_share_p50(&self) -> f64 {
+        self.queue_wait.p50_s / self.p50_latency_s.max(1e-12)
+    }
 }
 
-/// Runs one full serving session on a fresh server.
-fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
+/// One grid point: which front-end, pool size, batch limit and per-client
+/// pipeline depth produced a [`DriveOutcome`].
+struct GridRow {
+    front: Front,
+    workers: usize,
+    max_batch: usize,
+    depth: usize,
+    outcome: DriveOutcome,
+}
+
+/// Runs one full serving session over real localhost TCP on a fresh
+/// negotiating server behind the requested front-end. With `depth > 1` each
+/// client keeps that many requests in flight on its one socket via
+/// `infer_pipelined`; with `depth == 1` it round-trips sequentially.
+fn drive(front: Front, workers: usize, max_batch: usize, depth: usize) -> DriveOutcome {
     let mut rng = StdRng::seed_from(1);
     // A negotiating server: the full-backbone split is the default, and a
     // "shallow" variant keeps the final activation server-side as a tail.
@@ -123,25 +191,53 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
             .with_max_batch(max_batch)
             .with_workers(workers),
     ));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    enum FrontHandle {
+        Mux(MuxServer),
+        Thread(TcpServer),
+    }
+    let (handle, addr) = match front {
+        Front::Mux => {
+            let mux = MuxServer::spawn(Arc::clone(&server), listener).expect("spawn mux");
+            let addr = mux.local_addr();
+            (FrontHandle::Mux(mux), addr)
+        }
+        Front::ThreadPerConn => {
+            let tcp = TcpServer::spawn(Arc::clone(&server), listener).expect("spawn tcp");
+            let addr = tcp.local_addr();
+            (FrontHandle::Thread(tcp), addr)
+        }
+    };
+    let per_client = requests_per_client();
     let start = Instant::now();
     let drivers: Vec<_> = (0..CLIENTS)
         .map(|client_idx| {
-            let server = Arc::clone(&server);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from(100 + client_idx as u64);
                 let mut client = EdgeClient::new(
                     backbone(&mut rng),
                     TensorCodec::new(Precision::Float32),
-                    Box::new(LoopbackTransport::new(server)),
+                    Box::new(TcpTransport::connect(addr).expect("connect")),
                 );
                 if client_idx % 2 == 1 {
                     let assignment = client.hello("constrained", 50.0).expect("handshake");
                     assert_eq!(assignment.stage, 1, "rule table must assign the tail split");
                     client.set_backbone(shallow_backbone(&mut rng));
                 }
-                for _ in 0..REQUESTS_PER_CLIENT {
-                    let x = Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng);
-                    client.infer(&x).expect("serve request");
+                let inputs: Vec<Tensor> = (0..per_client)
+                    .map(|_| Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng))
+                    .collect();
+                if depth > 1 {
+                    let outcomes = client
+                        .infer_pipelined(&inputs, depth)
+                        .expect("pipelined window");
+                    for outcome in outcomes {
+                        outcome.expect("serve request");
+                    }
+                } else {
+                    for x in &inputs {
+                        client.infer(x).expect("serve request");
+                    }
                 }
             })
         })
@@ -151,7 +247,12 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
     }
     let elapsed_s = start.elapsed().as_secs_f64();
     let metrics = server.metrics();
+    match handle {
+        FrontHandle::Mux(mux) => mux.stop(),
+        FrontHandle::Thread(tcp) => tcp.stop(),
+    }
     assert_eq!(metrics.errors, 0, "bench requests must not error");
+    assert_eq!(metrics.shed, 0, "the grid runs inside the high-water mark");
     assert_eq!(
         metrics.workers, workers,
         "metrics must record the pool size"
@@ -169,17 +270,18 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
     };
     assert_eq!(
         by_label("shallow"),
-        shallow_clients * REQUESTS_PER_CLIENT as u64,
+        shallow_clients * per_client as u64,
         "negotiated requests must land on the shallow split"
     );
     assert_eq!(
         by_label("deep"),
-        (CLIENTS as u64 - shallow_clients) * REQUESTS_PER_CLIENT as u64,
+        (CLIENTS as u64 - shallow_clients) * per_client as u64,
         "un-negotiated requests must stay on the default split"
     );
     DriveOutcome {
         requests: metrics.requests,
         elapsed_s,
+        p50_latency_s: metrics.p50_latency_s,
         p95_latency_s: metrics.p95_latency_s,
         mean_batch_size: metrics.mean_batch_size,
         queue_wait: metrics.queue_wait,
@@ -187,6 +289,88 @@ fn drive(workers: usize, max_batch: usize) -> DriveOutcome {
         forward: metrics.forward,
         encode: metrics.encode,
         per_split: metrics.per_split,
+    }
+}
+
+/// One measured overload burst: a deep pipelined window against a
+/// one-worker server with a queue high-water mark of one, so admission
+/// control must answer most of the burst with typed `Overloaded` errors
+/// before any decode work.
+struct OverloadOutcome {
+    offered: u64,
+    served: u64,
+    shed: u64,
+    /// The server-side shed counter, scraped from [`ServeMetrics`].
+    metrics_shed: u64,
+}
+
+impl OverloadOutcome {
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.offered.max(1) as f64
+    }
+}
+
+/// Drives the overload burst and asserts the shed path fired: some requests
+/// served (bit-correct routing), some shed with `ErrorCode::Overloaded`,
+/// and the server's `shed` counter agreeing.
+fn drive_overload() -> OverloadOutcome {
+    let mut rng = StdRng::seed_from(1);
+    let server = Arc::new(InferenceServer::start(
+        heads(&mut rng),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            ..ServerConfig::default()
+        },
+    ));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let mux = MuxServer::spawn_with(
+        Arc::clone(&server),
+        listener,
+        MuxConfig::default().with_queue_high_water(1),
+    )
+    .expect("spawn mux");
+    let mut client = EdgeClient::new(
+        backbone(&mut rng),
+        TensorCodec::new(Precision::Float32),
+        Box::new(TcpTransport::connect(mux.local_addr()).expect("connect")),
+    );
+    let offered = 64usize;
+    let inputs: Vec<Tensor> = (0..offered)
+        .map(|_| Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng))
+        .collect();
+    let outcomes = client
+        .infer_pipelined(&inputs, offered)
+        .expect("the connection survives the burst");
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for outcome in &outcomes {
+        match outcome {
+            Ok(_) => served += 1,
+            Err(ServeError::Remote { code, .. }) => {
+                assert_eq!(
+                    *code,
+                    ErrorCode::Overloaded,
+                    "sheds must be typed Overloaded"
+                );
+                shed += 1;
+            }
+            Err(other) => panic!("untyped overload outcome: {other:?}"),
+        }
+    }
+    let metrics_shed = server.metrics().shed;
+    mux.stop();
+    assert!(served >= 1, "an overloaded server must still serve someone");
+    assert!(shed >= 1, "the overload burst must shed typed errors");
+    assert!(
+        metrics_shed >= shed,
+        "server shed counter ({metrics_shed}) undercounts the wire ({shed})"
+    );
+    OverloadOutcome {
+        offered: offered as u64,
+        served,
+        shed,
+        metrics_shed,
     }
 }
 
@@ -228,6 +412,7 @@ fn drive_faulty() -> FaultOutcome {
         heads(&mut rng),
         ServerConfig::default().with_max_batch(8).with_workers(2),
     ));
+    let per_client = requests_per_client();
     let start = Instant::now();
     let drivers: Vec<_> = (0..CLIENTS)
         .map(|client_idx| {
@@ -254,7 +439,7 @@ fn drive_faulty() -> FaultOutcome {
                     ResilientClient::new(client, None, fallback_heads, BreakerConfig::default());
                 let mut remote = 0u64;
                 let mut fallbacks = 0u64;
-                for _ in 0..REQUESTS_PER_CLIENT {
+                for _ in 0..per_client {
                     let x = Tensor::randn(&[ROWS_PER_REQUEST, 3, 8, 8], 0.5, 0.2, &mut rng);
                     match resilient.infer(&x).expect("every request is answered").via {
                         ServedVia::Remote => remote += 1,
@@ -268,7 +453,7 @@ fn drive_faulty() -> FaultOutcome {
         .collect();
     let mut outcome = FaultOutcome {
         plan,
-        requests: (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        requests: (CLIENTS * per_client) as u64,
         remote: 0,
         fallbacks: 0,
         retries: 0,
@@ -316,7 +501,7 @@ fn phase_json(label: &str, phase: &mtlsplit_serve::PhaseStats) -> String {
 
 /// Writes the measured grid to `BENCH_serving.json` at the repository root
 /// (hand-rolled JSON — the workspace has no serde).
-fn dump_json(rows: &[(usize, usize, DriveOutcome)], faulty: &FaultOutcome) {
+fn dump_json(rows: &[GridRow], overload: &OverloadOutcome, faulty: &FaultOutcome) {
     // Record the host's core count: on a single-core machine the worker
     // pool can only reach parity with one worker (there is no parallelism
     // to exploit), so absolute multi-worker wins are only expected when
@@ -327,23 +512,33 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)], faulty: &FaultOutcome) {
     // The effective out-of-the-box pool size on this host (the grid below
     // still sweeps explicit worker counts).
     let default_workers = ServerConfig::default_workers();
-    let mut json = String::from("{\n  \"benchmark\": \"serving_loopback\",\n");
+    let mut json = String::from("{\n  \"benchmark\": \"serving_tcp\",\n");
     json.push_str(&format!(
-        "  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+        "  \"clients\": {CLIENTS},\n  \"requests_per_client\": {},\n  \
          \"rows_per_request\": {ROWS_PER_REQUEST},\n  \"available_parallelism\": {cores},\n  \
-         \"default_workers\": {default_workers},\n"
+         \"default_workers\": {default_workers},\n  \"quick\": {},\n",
+        requests_per_client(),
+        quick_mode(),
     ));
     json.push_str("  \"grid\": [\n");
-    for (index, (workers, max_batch, outcome)) in rows.iter().enumerate() {
+    for (index, row) in rows.iter().enumerate() {
+        let outcome = &row.outcome;
         json.push_str(&format!(
-            "    {{\"workers\": {workers}, \"max_batch\": {max_batch}, \
-             \"requests\": {}, \"requests_per_second\": {:.1}, \
-             \"p95_latency_ms\": {:.4}, \"mean_batch_size\": {:.3}, \
+            "    {{\"front\": \"{}\", \"workers\": {}, \"max_batch\": {}, \
+             \"pipeline_depth\": {}, \"requests\": {}, \"requests_per_second\": {:.1}, \
+             \"p50_latency_ms\": {:.4}, \"p95_latency_ms\": {:.4}, \
+             \"mean_batch_size\": {:.3}, \"queue_wait_share_p50\": {:.4}, \
              {}, {}, {}, {}, {}}}{}\n",
+            row.front.name(),
+            row.workers,
+            row.max_batch,
+            row.depth,
             outcome.requests,
             outcome.requests_per_second(),
+            outcome.p50_latency_s * 1e3,
             outcome.p95_latency_s * 1e3,
             outcome.mean_batch_size,
+            outcome.queue_wait_share_p50(),
             phase_json("queue_wait", &outcome.queue_wait),
             phase_json("decode", &outcome.decode),
             phase_json("forward", &outcome.forward),
@@ -353,6 +548,15 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)], faulty: &FaultOutcome) {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"overload\": {{\"offered\": {}, \"served\": {}, \"shed\": {}, \
+         \"shed_rate\": {:.4}, \"server_metrics_shed\": {}}},\n",
+        overload.offered,
+        overload.served,
+        overload.shed,
+        overload.shed_rate(),
+        overload.metrics_shed,
+    ));
     json.push_str(&format!(
         "  \"fault_injected\": {{\"plan\": \"light\", \"seed\": {}, \
          \"corrupt_rate\": {:.4}, \"delay_rate\": {:.4}, \"delay_ms\": {:.1}, \
@@ -380,49 +584,99 @@ fn dump_json(rows: &[(usize, usize, DriveOutcome)], faulty: &FaultOutcome) {
     }
 }
 
-fn bench_serving(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serving_loopback");
-    group.sample_size(10);
-    let mut rows = Vec::new();
+/// The measured grid for the current mode: in quick mode one worker/batch
+/// point at both depths plus its baseline; in full mode the whole sweep.
+fn grid_points() -> Vec<(Front, usize, usize, usize)> {
+    let mut points = Vec::new();
+    if quick_mode() {
+        for &depth in &PIPELINE_DEPTHS {
+            points.push((Front::Mux, 2, 8, depth));
+        }
+        points.push((Front::ThreadPerConn, 2, 8, 1));
+        return points;
+    }
     for &workers in &WORKER_COUNTS {
         for &max_batch in &MAX_BATCHES {
-            group.bench_with_input(
-                BenchmarkId::new(format!("workers_{workers}"), max_batch),
-                &(workers, max_batch),
-                |bencher, &(w, mb)| {
-                    bencher.iter(|| drive(w, mb));
-                },
-            );
-            // One clean measured run for the summary line and the JSON dump.
-            let outcome = drive(workers, max_batch);
-            println!(
-                "serving workers={workers} max_batch={max_batch}: {:.0} req/s, p95 {:.3} ms, \
-                 mean batch {:.2} ({} requests)",
-                outcome.requests_per_second(),
-                outcome.p95_latency_s * 1e3,
-                outcome.mean_batch_size,
-                outcome.requests
-            );
-            println!(
-                "  phases: queue-wait p50 {:.3}/p95 {:.3} ms, forward p50 {:.3}/p95 {:.3} ms, \
-                 encode p50 {:.3}/p95 {:.3} ms",
-                outcome.queue_wait.p50_s * 1e3,
-                outcome.queue_wait.p95_s * 1e3,
-                outcome.forward.p50_s * 1e3,
-                outcome.forward.p95_s * 1e3,
-                outcome.encode.p50_s * 1e3,
-                outcome.encode.p95_s * 1e3,
-            );
-            let split_counts: Vec<String> = outcome
-                .per_split
-                .iter()
-                .map(|s| format!("{}={}", s.label, s.requests))
-                .collect();
-            println!("  splits: {}", split_counts.join(", "));
-            rows.push((workers, max_batch, outcome));
+            for &depth in &PIPELINE_DEPTHS {
+                points.push((Front::Mux, workers, max_batch, depth));
+            }
+            points.push((Front::ThreadPerConn, workers, max_batch, 1));
         }
     }
+    points
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_tcp");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for (front, workers, max_batch, depth) in grid_points() {
+        // Criterion-time only the headline points (runtime: the full grid
+        // is 18 sessions); every point still gets one clean measured run
+        // for the summary line and the JSON dump.
+        if workers == 2 && max_batch == 8 {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}_workers_{workers}_batch_{max_batch}", front.name()),
+                    depth,
+                ),
+                &(front, workers, max_batch, depth),
+                |bencher, &(f, w, mb, d)| {
+                    bencher.iter(|| drive(f, w, mb, d));
+                },
+            );
+        }
+        let outcome = drive(front, workers, max_batch, depth);
+        println!(
+            "serving front={} workers={workers} max_batch={max_batch} depth={depth}: \
+             {:.0} req/s, p50 {:.3} ms, p95 {:.3} ms, mean batch {:.2}, \
+             queue-wait share {:.2} ({} requests)",
+            front.name(),
+            outcome.requests_per_second(),
+            outcome.p50_latency_s * 1e3,
+            outcome.p95_latency_s * 1e3,
+            outcome.mean_batch_size,
+            outcome.queue_wait_share_p50(),
+            outcome.requests
+        );
+        rows.push(GridRow {
+            front,
+            workers,
+            max_batch,
+            depth,
+            outcome,
+        });
+    }
     group.finish();
+
+    // The continuous-batching claim, asserted where the grid makes it
+    // checkable: with eight clients each eight deep, the pool must coalesce
+    // well past the half-batch mark that thread-per-connection never
+    // reaches at these request sizes.
+    let deep_row = rows
+        .iter()
+        .find(|row| {
+            row.front == Front::Mux && row.workers == 2 && row.max_batch == 8 && row.depth == 8
+        })
+        .expect("the depth-8 mux row is always measured");
+    assert!(
+        deep_row.outcome.mean_batch_size > 4.0,
+        "pipelined depth 8 must batch past 4 on average, got {:.2}",
+        deep_row.outcome.mean_batch_size
+    );
+
+    // Admission control under a deliberate overload burst — always run,
+    // always asserted (the shed rate in the JSON must be non-zero).
+    let overload = drive_overload();
+    println!(
+        "serving overload burst: {}/{} served, {} shed (rate {:.2}), server counter {}",
+        overload.served,
+        overload.offered,
+        overload.shed,
+        overload.shed_rate(),
+        overload.metrics_shed
+    );
+
     // One fault-injected session: the serving path under the `light` fault
     // plan, answered end to end by retries and the edge-local fallback.
     let faulty = drive_faulty();
@@ -437,7 +691,7 @@ fn bench_serving(c: &mut Criterion) {
         faulty.fallbacks,
         faulty.requests
     );
-    dump_json(&rows, &faulty);
+    dump_json(&rows, &overload, &faulty);
 }
 
 criterion_group!(benches, bench_serving);

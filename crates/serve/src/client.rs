@@ -125,6 +125,13 @@ pub struct ClientStats {
     pub deadlines_exhausted: u64,
 }
 
+/// Per-request outcomes of one pipelined window, in input order.
+///
+/// Returned by [`EdgeClient::infer_pipelined`]: each entry is either the
+/// decoded per-task outputs for that input or the typed error the server
+/// answered for that specific request (e.g. an `Overloaded` shed).
+pub type PipelinedOutcomes = Vec<Result<Vec<Tensor>>>;
+
 /// Whether (and how) a failed attempt may be retried.
 enum Retryability {
     /// Do not retry: the failure is semantic, not transient.
@@ -242,6 +249,98 @@ impl EdgeClient {
             .iter()
             .map(|p| self.codec.decode(p).map_err(ServeError::from))
             .collect()
+    }
+
+    /// Serves a batch of inputs with up to `max_in_flight` requests
+    /// pipelined on the transport's single connection, returning one
+    /// outcome per input (in input order, whatever order the server
+    /// completed them in — responses are correlated by request id, per the
+    /// out-of-order completion rule in [`crate::frame`]).
+    ///
+    /// Unlike [`EdgeClient::infer`], pipelined mode applies **no retry
+    /// machinery**: each request resolves to exactly one outcome, and
+    /// server-side rejections (e.g. a typed `Overloaded` shed) come back
+    /// as per-request [`ServeError::Remote`] entries instead of aborting
+    /// the whole window — callers doing load sweeps can count them.
+    ///
+    /// # Errors
+    ///
+    /// A whole-call `Err` means the *connection* failed: the transport
+    /// cannot send/receive, the server sent a connection-scoped goodbye
+    /// (an error frame with request id 0), or a response matched no
+    /// in-flight request.
+    pub fn infer_pipelined(
+        &mut self,
+        inputs: &[Tensor],
+        max_in_flight: usize,
+    ) -> Result<PipelinedOutcomes> {
+        let depth = max_in_flight.max(1);
+        let mut frames = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let features = self.backbone_features(input)?;
+            let payload = self.codec.encode(&features);
+            let id = self.take_request_id();
+            frames.push((id, Frame::new(OpCode::InferRequest, id, payload.encode())));
+        }
+        let mut outcomes: Vec<Option<Result<Vec<Tensor>>>> =
+            (0..inputs.len()).map(|_| None).collect();
+        let mut in_flight: Vec<(u64, usize)> = Vec::with_capacity(depth);
+        let mut next = 0usize;
+        while next < frames.len() || !in_flight.is_empty() {
+            // Fill the window, then block on the next completion.
+            while next < frames.len() && in_flight.len() < depth {
+                let (id, frame) = &frames[next];
+                self.stats.attempts += 1;
+                self.transport.send(frame)?;
+                in_flight.push((*id, next));
+                next += 1;
+            }
+            let response = self.transport.receive()?;
+            match in_flight
+                .iter()
+                .position(|&(id, _)| id == response.request_id)
+            {
+                Some(position) => {
+                    let (_, index) = in_flight.swap_remove(position);
+                    outcomes[index] = Some(self.decode_pipelined_response(&response));
+                }
+                None if response.op == OpCode::Error && response.request_id == 0 => {
+                    // A connection-scoped goodbye (shutdown, eviction,
+                    // accept-shed) addresses the connection, not one
+                    // request: surface it for the whole call.
+                    let (code, message) = response.error_info();
+                    return Err(ServeError::Remote { code, message });
+                }
+                None => {
+                    return Err(ServeError::MismatchedResponse {
+                        sent: in_flight.first().map(|&(id, _)| id).unwrap_or_default(),
+                        received: response.request_id,
+                    });
+                }
+            }
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every in-flight request resolved"))
+            .collect())
+    }
+
+    /// Decodes one pipelined completion into its per-request outcome.
+    fn decode_pipelined_response(&self, response: &Frame) -> Result<Vec<Tensor>> {
+        match response.op {
+            OpCode::InferResponse => decode_response(&response.body)?
+                .iter()
+                .map(|p| self.codec.decode(p).map_err(ServeError::from))
+                .collect(),
+            OpCode::Error => {
+                let (code, message) = response.error_info();
+                Err(ServeError::Remote { code, message })
+            }
+            other => Err(ServeError::UnexpectedFrame {
+                expected: "an InferResponse frame",
+                got: other,
+            }),
+        }
     }
 
     /// Sends one encoded payload and returns the raw per-task payloads.

@@ -50,6 +50,23 @@
 //! parsing prose. [`Frame::error_info`] recovers the code and message from
 //! any version: pre-v5 error bodies decode as [`ErrorCode::App`] with the
 //! whole body as the message. The header layout is unchanged since v3.
+//!
+//! # Pipelining and out-of-order completion
+//!
+//! Frames are self-delimiting and every request carries a client-chosen
+//! `request_id`, so one socket supports *pipelining*: a client may send N
+//! requests before reading any response. The completion rule is that the
+//! server answers each request **exactly once** but in **any order** —
+//! responses are correlated by `request_id` alone, never by arrival
+//! position. Two consequences for pipelined clients: (1) a client must
+//! keep ids of in-flight requests unique, and (2) a response whose id
+//! matches no in-flight request is a protocol violation. The single
+//! exception is `request_id == 0` on an [`OpCode::Error`] frame, which the
+//! server reserves for connection-scoped "goodbye" notices (shutdown,
+//! eviction, overload at accept) that address the connection rather than
+//! any one request. [`FrameAssembler`] is the incremental parser used by
+//! the non-blocking server front-end to cut frames out of a byte stream
+//! that arrives in arbitrary fragments.
 
 use std::io::{Read, Write};
 
@@ -503,6 +520,86 @@ impl Frame {
     }
 }
 
+/// Incremental frame parser for non-blocking streams.
+///
+/// A non-blocking socket delivers bytes in arbitrary fragments — half a
+/// header now, three frames at once later. The assembler buffers pushed
+/// bytes and cuts complete frames out of them, applying exactly the same
+/// validation split as [`Frame::read_from_lenient`]: recoverable rejections
+/// (unsupported version, unknown op code, checksum mismatch) surface as
+/// [`Received::Rejected`] with the stream still synchronized, while
+/// desynchronizing ones (bad magic, an oversized length prefix) surface as
+/// `Err` and oblige the caller to sever the connection.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    consumed: usize,
+    max_body: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an assembler enforcing `max_body` on declared body lengths.
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            consumed: 0,
+            max_body,
+        }
+    }
+
+    /// Appends freshly-read bytes, compacting already-consumed ones first.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet cut into a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Cuts the next complete message out of the buffer.
+    ///
+    /// Returns `Ok(None)` when the buffered bytes do not yet hold a full
+    /// frame (more `push`es needed); `Ok(Some(_))` for each complete frame
+    /// or recoverable rejection, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadMagic`] or [`ServeError::Oversized`] when the
+    /// stream is desynchronized beyond recovery; the connection must be
+    /// closed.
+    pub fn next_frame(&mut self) -> Result<Option<Received>> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_BYTES] = pending[..HEADER_BYTES].try_into().expect("header");
+        let raw = RawHeader::parse(header)?;
+        if raw.body_len > self.max_body {
+            return Err(ServeError::Oversized {
+                len: raw.body_len,
+                max: self.max_body,
+            });
+        }
+        let total = HEADER_BYTES + raw.body_len;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let header = *header;
+        let body = pending[HEADER_BYTES..total].to_vec();
+        self.consumed += total;
+        let request_id = raw.request_id;
+        match raw.into_frame(&header, body) {
+            Ok(frame) => Ok(Some(Received::Frame(frame))),
+            Err(error) => Ok(Some(Received::Rejected { request_id, error })),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -884,5 +981,93 @@ mod tests {
                 assert!(frame.body.len() <= DEFAULT_MAX_BODY_BYTES, "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn assembler_cuts_frames_from_one_byte_fragments() {
+        let frames = [
+            Frame::new(OpCode::InferRequest, 7, vec![1, 2, 3]),
+            Frame::new(OpCode::Ping, 8, Vec::new()),
+            Frame::error_coded(9, ErrorCode::Overloaded, "busy"),
+        ];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&frame.encode());
+        }
+        let mut assembler = FrameAssembler::new(DEFAULT_MAX_BODY_BYTES);
+        let mut out = Vec::new();
+        for byte in wire {
+            assembler.push(&[byte]);
+            while let Some(received) = assembler.next_frame().unwrap() {
+                match received {
+                    Received::Frame(frame) => out.push(frame),
+                    other => panic!("unexpected rejection: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(assembler.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_yields_multiple_frames_from_one_push() {
+        let a = Frame::new(OpCode::Ping, 1, Vec::new());
+        let b = Frame::new(OpCode::InferRequest, 2, vec![5; 10]);
+        let mut wire = a.encode();
+        wire.extend_from_slice(&b.encode());
+        let mut assembler = FrameAssembler::new(DEFAULT_MAX_BODY_BYTES);
+        assembler.push(&wire);
+        assert!(matches!(
+            assembler.next_frame().unwrap(),
+            Some(Received::Frame(f)) if f == a
+        ));
+        assert!(matches!(
+            assembler.next_frame().unwrap(),
+            Some(Received::Frame(f)) if f == b
+        ));
+        assert!(assembler.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_rejects_recoverably_and_stays_synchronized() {
+        // A corrupted body byte trips the checksum — a recoverable
+        // rejection; the frame after it must still parse.
+        let mut bad = Frame::new(OpCode::InferRequest, 5, vec![1, 2, 3]).encode();
+        let index = HEADER_BYTES + 1;
+        bad[index] ^= 0xFF;
+        let good = Frame::new(OpCode::Ping, 6, Vec::new());
+        let mut assembler = FrameAssembler::new(DEFAULT_MAX_BODY_BYTES);
+        assembler.push(&bad);
+        assembler.push(&good.encode());
+        assert!(matches!(
+            assembler.next_frame().unwrap(),
+            Some(Received::Rejected {
+                request_id: 5,
+                error: ServeError::ChecksumMismatch { .. },
+            })
+        ));
+        assert!(matches!(
+            assembler.next_frame().unwrap(),
+            Some(Received::Frame(f)) if f == good
+        ));
+    }
+
+    #[test]
+    fn assembler_fails_fatally_on_bad_magic_and_oversize() {
+        let mut assembler = FrameAssembler::new(DEFAULT_MAX_BODY_BYTES);
+        let mut bytes = Frame::new(OpCode::Ping, 1, Vec::new()).encode();
+        bytes[0] ^= 0xFF;
+        assembler.push(&bytes);
+        assert!(matches!(
+            assembler.next_frame(),
+            Err(ServeError::BadMagic { .. })
+        ));
+
+        let mut small = FrameAssembler::new(4);
+        small.push(&Frame::new(OpCode::InferRequest, 2, vec![0; 16]).encode());
+        assert!(matches!(
+            small.next_frame(),
+            Err(ServeError::Oversized { len: 16, max: 4 })
+        ));
     }
 }

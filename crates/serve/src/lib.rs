@@ -26,7 +26,11 @@
 //!   [`ServerConfig::workers`] worker threads, each running the immutable
 //!   `Layer::infer` path; a bounded queue with adaptive micro-batching
 //!   feeds them, plus [`ServeMetrics`] (throughput, p50/p95/p99 latency,
-//!   wire bytes). [`TcpServer`] is its thread-per-connection TCP front-end.
+//!   wire bytes). [`MuxServer`] is its non-blocking multiplexed TCP
+//!   front-end — one poller thread drives every connection through a
+//!   readiness loop with per-connection pipelining, cross-connection
+//!   batching and `Overloaded` admission control — while [`TcpServer`]
+//!   keeps the classic thread-per-connection design as a baseline.
 //! * [`EdgeClient`] — the on-device half. Every request runs under a
 //!   [`RetryPolicy`]: optional per-request deadline budget (enforced as
 //!   socket timeouts too), reconnect-and-resend with capped exponential
@@ -90,19 +94,22 @@ mod error;
 pub mod fault;
 pub mod frame;
 mod metrics;
+pub mod mux;
 pub mod policy;
+mod readiness;
 mod server;
 mod transport;
 pub mod wire;
 
-pub use client::{ClientStats, EdgeClient, RetryPolicy};
+pub use client::{ClientStats, EdgeClient, PipelinedOutcomes, RetryPolicy};
 pub use error::{Result, ServeError};
 pub use fault::{FaultPlan, FaultStats, FaultyTransport};
 pub use frame::{
-    ErrorCode, Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, ERROR_CODE_VERSION, HEADER_BYTES,
-    HELLO_VERSION, MAGIC, MIN_VERSION, VERSION,
+    ErrorCode, Frame, FrameAssembler, OpCode, Received, DEFAULT_MAX_BODY_BYTES, ERROR_CODE_VERSION,
+    HEADER_BYTES, HELLO_VERSION, MAGIC, MIN_VERSION, VERSION,
 };
-pub use metrics::{PhaseStats, ServeMetrics, SplitRequests};
+pub use metrics::{PhaseStats, ResilienceCounters, ServeMetrics, SplitRequests};
+pub use mux::{MuxConfig, MuxServer};
 pub use policy::{BreakerConfig, BreakerState, ResilientClient, ResilientStats, Served, ServedVia};
 pub use server::{
     InferenceServer, ServerConfig, SessionState, SplitRule, SplitVariant, TcpServer,

@@ -23,6 +23,7 @@ pub(crate) struct WorkerShard {
     requests: AtomicU64,
     errors: AtomicU64,
     evictions: AtomicU64,
+    shed: AtomicU64,
     batches: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
@@ -82,6 +83,12 @@ impl WorkerShard {
     /// One client severed for stalling past the server's read timeout.
     pub(crate) fn record_eviction(&self) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request (or connection attempt) refused by admission control —
+    /// answered [`crate::ErrorCode::Overloaded`] before any decode work.
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// How long one request waited in the queue before being drained.
@@ -165,6 +172,7 @@ impl MetricsRecorder {
         let mut requests = 0u64;
         let mut errors = 0u64;
         let mut evictions = 0u64;
+        let mut shed = 0u64;
         let mut batches = 0u64;
         let mut bytes_in = 0u64;
         let mut bytes_out = 0u64;
@@ -177,6 +185,7 @@ impl MetricsRecorder {
             requests += shard.requests.load(Ordering::Relaxed);
             errors += shard.errors.load(Ordering::Relaxed);
             evictions += shard.evictions.load(Ordering::Relaxed);
+            shed += shard.shed.load(Ordering::Relaxed);
             batches += shard.batches.load(Ordering::Relaxed);
             bytes_in += shard.bytes_in.load(Ordering::Relaxed);
             bytes_out += shard.bytes_out.load(Ordering::Relaxed);
@@ -206,6 +215,7 @@ impl MetricsRecorder {
             requests,
             errors,
             evictions,
+            shed,
             batches,
             bytes_in,
             bytes_out,
@@ -228,6 +238,7 @@ impl MetricsRecorder {
             forward: PhaseStats::from_histogram(&forward),
             encode: PhaseStats::from_histogram(&encode),
             per_split,
+            resilience: ResilienceCounters::from_process(),
         }
     }
 }
@@ -269,6 +280,45 @@ impl PhaseStats {
     }
 }
 
+/// Process-wide resilience counters surfaced alongside the server-side
+/// serving metrics: retry/reconnect/fallback activity of [`crate::EdgeClient`]
+/// and [`crate::ResilientClient`] instances plus fault-injection volume,
+/// all sourced from the global [`mtlsplit_obs::metrics`] counters.
+///
+/// These are *process* totals (every client and breaker in the process, not
+/// just one server), which is exactly what an operator scraping a node
+/// wants: how much retry/fallback pressure the node is generating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceCounters {
+    /// Same-connection retries after recoverable failures.
+    pub retries: u64,
+    /// Transport reconnects after desynchronizing failures.
+    pub reconnects: u64,
+    /// Requests answered by the edge-local fallback model.
+    pub fallbacks: u64,
+    /// Requests abandoned with an exhausted retry deadline.
+    pub deadlines_exhausted: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_trips: u64,
+    /// Faults injected by [`crate::FaultyTransport`] (test/chaos traffic).
+    pub faults_injected: u64,
+}
+
+impl ResilienceCounters {
+    /// Reads the live process-wide counters.
+    pub(crate) fn from_process() -> Self {
+        let counters = mtlsplit_obs::counters();
+        Self {
+            retries: counters.serve_retries,
+            reconnects: counters.serve_reconnects,
+            fallbacks: counters.serve_fallbacks,
+            deadlines_exhausted: counters.serve_deadlines_exhausted,
+            breaker_trips: counters.serve_breaker_trips,
+            faults_injected: counters.serve_faults_injected,
+        }
+    }
+}
+
 /// Requests served under one split variant.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SplitRequests {
@@ -291,6 +341,9 @@ pub struct ServeMetrics {
     pub errors: u64,
     /// Clients severed for stalling past the server's read timeout.
     pub evictions: u64,
+    /// Requests and connection attempts refused by admission control
+    /// (answered `Overloaded` before decode, or shed at accept).
+    pub shed: u64,
     /// Head forward passes executed; `requests / batches` is the achieved
     /// coalescing factor.
     pub batches: u64,
@@ -321,6 +374,9 @@ pub struct ServeMetrics {
     /// Requests served per split variant, in the server's variant order;
     /// empty when the server exposes no negotiated splits.
     pub per_split: Vec<SplitRequests>,
+    /// Process-wide client resilience counters (retries, fallbacks,
+    /// breaker trips, injected faults) at snapshot time.
+    pub resilience: ResilienceCounters,
 }
 
 impl ServeMetrics {
@@ -329,7 +385,7 @@ impl ServeMetrics {
         format!(
             "{} req in {:.2}s ({:.0} req/s) on {} workers, {} batches (mean {:.2} req/batch), \
              p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, {} B in / {} B out, {} errors, \
-             {} evictions",
+             {} evictions, {} shed",
             self.requests,
             self.wall_seconds,
             self.requests_per_second,
@@ -342,7 +398,8 @@ impl ServeMetrics {
             self.bytes_in,
             self.bytes_out,
             self.errors,
-            self.evictions
+            self.evictions,
+            self.shed
         )
     }
 
@@ -435,7 +492,17 @@ mod tests {
     fn summary_is_printable() {
         let snapshot = MetricsRecorder::new(1).snapshot();
         assert!(snapshot.summary().contains("req/s"));
+        assert!(snapshot.summary().contains("shed"));
         assert!(snapshot.phase_summary().contains("queue-wait"));
+    }
+
+    #[test]
+    fn shed_counter_merges_across_shards() {
+        let recorder = MetricsRecorder::new(2);
+        recorder.shard(0).record_shed();
+        recorder.shard(1).record_shed();
+        recorder.misc().record_shed();
+        assert_eq!(recorder.snapshot().shed, 3);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Readiness polling for the non-blocking mux front-end.
+//!
+//! The workspace is dependency-free, so this module is the serve crate's one
+//! platform seam: on unix it wraps the `poll(2)` syscall behind a thin
+//! FFI declaration (std already links the platform libc, so no `libc` crate
+//! is needed); elsewhere it degrades to a short-sleep poller that reports
+//! every registered descriptor as ready.  The fallback is a level-triggered
+//! *superset* of the truth, which is correct because every socket the mux
+//! registers is non-blocking and every I/O path tolerates `WouldBlock`.
+//!
+//! The module also provides the mux's wake-up channel: a loopback TCP pair
+//! (`wake_pair`) acting as a self-pipe, so worker threads finishing a
+//! response can interrupt a `poll` that would otherwise sleep out its tick.
+
+use std::io;
+use std::time::Duration;
+
+/// What a caller wants to know about one descriptor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the descriptor has bytes to read (or a peer hangup).
+    pub readable: bool,
+    /// Wake when the descriptor can accept writes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub(crate) const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+/// One descriptor's slot in a [`wait`] call: interest in, readiness out.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollEntry {
+    fd: RawDescriptor,
+    interest: Interest,
+    readable: bool,
+    writable: bool,
+    hangup: bool,
+}
+
+impl PollEntry {
+    /// Registers `source` with the given `interest`; readiness flags start
+    /// cleared and are filled in by [`wait`].
+    pub(crate) fn new<S: Pollable>(source: &S, interest: Interest) -> PollEntry {
+        PollEntry {
+            fd: source.raw_descriptor(),
+            interest,
+            readable: false,
+            writable: false,
+            hangup: false,
+        }
+    }
+
+    /// The descriptor reported readable (or the fallback assumed it).
+    pub(crate) fn readable(&self) -> bool {
+        self.readable
+    }
+
+    /// The peer hung up or the descriptor is in an error state; the
+    /// connection should be read to EOF and reaped.
+    pub(crate) fn hangup(&self) -> bool {
+        self.hangup
+    }
+}
+
+/// Anything with a pollable OS descriptor.  On unix this is every
+/// `AsRawFd`; the non-unix fallback never inspects the value.
+pub(crate) trait Pollable {
+    /// The raw descriptor handed to the OS poller.
+    fn raw_descriptor(&self) -> RawDescriptor;
+}
+
+#[cfg(unix)]
+pub(crate) type RawDescriptor = std::os::fd::RawFd;
+#[cfg(not(unix))]
+pub(crate) type RawDescriptor = usize;
+
+#[cfg(unix)]
+impl<T: std::os::fd::AsRawFd> Pollable for T {
+    fn raw_descriptor(&self) -> RawDescriptor {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(not(unix))]
+impl<T> Pollable for T {
+    fn raw_descriptor(&self) -> RawDescriptor {
+        0
+    }
+}
+
+/// Blocks until at least one entry is ready or `timeout` elapses, filling
+/// in each entry's readiness flags.  Returns the number of ready entries
+/// (0 on timeout or a benign interruption).
+pub(crate) fn wait(entries: &mut [PollEntry], timeout: Duration) -> io::Result<usize> {
+    sys::wait(entries, timeout)
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    //! The one platform-specific corner of the crate: a direct `poll(2)`
+    //! wrapper.  std links libc already, so the extern declaration below
+    //! resolves without adding any dependency.
+
+    use super::PollEntry;
+    use std::io;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x1;
+    const POLLOUT: i16 = 0x4;
+    const POLLERR: i16 = 0x8;
+    const POLLHUP: i16 = 0x10;
+    const POLLNVAL: i16 = 0x20;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub(super) fn wait(entries: &mut [PollEntry], timeout: Duration) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = entries
+            .iter()
+            .map(|entry| {
+                let mut events = 0i16;
+                if entry.interest.readable {
+                    events |= POLLIN;
+                }
+                if entry.interest.writable {
+                    events |= POLLOUT;
+                }
+                PollFd {
+                    fd: entry.fd,
+                    events,
+                    revents: 0,
+                }
+            })
+            .collect();
+        let millis = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        // SAFETY: `fds` is a live, exclusively-borrowed buffer of
+        // `#[repr(C)]` structs matching the ABI layout of `struct pollfd`,
+        // and `nfds` is exactly its length.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, millis) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for (entry, fd) in entries.iter_mut().zip(&fds) {
+            entry.readable = fd.revents & POLLIN != 0;
+            entry.writable = fd.revents & POLLOUT != 0;
+            entry.hangup = fd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Portable fallback: sleep a sliver of the tick, then report every
+    //! entry ready per its interest.  A level-triggered superset — safe
+    //! because all mux sockets are non-blocking and `WouldBlock` is
+    //! handled everywhere.
+
+    use super::PollEntry;
+    use std::io;
+    use std::time::Duration;
+
+    pub(super) fn wait(entries: &mut [PollEntry], timeout: Duration) -> io::Result<usize> {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+        for entry in entries.iter_mut() {
+            entry.readable = entry.interest.readable;
+            entry.writable = entry.interest.writable;
+            entry.hangup = false;
+        }
+        Ok(entries.len())
+    }
+}
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Mutex;
+
+/// The write half of the mux's self-pipe: worker threads call
+/// [`WakeHandle::wake`] after queuing a completion so the poller's `poll`
+/// returns immediately instead of sleeping out its tick.
+#[derive(Debug)]
+pub(crate) struct WakeHandle {
+    tx: Mutex<TcpStream>,
+}
+
+impl WakeHandle {
+    /// Nudges the poller.  Errors are deliberately ignored: the poll tick
+    /// bounds staleness even if the wake byte is lost, and the handle may
+    /// outlive a stopped mux.
+    pub(crate) fn wake(&self) {
+        if let Ok(mut tx) = self.tx.lock() {
+            let _ = tx.write(&[1u8]);
+        }
+    }
+}
+
+/// The read half of the self-pipe; lives in the mux loop's poll set.
+#[derive(Debug)]
+pub(crate) struct WakeReader {
+    rx: TcpStream,
+}
+
+impl WakeReader {
+    /// Discards all pending wake bytes (reads until `WouldBlock`).
+    pub(crate) fn drain(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!(self.rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+impl Pollable for WakeReader {
+    fn raw_descriptor(&self) -> RawDescriptor {
+        self.rx.raw_descriptor()
+    }
+}
+
+/// Builds the self-pipe as a loopback TCP pair (std offers no portable
+/// anonymous pipe); both ends are non-blocking.
+pub(crate) fn wake_pair() -> io::Result<(WakeHandle, WakeReader)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    Ok((WakeHandle { tx: Mutex::new(tx) }, WakeReader { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_times_out_on_idle_descriptor() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let mut entries = [PollEntry::new(&listener, Interest::READ)];
+        let start = Instant::now();
+        let ready = wait(&mut entries, Duration::from_millis(20)).expect("poll");
+        if cfg!(unix) {
+            assert_eq!(ready, 0, "idle listener must not be ready");
+            assert!(!entries[0].readable());
+            assert!(start.elapsed() >= Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn wait_reports_pending_connection_as_readable() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let mut entries = [PollEntry::new(&listener, Interest::READ)];
+        let ready = wait(&mut entries, Duration::from_millis(500)).expect("poll");
+        assert!(ready >= 1);
+        assert!(entries[0].readable());
+    }
+
+    #[test]
+    fn wake_pair_interrupts_and_drains() {
+        let (handle, mut reader) = wake_pair().expect("wake pair");
+        handle.wake();
+        handle.wake();
+        let mut entries = [PollEntry::new(&reader, Interest::READ)];
+        let ready = wait(&mut entries, Duration::from_millis(500)).expect("poll");
+        assert!(ready >= 1);
+        assert!(entries[0].readable());
+        reader.drain();
+        // After draining, the reader goes quiet again (unix poller only —
+        // the fallback always reports ready).
+        if cfg!(unix) {
+            let mut entries = [PollEntry::new(&reader, Interest::READ)];
+            let ready = wait(&mut entries, Duration::from_millis(10)).expect("poll");
+            assert_eq!(ready, 0);
+        }
+    }
+}

@@ -18,7 +18,7 @@
 //! worker records into its own lock-free shard, so the request path takes
 //! no global lock at all.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -32,6 +32,8 @@ use mtlsplit_tensor::{Parallelism, Tensor};
 use crate::error::{Result, ServeError};
 use crate::frame::{ErrorCode, Frame, OpCode, Received, DEFAULT_MAX_BODY_BYTES, HELLO_VERSION};
 use crate::metrics::{MetricsRecorder, ServeMetrics, WorkerShard};
+use crate::mux::{Completion, ConnToken};
+use crate::readiness::WakeHandle;
 use crate::wire::{
     decode_hello, encode_metrics, encode_response, encode_split_assignment, SplitAssignment,
 };
@@ -198,12 +200,68 @@ impl ServerConfig {
 /// into one forward pass.
 type ShapeGroup = (u8, Vec<usize>, Vec<(Request, Tensor)>);
 
+/// Where a served request's outcome goes once a worker has it.
+pub(crate) enum Responder {
+    /// A blocked in-process caller ([`InferenceServer::infer_on`]) waiting
+    /// on a rendezvous channel.
+    Channel(Sender<std::result::Result<Vec<WirePayload>, String>>),
+    /// A connection owned by the non-blocking mux: the worker encodes the
+    /// response frame itself and hands the wire bytes back to the poller
+    /// thread, waking it so the write happens this tick, not next.
+    Frame {
+        /// Which mux connection the response belongs to (generation-tagged,
+        /// so a response for a dead connection is dropped, never misrouted).
+        conn: ConnToken,
+        /// The request id the response frame must echo.
+        request_id: u64,
+        /// The mux's completion queue.
+        completions: Sender<Completion>,
+        /// Self-pipe into the mux's poll loop.
+        waker: Arc<WakeHandle>,
+    },
+}
+
+impl Responder {
+    /// Delivers the outcome. For frame responders this encodes the full
+    /// response (or typed `App` error) frame on the worker thread — the
+    /// poller only ever copies ready bytes into a socket.
+    fn respond(self, result: std::result::Result<Vec<WirePayload>, String>) {
+        match self {
+            Responder::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Responder::Frame {
+                conn,
+                request_id,
+                completions,
+                waker,
+            } => {
+                let frame = match result {
+                    Ok(outputs) => {
+                        Frame::new(OpCode::InferResponse, request_id, encode_response(&outputs))
+                    }
+                    Err(message) => Frame::error_coded(request_id, ErrorCode::App, &message),
+                };
+                if completions
+                    .send(Completion {
+                        conn,
+                        bytes: frame.encode(),
+                    })
+                    .is_ok()
+                {
+                    waker.wake();
+                }
+            }
+        }
+    }
+}
+
 /// One queued inference request.
 struct Request {
     payload: WirePayload,
     variant: u8,
     enqueued: Instant,
-    responder: Sender<std::result::Result<Vec<WirePayload>, String>>,
+    responder: Responder,
 }
 
 /// The server half of an MTL-Split deployment: frozen task heads plus the
@@ -215,6 +273,9 @@ struct Request {
 /// simulated deployment and a socket deployment execute identical code.
 pub struct InferenceServer {
     tx: Mutex<Option<SyncSender<Request>>>,
+    /// Requests submitted but not yet drained by a worker — the queue
+    /// depth admission control reads without touching the channel.
+    pending: Arc<AtomicUsize>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     heads: Arc<Vec<Box<dyn Layer>>>,
     /// Split depths this server can serve; empty means the classic
@@ -310,6 +371,7 @@ impl InferenceServer {
         let max_batch = config.max_batch.max(1);
         let response_precision = config.response_precision;
         let worker_parallelism = config.parallelism;
+        let pending = Arc::new(AtomicUsize::new(0));
         // All workers steal off one shared receiver: whichever worker is
         // idle takes the lock, grabs up to `max_batch` pending requests, and
         // releases the lock before running the heads.
@@ -320,6 +382,7 @@ impl InferenceServer {
                 let worker_heads = Arc::clone(&heads);
                 let worker_variants = Arc::clone(&variants);
                 let worker_metrics = Arc::clone(&metrics);
+                let worker_pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("mtlsplit-serve-worker-{index}"))
                     .spawn(move || {
@@ -333,6 +396,7 @@ impl InferenceServer {
                             max_batch,
                             response_precision,
                             worker_metrics.shard(index),
+                            &worker_pending,
                         )
                     })
                     .expect("spawn server worker thread")
@@ -340,6 +404,7 @@ impl InferenceServer {
             .collect();
         Self {
             tx: Mutex::new(Some(tx)),
+            pending,
             workers: Mutex::new(workers),
             heads,
             variants,
@@ -430,11 +495,13 @@ impl InferenceServer {
             payload,
             variant,
             enqueued: Instant::now(),
-            responder: rtx,
+            responder: Responder::Channel(rtx),
         };
-        sender
-            .send(request)
-            .map_err(|_| ServeError::ServerUnavailable)?;
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        sender.send(request).map_err(|_| {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            ServeError::ServerUnavailable
+        })?;
         match rrx.recv() {
             Ok(Ok(outputs)) => Ok(outputs),
             Ok(Err(message)) => Err(ServeError::Remote {
@@ -530,6 +597,59 @@ impl InferenceServer {
         }
     }
 
+    /// Submits one request without ever blocking: a full queue comes back
+    /// as [`ServeError::QueueFull`] immediately. This is the mux
+    /// front-end's enqueue path — its poller thread must never sleep on
+    /// the workers' backpressure.
+    ///
+    /// The sender is cloned out of the mutex per call (exactly like
+    /// [`InferenceServer::infer_on`]) so no long-lived clone can keep the
+    /// worker pool alive past [`InferenceServer::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
+    /// [`ServeError::ServerUnavailable`] after shutdown.
+    pub(crate) fn try_submit(
+        &self,
+        payload: WirePayload,
+        variant: u8,
+        responder: Responder,
+    ) -> Result<()> {
+        let sender = {
+            let guard = self.tx.lock().expect("queue lock");
+            guard.clone().ok_or(ServeError::ServerUnavailable)?
+        };
+        let request = Request {
+            payload,
+            variant,
+            enqueued: Instant::now(),
+            responder,
+        };
+        // Count before sending so `pending_depth` can only over-report
+        // pressure, never under-report it (and never underflows: workers
+        // subtract only what was added before the send succeeded).
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        sender.try_send(request).map_err(|err| {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            match err {
+                TrySendError::Full(_) => ServeError::QueueFull,
+                TrySendError::Disconnected(_) => ServeError::ServerUnavailable,
+            }
+        })
+    }
+
+    /// Requests submitted but not yet drained by a worker — what admission
+    /// control compares against the high-water mark.
+    pub(crate) fn pending_depth(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// The sharded recorder, for front-ends living outside this module.
+    pub(crate) fn recorder(&self) -> &MetricsRecorder {
+        &self.metrics
+    }
+
     /// Stops accepting requests, drains the queue and joins every worker.
     pub fn shutdown(&self) {
         // Dropping the only sender ends the workers' recv loops.
@@ -557,6 +677,7 @@ fn worker_loop(
     max_batch: usize,
     response_precision: Precision,
     shard: &WorkerShard,
+    pending: &AtomicUsize,
 ) {
     // One inference plan per worker, reused across every request this
     // worker ever serves: after the first request warms its arena, the
@@ -580,6 +701,7 @@ fn worker_loop(
             }
             batch
         };
+        pending.fetch_sub(batch.len(), Ordering::Relaxed);
         serve_batch(heads, variants, batch, response_precision, shard, &mut plan);
     }
 }
@@ -620,7 +742,9 @@ fn serve_batch(
                     request.payload.wire_bytes(),
                     0,
                 );
-                let _ = request.responder.send(Err(format!("bad payload: {err}")));
+                request
+                    .responder
+                    .respond(Err(format!("bad payload: {err}")));
             }
         }
     }
@@ -771,7 +895,7 @@ fn serve_group(
                     request.payload.wire_bytes(),
                     bytes_out,
                 );
-                let _ = request.responder.send(Ok(outputs));
+                request.responder.respond(Ok(outputs));
             }
         }
         Err(message) => {
@@ -783,7 +907,7 @@ fn serve_group(
                     request.payload.wire_bytes(),
                     0,
                 );
-                let _ = request.responder.send(Err(message.clone()));
+                request.responder.respond(Err(message.clone()));
             }
         }
     }
@@ -984,17 +1108,6 @@ fn serve_connection(
     // stream (for forced shutdown on `TcpServer::stop`), so dropping our
     // handles alone would leave the peer half-open until the next reap.
     let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
-}
-
-/// Returns a queue-full error when `sender` cannot take another request
-/// without blocking. Currently unused by [`InferenceServer::infer`] (which
-/// prefers backpressure) but kept for non-blocking front-ends.
-#[allow(dead_code)]
-fn try_submit(sender: &SyncSender<Request>, request: Request) -> Result<()> {
-    sender.try_send(request).map_err(|err| match err {
-        TrySendError::Full(_) => ServeError::QueueFull,
-        TrySendError::Disconnected(_) => ServeError::ServerUnavailable,
-    })
 }
 
 #[cfg(test)]

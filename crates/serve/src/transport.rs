@@ -43,15 +43,33 @@ pub trait Transport: Send {
         Ok(())
     }
 
-    /// Reads one more response frame without sending anything — used by the
-    /// client's drain-and-resync recovery to skip responses to requests it
-    /// has already given up on.
+    /// Sends one frame without waiting for its response — the sending half
+    /// of the pipelined contract. Pair with [`Transport::receive`] to keep
+    /// several requests in flight on one connection; responses come back in
+    /// completion order, correlated by request id (see the out-of-order
+    /// completion rule in [`crate::frame`]).
     ///
     /// # Errors
     ///
     /// The default returns an `Unsupported` I/O error: strict
-    /// request/response transports (like [`LoopbackTransport`]) never have
-    /// extra frames in flight.
+    /// request/response transports cannot decouple the two halves.
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        let _ = frame;
+        Err(ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "transport cannot send without receiving",
+        )))
+    }
+
+    /// Reads one more response frame without sending anything — used by the
+    /// client's drain-and-resync recovery to skip responses to requests it
+    /// has already given up on, and by the pipelined mode to collect
+    /// in-flight completions.
+    ///
+    /// # Errors
+    ///
+    /// The default returns an `Unsupported` I/O error: strict
+    /// request/response transports never have extra frames in flight.
     fn receive(&mut self) -> Result<Frame> {
         Err(ServeError::Io(std::io::Error::new(
             std::io::ErrorKind::Unsupported,
@@ -127,6 +145,10 @@ impl Transport for TcpTransport {
         self.read_response()
     }
 
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        frame.write_to(&mut self.stream)
+    }
+
     fn reconnect(&mut self) -> Result<()> {
         let stream = TcpStream::connect(self.peer)?;
         stream.set_nodelay(true)?;
@@ -164,6 +186,9 @@ pub struct LoopbackTransport {
     simulated_seconds: f64,
     bytes_up: u64,
     bytes_down: u64,
+    /// Responses produced by [`Transport::send`] but not yet collected by
+    /// [`Transport::receive`] — the loopback model of an in-flight window.
+    pending: std::collections::VecDeque<Frame>,
 }
 
 impl std::fmt::Debug for LoopbackTransport {
@@ -185,6 +210,7 @@ impl LoopbackTransport {
             simulated_seconds: 0.0,
             bytes_up: 0,
             bytes_down: 0,
+            pending: std::collections::VecDeque::new(),
         }
     }
 
@@ -197,7 +223,26 @@ impl LoopbackTransport {
             simulated_seconds: 0.0,
             bytes_up: 0,
             bytes_down: 0,
+            pending: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Serves one frame through the shared server entry point, charging the
+    /// channel for both directions.
+    fn round_trip(&mut self, frame: &Frame) -> Result<Frame> {
+        let up = frame.encoded_len();
+        // Round-trip the exact wire form so framing bugs cannot hide in the
+        // in-process path.
+        let decoded = Frame::decode(&frame.encode())?;
+        let response = self.server.process_on(&decoded, &mut self.session);
+        let down = response.encoded_len();
+        self.bytes_up += up as u64;
+        self.bytes_down += down as u64;
+        if let Some(channel) = &self.channel {
+            self.simulated_seconds +=
+                channel.transfer_time_bytes(up) + channel.transfer_time_bytes(down);
+        }
+        Ok(response)
     }
 
     /// The negotiation state of this in-process "connection" — a loopback
@@ -224,19 +269,25 @@ impl LoopbackTransport {
 
 impl Transport for LoopbackTransport {
     fn request(&mut self, frame: &Frame) -> Result<Frame> {
-        let up = frame.encoded_len();
-        // Round-trip the exact wire form so framing bugs cannot hide in the
-        // in-process path.
-        let decoded = Frame::decode(&frame.encode())?;
-        let response = self.server.process_on(&decoded, &mut self.session);
-        let down = response.encoded_len();
-        self.bytes_up += up as u64;
-        self.bytes_down += down as u64;
-        if let Some(channel) = &self.channel {
-            self.simulated_seconds +=
-                channel.transfer_time_bytes(up) + channel.transfer_time_bytes(down);
-        }
-        Ok(response)
+        self.round_trip(frame)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        // In-process there is no wire to decouple, so the response is
+        // computed eagerly and parked until `receive` collects it — the
+        // window bookkeeping a pipelined client exercises stays identical.
+        let response = self.round_trip(frame)?;
+        self.pending.push_back(response);
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Frame> {
+        self.pending.pop_front().ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "loopback has no pipelined response in flight",
+            ))
+        })
     }
 }
 

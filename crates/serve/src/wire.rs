@@ -19,7 +19,12 @@
 //! four phase blocks (queue-wait, decode, forward, encode) — each a `u64`
 //! count plus four `f64` quantile fields — and, since codec version 2, the
 //! per-split request counts: a one-byte entry count, then per entry a
-//! one-byte stage index, a length-prefixed label and a `u64` counter. All
+//! one-byte stage index, a length-prefixed label and a `u64` counter.
+//! Codec version 4 appends a fixed tail after the per-split entries: the
+//! `u64` shed counter, then the six `u64` process-wide client resilience
+//! counters (retries, reconnects, fallbacks, exhausted deadlines, breaker
+//! trips, injected faults). The decoder still accepts version-3 bodies,
+//! zero-filling the tail, so a v4 scraper reads v3 servers. All
 //! little-endian, decoded with an exact-consume check.
 //!
 //! Protocol v4 negotiation bodies live here too: a `Hello` body is a
@@ -30,14 +35,21 @@
 use mtlsplit_split::WirePayload;
 
 use crate::error::{Result, ServeError};
-use crate::metrics::{PhaseStats, ServeMetrics, SplitRequests};
+use crate::metrics::{PhaseStats, ResilienceCounters, ServeMetrics, SplitRequests};
 
 /// Version byte of the metrics snapshot codec. Version 2 appended the
 /// variable-length per-split request counts to the fixed v1 layout;
-/// version 3 inserted the eviction counter after the error counter.
-const METRICS_CODEC_VERSION: u8 = 3;
+/// version 3 inserted the eviction counter after the error counter;
+/// version 4 appended the shed counter and the resilience tail after the
+/// per-split entries.
+const METRICS_CODEC_VERSION: u8 = 4;
 
-/// Exact encoded size of the fixed part of one metrics snapshot.
+/// Oldest metrics codec version the decoder still reads; v3 bodies simply
+/// lack the v4 tail, which decodes as all zeros.
+const METRICS_MIN_CODEC_VERSION: u8 = 3;
+
+/// Exact encoded size of the fixed part of one metrics snapshot (before
+/// the per-split entries; excludes the v4 resilience tail).
 const METRICS_FIXED_BYTES: usize = 1 + 4 + 6 * 8 + 6 * 8 + 4 * (8 + 4 * 8);
 
 /// Encodes the per-task output payloads of one response.
@@ -164,6 +176,17 @@ pub fn encode_metrics(metrics: &ServeMetrics) -> Vec<u8> {
         body.extend_from_slice(split.label.as_bytes());
         body.extend_from_slice(&split.requests.to_le_bytes());
     }
+    for counter in [
+        metrics.shed,
+        metrics.resilience.retries,
+        metrics.resilience.reconnects,
+        metrics.resilience.fallbacks,
+        metrics.resilience.deadlines_exhausted,
+        metrics.resilience.breaker_trips,
+        metrics.resilience.faults_injected,
+    ] {
+        body.extend_from_slice(&counter.to_le_bytes());
+    }
     body
 }
 
@@ -246,7 +269,8 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
     if body.is_empty() {
         return Err(ServeError::Truncated { needed: 1, got: 0 });
     }
-    if body[0] != METRICS_CODEC_VERSION {
+    let codec_version = body[0];
+    if !(METRICS_MIN_CODEC_VERSION..=METRICS_CODEC_VERSION).contains(&codec_version) {
         return Err(ServeError::UnsupportedVersion { found: body[0] });
     }
     let mut cursor = Cursor {
@@ -279,12 +303,28 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
             requests: cursor.u64()?,
         });
     }
+    let (shed, resilience) = if codec_version >= 4 {
+        (
+            cursor.u64()?,
+            ResilienceCounters {
+                retries: cursor.u64()?,
+                reconnects: cursor.u64()?,
+                fallbacks: cursor.u64()?,
+                deadlines_exhausted: cursor.u64()?,
+                breaker_trips: cursor.u64()?,
+                faults_injected: cursor.u64()?,
+            },
+        )
+    } else {
+        (0, ResilienceCounters::default())
+    };
     cursor.finish()?;
     Ok(ServeMetrics {
         workers,
         requests,
         errors,
         evictions,
+        shed,
         batches,
         bytes_in,
         bytes_out,
@@ -299,6 +339,7 @@ pub fn decode_metrics(body: &[u8]) -> Result<ServeMetrics> {
         forward,
         encode,
         per_split,
+        resilience,
     })
 }
 
@@ -411,6 +452,7 @@ mod tests {
             requests: 101,
             errors: 2,
             evictions: 1,
+            shed: 11,
             batches: 57,
             bytes_in: 123_456,
             bytes_out: 654_321,
@@ -460,6 +502,14 @@ mod tests {
                     requests: 21,
                 },
             ],
+            resilience: ResilienceCounters {
+                retries: 5,
+                reconnects: 3,
+                fallbacks: 2,
+                deadlines_exhausted: 1,
+                breaker_trips: 4,
+                faults_injected: 99,
+            },
         };
         let body = encode_metrics(&metrics);
         let decoded = decode_metrics(&body).unwrap();
@@ -467,6 +517,35 @@ mod tests {
         // A snapshot without splits round-trips too (empty tail).
         let plain = ServeMetrics::default();
         assert_eq!(decode_metrics(&encode_metrics(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn legacy_v3_metrics_bodies_decode_with_a_zeroed_resilience_tail() {
+        let mut metrics = ServeMetrics {
+            workers: 2,
+            requests: 40,
+            shed: 7,
+            resilience: ResilienceCounters {
+                retries: 9,
+                ..ResilienceCounters::default()
+            },
+            ..ServeMetrics::default()
+        };
+        // A v3 body is the v4 body minus the 56-byte tail, stamped v3.
+        let mut body = encode_metrics(&metrics);
+        body.truncate(body.len() - 7 * 8);
+        body[0] = 3;
+        let decoded = decode_metrics(&body).unwrap();
+        metrics.shed = 0;
+        metrics.resilience = ResilienceCounters::default();
+        assert_eq!(decoded, metrics);
+        // A truncated tail on a v4 body is still a typed error.
+        let mut short = encode_metrics(&metrics);
+        short.truncate(short.len() - 1);
+        assert!(matches!(
+            decode_metrics(&short),
+            Err(ServeError::Truncated { .. })
+        ));
     }
 
     #[test]

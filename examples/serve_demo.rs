@@ -26,7 +26,7 @@ use mtlsplit_data::shapes::ShapesConfig;
 use mtlsplit_models::BackboneKind;
 use mtlsplit_obs as obs;
 use mtlsplit_serve::{
-    EdgeClient, InferenceServer, ServeMetrics, ServerConfig, TcpServer, TcpTransport,
+    EdgeClient, InferenceServer, MuxServer, ServeMetrics, ServerConfig, TcpTransport,
 };
 use mtlsplit_split::{Precision, TensorCodec};
 use mtlsplit_tensor::Tensor;
@@ -78,14 +78,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 4. Server side: the frozen heads go into an Arc shared by four worker
-    //    threads, every worker running &self inference — fronted by real TCP.
+    //    threads, every worker running &self inference — fronted by the
+    //    non-blocking multiplexed poller on a real TCP socket.
     let server = Arc::new(InferenceServer::start(
         server_half.into_layers(),
         ServerConfig::default().with_max_batch(8).with_workers(4),
     ));
     let listener = TcpListener::bind("127.0.0.1:0")?;
-    let tcp = TcpServer::spawn(Arc::clone(&server), listener)?;
-    let addr = tcp.local_addr();
+    let mux = MuxServer::spawn(Arc::clone(&server), listener)?;
+    let addr = mux.local_addr();
     println!(
         "inference server listening on {addr} with {} workers",
         server.config().workers
@@ -132,7 +133,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         server.metrics().requests,
         "wire-scraped request count must match the in-process snapshot"
     );
-    tcp.stop();
+    mux.stop();
 
     // 7. When tracing was requested, export and validate the Chrome trace.
     if let Some(path) = trace_path {
